@@ -1,0 +1,76 @@
+"""Experiment A3 — Section 2.1 / Theorem 4.1: BPP error amplification.
+
+The Chernoff majority-vote argument the paper uses to close Theorem 4.1:
+a randomized decider with per-run error δ < 1/2, repeated N times with a
+majority vote, is wrong with probability ≤ exp(−N(1−δ)β²/2).
+Regenerated: the planned N for target errors Γ (logarithmic in 1/Γ) and
+the measured majority-vote failure rate against the bound.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.probability import (
+    majority_vote_failure_probability,
+    majority_vote_runs,
+)
+
+from benchmarks.conftest import format_table
+
+
+def test_planned_runs_logarithmic(benchmark, report):
+    per_run_error = 0.3
+    rows = []
+    previous = None
+    for gamma in (1e-1, 1e-2, 1e-4, 1e-8):
+        runs = majority_vote_runs(per_run_error, gamma)
+        bound = majority_vote_failure_probability(per_run_error, runs)
+        assert bound <= gamma
+        if previous is not None:
+            # halving log(Γ) at most doubles N (log scaling)
+            assert runs <= 2 * previous + 2
+        previous = runs
+        rows.append([f"{gamma:.0e}", runs, f"{bound:.2e}"])
+
+    benchmark.pedantic(
+        lambda: majority_vote_runs(per_run_error, 1e-6), rounds=10, iterations=100
+    )
+
+    report(
+        *format_table(
+            "A3 — majority-vote amplification (per-run error 0.3)",
+            ["target error Γ", "planned runs N", "Chernoff bound at N"],
+            rows,
+        )
+    )
+
+
+def test_measured_failure_rate_below_bound(benchmark, report):
+    per_run_error = 0.35
+    rng = random.Random(41)
+    rows = []
+
+    def failure_rate(runs: int, trials: int) -> float:
+        wrong = 0
+        for _ in range(trials):
+            votes = sum(rng.random() >= per_run_error for _ in range(runs))
+            wrong += votes <= runs // 2
+        return wrong / trials
+
+    for runs in (1, 5, 15, 41):
+        measured = failure_rate(runs, trials=2000)
+        bound = majority_vote_failure_probability(per_run_error, runs)
+        assert measured <= bound + 0.05
+        rows.append([runs, f"{measured:.4f}", f"{bound:.4f}"])
+
+    benchmark.pedantic(lambda: failure_rate(15, 500), rounds=3, iterations=1)
+
+    report(
+        *format_table(
+            "A3 — measured majority-vote failure rate vs Chernoff bound "
+            "(per-run error 0.35, 2000 trials)",
+            ["runs N", "measured failure", "Chernoff bound"],
+            rows,
+        )
+    )

@@ -1,0 +1,69 @@
+"""Experiment A5 — conductance characterises fast mixing (Section 5.1).
+
+The paper points to conductance as a technique for certifying mixing
+times polynomial in the state count — the condition under which the
+Theorem 5.6 sampler runs in PTIME.  Regenerated: exact conductance,
+spectral gap, Cheeger sandwich, and measured mixing time across graph
+families; low conductance (the barbell bottleneck) must coincide with
+slow mixing.
+"""
+
+from __future__ import annotations
+
+from repro.markov import cheeger_bounds, conductance, mixing_time
+from repro.workloads import barbell_graph, complete_graph, cycle_graph
+
+from benchmarks.conftest import format_table
+
+FAMILIES = {
+    "complete-8": complete_graph(8),
+    "cycle-8": cycle_graph(8),
+    "cycle-12": cycle_graph(12),
+    "barbell-4": barbell_graph(4),
+    "barbell-6": barbell_graph(6),
+}
+
+
+def test_conductance_vs_mixing(benchmark, report):
+    rows = []
+    measurements = {}
+    for name, graph in FAMILIES.items():
+        chain = graph.to_markov_chain()
+        phi, _witness = conductance(chain)
+        bounds = cheeger_bounds(chain)
+        t = mixing_time(chain, epsilon=0.1)
+        measurements[name] = (phi, t)
+        assert bounds["cheeger_lower"] <= bounds["gap"] + 1e-9
+        if bounds["reversible"]:
+            assert bounds["gap"] <= bounds["cheeger_upper"] + 1e-9
+        rows.append(
+            [
+                name,
+                chain.size,
+                f"{phi:.4f}",
+                f"{bounds['gap']:.4f}",
+                f"{bounds['cheeger_lower']:.4f}",
+                f"{bounds['cheeger_upper']:.4f}",
+                t,
+            ]
+        )
+
+    # ordering: higher conductance -> faster mixing across the families
+    assert measurements["complete-8"][0] > measurements["barbell-4"][0]
+    assert measurements["complete-8"][1] < measurements["barbell-4"][1]
+    assert measurements["barbell-6"][0] < measurements["barbell-4"][0]
+    assert measurements["barbell-6"][1] > measurements["barbell-4"][1]
+
+    benchmark.pedantic(
+        lambda: conductance(FAMILIES["barbell-4"].to_markov_chain()),
+        rounds=3,
+        iterations=1,
+    )
+
+    report(
+        *format_table(
+            "A5 — conductance Φ, spectral gap, Cheeger sandwich, and t(0.1)",
+            ["family", "states", "Φ", "gap", "Φ²/2", "2Φ", "t(0.1)"],
+            rows,
+        )
+    )

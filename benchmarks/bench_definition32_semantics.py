@@ -1,0 +1,127 @@
+"""Experiment D1 — Definition 3.2 validated as an experiment.
+
+The paper defines the forever-query result as a Cesàro limit over world
+sequences.  This bench regenerates the definition's convergence from
+three independent directions and checks they meet:
+
+1. the exact running time-average (1/t)·Σ Pr[event at step k], computed
+   from the chain's matrix powers, converging to the evaluator's answer;
+2. a single simulated trajectory's occupancy fraction (the ergodic
+   theorem), converging to the same value;
+3. on a *periodic* chain, the pointwise Pr[event at step t] oscillating
+   forever while the Cesàro average still converges — the reason the
+   definition uses the time-average.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from repro.core import (
+    ForeverQuery,
+    Interpretation,
+    TupleIn,
+    evaluate_forever_exact,
+    event_occupancy_series,
+    event_probability_series,
+    simulate_trajectory,
+)
+from repro.relational import Database, Relation, join, project, rel, rename, repair_key
+from repro.workloads import cycle_graph, random_walk_query
+
+from benchmarks.conftest import format_table
+
+
+def test_cesaro_convergence_to_evaluator(benchmark, report):
+    query, db = random_walk_query(cycle_graph(4), "n0", "n2")
+    limit = evaluate_forever_exact(query, db).probability
+    occupancy = event_occupancy_series(query, db, 400)
+
+    rows = []
+    for t in (10, 50, 200, 400):
+        gap = abs(occupancy[t - 1] - limit)
+        rows.append([t, f"{float(occupancy[t - 1]):.5f}", f"{float(gap):.5f}"])
+    assert abs(occupancy[-1] - limit) < Fraction(1, 100)
+
+    benchmark.pedantic(
+        lambda: event_occupancy_series(query, db, 100), rounds=3, iterations=1
+    )
+
+    report(
+        *format_table(
+            f"D1 — exact Cesàro average vs the evaluator's limit "
+            f"({limit} on the lazy 4-cycle)",
+            ["steps t", "running average", "|gap to limit|"],
+            rows,
+        )
+    )
+
+
+def test_single_trajectory_ergodic_average(benchmark, report):
+    query, db = random_walk_query(cycle_graph(4), "n0", "n2")
+    limit = float(evaluate_forever_exact(query, db).probability)
+
+    rows = []
+    final_gap = 1.0
+    for steps in (100, 1000, 10_000):
+        trajectory = simulate_trajectory(query, db, steps, random.Random(32))
+        occupancy = sum(query.event.holds(s) for s in trajectory[1:]) / steps
+        final_gap = abs(occupancy - limit)
+        rows.append([steps, f"{occupancy:.4f}", f"{limit:.4f}"])
+    assert final_gap < 0.02
+
+    benchmark.pedantic(
+        lambda: simulate_trajectory(query, db, 500, random.Random(32)),
+        rounds=3,
+        iterations=1,
+    )
+
+    report(
+        *format_table(
+            "D1 — one trajectory's occupancy fraction (ergodic theorem)",
+            ["walk length", "occupancy of event", "Definition 3.2 value"],
+            rows,
+        )
+    )
+
+
+def test_periodic_chain_needs_the_cesaro_average(benchmark, report):
+    """A pure 2-cycle: Pr[event at step t] alternates 0/1 forever, the
+    running average still settles at 1/2 — the definition's point."""
+    db = Database(
+        {
+            "C": Relation(("I",), [("x",)]),
+            "E": Relation(("I", "J", "P"), [("x", "y", 1), ("y", "x", 1)]),
+        }
+    )
+    step = rename(
+        project(repair_key(join(rel("C"), rel("E")), ("I",), "P"), "J"), J="I"
+    )
+    query = ForeverQuery(Interpretation({"C": step}), TupleIn("C", ("y",)))
+
+    pointwise = event_probability_series(query, db, 8)
+    assert pointwise == [Fraction(t % 2) for t in range(9)]  # oscillates
+
+    occupancy = event_occupancy_series(query, db, 200)
+    limit = evaluate_forever_exact(query, db).probability
+    assert limit == Fraction(1, 2)
+    assert abs(occupancy[-1] - limit) <= Fraction(1, 200)
+
+    benchmark.pedantic(
+        lambda: evaluate_forever_exact(query, db), rounds=5, iterations=2
+    )
+
+    rows = [
+        ["Pr[event at step t]", "0, 1, 0, 1, ... (oscillates, no limit)"],
+        ["running Cesàro average at t=200", f"{float(occupancy[-1]):.4f}"],
+        ["Definition 3.2 value (evaluator)", str(limit)],
+    ]
+    report(
+        *format_table(
+            "D1 — periodic 2-cycle: the Cesàro average exists, the "
+            "pointwise limit does not",
+            ["quantity", "value"],
+            rows,
+        )
+    )

@@ -1,0 +1,75 @@
+"""Experiment X1 — Example 3.3: random walk in a graph.
+
+The forever-query encoding (repair-key over ``C ⋈ E``) must assign the
+query event ``v ∈ C`` the stationary probability of node v in the
+underlying graph walk.  Regenerates, per graph: the full stationary
+distribution from the query engine vs the direct chain solver, plus the
+MCMC estimate.
+"""
+
+from __future__ import annotations
+
+from repro.core import evaluate_forever_exact, evaluate_forever_mcmc
+from repro.markov import stationary_distribution
+from repro.workloads import cycle_graph, erdos_renyi, random_walk_query
+
+from benchmarks.conftest import format_table
+
+
+def test_stationary_distribution_from_queries(benchmark, report):
+    graph = erdos_renyi(5, 0.4, rng=33)
+    pi = stationary_distribution(graph.to_markov_chain())
+
+    rows = []
+    for target in graph.nodes:
+        query, db = random_walk_query(graph, "n0", target)
+        result = evaluate_forever_exact(query, db)
+        assert result.probability == pi.probability(target)
+        rows.append(
+            [
+                target,
+                str(result.probability),
+                str(pi.probability(target)),
+                "exact match",
+            ]
+        )
+
+    query, db = random_walk_query(graph, "n0", "n1")
+    benchmark.pedantic(
+        lambda: evaluate_forever_exact(query, db), rounds=5, iterations=1
+    )
+
+    report(
+        *format_table(
+            "X1 — Example 3.3: query result vs stationary distribution "
+            "(Erdős–Rényi, 5 nodes)",
+            ["node v", "Pr[v ∈ C] (query)", "π(v) (chain)", "status"],
+            rows,
+        )
+    )
+
+
+def test_mcmc_against_exact(benchmark, report):
+    graph = cycle_graph(6)
+    rows = []
+    for target in ("n0", "n3"):
+        query, db = random_walk_query(graph, "n0", target)
+        exact = float(evaluate_forever_exact(query, db).probability)
+        estimate = evaluate_forever_mcmc(query, db, samples=500, burn_in=60, rng=33)
+        assert abs(estimate.estimate - exact) < 0.08
+        rows.append([target, f"{exact:.4f}", f"{estimate.estimate:.4f}"])
+
+    query, db = random_walk_query(graph, "n0", "n3")
+    benchmark.pedantic(
+        lambda: evaluate_forever_mcmc(query, db, samples=100, burn_in=40, rng=33),
+        rounds=3,
+        iterations=1,
+    )
+
+    report(
+        *format_table(
+            "X1 — Example 3.3: MCMC estimates on the lazy 6-cycle",
+            ["node v", "exact", "MCMC estimate"],
+            rows,
+        )
+    )

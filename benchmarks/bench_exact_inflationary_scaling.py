@@ -1,0 +1,109 @@
+"""Experiment T1.E1 — Table 1 rows 1–2, column "exact computation".
+
+Claim: exact evaluation is ♯P-hard (data complexity) already for linear
+datalog without probabilistic rules over pc-tables, and for inflationary
+fixpoint with repair-key; the algorithm of Proposition 4.4 runs in
+PSPACE but exponential time.
+
+Regenerated series: runtime and explored-world count of the exact
+evaluator as the number of independent c-table variables n grows — the
+possible-world count is exactly 2ⁿ, so time must grow geometrically.
+The sampling evaluator at fixed (ε, δ) is run on the same instances as
+the contrast column (its cost is flat-ish in n).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.reductions import build_thm41_instance, random_3cnf
+from repro.reductions.thm41 import exact_probability, sampled_probability
+
+from benchmarks.conftest import format_table
+
+#: Variable counts of the scaling sweep (worlds = 2^n).
+SWEEP = (3, 5, 7, 9)
+#: Clauses per variable in the random 3-CNF instances.
+CLAUSE_RATIO = 1.5
+
+
+def _instances():
+    return {
+        n: build_thm41_instance(random_3cnf(n, max(1, int(n * CLAUSE_RATIO)), rng=n))
+        for n in SWEEP
+    }
+
+
+def test_exact_scaling_is_exponential(benchmark, report):
+    instances = _instances()
+
+    rows = []
+    timings = {}
+    for n, instance in instances.items():
+        start = time.perf_counter()
+        result = exact_probability(instance)
+        elapsed = time.perf_counter() - start
+        timings[n] = elapsed
+        assert result.details["pc_worlds"] == 2**n
+        rows.append(
+            [
+                n,
+                2**n,
+                str(result.probability),
+                result.states_explored,
+                f"{elapsed * 1e3:.1f} ms",
+            ]
+        )
+
+    # Shape check: the per-n cost grows geometrically (allow generous
+    # noise; the world count doubles per variable).
+    assert timings[SWEEP[-1]] > 4 * timings[SWEEP[0]]
+
+    benchmark.pedantic(
+        lambda: exact_probability(instances[SWEEP[1]]), rounds=3, iterations=1
+    )
+
+    report(
+        *format_table(
+            "T1.E1 — exact inflationary evaluation vs c-table variables "
+            "(worlds double per variable)",
+            ["n vars", "worlds", "exact p", "states explored", "time"],
+            rows,
+        )
+    )
+
+
+def test_sampling_contrast_is_flat(benchmark, report):
+    """The absolute-approximation column on the same instances: the
+    sample count is fixed by (ε, δ), so cost stays polynomial."""
+    instances = _instances()
+    samples = 200
+
+    rows = []
+    timings = {}
+    for n, instance in instances.items():
+        start = time.perf_counter()
+        result = sampled_probability(instance, samples=samples, rng=7)
+        elapsed = time.perf_counter() - start
+        timings[n] = elapsed
+        rows.append([n, samples, f"{result.estimate:.3f}", f"{elapsed * 1e3:.1f} ms"])
+
+    # Shape check: sampling grows at most mildly (polynomial in n),
+    # nothing like the 2^n of the exact column.
+    exact_style_growth = 2 ** (SWEEP[-1] - SWEEP[0])
+    assert timings[SWEEP[-1]] < exact_style_growth * timings[SWEEP[0]]
+
+    benchmark.pedantic(
+        lambda: sampled_probability(instances[SWEEP[1]], samples=samples, rng=7),
+        rounds=3,
+        iterations=1,
+    )
+
+    report(
+        *format_table(
+            "T1.E1 contrast — Theorem 4.3 sampler on the same instances "
+            f"({samples} samples)",
+            ["n vars", "samples", "estimate", "time"],
+            rows,
+        )
+    )

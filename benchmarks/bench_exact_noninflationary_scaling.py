@@ -1,0 +1,152 @@
+"""Experiment T1.E4 — Table 1 row 3, column "exact computation"
+(Proposition 5.4 / Theorem 5.5: (2-)EXPTIME).
+
+Regenerated series:
+
+1. the induced database-state Markov chain and the runtime of exact
+   evaluation as the walker count grows — the state space is the
+   *product* of per-walker positions, so it explodes exponentially in
+   the number of independent walkers (the exact evaluator's honest
+   exponential);
+2. the irreducible fast path (Prop 5.4) vs the SCC-DAG general path
+   (Thm 5.5) on the same graph family.
+"""
+
+from __future__ import annotations
+
+import time
+from fractions import Fraction
+
+from repro.core import (
+    ForeverQuery,
+    Interpretation,
+    TupleIn,
+    build_state_chain,
+    evaluate_forever_exact,
+)
+from repro.relational import Database, Relation, join, project, rel, rename, repair_key
+from repro.workloads import cycle_graph, two_component_graph
+
+from benchmarks.conftest import format_table
+
+
+def _walk_step():
+    return rename(
+        project(repair_key(join(rel("C"), rel("E")), ("I",), "P"), "J"), J="I"
+    )
+
+
+def _multi_walker_db(walkers: int, component_size: int):
+    graph = two_component_graph(component_size, components=walkers)
+    starts = [(f"g{c}_n0",) for c in range(walkers)]
+    return Database({"C": Relation(("I",), starts), "E": graph.edge_relation()})
+
+
+def test_state_space_exponential_in_walkers(benchmark, report):
+    component_size = 3
+    rows = []
+    timings = {}
+    for walkers in (1, 2, 3):
+        db = _multi_walker_db(walkers, component_size)
+        kernel = Interpretation({"C": _walk_step()})
+        query = ForeverQuery(kernel, TupleIn("C", ("g0_n1",)))
+        start = time.perf_counter()
+        result = evaluate_forever_exact(query, db, max_states=100_000)
+        elapsed = time.perf_counter() - start
+        timings[walkers] = elapsed
+        assert result.states_explored == component_size**walkers
+        assert result.probability == Fraction(1, component_size)
+        rows.append(
+            [
+                walkers,
+                component_size**walkers,
+                str(result.probability),
+                f"{elapsed * 1e3:.1f} ms",
+            ]
+        )
+
+    assert timings[3] > timings[1]
+
+    db = _multi_walker_db(2, component_size)
+    kernel = Interpretation({"C": _walk_step()})
+    query = ForeverQuery(kernel, TupleIn("C", ("g0_n1",)))
+    benchmark.pedantic(
+        lambda: evaluate_forever_exact(query, db, max_states=100_000),
+        rounds=3,
+        iterations=1,
+    )
+
+    report(
+        *format_table(
+            "T1.E4 — exact non-inflationary evaluation: state space is the "
+            "product of independent walkers (3 positions each)",
+            ["walkers", "chain states", "exact p", "time"],
+            rows,
+        )
+    )
+
+
+def test_irreducible_vs_scc_dag_path(benchmark, report):
+    # Irreducible case: a walk on a lazy cycle (Prop 5.4).
+    irreducible_rows = []
+    for size in (4, 6, 8):
+        graph = cycle_graph(size)
+        db = Database(
+            {"C": Relation(("I",), [("n0",)]), "E": graph.edge_relation()}
+        )
+        kernel = Interpretation({"C": _walk_step()})
+        query = ForeverQuery(kernel, TupleIn("C", ("n1",)))
+        start = time.perf_counter()
+        result = evaluate_forever_exact(query, db)
+        elapsed = time.perf_counter() - start
+        assert result.method == "prop-5.4"
+        assert result.probability == Fraction(1, size)
+        irreducible_rows.append(
+            [size, result.states_explored, "prop-5.4", str(result.probability), f"{elapsed * 1e3:.1f} ms"]
+        )
+
+    # Reducible case: a funnel into two absorbing components (Thm 5.5).
+    reducible_rows = []
+    for tail in (2, 4, 6):
+        edges = [("s", "x0", 1), ("s", "y", 2), ("y", "y", 1)]
+        for i in range(tail):
+            edges.append((f"x{i}", f"x{(i + 1) % tail}", 1))
+        db = Database(
+            {
+                "C": Relation(("I",), [("s",)]),
+                "E": Relation(("I", "J", "P"), edges),
+            }
+        )
+        kernel = Interpretation({"C": _walk_step()})
+        query = ForeverQuery(kernel, TupleIn("C", ("y",)))
+        start = time.perf_counter()
+        result = evaluate_forever_exact(query, db)
+        elapsed = time.perf_counter() - start
+        assert result.method == "thm-5.5"
+        assert result.probability == Fraction(2, 3)
+        reducible_rows.append(
+            [tail, result.states_explored, "thm-5.5", str(result.probability), f"{elapsed * 1e3:.1f} ms"]
+        )
+
+    graph = cycle_graph(6)
+    db = Database({"C": Relation(("I",), [("n0",)]), "E": graph.edge_relation()})
+    kernel = Interpretation({"C": _walk_step()})
+    query = ForeverQuery(kernel, TupleIn("C", ("n1",)))
+    benchmark.pedantic(
+        lambda: evaluate_forever_exact(query, db), rounds=3, iterations=1
+    )
+
+    report(
+        *format_table(
+            "T1.E4 — irreducible fast path (Prop 5.4)",
+            ["cycle size", "states", "method", "exact p", "time"],
+            irreducible_rows,
+        )
+    )
+    report(
+        *format_table(
+            "T1.E4 — reducible general path (Thm 5.5, absorption 2/3 into y)",
+            ["tail length", "states", "method", "exact p", "time"],
+            reducible_rows,
+        )
+    )

@@ -1,0 +1,125 @@
+"""Experiment A6 — MCMC as a Markov-chain application (the paper's
+Section 1 motivation, made concrete).
+
+Random-scan Gibbs sampling over Bayesian networks, run through the same
+machinery as the query languages: the sampler's chain is verified
+against the network's joint distribution with exact rational equality,
+its mixing time is measured as the network grows, and the burned-in
+estimator is compared against exact marginals and plain ancestral
+sampling.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.baselines import sampled_marginal
+from repro.markov import is_ergodic, mixing_time, stationary_distribution
+from repro.workloads import random_network
+from repro.workloads.gibbs import (
+    gibbs_chain,
+    gibbs_marginal_estimate,
+    joint_distribution,
+)
+
+from benchmarks.conftest import format_table
+
+
+def test_stationary_equals_joint(benchmark, report):
+    rows = []
+    for seed in (1, 2, 3):
+        network = random_network(3, max_in_degree=2, rng=seed)
+        chain = gibbs_chain(network)
+        assert is_ergodic(chain)
+        pi = stationary_distribution(chain)
+        joint = joint_distribution(network)
+        assert pi == joint  # exact rational equality
+        rows.append([f"random-{seed}", chain.size, "exact match"])
+
+    network = random_network(3, max_in_degree=2, rng=1)
+    benchmark.pedantic(lambda: gibbs_chain(network), rounds=3, iterations=1)
+
+    report(
+        *format_table(
+            "A6 — Gibbs chain stationary distribution vs network joint",
+            ["network", "chain states", "π == joint"],
+            rows,
+        )
+    )
+
+
+def test_mixing_time_vs_network_size(benchmark, report):
+    rows = []
+    times = {}
+    for size in (2, 3, 4, 5):
+        network = random_network(size, max_in_degree=2, rng=size + 20)
+        chain = gibbs_chain(network)
+        t = mixing_time(chain, epsilon=0.1)
+        times[size] = t
+        rows.append([size, chain.size, t])
+    assert all(t >= 1 for t in times.values())
+
+    network = random_network(4, max_in_degree=2, rng=24)
+    benchmark.pedantic(
+        lambda: mixing_time(gibbs_chain(network), epsilon=0.1),
+        rounds=2,
+        iterations=1,
+    )
+
+    report(
+        *format_table(
+            "A6 — Gibbs mixing time t(0.1) vs network size (states = 2ⁿ)",
+            ["nodes", "chain states", "t(0.1)"],
+            rows,
+        )
+    )
+
+
+def test_estimator_accuracy(benchmark, report):
+    rows = []
+    for seed in (5, 6):
+        network = random_network(5, max_in_degree=2, rng=seed)
+        target = network.nodes[-1]
+        conditions = {target: 1}
+        exact = float(network.marginal_probability(conditions))
+
+        t0 = time.perf_counter()
+        gibbs = gibbs_marginal_estimate(
+            network, conditions, samples=2000, burn_in=60,
+            rng=random.Random(seed), thinning=3,
+        )
+        gibbs_time = time.perf_counter() - t0
+
+        ancestral = sampled_marginal(network, conditions, samples=2000, rng=seed)
+
+        assert abs(gibbs - exact) < 0.05
+        assert abs(ancestral - exact) < 0.05
+        rows.append(
+            [
+                f"random-{seed}",
+                f"{exact:.4f}",
+                f"{gibbs:.4f}",
+                f"{ancestral:.4f}",
+                f"{gibbs_time * 1e3:.0f} ms",
+            ]
+        )
+
+    network = random_network(5, max_in_degree=2, rng=5)
+    benchmark.pedantic(
+        lambda: gibbs_marginal_estimate(
+            network, {network.nodes[-1]: 1}, samples=500, burn_in=30,
+            rng=random.Random(1), thinning=2,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+    report(
+        *format_table(
+            "A6 — marginal estimation: Gibbs (burned-in, thinned) vs "
+            "ancestral sampling vs exact (2000 samples each)",
+            ["network", "exact", "Gibbs", "ancestral", "Gibbs time"],
+            rows,
+        )
+    )

@@ -1,0 +1,79 @@
+"""Experiment T2 — Table 2 / Example 2.2: repair-key on the basketball
+players relation.
+
+Regenerates the four possible worlds of
+``repair-key_{Player@Belief}(Table 2)`` with their exact probabilities
+(17/20·8/15 etc.), checks them against the paper's numbers, and measures
+enumeration and sampling costs.
+"""
+
+from __future__ import annotations
+
+from repro.probability import make_rng
+from repro.relational import repair_distribution, sample_repair
+from repro.workloads import BASKETBALL_WORLD_PROBABILITIES, basketball_table
+
+from benchmarks.conftest import format_table
+
+
+def test_table2_worlds(benchmark, report):
+    players = basketball_table()
+
+    worlds = benchmark.pedantic(
+        lambda: repair_distribution(players, key=("Player",), weight="Belief"),
+        rounds=20,
+        iterations=5,
+    )
+
+    rows = []
+    for world, probability in sorted(worlds.items(), key=lambda item: -item[1]):
+        teams = {row[0]: row[1] for row in world}
+        expected = BASKETBALL_WORLD_PROBABILITIES[(teams["Bryant"], teams["Iverson"])]
+        assert probability == expected
+        rows.append(
+            [
+                teams["Bryant"],
+                teams["Iverson"],
+                str(probability),
+                f"{float(probability):.4f}",
+            ]
+        )
+    assert sum(p for _w, p in worlds.items()) == 1
+
+    report(
+        *format_table(
+            "Table 2 / Example 2.2 — repair-key_{Player@Belief} possible worlds",
+            ["Bryant plays for", "Iverson plays for", "exact", "float"],
+            rows,
+        )
+    )
+
+
+def test_table2_sampling_frequencies(benchmark, report):
+    players = basketball_table()
+    rng = make_rng(2010)
+    trials = 2000
+
+    def draw_many():
+        counts: dict = {}
+        for _ in range(trials):
+            world = sample_repair(players, rng, key=("Player",), weight="Belief")
+            teams = {row[0]: row[1] for row in world}
+            key = (teams["Bryant"], teams["Iverson"])
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    counts = benchmark.pedantic(draw_many, rounds=3, iterations=1)
+
+    rows = []
+    for key, expected in BASKETBALL_WORLD_PROBABILITIES.items():
+        observed = counts.get(key, 0) / trials
+        assert abs(observed - float(expected)) < 0.05
+        rows.append([key[0], key[1], f"{float(expected):.4f}", f"{observed:.4f}"])
+    report(
+        *format_table(
+            f"Table 2 — sampler frequencies over {trials} draws",
+            ["Bryant plays for", "Iverson plays for", "exact", "observed"],
+            rows,
+        )
+    )

@@ -1,0 +1,146 @@
+"""Experiment T1.E2 — Table 1 rows 1–2, column "relative approximation"
+(Theorem 4.1: NP-hard).
+
+Regenerates the reduction end-to-end:
+
+1. Lemma 4.2 verification — for 3-CNF formulas F, the exact query
+   probability equals ♯models(F)/2⁁n (≥ 2⁻ⁿ iff satisfiable, 0
+   otherwise), on both reduction variants;
+2. the decision procedure — SAT decided through (a stand-in for) a
+   relative approximator, against DPLL ground truth;
+3. the separation — an absolute (ε, δ) sampler on the same instances
+   cannot distinguish p = 2⁻ⁿ from p = 0 until the sample count reaches
+   the order of 2ⁿ, which is why the relative column is hard while the
+   absolute one is easy.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.reductions import (
+    build_thm41_instance,
+    decide_sat_via_relative_approximation,
+    random_3cnf,
+    satisfiable_formula,
+    unsatisfiable_formula,
+)
+from repro.reductions.thm41 import exact_probability, sampled_probability
+
+from benchmarks.conftest import format_table
+
+
+def test_lemma42_verification(benchmark, report):
+    formulas = {
+        "sat-canonical": satisfiable_formula(4),
+        "unsat-canonical": unsatisfiable_formula(4),
+        "random-1": random_3cnf(4, 5, rng=41),
+        "random-2": random_3cnf(4, 8, rng=42),
+    }
+
+    rows = []
+    for name, formula in formulas.items():
+        for variant in ("2'", "2"):
+            instance = build_thm41_instance(formula, variant)
+            result = exact_probability(instance)
+            expected = instance.expected_probability()
+            assert result.probability == expected
+            if formula.is_satisfiable():
+                assert result.probability >= Fraction(1, 2**formula.num_variables)
+            else:
+                assert result.probability == 0
+            rows.append(
+                [
+                    name,
+                    variant,
+                    formula.count_models(),
+                    str(result.probability),
+                    "ok",
+                ]
+            )
+
+    benchmark.pedantic(
+        lambda: exact_probability(build_thm41_instance(formulas["random-1"])),
+        rounds=3,
+        iterations=1,
+    )
+
+    report(
+        *format_table(
+            "T1.E2 — Lemma 4.2: p = ♯models/2ⁿ on both reduction variants",
+            ["formula", "variant", "♯models", "exact p", "p == ♯models/2ⁿ"],
+            rows,
+        )
+    )
+
+
+def test_sat_decision_procedure(benchmark, report):
+    cases = [("sat-canonical", satisfiable_formula(3)), ("unsat-canonical", unsatisfiable_formula(3))]
+    cases += [(f"random-{seed}", random_3cnf(3, 4 + seed, rng=seed)) for seed in range(4)]
+
+    rows = []
+    correct = 0
+    trials = [formula for _name, formula in cases]
+    for name, formula in cases:
+        decided = decide_sat_via_relative_approximation(formula)
+        truth = formula.is_satisfiable()
+        correct += decided == truth
+        rows.append([name, truth, decided, decided == truth])
+    assert correct == len(rows)
+
+    benchmark.pedantic(
+        lambda: decide_sat_via_relative_approximation(trials[0]),
+        rounds=3,
+        iterations=1,
+    )
+
+    report(
+        *format_table(
+            "T1.E2 — deciding 3-SAT through relative approximation (Thm 4.1)",
+            ["formula", "DPLL satisfiable", "reduction verdict", "agree"],
+            rows,
+        )
+    )
+
+
+def test_absolute_sampler_blind_to_rare_positives(benchmark, report):
+    """Samplers at practical sample counts return an estimate of 0 for
+    satisfiable formulas with tiny p — fine for the absolute column,
+    fatal for the relative one."""
+    from repro.reductions import CNFFormula
+
+    # unit clauses force the unique all-true model: p = 2^-6 = 1/64
+    formula = CNFFormula(6, [(i,) for i in range(1, 7)])
+    instance = build_thm41_instance(formula)
+    p = float(instance.expected_probability())
+
+    rows = []
+    zero_at_small_counts = False
+    for samples in (8, 32, 128, 512):
+        result = sampled_probability(instance, samples=samples, rng=1)
+        if samples <= 8 and result.estimate == 0.0:
+            zero_at_small_counts = True
+        rows.append(
+            [
+                samples,
+                f"{result.estimate:.4f}",
+                f"{p:.4f}",
+                "yes" if result.estimate > 0 else "NO",
+            ]
+        )
+    assert zero_at_small_counts, "tiny sample counts should miss the rare event"
+
+    benchmark.pedantic(
+        lambda: sampled_probability(instance, samples=64, rng=1),
+        rounds=3,
+        iterations=1,
+    )
+
+    report(
+        *format_table(
+            "T1.E2 — absolute sampling vs rare positives (p = 1/64): "
+            "relative information needs ~1/p samples",
+            ["samples", "estimate", "true p", "detects p > 0"],
+            rows,
+        )
+    )

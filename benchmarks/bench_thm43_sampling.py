@@ -1,0 +1,141 @@
+"""Experiment T1.E3 — Table 1 rows 1–2, column "absolute approximation"
+(Theorem 4.3: randomized absolute approximation in PTIME).
+
+Regenerated series:
+
+1. runtime of the sampler at fixed (ε, δ) as the database (graph) grows
+   — polynomial, near-linear per sample;
+2. measured additive error against the exact result at the
+   Chernoff-planned sample count m = ln(1/δ)/(4ε²) — within ε;
+3. the error-vs-samples convergence curve (∝ 1/√m).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.core import evaluate_inflationary_exact, evaluate_inflationary_sampling
+from repro.probability import paper_sample_count
+from repro.workloads import layered_dag, reachability_query
+
+from benchmarks.conftest import format_table
+
+#: Graph sizes of the runtime sweep (nodes ≈ layers × width + 1).
+SIZES = ((2, 2), (3, 3), (4, 4), (5, 6), (6, 8))
+
+
+def test_runtime_polynomial_in_database(benchmark, report):
+    samples = 150
+    rows = []
+    timings = []
+    for layers, width in SIZES:
+        graph = layered_dag(layers, width, rng=layers * 10 + width)
+        query, db = reachability_query(graph, "v0_0", "sink")
+        start = time.perf_counter()
+        result = evaluate_inflationary_sampling(query, db, samples=samples, rng=3)
+        elapsed = time.perf_counter() - start
+        timings.append((len(graph.nodes), elapsed))
+        assert result.estimate == 1.0  # the sink is always reached
+        rows.append(
+            [
+                len(graph.nodes),
+                len(graph.edges),
+                samples,
+                f"{result.details['mean_steps_per_sample']:.1f}",
+                f"{elapsed * 1e3:.0f} ms",
+            ]
+        )
+
+    # Shape: time grows polynomially — compare growth against size ratio
+    # cubed (a generous polynomial envelope, far under exponential).
+    (n0, t0), (n1, t1) = timings[0], timings[-1]
+    assert t1 / t0 < (n1 / n0) ** 4
+
+    graph = layered_dag(*SIZES[1], rng=13)
+    query, db = reachability_query(graph, "v0_0", "sink")
+    benchmark.pedantic(
+        lambda: evaluate_inflationary_sampling(query, db, samples=50, rng=3),
+        rounds=3,
+        iterations=1,
+    )
+
+    report(
+        *format_table(
+            "T1.E3 — Theorem 4.3 sampler runtime vs database size (150 samples)",
+            ["nodes", "edges", "samples", "mean steps/sample", "time"],
+            rows,
+        )
+    )
+
+
+def test_chernoff_guarantee(benchmark, report):
+    graph = layered_dag(3, 2, rng=7)
+    query, db = reachability_query(graph, "v0_0", "v2_0")
+    exact = float(evaluate_inflationary_exact(query, db).probability)
+
+    rows = []
+    for epsilon in (0.1, 0.05):
+        delta = 0.05
+        planned = paper_sample_count(epsilon, delta)
+        result = evaluate_inflationary_sampling(
+            query, db, epsilon=epsilon, delta=delta, rng=11
+        )
+        error = abs(result.estimate - exact)
+        assert error <= epsilon
+        rows.append(
+            [epsilon, delta, planned, f"{result.estimate:.4f}", f"{exact:.4f}", f"{error:.4f}"]
+        )
+
+    benchmark.pedantic(
+        lambda: evaluate_inflationary_sampling(query, db, samples=300, rng=11),
+        rounds=3,
+        iterations=1,
+    )
+
+    report(
+        *format_table(
+            "T1.E3 — Chernoff (ε, δ) guarantee, m = ln(1/δ)/(4ε²)",
+            ["ε", "δ", "planned m", "estimate", "exact", "|error|"],
+            rows,
+        )
+    )
+
+
+def test_error_convergence_curve(benchmark, report):
+    graph = layered_dag(3, 2, rng=7)
+    query, db = reachability_query(graph, "v0_0", "v2_0")
+    exact = float(evaluate_inflationary_exact(query, db).probability)
+
+    rows = []
+    errors = {}
+    repeats = 12
+    for samples in (25, 100, 400, 1600):
+        total_error = 0.0
+        for repeat in range(repeats):
+            result = evaluate_inflationary_sampling(
+                query, db, samples=samples, rng=1000 * samples + repeat
+            )
+            total_error += abs(result.estimate - exact)
+        mean_error = total_error / repeats
+        errors[samples] = mean_error
+        rows.append(
+            [samples, f"{mean_error:.4f}", f"{1.0 / math.sqrt(samples):.4f}"]
+        )
+
+    # Shape: quadrupling the samples should roughly halve the error.
+    assert errors[1600] < errors[25]
+
+    benchmark.pedantic(
+        lambda: evaluate_inflationary_sampling(query, db, samples=100, rng=0),
+        rounds=3,
+        iterations=1,
+    )
+
+    report(
+        *format_table(
+            "T1.E3 — mean |error| vs sample count (expected ∝ 1/√m)",
+            ["samples m", "mean |error|", "1/√m reference"],
+            rows,
+        )
+    )

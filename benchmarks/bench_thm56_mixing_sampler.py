@@ -1,0 +1,179 @@
+"""Experiment T1.E6 — Table 1 row 3, positive side (Theorem 5.6:
+absolute approximation in time polynomial in input size and mixing time).
+
+Regenerated series:
+
+1. measured TV mixing times t(ε) across graph families — fast (complete)
+   vs slow (lazy cycle, barbell) — with the spectral bounds alongside;
+2. sampler cost: kernel applications per run = samples × t(ε), i.e.
+   linear in the mixing time at fixed accuracy;
+3. accuracy vs burn-in: an under-mixed sampler is biased, a t(ε)-mixed
+   one lands within ε of the exact stationary answer;
+4. the Section 5.1 convergence heuristic vs the exact mixing time.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    adaptive_burn_in,
+    evaluate_forever_exact,
+    evaluate_forever_mcmc,
+)
+from repro.markov import (
+    mixing_time,
+    mixing_time_lower_bound,
+    mixing_time_upper_bound,
+    relaxation_time,
+)
+from repro.workloads import barbell_graph, complete_graph, cycle_graph, random_walk_query
+
+from benchmarks.conftest import format_table
+
+
+FAMILIES = {
+    "complete-8": complete_graph(8),
+    "cycle-8": cycle_graph(8),
+    "cycle-16": cycle_graph(16),
+    "barbell-4": barbell_graph(4),
+}
+
+
+def test_mixing_times_across_families(benchmark, report):
+    rows = []
+    measured = {}
+    for name, graph in FAMILIES.items():
+        chain = graph.to_markov_chain()
+        t = mixing_time(chain, epsilon=0.1)
+        measured[name] = t
+        rows.append(
+            [
+                name,
+                chain.size,
+                t,
+                f"{mixing_time_lower_bound(chain, 0.1):.1f}",
+                f"{mixing_time_upper_bound(chain, 0.1):.1f}",
+                f"{relaxation_time(chain):.1f}",
+            ]
+        )
+    # Shape: the complete graph mixes essentially instantly; the longer
+    # cycle is slower than the shorter one; the bottleneck barbell is
+    # slower than the complete graph by a wide margin.
+    assert measured["complete-8"] <= 2
+    assert measured["cycle-16"] > measured["cycle-8"]
+    assert measured["barbell-4"] > 5 * measured["complete-8"]
+
+    benchmark.pedantic(
+        lambda: mixing_time(FAMILIES["cycle-8"].to_markov_chain(), epsilon=0.1),
+        rounds=3,
+        iterations=1,
+    )
+
+    report(
+        *format_table(
+            "T1.E6 — TV mixing times t(0.1) with spectral bounds",
+            ["family", "states", "t(0.1)", "lower bound", "upper bound", "t_rel"],
+            rows,
+        )
+    )
+
+
+def test_sampler_cost_linear_in_mixing_time(benchmark, report):
+    samples = 120
+    rows = []
+    costs = {}
+    for name in ("complete-8", "cycle-8", "cycle-16"):
+        graph = FAMILIES[name]
+        query, db = random_walk_query(graph, graph.nodes[0], graph.nodes[1])
+        t = mixing_time(graph.to_markov_chain(), epsilon=0.1)
+        kernel_applications = samples * t
+        costs[name] = kernel_applications
+        exact = float(evaluate_forever_exact(query, db).probability)
+        result = evaluate_forever_mcmc(query, db, samples=samples, burn_in=t, rng=56)
+        rows.append(
+            [
+                name,
+                t,
+                samples,
+                kernel_applications,
+                f"{result.estimate:.3f}",
+                f"{exact:.3f}",
+            ]
+        )
+    assert costs["cycle-16"] > costs["cycle-8"] > costs["complete-8"]
+
+    graph = FAMILIES["cycle-8"]
+    query, db = random_walk_query(graph, graph.nodes[0], graph.nodes[1])
+    benchmark.pedantic(
+        lambda: evaluate_forever_mcmc(query, db, samples=60, burn_in=20, rng=56),
+        rounds=3,
+        iterations=1,
+    )
+
+    report(
+        *format_table(
+            "T1.E6 — sampler cost = samples × t(ε) (polynomial in mixing time)",
+            ["family", "t(0.1)", "samples", "kernel applications", "estimate", "exact"],
+            rows,
+        )
+    )
+
+
+def test_accuracy_vs_burn_in(benchmark, report):
+    graph = cycle_graph(8)
+    query, db = random_walk_query(graph, "n0", "n4")
+    exact = float(evaluate_forever_exact(query, db).probability)
+    t_mix = mixing_time(graph.to_markov_chain(), epsilon=0.05)
+
+    rows = []
+    errors = {}
+    for burn_in in (0, 2, t_mix // 2, t_mix, 2 * t_mix):
+        result = evaluate_forever_mcmc(query, db, samples=600, burn_in=burn_in, rng=7)
+        error = abs(result.estimate - exact)
+        errors[burn_in] = error
+        rows.append([burn_in, f"{result.estimate:.4f}", f"{exact:.4f}", f"{error:.4f}"])
+    # under-mixed estimates are badly biased; mixed ones are accurate
+    assert errors[0] > 0.1
+    assert errors[t_mix] < 0.05
+    assert errors[2 * t_mix] < 0.05
+
+    benchmark.pedantic(
+        lambda: evaluate_forever_mcmc(query, db, samples=200, burn_in=t_mix, rng=7),
+        rounds=3,
+        iterations=1,
+    )
+
+    report(
+        *format_table(
+            f"T1.E6 — accuracy vs burn-in on cycle-8 (t(0.05) = {t_mix})",
+            ["burn-in", "estimate", "exact", "|error|"],
+            rows,
+        )
+    )
+
+
+def test_adaptive_heuristic_vs_exact_mixing(benchmark, report):
+    rows = []
+    for name in ("complete-8", "cycle-8"):
+        graph = FAMILIES[name]
+        query, db = random_walk_query(graph, graph.nodes[0], graph.nodes[1])
+        t = mixing_time(graph.to_markov_chain(), epsilon=0.1)
+        heuristic = adaptive_burn_in(
+            query, db, rng=9, walkers=64, window=12, tolerance=0.1
+        )
+        rows.append([name, t, heuristic])
+
+    graph = FAMILIES["complete-8"]
+    query, db = random_walk_query(graph, graph.nodes[0], graph.nodes[1])
+    benchmark.pedantic(
+        lambda: adaptive_burn_in(query, db, rng=9, walkers=32, window=10, tolerance=0.12),
+        rounds=2,
+        iterations=1,
+    )
+
+    report(
+        *format_table(
+            "T1.E6 — Section 5.1 convergence heuristic vs exact t(0.1)",
+            ["family", "exact t(0.1)", "heuristic burn-in"],
+            rows,
+        )
+    )

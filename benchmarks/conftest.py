@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one artifact of the paper (a Table 1
+cell, Table 2, a worked example, or an ablation) and *prints* the
+regenerated rows/series so that ``pytest benchmarks/ --benchmark-only``
+produces both timing statistics and the experiment output.  The
+``report`` fixture prints through pytest's capture so the tables are
+visible in normal runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print experiment output live (bypasses pytest output capture)."""
+
+    def _report(*lines: str) -> None:
+        with capsys.disabled():
+            for line in lines:
+                print(line)
+
+    return _report
+
+
+def format_table(title: str, headers: list[str], rows: list[list]) -> list[str]:
+    """Render a small fixed-width table as a list of printable lines."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def render(values: list[str]) -> str:
+        return "  ".join(value.ljust(width) for value, width in zip(values, widths))
+
+    lines = ["", f"=== {title} ===", render(headers), render(["-" * w for w in widths])]
+    lines.extend(render(row) for row in cells)
+    return lines

@@ -1,0 +1,20 @@
+"""Independent baselines the paper's encodings are checked against:
+classical semi-naive datalog, direct PageRank, exact reachability
+oracles, and direct Bayesian-network inference."""
+
+from repro.baselines.bayesnet import enumerate_marginal, sampled_marginal
+from repro.baselines.pagerank import pagerank
+from repro.baselines.reachability import (
+    functional_reachability_probability,
+    walk_hitting_probability,
+)
+from repro.baselines.seminaive import evaluate_classical
+
+__all__ = [
+    "enumerate_marginal",
+    "evaluate_classical",
+    "functional_reachability_probability",
+    "pagerank",
+    "sampled_marginal",
+    "walk_hitting_probability",
+]

@@ -1,0 +1,38 @@
+"""Direct Bayesian-network inference — the Example 3.10 cross-check.
+
+Thin, explicit re-statement of exact enumeration and forward sampling
+over :class:`~repro.workloads.bayesnets.BayesianNetwork`, kept separate
+from the datalog pipeline so benchmark X5 compares two independent
+implementations of the same marginal.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Mapping
+
+from repro.probability.rng import RngLike, make_rng
+from repro.workloads.bayesnets import BayesianNetwork
+
+
+def enumerate_marginal(
+    network: BayesianNetwork, conditions: Mapping[str, int]
+) -> Fraction:
+    """Pr[⋀ node = value] by summing the joint over all completions."""
+    return network.marginal_probability(conditions)
+
+
+def sampled_marginal(
+    network: BayesianNetwork,
+    conditions: Mapping[str, int],
+    samples: int,
+    rng: RngLike = None,
+) -> float:
+    """Forward-sampling estimate of the same marginal."""
+    generator = make_rng(rng)
+    hits = 0
+    for _ in range(samples):
+        valuation = network.sample(generator)
+        if all(valuation[node] == value for node, value in conditions.items()):
+            hits += 1
+    return hits / samples

@@ -1,0 +1,108 @@
+"""Exact reachability baselines for Examples 3.5 / 3.9 (benchmark X3).
+
+The paper's inflationary reachability encodings give every *reached*
+node one repair-key choice of successor, once.  Semantically this draws
+a random functional sub-graph f (one out-edge per reached node, chosen
+with the edge weights) and asks whether the target lies in the
+f-closure of the start node.  :func:`functional_reachability_probability`
+computes that probability exactly by direct enumeration of the choices
+of reached nodes — independent of the query machinery, so it
+cross-checks both the fixpoint and the datalog encodings.
+
+:func:`walk_hitting_probability` computes the *memoryless-walk* hitting
+probability (first-step analysis on the Markov chain).  On DAGs the two
+coincide (no node is ever re-visited); on cyclic graphs they differ —
+the walk re-randomises at each visit while the fixpoint encodings
+freeze each node's choice (see Example 3.6's discussion) — and the
+benchmark exhibits exactly that divergence.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.errors import ReproError
+from repro.markov.absorption import absorption_probabilities
+from repro.markov.chain import MarkovChain
+from repro.probability.distribution import Distribution
+from repro.workloads.graphs import Node, WeightedGraph
+
+
+def functional_reachability_probability(
+    graph: WeightedGraph, start: Node, target: Node
+) -> Fraction:
+    """Pr[target ∈ closure(start)] when each reached node independently
+    fixes one weighted out-edge.
+
+    Exact, by recursion over the frontier of nodes whose choice is still
+    pending; memoised on (reached, pending).  Exponential in the worst
+    case — this is a ground-truth oracle for small instances, not an
+    algorithm the paper claims efficient.
+    """
+    if start not in graph.nodes or target not in graph.nodes:
+        raise ReproError("start/target must be graph nodes")
+    choices: dict[Node, list[tuple[Node, Fraction]]] = {}
+    for node in graph.nodes:
+        outgoing = graph.out_edges(node)
+        total = sum(weight for _s, _t, weight in outgoing)
+        choices[node] = [(t, w / total) for _s, t, w in outgoing]
+
+    memo: dict[tuple[frozenset, frozenset], Fraction] = {}
+
+    def explore(reached: frozenset, pending: frozenset) -> Fraction:
+        if target in reached:
+            return Fraction(1)
+        if not pending:
+            return Fraction(0)
+        key = (reached, pending)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        node = sorted(pending, key=repr)[0]
+        rest = pending - {node}
+        if not choices[node]:
+            # A sink never chooses; the derivation continues elsewhere.
+            result = explore(reached, rest)
+            memo[key] = result
+            return result
+        total = Fraction(0)
+        for successor, probability in choices[node]:
+            if successor in reached:
+                total += probability * explore(reached, rest)
+            else:
+                total += probability * explore(
+                    reached | {successor}, rest | {successor}
+                )
+        memo[key] = total
+        return total
+
+    if not choices[start]:
+        return Fraction(1) if start == target else Fraction(0)
+    return explore(frozenset({start}), frozenset({start}))
+
+
+def walk_hitting_probability(
+    graph: WeightedGraph, start: Node, target: Node
+) -> Fraction:
+    """Pr[a memoryless random walk from ``start`` ever visits
+    ``target``] — first-step analysis, computed by making the target
+    absorbing and solving the absorption system exactly."""
+    if start not in graph.nodes or target not in graph.nodes:
+        raise ReproError("start/target must be graph nodes")
+    if start == target:
+        return Fraction(1)
+    chain = graph.to_markov_chain()
+    transitions = {
+        state: (
+            Distribution.point(state)
+            if state == target
+            else chain.successors(state)
+        )
+        for state in chain.states
+    }
+    absorbed = MarkovChain(transitions)
+    result = Fraction(0)
+    for leaf, probability in absorption_probabilities(absorbed, start).items():
+        if target in leaf:
+            result += probability
+    return result

@@ -1,0 +1,309 @@
+"""Command-line interface.
+
+Evaluate queries of the paper's languages directly from files::
+
+    python -m repro datalog program.dl --db db.json --event 'c(w)'
+    python -m repro datalog program.dl --db db.json --event 'c(w)' --samples 2000 --seed 7
+    python -m repro forever kernel.ra --db db.json --event 'C(a)'
+    python -m repro forever kernel.ra --db db.json --event 'C(a)' --mcmc --epsilon 0.1
+    python -m repro inflationary kernel.ra --db db.json --event 'C(b)'
+    python -m repro chain kernel.ra --db db.json        # structure + mixing report
+
+* ``program.dl`` — probabilistic datalog (see :mod:`repro.datalog.parser`);
+* ``kernel.ra`` — an interpretation in the algebra syntax
+  (see :mod:`repro.relational.parser`): one ``Name := expression`` per line;
+* ``db.json`` — a database in the :mod:`repro.io` JSON format;
+* ``--event`` — a ground atom ``relation(value, ...)``; values parse
+  like datalog constants (numbers exact, ``'quoted strings'``, barewords).
+
+Exact evaluation is the default; pass ``--samples`` or
+``--epsilon/--delta`` for the sampling evaluators (Theorems 4.3 / 5.6).
+``--json`` switches the output to machine-readable JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from fractions import Fraction
+from typing import Any, Sequence
+
+from repro.core import (
+    ForeverQuery,
+    InflationaryQuery,
+    TupleIn,
+    build_state_chain,
+    evaluate_forever_exact,
+    evaluate_forever_lumped,
+    evaluate_forever_mcmc,
+    evaluate_inflationary_exact,
+    evaluate_inflationary_sampling,
+)
+from repro.datalog import evaluate_datalog_exact, evaluate_datalog_sampling, parse_program
+from repro.errors import ReproError
+from repro.io import load_database, load_pc_database
+from repro.markov import classify, is_ergodic, is_irreducible, mixing_time
+from repro.relational.parser import parse_interpretation
+
+_EVENT_RE = re.compile(r"^\s*([A-Za-z_][A-Za-z0-9_]*)\s*\((.*)\)\s*$")
+_RATIONAL_RE = re.compile(r"^[+-]?\d+/\d+$")
+_NUMBER_RE = re.compile(r"^[+-]?\d+(\.\d+)?$")
+
+
+def parse_event(text: str) -> TupleIn:
+    """Parse a ground event atom like ``c(w, 3, '1/2 beer')``."""
+    match = _EVENT_RE.match(text)
+    if match is None:
+        raise ReproError(
+            f"cannot parse event {text!r}; expected relation(value, ...)"
+        )
+    relation, inner = match.groups()
+    values: list[Any] = []
+    if inner.strip():
+        for raw in _split_arguments(inner):
+            values.append(_parse_event_value(raw.strip()))
+    return TupleIn(relation, tuple(values))
+
+
+def _split_arguments(inner: str) -> list[str]:
+    parts: list[str] = []
+    depth_quote = False
+    current = ""
+    for char in inner:
+        if char == "'":
+            depth_quote = not depth_quote
+            current += char
+        elif char == "," and not depth_quote:
+            parts.append(current)
+            current = ""
+        else:
+            current += char
+    parts.append(current)
+    return parts
+
+
+def _parse_event_value(raw: str) -> Any:
+    if raw.startswith("'") and raw.endswith("'") and len(raw) >= 2:
+        return raw[1:-1]
+    if _RATIONAL_RE.match(raw):
+        return Fraction(raw)
+    if _NUMBER_RE.match(raw):
+        return Fraction(raw) if "." in raw else int(raw)
+    return raw
+
+
+def _emit(payload: dict, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(payload, indent=2, sort_keys=True, default=str))
+        return
+    for key, value in payload.items():
+        print(f"{key}: {value}")
+
+
+def _add_sampling_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--samples", type=int, help="fixed Monte-Carlo sample count")
+    parser.add_argument("--epsilon", type=float, help="additive accuracy target")
+    parser.add_argument("--delta", type=float, default=0.05, help="failure probability (default 0.05)")
+    parser.add_argument("--seed", type=int, default=None, help="RNG seed")
+
+
+def _wants_sampling(args: argparse.Namespace) -> bool:
+    return args.samples is not None or args.epsilon is not None
+
+
+def _command_datalog(args: argparse.Namespace) -> dict:
+    with open(args.program, encoding="utf-8") as handle:
+        program = parse_program(handle.read())
+    edb = load_database(args.db)
+    event = parse_event(args.event)
+    pc_tables = load_pc_database(args.pc) if args.pc else None
+    if _wants_sampling(args):
+        result = evaluate_datalog_sampling(
+            program,
+            edb,
+            event,
+            pc_tables=pc_tables,
+            epsilon=args.epsilon or 0.05,
+            delta=args.delta,
+            samples=args.samples,
+            rng=args.seed,
+        )
+        return {
+            "mode": "sampling (Theorem 4.3)",
+            "estimate": result.estimate,
+            "samples": result.samples,
+            "epsilon": result.epsilon,
+            "delta": result.delta,
+        }
+    result = evaluate_datalog_exact(
+        program, edb, event, pc_tables=pc_tables, max_states=args.max_states
+    )
+    return {
+        "mode": "exact (Proposition 4.4)",
+        "probability": str(result.probability),
+        "probability_float": float(result.probability),
+        "states_explored": result.states_explored,
+        "pc_worlds": result.details.get("pc_worlds", 1),
+    }
+
+
+def _load_kernel_and_event(args: argparse.Namespace):
+    with open(args.kernel, encoding="utf-8") as handle:
+        kernel = parse_interpretation(handle.read())
+    db = load_database(args.db)
+    event = parse_event(args.event)
+    return kernel, db, event
+
+
+def _command_forever(args: argparse.Namespace) -> dict:
+    kernel, db, event = _load_kernel_and_event(args)
+    query = ForeverQuery(kernel, event)
+    if args.mcmc or _wants_sampling(args):
+        result = evaluate_forever_mcmc(
+            query,
+            db,
+            epsilon=args.epsilon or 0.1,
+            delta=args.delta,
+            samples=args.samples,
+            burn_in=args.burn_in,
+            rng=args.seed,
+        )
+        return {
+            "mode": "MCMC (Theorem 5.6)",
+            "estimate": result.estimate,
+            "samples": result.samples,
+            "burn_in": result.details["burn_in"],
+        }
+    if args.lumped:
+        result = evaluate_forever_lumped(query, db, max_states=args.max_states)
+        return {
+            "mode": "exact (lumped quotient)",
+            "probability": str(result.probability),
+            "probability_float": float(result.probability),
+            "full_chain_states": result.details["full_states"],
+            "quotient_states": result.details["quotient_states"],
+        }
+    result = evaluate_forever_exact(query, db, max_states=args.max_states)
+    return {
+        "mode": f"exact ({result.method})",
+        "probability": str(result.probability),
+        "probability_float": float(result.probability),
+        "chain_states": result.states_explored,
+        "irreducible": result.details["irreducible"],
+    }
+
+
+def _command_inflationary(args: argparse.Namespace) -> dict:
+    kernel, db, event = _load_kernel_and_event(args)
+    query = InflationaryQuery(kernel, event)
+    if _wants_sampling(args):
+        result = evaluate_inflationary_sampling(
+            query,
+            db,
+            epsilon=args.epsilon or 0.05,
+            delta=args.delta,
+            samples=args.samples,
+            rng=args.seed,
+        )
+        return {
+            "mode": "sampling (Theorem 4.3)",
+            "estimate": result.estimate,
+            "samples": result.samples,
+        }
+    result = evaluate_inflationary_exact(query, db, max_states=args.max_states)
+    return {
+        "mode": "exact (Proposition 4.4)",
+        "probability": str(result.probability),
+        "probability_float": float(result.probability),
+        "states_explored": result.states_explored,
+    }
+
+
+def _command_chain(args: argparse.Namespace) -> dict:
+    with open(args.kernel, encoding="utf-8") as handle:
+        kernel = parse_interpretation(handle.read())
+    db = load_database(args.db)
+    chain = build_state_chain(kernel, db, max_states=args.max_states)
+    summary: dict = dict(classify(chain))
+    if is_irreducible(chain) and is_ergodic(chain):
+        summary["mixing_time_0.25"] = mixing_time(chain, epsilon=0.25)
+        summary["mixing_time_0.05"] = mixing_time(chain, epsilon=0.05)
+    return summary
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Probabilistic fixpoint / Markov chain query languages (PODS 2010)",
+    )
+    # --json is accepted both before and after the subcommand.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--json", action="store_true", help="JSON output")
+    parser.add_argument("--json", action="store_true", help="JSON output")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    datalog = subparsers.add_parser(
+        "datalog", help="evaluate a probabilistic datalog query", parents=[common]
+    )
+    datalog.add_argument("program", help="datalog program file")
+    datalog.add_argument("--db", required=True, help="database JSON file")
+    datalog.add_argument("--event", required=True, help="ground event atom, e.g. 'c(w)'")
+    datalog.add_argument("--pc", help="pc-table database JSON (Definition 2.1)")
+    datalog.add_argument("--max-states", type=int, default=100_000)
+    _add_sampling_arguments(datalog)
+    datalog.set_defaults(handler=_command_datalog)
+
+    forever = subparsers.add_parser(
+        "forever", help="evaluate a non-inflationary (forever) query", parents=[common]
+    )
+    forever.add_argument("kernel", help="interpretation file (Name := expression lines)")
+    forever.add_argument("--db", required=True)
+    forever.add_argument("--event", required=True)
+    forever.add_argument("--mcmc", action="store_true", help="force the Theorem 5.6 sampler")
+    forever.add_argument(
+        "--lumped",
+        action="store_true",
+        help="evaluate exactly on the event-respecting lumped quotient",
+    )
+    forever.add_argument("--burn-in", type=int, default=None)
+    forever.add_argument("--max-states", type=int, default=20_000)
+    _add_sampling_arguments(forever)
+    forever.set_defaults(handler=_command_forever)
+
+    inflationary = subparsers.add_parser(
+        "inflationary", help="evaluate an inflationary query", parents=[common]
+    )
+    inflationary.add_argument("kernel")
+    inflationary.add_argument("--db", required=True)
+    inflationary.add_argument("--event", required=True)
+    inflationary.add_argument("--max-states", type=int, default=100_000)
+    _add_sampling_arguments(inflationary)
+    inflationary.set_defaults(handler=_command_inflationary)
+
+    chain = subparsers.add_parser(
+        "chain", help="analyse the induced database-state chain", parents=[common]
+    )
+    chain.add_argument("kernel")
+    chain.add_argument("--db", required=True)
+    chain.add_argument("--max-states", type=int, default=20_000)
+    chain.set_defaults(handler=_command_chain)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+    try:
+        payload = args.handler(args)
+    except (ReproError, OSError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    _emit(payload, args.json)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,78 @@
+"""Building the Markov chain over database states (Section 3.1).
+
+A transition kernel Q and an initial database A induce a Markov chain M
+whose states are database instances: the paper's semantic object for
+non-inflationary queries.  :func:`build_state_chain` materialises the
+reachable part of M by breadth-first exploration, evaluating Q exactly
+on each discovered state.
+
+The chain can have exponentially many states in the database size
+(Proposition 5.4's analysis); ``max_states`` is a hard safety limit and
+exceeding it raises :class:`~repro.errors.StateSpaceLimitExceeded` so
+callers can fall back to sampling (Theorem 5.6).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.interpretation import Interpretation
+from repro.errors import StateSpaceLimitExceeded
+from repro.markov.chain import MarkovChain
+from repro.probability.distribution import Distribution
+from repro.relational.database import Database
+
+#: Default cap on the number of database states explored.
+DEFAULT_MAX_STATES = 20_000
+
+
+def build_state_chain(
+    kernel: Interpretation,
+    initial: Database,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> MarkovChain[Database]:
+    """The reachable Markov chain over database states from ``initial``.
+
+    Every reachable state's transition row is the exact distribution
+    Q(state); the result is a closed chain suitable for the exact
+    machinery of :mod:`repro.markov`.
+
+    Examples
+    --------
+    >>> from repro.relational import Relation, rel, repair_key, project, rename, join
+    >>> db = Database({
+    ...     "C": Relation(("I",), [("a",)]),
+    ...     "E": Relation(("I", "J", "P"), [("a", "b", 1), ("b", "a", 1)]),
+    ... })
+    >>> walk = rename(project(repair_key(join(rel("C"), rel("E")), ("I",), "P"), "J"), J="I")
+    >>> chain = build_state_chain(Interpretation({"C": walk}), db)
+    >>> chain.size
+    2
+    """
+    kernel.check_schema(initial)
+    transitions: dict[Database, Distribution[Database]] = {}
+    queue: deque[Database] = deque([initial])
+    discovered = {initial}
+    while queue:
+        state = queue.popleft()
+        row = kernel.transition(state)
+        transitions[state] = row
+        for successor in row:
+            if successor not in discovered:
+                if len(discovered) >= max_states:
+                    raise StateSpaceLimitExceeded(
+                        f"state chain exceeds max_states={max_states}; "
+                        "raise the limit or use the sampling evaluator"
+                    )
+                discovered.add(successor)
+                queue.append(successor)
+    return MarkovChain(transitions)
+
+
+def count_reachable_states(
+    kernel: Interpretation,
+    initial: Database,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> int:
+    """Number of reachable database states (bounded exploration)."""
+    return build_state_chain(kernel, initial, max_states).size

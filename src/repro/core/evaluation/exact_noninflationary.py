@@ -1,0 +1,66 @@
+"""Exact evaluation of non-inflationary queries (Prop 5.4 / Thm 5.5).
+
+The kernel and the initial database induce a finite Markov chain over
+database states (Section 3.1).  This evaluator materialises the
+reachable chain exactly, then:
+
+* if the chain is irreducible (hence, being finite, positively
+  recurrent), computes the unique stationary distribution by exact
+  Gaussian elimination and sums the weights of the event states —
+  Proposition 5.4;
+* otherwise computes the SCC condensation, the exact absorption
+  probability of each leaf component, and the per-leaf stationary
+  distribution — Theorem 5.5 (see :mod:`repro.markov.absorption` for
+  the path-enumeration → linear-system substitution note).
+
+The returned probability is the paper's Definition 3.2 Cesàro limit
+exactly, periodic chains included.
+"""
+
+from __future__ import annotations
+
+from repro.core.chain_builder import DEFAULT_MAX_STATES, build_state_chain
+from repro.core.evaluation.results import ExactResult
+from repro.core.queries import ForeverQuery
+from repro.markov.absorption import long_run_event_probability
+from repro.markov.analysis import classify
+from repro.relational.database import Database
+
+
+def evaluate_forever_exact(
+    query: ForeverQuery,
+    initial: Database,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> ExactResult:
+    """Exact result of a forever-query.
+
+    Raises :class:`~repro.errors.StateSpaceLimitExceeded` when the
+    reachable chain outgrows ``max_states`` (it can be exponential in
+    the database size); fall back to
+    :func:`repro.core.evaluation.sampling_noninflationary.evaluate_forever_mcmc`
+    in that case.
+
+    Examples
+    --------
+    >>> from repro.relational import Relation, rel, repair_key, project, rename, join
+    >>> from repro.core.interpretation import Interpretation
+    >>> from repro.core.events import TupleIn
+    >>> db = Database({
+    ...     "C": Relation(("I",), [("a",)]),
+    ...     "E": Relation(("I", "J", "P"), [("a", "b", 1), ("b", "a", 1)]),
+    ... })
+    >>> walk = rename(project(repair_key(join(rel("C"), rel("E")), ("I",), "P"), "J"), J="I")
+    >>> q = ForeverQuery(Interpretation({"C": walk}), TupleIn("C", ("b",)))
+    >>> evaluate_forever_exact(q, db).probability
+    Fraction(1, 2)
+    """
+    chain = build_state_chain(query.kernel, initial, max_states=max_states)
+    probability = long_run_event_probability(chain, initial, query.event.holds)
+    structure = classify(chain)
+    method = "prop-5.4" if structure["irreducible"] else "thm-5.5"
+    return ExactResult(
+        probability=probability,
+        states_explored=chain.size,
+        method=method,
+        details=structure,
+    )

@@ -1,0 +1,68 @@
+"""Float64 forever-query evaluation for larger chains.
+
+Same structure as
+:func:`repro.core.evaluation.exact_noninflationary.evaluate_forever_exact`
+(build the database-state chain, absorb into leaf SCCs, per-leaf
+stationary distributions), but the linear systems are solved in float64
+via numpy instead of exact rationals.  Use when the chain has hundreds
+to thousands of states — the exact solver's rational arithmetic becomes
+the bottleneck well before the chain construction does (benchmark A4
+quantifies the crossover).
+
+The result is returned as a :class:`SamplingResult`-free plain
+:class:`NumericResult` with an estimated numerical-error bound of the
+solver (not a statistical guarantee — the computation is deterministic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.chain_builder import DEFAULT_MAX_STATES, build_state_chain
+from repro.core.queries import ForeverQuery
+from repro.markov.analysis import classify
+from repro.markov.numeric import long_run_event_probability_float
+from repro.relational.database import Database
+
+
+@dataclass(frozen=True)
+class NumericResult:
+    """A deterministically computed float64 query probability."""
+
+    probability: float
+    states_explored: int
+    method: str
+    details: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability {self.probability} outside [0, 1]")
+
+
+def evaluate_forever_numeric(
+    query: ForeverQuery,
+    initial: Database,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> NumericResult:
+    """Float64 result of a forever-query (Prop 5.4 / Thm 5.5 structure).
+
+    Examples
+    --------
+    >>> from repro.workloads import cycle_graph, random_walk_query
+    >>> query, db = random_walk_query(cycle_graph(4), "n0", "n2")
+    >>> round(evaluate_forever_numeric(query, db).probability, 9)
+    0.25
+    """
+    chain = build_state_chain(query.kernel, initial, max_states=max_states)
+    probability = long_run_event_probability_float(
+        chain, initial, query.event.holds
+    )
+    structure = classify(chain)
+    method = "prop-5.4-float" if structure["irreducible"] else "thm-5.5-float"
+    return NumericResult(
+        probability=probability,
+        states_explored=chain.size,
+        method=method,
+        details=structure,
+    )

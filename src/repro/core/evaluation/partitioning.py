@@ -1,0 +1,236 @@
+"""The Section 5.1 partitioning optimisation.
+
+Large queries often consist of independent parts: the derivation of one
+tuple never changes the probability of deriving another.  The paper's
+pre-processing discovers this independence with provenance, splits the
+database into dependency classes, evaluates the query on each class
+separately, and recombines:
+
+    Pr(event) = 1 − Π_classes Pr(event does not hold | class alone).
+
+Each class's Markov chain is over a fragment of the database, so its
+state space is roughly the |classes|-th root of the joint one — an
+exponential saving when the work genuinely decomposes (benchmark A1).
+
+pc-tables participate: c-table entries sharing a random variable are
+mutually dependent, and each class keeps only the variables its entries
+mention.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.chain_builder import DEFAULT_MAX_STATES
+from repro.core.evaluation.exact_noninflationary import evaluate_forever_exact
+from repro.core.evaluation.provenance import (
+    TupleId,
+    evaluate_with_provenance,
+    initial_provenance,
+)
+from repro.core.evaluation.results import ExactResult
+from repro.core.queries import ForeverQuery
+from repro.ctables.pctable import CTable, PCDatabase
+from repro.errors import EvaluationError
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+#: Safety cap on the inflationary provenance iteration.
+DEFAULT_MAX_PROVENANCE_ITERATIONS = 10_000
+
+
+class _UnionFind:
+    """Union-find over hashable items, creating singletons on demand."""
+
+    def __init__(self) -> None:
+        self._parent: dict[TupleId, TupleId] = {}
+
+    def find(self, item: TupleId) -> TupleId:
+        parent = self._parent.setdefault(item, item)
+        if parent == item:
+            return item
+        root = self.find(parent)
+        self._parent[item] = root
+        return root
+
+    def union(self, left: TupleId, right: TupleId) -> None:
+        self._parent[self.find(left)] = self.find(right)
+
+    def classes(self) -> list[frozenset[TupleId]]:
+        buckets: dict[TupleId, set[TupleId]] = {}
+        for item in self._parent:
+            buckets.setdefault(self.find(item), set()).add(item)
+        return [frozenset(members) for members in buckets.values()]
+
+
+def _pc_tuple_ids(pcdb: PCDatabase) -> tuple[dict[str, Relation], _UnionFind]:
+    """All-candidate relations for the pc-tables plus variable couplings."""
+    relations: dict[str, Relation] = {}
+    uf = _UnionFind()
+    for name, table in pcdb.tables.items():
+        relations[name] = Relation(table.columns, [row for row, _cond in table.entries])
+        by_variable: dict[str, TupleId] = {}
+        for row, cond in table.entries:
+            tid: TupleId = (name, row)
+            uf.find(tid)
+            for variable in cond.variables():
+                if variable in by_variable:
+                    uf.union(tid, by_variable[variable])
+                else:
+                    by_variable[variable] = tid
+    return relations, uf
+
+
+def compute_partition(
+    query: ForeverQuery,
+    initial: Database,
+    max_iterations: int = DEFAULT_MAX_PROVENANCE_ITERATIONS,
+) -> list[frozenset[TupleId]]:
+    """The dependency classes of the base tuples (Section 5.1).
+
+    Runs the kernel inflationarily with provenance (repair-key keeps all
+    candidates), to a fixpoint; every identifier set that labels some
+    derivable tuple couples its members into one class.  Overlapping
+    sets are merged (union-find), yielding a genuine partition — a
+    conservative refinement of the paper's "maximal identifier sets".
+    """
+    kernel = query.kernel
+    uf = _UnionFind()
+
+    state = initial
+    if kernel.pc_tables is not None:
+        pc_relations, pc_uf = _pc_tuple_ids(kernel.pc_tables)
+        uf = pc_uf
+        state = state.with_relations(pc_relations)
+    kernel.check_schema(state)
+
+    provenance = initial_provenance(state)
+    for tuple_ids in provenance.values():
+        for ids in tuple_ids.values():
+            for tid in ids:
+                uf.find(tid)
+
+    def couple(ids: frozenset[TupleId]) -> None:
+        ids_list = sorted(ids)
+        for other in ids_list[1:]:
+            uf.union(ids_list[0], other)
+
+    for _ in range(max_iterations):
+        changed = False
+        updates: dict[str, Relation] = {}
+        for name in sorted(kernel.queries):
+            result, result_prov = evaluate_with_provenance(
+                kernel.queries[name], state, provenance
+            )
+            old = state[name]
+            grown = old.union(result) if old.columns == result.columns else result
+            updates[name] = grown
+            target = provenance.setdefault(name, {})
+            for row, ids in result_prov.items():
+                previous = target.get(row)
+                if previous is None:
+                    target[row] = ids
+                    changed = True
+                elif not ids <= previous:
+                    # A re-derivation from other tuples: the tuple's
+                    # presence couples both derivations' sources.
+                    target[row] = previous | ids
+                    changed = True
+                couple(target[row])
+        new_state = state.with_relations(updates)
+        if not changed and new_state == state:
+            break
+        state = new_state
+    else:
+        raise EvaluationError(
+            f"provenance iteration did not reach a fixpoint within "
+            f"{max_iterations} rounds"
+        )
+
+    return uf.classes()
+
+
+def _restrict_database(
+    initial: Database, keep: frozenset[TupleId], pc_names: frozenset[str]
+) -> Database:
+    restricted = {}
+    for name in initial.names():
+        relation = initial[name]
+        if name in pc_names:
+            # pc relations are re-instantiated by the kernel; start empty.
+            restricted[name] = Relation.empty(relation.columns)
+        else:
+            rows = [row for row in relation if (name, row) in keep]
+            restricted[name] = Relation(relation.columns, rows)
+    return Database(restricted)
+
+
+def _restrict_pc(pcdb: PCDatabase, keep: frozenset[TupleId]) -> PCDatabase | None:
+    tables = {}
+    variables_used: set[str] = set()
+    for name, table in pcdb.tables.items():
+        entries = [
+            (row, cond) for row, cond in table.entries if (name, row) in keep
+        ]
+        tables[name] = CTable(table.columns, entries)
+        for _row, cond in entries:
+            variables_used |= cond.variables()
+    variables = {v: pcdb.variables[v] for v in sorted(variables_used)}
+    return PCDatabase(tables, variables)
+
+
+def evaluate_forever_partitioned(
+    query: ForeverQuery,
+    initial: Database,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> ExactResult:
+    """Exact forever-query evaluation through the Section 5.1 partition.
+
+    Evaluates the query on each dependency class alone and combines the
+    per-class miss probabilities multiplicatively.  Agrees exactly with
+    :func:`~repro.core.evaluation.exact_noninflationary.evaluate_forever_exact`
+    (benchmark A1 verifies this) while exploring the *sum* rather than
+    the *product* of the per-class state spaces.
+    """
+    from repro.core.interpretation import Interpretation
+
+    kernel = query.kernel
+    classes = compute_partition(query, initial)
+    pc_names = frozenset(kernel.pc_relation_names())
+
+    miss = Fraction(1)
+    total_states = 0
+    class_details = []
+    for dependency_class in classes:
+        restricted_db = _restrict_database(initial, dependency_class, pc_names)
+        if kernel.pc_tables is not None:
+            restricted_kernel = Interpretation(
+                kernel.queries, pc_tables=_restrict_pc(kernel.pc_tables, dependency_class)
+            )
+            # Seed the pc relations with one instantiation so schemas check.
+            pc = restricted_kernel.pc_tables
+            seed = {
+                name: table.instantiate(
+                    {v: next(iter(pc.variables[v])) for v in table.variables()}
+                )
+                for name, table in pc.tables.items()
+            }
+            restricted_db = restricted_db.with_relations(seed)
+        else:
+            restricted_kernel = kernel
+        restricted_query = ForeverQuery(restricted_kernel, query.event)
+        result = evaluate_forever_exact(
+            restricted_query, restricted_db, max_states=max_states
+        )
+        miss *= 1 - result.probability
+        total_states += result.states_explored
+        class_details.append(
+            {"class_size": len(dependency_class), "states": result.states_explored}
+        )
+
+    return ExactResult(
+        probability=1 - miss,
+        states_explored=total_states,
+        method="sec-5.1-partitioned",
+        details={"classes": len(classes), "per_class": class_details},
+    )

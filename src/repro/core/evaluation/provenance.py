@@ -1,0 +1,173 @@
+"""Provenance tracking for the Section 5.1 partitioning optimisation.
+
+The paper's pre-processing stage assigns each base tuple a singleton
+identifier set, evaluates all rules inflationarily (ignoring the
+probabilistic choices) while propagating identifiers — a derived tuple
+gets the union of the identifiers of the tuples used to derive it — and
+then reads the dependency classes off the resulting identifier sets.
+
+This module implements the identifier propagation for full algebra
+expressions.  Design choices (all *conservative*: they can only merge
+classes, never split dependent tuples apart, so partitioned evaluation
+stays correct):
+
+* projection / union collisions take the union of the contributing
+  identifier sets;
+* a tuple surviving a difference additionally depends on everything the
+  subtracted side could derive (negation reads the right side's
+  content);
+* ``repair-key`` keeps *all* rows (any of them could be chosen) and
+  merges the identifiers of each key group — whether one group member
+  is chosen is determined jointly with its siblings, so they are
+  mutually dependent.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import AlgebraError
+from repro.relational.algebra import (
+    Difference,
+    Expression,
+    ExtendedProject,
+    Literal,
+    NaturalJoin,
+    Product,
+    Project,
+    Rename,
+    RelationRef,
+    RepairKey,
+    Select,
+    Union,
+)
+from repro.relational.database import Database
+from repro.relational.relation import Relation, Row
+
+#: A base-tuple identifier: (relation name, row).
+TupleId = tuple[str, Row]
+#: Identifier sets attached to the rows of one relation.
+ProvMap = dict[Row, frozenset[TupleId]]
+
+_EMPTY: frozenset[TupleId] = frozenset()
+
+
+def initial_provenance(db: Database) -> dict[str, ProvMap]:
+    """Singleton identifier sets for every base tuple of ``db``."""
+    return {
+        name: {row: frozenset({(name, row)}) for row in db[name]}
+        for name in db.names()
+    }
+
+
+def _merge(target: ProvMap, row: Row, ids: frozenset[TupleId]) -> None:
+    target[row] = target.get(row, _EMPTY) | ids
+
+
+def evaluate_with_provenance(
+    expr: Expression,
+    db: Database,
+    provenance: Mapping[str, ProvMap],
+) -> tuple[Relation, ProvMap]:
+    """Evaluate ``expr`` with repair-key read as "keep everything",
+    returning the result relation and per-row identifier sets."""
+    if isinstance(expr, RelationRef):
+        relation = db[expr.name]
+        known = provenance.get(expr.name, {})
+        return relation, {row: known.get(row, _EMPTY) for row in relation}
+
+    if isinstance(expr, Literal):
+        return expr.relation, {row: _EMPTY for row in expr.relation}
+
+    if isinstance(expr, Select):
+        child, child_prov = evaluate_with_provenance(expr.child, db, provenance)
+        cols = child.columns
+        kept = [
+            row for row in child if expr.predicate.evaluate(dict(zip(cols, row)))
+        ]
+        return Relation(cols, kept), {row: child_prov[row] for row in kept}
+
+    if isinstance(expr, Project):
+        child, child_prov = evaluate_with_provenance(expr.child, db, provenance)
+        indices = [child.column_index(c) for c in expr.columns]
+        out_prov: ProvMap = {}
+        for row in child:
+            image = tuple(row[i] for i in indices)
+            _merge(out_prov, image, child_prov[row])
+        return Relation(expr.columns, out_prov.keys()), out_prov
+
+    if isinstance(expr, Rename):
+        child, child_prov = evaluate_with_provenance(expr.child, db, provenance)
+        out_cols = tuple(expr.mapping.get(c, c) for c in child.columns)
+        return Relation(out_cols, child.rows), dict(child_prov)
+
+    if isinstance(expr, ExtendedProject):
+        child, child_prov = evaluate_with_provenance(expr.child, db, provenance)
+        sources = []
+        for _name, (kind, value) in expr.outputs:
+            if kind == "col":
+                sources.append(("col", child.column_index(value)))
+            else:
+                sources.append(("const", value))
+        out_cols = tuple(name for name, _source in expr.outputs)
+        out_prov: ProvMap = {}
+        for row in child:
+            image = tuple(
+                row[value] if kind == "col" else value for kind, value in sources
+            )
+            _merge(out_prov, image, child_prov[row])
+        return Relation(out_cols, out_prov.keys()), out_prov
+
+    if isinstance(expr, Union):
+        left, left_prov = evaluate_with_provenance(expr.left, db, provenance)
+        right, right_prov = evaluate_with_provenance(expr.right, db, provenance)
+        out_prov = dict(left_prov)
+        for row, ids in right_prov.items():
+            _merge(out_prov, row, ids)
+        return left.union(right), out_prov
+
+    if isinstance(expr, Difference):
+        left, left_prov = evaluate_with_provenance(expr.left, db, provenance)
+        right, right_prov = evaluate_with_provenance(expr.right, db, provenance)
+        negative: frozenset[TupleId] = _EMPTY
+        for ids in right_prov.values():
+            negative |= ids
+        survivors = left.difference(right)
+        return survivors, {row: left_prov[row] | negative for row in survivors}
+
+    if isinstance(expr, (Product, NaturalJoin)):
+        left, left_prov = evaluate_with_provenance(expr.left, db, provenance)
+        right, right_prov = evaluate_with_provenance(expr.right, db, provenance)
+        if isinstance(expr, Product):
+            shared: list[str] = []
+        else:
+            shared = [c for c in left.columns if c in right.columns]
+        out_cols = left.columns + tuple(
+            c for c in right.columns if c not in left.columns
+        )
+        lidx = [left.column_index(c) for c in shared]
+        ridx = [right.column_index(c) for c in shared]
+        rkeep = [i for i, c in enumerate(right.columns) if c not in left.columns]
+        out_prov = {}
+        for lrow in left:
+            lkey = tuple(lrow[i] for i in lidx)
+            for rrow in right:
+                if tuple(rrow[i] for i in ridx) != lkey:
+                    continue
+                combined = lrow + tuple(rrow[i] for i in rkeep)
+                _merge(out_prov, combined, left_prov[lrow] | right_prov[rrow])
+        return Relation(out_cols, out_prov.keys()), out_prov
+
+    if isinstance(expr, RepairKey):
+        child, child_prov = evaluate_with_provenance(expr.child, db, provenance)
+        key_idx = [child.column_index(c) for c in expr.key]
+        groups: dict[tuple, frozenset[TupleId]] = {}
+        for row in child:
+            gkey = tuple(row[i] for i in key_idx)
+            groups[gkey] = groups.get(gkey, _EMPTY) | child_prov[row]
+        out_prov = {
+            row: groups[tuple(row[i] for i in key_idx)] for row in child
+        }
+        return child, out_prov
+
+    raise AlgebraError(f"cannot track provenance through {expr!r}")

@@ -1,0 +1,79 @@
+"""Result types returned by the query evaluators.
+
+Exact evaluators return :class:`ExactResult` with an exact rational
+probability; sampling evaluators return :class:`SamplingResult` with the
+estimate and the (ε, δ) guarantee it was planned for.  Both carry a
+``details`` mapping with algorithm-specific diagnostics (state counts,
+mixing times, per-world breakdowns) consumed by the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Mapping
+
+
+@dataclass(frozen=True)
+class ExactResult:
+    """An exactly computed query probability.
+
+    Attributes
+    ----------
+    probability:
+        The query result, as an exact rational.
+    states_explored:
+        Number of distinct states the algorithm expanded (computation
+        tree states for inflationary queries, Markov-chain states for
+        forever-queries).
+    method:
+        Which algorithm produced the result (e.g. ``"prop-4.4"``).
+    details:
+        Extra diagnostics (chain classification, world counts, ...).
+    """
+
+    probability: Fraction
+    states_explored: int
+    method: str
+    details: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.probability <= 1:
+            raise ValueError(f"probability {self.probability} outside [0, 1]")
+
+
+@dataclass(frozen=True)
+class SamplingResult:
+    """A Monte-Carlo estimate of a query probability.
+
+    Attributes
+    ----------
+    estimate:
+        The empirical probability (successes / samples).
+    samples:
+        Number of independent samples drawn.
+    positive:
+        Number of samples on which the event held.
+    epsilon / delta:
+        The additive accuracy and failure probability the sample count
+        was planned for (``None`` when the caller fixed ``samples``
+        directly).
+    method:
+        Which algorithm produced the result (e.g. ``"thm-4.3"``).
+    details:
+        Extra diagnostics (burn-in, mixing time, steps per sample, ...).
+    """
+
+    estimate: float
+    samples: int
+    positive: int
+    epsilon: float | None
+    delta: float | None
+    method: str
+    details: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.samples < 1:
+            raise ValueError("a sampling result needs at least one sample")
+        if not 0 <= self.positive <= self.samples:
+            raise ValueError("positive count outside [0, samples]")

@@ -1,0 +1,110 @@
+"""Finite-horizon (transient) analysis of forever-loops.
+
+Definition 3.2's result is a limit; these helpers compute the exact
+finite-time quantities that converge to it, which is what one plots to
+*see* the convergence (e.g. the Theorem 5.1 occupancy curves, or the
+burn-in bias of an under-mixed sampler):
+
+* :func:`event_probability_series` — Pr[event holds at step t], exactly,
+  for t = 0..horizon;
+* :func:`event_occupancy_series` — the running Cesàro average
+  (1/t)·Σ_{k≤t} Pr[event at step k], the quantity inside the
+  Definition 3.2 limit.
+
+Also here: :func:`query_pc_database` — one-shot possible-worlds
+evaluation of an algebra query over a pc-table database (the
+non-recursive Section 2.2 setting).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.chain_builder import DEFAULT_MAX_STATES, build_state_chain
+from repro.core.queries import ForeverQuery
+from repro.ctables.pctable import PCDatabase
+from repro.errors import EvaluationError
+from repro.probability.distribution import Distribution, as_fraction
+from repro.relational.algebra import Expression
+from repro.relational.database import Database
+from repro.relational.prob_eval import enumerate_worlds
+from repro.relational.relation import Relation
+
+
+def event_probability_series(
+    query: ForeverQuery,
+    initial: Database,
+    horizon: int,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> list[Fraction]:
+    """Exact Pr[event at step t] for t = 0, 1, ..., horizon.
+
+    Entry 0 is the event's value on the initial state (0 or 1); for an
+    ergodic kernel the series converges to the Definition 3.2 result.
+
+    Examples
+    --------
+    >>> from repro.workloads import cycle_graph, random_walk_query
+    >>> query, db = random_walk_query(cycle_graph(3), "n0", "n1")
+    >>> event_probability_series(query, db, 2)
+    [Fraction(0, 1), Fraction(1, 2), Fraction(1, 2)]
+    """
+    if horizon < 0:
+        raise EvaluationError("horizon must be non-negative")
+    chain = build_state_chain(query.kernel, initial, max_states=max_states)
+    current: Distribution[Database] = Distribution.point(initial)
+    series = [as_fraction(current.probability_of(query.event.holds))]
+    for _ in range(horizon):
+        current = chain.step_distribution(current)
+        series.append(as_fraction(current.probability_of(query.event.holds)))
+    return series
+
+
+def event_occupancy_series(
+    query: ForeverQuery,
+    initial: Database,
+    horizon: int,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> list[Fraction]:
+    """The running time-average of the event probability — the inner
+    quantity of Definition 3.2's limit — for t = 1, ..., horizon.
+
+    Entry t−1 is ``(1/t) Σ_{k=1..t} Pr[event at step k]`` (the paper's
+    average starts after the first transition).
+    """
+    if horizon < 1:
+        raise EvaluationError("occupancy needs at least one step")
+    pointwise = event_probability_series(
+        query, initial, horizon, max_states=max_states
+    )
+    averages: list[Fraction] = []
+    running = Fraction(0)
+    for t, value in enumerate(pointwise[1:], start=1):
+        running += value
+        averages.append(running / t)
+    return averages
+
+
+def query_pc_database(
+    expr: Expression, pcdb: PCDatabase
+) -> Distribution[Relation]:
+    """Possible-worlds result of an algebra query over a pc-database.
+
+    The non-recursive Section 2.2 setting: the pc-table valuation is
+    drawn once, the (possibly repair-key-bearing) query is evaluated in
+    that world, and the two layers of choice compose.  Worlds with
+    equal result relations merge.
+
+    Examples
+    --------
+    >>> from repro.ctables import CTable, PCDatabase, boolean_variable, var_eq
+    >>> from repro.relational import rel, project
+    >>> pcdb = PCDatabase(
+    ...     {"A": CTable(("L",), [(("t",), var_eq("x", 1))])},
+    ...     {"x": boolean_variable()},
+    ... )
+    >>> worlds = query_pc_database(project(rel("A"), "L"), pcdb)
+    >>> len(worlds)
+    2
+    """
+    return pcdb.possible_worlds().bind(lambda world: enumerate_worlds(expr, world))

@@ -1,0 +1,147 @@
+"""Query events (Definition 3.2).
+
+The paper assumes query events of the form ``t ∈ R`` — a low-complexity
+Boolean test on the current database state.  :class:`TupleIn` implements
+exactly that form; boolean combinations and a non-emptiness test are
+provided as conservative extensions (they are still low-complexity
+Boolean queries, which is all Definition 3.2 requires).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.relational.database import Database
+
+
+class QueryEvent:
+    """Base class of query events: a Boolean test on a database state."""
+
+    def holds(self, db: Database) -> bool:
+        """Decide the event on one database state."""
+        raise NotImplementedError
+
+    def __and__(self, other: "QueryEvent") -> "QueryEvent":
+        return AndEvent(self, other)
+
+    def __or__(self, other: "QueryEvent") -> "QueryEvent":
+        return OrEvent(self, other)
+
+    def __invert__(self) -> "QueryEvent":
+        return NotEvent(self)
+
+    def __call__(self, db: Database) -> bool:
+        return self.holds(db)
+
+
+class TupleIn(QueryEvent):
+    """The paper's canonical event ``t ∈ R``.
+
+    Examples
+    --------
+    >>> from repro.relational import Relation, Database
+    >>> event = TupleIn("C", ("v",))
+    >>> event.holds(Database({"C": Relation(("I",), [("v",)])}))
+    True
+    """
+
+    def __init__(self, relation: str, row: Sequence[Any]):
+        self.relation = relation
+        self.row = tuple(row)
+
+    def holds(self, db: Database) -> bool:
+        return self.relation in db and self.row in db[self.relation]
+
+    def __repr__(self) -> str:
+        return f"{self.row!r} ∈ {self.relation}"
+
+
+class ExpressionEvent(QueryEvent):
+    """``result of a Boolean algebra query is non-empty``.
+
+    Definition 3.2 allows any *low-complexity Boolean relational
+    database query* as the event; this realises that generality: the
+    event holds on a state iff the given **deterministic** algebra
+    expression evaluates to a non-empty relation there.  (Typically the
+    expression projects to zero columns, making it a genuine Boolean
+    query: {()} = true, {} = false.)
+
+    Examples
+    --------
+    >>> from repro.relational import Database, Relation, ValueEq, project, rel, select
+    >>> event = ExpressionEvent(project(select(rel("C"), ValueEq("I", "v")), ))
+    >>> event.holds(Database({"C": Relation(("I",), [("v",)])}))
+    True
+    """
+
+    def __init__(self, expression):
+        from repro.errors import AlgebraError
+
+        if not expression.is_deterministic():
+            raise AlgebraError(
+                "query events must be deterministic Boolean queries; "
+                "the expression contains repair-key"
+            )
+        self.expression = expression
+
+    def holds(self, db: Database) -> bool:
+        from repro.relational.algebra import evaluate
+
+        return len(evaluate(self.expression, db)) > 0
+
+    def __repr__(self) -> str:
+        return f"{self.expression!r} ≠ ∅"
+
+
+class RelationNonEmpty(QueryEvent):
+    """``R ≠ ∅`` — true when the relation holds at least one tuple."""
+
+    def __init__(self, relation: str):
+        self.relation = relation
+
+    def holds(self, db: Database) -> bool:
+        return self.relation in db and len(db[self.relation]) > 0
+
+    def __repr__(self) -> str:
+        return f"{self.relation} ≠ ∅"
+
+
+class AndEvent(QueryEvent):
+    """Conjunction of two events."""
+
+    def __init__(self, left: QueryEvent, right: QueryEvent):
+        self.left = left
+        self.right = right
+
+    def holds(self, db: Database) -> bool:
+        return self.left.holds(db) and self.right.holds(db)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∧ {self.right!r})"
+
+
+class OrEvent(QueryEvent):
+    """Disjunction of two events."""
+
+    def __init__(self, left: QueryEvent, right: QueryEvent):
+        self.left = left
+        self.right = right
+
+    def holds(self, db: Database) -> bool:
+        return self.left.holds(db) or self.right.holds(db)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∨ {self.right!r})"
+
+
+class NotEvent(QueryEvent):
+    """Negation of an event."""
+
+    def __init__(self, inner: QueryEvent):
+        self.inner = inner
+
+    def holds(self, db: Database) -> bool:
+        return not self.inner.holds(db)
+
+    def __repr__(self) -> str:
+        return f"¬{self.inner!r}"

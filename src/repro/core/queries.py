@@ -1,0 +1,108 @@
+"""Forever-queries and inflationary queries (Definitions 3.2 and 3.4).
+
+A :class:`ForeverQuery` pairs a transition kernel (a probabilistic
+first-order :class:`~repro.core.interpretation.Interpretation`) with a
+query event.  Its semantics is the random walk over database instances:
+the query result is the long-run probability that the event holds
+(Definition 3.2's Cesàro limit, equal to the stationary probability on
+ergodic chains).
+
+An :class:`InflationaryQuery` is the Definition 3.4 fragment: every
+possible world of Q(A) must contain A.  Its result is the probability
+that the event holds at the (almost surely reached) fixpoint.
+
+Both classes are declarative descriptions; the evaluation algorithms
+live in :mod:`repro.core.evaluation`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping
+
+from repro.core.events import QueryEvent
+from repro.core.interpretation import Interpretation
+from repro.errors import NotInflationaryError
+from repro.relational.algebra import Expression, RelationRef, Union
+from repro.relational.database import Database
+
+
+class ForeverQuery:
+    """A non-inflationary query ``(Q, e)`` (Definition 3.2).
+
+    Examples
+    --------
+    >>> from repro.relational import rel
+    >>> from repro.core.events import TupleIn
+    >>> query = ForeverQuery(Interpretation({"C": rel("C")}), TupleIn("C", ("v",)))
+    """
+
+    def __init__(self, kernel: Interpretation, event: QueryEvent):
+        self.kernel = kernel
+        self.event = event
+
+    def __repr__(self) -> str:
+        return f"ForeverQuery(kernel={self.kernel!r}, event={self.event!r})"
+
+
+class InflationaryQuery(ForeverQuery):
+    """An inflationary query (Definition 3.4).
+
+    The inflationarity condition (every world of Q(A) contains A) is a
+    *semantic* property; it is enforced dynamically by the evaluators
+    via :meth:`check_step` on every state they expand.  Kernels built
+    with :func:`inflationary_interpretation` satisfy it by construction.
+    """
+
+    def check_step(self, db: Database, world: Database) -> None:
+        """Raise :class:`~repro.errors.NotInflationaryError` unless
+        ``world ⊇ db``."""
+        if not world.contains_database(db):
+            raise NotInflationaryError(
+                f"kernel produced a shrinking world from {db!r}; "
+                "the query is not inflationary (Definition 3.4)"
+            )
+
+
+def inflationary_interpretation(
+    additions: Mapping[str, Expression],
+    pc_tables=None,
+) -> Interpretation:
+    """Build a kernel that is inflationary by construction.
+
+    Each relation R listed in ``additions`` gets the query
+    ``R := R ∪ additions[R]`` — the paper's canonical way of defining
+    inflationary queries ("the new state as the union of the old state
+    with the result of a query on the old state", Section 3.2).
+    Relations not listed stay unchanged.
+
+    Note: a pc-table attached here is *not* inflationary on its own
+    (re-instantiation may drop tuples); the inflationary evaluators fix
+    the pc-table valuation once, as Section 3.2 prescribes.
+    """
+    queries = {
+        name: Union(RelationRef(name), expression)
+        for name, expression in additions.items()
+    }
+    return Interpretation(queries, pc_tables=pc_tables)
+
+
+def simulate_trajectory(
+    query: ForeverQuery,
+    initial: Database,
+    steps: int,
+    rng: random.Random,
+) -> list[Database]:
+    """One sampled trajectory [s₀, s₁, ..., s_steps] of the forever-loop.
+
+    Useful for inspection and for the implicit-chain convergence
+    heuristics; the proper evaluators live in
+    :mod:`repro.core.evaluation`.
+    """
+    query.kernel.check_schema(initial)
+    trajectory = [initial]
+    state = initial
+    for _ in range(steps):
+        state = query.kernel.sample_transition(state, rng)
+        trajectory.append(state)
+    return trajectory

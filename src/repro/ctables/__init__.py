@@ -1,0 +1,52 @@
+"""Probabilistic c-tables (Definition 2.1) and their repair-key macro
+compilation (Section 3.1)."""
+
+from repro.ctables.conditions import (
+    FALSE,
+    TRUE,
+    AndCondition,
+    Condition,
+    FalseCondition,
+    NotCondition,
+    OrCondition,
+    TrueCondition,
+    Valuation,
+    VarEqValue,
+    VarEqVar,
+    VarNeValue,
+    var_eq,
+    var_ne,
+    vars_eq,
+)
+from repro.ctables.macro import (
+    compile_pc_database,
+    compile_pc_table,
+    domain_relation,
+    variable_relation_name,
+)
+from repro.ctables.pctable import CTable, PCDatabase, boolean_variable
+
+__all__ = [
+    "AndCondition",
+    "CTable",
+    "Condition",
+    "FALSE",
+    "FalseCondition",
+    "NotCondition",
+    "OrCondition",
+    "PCDatabase",
+    "TRUE",
+    "TrueCondition",
+    "Valuation",
+    "VarEqValue",
+    "VarEqVar",
+    "VarNeValue",
+    "boolean_variable",
+    "compile_pc_database",
+    "compile_pc_table",
+    "domain_relation",
+    "var_eq",
+    "var_ne",
+    "variable_relation_name",
+    "vars_eq",
+]

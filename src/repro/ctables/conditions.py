@@ -1,0 +1,196 @@
+"""Condition language of (probabilistic) c-tables.
+
+Definition 2.1 of the paper: a c-table associates each tuple with a
+condition — a boolean combination of (in)equalities involving variables
+over finite domains and constants.  Conditions here are small ASTs
+evaluated against a *valuation* (a mapping from variable name to value).
+
+Constructors: :func:`var_eq`, :func:`var_ne`, :func:`vars_eq` plus the
+``&``, ``|`` and ``~`` operators on conditions, and the constants
+:data:`TRUE` / :data:`FALSE`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import ConditionError
+
+Valuation = Mapping[str, Any]
+
+
+class Condition:
+    """Base class of c-table tuple conditions."""
+
+    def evaluate(self, valuation: Valuation) -> bool:
+        """Decide the condition under the given valuation."""
+        raise NotImplementedError
+
+    def variables(self) -> frozenset[str]:
+        """The random variables the condition mentions."""
+        raise NotImplementedError
+
+    def __and__(self, other: "Condition") -> "Condition":
+        return AndCondition(self, other)
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return OrCondition(self, other)
+
+    def __invert__(self) -> "Condition":
+        return NotCondition(self)
+
+
+def _lookup(valuation: Valuation, variable: str) -> Any:
+    try:
+        return valuation[variable]
+    except KeyError:
+        raise ConditionError(
+            f"condition references variable {variable!r} with no value in the valuation"
+        ) from None
+
+
+class TrueCondition(Condition):
+    """The always-true condition (unconditional tuples)."""
+
+    def evaluate(self, valuation: Valuation) -> bool:
+        return True
+
+    def variables(self) -> frozenset[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "TRUE"
+
+
+class FalseCondition(Condition):
+    """The always-false condition."""
+
+    def evaluate(self, valuation: Valuation) -> bool:
+        return False
+
+    def variables(self) -> frozenset[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "FALSE"
+
+
+#: Singleton instances for the constant conditions.
+TRUE = TrueCondition()
+FALSE = FalseCondition()
+
+
+class VarEqValue(Condition):
+    """``X = c`` for a variable X and constant c."""
+
+    def __init__(self, variable: str, value: Any):
+        self.variable = variable
+        self.value = value
+
+    def evaluate(self, valuation: Valuation) -> bool:
+        return _lookup(valuation, self.variable) == self.value
+
+    def variables(self) -> frozenset[str]:
+        return frozenset({self.variable})
+
+    def __repr__(self) -> str:
+        return f"{self.variable}={self.value!r}"
+
+
+class VarNeValue(Condition):
+    """``X ≠ c`` for a variable X and constant c."""
+
+    def __init__(self, variable: str, value: Any):
+        self.variable = variable
+        self.value = value
+
+    def evaluate(self, valuation: Valuation) -> bool:
+        return _lookup(valuation, self.variable) != self.value
+
+    def variables(self) -> frozenset[str]:
+        return frozenset({self.variable})
+
+    def __repr__(self) -> str:
+        return f"{self.variable}≠{self.value!r}"
+
+
+class VarEqVar(Condition):
+    """``X = Y`` for two variables."""
+
+    def __init__(self, left: str, right: str):
+        self.left = left
+        self.right = right
+
+    def evaluate(self, valuation: Valuation) -> bool:
+        return _lookup(valuation, self.left) == _lookup(valuation, self.right)
+
+    def variables(self) -> frozenset[str]:
+        return frozenset({self.left, self.right})
+
+    def __repr__(self) -> str:
+        return f"{self.left}={self.right}"
+
+
+class AndCondition(Condition):
+    """Conjunction."""
+
+    def __init__(self, left: Condition, right: Condition):
+        self.left = left
+        self.right = right
+
+    def evaluate(self, valuation: Valuation) -> bool:
+        return self.left.evaluate(valuation) and self.right.evaluate(valuation)
+
+    def variables(self) -> frozenset[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∧ {self.right!r})"
+
+
+class OrCondition(Condition):
+    """Disjunction."""
+
+    def __init__(self, left: Condition, right: Condition):
+        self.left = left
+        self.right = right
+
+    def evaluate(self, valuation: Valuation) -> bool:
+        return self.left.evaluate(valuation) or self.right.evaluate(valuation)
+
+    def variables(self) -> frozenset[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∨ {self.right!r})"
+
+
+class NotCondition(Condition):
+    """Negation."""
+
+    def __init__(self, inner: Condition):
+        self.inner = inner
+
+    def evaluate(self, valuation: Valuation) -> bool:
+        return not self.inner.evaluate(valuation)
+
+    def variables(self) -> frozenset[str]:
+        return self.inner.variables()
+
+    def __repr__(self) -> str:
+        return f"¬{self.inner!r}"
+
+
+def var_eq(variable: str, value: Any) -> VarEqValue:
+    """Condition ``variable = value``."""
+    return VarEqValue(variable, value)
+
+
+def var_ne(variable: str, value: Any) -> VarNeValue:
+    """Condition ``variable ≠ value``."""
+    return VarNeValue(variable, value)
+
+
+def vars_eq(left: str, right: str) -> VarEqVar:
+    """Condition ``left = right`` between two variables."""
+    return VarEqVar(left, right)

@@ -1,0 +1,172 @@
+"""The pc-table → repair-key "macro" compilation (Section 3.1).
+
+The paper observes that pc-tables are *macros* over the repair-key
+algebra: the probabilistic choice of a value for each random variable X
+can be simulated by one ``repair-key`` application over a ground
+relation listing X's domain with its probabilities, and a tuple of the
+c-table then appears exactly in the worlds whose chosen values satisfy
+its condition.
+
+:func:`compile_pc_table` builds, for a single c-table R of a
+:class:`~repro.ctables.pctable.PCDatabase`:
+
+* ground *domain relations* ``__var_<X>(V, P)`` (one per variable R
+  mentions) to be added to the initial database, and
+* one algebra expression computing R, in which each variable is sampled
+  exactly once (a single shared product of per-variable repair-key
+  choices) and each candidate tuple is kept iff its condition holds for
+  the sampled values.
+
+Because Definition 3.1 interpretations evaluate each relation's query
+independently, variables shared between *different* relations would be
+re-sampled independently per relation under this compilation.  The
+constructions in the paper (Theorems 4.1, 5.1) use each variable within
+a single c-table, where the compilation is exact; for cross-relation
+correlation use the native pc-table support of
+:class:`repro.core.interpretation.Interpretation` instead.
+
+Under non-inflationary semantics the compiled expression re-samples the
+variables at *every* kernel application; under inflationary semantics
+the repair-key in a datalog rule over ground facts fires only once — in
+both cases exactly the behaviour the paper describes for pc-table
+macros (end of Sections 3.1 and 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.ctables.conditions import Condition
+from repro.ctables.pctable import CTable, PCDatabase
+from repro.errors import SchemaError
+from repro.probability.distribution import Distribution
+from repro.relational.algebra import (
+    Expression,
+    Literal,
+    Product,
+    Project,
+    Rename,
+    RepairKey,
+    Select,
+    rel,
+)
+from repro.relational.predicates import RowPredicate
+from repro.relational.relation import Relation
+
+#: Column name prefix for compiled variable-domain relations.
+VAR_RELATION_PREFIX = "__var_"
+#: Column carrying a sampled variable's value in the shared product.
+VAL_COLUMN_PREFIX = "__val_"
+#: Hidden column distinguishing candidate tuples during compilation.
+TID_COLUMN = "__tid"
+
+
+def domain_relation(variable: str, distribution: Distribution[Any]) -> Relation:
+    """The ground relation ``__var_<X>(V, P)`` listing X's distribution."""
+    rows = [(value, probability) for value, probability in distribution.items()]
+    return Relation(("V", "P"), rows)
+
+
+def variable_relation_name(variable: str) -> str:
+    """Name of the compiled domain relation for a variable."""
+    return f"{VAR_RELATION_PREFIX}{variable}"
+
+
+def _choice_expression(variable: str) -> Expression:
+    """``ρ_{V → __val_X}(π_V(repair-key_{@P}(__var_X)))`` — one sampled value."""
+    picked = RepairKey(rel(variable_relation_name(variable)), key=(), weight="P")
+    projected = Project(picked, ("V",))
+    return Rename(projected, {"V": f"{VAL_COLUMN_PREFIX}{variable}"})
+
+
+def compile_pc_table(
+    name: str, table: CTable, variables: Mapping[str, Distribution[Any]]
+) -> tuple[dict[str, Relation], Expression]:
+    """Compile one c-table into (ground relations, algebra expression).
+
+    The returned expression mentions only the returned ground relations;
+    evaluating it probabilistically (``enumerate_worlds`` /
+    ``sample_world``) reproduces the c-table's possible worlds exactly.
+    """
+    used = sorted(table.variables())
+    missing = [v for v in used if v not in variables]
+    if missing:
+        raise SchemaError(
+            f"c-table {name!r} mentions variables {missing!r} with no distribution"
+        )
+    ground = {
+        variable_relation_name(v): domain_relation(v, variables[v]) for v in used
+    }
+
+    if any(c.startswith(VAL_COLUMN_PREFIX) or c == TID_COLUMN for c in table.columns):
+        raise SchemaError(
+            f"c-table {name!r} uses reserved column names ({TID_COLUMN!r} / "
+            f"{VAL_COLUMN_PREFIX!r}*)"
+        )
+
+    # Candidate tuples, each tagged with an index so equal rows under
+    # different conditions stay distinguishable until selection.
+    tagged_rows = [row + (tid,) for tid, (row, _cond) in enumerate(table.entries)]
+    candidates = Literal(Relation(table.columns + (TID_COLUMN,), tagged_rows))
+    conditions: dict[int, Condition] = {
+        tid: cond for tid, (_row, cond) in enumerate(table.entries)
+    }
+
+    if not used:
+        # No random variables: the c-table is certain up to per-tuple
+        # constant conditions, which we can resolve immediately.
+        rows = [row for row, cond in table.entries if cond.evaluate({})]
+        return {}, Literal(Relation(table.columns, rows))
+
+    # One shared product of per-variable choices: each variable is
+    # sampled exactly once for the whole relation.
+    shared: Expression = _choice_expression(used[0])
+    for variable in used[1:]:
+        shared = Product(shared, _choice_expression(variable))
+
+    def _row_condition_holds(row: Mapping[str, Any]) -> bool:
+        valuation = {v: row[f"{VAL_COLUMN_PREFIX}{v}"] for v in used}
+        return conditions[row[TID_COLUMN]].evaluate(valuation)
+
+    predicate = RowPredicate(
+        _row_condition_holds,
+        columns=(TID_COLUMN,) + tuple(f"{VAL_COLUMN_PREFIX}{v}" for v in used),
+        name=f"cond[{name}]",
+    )
+    selected = Select(Product(candidates, shared), predicate)
+    return ground, Project(selected, table.columns)
+
+
+def compile_pc_database(
+    pcdb: PCDatabase,
+) -> tuple[dict[str, Relation], dict[str, Expression]]:
+    """Compile every c-table of a :class:`PCDatabase`.
+
+    Returns ``(ground_relations, expressions)`` where ``ground_relations``
+    must be added to the initial database (the certain relations of the
+    pc-database are included) and ``expressions`` maps each c-table name
+    to its compiled repair-key expression.
+
+    Raises :class:`SchemaError` when a variable is shared between two
+    c-tables, since the macro compilation cannot preserve that
+    correlation (see module docstring).
+    """
+    seen: dict[str, str] = {}
+    for name, table in pcdb.tables.items():
+        for variable in table.variables():
+            if variable in seen and seen[variable] != name:
+                raise SchemaError(
+                    f"variable {variable!r} is shared by c-tables "
+                    f"{seen[variable]!r} and {name!r}; the macro compilation "
+                    "would break their correlation — use native pc-table "
+                    "support instead"
+                )
+            seen[variable] = name
+
+    ground: dict[str, Relation] = dict(pcdb.certain)
+    expressions: dict[str, Expression] = {}
+    for name, table in pcdb.tables.items():
+        table_ground, expression = compile_pc_table(name, table, pcdb.variables)
+        ground.update(table_ground)
+        expressions[name] = expression
+    return ground, expressions

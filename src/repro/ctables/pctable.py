@@ -1,0 +1,188 @@
+"""Probabilistic c-tables and pc-table databases (Definition 2.1).
+
+A :class:`CTable` is a relation whose tuples carry conditions over
+random variables.  A :class:`PCDatabase` bundles several c-tables with a
+joint distribution of the (independent, finite-domain) random variables
+they mention — the succinct representation of a finite probabilistic
+database used throughout the paper.
+
+The possible worlds of a :class:`PCDatabase` are the valuations of its
+variables; the database of a world keeps exactly the tuples whose
+conditions hold (Definition 2.1).  Both full enumeration
+(:meth:`PCDatabase.possible_worlds`) and single-world sampling
+(:meth:`PCDatabase.sample_world`) are provided; the first backs exact
+evaluation (Prop. 4.4 iterates over valuations), the second backs the
+Theorem 4.3 sampler.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.ctables.conditions import TRUE, Condition, Valuation
+from repro.errors import ConditionError, SchemaError
+from repro.probability.distribution import Distribution, product_distribution
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+class CTable:
+    """A c-table: a relation whose rows carry conditions.
+
+    Parameters
+    ----------
+    columns:
+        Column names of the underlying relation.
+    entries:
+        Iterable of ``(row, condition)`` pairs; ``condition`` may be
+        ``None`` as shorthand for the always-true condition.
+    """
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        entries: Iterable[tuple[Sequence[Any], Condition | None]] = (),
+    ):
+        # Validate columns/arity by building a throwaway relation.
+        probe_rows = []
+        normalised: list[tuple[tuple, Condition]] = []
+        for row, condition in entries:
+            tup = tuple(row)
+            probe_rows.append(tup)
+            normalised.append((tup, condition if condition is not None else TRUE))
+        Relation(columns, probe_rows)
+        self.columns = tuple(columns)
+        self.entries: tuple[tuple[tuple, Condition], ...] = tuple(normalised)
+
+    def variables(self) -> frozenset[str]:
+        """All random variables mentioned by any tuple condition."""
+        out: frozenset[str] = frozenset()
+        for _row, condition in self.entries:
+            out |= condition.variables()
+        return out
+
+    def instantiate(self, valuation: Valuation) -> Relation:
+        """The relation of the world given by ``valuation``."""
+        rows = [row for row, cond in self.entries if cond.evaluate(valuation)]
+        return Relation(self.columns, rows)
+
+    def __repr__(self) -> str:
+        return f"CTable({self.columns!r}, {len(self.entries)} entries)"
+
+
+class PCDatabase:
+    """A probabilistic database represented by pc-tables.
+
+    Parameters
+    ----------
+    tables:
+        Mapping of relation name to :class:`CTable`.
+    variables:
+        Mapping of variable name to its marginal
+        :class:`~repro.probability.distribution.Distribution` (variables
+        are independent; the joint is the product — the paper notes this
+        is without loss of generality).
+    certain:
+        Optional mapping of relation name to an ordinary (certain)
+        :class:`~repro.relational.relation.Relation` present in every
+        world unchanged.
+
+    Examples
+    --------
+    >>> from fractions import Fraction
+    >>> from repro.ctables.conditions import var_eq
+    >>> pcdb = PCDatabase(
+    ...     tables={"A": CTable(("L",), [(("v1",), var_eq("x1", 0)),
+    ...                                  (("-v1",), var_eq("x1", 1))])},
+    ...     variables={"x1": Distribution({0: Fraction(1, 2), 1: Fraction(1, 2)})},
+    ... )
+    >>> len(pcdb.possible_worlds())
+    2
+    """
+
+    def __init__(
+        self,
+        tables: Mapping[str, CTable],
+        variables: Mapping[str, Distribution[Any]],
+        certain: Mapping[str, Relation] | None = None,
+    ):
+        self.tables = dict(tables)
+        self.variables = dict(variables)
+        self.certain = dict(certain or {})
+        overlap = set(self.tables) & set(self.certain)
+        if overlap:
+            raise SchemaError(
+                f"relations {sorted(overlap)!r} given both as c-tables and certain"
+            )
+        used = frozenset().union(*(t.variables() for t in self.tables.values())) if self.tables else frozenset()
+        undeclared = used - set(self.variables)
+        if undeclared:
+            raise ConditionError(
+                f"conditions mention undeclared variables {sorted(undeclared)!r}"
+            )
+
+    # -- world semantics -----------------------------------------------------
+
+    def variable_names(self) -> list[str]:
+        """Sorted variable names (the enumeration order of valuations)."""
+        return sorted(self.variables)
+
+    def valuation_distribution(self) -> Distribution[tuple]:
+        """Joint distribution over valuations, as tuples of values in
+        :meth:`variable_names` order."""
+        names = self.variable_names()
+        return product_distribution([self.variables[n] for n in names])
+
+    def _database_of(self, valuation: Valuation) -> Database:
+        relations = {name: table.instantiate(valuation) for name, table in self.tables.items()}
+        relations.update(self.certain)
+        return Database(relations)
+
+    def database_of_valuation(self, valuation: Valuation) -> Database:
+        """The world database for one explicit valuation mapping."""
+        return self._database_of(valuation)
+
+    def possible_worlds(self) -> Distribution[Database]:
+        """The exact distribution over world databases.
+
+        Distinct valuations that induce the same database are merged
+        (their probabilities add), matching the possible-worlds model of
+        Section 2.2.
+        """
+        names = self.variable_names()
+        joint = self.valuation_distribution()
+        return joint.map(lambda values: self._database_of(dict(zip(names, values))))
+
+    def sample_valuation(self, rng: random.Random) -> dict[str, Any]:
+        """Draw one valuation of the random variables."""
+        return {name: self.variables[name].sample(rng) for name in self.variable_names()}
+
+    def sample_world(self, rng: random.Random) -> Database:
+        """Draw one world database (polynomial time)."""
+        return self._database_of(self.sample_valuation(rng))
+
+    def world_count(self) -> int:
+        """Number of valuations (worlds before merging equal databases)."""
+        count = 1
+        for dist in self.variables.values():
+            count *= len(dist)
+        return count
+
+    def __repr__(self) -> str:
+        return (
+            f"PCDatabase(tables={sorted(self.tables)!r}, "
+            f"certain={sorted(self.certain)!r}, "
+            f"variables={len(self.variables)})"
+        )
+
+
+def boolean_variable(probability_one: Any = None) -> Distribution[int]:
+    """A 0/1 random variable; uniform when ``probability_one`` is None.
+
+    Convenience for the constructions of Theorems 4.1 / 5.1, which use
+    independent variables with Pr(x=0) = Pr(x=1) = 1/2.
+    """
+    if probability_one is None:
+        return Distribution.uniform([0, 1])
+    return Distribution.bernoulli(probability_one, true_outcome=1, false_outcome=0)

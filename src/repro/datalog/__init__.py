@@ -1,0 +1,54 @@
+"""Probabilistic datalog with probabilistic rules (Section 3.3):
+AST, parser, algebra compilation, and the operational engine."""
+
+from repro.datalog.ast import Atom, Const, Program, Rule, Term, Var
+from repro.datalog.compiler import (
+    compile_atom,
+    compile_body,
+    idb_columns,
+    inflationary_initial_database,
+    inflationary_interpretation_for_program,
+    initial_database,
+    noninflationary_interpretation,
+    oldvals_relation_name,
+    program_schema,
+    rule_choice_expression,
+    strip_auxiliary,
+)
+from repro.datalog.forever import (
+    datalog_forever_query,
+    evaluate_datalog_forever,
+)
+from repro.datalog.engine import (
+    InflationaryDatalogEngine,
+    evaluate_datalog_exact,
+    evaluate_datalog_sampling,
+)
+from repro.datalog.parser import parse_program, parse_rule
+
+__all__ = [
+    "Atom",
+    "Const",
+    "InflationaryDatalogEngine",
+    "Program",
+    "Rule",
+    "Term",
+    "Var",
+    "compile_atom",
+    "compile_body",
+    "datalog_forever_query",
+    "evaluate_datalog_exact",
+    "evaluate_datalog_forever",
+    "evaluate_datalog_sampling",
+    "idb_columns",
+    "inflationary_initial_database",
+    "inflationary_interpretation_for_program",
+    "initial_database",
+    "noninflationary_interpretation",
+    "oldvals_relation_name",
+    "parse_program",
+    "parse_rule",
+    "program_schema",
+    "rule_choice_expression",
+    "strip_auxiliary",
+]

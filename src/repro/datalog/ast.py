@@ -1,0 +1,274 @@
+"""Abstract syntax of probabilistic datalog (Section 3.3).
+
+Probabilistic datalog extends datalog by the repair-key construct: in a
+rule head the *key* variables are underlined (rendered here as a
+``key`` flag on head terms / ``key_variables`` on the rule), and the
+head may be postfixed ``@P`` with P a body variable binding the
+weighting column (omitted = uniform weighting).
+
+A rule whose head carries no key markers and no weight variable is
+*deterministic* (classical datalog: all satisfying valuations fire) —
+equivalently, all head variables are keyed, which the paper notes makes
+a rule "essentially non-probabilistic".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.errors import DatalogError
+
+_ANON_PREFIX = "_anon"
+
+
+@dataclass(frozen=True)
+class Var:
+    """A datalog variable."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const:
+    """A constant term."""
+
+    value: Any
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+Term = Var | Const
+
+
+@dataclass(frozen=True)
+class Atom:
+    """``predicate(term, term, ...)``."""
+
+    predicate: str
+    terms: tuple[Term, ...]
+
+    def __init__(self, predicate: str, terms: Iterable[Term] = ()):
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(self, "terms", tuple(terms))
+        for term in self.terms:
+            if not isinstance(term, (Var, Const)):
+                raise DatalogError(f"atom term {term!r} is neither Var nor Const")
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> list[Var]:
+        """The variables of the atom, in order, with repetitions."""
+        return [term for term in self.terms if isinstance(term, Var)]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.terms)
+        return f"{self.predicate}({inner})"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A probabilistic datalog rule.
+
+    Attributes
+    ----------
+    head:
+        The head atom (its predicate is an IDB relation).
+    body:
+        The body atoms (possibly empty: a fact rule, which fires once).
+    key_variables:
+        The underlined head variables Ā of ``repair-key_{Ā@P}``.
+    weight_variable:
+        The ``@P`` weight variable, or ``None`` for uniform weighting.
+    """
+
+    head: Atom
+    body: tuple[Atom, ...] = ()
+    key_variables: frozenset[str] = field(default_factory=frozenset)
+    weight_variable: str | None = None
+
+    def __init__(
+        self,
+        head: Atom,
+        body: Iterable[Atom] = (),
+        key_variables: Iterable[str] = (),
+        weight_variable: str | None = None,
+    ):
+        object.__setattr__(self, "head", head)
+        object.__setattr__(self, "body", tuple(body))
+        object.__setattr__(self, "key_variables", frozenset(key_variables))
+        object.__setattr__(self, "weight_variable", weight_variable)
+
+    # -- derived views --------------------------------------------------------
+
+    def head_variables(self) -> list[str]:
+        """Distinct head variable names, in first-occurrence order."""
+        seen: list[str] = []
+        for term in self.head.terms:
+            if isinstance(term, Var) and term.name not in seen:
+                seen.append(term.name)
+        return seen
+
+    def body_variables(self) -> list[str]:
+        """Distinct body variable names, in first-occurrence order,
+        anonymous variables excluded."""
+        seen: list[str] = []
+        for atom in self.body:
+            for term in atom.terms:
+                if (
+                    isinstance(term, Var)
+                    and not term.name.startswith(_ANON_PREFIX)
+                    and term.name not in seen
+                ):
+                    seen.append(term.name)
+        return seen
+
+    def is_probabilistic(self) -> bool:
+        """True when the rule makes a repair-key choice.
+
+        A rule is deterministic when it has no key markers and no
+        weight variable, or when every head variable is keyed with
+        uniform weighting (both mean: all valuations fire).
+        """
+        if not self.key_variables and self.weight_variable is None:
+            return False
+        return not (
+            self.key_variables == frozenset(self.head_variables())
+            and self.weight_variable is None
+        )
+
+    def effective_key_variables(self) -> frozenset[str]:
+        """The key Ā actually used: a rule without markers behaves as if
+        all head variables were underlined (classical firing)."""
+        if not self.key_variables and self.weight_variable is None:
+            return frozenset(self.head_variables())
+        return self.key_variables
+
+    def validate(self) -> None:
+        """Safety checks; raises :class:`DatalogError` on violation."""
+        body_vars = set(self.body_variables())
+        head_vars = set(self.head_variables())
+        unsafe = head_vars - body_vars
+        if unsafe:
+            raise DatalogError(
+                f"rule {self!r} is unsafe: head variables {sorted(unsafe)!r} "
+                "do not occur in the body"
+            )
+        bad_keys = self.key_variables - head_vars
+        if bad_keys:
+            raise DatalogError(
+                f"rule {self!r}: key variables {sorted(bad_keys)!r} are not "
+                "head variables"
+            )
+        if self.weight_variable is not None and self.weight_variable not in body_vars:
+            raise DatalogError(
+                f"rule {self!r}: weight variable {self.weight_variable!r} does "
+                "not occur in the body"
+            )
+        for term in self.head.terms:
+            if isinstance(term, Var) and term.name.startswith(_ANON_PREFIX):
+                raise DatalogError(
+                    f"rule {self!r}: anonymous variables cannot occur in the head"
+                )
+
+    def __repr__(self) -> str:
+        def render_term(term: Term) -> str:
+            if isinstance(term, Var) and term.name in self.key_variables:
+                return f"{term.name}*"
+            return repr(term)
+
+        head_inner = ", ".join(render_term(t) for t in self.head.terms)
+        head = f"{self.head.predicate}({head_inner})"
+        if self.weight_variable:
+            head += f"@{self.weight_variable}"
+        if not self.body:
+            return f"{head}."
+        return f"{head} :- {', '.join(repr(a) for a in self.body)}."
+
+
+class Program:
+    """A probabilistic datalog program: an ordered list of rules.
+
+    IDB predicates are those occurring in rule heads; every other
+    predicate of a rule body is EDB (must be supplied by the initial
+    database).  Arities must be consistent per predicate.
+    """
+
+    def __init__(self, rules: Sequence[Rule]):
+        self.rules = tuple(rules)
+        if not self.rules:
+            raise DatalogError("a program needs at least one rule")
+        arities: dict[str, int] = {}
+        for rule in self.rules:
+            rule.validate()
+            for atom in (rule.head, *rule.body):
+                known = arities.setdefault(atom.predicate, atom.arity)
+                if known != atom.arity:
+                    raise DatalogError(
+                        f"predicate {atom.predicate!r} used with arities "
+                        f"{known} and {atom.arity}"
+                    )
+        self._arities = arities
+
+    # -- structure -------------------------------------------------------------
+
+    def idb_predicates(self) -> list[str]:
+        """Predicates defined by rule heads, sorted."""
+        return sorted({rule.head.predicate for rule in self.rules})
+
+    def edb_predicates(self) -> list[str]:
+        """Body predicates that are not IDB, sorted."""
+        idb = set(self.idb_predicates())
+        out = {
+            atom.predicate
+            for rule in self.rules
+            for atom in rule.body
+            if atom.predicate not in idb
+        }
+        return sorted(out)
+
+    def arity(self, predicate: str) -> int:
+        """The arity of a predicate used by the program."""
+        try:
+            return self._arities[predicate]
+        except KeyError:
+            raise DatalogError(f"unknown predicate {predicate!r}") from None
+
+    def rules_for(self, predicate: str) -> list[Rule]:
+        """The rules whose head predicate is ``predicate``."""
+        return [rule for rule in self.rules if rule.head.predicate == predicate]
+
+    def is_linear(self) -> bool:
+        """Linear datalog: at most one IDB atom per rule body
+        (Section 3.3, the restriction of Theorem 4.1)."""
+        idb = set(self.idb_predicates())
+        for rule in self.rules:
+            idb_atoms = sum(1 for atom in rule.body if atom.predicate in idb)
+            if idb_atoms > 1:
+                return False
+        return True
+
+    def has_probabilistic_rules(self) -> bool:
+        """True when any rule makes a repair-key choice."""
+        return any(rule.is_probabilistic() for rule in self.rules)
+
+    def __iter__(self):
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __repr__(self) -> str:
+        return "\n".join(repr(rule) for rule in self.rules)
+
+
+def fresh_anonymous(counter: list[int]) -> Var:
+    """A fresh anonymous variable (used by the parser for ``_``)."""
+    counter[0] += 1
+    return Var(f"{_ANON_PREFIX}{counter[0]}")

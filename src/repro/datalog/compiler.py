@@ -1,0 +1,259 @@
+"""Compilation of datalog rules to relational algebra (+ repair-key).
+
+Every (standard) datalog rule body compiles to a relational-algebra
+expression computing the rule's *body valuations* — one row per
+satisfying assignment of the body variables — by the classical
+conjunctive-query translation (select constants, join shared variables).
+The head is then instantiated with a generalized projection, and the
+paper's ``@`` annotation becomes a ``repair-key`` over the key
+variables (Example 3.7).
+
+Two whole-program translations are built on top:
+
+* :func:`noninflationary_interpretation` — each IDB relation is
+  recomputed from scratch every step (the forever-query reading used in
+  Theorem 5.1);
+* :func:`inflationary_interpretation_for_program` — the Proposition 3.8
+  construction: the Section 3.3 ``newVals``/``oldVals`` bookkeeping is
+  materialised as auxiliary relations, yielding an equivalent
+  inflationary query evaluable by the generic engines.  (The dedicated
+  operational engine in :mod:`repro.datalog.engine` implements the same
+  semantics directly and is faster; benchmark A2 checks they agree.)
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.datalog.ast import Atom, Const, Program, Rule
+from repro.errors import DatalogError
+from repro.relational.algebra import (
+    Difference,
+    Expression,
+    ExtendedProject,
+    Literal,
+    NaturalJoin,
+    Project,
+    RelationRef,
+    Rename,
+    RepairKey,
+    Select,
+    Union,
+)
+from repro.relational.database import Database
+from repro.relational.predicates import ColumnEq, Predicate, TruePredicate, ValueEq
+from repro.relational.relation import Relation
+
+#: Prefix of the auxiliary oldVals relations of Proposition 3.8.
+OLDVALS_PREFIX = "__oldvals_"
+
+
+def idb_columns(arity: int) -> tuple[str, ...]:
+    """Canonical column names for IDB relations: ``c0, c1, ...``."""
+    return tuple(f"c{i}" for i in range(arity))
+
+
+def compile_atom(atom: Atom, schema: Mapping[str, tuple[str, ...]]) -> Expression:
+    """One body atom → an expression over the atom's variables.
+
+    Output columns are the atom's distinct variable names (anonymous
+    variables and constant positions are projected away).
+    """
+    try:
+        columns = schema[atom.predicate]
+    except KeyError:
+        raise DatalogError(
+            f"atom {atom!r} references predicate {atom.predicate!r} missing "
+            "from the schema"
+        ) from None
+    if len(columns) != atom.arity:
+        raise DatalogError(
+            f"atom {atom!r} has arity {atom.arity}, relation has {len(columns)}"
+        )
+
+    expr: Expression = RelationRef(atom.predicate)
+    predicate: Predicate = TruePredicate()
+    first_position: dict[str, str] = {}
+    for column, term in zip(columns, atom.terms):
+        if isinstance(term, Const):
+            predicate = predicate & ValueEq(column, term.value)
+        else:
+            if term.name in first_position:
+                predicate = predicate & ColumnEq(first_position[term.name], column)
+            else:
+                first_position[term.name] = column
+    if not isinstance(predicate, TruePredicate):
+        expr = Select(expr, predicate)
+
+    keep = {
+        name: column
+        for name, column in first_position.items()
+        if not name.startswith("_anon")
+    }
+    expr = Project(expr, tuple(keep.values()))
+    mapping = {column: name for name, column in keep.items() if column != name}
+    if mapping:
+        expr = Rename(expr, mapping)
+    return expr
+
+
+def compile_body(
+    body: Sequence[Atom], schema: Mapping[str, tuple[str, ...]]
+) -> Expression:
+    """A rule body → the expression of its valuations.
+
+    Output columns are the distinct (named) body variables; an empty
+    body yields the single empty valuation, so fact rules fire exactly
+    once (Section 3.3).
+    """
+    if not body:
+        return Literal(Relation((), [()]))
+    expr = compile_atom(body[0], schema)
+    for atom in body[1:]:
+        expr = NaturalJoin(expr, compile_atom(atom, schema))
+    return expr
+
+
+def head_projection(rule: Rule, valuations: Expression) -> Expression:
+    """Instantiate the rule head over (chosen) body valuations.
+
+    Output columns are the canonical IDB columns of the head predicate.
+    """
+    outputs = []
+    for position, term in enumerate(rule.head.terms):
+        name = f"c{position}"
+        if isinstance(term, Const):
+            outputs.append((name, ("const", term.value)))
+        else:
+            outputs.append((name, ("col", term.name)))
+    return ExtendedProject(valuations, outputs)
+
+
+def rule_choice_expression(rule: Rule, valuations: Expression) -> Expression:
+    """Apply the paper's repair-key step to a valuations expression.
+
+    Projects to the head variables (plus the weight variable), applies
+    ``repair-key`` keyed on the rule's effective key variables, and
+    instantiates the head — the algebraic form of the loop body of the
+    Section 3.3 semantics.  For deterministic rules the repair-key is
+    keyed on *all* head variables and therefore chooses everything.
+    """
+    needed = list(rule.head_variables())
+    weight = rule.weight_variable
+    if weight is not None and weight not in needed:
+        needed.append(weight)
+    projected = Project(valuations, tuple(needed))
+    key = tuple(sorted(rule.effective_key_variables()))
+    repaired = RepairKey(projected, key=key, weight=weight)
+    return head_projection(rule, repaired)
+
+
+def program_schema(
+    program: Program, edb_schema: Mapping[str, tuple[str, ...]]
+) -> dict[str, tuple[str, ...]]:
+    """The full relation schema a program runs over: the given EDB
+    schemas plus canonical columns for every IDB predicate."""
+    schema = dict(edb_schema)
+    for predicate in program.idb_predicates():
+        if predicate in schema:
+            raise DatalogError(
+                f"IDB predicate {predicate!r} clashes with an EDB relation"
+            )
+        schema[predicate] = idb_columns(program.arity(predicate))
+    missing = [p for p in program.edb_predicates() if p not in schema]
+    if missing:
+        raise DatalogError(f"EDB relations {missing!r} missing from the schema")
+    return schema
+
+
+def initial_database(program: Program, edb: Database) -> Database:
+    """The initial state: the EDB plus empty IDB relations."""
+    relations = edb.relations()
+    for predicate in program.idb_predicates():
+        relations[predicate] = Relation.empty(idb_columns(program.arity(predicate)))
+    return Database(relations)
+
+
+def noninflationary_interpretation(
+    program: Program, edb_schema: Mapping[str, tuple[str, ...]]
+):
+    """Translate a program to a forever-query kernel (Section 3.3).
+
+    Each IDB relation's query is the union of its rules' repair-key
+    expressions, evaluated against the *old* state; EDB relations stay
+    unchanged.  All valuations currently satisfying a body participate
+    in every step (there is no newVals bookkeeping under the
+    non-inflationary semantics).
+    """
+    from repro.core.interpretation import Interpretation
+
+    schema = program_schema(program, edb_schema)
+    queries: dict[str, Expression] = {}
+    for predicate in program.idb_predicates():
+        parts = [
+            rule_choice_expression(rule, compile_body(rule.body, schema))
+            for rule in program.rules_for(predicate)
+        ]
+        expr = parts[0]
+        for part in parts[1:]:
+            expr = Union(expr, part)
+        queries[predicate] = expr
+    return Interpretation(queries)
+
+
+def oldvals_relation_name(rule_index: int) -> str:
+    """Name of the Proposition 3.8 auxiliary relation for one rule."""
+    return f"{OLDVALS_PREFIX}{rule_index}"
+
+
+def inflationary_interpretation_for_program(
+    program: Program, edb_schema: Mapping[str, tuple[str, ...]]
+):
+    """The Proposition 3.8 compilation: datalog → inflationary query.
+
+    For each rule r, an auxiliary relation ``__oldvals_r`` accumulates
+    the body valuations already used; the rule contributes
+    ``repair-key`` over the *new* valuations only.  All right-hand sides
+    read the old state, exactly as the Section 3.3 pseudocode fires
+    rules in parallel.
+    """
+    from repro.core.interpretation import Interpretation
+
+    schema = program_schema(program, edb_schema)
+    queries: dict[str, Expression] = {}
+    additions: dict[str, list[Expression]] = {}
+
+    for index, rule in enumerate(program.rules):
+        body_expr = compile_body(rule.body, schema)
+        old_ref = RelationRef(oldvals_relation_name(index))
+        new_vals = Difference(body_expr, old_ref)
+        additions.setdefault(rule.head.predicate, []).append(
+            rule_choice_expression(rule, new_vals)
+        )
+        queries[oldvals_relation_name(index)] = Union(old_ref, body_expr)
+
+    for predicate, parts in additions.items():
+        expr: Expression = RelationRef(predicate)
+        for part in parts:
+            expr = Union(expr, part)
+        queries[predicate] = expr
+
+    return Interpretation(queries)
+
+
+def inflationary_initial_database(program: Program, edb: Database) -> Database:
+    """Initial state for the Proposition 3.8 compilation: EDB + empty
+    IDB + empty oldVals relations (one per rule, columns = the rule's
+    body variables)."""
+    relations = initial_database(program, edb).relations()
+    for index, rule in enumerate(program.rules):
+        columns = tuple(rule.body_variables())
+        relations[oldvals_relation_name(index)] = Relation.empty(columns)
+    return Database(relations)
+
+
+def strip_auxiliary(db: Database) -> Database:
+    """Drop the ``__oldvals_*`` bookkeeping relations from a state."""
+    return db.restrict(
+        name for name in db.names() if not name.startswith(OLDVALS_PREFIX)
+    )

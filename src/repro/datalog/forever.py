@@ -1,0 +1,100 @@
+"""Non-inflationary probabilistic datalog (Section 3.3).
+
+Under the non-inflationary semantics every IDB relation is *recomputed*
+from the old state at each step (no ``newVals`` bookkeeping: every
+current valuation participates in the repair-key choice every time), and
+pc-tables are re-sampled per iteration.  The paper notes the resulting
+language is subsumed by non-inflationary fixpoint — and uses it for the
+Theorem 5.1 construction.
+
+:func:`datalog_forever_query` packages the translation
+(:func:`repro.datalog.compiler.noninflationary_interpretation` plus
+optional pc-tables) into a ready :class:`ForeverQuery` with its initial
+database; :func:`evaluate_datalog_forever` evaluates it exactly.
+"""
+
+from __future__ import annotations
+
+from repro.core.evaluation.exact_noninflationary import evaluate_forever_exact
+from repro.core.evaluation.results import ExactResult
+from repro.core.interpretation import Interpretation
+from repro.core.queries import ForeverQuery
+from repro.core.events import QueryEvent
+from repro.ctables.pctable import PCDatabase
+from repro.datalog.ast import Program
+from repro.datalog.compiler import initial_database, noninflationary_interpretation
+from repro.errors import DatalogError
+from repro.relational.database import Database
+
+
+def datalog_forever_query(
+    program: Program,
+    edb: Database,
+    event: QueryEvent,
+    pc_tables: PCDatabase | None = None,
+) -> tuple[ForeverQuery, Database]:
+    """A program under non-inflationary semantics, as a forever-query.
+
+    ``pc_tables`` adds c-table relations re-sampled at every step
+    (Section 3.1's non-inflationary pc-table semantics); their relations
+    count as EDB for the program and must not collide with IDB
+    predicates.  The initial database seeds each pc relation with an
+    arbitrary instantiation (the long-run result does not depend on it).
+
+    Examples
+    --------
+    >>> from repro.datalog import parse_program
+    >>> from repro.relational import Relation
+    >>> from repro.core import TupleIn
+    >>> program = parse_program("h(X*, Y)@P :- e(X, Y, P).")
+    >>> edb = Database({"e": Relation(("I", "J", "P"), [("a", "b", 1), ("a", "c", 3)])})
+    >>> query, db = datalog_forever_query(program, edb, TupleIn("h", ("a", "c")))
+    """
+    edb_schema = dict(edb.schema())
+    if pc_tables is not None:
+        clash = set(pc_tables.tables) & set(program.idb_predicates())
+        if clash:
+            raise DatalogError(
+                f"pc-table relations {sorted(clash)!r} collide with IDB predicates"
+            )
+        for name, table in pc_tables.tables.items():
+            edb_schema[name] = table.columns
+
+    base = noninflationary_interpretation(program, edb_schema)
+    kernel = Interpretation(base.queries, pc_tables=pc_tables)
+
+    initial = initial_database(program, edb)
+    if pc_tables is not None:
+        seed = {}
+        for name, table in pc_tables.tables.items():
+            valuation = {
+                variable: next(iter(pc_tables.variables[variable]))
+                for variable in table.variables()
+            }
+            seed[name] = table.instantiate(valuation)
+        initial = initial.with_relations(seed)
+    return ForeverQuery(kernel, event), initial
+
+
+def evaluate_datalog_forever(
+    program: Program,
+    edb: Database,
+    event: QueryEvent,
+    pc_tables: PCDatabase | None = None,
+    max_states: int = 20_000,
+) -> ExactResult:
+    """Exact long-run probability of a non-inflationary datalog query.
+
+    Examples
+    --------
+    >>> from fractions import Fraction
+    >>> from repro.datalog import parse_program
+    >>> from repro.relational import Relation
+    >>> from repro.core import TupleIn
+    >>> program = parse_program("h(X*, Y)@P :- e(X, Y, P).")
+    >>> edb = Database({"e": Relation(("I", "J", "P"), [("a", "b", 1), ("a", "c", 3)])})
+    >>> evaluate_datalog_forever(program, edb, TupleIn("h", ("a", "c"))).probability
+    Fraction(3, 4)
+    """
+    query, initial = datalog_forever_query(program, edb, event, pc_tables)
+    return evaluate_forever_exact(query, initial, max_states=max_states)

@@ -1,0 +1,253 @@
+"""Text syntax for probabilistic datalog.
+
+Grammar (one rule per ``.``-terminated statement; ``%`` starts a
+comment running to end of line)::
+
+    program   := (rule)*
+    rule      := head ( ":-" body )? "."
+    head      := predicate "(" headterms? ")" ("@" VARIABLE)?
+    headterm  := VARIABLE "*"? | constant          -- "*" marks a key
+                                                   -- (underlined) variable
+    body      := atom ("," atom)*
+    atom      := predicate "(" terms? ")"
+    term      := VARIABLE | "_" | constant
+    predicate := lowercase identifier (letters, digits, "_")
+    VARIABLE  := identifier starting with an uppercase letter
+    constant  := lowercase identifier | signed number | 'quoted string'
+
+The starred variables render the paper's *underlined* key columns, and
+``@P`` is the paper's weight postfix (Example 3.7).  ``_`` is an
+anonymous variable (each occurrence fresh), used e.g. for the paper's
+``Done(a) ← R(cn, .)``.  Numbers parse to ``int`` when possible, else
+``Fraction`` (exact decimals — probabilities stay rational).
+
+Example
+-------
+>>> program = parse_program('''
+...     c(v).
+...     c2(X*, Y) :- c(X), e(X, Y).
+...     c(Y) :- c2(X, Y).
+... ''')
+>>> len(program)
+3
+"""
+
+from __future__ import annotations
+
+import re
+from fractions import Fraction
+from typing import Any, NamedTuple
+
+from repro.datalog.ast import Atom, Const, Program, Rule, Var, fresh_anonymous
+from repro.errors import DatalogParseError
+
+_TOKEN_SPEC = [
+    ("COMMENT", r"%[^\n]*"),
+    ("WS", r"\s+"),
+    ("ARROW", r":-|<-|←"),
+    ("NUMBER", r"[+-]?\d+(?:\.\d+)?"),
+    ("IDENT", r"[A-Za-z_][A-Za-z0-9_]*"),
+    ("STRING", r"'(?:[^'\\]|\\.)*'"),
+    ("AT", r"@"),
+    ("STAR", r"\*"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("COMMA", r","),
+    ("DOT", r"\."),
+]
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens = []
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise DatalogParseError(
+                f"unexpected character {source[position]!r} at offset {position}"
+            )
+        kind = match.lastgroup or ""
+        if kind not in ("WS", "COMMENT"):
+            tokens.append(_Token(kind, match.group(), position))
+        position = match.end()
+    return tokens
+
+
+def _parse_constant(text: str) -> Any:
+    if text and (text[0].isdigit() or text[0] in "+-"):
+        if "." in text:
+            return Fraction(text)
+        return int(text)
+    if text.startswith("'"):
+        return re.sub(r"\\(.)", r"\1", text[1:-1])
+    return text
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: list[_Token]):
+        self._tokens = tokens
+        self._pos = 0
+        self._anon_counter = [0]
+
+    def _peek(self) -> _Token | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self, expected: str | None = None) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise DatalogParseError(
+                f"unexpected end of input (expected {expected or 'more tokens'})"
+            )
+        if expected is not None and token.kind != expected:
+            raise DatalogParseError(
+                f"expected {expected} but found {token.text!r} at offset "
+                f"{token.position}"
+            )
+        self._pos += 1
+        return token
+
+    def _at_end(self) -> bool:
+        return self._pos >= len(self._tokens)
+
+    # -- grammar --------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        rules = []
+        while not self._at_end():
+            rules.append(self.parse_rule())
+        if not rules:
+            raise DatalogParseError("empty program")
+        return Program(rules)
+
+    def parse_rule(self) -> Rule:
+        head, keys, weight = self._parse_head()
+        body: list[Atom] = []
+        token = self._peek()
+        if token is not None and token.kind == "ARROW":
+            self._next("ARROW")
+            # An arrow immediately followed by '.' is an empty body
+            # (the paper writes fact rules as ``C(v) ←``).
+            token = self._peek()
+            if token is not None and token.kind != "DOT":
+                body.append(self._parse_atom())
+                while self._peek() is not None and self._peek().kind == "COMMA":
+                    self._next("COMMA")
+                    body.append(self._parse_atom())
+        self._next("DOT")
+        return Rule(head, body, key_variables=keys, weight_variable=weight)
+
+    def _parse_head(self) -> tuple[Atom, frozenset[str], str | None]:
+        name = self._next("IDENT")
+        if name.text[0].isupper():
+            raise DatalogParseError(
+                f"predicate names must start lowercase: {name.text!r} at "
+                f"offset {name.position}"
+            )
+        terms = []
+        keys: set[str] = set()
+        self._next("LPAREN")
+        token = self._peek()
+        if token is not None and token.kind != "RPAREN":
+            while True:
+                term, is_key = self._parse_head_term()
+                terms.append(term)
+                if is_key:
+                    if not isinstance(term, Var):
+                        raise DatalogParseError("only variables can be key-marked")
+                    keys.add(term.name)
+                token = self._peek()
+                if token is not None and token.kind == "COMMA":
+                    self._next("COMMA")
+                    continue
+                break
+        self._next("RPAREN")
+        weight = None
+        token = self._peek()
+        if token is not None and token.kind == "AT":
+            self._next("AT")
+            weight_token = self._next("IDENT")
+            if not weight_token.text[0].isupper():
+                raise DatalogParseError(
+                    f"weight annotation @{weight_token.text} must be a variable"
+                )
+            weight = weight_token.text
+        return Atom(name.text, terms), frozenset(keys), weight
+
+    def _parse_head_term(self) -> tuple[Var | Const, bool]:
+        term = self._parse_term(allow_anonymous=False)
+        token = self._peek()
+        if token is not None and token.kind == "STAR":
+            self._next("STAR")
+            return term, True
+        return term, False
+
+    def _parse_atom(self) -> Atom:
+        name = self._next("IDENT")
+        if name.text[0].isupper():
+            raise DatalogParseError(
+                f"predicate names must start lowercase: {name.text!r} at "
+                f"offset {name.position}"
+            )
+        terms = []
+        self._next("LPAREN")
+        token = self._peek()
+        if token is not None and token.kind != "RPAREN":
+            while True:
+                terms.append(self._parse_term(allow_anonymous=True))
+                token = self._peek()
+                if token is not None and token.kind == "COMMA":
+                    self._next("COMMA")
+                    continue
+                break
+        self._next("RPAREN")
+        return Atom(name.text, terms)
+
+    def _parse_term(self, allow_anonymous: bool) -> Var | Const:
+        token = self._peek()
+        if token is None:
+            raise DatalogParseError("unexpected end of input in term position")
+        if token.kind == "IDENT":
+            self._next()
+            if token.text == "_":
+                if not allow_anonymous:
+                    raise DatalogParseError(
+                        "anonymous variable '_' is only allowed in rule bodies"
+                    )
+                return fresh_anonymous(self._anon_counter)
+            if token.text[0].isupper():
+                return Var(token.text)
+            return Const(token.text)
+        if token.kind == "NUMBER":
+            self._next()
+            return Const(_parse_constant(token.text))
+        if token.kind == "STRING":
+            self._next()
+            return Const(_parse_constant(token.text))
+        raise DatalogParseError(
+            f"unexpected token {token.text!r} at offset {token.position}"
+        )
+
+
+def parse_program(source: str) -> Program:
+    """Parse a full probabilistic datalog program from text."""
+    return _Parser(_tokenize(source)).parse_program()
+
+
+def parse_rule(source: str) -> Rule:
+    """Parse a single rule from text."""
+    parser = _Parser(_tokenize(source))
+    rule = parser.parse_rule()
+    if not parser._at_end():
+        raise DatalogParseError("trailing input after the rule")
+    return rule

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing schema problems from semantic ones.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A relation, database, or query violates schema constraints.
+
+    Raised for duplicate or unknown column names, arity mismatches,
+    incompatible union schemas, and references to undefined relations.
+    """
+
+
+class AlgebraError(SchemaError):
+    """An ill-formed relational-algebra expression was constructed or
+    evaluated (for example, a join on columns that do not exist, or a
+    reference to a relation missing from the database).  A subclass of
+    :class:`SchemaError`: algebra shape errors *are* schema errors."""
+
+
+class ProbabilityError(ReproError):
+    """A probability value or distribution is invalid.
+
+    Raised for negative weights, empty distributions, weights that do not
+    sum to one, and sampling from an empty support.
+    """
+
+
+class ConditionError(ReproError):
+    """An ill-formed c-table condition (for example, a comparison against
+    a variable that is not declared in the pc-table's distribution)."""
+
+
+class DatalogError(ReproError):
+    """An ill-formed datalog program: unsafe rules, arity clashes, head
+    predicates that are also EDB relations, or malformed syntax."""
+
+
+class DatalogParseError(DatalogError):
+    """The datalog text parser rejected its input."""
+
+
+class MarkovChainError(ReproError):
+    """A Markov-chain operation failed or is undefined for the given
+    chain (for example, requesting the unique stationary distribution of
+    a reducible chain)."""
+
+
+class EvaluationError(ReproError):
+    """Query evaluation failed: non-inflationary kernel passed to an
+    inflationary evaluator, state-space explosion beyond the configured
+    limit, or a transition kernel whose result schema does not match."""
+
+
+class StateSpaceLimitExceeded(EvaluationError):
+    """Exact evaluation aborted because the explored state space exceeded
+    the caller-supplied ``max_states`` safety limit."""
+
+
+class NotInflationaryError(EvaluationError):
+    """A transition kernel produced a possible world that does not
+    contain its input state, violating Definition 3.4."""

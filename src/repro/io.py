@@ -1,0 +1,205 @@
+"""Loading and saving databases and pc-tables as JSON.
+
+The database format is deliberately plain::
+
+    {
+      "relations": {
+        "e": {
+          "columns": ["I", "J", "P"],
+          "rows": [["a", "b", "1/2"], ["a", "c", 0.5]]
+        }
+      }
+    }
+
+Values: JSON numbers become exact rationals (ints stay ints; floats
+convert through their decimal text, so ``0.1`` means 1/10, not the
+binary float); strings looking like ``"p/q"`` rationals are parsed as
+:class:`fractions.Fraction`; everything else stays a string.
+
+Probabilistic c-table databases (Definition 2.1) use::
+
+    {
+      "variables": {"x1": {"values": [0, 1], "weights": [1, 1]}},
+      "tables": {
+        "a": {
+          "columns": ["L"],
+          "entries": [
+            {"row": ["v1"],  "condition": {"var": "x1", "equals": 1}},
+            {"row": ["nv1"], "condition": {"var": "x1", "not_equals": 1}}
+          ]
+        }
+      }
+    }
+
+Conditions compose with ``{"and": [...]}, {"or": [...]}, {"not": ...}``
+and the constant ``true`` (or an omitted ``condition`` key).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from fractions import Fraction
+from pathlib import Path
+from typing import Any
+
+from repro.errors import SchemaError
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+_RATIONAL_RE = re.compile(r"^[+-]?\d+/\d+$")
+
+
+def decode_value(value: Any) -> Any:
+    """JSON value → library value (exact rationals where possible)."""
+    if isinstance(value, bool) or value is None:
+        raise SchemaError(f"unsupported JSON value {value!r} in a relation row")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        # Use the decimal rendering so "0.1" means 1/10 exactly.
+        return Fraction(repr(value))
+    if isinstance(value, str) and _RATIONAL_RE.match(value):
+        return Fraction(value)
+    if isinstance(value, str):
+        return value
+    raise SchemaError(f"unsupported JSON value {value!r} in a relation row")
+
+
+def encode_value(value: Any) -> Any:
+    """Library value → JSON value (Fractions render as "p/q")."""
+    if isinstance(value, Fraction):
+        return f"{value.numerator}/{value.denominator}" if value.denominator != 1 else value.numerator
+    if isinstance(value, (int, float, str)):
+        return value
+    raise SchemaError(f"cannot encode value {value!r} as JSON")
+
+
+def database_from_json(data: dict) -> Database:
+    """Build a :class:`Database` from the parsed JSON structure."""
+    try:
+        relations_spec = data["relations"]
+    except (TypeError, KeyError):
+        raise SchemaError('database JSON needs a top-level "relations" object') from None
+    relations = {}
+    for name, spec in relations_spec.items():
+        try:
+            columns = tuple(spec["columns"])
+            raw_rows = spec.get("rows", [])
+        except (TypeError, KeyError):
+            raise SchemaError(
+                f'relation {name!r} needs "columns" (and optional "rows")'
+            ) from None
+        rows = [tuple(decode_value(v) for v in row) for row in raw_rows]
+        relations[name] = Relation(columns, rows)
+    return Database(relations)
+
+
+def database_to_json(db: Database) -> dict:
+    """Serialise a :class:`Database` to the JSON structure."""
+    return {
+        "relations": {
+            name: {
+                "columns": list(db[name].columns),
+                "rows": [
+                    [encode_value(v) for v in row] for row in db[name].sorted_rows()
+                ],
+            }
+            for name in db.names()
+        }
+    }
+
+
+def load_database(path: str | Path) -> Database:
+    """Read a database from a JSON file."""
+    with open(path, encoding="utf-8") as handle:
+        return database_from_json(json.load(handle))
+
+
+def save_database(db: Database, path: str | Path) -> None:
+    """Write a database to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(database_to_json(db), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# pc-tables (Definition 2.1)
+# ---------------------------------------------------------------------------
+
+
+def condition_from_json(data: Any) -> "Condition":
+    """Decode a condition object (see the module docstring grammar)."""
+    from repro.ctables.conditions import (
+        TRUE,
+        Condition,
+        var_eq,
+        var_ne,
+    )
+
+    if data is True or data is None:
+        return TRUE
+    if not isinstance(data, dict):
+        raise SchemaError(f"cannot decode condition {data!r}")
+    if "and" in data:
+        parts = [condition_from_json(part) for part in data["and"]]
+        if not parts:
+            return TRUE
+        combined = parts[0]
+        for part in parts[1:]:
+            combined = combined & part
+        return combined
+    if "or" in data:
+        parts = [condition_from_json(part) for part in data["or"]]
+        if not parts:
+            raise SchemaError("empty disjunction in condition JSON")
+        combined = parts[0]
+        for part in parts[1:]:
+            combined = combined | part
+        return combined
+    if "not" in data:
+        return ~condition_from_json(data["not"])
+    if "var" in data and "equals" in data:
+        return var_eq(data["var"], decode_value(data["equals"]))
+    if "var" in data and "not_equals" in data:
+        return var_ne(data["var"], decode_value(data["not_equals"]))
+    raise SchemaError(f"cannot decode condition {data!r}")
+
+
+def pc_database_from_json(data: dict) -> "PCDatabase":
+    """Decode a :class:`~repro.ctables.pctable.PCDatabase`."""
+    from repro.ctables.pctable import CTable, PCDatabase
+    from repro.probability.distribution import Distribution
+
+    if not isinstance(data, dict) or "variables" not in data or "tables" not in data:
+        raise SchemaError('pc-table JSON needs "variables" and "tables"')
+    variables = {}
+    for name, spec in data["variables"].items():
+        try:
+            values = [decode_value(v) for v in spec["values"]]
+            weights = [decode_value(w) for w in spec.get("weights", [1] * len(values))]
+        except (TypeError, KeyError):
+            raise SchemaError(f'variable {name!r} needs "values" (+ "weights")') from None
+        if len(values) != len(weights):
+            raise SchemaError(f"variable {name!r}: values/weights length mismatch")
+        variables[name] = Distribution(dict(zip(values, weights)))
+    tables = {}
+    for name, spec in data["tables"].items():
+        try:
+            columns = tuple(spec["columns"])
+            raw_entries = spec.get("entries", [])
+        except (TypeError, KeyError):
+            raise SchemaError(f'table {name!r} needs "columns" (+ "entries")') from None
+        entries = []
+        for entry in raw_entries:
+            row = tuple(decode_value(v) for v in entry["row"])
+            condition = condition_from_json(entry.get("condition"))
+            entries.append((row, condition))
+        tables[name] = CTable(columns, entries)
+    return PCDatabase(tables=tables, variables=variables)
+
+
+def load_pc_database(path: str | Path) -> "PCDatabase":
+    """Read a pc-table database from a JSON file."""
+    with open(path, encoding="utf-8") as handle:
+        return pc_database_from_json(json.load(handle))

@@ -1,0 +1,180 @@
+"""Absorption analysis: the general case of Theorem 5.5.
+
+A random walk on a finite chain is absorbed, with probability one, into
+one of the *leaf* (closed) strongly connected components of the SCC
+condensation.  Theorem 5.5 evaluates a non-inflationary query by
+(1) computing the probability of reaching each leaf component and
+(2) the stationary distribution within each leaf, then combining.
+
+The paper sketches step (1) as a (potentially doubly-exponential)
+enumeration of DAG paths; we compute the same quantity exactly with the
+standard absorbing-chain linear system
+
+    h_i(L) = Σ_j P_ij · h_j(L)   for transient i,   h_i(L) = [i ∈ L] on leaves,
+
+solved over rationals with one right-hand column per leaf.  This is a
+faithful substitution: it computes exactly the probability mass the
+path enumeration sums, in polynomial time in the (already exponential)
+chain size.  See DESIGN.md §2 "Substitutions".
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Hashable, TypeVar
+
+from repro.errors import MarkovChainError
+from repro.markov.analysis import leaf_components
+from repro.markov.chain import MarkovChain
+from repro.markov.linalg import solve_exact
+from repro.markov.stationary import stationary_distribution
+from repro.probability.distribution import as_fraction
+
+S = TypeVar("S", bound=Hashable)
+
+
+def absorption_probabilities(
+    chain: MarkovChain[S], start: S
+) -> dict[frozenset[S], Fraction]:
+    """Exact probability of eventual absorption into each leaf SCC,
+    starting from ``start``.
+
+    The probabilities sum to one (absorption is almost sure on finite
+    chains).
+    """
+    leaves = leaf_components(chain)
+    leaf_of: dict[S, int] = {}
+    for leaf_index, leaf in enumerate(leaves):
+        for state in leaf:
+            leaf_of[state] = leaf_index
+
+    if start in leaf_of:
+        return {
+            leaf: Fraction(1) if index == leaf_of[start] else Fraction(0)
+            for index, leaf in enumerate(leaves)
+        }
+
+    transient = [state for state in chain.states if state not in leaf_of]
+    t_index = {state: i for i, state in enumerate(transient)}
+    n = len(transient)
+    k = len(leaves)
+
+    # (I − Q) h = B, where Q is the transient-to-transient block and
+    # B[i][l] is the one-step probability of jumping from transient i
+    # into leaf l.
+    system = [[Fraction(0)] * n for _ in range(n)]
+    rhs = [[Fraction(0)] * k for _ in range(n)]
+    for state in transient:
+        i = t_index[state]
+        system[i][i] = Fraction(1)
+        for successor, weight in chain.successors(state).items():
+            p = as_fraction(weight)
+            if successor in t_index:
+                system[i][t_index[successor]] -= p
+            else:
+                rhs[i][leaf_of[successor]] += p
+
+    solution = solve_exact(system, rhs)
+    start_row = solution[t_index[start]]
+    result = {leaf: start_row[index] for index, leaf in enumerate(leaves)}
+    total = sum(result.values())
+    if total != 1:
+        raise MarkovChainError(
+            f"absorption probabilities sum to {total}, expected 1 — "
+            "the chain is not closed"
+        )
+    return result
+
+
+def long_run_event_probability(
+    chain: MarkovChain[S], start: S, event: Callable[[S], bool]
+) -> Fraction:
+    """The paper's Definition 3.2 query result, exactly (Theorem 5.5).
+
+    ``Pr(event) = Σ_leaf Pr[absorbed into leaf] · Σ_{s ∈ leaf, event(s)} π_leaf(s)``
+
+    where π_leaf is the stationary (= Cesàro) distribution of the
+    sub-chain restricted to the leaf.  Transient states contribute
+    nothing: they are visited only finitely often, so their share of the
+    time-average in Definition 3.2 vanishes in the limit.
+
+    Implementation note: rather than solving one absorption system per
+    leaf, the per-leaf event masses are folded into the boundary values
+    of a *single* system — f(i) = Σ_j P(i,j) f(j) on transient states
+    with f ≡ (leaf's event mass) on each leaf — which computes the same
+    sum with one right-hand side.
+    """
+    leaves = leaf_components(chain)
+    # Event mass of each leaf under its stationary distribution.
+    leaf_value: dict[S, Fraction] = {}
+    for leaf in leaves:
+        sub_chain = chain.restricted_to(leaf)
+        pi = stationary_distribution(sub_chain)
+        mass = sum(
+            (as_fraction(weight) for state, weight in pi.items() if event(state)),
+            Fraction(0),
+        )
+        for state in leaf:
+            leaf_value[state] = mass
+
+    if start in leaf_value:
+        return leaf_value[start]
+
+    transient = [state for state in chain.states if state not in leaf_value]
+    t_index = {state: i for i, state in enumerate(transient)}
+    n = len(transient)
+    system = [[Fraction(0)] * n for _ in range(n)]
+    rhs = [[Fraction(0)] for _ in range(n)]
+    for state in transient:
+        i = t_index[state]
+        system[i][i] = Fraction(1)
+        for successor, weight in chain.successors(state).items():
+            p = as_fraction(weight)
+            if successor in t_index:
+                system[i][t_index[successor]] -= p
+            else:
+                rhs[i][0] += p * leaf_value[successor]
+    solution = solve_exact(system, rhs)
+    return solution[t_index[start]][0]
+
+
+def long_run_state_distribution(
+    chain: MarkovChain[S], start: S
+) -> dict[S, Fraction]:
+    """Long-run occupancy Pr(s) per state (Definition 3.2), exactly.
+
+    Transient states get probability zero; recurrent states get
+    ``Pr[absorb leaf] · π_leaf(s)``.  The values sum to one.
+    """
+    occupancy: dict[S, Fraction] = {state: Fraction(0) for state in chain.states}
+    for leaf, reach in absorption_probabilities(chain, start).items():
+        if reach == 0:
+            continue
+        sub_chain = chain.restricted_to(leaf)
+        pi = stationary_distribution(sub_chain)
+        for state, weight in pi.items():
+            occupancy[state] = reach * as_fraction(weight)
+    return occupancy
+
+
+def expected_absorption_time(chain: MarkovChain[S], start: S) -> Fraction:
+    """Expected number of steps before entering a leaf SCC from ``start``
+    (zero when ``start`` is already recurrent).  Useful for calibrating
+    burn-in in the Theorem 5.6 sampler on reducible chains."""
+    leaves = leaf_components(chain)
+    recurrent = frozenset().union(*leaves) if leaves else frozenset()
+    if start in recurrent:
+        return Fraction(0)
+    transient = [state for state in chain.states if state not in recurrent]
+    t_index = {state: i for i, state in enumerate(transient)}
+    n = len(transient)
+    system = [[Fraction(0)] * n for _ in range(n)]
+    rhs = [[Fraction(1)] for _ in range(n)]
+    for state in transient:
+        i = t_index[state]
+        system[i][i] = Fraction(1)
+        for successor, weight in chain.successors(state).items():
+            if successor in t_index:
+                system[i][t_index[successor]] -= as_fraction(weight)
+    solution = solve_exact(system, rhs)
+    return solution[t_index[start]][0]

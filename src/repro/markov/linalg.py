@@ -1,0 +1,70 @@
+"""Exact linear algebra over rationals.
+
+The exact evaluators of Proposition 5.4 and Theorem 5.5 need stationary
+distributions and absorption probabilities as *exact* rationals (so that
+e.g. Lemma 5.2's "p = 1 iff satisfiable" can be checked with ``==``).
+This module implements Gaussian elimination with partial (first-nonzero)
+pivoting over :class:`fractions.Fraction` — cubic time, no rounding.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from repro.errors import MarkovChainError
+
+Matrix = list[list[Fraction]]
+
+
+def solve_exact(a: Sequence[Sequence[Fraction]], b: Sequence[Sequence[Fraction]]) -> Matrix:
+    """Solve ``A · X = B`` exactly for possibly-multiple right-hand sides.
+
+    ``a`` is an n×n matrix, ``b`` an n×k matrix (k right-hand columns).
+    Raises :class:`MarkovChainError` when A is singular.
+    """
+    n = len(a)
+    if any(len(row) != n for row in a):
+        raise MarkovChainError("coefficient matrix is not square")
+    if len(b) != n:
+        raise MarkovChainError("right-hand side has wrong row count")
+    k = len(b[0]) if n else 0
+    if any(len(row) != k for row in b):
+        raise MarkovChainError("ragged right-hand side")
+
+    # Work on an augmented copy.
+    aug: Matrix = [list(map(Fraction, a[i])) + list(map(Fraction, b[i])) for i in range(n)]
+
+    for col in range(n):
+        pivot_row = next((r for r in range(col, n) if aug[r][col] != 0), None)
+        if pivot_row is None:
+            raise MarkovChainError("singular system in exact solve")
+        if pivot_row != col:
+            aug[col], aug[pivot_row] = aug[pivot_row], aug[col]
+        pivot = aug[col][col]
+        if pivot != 1:
+            aug[col] = [value / pivot for value in aug[col]]
+        for row in range(n):
+            if row == col:
+                continue
+            factor = aug[row][col]
+            if factor == 0:
+                continue
+            pivot_row_values = aug[col]
+            aug[row] = [
+                value - factor * pivot_value
+                for value, pivot_value in zip(aug[row], pivot_row_values)
+            ]
+
+    return [row[n:] for row in aug]
+
+
+def solve_exact_vector(a: Sequence[Sequence[Fraction]], b: Sequence[Fraction]) -> list[Fraction]:
+    """Solve ``A · x = b`` exactly for a single right-hand vector."""
+    solution = solve_exact(a, [[value] for value in b])
+    return [row[0] for row in solution]
+
+
+def identity(n: int) -> Matrix:
+    """The n×n identity matrix over Fractions."""
+    return [[Fraction(1) if i == j else Fraction(0) for j in range(n)] for i in range(n)]

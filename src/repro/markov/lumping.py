@@ -1,0 +1,170 @@
+"""Strong lumping: exact state-space quotients of Markov chains.
+
+The paper's future work asks for "generic optimization techniques for
+query evaluation".  Lumping is the classical one for chain-based
+semantics: when states are equivalent — every state of a block has the
+same total transition probability into every other block — the chain
+*quotients* to one over the blocks, and any question expressible at
+block granularity (such as a query event that is constant on blocks)
+has the same answer on the quotient.  Database-state chains are full of
+such symmetry (indistinguishable walkers, graph automorphisms), so the
+quotient can be exponentially smaller.
+
+:func:`coarsest_lumping` computes the coarsest strong lumping refining
+an initial partition (typically: event-true vs event-false states) by
+signature-based partition refinement; :func:`quotient_chain` builds the
+lumped chain; :func:`repro.core.evaluation.lumped.evaluate_forever_lumped`
+plugs it into query evaluation.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Hashable, Iterable, Sequence, TypeVar
+
+from repro.errors import MarkovChainError
+from repro.markov.chain import MarkovChain
+from repro.probability.distribution import Distribution, as_fraction
+
+S = TypeVar("S", bound=Hashable)
+
+Partition = list[frozenset]
+
+
+def _normalise_partition(chain: MarkovChain[S], blocks: Iterable[Iterable[S]]) -> Partition:
+    partition = [frozenset(block) for block in blocks]
+    partition = [block for block in partition if block]
+    covered: set[S] = set()
+    for block in partition:
+        for state in block:
+            if state not in chain:
+                raise MarkovChainError(f"partition mentions unknown state {state!r}")
+            if state in covered:
+                raise MarkovChainError(f"state {state!r} appears in two blocks")
+            covered.add(state)
+    missing = set(chain.states) - covered
+    if missing:
+        raise MarkovChainError(
+            f"partition misses states {sorted(map(repr, missing))[:4]}"
+        )
+    return partition
+
+
+def _block_index(partition: Partition) -> dict:
+    index = {}
+    for number, block in enumerate(partition):
+        for state in block:
+            index[state] = number
+    return index
+
+
+def is_lumpable(chain: MarkovChain[S], blocks: Iterable[Iterable[S]]) -> bool:
+    """Is the partition a *strong lumping*?
+
+    True iff, for every block B and every block C, all states of B have
+    the same total one-step probability into C.
+    """
+    partition = _normalise_partition(chain, blocks)
+    index = _block_index(partition)
+    for block in partition:
+        signature = None
+        for state in block:
+            sums: dict[int, Fraction] = {}
+            for successor, weight in chain.successors(state).items():
+                target = index[successor]
+                sums[target] = sums.get(target, Fraction(0)) + as_fraction(weight)
+            frozen = frozenset(sums.items())
+            if signature is None:
+                signature = frozen
+            elif frozen != signature:
+                return False
+    return True
+
+
+def coarsest_lumping(
+    chain: MarkovChain[S], initial: Iterable[Iterable[S]]
+) -> Partition:
+    """The coarsest strong lumping refining ``initial``.
+
+    Signature refinement: split each block by the vector of its states'
+    transition masses into the current blocks; repeat until stable.
+    Terminates in at most |states| rounds; the result is the unique
+    coarsest refinement (standard partition-refinement argument).
+    """
+    partition = _normalise_partition(chain, initial)
+    while True:
+        index = _block_index(partition)
+        refined: Partition = []
+        changed = False
+        for block in partition:
+            groups: dict[frozenset, set] = {}
+            for state in block:
+                sums: dict[int, Fraction] = {}
+                for successor, weight in chain.successors(state).items():
+                    target = index[successor]
+                    sums[target] = sums.get(target, Fraction(0)) + as_fraction(weight)
+                groups.setdefault(frozenset(sums.items()), set()).add(state)
+            if len(groups) > 1:
+                changed = True
+            refined.extend(frozenset(group) for group in groups.values())
+        partition = refined
+        if not changed:
+            return partition
+
+
+def quotient_chain(
+    chain: MarkovChain[S], blocks: Iterable[Iterable[S]]
+) -> tuple[MarkovChain[int], dict]:
+    """The lumped chain over block numbers, plus the state → block map.
+
+    Raises :class:`MarkovChainError` when the partition is not a strong
+    lumping (the quotient would be ill-defined).
+    """
+    partition = _normalise_partition(chain, blocks)
+    if not is_lumpable(chain, partition):
+        raise MarkovChainError("partition is not a strong lumping")
+    index = _block_index(partition)
+    transitions: dict[int, Distribution[int]] = {}
+    for number, block in enumerate(partition):
+        representative = next(iter(block))
+        sums: dict[int, Fraction] = {}
+        for successor, weight in chain.successors(representative).items():
+            target = index[successor]
+            sums[target] = sums.get(target, Fraction(0)) + as_fraction(weight)
+        transitions[number] = Distribution(sums, normalise=False)
+    return MarkovChain(transitions), index
+
+
+def lumped_event_probability(
+    chain: MarkovChain[S],
+    start: S,
+    event: Callable[[S], bool],
+) -> tuple[Fraction, int]:
+    """Definition 3.2's long-run event probability via the coarsest
+    event-respecting lumping.
+
+    The initial partition separates event-true from event-false states;
+    the refined quotient preserves block-level dynamics for *every*
+    initial distribution (Kemeny–Snell: that is what strong lumpability
+    means), so starting the quotient walk at the start state's block is
+    exact.  Returns ``(probability, quotient_size)``.
+    """
+    from repro.markov.absorption import long_run_event_probability
+
+    true_states = {s for s in chain.states if event(s)}
+    false_states = set(chain.states) - true_states
+    seed = [true_states, false_states]
+    partition = coarsest_lumping(chain, [b for b in seed if b])
+    quotient, index = quotient_chain(chain, partition)
+
+    block_is_event = {}
+    for state in chain.states:
+        number = index[state]
+        value = event(state)
+        if block_is_event.setdefault(number, value) != value:
+            raise MarkovChainError("lumping failed to respect the event")
+
+    probability = long_run_event_probability(
+        quotient, index[start], lambda b: block_is_event[b]
+    )
+    return probability, quotient.size

@@ -1,0 +1,161 @@
+"""Mixing times and spectral analysis (Sections 2.3 and 5.1).
+
+The mixing time of an ergodic chain is the number of steps after which
+the walk "forgets" its initial state:
+
+    t(ε) = min { t : max_i TV(Pᵗ(i, ·), π) < ε }.
+
+The paper's Theorem 5.6 sampler runs the kernel for t(ε) steps per
+sample; this module computes t(ε) exactly (by float matrix powers) for
+explicit chains, along with the classical spectral bounds
+
+    t(ε) ≥ (t_rel − 1) · ln(1 / 2ε)        (lower)
+    t(ε) ≤ t_rel · ln(1 / (ε · π_min))     (upper)
+
+where t_rel = 1 / (1 − λ⋆) is the relaxation time and λ⋆ the largest
+non-unit absolute eigenvalue of P.  Note the paper's displayed
+definition compares per-state probabilities (an ∞-norm); we use the
+standard total-variation form, which upper-bounds it, so a TV-mixed
+chain is also mixed in the paper's sense.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, TypeVar
+
+import numpy as np
+
+from repro.errors import MarkovChainError
+from repro.markov.analysis import is_aperiodic, is_irreducible
+from repro.markov.chain import MarkovChain
+from repro.markov.stationary import stationary_distribution_float
+
+S = TypeVar("S", bound=Hashable)
+
+#: Hard cap on the number of steps explored when measuring mixing times.
+DEFAULT_STEP_LIMIT = 1_000_000
+
+
+def _require_ergodic(chain: MarkovChain[S]) -> None:
+    if not is_irreducible(chain):
+        raise MarkovChainError("mixing time is defined for irreducible chains")
+    if not is_aperiodic(chain):
+        raise MarkovChainError(
+            "chain is periodic; Pᵗ does not converge and the mixing time "
+            "is undefined (Theorem 5.6 requires an ergodic chain)"
+        )
+
+
+def tv_from_stationary(chain: MarkovChain[S], steps: int) -> float:
+    """``max_i TV(P^steps(i, ·), π)`` — the worst-start TV distance."""
+    _require_ergodic(chain)
+    pi = np.array(
+        [stationary_distribution_float(chain)[state] for state in chain.states]
+    )
+    power = np.linalg.matrix_power(chain.transition_matrix(), steps)
+    return float(np.max(np.abs(power - pi[None, :]).sum(axis=1) / 2.0))
+
+
+def tv_distance_curve(chain: MarkovChain[S], max_steps: int) -> list[float]:
+    """Worst-start TV distance after 0, 1, ..., max_steps steps.
+
+    Useful for plotting convergence; entry 0 is the distance of the
+    worst point mass itself.
+    """
+    _require_ergodic(chain)
+    pi = np.array(
+        [stationary_distribution_float(chain)[state] for state in chain.states]
+    )
+    matrix = chain.transition_matrix()
+    power = np.eye(chain.size)
+    curve = []
+    for _ in range(max_steps + 1):
+        curve.append(float(np.max(np.abs(power - pi[None, :]).sum(axis=1) / 2.0)))
+        power = power @ matrix
+    return curve
+
+
+def mixing_time(
+    chain: MarkovChain[S], epsilon: float = 0.25, step_limit: int = DEFAULT_STEP_LIMIT
+) -> int:
+    """The ε-mixing time t(ε) of an ergodic chain, computed exactly.
+
+    Doubles the step count until the worst-start TV distance drops below
+    ε, then binary-searches the threshold (TV distance from π is
+    non-increasing in t).
+    """
+    if not 0 < epsilon < 1:
+        raise MarkovChainError(f"epsilon must lie in (0, 1), got {epsilon!r}")
+    _require_ergodic(chain)
+    pi = np.array(
+        [stationary_distribution_float(chain)[state] for state in chain.states]
+    )
+    matrix = chain.transition_matrix()
+
+    def distance_at(power: np.ndarray) -> float:
+        return float(np.max(np.abs(power - pi[None, :]).sum(axis=1) / 2.0))
+
+    # Exponential search on t.
+    t = 1
+    power = matrix.copy()
+    powers = {1: power}
+    while distance_at(power) >= epsilon:
+        t *= 2
+        if t > step_limit:
+            raise MarkovChainError(
+                f"chain did not ε-mix within {step_limit} steps (ε={epsilon})"
+            )
+        power = power @ power
+        powers[t] = power
+
+    # Binary search in (t/2, t].
+    low, high = t // 2, t
+    while high - low > 1:
+        mid = (low + high) // 2
+        mid_power = np.linalg.matrix_power(matrix, mid)
+        if distance_at(mid_power) < epsilon:
+            high = mid
+        else:
+            low = mid
+    return high
+
+
+def eigenvalue_gap(chain: MarkovChain[S]) -> float:
+    """The absolute spectral gap ``1 − λ⋆`` of an ergodic chain, where
+    λ⋆ is the largest modulus among non-unit eigenvalues of P."""
+    _require_ergodic(chain)
+    values = np.linalg.eigvals(chain.transition_matrix())
+    moduli = sorted((abs(v) for v in values), reverse=True)
+    # The leading eigenvalue is 1 (row-stochastic matrix).
+    second = moduli[1] if len(moduli) > 1 else 0.0
+    return float(max(0.0, 1.0 - second))
+
+
+def relaxation_time(chain: MarkovChain[S]) -> float:
+    """``t_rel = 1 / gap``; infinite when the gap vanishes numerically."""
+    gap = eigenvalue_gap(chain)
+    if gap <= 1e-15:
+        return float("inf")
+    return 1.0 / gap
+
+
+def mixing_time_upper_bound(chain: MarkovChain[S], epsilon: float = 0.25) -> float:
+    """Spectral upper bound ``t_rel · ln(1 / (ε π_min))`` on t(ε)."""
+    if not 0 < epsilon < 1:
+        raise MarkovChainError(f"epsilon must lie in (0, 1), got {epsilon!r}")
+    t_rel = relaxation_time(chain)
+    pi = stationary_distribution_float(chain)
+    pi_min = min(pi.values())
+    if pi_min <= 0:
+        return float("inf")
+    return t_rel * float(np.log(1.0 / (epsilon * pi_min)))
+
+
+def mixing_time_lower_bound(chain: MarkovChain[S], epsilon: float = 0.25) -> float:
+    """Spectral lower bound ``(t_rel − 1) · ln(1 / 2ε)`` on t(ε)."""
+    if not 0 < epsilon < 0.5:
+        raise MarkovChainError(
+            f"the lower bound needs epsilon in (0, 0.5), got {epsilon!r}"
+        )
+    t_rel = relaxation_time(chain)
+    return max(0.0, (t_rel - 1.0) * float(np.log(1.0 / (2.0 * epsilon))))

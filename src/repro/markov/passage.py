@@ -1,0 +1,154 @@
+"""First-passage (hitting) analysis.
+
+Extensions over the paper's long-run semantics that fall out of the
+same machinery: the probability of *ever* hitting a set of states, and
+the expected number of steps to do so.  Both are classical first-step
+analyses — make the target states absorbing and solve the absorption /
+expected-absorption-time systems exactly.
+
+Used by :func:`repro.core.evaluation.passage.event_hitting_probability`
+to answer "will the forever-loop ever satisfy the event, and how soon?"
+— a different question from Definition 3.2's long-run occupancy (a
+transient event can be hit with probability 1 yet have long-run
+probability 0).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Hashable, TypeVar
+
+from repro.errors import MarkovChainError
+from repro.markov.chain import MarkovChain
+from repro.markov.linalg import solve_exact
+from repro.probability.distribution import Distribution, as_fraction
+
+S = TypeVar("S", bound=Hashable)
+
+
+def _target_states(chain: MarkovChain[S], target: Callable[[S], bool]) -> frozenset[S]:
+    return frozenset(state for state in chain.states if target(state))
+
+
+def hitting_probability(
+    chain: MarkovChain[S], start: S, target: Callable[[S], bool]
+) -> Fraction:
+    """Pr[the walk from ``start`` ever enters a target state], exactly.
+
+    Solves ``h(i) = Σ_j P(i,j) h(j)`` on non-target states with
+    ``h = 1`` on targets; states that cannot reach the target get the
+    (unique minimal) solution 0 by eliminating them first.
+    """
+    targets = _target_states(chain, target)
+    if start in targets:
+        return Fraction(1)
+    if not targets:
+        return Fraction(0)
+
+    # Restrict to states that can reach a target at all: the linear
+    # system is singular on the "never reaches" part, whose h is 0.
+    can_reach = set(targets)
+    changed = True
+    while changed:
+        changed = False
+        for state in chain.states:
+            if state in can_reach:
+                continue
+            if any(s in can_reach for s in chain.successors(state)):
+                can_reach.add(state)
+                changed = True
+    if start not in can_reach:
+        return Fraction(0)
+
+    unknowns = [s for s in chain.states if s in can_reach and s not in targets]
+    index = {s: i for i, s in enumerate(unknowns)}
+    n = len(unknowns)
+    system = [[Fraction(0)] * n for _ in range(n)]
+    rhs = [[Fraction(0)] for _ in range(n)]
+    for state in unknowns:
+        i = index[state]
+        system[i][i] += Fraction(1)
+        for successor, weight in chain.successors(state).items():
+            p = as_fraction(weight)
+            if successor in targets:
+                rhs[i][0] += p
+            elif successor in index:
+                system[i][index[successor]] -= p
+            # successors outside can_reach contribute h = 0
+    solution = solve_exact(system, rhs)
+    return solution[index[start]][0]
+
+
+def expected_hitting_time(
+    chain: MarkovChain[S], start: S, target: Callable[[S], bool]
+) -> Fraction:
+    """E[steps until the walk from ``start`` first enters a target
+    state]; raises when the target is not hit almost surely (the
+    expectation would be infinite)."""
+    targets = _target_states(chain, target)
+    if start in targets:
+        return Fraction(0)
+    if hitting_probability(chain, start, target) != 1:
+        raise MarkovChainError(
+            "expected hitting time is infinite: the target is missed with "
+            "positive probability"
+        )
+    # All states reachable from start hit the target a.s.; solve
+    # t(i) = 1 + sum_j P(i,j) t(j) over reachable non-target states.
+    reachable = {start}
+    frontier = [start]
+    while frontier:
+        state = frontier.pop()
+        if state in targets:
+            continue
+        for successor in chain.successors(state):
+            if successor not in reachable:
+                reachable.add(successor)
+                frontier.append(successor)
+    unknowns = [s for s in chain.states if s in reachable and s not in targets]
+    index = {s: i for i, s in enumerate(unknowns)}
+    n = len(unknowns)
+    system = [[Fraction(0)] * n for _ in range(n)]
+    rhs = [[Fraction(1)] for _ in range(n)]
+    for state in unknowns:
+        i = index[state]
+        system[i][i] += Fraction(1)
+        for successor, weight in chain.successors(state).items():
+            if successor in index:
+                system[i][index[successor]] -= as_fraction(weight)
+    solution = solve_exact(system, rhs)
+    return solution[index[start]][0]
+
+
+def hitting_time_distribution(
+    chain: MarkovChain[S], start: S, target: Callable[[S], bool], horizon: int
+) -> Distribution[int]:
+    """Exact distribution of the first hitting time, truncated at
+    ``horizon`` (the outcome ``horizon + 1`` aggregates "not yet hit").
+    """
+    if horizon < 0:
+        raise MarkovChainError("horizon must be non-negative")
+    targets = _target_states(chain, target)
+    weights: dict[int, Fraction] = {}
+    if start in targets:
+        return Distribution.point(0)
+    alive: dict[S, Fraction] = {start: Fraction(1)}
+    for step in range(1, horizon + 1):
+        next_alive: dict[S, Fraction] = {}
+        hit = Fraction(0)
+        for state, mass in alive.items():
+            for successor, weight in chain.successors(state).items():
+                p = mass * as_fraction(weight)
+                if successor in targets:
+                    hit += p
+                else:
+                    next_alive[successor] = next_alive.get(successor, Fraction(0)) + p
+        if hit > 0:
+            weights[step] = hit
+        alive = next_alive
+        if not alive:
+            break
+    remaining = sum(alive.values())
+    if remaining > 0:
+        weights[horizon + 1] = remaining
+    return Distribution(weights, normalise=False)

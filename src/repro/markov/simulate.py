@@ -1,0 +1,72 @@
+"""Random-walk simulation utilities.
+
+Thin, seeded wrappers around :meth:`MarkovChain.walk` used by the
+Theorem 5.6 sampler and by the empirical-validation benchmarks (e.g.
+checking the Definition 3.2 Cesàro limit by simulation).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Hashable, TypeVar
+
+from repro.errors import MarkovChainError
+from repro.markov.chain import MarkovChain
+from repro.probability.rng import RngLike, make_rng
+
+S = TypeVar("S", bound=Hashable)
+
+
+def walk_states(
+    chain: MarkovChain[S], start: S, steps: int, rng: RngLike = None
+) -> list[S]:
+    """The full trajectory [start, X₁, ..., X_steps] of one random walk."""
+    generator = make_rng(rng)
+    return [start] + list(chain.walk(start, steps, generator))
+
+
+def state_after(chain: MarkovChain[S], start: S, steps: int, rng: RngLike = None) -> S:
+    """The state reached after ``steps`` transitions from ``start``."""
+    generator = make_rng(rng)
+    state = start
+    for state in chain.walk(start, steps, generator):
+        pass
+    return state
+
+
+def occupancy_frequencies(
+    chain: MarkovChain[S], start: S, steps: int, rng: RngLike = None
+) -> dict[S, float]:
+    """Empirical occupancy of one long walk: the fraction of the first
+    ``steps`` positions (after the start) spent in each state.
+
+    This is a single-trajectory estimate of the paper's Definition 3.2
+    long-run probability; for irreducible chains it converges to π by
+    the ergodic theorem.
+    """
+    if steps < 1:
+        raise MarkovChainError("occupancy needs at least one step")
+    generator = make_rng(rng)
+    counts: Counter[S] = Counter()
+    for state in chain.walk(start, steps, generator):
+        counts[state] += 1
+    return {state: count / steps for state, count in counts.items()}
+
+
+def event_frequency(
+    chain: MarkovChain[S],
+    start: S,
+    event: Callable[[S], bool],
+    steps: int,
+    rng: RngLike = None,
+) -> float:
+    """Fraction of the walk's time during which ``event`` holds —
+    the simulated counterpart of Definition 3.2's query result."""
+    if steps < 1:
+        raise MarkovChainError("event frequency needs at least one step")
+    generator = make_rng(rng)
+    hits = 0
+    for state in chain.walk(start, steps, generator):
+        if event(state):
+            hits += 1
+    return hits / steps

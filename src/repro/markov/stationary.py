@@ -1,0 +1,134 @@
+"""Stationary distributions of finite Markov chains.
+
+For an irreducible (finite, hence positively recurrent) chain the
+stationary distribution π with π = πP uniquely exists (Section 2.3) and
+equals the Cesàro limit in the paper's Definition 3.2 semantics, even
+when the chain is periodic.  Two solvers are provided:
+
+* :func:`stationary_distribution` — exact, over rationals, by Gaussian
+  elimination on the system ``π(P − I) = 0, Σπ = 1`` (the "Gaussian
+  elimination on this matrix to compute the principal eigenvector" step
+  of Proposition 5.4);
+* :func:`stationary_distribution_float` — float64 via numpy, for larger
+  chains.
+
+Also here: :func:`power_iteration` (converges for aperiodic irreducible
+chains) and :func:`cesaro_average` (converges for all irreducible
+chains; useful to validate the Definition 3.2 limit empirically).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Hashable, TypeVar
+
+import numpy as np
+
+from repro.errors import MarkovChainError
+from repro.markov.analysis import is_irreducible
+from repro.markov.chain import MarkovChain
+from repro.markov.linalg import solve_exact_vector
+from repro.probability.distribution import Distribution
+
+S = TypeVar("S", bound=Hashable)
+
+
+def stationary_distribution(chain: MarkovChain[S]) -> Distribution[S]:
+    """The unique stationary distribution of an irreducible chain, exact.
+
+    Solves the transposed balance equations ``(Pᵀ − I)π = 0`` with one
+    equation replaced by the normalisation ``Σᵢ πᵢ = 1``.
+
+    Raises :class:`MarkovChainError` for reducible chains, where the
+    stationary distribution is not unique (use
+    :mod:`repro.markov.absorption` and per-leaf stationary distributions
+    instead, per Theorem 5.5).
+    """
+    if not is_irreducible(chain):
+        raise MarkovChainError(
+            "stationary distribution requested for a reducible chain; "
+            "it is not unique — use leaf-SCC analysis (Theorem 5.5)"
+        )
+    n = chain.size
+    matrix = chain.exact_matrix()
+    # Build (Pᵀ − I), then replace the last row by the normalisation.
+    system = [[matrix[j][i] - (1 if i == j else 0) for j in range(n)] for i in range(n)]
+    system[n - 1] = [Fraction(1)] * n
+    rhs = [Fraction(0)] * (n - 1) + [Fraction(1)]
+    solution = solve_exact_vector(system, rhs)
+    return Distribution(
+        {state: value for state, value in zip(chain.states, solution)},
+        normalise=False,
+    )
+
+
+def stationary_distribution_float(chain: MarkovChain[S]) -> dict[S, float]:
+    """Float64 stationary distribution of an irreducible chain (numpy)."""
+    if not is_irreducible(chain):
+        raise MarkovChainError(
+            "stationary distribution requested for a reducible chain"
+        )
+    n = chain.size
+    matrix = chain.transition_matrix()
+    system = matrix.T - np.eye(n)
+    system[-1, :] = 1.0
+    rhs = np.zeros(n)
+    rhs[-1] = 1.0
+    solution = np.linalg.solve(system, rhs)
+    # Clip tiny negative round-off and renormalise.
+    solution = np.clip(solution, 0.0, None)
+    solution /= solution.sum()
+    return {state: float(p) for state, p in zip(chain.states, solution)}
+
+
+def power_iteration(
+    chain: MarkovChain[S],
+    start: S,
+    tolerance: float = 1e-12,
+    max_steps: int = 100_000,
+) -> dict[S, float]:
+    """Iterate ``μ ← μP`` from a point mass until the L1 change is below
+    ``tolerance``.  Converges to π for irreducible *aperiodic* chains;
+    periodic chains oscillate — use :func:`cesaro_average` for those.
+    """
+    matrix = chain.transition_matrix()
+    mu = np.zeros(chain.size)
+    mu[chain.index_of(start)] = 1.0
+    for _ in range(max_steps):
+        nxt = mu @ matrix
+        if np.abs(nxt - mu).sum() < tolerance:
+            mu = nxt
+            break
+        mu = nxt
+    else:
+        raise MarkovChainError(
+            f"power iteration did not converge in {max_steps} steps "
+            "(is the chain periodic?)"
+        )
+    return {state: float(p) for state, p in zip(chain.states, mu)}
+
+
+def cesaro_average(chain: MarkovChain[S], start: S, steps: int) -> dict[S, float]:
+    """The time-averaged occupancy ``(1/t) Σ_{k<t} P^k(start, ·)``.
+
+    This is exactly the quantity inside the paper's Definition 3.2
+    limit; for irreducible chains it converges to π as ``steps → ∞``
+    regardless of periodicity.
+    """
+    if steps < 1:
+        raise MarkovChainError("cesaro_average needs at least one step")
+    matrix = chain.transition_matrix()
+    mu = np.zeros(chain.size)
+    mu[chain.index_of(start)] = 1.0
+    acc = mu.copy()
+    for _ in range(steps - 1):
+        mu = mu @ matrix
+        acc += mu
+    acc /= steps
+    return {state: float(p) for state, p in zip(chain.states, acc)}
+
+
+def is_stationary(chain: MarkovChain[S], pi: Distribution[S]) -> bool:
+    """Exact check of the balance equations π = πP (any chain)."""
+    stepped = chain.step_distribution(pi)
+    return stepped == pi

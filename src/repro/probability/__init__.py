@@ -1,0 +1,32 @@
+"""Probability substrate: exact finite distributions, Chernoff planning,
+seeded RNG helpers."""
+
+from repro.probability.chernoff import (
+    hoeffding_epsilon,
+    hoeffding_failure_probability,
+    hoeffding_sample_count,
+    majority_vote_failure_probability,
+    majority_vote_runs,
+    paper_sample_count,
+)
+from repro.probability.distribution import (
+    Distribution,
+    as_fraction,
+    product_distribution,
+)
+from repro.probability.rng import RngLike, make_rng, spawn
+
+__all__ = [
+    "Distribution",
+    "RngLike",
+    "as_fraction",
+    "hoeffding_epsilon",
+    "hoeffding_failure_probability",
+    "hoeffding_sample_count",
+    "majority_vote_failure_probability",
+    "majority_vote_runs",
+    "make_rng",
+    "paper_sample_count",
+    "product_distribution",
+    "spawn",
+]

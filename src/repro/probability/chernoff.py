@@ -1,0 +1,109 @@
+"""Chernoff–Hoeffding sample-size planning.
+
+Section 2.1 and Theorem 4.3 of the paper use two standard Chernoff-bound
+arguments:
+
+* the (additive) Hoeffding bound on an empirical mean of i.i.d. Boolean
+  samples, giving ``Pr(|p − p̂| ≥ ε) ≤ 2·exp(−2·ε²·m)``, which yields the
+  sample count ``m ≥ ln(1/δ)/(4ε²)`` quoted in the proof of Theorem 4.3
+  (the paper's own, slightly conservative, constant is kept so measured
+  numbers line up with the paper); and
+
+* the BPP error-amplification argument (majority vote over independent
+  runs), whose required run count is logarithmic in the inverse target
+  error Γ (end of the proof of Theorem 4.1).
+
+Both calculations are implemented here so the evaluators and benchmarks
+share a single audited source of sample counts.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ProbabilityError
+
+
+def _check_epsilon_delta(epsilon: float, delta: float) -> None:
+    if not 0 < epsilon < 1:
+        raise ProbabilityError(f"epsilon must lie in (0, 1), got {epsilon!r}")
+    if not 0 < delta < 1:
+        raise ProbabilityError(f"delta must lie in (0, 1), got {delta!r}")
+
+
+def paper_sample_count(epsilon: float, delta: float) -> int:
+    """Sample count from the proof of Theorem 4.3: ``m ≥ ln(1/δ)/(4ε²)``.
+
+    With ``m`` samples, the empirical mean p̂ of a Boolean variable
+    satisfies ``Pr(|p̂ − p| ≥ ε) ≤ δ`` under the paper's bound
+    ``2·e^{−2ε²m} ≤ e^{ln(δ)/2}``.  Note the paper states the guarantee
+    as holding "with probability at least δ"; throughout this library
+    ``delta`` is the *failure* probability (the conventional reading).
+    """
+    _check_epsilon_delta(epsilon, delta)
+    return max(1, math.ceil(math.log(1.0 / delta) / (4.0 * epsilon * epsilon)))
+
+
+def hoeffding_sample_count(epsilon: float, delta: float) -> int:
+    """The tight two-sided Hoeffding count ``m ≥ ln(2/δ)/(2ε²)``.
+
+    Guarantees ``Pr(|p̂ − p| ≥ ε) ≤ 2·exp(−2ε²m) ≤ δ``.
+    """
+    _check_epsilon_delta(epsilon, delta)
+    return max(1, math.ceil(math.log(2.0 / delta) / (2.0 * epsilon * epsilon)))
+
+
+def hoeffding_failure_probability(epsilon: float, samples: int) -> float:
+    """Upper bound ``2·exp(−2ε²m)`` on ``Pr(|p̂ − p| ≥ ε)``."""
+    if samples < 1:
+        raise ProbabilityError(f"sample count must be positive, got {samples!r}")
+    if not 0 < epsilon < 1:
+        raise ProbabilityError(f"epsilon must lie in (0, 1), got {epsilon!r}")
+    return min(1.0, 2.0 * math.exp(-2.0 * epsilon * epsilon * samples))
+
+
+def hoeffding_epsilon(samples: int, delta: float) -> float:
+    """The additive accuracy achievable with ``m`` samples at failure
+    probability ``δ``: ``ε = sqrt(ln(2/δ) / (2m))``."""
+    if samples < 1:
+        raise ProbabilityError(f"sample count must be positive, got {samples!r}")
+    if not 0 < delta < 1:
+        raise ProbabilityError(f"delta must lie in (0, 1), got {delta!r}")
+    return math.sqrt(math.log(2.0 / delta) / (2.0 * samples))
+
+
+def majority_vote_runs(per_run_error: float, target_error: float) -> int:
+    """Number of independent runs N so that a majority vote over runs,
+    each individually wrong with probability ``per_run_error`` < 1/2,
+    is wrong with probability at most ``target_error``.
+
+    This is the amplification step closing the proof of Theorem 4.1:
+    with β = 1 − 1/(2(1−δ)), the failure probability is bounded by
+    ``exp(−N(1−δ)β²/2)``, so ``N > 2·ln(1/Γ) / ((1−δ)·β²)`` suffices.
+    """
+    if not 0 < per_run_error < 0.5:
+        raise ProbabilityError(
+            f"per-run error must lie in (0, 0.5) for amplification, got {per_run_error!r}"
+        )
+    if not 0 < target_error < 1:
+        raise ProbabilityError(f"target error must lie in (0, 1), got {target_error!r}")
+    success = 1.0 - per_run_error
+    beta = 1.0 - 1.0 / (2.0 * success)
+    runs = 2.0 * math.log(1.0 / target_error) / (success * beta * beta)
+    n = max(1, math.ceil(runs))
+    # Majority vote needs an odd run count to avoid ties.
+    return n if n % 2 == 1 else n + 1
+
+
+def majority_vote_failure_probability(per_run_error: float, runs: int) -> float:
+    """Chernoff upper bound on the majority vote being wrong after
+    ``runs`` independent runs with the given per-run error."""
+    if runs < 1:
+        raise ProbabilityError(f"run count must be positive, got {runs!r}")
+    if not 0 < per_run_error < 0.5:
+        raise ProbabilityError(
+            f"per-run error must lie in (0, 0.5), got {per_run_error!r}"
+        )
+    success = 1.0 - per_run_error
+    beta = 1.0 - 1.0 / (2.0 * success)
+    return min(1.0, math.exp(-runs * success * beta * beta / 2.0))

@@ -1,0 +1,293 @@
+"""Exact finite probability distributions over hashable outcomes.
+
+:class:`Distribution` is the workhorse of every exact algorithm in this
+library: possible-worlds sets of ``repair-key`` (Section 2.2), the
+probabilistic databases Q(A) produced by probabilistic first-order
+interpretations (Definition 3.1), and the transition rows of the Markov
+chain over database states all *are* finite distributions.
+
+Weights may be :class:`fractions.Fraction` (the default for all exact
+code paths — probabilities stay exact rationals end-to-end) or floats.
+Outcomes with equal value are merged and their weights summed, so a
+distribution is a canonical mapping outcome → probability.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from fractions import Fraction
+from typing import Any, Callable, Generic, Hashable, Iterable, Iterator, Mapping, TypeVar
+
+from repro.errors import ProbabilityError
+
+T = TypeVar("T", bound=Hashable)
+U = TypeVar("U", bound=Hashable)
+
+Numeric = Any  # Fraction | int | float
+
+#: Tolerance used when checking float-weighted distributions for
+#: normalisation.  Exact (Fraction) distributions are checked exactly.
+FLOAT_TOLERANCE = 1e-9
+
+
+def as_fraction(value: Numeric) -> Fraction:
+    """Convert a numeric weight to an exact :class:`Fraction`.
+
+    Floats convert to their exact binary value (so ``0.5`` becomes
+    ``1/2`` exactly); ints and Fractions pass through.
+    """
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise ProbabilityError(f"weight must be finite, got {value!r}")
+        return Fraction(value)
+    raise ProbabilityError(f"cannot interpret {value!r} as a probability weight")
+
+
+class Distribution(Generic[T]):
+    """A finite probability distribution over hashable outcomes.
+
+    Parameters
+    ----------
+    weights:
+        Mapping (or iterable of pairs) from outcome to non-negative
+        weight.  Outcomes of zero weight are dropped; duplicate outcomes
+        are merged.
+    normalise:
+        When true (default), weights are divided by their sum.  When
+        false, the weights must already sum to one (checked exactly for
+        Fractions, up to :data:`FLOAT_TOLERANCE` for floats).
+
+    Examples
+    --------
+    >>> d = Distribution({"a": Fraction(1, 2), "b": Fraction(1, 2)})
+    >>> d.probability("a")
+    Fraction(1, 2)
+    >>> d.map(str.upper).probability("A")
+    Fraction(1, 2)
+    """
+
+    __slots__ = ("_weights",)
+
+    def __init__(
+        self,
+        weights: Mapping[T, Numeric] | Iterable[tuple[T, Numeric]],
+        normalise: bool = True,
+    ):
+        items = weights.items() if isinstance(weights, Mapping) else weights
+        merged: dict[T, Numeric] = {}
+        for outcome, weight in items:
+            if isinstance(weight, (int, Fraction)):
+                pass
+            elif isinstance(weight, float):
+                if not math.isfinite(weight):
+                    raise ProbabilityError(f"weight must be finite, got {weight!r}")
+            else:
+                raise ProbabilityError(f"invalid weight {weight!r} for {outcome!r}")
+            if weight < 0:
+                raise ProbabilityError(f"negative weight {weight!r} for {outcome!r}")
+            if weight == 0:
+                continue
+            if outcome in merged:
+                merged[outcome] = merged[outcome] + weight
+            else:
+                merged[outcome] = weight
+        if not merged:
+            raise ProbabilityError("distribution must have at least one outcome of positive weight")
+        total = sum(merged.values())
+        if normalise:
+            if any(isinstance(w, float) for w in merged.values()):
+                merged = {o: w / total for o, w in merged.items()}
+            else:
+                ftotal = as_fraction(total)
+                merged = {o: as_fraction(w) / ftotal for o, w in merged.items()}
+        else:
+            if any(isinstance(w, float) for w in merged.values()):
+                if abs(total - 1.0) > FLOAT_TOLERANCE:
+                    raise ProbabilityError(f"weights sum to {total!r}, expected 1")
+            elif as_fraction(total) != 1:
+                raise ProbabilityError(f"weights sum to {total!r}, expected 1")
+        self._weights: dict[T, Numeric] = merged
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def _trusted(cls, weights: dict) -> "Distribution[T]":
+        """Internal: wrap an already-validated, already-normalised weight
+        dict without re-checking.  Only for combinator outputs whose
+        invariants hold by construction (map/bind/product of valid
+        distributions)."""
+        instance = cls.__new__(cls)
+        instance._weights = weights
+        return instance
+
+    @classmethod
+    def point(cls, outcome: T) -> "Distribution[T]":
+        """The Dirac distribution on a single outcome."""
+        return cls._trusted({outcome: Fraction(1)})
+
+    @classmethod
+    def uniform(cls, outcomes: Iterable[T]) -> "Distribution[T]":
+        """The uniform distribution over the given (distinct) outcomes."""
+        items = list(outcomes)
+        if not items:
+            raise ProbabilityError("uniform distribution over empty set")
+        weight = Fraction(1, len(items))
+        merged: dict[T, Fraction] = {}
+        for item in items:
+            merged[item] = merged.get(item, Fraction(0)) + weight
+        return cls(merged, normalise=False)
+
+    @classmethod
+    def bernoulli(cls, p: Numeric, true_outcome: T = True, false_outcome: T = False) -> "Distribution[T]":
+        """A two-outcome distribution: ``true_outcome`` w.p. ``p``."""
+        frac = as_fraction(p)
+        if not 0 <= frac <= 1:
+            raise ProbabilityError(f"Bernoulli parameter {p!r} outside [0, 1]")
+        return cls({true_outcome: frac, false_outcome: 1 - frac})
+
+    # -- mapping / container protocol ---------------------------------------
+
+    def probability(self, outcome: T) -> Numeric:
+        """P(outcome); zero for outcomes outside the support."""
+        return self._weights.get(outcome, Fraction(0))
+
+    def __getitem__(self, outcome: T) -> Numeric:
+        return self.probability(outcome)
+
+    def __contains__(self, outcome: T) -> bool:
+        return outcome in self._weights
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._weights)
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    def items(self) -> Iterable[tuple[T, Numeric]]:
+        """(outcome, probability) pairs."""
+        return self._weights.items()
+
+    def support(self) -> frozenset[T]:
+        """The outcomes of positive probability."""
+        return frozenset(self._weights)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Distribution):
+            return NotImplemented
+        return self._weights == other._weights
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._weights.items()))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{o!r}: {w}" for o, w in list(self._weights.items())[:4])
+        suffix = ", ..." if len(self._weights) > 4 else ""
+        return f"Distribution({{{parts}{suffix}}})"
+
+    # -- combinators ---------------------------------------------------------
+
+    def map(self, func: Callable[[T], U]) -> "Distribution[U]":
+        """Pushforward distribution of ``func``; colliding images merge."""
+        out: dict[U, Numeric] = {}
+        for outcome, weight in self._weights.items():
+            image = func(outcome)
+            if image in out:
+                out[image] = out[image] + weight
+            else:
+                out[image] = weight
+        return Distribution._trusted(out)
+
+    def product(self, other: "Distribution[U]") -> "Distribution[tuple[T, U]]":
+        """Joint distribution of two *independent* distributions."""
+        out: dict[tuple[T, U], Numeric] = {}
+        for a, wa in self._weights.items():
+            for b, wb in other._weights.items():
+                out[(a, b)] = wa * wb
+        return Distribution._trusted(out)
+
+    def bind(self, func: Callable[[T], "Distribution[U]"]) -> "Distribution[U]":
+        """Monadic bind: draw ``x ~ self`` then ``y ~ func(x)``.
+
+        This is exactly one probabilistic computation step followed by
+        another, as in the world-sequence semantics of Definition 3.2.
+        """
+        out: dict[U, Numeric] = {}
+        for outcome, weight in self._weights.items():
+            for image, iw in func(outcome).items():
+                contribution = weight * iw
+                if image in out:
+                    out[image] = out[image] + contribution
+                else:
+                    out[image] = contribution
+        return Distribution._trusted(out)
+
+    def condition(self, event: Callable[[T], bool]) -> "Distribution[T]":
+        """The conditional distribution given ``event`` (renormalised)."""
+        kept = {o: w for o, w in self._weights.items() if event(o)}
+        if not kept:
+            raise ProbabilityError("conditioning on an event of probability zero")
+        return Distribution(kept)
+
+    def expectation(self, func: Callable[[T], Numeric]) -> Numeric:
+        """E[func(X)]."""
+        return sum(w * func(o) for o, w in self._weights.items())
+
+    def probability_of(self, event: Callable[[T], bool]) -> Numeric:
+        """P(event)."""
+        total: Numeric = Fraction(0)
+        for outcome, weight in self._weights.items():
+            if event(outcome):
+                total = total + weight
+        return total
+
+    def total_variation(self, other: "Distribution[T]") -> Numeric:
+        """Total-variation distance (1/2) Σ |p(x) − q(x)|."""
+        keys = set(self._weights) | set(other._weights)
+        gap = sum(abs(self.probability(k) - other.probability(k)) for k in keys)
+        if isinstance(gap, int):
+            gap = Fraction(gap)
+        return gap / 2
+
+    # -- sampling -------------------------------------------------------------
+
+    def sample(self, rng: random.Random) -> T:
+        """Draw one outcome using the supplied seeded RNG."""
+        # random.choices is float-based; an explicit inverse-CDF walk over
+        # exact weights keeps tiny probabilities honest.
+        outcomes = list(self._weights)
+        weights = [float(self._weights[o]) for o in outcomes]
+        total = sum(weights)
+        pick = rng.random() * total
+        acc = 0.0
+        for outcome, weight in zip(outcomes, weights):
+            acc += weight
+            if pick < acc:
+                return outcome
+        return outcomes[-1]
+
+    def sample_many(self, rng: random.Random, count: int) -> list[T]:
+        """Draw ``count`` independent outcomes."""
+        return [self.sample(rng) for _ in range(count)]
+
+    def as_floats(self) -> dict[T, float]:
+        """The distribution as a plain float dict."""
+        return {o: float(w) for o, w in self._weights.items()}
+
+
+def product_distribution(parts: Iterable[Distribution[Any]]) -> Distribution[tuple[Any, ...]]:
+    """Joint distribution of several independent distributions.
+
+    The outcome is the tuple of per-part outcomes, in input order.
+    An empty input yields the point distribution on the empty tuple.
+    """
+    result: Distribution[tuple[Any, ...]] = Distribution.point(())
+    for part in parts:
+        result = result.bind(
+            lambda prefix, part=part: part.map(lambda x, prefix=prefix: prefix + (x,))
+        )
+    return result

@@ -1,0 +1,36 @@
+"""Seeded random-number-generator helpers.
+
+Every sampling entry point in this library takes either a seed or a
+``random.Random`` instance, never the global RNG, so that all
+experiments are reproducible run-to-run.  :func:`make_rng` normalises
+the accepted spellings.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Union
+
+RngLike = Union[random.Random, int, None]
+
+
+def make_rng(rng: RngLike = None) -> random.Random:
+    """Normalise a seed / RNG / None argument to a ``random.Random``.
+
+    * ``random.Random`` instances pass through unchanged (shared state).
+    * Integers seed a fresh generator deterministically.
+    * ``None`` creates a fresh OS-seeded generator (non-reproducible;
+      fine for exploratory use, avoided by tests and benchmarks).
+    """
+    if isinstance(rng, random.Random):
+        return rng
+    return random.Random(rng)
+
+
+def spawn(rng: random.Random) -> random.Random:
+    """Derive an independent child generator from ``rng``.
+
+    Used when a task fans out into parallel sub-tasks that must not
+    interleave draws from the parent stream.
+    """
+    return random.Random(rng.getrandbits(64))

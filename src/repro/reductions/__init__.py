@@ -1,0 +1,50 @@
+"""Mechanised hardness constructions (Theorems 4.1 and 5.1) and the
+3-CNF machinery they reduce from."""
+
+from repro.reductions.cnf import (
+    CNFError,
+    CNFFormula,
+    random_3cnf,
+    satisfiable_formula,
+    unsatisfiable_formula,
+)
+from repro.reductions.thm41 import (
+    Thm41Instance,
+    build_thm41_instance,
+    build_thm41_pctable_instance,
+    build_thm41_repairkey_instance,
+    clause_name,
+    decide_sat_via_relative_approximation,
+    literal_name,
+)
+from repro.reductions.thm41 import exact_probability as thm41_exact_probability
+from repro.reductions.thm41 import sampled_probability as thm41_sampled_probability
+from repro.reductions.thm51 import (
+    Thm51Instance,
+    build_thm51_instance,
+    decide_sat_via_absolute_approximation,
+    simulated_probability,
+)
+from repro.reductions.thm51 import exact_probability as thm51_exact_probability
+
+__all__ = [
+    "CNFError",
+    "CNFFormula",
+    "Thm41Instance",
+    "Thm51Instance",
+    "build_thm41_instance",
+    "build_thm41_pctable_instance",
+    "build_thm41_repairkey_instance",
+    "build_thm51_instance",
+    "clause_name",
+    "decide_sat_via_absolute_approximation",
+    "decide_sat_via_relative_approximation",
+    "literal_name",
+    "random_3cnf",
+    "satisfiable_formula",
+    "simulated_probability",
+    "thm41_exact_probability",
+    "thm41_sampled_probability",
+    "thm51_exact_probability",
+    "unsatisfiable_formula",
+]

@@ -1,0 +1,193 @@
+"""CNF formulas, SAT solving, and model counting.
+
+The hardness constructions of Theorems 4.1 and 5.1 reduce from 3-SAT;
+this module provides the formula type they reduce *from*, a brute-force
+model counter (ground truth for Lemma 4.2: the query probability equals
+♯models / 2ⁿ), a DPLL satisfiability decider for larger instances, and
+random / crafted instance generators.
+
+Literals use the DIMACS convention: variables are 1..n, a positive
+integer i is the literal xᵢ, a negative integer −i is ¬xᵢ.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ReproError
+from repro.probability.rng import RngLike, make_rng
+
+
+class CNFError(ReproError):
+    """An ill-formed CNF formula."""
+
+
+@dataclass(frozen=True)
+class CNFFormula:
+    """A CNF formula over variables 1..num_variables.
+
+    Examples
+    --------
+    >>> f = CNFFormula(2, [(1, 2), (-1, 2)])
+    >>> f.count_models()
+    2
+    >>> f.is_satisfiable()
+    True
+    """
+
+    num_variables: int
+    clauses: tuple[tuple[int, ...], ...]
+
+    def __init__(self, num_variables: int, clauses: Iterable[Sequence[int]]):
+        object.__setattr__(self, "num_variables", num_variables)
+        normalised = tuple(tuple(clause) for clause in clauses)
+        object.__setattr__(self, "clauses", normalised)
+        if num_variables < 1:
+            raise CNFError("a formula needs at least one variable")
+        if not normalised:
+            raise CNFError("a formula needs at least one clause")
+        for clause in normalised:
+            if not clause:
+                raise CNFError("empty clause (formula trivially unsatisfiable)")
+            for literal in clause:
+                if literal == 0 or abs(literal) > num_variables:
+                    raise CNFError(
+                        f"literal {literal} outside variables 1..{num_variables}"
+                    )
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    # -- semantics ---------------------------------------------------------
+
+    def clause_satisfied(self, clause_index: int, assignment: Sequence[bool]) -> bool:
+        """Is clause ``clause_index`` true under ``assignment`` (0-based
+        list of variable truth values)?"""
+        return any(
+            assignment[abs(lit) - 1] == (lit > 0)
+            for lit in self.clauses[clause_index]
+        )
+
+    def satisfied_by(self, assignment: Sequence[bool]) -> bool:
+        """Is the whole formula true under ``assignment``?"""
+        if len(assignment) != self.num_variables:
+            raise CNFError(
+                f"assignment has {len(assignment)} values, formula has "
+                f"{self.num_variables} variables"
+            )
+        return all(
+            self.clause_satisfied(i, assignment) for i in range(self.num_clauses)
+        )
+
+    def models(self) -> Iterable[tuple[bool, ...]]:
+        """All satisfying assignments (brute force; 2ⁿ iterations)."""
+        for bits in itertools.product((False, True), repeat=self.num_variables):
+            if self.satisfied_by(bits):
+                yield bits
+
+    def count_models(self) -> int:
+        """♯SAT by brute force."""
+        return sum(1 for _ in self.models())
+
+    def is_satisfiable(self) -> bool:
+        """Satisfiability via DPLL (unit propagation + pure literals)."""
+        return _dpll([set(clause) for clause in self.clauses])
+
+    def __repr__(self) -> str:
+        inner = " ∧ ".join(
+            "(" + " ∨ ".join(_render(l) for l in clause) + ")"
+            for clause in self.clauses
+        )
+        return f"CNF[{self.num_variables} vars]: {inner}"
+
+
+def _render(literal: int) -> str:
+    return f"x{literal}" if literal > 0 else f"¬x{-literal}"
+
+
+def _dpll(clauses: list[set[int]]) -> bool:
+    """A small DPLL decider over clause sets."""
+    assignment: set[int] = set()
+    while True:
+        # Unit propagation.
+        unit = next((next(iter(c)) for c in clauses if len(c) == 1), None)
+        if unit is None:
+            break
+        new_clauses = []
+        for clause in clauses:
+            if unit in clause:
+                continue
+            reduced = clause - {-unit}
+            if not reduced:
+                return False
+            new_clauses.append(reduced)
+        clauses = new_clauses
+        assignment.add(unit)
+    if not clauses:
+        return True
+    # Branch on the first literal of the first clause.
+    literal = next(iter(clauses[0]))
+    for choice in (literal, -literal):
+        branch = []
+        conflict = False
+        for clause in clauses:
+            if choice in clause:
+                continue
+            reduced = clause - {-choice}
+            if not reduced:
+                conflict = True
+                break
+            branch.append(reduced)
+        if not conflict and _dpll(branch):
+            return True
+    return False
+
+
+# -- instance generators ------------------------------------------------------
+
+
+def random_3cnf(
+    num_variables: int, num_clauses: int, rng: RngLike = None
+) -> CNFFormula:
+    """A uniformly random 3-CNF: each clause picks 3 distinct variables
+    and independent signs.
+
+    Around the clause/variable ratio 4.27 random instances sit at the
+    satisfiability threshold; the benchmarks sweep both sides.
+    """
+    if num_variables < 3:
+        raise CNFError("random 3-CNF needs at least 3 variables")
+    generator = make_rng(rng)
+    clauses = []
+    for _ in range(num_clauses):
+        variables = generator.sample(range(1, num_variables + 1), 3)
+        clauses.append(
+            tuple(v if generator.random() < 0.5 else -v for v in variables)
+        )
+    return CNFFormula(num_variables, clauses)
+
+
+def unsatisfiable_formula(num_variables: int = 3) -> CNFFormula:
+    """A small canonical unsatisfiable formula: all 8 sign patterns over
+    the first three variables (padded to ``num_variables``)."""
+    if num_variables < 3:
+        raise CNFError("needs at least 3 variables")
+    clauses = [
+        (s1 * 1, s2 * 2, s3 * 3)
+        for s1 in (1, -1)
+        for s2 in (1, -1)
+        for s3 in (1, -1)
+    ]
+    return CNFFormula(num_variables, clauses)
+
+
+def satisfiable_formula(num_variables: int = 3) -> CNFFormula:
+    """A small canonical satisfiable formula with a unique model
+    (x₁ = x₂ = x₃ = true, remaining variables free)."""
+    if num_variables < 3:
+        raise CNFError("needs at least 3 variables")
+    clauses = [(1, 1, 1), (2, 2, 2), (3, 3, 3)]
+    return CNFFormula(num_variables, clauses)

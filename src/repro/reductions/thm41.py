@@ -1,0 +1,198 @@
+"""The Theorem 4.1 construction: relative approximation is NP-hard.
+
+Given a 3-CNF formula F over variables v₁..vₙ with clauses c₁..c_m, the
+construction builds a linear datalog program and a probabilistic
+database such that the query probability p satisfies (Lemma 4.2)
+
+    p = ♯models(F) / 2ⁿ   (so p ≥ 2⁻ⁿ iff F is satisfiable, else p = 0).
+
+A PTIME *relative* approximation would decide "p = 0?" and hence 3-SAT.
+
+Database (conditions (1) + (2') of the theorem — linear datalog, no
+repair-key, over a probabilistic c-table):
+
+* ``a(L)`` — a pc-table holding, per variable vᵢ, the literal tuples
+  ``(vi)`` and ``(!vi)`` under the complementary conditions xᵢ = 1 /
+  xᵢ = 0 of an unbiased boolean random variable xᵢ: each valuation is a
+  truth assignment;
+* ``o(C1, C2)`` — the clause chain c₀ → c₁ → ... → c_m (the paper seeds
+  the derivation at a synthetic marker c₀, so ``o`` holds m edges);
+* ``cl(C, L)`` — clause membership: ``(cᵢ, l)`` for each literal l of cᵢ.
+
+Program (``r`` is the only IDB in rule bodies — linear)::
+
+    r(q0).
+    r(Y) :- r(X), o(X, Y), cl(Y, L), a(L).
+    done(a) :- r(qm).
+
+Variant (2) of the theorem replaces the c-table by a weighted base
+relation ``atab(I, L, P)`` with rows (i, vi, 1), (i, !vi, 1) and the
+repair-key rule ``a(I*, L)@P :- atab(I, L, P)`` — the rule fires once
+(its body is ground), choosing one literal per variable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.core.events import QueryEvent, TupleIn
+from repro.core.evaluation.results import ExactResult, SamplingResult
+from repro.ctables.conditions import var_eq
+from repro.ctables.pctable import CTable, PCDatabase, boolean_variable
+from repro.datalog.ast import Program
+from repro.datalog.engine import evaluate_datalog_exact, evaluate_datalog_sampling
+from repro.datalog.parser import parse_program
+from repro.probability.rng import RngLike
+from repro.reductions.cnf import CNFFormula
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+def literal_name(literal: int) -> str:
+    """Constant naming a literal: ``v3`` for x₃, ``nv3`` for ¬x₃."""
+    return f"v{literal}" if literal > 0 else f"nv{-literal}"
+
+
+def clause_name(index: int) -> str:
+    """Constant naming the i-th chain position (``q0`` is the seed)."""
+    return f"q{index}"
+
+
+@dataclass(frozen=True)
+class Thm41Instance:
+    """One reduction output: program + database (+ pc-table) + event."""
+
+    formula: CNFFormula
+    program: Program
+    edb: Database
+    pc_tables: PCDatabase | None
+    event: QueryEvent
+    variant: str
+
+    def expected_probability(self) -> Fraction:
+        """Lemma 4.2 ground truth: ♯models / 2ⁿ, by brute force."""
+        return Fraction(
+            self.formula.count_models(), 2**self.formula.num_variables
+        )
+
+
+def _chain_relations(formula: CNFFormula) -> dict[str, Relation]:
+    order_rows = [
+        (clause_name(i), clause_name(i + 1)) for i in range(formula.num_clauses)
+    ]
+    membership_rows = [
+        (clause_name(i + 1), literal_name(literal))
+        for i, clause in enumerate(formula.clauses)
+        for literal in clause
+    ]
+    return {
+        "o": Relation(("C1", "C2"), order_rows),
+        "cl": Relation(("C", "L"), membership_rows),
+    }
+
+
+def build_thm41_pctable_instance(formula: CNFFormula) -> Thm41Instance:
+    """Variant (2'): linear datalog without repair-key over a pc-table."""
+    program = parse_program(
+        f"""
+        r({clause_name(0)}).
+        r(Y) :- r(X), o(X, Y), cl(Y, L), a(L).
+        done(a) :- r({clause_name(formula.num_clauses)}).
+        """
+    )
+    entries = []
+    variables = {}
+    for v in range(1, formula.num_variables + 1):
+        entries.append(((literal_name(v),), var_eq(f"x{v}", 1)))
+        entries.append(((literal_name(-v),), var_eq(f"x{v}", 0)))
+        variables[f"x{v}"] = boolean_variable()
+    pc = PCDatabase(tables={"a": CTable(("L",), entries)}, variables=variables)
+    return Thm41Instance(
+        formula=formula,
+        program=program,
+        edb=Database(_chain_relations(formula)),
+        pc_tables=pc,
+        event=TupleIn("done", ("a",)),
+        variant="2'",
+    )
+
+
+def build_thm41_repairkey_instance(formula: CNFFormula) -> Thm41Instance:
+    """Variant (2): repair-key applied to the base relation ``atab``."""
+    program = parse_program(
+        f"""
+        a(I*, L) :- atab(I, L, P).
+        r({clause_name(0)}).
+        r(Y) :- r(X), o(X, Y), cl(Y, L), a(I, L).
+        done(a) :- r({clause_name(formula.num_clauses)}).
+        """
+    )
+    atab_rows = []
+    for v in range(1, formula.num_variables + 1):
+        atab_rows.append((v, literal_name(v), 1))
+        atab_rows.append((v, literal_name(-v), 1))
+    relations = _chain_relations(formula)
+    relations["atab"] = Relation(("I", "L", "P"), atab_rows)
+    return Thm41Instance(
+        formula=formula,
+        program=program,
+        edb=Database(relations),
+        pc_tables=None,
+        event=TupleIn("done", ("a",)),
+        variant="2",
+    )
+
+
+def build_thm41_instance(formula: CNFFormula, variant: str = "2'") -> Thm41Instance:
+    """Build the reduction; ``variant`` selects "2'" (pc-table) or "2"
+    (repair-key on base relations)."""
+    if variant == "2'":
+        return build_thm41_pctable_instance(formula)
+    if variant == "2":
+        return build_thm41_repairkey_instance(formula)
+    raise ValueError(f"unknown Theorem 4.1 variant {variant!r}; use \"2\" or \"2'\"")
+
+
+def exact_probability(instance: Thm41Instance, max_states: int = 1_000_000) -> ExactResult:
+    """Exact query probability of the reduction instance (exponential —
+    this is the ♯P-hard problem; small n only)."""
+    return evaluate_datalog_exact(
+        instance.program,
+        instance.edb,
+        instance.event,
+        pc_tables=instance.pc_tables,
+        max_states=max_states,
+    )
+
+
+def sampled_probability(
+    instance: Thm41Instance,
+    samples: int,
+    rng: RngLike = None,
+) -> SamplingResult:
+    """Theorem 4.3 sampler on the reduction instance — an *absolute*
+    approximation.  With p as small as 2⁻ⁿ, distinguishing p > 0 from
+    p = 0 needs Ω(2ⁿ) samples: the gap between the Table 1 columns."""
+    return evaluate_datalog_sampling(
+        instance.program,
+        instance.edb,
+        instance.event,
+        pc_tables=instance.pc_tables,
+        samples=samples,
+        rng=rng,
+    )
+
+
+def decide_sat_via_relative_approximation(
+    formula: CNFFormula,
+    variant: str = "2'",
+    max_states: int = 1_000_000,
+) -> bool:
+    """The Theorem 4.1 decision procedure, with the exact evaluator
+    standing in for the hypothetical PTIME relative approximator (any
+    relative approximation preserves "= 0" exactly, which is all the
+    reduction uses): F is satisfiable iff the approximated p is non-zero.
+    """
+    instance = build_thm41_instance(formula, variant)
+    return exact_probability(instance, max_states=max_states).probability != 0

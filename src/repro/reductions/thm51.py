@@ -1,0 +1,167 @@
+"""The Theorem 5.1 construction: absolute approximation is NP-hard for
+non-inflationary queries.
+
+Given a 3-CNF F with clauses c₁..c_m, the non-inflationary program
+pipelines randomly sampled assignments through the clause chain::
+
+    r(q0, L)  :- a(L).                                  % fresh assignment enters
+    r(Y, L)   :- r(X, L), r(X, L2), o(X, Y), cl(Y, L2). % survives clause Y?
+    done(a)   :- r(qm, _).                              % a survivor reached the end
+    done(X)   :- done(X).                               % Done persists forever
+
+with ``a`` a pc-table re-sampled at every iteration (non-inflationary
+pc-table semantics, Section 3.1).  Proposition 5.3: the literals at
+level qᵢ form an assignment consistent with the entering one and
+satisfying c₁..cᵢ, if such exists.  Hence (Lemma 5.2) the long-run
+probability of ``a ∈ done`` is **1 when F is satisfiable** (a satisfying
+assignment is eventually sampled and then survives to the end, after
+which ``done`` holds forever) and **0 otherwise** — so any absolute
+approximation with ε < 1/2 decides 3-SAT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.core.events import QueryEvent, TupleIn
+from repro.core.evaluation.exact_noninflationary import evaluate_forever_exact
+from repro.core.evaluation.results import ExactResult
+from repro.core.interpretation import Interpretation
+from repro.core.queries import ForeverQuery, simulate_trajectory
+from repro.ctables.conditions import var_eq
+from repro.ctables.pctable import CTable, PCDatabase, boolean_variable
+from repro.datalog.ast import Program
+from repro.datalog.compiler import noninflationary_interpretation
+from repro.datalog.parser import parse_program
+from repro.probability.rng import RngLike, make_rng
+from repro.reductions.cnf import CNFFormula
+from repro.reductions.thm41 import clause_name, literal_name
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+@dataclass(frozen=True)
+class Thm51Instance:
+    """One reduction output: the forever-query and its initial database."""
+
+    formula: CNFFormula
+    program: Program
+    query: ForeverQuery
+    initial: Database
+    event: QueryEvent
+
+    def expected_probability(self) -> int:
+        """Lemma 5.2 ground truth: 1 iff F is satisfiable, else 0."""
+        return 1 if self.formula.is_satisfiable() else 0
+
+
+def _assignment_ctable(formula: CNFFormula) -> PCDatabase:
+    entries = []
+    variables = {}
+    for v in range(1, formula.num_variables + 1):
+        entries.append(((literal_name(v),), var_eq(f"x{v}", 1)))
+        entries.append(((literal_name(-v),), var_eq(f"x{v}", 0)))
+        variables[f"x{v}"] = boolean_variable()
+    return PCDatabase(tables={"a": CTable(("L",), entries)}, variables=variables)
+
+
+def build_thm51_instance(formula: CNFFormula) -> Thm51Instance:
+    """Build the Theorem 5.1 reduction for one formula."""
+    program = parse_program(
+        f"""
+        r({clause_name(0)}, L) :- a(L).
+        r(Y, L) :- r(X, L), r(X, L2), o(X, Y), cl(Y, L2).
+        done(a) :- r({clause_name(formula.num_clauses)}, _).
+        done(X) :- done(X).
+        """
+    )
+    pc = _assignment_ctable(formula)
+
+    order_rows = [
+        (clause_name(i), clause_name(i + 1)) for i in range(formula.num_clauses)
+    ]
+    membership_rows = [
+        (clause_name(i + 1), literal_name(literal))
+        for i, clause in enumerate(formula.clauses)
+        for literal in clause
+    ]
+    edb_schema: dict[str, tuple[str, ...]] = {
+        "o": ("C1", "C2"),
+        "cl": ("C", "L"),
+        "a": ("L",),
+    }
+    base_kernel = noninflationary_interpretation(program, edb_schema)
+    kernel = Interpretation(base_kernel.queries, pc_tables=pc)
+
+    # Initial state: the all-false assignment instantiates ``a``; the
+    # IDB relations start empty.  The long-run result is independent of
+    # this choice (the initial ``a`` only affects the transient).
+    all_false = {f"x{v}": 0 for v in range(1, formula.num_variables + 1)}
+    initial = Database(
+        {
+            "o": Relation(("C1", "C2"), order_rows),
+            "cl": Relation(("C", "L"), membership_rows),
+            "a": pc.tables["a"].instantiate(all_false),
+            "r": Relation.empty(("c0", "c1")),
+            "done": Relation.empty(("c0",)),
+        }
+    )
+    event = TupleIn("done", ("a",))
+    return Thm51Instance(
+        formula=formula,
+        program=program,
+        query=ForeverQuery(kernel, event),
+        initial=initial,
+        event=event,
+    )
+
+
+def exact_probability(
+    instance: Thm51Instance, max_states: int = 200_000
+) -> ExactResult:
+    """Exact long-run probability via the Theorem 5.5 machinery.
+
+    The state chain is exponential in the formula size — which is the
+    point of the theorem; keep instances tiny.
+    """
+    return evaluate_forever_exact(
+        instance.query, instance.initial, max_states=max_states
+    )
+
+
+def simulated_probability(
+    instance: Thm51Instance,
+    steps: int,
+    rng: RngLike = None,
+) -> float:
+    """Fraction of a single long trajectory during which the event holds
+    (converges to 1 for satisfiable F, stays 0 for unsatisfiable F)."""
+    generator = make_rng(rng)
+    trajectory = simulate_trajectory(instance.query, instance.initial, steps, generator)
+    hits = sum(instance.event.holds(state) for state in trajectory[1:])
+    return hits / steps
+
+
+def decide_sat_via_absolute_approximation(
+    formula: CNFFormula,
+    epsilon: float = 0.4,
+    steps: int | None = None,
+    rng: RngLike = None,
+) -> bool:
+    """The Theorem 5.1 decision procedure: approximate the query result
+    with absolute error ε < 1/2 and answer "satisfiable" iff it exceeds
+    1/2.
+
+    The stand-in approximator is trajectory simulation run long enough
+    for the pipeline to flush (m + 2 steps per sampled assignment;
+    ``steps`` defaults to a generous multiple of 2ⁿ·(m+2) so a
+    satisfying assignment is sampled with overwhelming probability —
+    exponential, as Theorem 5.1 says any such procedure must be).
+    """
+    instance = build_thm51_instance(formula)
+    if steps is None:
+        pipeline = formula.num_clauses + 2
+        steps = 64 * (2**formula.num_variables) * pipeline
+    estimate = simulated_probability(instance, steps, rng=rng)
+    if not 0 < epsilon < 0.5:
+        raise ValueError("epsilon must lie in (0, 0.5) for the reduction")
+    return estimate > 0.5

@@ -1,0 +1,112 @@
+"""Relational substrate: relations, databases, algebra, repair-key.
+
+This package implements the data model of the paper (Section 2.2):
+immutable relations and database snapshots, classical relational algebra,
+the ``repair-key`` probabilistic operator, and both deterministic and
+probabilistic (possible-worlds / sampling) evaluation.
+"""
+
+from repro.relational.algebra import (
+    Difference,
+    Expression,
+    ExtendedProject,
+    Literal,
+    NaturalJoin,
+    Product,
+    Project,
+    Rename,
+    RelationRef,
+    RepairKey,
+    Select,
+    Union,
+    difference,
+    evaluate,
+    extended_project,
+    join,
+    literal,
+    product,
+    project,
+    rel,
+    rename,
+    repair_key,
+    select,
+    union,
+    validate,
+)
+from repro.relational.database import Database, database_from_rows
+from repro.relational.predicates import (
+    AndPredicate,
+    ColumnEq,
+    NotPredicate,
+    OrPredicate,
+    Predicate,
+    RowPredicate,
+    TruePredicate,
+    ValueEq,
+    ValueNe,
+)
+from repro.relational.parser import (
+    AlgebraParseError,
+    parse_expression,
+    parse_interpretation,
+)
+from repro.relational.prob_eval import count_repair_keys, enumerate_worlds, sample_world
+from repro.relational.relation import Relation, Row
+from repro.relational.render import render_expression, render_interpretation
+from repro.relational.repair import (
+    repair_distribution,
+    sample_repair,
+    world_probability,
+)
+
+__all__ = [
+    "AlgebraParseError",
+    "AndPredicate",
+    "ColumnEq",
+    "Database",
+    "Difference",
+    "Expression",
+    "ExtendedProject",
+    "Literal",
+    "NaturalJoin",
+    "NotPredicate",
+    "OrPredicate",
+    "Predicate",
+    "Product",
+    "Project",
+    "Relation",
+    "RelationRef",
+    "Rename",
+    "RepairKey",
+    "Row",
+    "RowPredicate",
+    "Select",
+    "TruePredicate",
+    "Union",
+    "ValueEq",
+    "ValueNe",
+    "count_repair_keys",
+    "database_from_rows",
+    "difference",
+    "enumerate_worlds",
+    "evaluate",
+    "extended_project",
+    "join",
+    "literal",
+    "parse_expression",
+    "parse_interpretation",
+    "product",
+    "project",
+    "rel",
+    "rename",
+    "render_expression",
+    "render_interpretation",
+    "repair_distribution",
+    "repair_key",
+    "sample_repair",
+    "sample_world",
+    "select",
+    "union",
+    "validate",
+    "world_probability",
+]

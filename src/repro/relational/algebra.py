@@ -1,0 +1,548 @@
+"""Relational algebra AST extended with ``repair-key``.
+
+This module defines the expression language of the paper's probabilistic
+first-order interpretations (Definition 3.1): classical relational
+algebra — selection, projection, natural join, renaming, union,
+difference, product, constant relations — extended with the
+``repair-key`` operator of [Koch, SIGMOD Record 2008] (Section 2.2 of
+the paper).
+
+Expressions are plain object trees.  Deterministic evaluation lives in
+:func:`evaluate`; probabilistic evaluation (expressions containing
+``repair-key``) lives in :mod:`repro.relational.prob_eval`.
+
+Schema inference is static: :meth:`Expression.output_columns` computes
+the result column tuple from the input schema, raising
+:class:`~repro.errors.AlgebraError` for ill-formed expressions without
+touching any data.
+
+Lower-case helper constructors (:func:`select`, :func:`project`, ...)
+mirror the paper's algebra notation and are the recommended way to build
+expressions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import AlgebraError
+from repro.relational.database import Database
+from repro.relational.predicates import Predicate
+from repro.relational.relation import Relation
+
+Schema = Mapping[str, tuple[str, ...]]
+
+
+class Expression:
+    """Base class of algebra expressions."""
+
+    def output_columns(self, schema: Schema) -> tuple[str, ...]:
+        """Columns of the result, inferred from the input ``schema``."""
+        raise NotImplementedError
+
+    def children(self) -> tuple["Expression", ...]:
+        """Direct sub-expressions."""
+        raise NotImplementedError
+
+    def is_deterministic(self) -> bool:
+        """True when no ``repair-key`` occurs anywhere in the expression."""
+        return all(child.is_deterministic() for child in self.children())
+
+    def referenced_relations(self) -> frozenset[str]:
+        """Names of database relations read by the expression."""
+        out: frozenset[str] = frozenset()
+        for child in self.children():
+            out |= child.referenced_relations()
+        return out
+
+
+class RelationRef(Expression):
+    """Reference to a named relation of the database."""
+
+    def __init__(self, name: str):
+        if not name:
+            raise AlgebraError("relation reference needs a non-empty name")
+        self.name = name
+
+    def output_columns(self, schema: Schema) -> tuple[str, ...]:
+        try:
+            return tuple(schema[self.name])
+        except KeyError:
+            raise AlgebraError(f"expression references unknown relation {self.name!r}") from None
+
+    def children(self) -> tuple[Expression, ...]:
+        return ()
+
+    def referenced_relations(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class Literal(Expression):
+    """A constant relation embedded in the expression.
+
+    The paper writes these as e.g. ``ρ_P({1})`` — a literal singleton
+    used to attach uniform weights or dampening factors.
+    """
+
+    def __init__(self, relation: Relation):
+        self.relation = relation
+
+    def output_columns(self, schema: Schema) -> tuple[str, ...]:
+        return self.relation.columns
+
+    def children(self) -> tuple[Expression, ...]:
+        return ()
+
+    def __repr__(self) -> str:
+        return f"lit{self.relation.columns!r}"
+
+
+class Select(Expression):
+    """Selection σ_pred(child)."""
+
+    def __init__(self, child: Expression, predicate: Predicate):
+        self.child = child
+        self.predicate = predicate
+
+    def output_columns(self, schema: Schema) -> tuple[str, ...]:
+        cols = self.child.output_columns(schema)
+        missing = self.predicate.referenced_columns() - set(cols)
+        if missing:
+            raise AlgebraError(
+                f"selection predicate references columns {sorted(missing)!r} "
+                f"not in input columns {cols!r}"
+            )
+        return cols
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return f"σ[{self.predicate!r}]({self.child!r})"
+
+
+class Project(Expression):
+    """Projection π_columns(child); set semantics (duplicates collapse)."""
+
+    def __init__(self, child: Expression, columns: Sequence[str]):
+        self.child = child
+        self.columns = tuple(columns)
+        if len(set(self.columns)) != len(self.columns):
+            raise AlgebraError(f"projection columns contain duplicates: {self.columns!r}")
+
+    def output_columns(self, schema: Schema) -> tuple[str, ...]:
+        cols = self.child.output_columns(schema)
+        missing = set(self.columns) - set(cols)
+        if missing:
+            raise AlgebraError(
+                f"projection on columns {sorted(missing)!r} absent from input {cols!r}"
+            )
+        return self.columns
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return f"π[{','.join(self.columns)}]({self.child!r})"
+
+
+class Rename(Expression):
+    """Renaming ρ_{old→new}(child)."""
+
+    def __init__(self, child: Expression, mapping: Mapping[str, str]):
+        self.child = child
+        self.mapping = dict(mapping)
+
+    def output_columns(self, schema: Schema) -> tuple[str, ...]:
+        cols = self.child.output_columns(schema)
+        missing = set(self.mapping) - set(cols)
+        if missing:
+            raise AlgebraError(
+                f"rename of columns {sorted(missing)!r} absent from input {cols!r}"
+            )
+        renamed = tuple(self.mapping.get(c, c) for c in cols)
+        if len(set(renamed)) != len(renamed):
+            raise AlgebraError(f"rename produces duplicate columns: {renamed!r}")
+        return renamed
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        pairs = ",".join(f"{k}→{v}" for k, v in self.mapping.items())
+        return f"ρ[{pairs}]({self.child!r})"
+
+
+class Union(Expression):
+    """Set union; both inputs must have identical column tuples."""
+
+    def __init__(self, left: Expression, right: Expression):
+        self.left = left
+        self.right = right
+
+    def output_columns(self, schema: Schema) -> tuple[str, ...]:
+        lcols = self.left.output_columns(schema)
+        rcols = self.right.output_columns(schema)
+        if lcols != rcols:
+            raise AlgebraError(f"union of incompatible schemas {lcols!r} vs {rcols!r}")
+        return lcols
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∪ {self.right!r})"
+
+
+class Difference(Expression):
+    """Set difference; both inputs must have identical column tuples."""
+
+    def __init__(self, left: Expression, right: Expression):
+        self.left = left
+        self.right = right
+
+    def output_columns(self, schema: Schema) -> tuple[str, ...]:
+        lcols = self.left.output_columns(schema)
+        rcols = self.right.output_columns(schema)
+        if lcols != rcols:
+            raise AlgebraError(f"difference of incompatible schemas {lcols!r} vs {rcols!r}")
+        return lcols
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} − {self.right!r})"
+
+
+class Product(Expression):
+    """Cartesian product; the inputs must have disjoint column names."""
+
+    def __init__(self, left: Expression, right: Expression):
+        self.left = left
+        self.right = right
+
+    def output_columns(self, schema: Schema) -> tuple[str, ...]:
+        lcols = self.left.output_columns(schema)
+        rcols = self.right.output_columns(schema)
+        clash = set(lcols) & set(rcols)
+        if clash:
+            raise AlgebraError(
+                f"product inputs share columns {sorted(clash)!r}; rename first"
+            )
+        return lcols + rcols
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} × {self.right!r})"
+
+
+class NaturalJoin(Expression):
+    """Natural join ⋈ on all shared column names."""
+
+    def __init__(self, left: Expression, right: Expression):
+        self.left = left
+        self.right = right
+
+    def output_columns(self, schema: Schema) -> tuple[str, ...]:
+        lcols = self.left.output_columns(schema)
+        rcols = self.right.output_columns(schema)
+        return lcols + tuple(c for c in rcols if c not in lcols)
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ⋈ {self.right!r})"
+
+
+class ExtendedProject(Expression):
+    """Generalized projection: each output column is either a copy of an
+    input column or a constant.
+
+    Needed to instantiate datalog rule heads, which may repeat variables
+    and contain constants (e.g. ``H(X, X, 'a') ← B(X)``) — plain
+    projection cannot duplicate a column or inject a constant.
+
+    ``outputs`` maps output column names (in order) to sources: either
+    ``("col", input_column)`` or ``("const", value)``.
+    """
+
+    def __init__(
+        self,
+        child: Expression,
+        outputs: Sequence[tuple[str, tuple[str, Any]]],
+    ):
+        self.child = child
+        self.outputs = tuple((name, (kind, value)) for name, (kind, value) in outputs)
+        names = [name for name, _source in self.outputs]
+        if len(set(names)) != len(names):
+            raise AlgebraError(f"extended projection has duplicate outputs: {names!r}")
+        for name, (kind, _value) in self.outputs:
+            if kind not in ("col", "const"):
+                raise AlgebraError(
+                    f"extended projection source for {name!r} must be "
+                    f"('col', name) or ('const', value), got kind {kind!r}"
+                )
+
+    def output_columns(self, schema: Schema) -> tuple[str, ...]:
+        cols = self.child.output_columns(schema)
+        for name, (kind, value) in self.outputs:
+            if kind == "col" and value not in cols:
+                raise AlgebraError(
+                    f"extended projection output {name!r} copies missing "
+                    f"column {value!r} (input has {cols!r})"
+                )
+        return tuple(name for name, _source in self.outputs)
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}←{value!r}" if kind == "const" else f"{name}←{value}"
+            for name, (kind, value) in self.outputs
+        )
+        return f"π̂[{parts}]({self.child!r})"
+
+
+class RepairKey(Expression):
+    """The ``repair-key_{Ā@P}`` operator (Section 2.2 of the paper).
+
+    Groups the input rows by the key columns ``key``; in each group,
+    exactly one row is chosen with probability proportional to its value
+    in the ``weight`` column.  The set of possible results (one chosen
+    row per group) forms the possible worlds, each weighted by the
+    product of its per-group choice probabilities (groups are
+    independent).
+
+    ``weight=None`` is the paper's abbreviation ``repair-key_Ā(R)``:
+    uniform choice within each group.  ``key=()`` is the abbreviation
+    ``repair-key_{@P}(R)``: a single row is chosen from the whole input.
+    The output schema equals the input schema (weight column included),
+    exactly as in the paper's Examples 3.3 and 3.7 where a projection is
+    applied afterwards.
+
+    Per footnote 1 of the paper, rows that agree on every non-weight
+    column are first merged by summing their weights.
+    """
+
+    def __init__(self, child: Expression, key: Sequence[str] = (), weight: str | None = None):
+        self.child = child
+        self.key = tuple(key)
+        if len(set(self.key)) != len(self.key):
+            raise AlgebraError(f"repair-key key columns contain duplicates: {self.key!r}")
+        self.weight = weight
+        if weight is not None and weight in self.key:
+            raise AlgebraError(f"weight column {weight!r} cannot also be a key column")
+
+    def output_columns(self, schema: Schema) -> tuple[str, ...]:
+        cols = self.child.output_columns(schema)
+        missing = set(self.key) - set(cols)
+        if missing:
+            raise AlgebraError(
+                f"repair-key key columns {sorted(missing)!r} absent from input {cols!r}"
+            )
+        if self.weight is not None and self.weight not in cols:
+            raise AlgebraError(
+                f"repair-key weight column {self.weight!r} absent from input {cols!r}"
+            )
+        return cols
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.child,)
+
+    def is_deterministic(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        at = f"@{self.weight}" if self.weight else ""
+        return f"repair-key[{','.join(self.key)}{at}]({self.child!r})"
+
+
+# ---------------------------------------------------------------------------
+# Helper constructors mirroring the paper's notation.
+# ---------------------------------------------------------------------------
+
+
+def rel(name: str) -> RelationRef:
+    """Reference a named database relation."""
+    return RelationRef(name)
+
+
+def literal(columns: Sequence[str], rows: Iterable[Sequence[Any]]) -> Literal:
+    """Embed a constant relation, e.g. ``literal(("P",), [(1,)])``."""
+    return Literal(Relation(columns, rows))
+
+
+def select(child: Expression, predicate: Predicate) -> Select:
+    """Selection σ."""
+    return Select(child, predicate)
+
+
+def project(child: Expression, *columns: str) -> Project:
+    """Projection π."""
+    return Project(child, columns)
+
+
+def rename(child: Expression, **mapping: str) -> Rename:
+    """Renaming ρ; keyword arguments map old names to new names."""
+    return Rename(child, mapping)
+
+
+def extended_project(
+    child: Expression, outputs: Sequence[tuple[str, tuple[str, Any]]]
+) -> ExtendedProject:
+    """Generalized projection; see :class:`ExtendedProject`."""
+    return ExtendedProject(child, outputs)
+
+
+def union(left: Expression, right: Expression, *rest: Expression) -> Expression:
+    """Union of two or more expressions."""
+    out: Expression = Union(left, right)
+    for nxt in rest:
+        out = Union(out, nxt)
+    return out
+
+
+def difference(left: Expression, right: Expression) -> Difference:
+    """Set difference."""
+    return Difference(left, right)
+
+
+def product(left: Expression, right: Expression) -> Product:
+    """Cartesian product ×."""
+    return Product(left, right)
+
+
+def join(left: Expression, right: Expression, *rest: Expression) -> Expression:
+    """Natural join ⋈ of two or more expressions."""
+    out: Expression = NaturalJoin(left, right)
+    for nxt in rest:
+        out = NaturalJoin(out, nxt)
+    return out
+
+
+def repair_key(child: Expression, key: Sequence[str] = (), weight: str | None = None) -> RepairKey:
+    """The repair-key operator; see :class:`RepairKey`."""
+    return RepairKey(child, key, weight)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic evaluation.
+# ---------------------------------------------------------------------------
+
+
+def evaluate(expr: Expression, db: Database) -> Relation:
+    """Evaluate a *deterministic* expression (no repair-key) on ``db``.
+
+    Raises :class:`AlgebraError` if the expression contains repair-key;
+    use :mod:`repro.relational.prob_eval` for those.
+    """
+    if isinstance(expr, RelationRef):
+        return db[expr.name]
+    if isinstance(expr, Literal):
+        return expr.relation
+    if isinstance(expr, Select):
+        child = evaluate(expr.child, db)
+        cols = child.columns
+        kept = [row for row in child if expr.predicate.evaluate(dict(zip(cols, row)))]
+        return Relation(cols, kept)
+    if isinstance(expr, Project):
+        child = evaluate(expr.child, db)
+        indices = [child.column_index(c) for c in expr.columns]
+        return Relation(expr.columns, {tuple(row[i] for i in indices) for row in child})
+    if isinstance(expr, Rename):
+        child = evaluate(expr.child, db)
+        out_cols = Rename(Literal(child), expr.mapping).output_columns({})
+        return Relation(out_cols, child.rows)
+    if isinstance(expr, ExtendedProject):
+        child = evaluate(expr.child, db)
+        out_cols = ExtendedProject(Literal(child), expr.outputs).output_columns({})
+        sources = []
+        for _name, (kind, value) in expr.outputs:
+            if kind == "col":
+                sources.append(("col", child.column_index(value)))
+            else:
+                sources.append(("const", value))
+        rows = {
+            tuple(row[value] if kind == "col" else value for kind, value in sources)
+            for row in child
+        }
+        return Relation(out_cols, rows)
+    if isinstance(expr, Union):
+        return evaluate(expr.left, db).union(evaluate(expr.right, db))
+    if isinstance(expr, Difference):
+        return evaluate(expr.left, db).difference(evaluate(expr.right, db))
+    if isinstance(expr, Product):
+        left = evaluate(expr.left, db)
+        right = evaluate(expr.right, db)
+        clash = set(left.columns) & set(right.columns)
+        if clash:
+            raise AlgebraError(
+                f"product inputs share columns {sorted(clash)!r}; rename first"
+            )
+        rows = [lrow + rrow for lrow in left for rrow in right]
+        return Relation(left.columns + right.columns, rows)
+    if isinstance(expr, NaturalJoin):
+        return _natural_join(evaluate(expr.left, db), evaluate(expr.right, db))
+    if isinstance(expr, RepairKey):
+        raise AlgebraError(
+            "expression contains repair-key; use repro.relational.prob_eval "
+            "(enumerate_worlds / sample_world) instead of evaluate()"
+        )
+    raise AlgebraError(f"unknown expression node {expr!r}")
+
+
+def _natural_join(left: Relation, right: Relation) -> Relation:
+    """Hash-join implementation of the natural join.
+
+    The hash table is built on the smaller input (the larger side is
+    streamed), which matters in the evaluators' inner loops where a
+    small frontier joins a large edge relation every step.
+    """
+    shared = [c for c in left.columns if c in right.columns]
+    out_cols = left.columns + tuple(c for c in right.columns if c not in left.columns)
+    if not left.rows or not right.rows:
+        return Relation(out_cols, ())
+    if not shared:
+        rows = [lrow + rrow for lrow in left for rrow in right]
+        return Relation(out_cols, rows)
+    lidx = [left.column_index(c) for c in shared]
+    ridx = [right.column_index(c) for c in shared]
+    rkeep = [i for i, c in enumerate(right.columns) if c not in left.columns]
+    rows = []
+    if len(left) <= len(right):
+        buckets: dict[tuple, list] = {}
+        for lrow in left:
+            buckets.setdefault(tuple(lrow[i] for i in lidx), []).append(lrow)
+        for rrow in right:
+            key = tuple(rrow[i] for i in ridx)
+            matches = buckets.get(key)
+            if matches:
+                tail = tuple(rrow[i] for i in rkeep)
+                for lrow in matches:
+                    rows.append(lrow + tail)
+    else:
+        buckets = {}
+        for rrow in right:
+            buckets.setdefault(tuple(rrow[i] for i in ridx), []).append(rrow)
+        for lrow in left:
+            key = tuple(lrow[i] for i in lidx)
+            for rrow in buckets.get(key, ()):
+                rows.append(lrow + tuple(rrow[i] for i in rkeep))
+    return Relation(out_cols, rows)
+
+
+def validate(expr: Expression, schema: Schema) -> tuple[str, ...]:
+    """Type-check an expression against a database schema.
+
+    Returns the output columns; raises :class:`AlgebraError` or
+    :class:`SchemaError` on any inconsistency.
+    """
+    return expr.output_columns(schema)

@@ -1,0 +1,140 @@
+"""Immutable database snapshots.
+
+A :class:`Database` maps relation names to :class:`~repro.relational.relation.Relation`
+values.  Databases are immutable and hashable so that each snapshot can
+serve as one *state* of the Markov chain over database instances induced
+by a non-inflationary query (Section 3.1 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import SchemaError
+from repro.relational.relation import Relation
+
+
+class Database:
+    """An immutable mapping from relation names to relations.
+
+    Examples
+    --------
+    >>> db = Database({"C": Relation(("I",), [("a",)])})
+    >>> db["C"].arity
+    1
+    >>> db.with_relation("C", Relation(("I",), []))["C"].rows
+    frozenset()
+    """
+
+    __slots__ = ("_relations", "_hash")
+
+    def __init__(self, relations: Mapping[str, Relation]):
+        for name, rel in relations.items():
+            if not isinstance(name, str) or not name:
+                raise SchemaError(f"relation names must be non-empty strings: {name!r}")
+            if not isinstance(rel, Relation):
+                raise SchemaError(f"value for {name!r} is not a Relation: {rel!r}")
+        self._relations: dict[str, Relation] = dict(relations)
+        self._hash = hash(frozenset(self._relations.items()))
+
+    # -- mapping protocol -------------------------------------------------
+
+    def __getitem__(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(
+                f"no relation {name!r}; database has {sorted(self._relations)!r}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._relations))
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def names(self) -> list[str]:
+        """Sorted relation names."""
+        return sorted(self._relations)
+
+    def relations(self) -> dict[str, Relation]:
+        """A fresh name → relation dict (mutating it does not affect ``self``)."""
+        return dict(self._relations)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{n}[{len(r)}]" for n, r in sorted(self._relations.items()))
+        return f"Database({parts})"
+
+    # -- functional updates ------------------------------------------------
+
+    def with_relation(self, name: str, relation: Relation) -> "Database":
+        """A new database with ``name`` bound to ``relation``."""
+        updated = dict(self._relations)
+        updated[name] = relation
+        return Database(updated)
+
+    def with_relations(self, updates: Mapping[str, Relation]) -> "Database":
+        """A new database with several relations replaced at once."""
+        updated = dict(self._relations)
+        updated.update(updates)
+        return Database(updated)
+
+    def restrict(self, names: Iterable[str]) -> "Database":
+        """A new database containing only the named relations."""
+        return Database({name: self[name] for name in names})
+
+    # -- schema and domain --------------------------------------------------
+
+    def schema(self) -> dict[str, tuple[str, ...]]:
+        """Mapping of relation name to its column tuple."""
+        return {name: rel.columns for name, rel in self._relations.items()}
+
+    def active_domain(self) -> set[Any]:
+        """All values occurring in any relation of the database."""
+        domain: set[Any] = set()
+        for rel in self._relations.values():
+            domain |= rel.active_domain()
+        return domain
+
+    def total_rows(self) -> int:
+        """Total number of rows over all relations."""
+        return sum(len(rel) for rel in self._relations.values())
+
+    def contains_database(self, other: "Database") -> bool:
+        """True when ``self`` is a superset of ``other`` relation-by-relation.
+
+        Used to check the inflationarity condition of Definition 3.4
+        (every possible world B of Q(A) must satisfy B ⊇ A).
+        """
+        for name, rel in other._relations.items():
+            if name not in self._relations:
+                return False
+            mine = self._relations[name]
+            if mine.columns != rel.columns or not rel.issubset(mine):
+                return False
+        return True
+
+
+def database_from_rows(
+    spec: Mapping[str, tuple[Sequence[str], Iterable[Sequence[Any]]]],
+) -> Database:
+    """Convenience constructor from ``{name: (columns, rows)}``.
+
+    Examples
+    --------
+    >>> db = database_from_rows({"E": (("I", "J"), [("a", "b")])})
+    >>> len(db["E"])
+    1
+    """
+    return Database({name: Relation(cols, rows) for name, (cols, rows) in spec.items()})

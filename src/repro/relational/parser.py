@@ -1,0 +1,435 @@
+"""Text syntax for relational algebra with ``repair-key``.
+
+Lets transition kernels be written the way the paper writes them.  The
+Example 3.3 random-walk kernel, for instance::
+
+    C := rename[J->I](project[J](repair-key[I@P](C join E)))
+    E := E    % unchanged
+
+Grammar (whitespace-insensitive; ``%`` comments to end of line)::
+
+    interpretation := (NAME ":=" expr)+
+    expr   := term (("union" | "∪" | "minus" | "−") term)*
+    term   := factor (("join" | "⋈" | "times" | "×") factor)*
+    factor := NAME                                   -- relation reference
+            | "(" expr ")"
+            | "project"    "[" names "]"       "(" expr ")"
+            | "select"     "[" predicate "]"   "(" expr ")"
+            | "rename"     "[" renames "]"     "(" expr ")"
+            | "repair-key" "[" keyspec "]"     "(" expr ")"
+            | "literal"    "[" names "]" "{" rows "}"
+    keyspec   := names? ("@" NAME)?               -- key columns and weight
+    renames   := NAME "->" NAME ("," NAME "->" NAME)*
+    predicate := comparison ("," comparison)*     -- comma = conjunction
+    comparison:= NAME ("=" | "!=") (NAME | constant)
+    rows      := "(" constants ")" ("," "(" constants ")")*
+    constant  := signed number ("/" number)? | 'quoted string' | bareword
+
+``union`` / ``minus`` associate left with equal precedence; ``join`` /
+``times`` bind tighter.  In comparisons an uppercase-or-known-column
+right-hand side is a column reference when it names an input column;
+quote it to force a string constant.  Numbers parse exactly
+(``1/2`` → ``Fraction(1, 2)``, ``0.5`` → ``Fraction(1, 2)``).
+"""
+
+from __future__ import annotations
+
+import re
+from fractions import Fraction
+from typing import Any, NamedTuple
+
+from repro.errors import AlgebraError
+from repro.relational.algebra import (
+    Difference,
+    Expression,
+    Literal,
+    NaturalJoin,
+    Product,
+    Project,
+    RelationRef,
+    Rename,
+    RepairKey,
+    Select,
+    Union,
+)
+from repro.relational.predicates import (
+    ColumnEq,
+    Predicate,
+    TruePredicate,
+    ValueEq,
+    ValueNe,
+)
+from repro.relational.relation import Relation
+
+
+class AlgebraParseError(AlgebraError):
+    """The algebra text parser rejected its input."""
+
+
+_TOKEN_SPEC = [
+    ("COMMENT", r"%[^\n]*"),
+    ("WS", r"\s+"),
+    ("ASSIGN", r":="),
+    ("ARROW", r"->|→"),
+    ("NEQ", r"!=|≠"),
+    ("NUMBER", r"[+-]?\d+(?:\.\d+|/\d+)?"),
+    ("STRING", r"'(?:[^'\\]|\\.)*'"),
+    ("NAME", r"[A-Za-z_][A-Za-z0-9_]*(?:-[A-Za-z]+)?"),
+    ("UNION_SYM", r"∪"),
+    ("MINUS_SYM", r"−"),
+    ("JOIN_SYM", r"⋈"),
+    ("TIMES_SYM", r"×"),
+    ("AT", r"@"),
+    ("LBRACKET", r"\["),
+    ("RBRACKET", r"\]"),
+    ("LBRACE", r"\{"),
+    ("RBRACE", r"\}"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("COMMA", r","),
+    ("EQ", r"="),
+]
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+#: Word operators recognised at NAME positions.
+_UNION_WORDS = {"union"}
+_MINUS_WORDS = {"minus"}
+_JOIN_WORDS = {"join"}
+_TIMES_WORDS = {"times"}
+_KEYWORDS = (
+    _UNION_WORDS | _MINUS_WORDS | _JOIN_WORDS | _TIMES_WORDS
+    | {"project", "select", "rename", "repair-key", "literal"}
+)
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise AlgebraParseError(
+                f"unexpected character {source[position]!r} at offset {position}"
+            )
+        kind = match.lastgroup or ""
+        if kind not in ("WS", "COMMENT"):
+            tokens.append(_Token(kind, match.group(), position))
+        position = match.end()
+    return tokens
+
+
+def _parse_constant(text: str) -> Any:
+    if text.startswith("'"):
+        return re.sub(r"\\(.)", r"\1", text[1:-1])
+    if "/" in text:
+        return Fraction(text)
+    if "." in text:
+        return Fraction(text)
+    return int(text)
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def _peek(self) -> _Token | None:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _next(self, expected: str | None = None) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise AlgebraParseError(
+                f"unexpected end of input (expected {expected or 'more tokens'})"
+            )
+        if expected is not None and token.kind != expected:
+            raise AlgebraParseError(
+                f"expected {expected} but found {token.text!r} at offset {token.position}"
+            )
+        self._pos += 1
+        return token
+
+    def _at_word(self, words: set[str]) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == "NAME" and token.text in words
+
+    def at_end(self) -> bool:
+        return self._pos >= len(self._tokens)
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse_expression(self) -> Expression:
+        left = self._parse_term()
+        while True:
+            token = self._peek()
+            if token is None:
+                return left
+            if token.kind == "UNION_SYM" or self._at_word(_UNION_WORDS):
+                self._next()
+                left = Union(left, self._parse_term())
+            elif token.kind == "MINUS_SYM" or self._at_word(_MINUS_WORDS):
+                self._next()
+                left = Difference(left, self._parse_term())
+            else:
+                return left
+
+    def _parse_term(self) -> Expression:
+        left = self._parse_factor()
+        while True:
+            token = self._peek()
+            if token is None:
+                return left
+            if token.kind == "JOIN_SYM" or self._at_word(_JOIN_WORDS):
+                self._next()
+                left = NaturalJoin(left, self._parse_factor())
+            elif token.kind == "TIMES_SYM" or self._at_word(_TIMES_WORDS):
+                self._next()
+                left = Product(left, self._parse_factor())
+            else:
+                return left
+
+    def _parse_factor(self) -> Expression:
+        token = self._peek()
+        if token is None:
+            raise AlgebraParseError("unexpected end of input in expression")
+        if token.kind == "LPAREN":
+            self._next("LPAREN")
+            inner = self.parse_expression()
+            self._next("RPAREN")
+            return inner
+        if token.kind != "NAME":
+            raise AlgebraParseError(
+                f"unexpected token {token.text!r} at offset {token.position}"
+            )
+        name = self._next("NAME").text
+        if name == "project":
+            columns = self._bracketed_names()
+            return Project(self._parenthesised(), columns)
+        if name == "select":
+            predicate = self._bracketed_predicate()
+            return Select(self._parenthesised(), predicate)
+        if name == "rename":
+            mapping = self._bracketed_renames()
+            return Rename(self._parenthesised(), mapping)
+        if name == "repair-key":
+            key, weight = self._bracketed_keyspec()
+            return RepairKey(self._parenthesised(), key=key, weight=weight)
+        if name == "literal":
+            columns = self._bracketed_names()
+            rows = self._braced_rows(len(columns))
+            return Literal(Relation(columns, rows))
+        if name in _KEYWORDS:
+            raise AlgebraParseError(
+                f"keyword {name!r} in relation position at offset {token.position}"
+            )
+        return RelationRef(name)
+
+    # -- bracketed argument forms ---------------------------------------------------
+
+    def _parenthesised(self) -> Expression:
+        self._next("LPAREN")
+        inner = self.parse_expression()
+        self._next("RPAREN")
+        return inner
+
+    def _names_until(self, closing: str) -> tuple[str, ...]:
+        names: list[str] = []
+        token = self._peek()
+        while token is not None and token.kind == "NAME":
+            names.append(self._next("NAME").text)
+            token = self._peek()
+            if token is not None and token.kind == "COMMA":
+                self._next("COMMA")
+                token = self._peek()
+            else:
+                break
+        return tuple(names)
+
+    def _bracketed_names(self) -> tuple[str, ...]:
+        self._next("LBRACKET")
+        names = self._names_until("RBRACKET")
+        self._next("RBRACKET")
+        return names
+
+    def _bracketed_renames(self) -> dict[str, str]:
+        self._next("LBRACKET")
+        mapping: dict[str, str] = {}
+        while True:
+            old = self._next("NAME").text
+            self._next("ARROW")
+            new = self._next("NAME").text
+            if old in mapping:
+                raise AlgebraParseError(f"column {old!r} renamed twice")
+            mapping[old] = new
+            token = self._peek()
+            if token is not None and token.kind == "COMMA":
+                self._next("COMMA")
+                continue
+            break
+        self._next("RBRACKET")
+        return mapping
+
+    def _bracketed_keyspec(self) -> tuple[tuple[str, ...], str | None]:
+        self._next("LBRACKET")
+        key: list[str] = []
+        weight: str | None = None
+        token = self._peek()
+        while token is not None and token.kind == "NAME":
+            key.append(self._next("NAME").text)
+            token = self._peek()
+            if token is not None and token.kind == "COMMA":
+                self._next("COMMA")
+                token = self._peek()
+            else:
+                break
+        token = self._peek()
+        if token is not None and token.kind == "AT":
+            self._next("AT")
+            weight = self._next("NAME").text
+        self._next("RBRACKET")
+        return tuple(key), weight
+
+    def _bracketed_predicate(self) -> Predicate:
+        self._next("LBRACKET")
+        predicate: Predicate = TruePredicate()
+        first = True
+        while True:
+            token = self._peek()
+            if token is not None and token.kind == "RBRACKET" and first:
+                break
+            comparison = self._parse_comparison()
+            predicate = comparison if first else predicate & comparison
+            first = False
+            token = self._peek()
+            if token is not None and token.kind == "COMMA":
+                self._next("COMMA")
+                continue
+            break
+        self._next("RBRACKET")
+        return predicate
+
+    def _parse_comparison(self) -> Predicate:
+        column = self._next("NAME").text
+        operator = self._peek()
+        if operator is None or operator.kind not in ("EQ", "NEQ"):
+            raise AlgebraParseError(
+                f"expected = or != after column {column!r}"
+            )
+        self._next(operator.kind)
+        value_token = self._peek()
+        if value_token is None:
+            raise AlgebraParseError("unexpected end of input in comparison")
+        if value_token.kind == "NAME":
+            other = self._next("NAME").text
+            if operator.kind == "NEQ":
+                raise AlgebraParseError(
+                    "column-to-column comparisons support = only; "
+                    f"quote {other!r} for a string constant"
+                )
+            return ColumnEq(column, other)
+        if value_token.kind in ("NUMBER", "STRING"):
+            self._next(value_token.kind)
+            value = _parse_constant(value_token.text)
+            if operator.kind == "EQ":
+                return ValueEq(column, value)
+            return ValueNe(column, value)
+        raise AlgebraParseError(
+            f"unexpected token {value_token.text!r} in comparison"
+        )
+
+    def _braced_rows(self, arity: int) -> list[tuple]:
+        self._next("LBRACE")
+        rows: list[tuple] = []
+        token = self._peek()
+        while token is not None and token.kind == "LPAREN":
+            self._next("LPAREN")
+            values: list[Any] = []
+            while True:
+                value_token = self._peek()
+                if value_token is None:
+                    raise AlgebraParseError("unexpected end of input in literal row")
+                if value_token.kind in ("NUMBER", "STRING"):
+                    self._next(value_token.kind)
+                    values.append(_parse_constant(value_token.text))
+                elif value_token.kind == "NAME":
+                    values.append(self._next("NAME").text)
+                else:
+                    break
+                token = self._peek()
+                if token is not None and token.kind == "COMMA":
+                    self._next("COMMA")
+                    continue
+                break
+            self._next("RPAREN")
+            if len(values) != arity:
+                raise AlgebraParseError(
+                    f"literal row has {len(values)} values, expected {arity}"
+                )
+            rows.append(tuple(values))
+            token = self._peek()
+            if token is not None and token.kind == "COMMA":
+                self._next("COMMA")
+                token = self._peek()
+            else:
+                break
+        self._next("RBRACE")
+        return rows
+
+
+def parse_expression(source: str) -> Expression:
+    """Parse one algebra expression from text.
+
+    Examples
+    --------
+    >>> expr = parse_expression("rename[J->I](project[J](repair-key[I@P](C join E)))")
+    >>> expr.is_deterministic()
+    False
+    """
+    parser = _Parser(_tokenize(source))
+    expression = parser.parse_expression()
+    if not parser.at_end():
+        raise AlgebraParseError("trailing input after the expression")
+    return expression
+
+
+def parse_interpretation(source: str):
+    """Parse a whole transition kernel: ``NAME := expr`` lines.
+
+    Returns a :class:`repro.core.interpretation.Interpretation`.  An
+    identity line (``E := E``) may simply be omitted — unlisted
+    relations stay unchanged — but is accepted for fidelity to the
+    paper's notation.
+
+    Examples
+    --------
+    >>> kernel = parse_interpretation('''
+    ...     C := rename[J->I](project[J](repair-key[I@P](C join E)))
+    ...     E := E   % unchanged
+    ... ''')
+    >>> sorted(kernel.queries)
+    ['C', 'E']
+    """
+    from repro.core.interpretation import Interpretation
+
+    parser = _Parser(_tokenize(source))
+    queries: dict[str, Expression] = {}
+    while not parser.at_end():
+        name = parser._next("NAME").text
+        if name in _KEYWORDS:
+            raise AlgebraParseError(f"keyword {name!r} cannot name a relation")
+        parser._next("ASSIGN")
+        expression = parser.parse_expression()
+        if name in queries:
+            raise AlgebraParseError(f"relation {name!r} assigned twice")
+        queries[name] = expression
+    if not queries:
+        raise AlgebraParseError("empty interpretation")
+    return Interpretation(queries)

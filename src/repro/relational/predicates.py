@@ -1,0 +1,180 @@
+"""Row predicates for the selection operator.
+
+The predicate language is deliberately small and structured (so that
+expressions can be printed and reasoned about), with
+:class:`RowPredicate` as an escape hatch for arbitrary Python callables.
+Predicates are evaluated against a row *viewed as a mapping* from column
+name to value.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.errors import AlgebraError
+
+
+class Predicate:
+    """Base class of all selection predicates."""
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        """Decide the predicate on one row (column name → value view)."""
+        raise NotImplementedError
+
+    def referenced_columns(self) -> frozenset[str]:
+        """Columns the predicate reads (used for schema validation)."""
+        raise NotImplementedError
+
+    # Composition sugar: ``p & q``, ``p | q``, ``~p``.
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return AndPredicate(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return OrPredicate(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return NotPredicate(self)
+
+
+def _lookup(row: Mapping[str, Any], column: str) -> Any:
+    try:
+        return row[column]
+    except KeyError:
+        raise AlgebraError(f"predicate references unknown column {column!r}") from None
+
+
+class TruePredicate(Predicate):
+    """Always true (select everything)."""
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return True
+
+    def referenced_columns(self) -> frozenset[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "TRUE"
+
+
+class ColumnEq(Predicate):
+    """``row[left] == row[right]`` for two column names."""
+
+    def __init__(self, left: str, right: str):
+        self.left = left
+        self.right = right
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return _lookup(row, self.left) == _lookup(row, self.right)
+
+    def referenced_columns(self) -> frozenset[str]:
+        return frozenset({self.left, self.right})
+
+    def __repr__(self) -> str:
+        return f"{self.left}={self.right}"
+
+
+class ValueEq(Predicate):
+    """``row[column] == value`` for a constant value."""
+
+    def __init__(self, column: str, value: Any):
+        self.column = column
+        self.value = value
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return _lookup(row, self.column) == self.value
+
+    def referenced_columns(self) -> frozenset[str]:
+        return frozenset({self.column})
+
+    def __repr__(self) -> str:
+        return f"{self.column}={self.value!r}"
+
+
+class ValueNe(Predicate):
+    """``row[column] != value`` for a constant value."""
+
+    def __init__(self, column: str, value: Any):
+        self.column = column
+        self.value = value
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return _lookup(row, self.column) != self.value
+
+    def referenced_columns(self) -> frozenset[str]:
+        return frozenset({self.column})
+
+    def __repr__(self) -> str:
+        return f"{self.column}!={self.value!r}"
+
+
+class AndPredicate(Predicate):
+    """Conjunction of two predicates."""
+
+    def __init__(self, left: Predicate, right: Predicate):
+        self.left = left
+        self.right = right
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return self.left.evaluate(row) and self.right.evaluate(row)
+
+    def referenced_columns(self) -> frozenset[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} AND {self.right!r})"
+
+
+class OrPredicate(Predicate):
+    """Disjunction of two predicates."""
+
+    def __init__(self, left: Predicate, right: Predicate):
+        self.left = left
+        self.right = right
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return self.left.evaluate(row) or self.right.evaluate(row)
+
+    def referenced_columns(self) -> frozenset[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} OR {self.right!r})"
+
+
+class NotPredicate(Predicate):
+    """Negation of a predicate."""
+
+    def __init__(self, inner: Predicate):
+        self.inner = inner
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return not self.inner.evaluate(row)
+
+    def referenced_columns(self) -> frozenset[str]:
+        return self.inner.referenced_columns()
+
+    def __repr__(self) -> str:
+        return f"(NOT {self.inner!r})"
+
+
+class RowPredicate(Predicate):
+    """Escape hatch: wrap an arbitrary ``row-dict -> bool`` callable.
+
+    ``columns`` must list every column the callable reads so that schema
+    validation stays possible.
+    """
+
+    def __init__(self, func: Callable[[Mapping[str, Any]], bool], columns: tuple[str, ...], name: str = "<func>"):
+        self.func = func
+        self.columns = tuple(columns)
+        self.name = name
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return bool(self.func(row))
+
+    def referenced_columns(self) -> frozenset[str]:
+        return frozenset(self.columns)
+
+    def __repr__(self) -> str:
+        return f"RowPredicate({self.name})"

@@ -1,0 +1,134 @@
+"""Probabilistic evaluation of algebra expressions with ``repair-key``.
+
+An expression containing ``repair-key`` no longer denotes one relation
+but a *probabilistic database of results*: a finite distribution over
+relations (Section 2.2 of the paper).  This module provides the two
+evaluation modes every algorithm in the paper builds on:
+
+* :func:`enumerate_worlds` — the exact possible-worlds distribution of
+  an expression.  Exponential in the number of repair-key choices, as it
+  must be (exact evaluation is ♯P-hard, Section 4); used by the exact
+  evaluators of Proposition 4.4 / Proposition 5.4 / Theorem 5.5.
+* :func:`sample_world` — draw one world in polynomial time; the
+  primitive of the sampling evaluators (Theorems 4.3 and 5.6).
+
+Distinct repair-key occurrences in an expression are independent
+sampling events, and distinct possible worlds that happen to produce
+equal result relations are merged (their probabilities add) — both
+exactly as the paper's semantics prescribes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import AlgebraError
+from repro.probability.distribution import Distribution
+from repro.relational.algebra import (
+    Difference,
+    Expression,
+    ExtendedProject,
+    Literal,
+    NaturalJoin,
+    Product,
+    Project,
+    Rename,
+    RepairKey,
+    Select,
+    Union,
+    evaluate,
+)
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.repair import repair_distribution, sample_repair
+
+_EMPTY_DB = Database({})
+
+
+def _apply_unary(expr: Expression, child: Relation) -> Relation:
+    """Apply a unary operator node to a concrete child relation."""
+    if isinstance(expr, Select):
+        return evaluate(Select(Literal(child), expr.predicate), _EMPTY_DB)
+    if isinstance(expr, Project):
+        return evaluate(Project(Literal(child), expr.columns), _EMPTY_DB)
+    if isinstance(expr, Rename):
+        return evaluate(Rename(Literal(child), expr.mapping), _EMPTY_DB)
+    if isinstance(expr, ExtendedProject):
+        return evaluate(ExtendedProject(Literal(child), expr.outputs), _EMPTY_DB)
+    raise AlgebraError(f"not a unary operator node: {expr!r}")
+
+
+def _apply_binary(expr: Expression, left: Relation, right: Relation) -> Relation:
+    """Apply a binary operator node to concrete child relations."""
+    if isinstance(expr, Union):
+        return left.union(right)
+    if isinstance(expr, Difference):
+        return left.difference(right)
+    if isinstance(expr, Product):
+        return evaluate(Product(Literal(left), Literal(right)), _EMPTY_DB)
+    if isinstance(expr, NaturalJoin):
+        return evaluate(NaturalJoin(Literal(left), Literal(right)), _EMPTY_DB)
+    raise AlgebraError(f"not a binary operator node: {expr!r}")
+
+
+def enumerate_worlds(expr: Expression, db: Database) -> Distribution[Relation]:
+    """The exact distribution over result relations of ``expr`` on ``db``.
+
+    Deterministic sub-expressions are evaluated once; every
+    ``repair-key`` node branches into its possible repairs; results of
+    independent subtrees combine by product.
+
+    Examples
+    --------
+    >>> from repro.relational.algebra import rel, repair_key, project
+    >>> db = Database({"E": Relation(("I", "J", "P"),
+    ...                              [("a", "b", 1), ("a", "c", 1)])})
+    >>> worlds = enumerate_worlds(project(repair_key(rel("E"), ("I",), "P"), "J"), db)
+    >>> len(worlds)
+    2
+    """
+    if expr.is_deterministic():
+        return Distribution.point(evaluate(expr, db))
+    if isinstance(expr, RepairKey):
+        child = enumerate_worlds(expr.child, db)
+        return child.bind(
+            lambda relation: repair_distribution(relation, expr.key, expr.weight)
+        )
+    if isinstance(expr, (Select, Project, Rename, ExtendedProject)):
+        child = enumerate_worlds(expr.child, db)
+        return child.map(lambda relation: _apply_unary(expr, relation))
+    if isinstance(expr, (Union, Difference, Product, NaturalJoin)):
+        left = enumerate_worlds(expr.left, db)
+        right = enumerate_worlds(expr.right, db)
+        return left.product(right).map(
+            lambda pair: _apply_binary(expr, pair[0], pair[1])
+        )
+    raise AlgebraError(f"cannot enumerate worlds of {expr!r}")
+
+
+def sample_world(expr: Expression, db: Database, rng: random.Random) -> Relation:
+    """Draw one possible result of ``expr`` on ``db`` (polynomial time).
+
+    The draw is faithful to :func:`enumerate_worlds`: sampling the
+    expression tree bottom-up with independent repair-key draws realises
+    exactly the enumerated distribution.
+    """
+    if expr.is_deterministic():
+        return evaluate(expr, db)
+    if isinstance(expr, RepairKey):
+        child = sample_world(expr.child, db, rng)
+        return sample_repair(child, rng, expr.key, expr.weight)
+    if isinstance(expr, (Select, Project, Rename, ExtendedProject)):
+        return _apply_unary(expr, sample_world(expr.child, db, rng))
+    if isinstance(expr, (Union, Difference, Product, NaturalJoin)):
+        left = sample_world(expr.left, db, rng)
+        right = sample_world(expr.right, db, rng)
+        return _apply_binary(expr, left, right)
+    raise AlgebraError(f"cannot sample a world of {expr!r}")
+
+
+def count_repair_keys(expr: Expression) -> int:
+    """Number of repair-key nodes in the expression (a cheap proxy for
+    how many independent probabilistic choices one evaluation makes)."""
+    own = 1 if isinstance(expr, RepairKey) else 0
+    return own + sum(count_repair_keys(child) for child in expr.children())

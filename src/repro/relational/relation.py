@@ -1,0 +1,196 @@
+"""Immutable relations: the basic value type of the relational substrate.
+
+A :class:`Relation` is a set of rows under a tuple of named columns.
+Relations are immutable and hashable, which is essential for this
+library: a whole database snapshot is used as the *state* of a Markov
+chain over database instances (Section 3.1 of the paper), so states must
+be usable as dictionary keys.
+
+Rows are plain Python tuples of hashable scalar values (strings,
+integers, ``Fraction``, floats...).  Column names are strings.  Duplicate
+rows are impossible by construction (set semantics), matching the
+relational model used by the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import SchemaError
+
+Row = tuple[Any, ...]
+
+
+def _check_columns(columns: Sequence[str]) -> tuple[str, ...]:
+    """Validate and normalise a column-name sequence."""
+    cols = tuple(columns)
+    for name in cols:
+        if not isinstance(name, str) or not name:
+            raise SchemaError(f"column names must be non-empty strings, got {name!r}")
+    if len(set(cols)) != len(cols):
+        raise SchemaError(f"duplicate column names in {cols!r}")
+    return cols
+
+
+class Relation:
+    """An immutable named-column relation (a set of same-arity rows).
+
+    Parameters
+    ----------
+    columns:
+        Ordered column names; must be unique, non-empty strings.
+    rows:
+        Iterable of tuples, each with the same arity as ``columns``.
+
+    Examples
+    --------
+    >>> edges = Relation(("I", "J", "P"), [("a", "b", 0.5), ("a", "c", 0.5)])
+    >>> len(edges)
+    2
+    >>> ("a", "b", 0.5) in edges
+    True
+    """
+
+    __slots__ = ("_columns", "_rows", "_hash")
+
+    def __init__(self, columns: Sequence[str], rows: Iterable[Sequence[Any]] = ()):
+        self._columns = _check_columns(columns)
+        normalised = set()
+        arity = len(self._columns)
+        for row in rows:
+            tup = tuple(row)
+            if len(tup) != arity:
+                raise SchemaError(
+                    f"row {tup!r} has arity {len(tup)}, expected {arity} "
+                    f"for columns {self._columns!r}"
+                )
+            normalised.add(tup)
+        self._rows: frozenset[Row] = frozenset(normalised)
+        self._hash = hash((self._columns, self._rows))
+
+    # -- basic protocol ------------------------------------------------
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        """The ordered column names."""
+        return self._columns
+
+    @property
+    def rows(self) -> frozenset[Row]:
+        """The rows as a frozenset of tuples."""
+        return self._rows
+
+    @property
+    def arity(self) -> int:
+        """Number of columns."""
+        return len(self._columns)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __contains__(self, row: Sequence[Any]) -> bool:
+        return tuple(row) in self._rows
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._columns == other._columns and self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        shown = sorted(self._rows, key=repr)[:6]
+        suffix = ", ..." if len(self._rows) > 6 else ""
+        return f"Relation({self._columns!r}, {shown!r}{suffix})"
+
+    # -- convenience constructors --------------------------------------
+
+    @classmethod
+    def empty(cls, columns: Sequence[str]) -> "Relation":
+        """An empty relation with the given columns."""
+        return cls(columns, ())
+
+    @classmethod
+    def singleton(cls, columns: Sequence[str], row: Sequence[Any]) -> "Relation":
+        """A relation holding exactly one row."""
+        return cls(columns, (row,))
+
+    @classmethod
+    def from_dicts(
+        cls, columns: Sequence[str], dicts: Iterable[Mapping[str, Any]]
+    ) -> "Relation":
+        """Build a relation from mappings of column name to value."""
+        cols = _check_columns(columns)
+        rows = []
+        for record in dicts:
+            try:
+                rows.append(tuple(record[c] for c in cols))
+            except KeyError as exc:
+                raise SchemaError(f"record {record!r} is missing column {exc}") from exc
+        return cls(cols, rows)
+
+    # -- row access helpers ---------------------------------------------
+
+    def column_index(self, name: str) -> int:
+        """Position of column ``name`` (raises :class:`SchemaError` if absent)."""
+        try:
+            return self._columns.index(name)
+        except ValueError:
+            raise SchemaError(
+                f"no column {name!r} in relation with columns {self._columns!r}"
+            ) from None
+
+    def column_values(self, name: str) -> set[Any]:
+        """The set of values appearing in column ``name``."""
+        idx = self.column_index(name)
+        return {row[idx] for row in self._rows}
+
+    def row_as_dict(self, row: Row) -> dict[str, Any]:
+        """View a row as a column-name → value mapping."""
+        return dict(zip(self._columns, row))
+
+    def sorted_rows(self) -> list[Row]:
+        """Rows in a deterministic order (useful for reproducible output)."""
+        return sorted(self._rows, key=repr)
+
+    # -- set-style operations (schema-checked) ---------------------------
+
+    def _require_same_columns(self, other: "Relation", op: str) -> None:
+        if self._columns != other._columns:
+            raise SchemaError(
+                f"{op} requires identical columns: "
+                f"{self._columns!r} vs {other._columns!r}"
+            )
+
+    def union(self, other: "Relation") -> "Relation":
+        """Set union; both relations must have identical columns."""
+        self._require_same_columns(other, "union")
+        return Relation(self._columns, self._rows | other._rows)
+
+    def difference(self, other: "Relation") -> "Relation":
+        """Set difference; both relations must have identical columns."""
+        self._require_same_columns(other, "difference")
+        return Relation(self._columns, self._rows - other._rows)
+
+    def intersection(self, other: "Relation") -> "Relation":
+        """Set intersection; both relations must have identical columns."""
+        self._require_same_columns(other, "intersection")
+        return Relation(self._columns, self._rows & other._rows)
+
+    def issubset(self, other: "Relation") -> bool:
+        """True when every row of ``self`` appears in ``other``."""
+        self._require_same_columns(other, "issubset")
+        return self._rows <= other._rows
+
+    def with_rows(self, rows: Iterable[Sequence[Any]]) -> "Relation":
+        """A new relation with the same columns and additional rows."""
+        extra = Relation(self._columns, rows)
+        return self.union(extra)
+
+    def active_domain(self) -> set[Any]:
+        """All values occurring anywhere in the relation."""
+        return {value for row in self._rows for value in row}

@@ -1,0 +1,137 @@
+"""Rendering algebra expressions back to the textual syntax.
+
+The inverse of :mod:`repro.relational.parser`: for any expression built
+from the parseable constructs,
+``parse_expression(render_expression(e))`` reconstructs a structurally
+identical tree (verified by property tests).  Useful for debugging,
+logging, and persisting kernels built through the Python API.
+
+:class:`~repro.relational.algebra.ExtendedProject` and predicates
+outside the comparison fragment (e.g. :class:`RowPredicate`) have no
+textual form; rendering them raises :class:`AlgebraError`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any
+
+from repro.errors import AlgebraError
+from repro.relational.algebra import (
+    Difference,
+    Expression,
+    Literal,
+    NaturalJoin,
+    Product,
+    Project,
+    RelationRef,
+    Rename,
+    RepairKey,
+    Select,
+    Union,
+)
+from repro.relational.predicates import (
+    AndPredicate,
+    ColumnEq,
+    Predicate,
+    TruePredicate,
+    ValueEq,
+    ValueNe,
+)
+
+#: Binary operators and their textual keywords, by precedence tier.
+_ADDITIVE = {Union: "union", Difference: "minus"}
+_MULTIPLICATIVE = {NaturalJoin: "join", Product: "times"}
+
+
+def _render_constant(value: Any) -> str:
+    if isinstance(value, Fraction):
+        return f"{value.numerator}/{value.denominator}"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace("'", "\\'")
+        return f"'{escaped}'"
+    raise AlgebraError(f"cannot render constant {value!r} in algebra syntax")
+
+
+def _render_comparisons(predicate: Predicate) -> list[str]:
+    if isinstance(predicate, TruePredicate):
+        return []
+    if isinstance(predicate, AndPredicate):
+        return _render_comparisons(predicate.left) + _render_comparisons(
+            predicate.right
+        )
+    if isinstance(predicate, ValueEq):
+        return [f"{predicate.column}={_render_constant(predicate.value)}"]
+    if isinstance(predicate, ValueNe):
+        return [f"{predicate.column}!={_render_constant(predicate.value)}"]
+    if isinstance(predicate, ColumnEq):
+        return [f"{predicate.left}={predicate.right}"]
+    raise AlgebraError(
+        f"predicate {predicate!r} has no textual form (only conjunctions of "
+        "comparisons render)"
+    )
+
+
+def render_expression(expr: Expression) -> str:
+    """Render an expression in the parser's grammar.
+
+    Examples
+    --------
+    >>> from repro.relational import parse_expression
+    >>> text = "rename[J->I](project[J](repair-key[I@P](C join E)))"
+    >>> render_expression(parse_expression(text)) == text
+    True
+    """
+    return _render(expr, parent_tier=0)
+
+
+def _render(expr: Expression, parent_tier: int) -> str:
+    # tiers: 0 = additive context, 1 = multiplicative, 2 = atom
+    if type(expr) in _ADDITIVE:
+        word = _ADDITIVE[type(expr)]
+        text = f"{_render(expr.left, 0)} {word} {_render(expr.right, 1)}"
+        return f"({text})" if parent_tier > 0 else text
+    if type(expr) in _MULTIPLICATIVE:
+        word = _MULTIPLICATIVE[type(expr)]
+        text = f"{_render(expr.left, 1)} {word} {_render(expr.right, 2)}"
+        return f"({text})" if parent_tier > 1 else text
+
+    if isinstance(expr, RelationRef):
+        return expr.name
+    if isinstance(expr, Project):
+        return f"project[{', '.join(expr.columns)}]({_render(expr.child, 0)})"
+    if isinstance(expr, Rename):
+        pairs = ", ".join(f"{old}->{new}" for old, new in expr.mapping.items())
+        return f"rename[{pairs}]({_render(expr.child, 0)})"
+    if isinstance(expr, Select):
+        comparisons = ", ".join(_render_comparisons(expr.predicate))
+        return f"select[{comparisons}]({_render(expr.child, 0)})"
+    if isinstance(expr, RepairKey):
+        inner = ", ".join(expr.key)
+        if expr.weight is not None:
+            inner += f"@{expr.weight}"
+        return f"repair-key[{inner}]({_render(expr.child, 0)})"
+    if isinstance(expr, Literal):
+        relation = expr.relation
+        rows = ", ".join(
+            "(" + ", ".join(_render_constant(v) for v in row) + ")"
+            for row in relation.sorted_rows()
+        )
+        return f"literal[{', '.join(relation.columns)}]{{{rows}}}"
+    raise AlgebraError(f"expression {expr!r} has no textual form")
+
+
+def render_interpretation(kernel) -> str:
+    """Render a whole kernel as ``Name := expression`` lines
+    (pc-tables, having no algebraic form, are rejected)."""
+    if getattr(kernel, "pc_tables", None) is not None:
+        raise AlgebraError(
+            "kernels with attached pc-tables have no pure algebra rendering"
+        )
+    lines = [
+        f"{name} := {render_expression(expression)}"
+        for name, expression in sorted(kernel.queries.items())
+    ]
+    return "\n".join(lines)

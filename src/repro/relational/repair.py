@@ -1,0 +1,160 @@
+"""Possible-worlds semantics of the ``repair-key`` operator.
+
+``repair-key_{Ā@P}(R)`` samples one *maximal repair* of the key Ā: for
+each distinct key value ā occurring in R, exactly one row of its group
+T_ā is chosen, with probability proportional to the row's value in the
+weight column P (Section 2.2 of the paper).  Groups are independent, so
+a possible world is one choice per group and its probability is the
+product of per-group choice probabilities.
+
+Two public entry points:
+
+* :func:`repair_distribution` — enumerate the full set of possible
+  worlds as an exact :class:`~repro.probability.distribution.Distribution`
+  over :class:`~repro.relational.relation.Relation` values;
+* :func:`sample_repair` — draw a single world without enumeration
+  (probability-proportional sampling per group), which is what the
+  polynomial-time sampling evaluators of Theorems 4.3 and 5.6 rely on.
+
+Footnote 1 of the paper is honoured: rows that agree on all non-weight
+columns are first merged by summing their weights, restoring the
+functional dependency ``schema(R) − P → P``.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import Sequence
+
+from repro.errors import ProbabilityError
+from repro.probability.distribution import Distribution, as_fraction, product_distribution
+from repro.relational.relation import Relation, Row
+
+
+def _weight_of(row: Row, weight_index: int | None) -> Fraction:
+    """Extract and validate one row's weight (1 when weighting is uniform)."""
+    if weight_index is None:
+        return Fraction(1)
+    weight = as_fraction(row[weight_index])
+    if weight <= 0:
+        raise ProbabilityError(
+            f"repair-key weight column must contain positive values, "
+            f"got {row[weight_index]!r} in row {row!r}"
+        )
+    return weight
+
+
+def _merge_duplicate_weight_rows(relation: Relation, weight: str | None) -> Relation:
+    """Footnote 1: merge rows equal on all non-weight columns, summing P."""
+    if weight is None:
+        return relation
+    widx = relation.column_index(weight)
+    merged: dict[tuple, Fraction] = {}
+    for row in relation:
+        key = row[:widx] + row[widx + 1 :]
+        merged[key] = merged.get(key, Fraction(0)) + _weight_of(row, widx)
+    rows = [key[:widx] + (value,) + key[widx:] for key, value in merged.items()]
+    return Relation(relation.columns, rows)
+
+
+def _groups(relation: Relation, key: Sequence[str]) -> dict[tuple, list[Row]]:
+    """Group rows by their key-column values (one group when key is empty)."""
+    indices = [relation.column_index(c) for c in key]
+    grouped: dict[tuple, list[Row]] = {}
+    for row in relation:
+        grouped.setdefault(tuple(row[i] for i in indices), []).append(row)
+    return grouped
+
+
+def repair_distribution(
+    relation: Relation, key: Sequence[str] = (), weight: str | None = None
+) -> Distribution[Relation]:
+    """All possible worlds of ``repair-key_{key@weight}(relation)``.
+
+    The output schema equals the input schema.  An empty input yields
+    the empty relation with probability 1 (there are no key groups to
+    repair), which is what makes fixpoints of inflationary queries such
+    as Example 3.5 well defined.
+
+    Examples
+    --------
+    >>> players = Relation(("Player", "Team", "Belief"),
+    ...                    [("Bryant", "LA Lakers", 17), ("Bryant", "NY Knicks", 3)])
+    >>> worlds = repair_distribution(players, key=("Player",), weight="Belief")
+    >>> sorted(float(p) for p in worlds.as_floats().values())
+    [0.15, 0.85]
+    """
+    relation = _merge_duplicate_weight_rows(relation, weight)
+    grouped = _groups(relation, key)
+    if not grouped:
+        return Distribution.point(Relation.empty(relation.columns))
+    widx = relation.column_index(weight) if weight is not None else None
+    per_group: list[Distribution[Row]] = []
+    for key_value in sorted(grouped, key=repr):
+        rows = grouped[key_value]
+        per_group.append(Distribution({row: _weight_of(row, widx) for row in rows}))
+    joint = product_distribution(per_group)
+    columns = relation.columns
+    return joint.map(lambda chosen: Relation(columns, chosen))
+
+
+def sample_repair(
+    relation: Relation,
+    rng: random.Random,
+    key: Sequence[str] = (),
+    weight: str | None = None,
+) -> Relation:
+    """Draw one possible world of ``repair-key`` without enumerating.
+
+    Runs in time linear in the relation size; this is the sampling
+    primitive behind the Theorem 4.3 and Theorem 5.6 evaluators.
+    """
+    relation = _merge_duplicate_weight_rows(relation, weight)
+    grouped = _groups(relation, key)
+    widx = relation.column_index(weight) if weight is not None else None
+    chosen: list[Row] = []
+    for key_value in sorted(grouped, key=repr):
+        rows = grouped[key_value]
+        if widx is None:
+            chosen.append(rows[rng.randrange(len(rows))])
+        else:
+            weights = [float(_weight_of(row, widx)) for row in rows]
+            total = sum(weights)
+            pick = rng.random() * total
+            acc = 0.0
+            selected = rows[-1]
+            for row, w in zip(rows, weights):
+                acc += w
+                if pick < acc:
+                    selected = row
+                    break
+            chosen.append(selected)
+    return Relation(relation.columns, chosen)
+
+
+def world_probability(
+    relation: Relation,
+    world: Relation,
+    key: Sequence[str] = (),
+    weight: str | None = None,
+) -> Fraction:
+    """Exact probability that ``repair-key`` produces ``world``.
+
+    Zero when ``world`` is not a maximal repair of ``relation``.
+    Useful for spot-checking samplers against enumeration.
+    """
+    relation = _merge_duplicate_weight_rows(relation, weight)
+    grouped = _groups(relation, key)
+    widx = relation.column_index(weight) if weight is not None else None
+    world_groups = _groups(world, key)
+    if set(world_groups) != set(grouped):
+        return Fraction(0)
+    probability = Fraction(1)
+    for key_value, rows in grouped.items():
+        chosen_rows = world_groups[key_value]
+        if len(chosen_rows) != 1 or chosen_rows[0] not in rows:
+            return Fraction(0)
+        total = sum(_weight_of(row, widx) for row in rows)
+        probability *= _weight_of(chosen_rows[0], widx) / total
+    return probability

@@ -1,0 +1,73 @@
+"""Synthetic workload generators and the paper's literal example
+instances: weighted graphs, query builders for Examples 3.3–3.9,
+Bayesian networks (Example 3.10), and Table 2."""
+
+from repro.workloads.bayesnets import (
+    BayesError,
+    BayesianNetwork,
+    random_network,
+    sprinkler_network,
+)
+from repro.workloads.graphs import (
+    GraphError,
+    WeightedGraph,
+    barbell_graph,
+    chain_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    layered_dag,
+    random_ergodic_chain,
+    star_graph,
+    two_component_graph,
+)
+from repro.workloads.gibbs import (
+    gibbs_chain,
+    gibbs_marginal_estimate,
+    gibbs_step,
+)
+from repro.workloads.paper_examples import (
+    BASKETBALL_WORLD_PROBABILITIES,
+    basketball_table,
+    example_36_graph,
+    example_39_edb,
+)
+from repro.workloads.queries import (
+    pagerank_query,
+    random_walk_query,
+    reachability_program,
+    reachability_query,
+    unguarded_reachability_query,
+)
+
+__all__ = [
+    "BASKETBALL_WORLD_PROBABILITIES",
+    "BayesError",
+    "BayesianNetwork",
+    "GraphError",
+    "WeightedGraph",
+    "barbell_graph",
+    "basketball_table",
+    "chain_graph",
+    "complete_graph",
+    "cycle_graph",
+    "erdos_renyi",
+    "example_36_graph",
+    "example_39_edb",
+    "gibbs_chain",
+    "gibbs_marginal_estimate",
+    "gibbs_step",
+    "grid_graph",
+    "layered_dag",
+    "pagerank_query",
+    "random_ergodic_chain",
+    "random_network",
+    "random_walk_query",
+    "reachability_program",
+    "reachability_query",
+    "sprinkler_network",
+    "star_graph",
+    "two_component_graph",
+    "unguarded_reachability_query",
+]

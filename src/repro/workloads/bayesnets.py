@@ -1,0 +1,217 @@
+"""Bayesian-network workloads (Example 3.10).
+
+A :class:`BayesianNetwork` over Boolean random variables, with bounded
+in-degree K, translates to the paper's K+1-rule probabilistic datalog
+program: relations ``s<k>`` list each node's parents and ``t<k>`` hold
+the conditional probability tables; a single IDB predicate ``v(N, V)``
+carries one complete valuation per possible world, built root-to-leaf
+by repair-key choices keyed on the node name.
+
+Includes a seeded random-network generator and the classic "sprinkler"
+network as a fixed instance.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping
+
+from repro.datalog.ast import Program
+from repro.datalog.parser import parse_program
+from repro.errors import ReproError
+from repro.probability.rng import RngLike, make_rng
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+class BayesError(ReproError):
+    """An ill-formed Bayesian network."""
+
+
+@dataclass(frozen=True)
+class BayesianNetwork:
+    """A Boolean Bayesian network.
+
+    Attributes
+    ----------
+    nodes:
+        Node names in a topological order (parents precede children).
+    parents:
+        Node → its (ordered) parent tuple.
+    cpts:
+        Node → mapping from a tuple of parent values (0/1, in the
+        ``parents`` order) to Pr[node = 1 | parents]; probabilities are
+        exact :class:`Fraction` values.
+    """
+
+    nodes: tuple[str, ...]
+    parents: Mapping[str, tuple[str, ...]]
+    cpts: Mapping[str, Mapping[tuple[int, ...], Fraction]]
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for node in self.nodes:
+            for parent in self.parents.get(node, ()):
+                if parent not in seen:
+                    raise BayesError(
+                        f"node {node!r} lists parent {parent!r} that does not "
+                        "precede it (nodes must be topologically ordered)"
+                    )
+            table = self.cpts.get(node)
+            if table is None:
+                raise BayesError(f"node {node!r} has no CPT")
+            arity = len(self.parents.get(node, ()))
+            expected = set(itertools.product((0, 1), repeat=arity))
+            if set(table) != expected:
+                raise BayesError(
+                    f"CPT of {node!r} must cover all {2**arity} parent "
+                    "combinations"
+                )
+            for probability in table.values():
+                if not 0 <= probability <= 1:
+                    raise BayesError(f"CPT of {node!r} has probability outside [0,1]")
+            seen.add(node)
+
+    @property
+    def max_in_degree(self) -> int:
+        """The bound K of Example 3.10."""
+        return max((len(self.parents.get(n, ())) for n in self.nodes), default=0)
+
+    # -- exact semantics (the baseline for Example 3.10) -----------------------
+
+    def joint_probability(self, valuation: Mapping[str, int]) -> Fraction:
+        """Pr[X₁ = v₁ ∧ ... ∧ Xₙ = vₙ] for a complete valuation."""
+        probability = Fraction(1)
+        for node in self.nodes:
+            parent_values = tuple(valuation[p] for p in self.parents.get(node, ()))
+            p_one = self.cpts[node][parent_values]
+            probability *= p_one if valuation[node] == 1 else 1 - p_one
+        return probability
+
+    def marginal_probability(self, conditions: Mapping[str, int]) -> Fraction:
+        """Pr[⋀ node = value] by explicit enumeration (exponential)."""
+        unknown = [n for n in conditions if n not in self.nodes]
+        if unknown:
+            raise BayesError(f"conditions mention unknown nodes {unknown!r}")
+        total = Fraction(0)
+        free = [n for n in self.nodes if n not in conditions]
+        for bits in itertools.product((0, 1), repeat=len(free)):
+            valuation = dict(conditions)
+            valuation.update(zip(free, bits))
+            total += self.joint_probability(valuation)
+        return total
+
+    def sample(self, rng: RngLike = None) -> dict[str, int]:
+        """Ancestral sampling of one complete valuation."""
+        generator = make_rng(rng)
+        valuation: dict[str, int] = {}
+        for node in self.nodes:
+            parent_values = tuple(valuation[p] for p in self.parents.get(node, ()))
+            p_one = float(self.cpts[node][parent_values])
+            valuation[node] = 1 if generator.random() < p_one else 0
+        return valuation
+
+    # -- Example 3.10 translation ------------------------------------------------
+
+    def to_datalog(
+        self, conditions: Mapping[str, int] | None = None
+    ) -> tuple[Program, Database]:
+        """The Example 3.10 program and EDB for this network.
+
+        One rule per in-degree k ≤ K::
+
+            v(N0*, V0)@P :- t<k>(N0, V0, V1, ..., Vk, P),
+                            s<k>(N0, N1, ..., Nk),
+                            v(N1, V1), ..., v(Nk, Vk).
+
+        With ``conditions`` given, the marginal-query rule
+        ``q() :- v(x, vx), v(y, vy), ...`` is appended, so
+        ``Pr[⋀ conditions]`` is the probability of the event
+        ``() ∈ q``.
+        """
+        degrees = sorted(
+            {len(self.parents.get(node, ())) for node in self.nodes}
+        )
+        rules = []
+        for k in degrees:
+            parent_vars = [f"N{i}" for i in range(1, k + 1)]
+            value_vars = [f"V{i}" for i in range(1, k + 1)]
+            t_args = ", ".join(["N0", "V0", *value_vars, "P"])
+            s_args = ", ".join(["N0", *parent_vars])
+            body = [f"t{k}({t_args})", f"s{k}({s_args})"]
+            body += [f"v({n}, {v})" for n, v in zip(parent_vars, value_vars)]
+            rules.append(f"v(N0*, V0)@P :- {', '.join(body)}.")
+        if conditions is not None:
+            if not conditions:
+                raise BayesError("marginal query needs at least one condition")
+            body = ", ".join(
+                f"v('{node}', {value})" for node, value in sorted(conditions.items())
+            )
+            rules.append(f"q() :- {body}.")
+        program = parse_program("\n".join(rules))
+
+        relations: dict[str, Relation] = {}
+        for k in degrees:
+            s_rows = []
+            t_rows = []
+            for node in self.nodes:
+                node_parents = self.parents.get(node, ())
+                if len(node_parents) != k:
+                    continue
+                s_rows.append((node, *node_parents))
+                for parent_values, p_one in self.cpts[node].items():
+                    # repair-key requires strictly positive weights
+                    # (Section 2.2), so impossible values are omitted.
+                    if p_one > 0:
+                        t_rows.append((node, 1, *parent_values, p_one))
+                    if p_one < 1:
+                        t_rows.append((node, 0, *parent_values, 1 - p_one))
+            s_cols = tuple(f"n{i}" for i in range(k + 1))
+            t_cols = ("n0", "v0", *[f"v{i}" for i in range(1, k + 1)], "p")
+            relations[f"s{k}"] = Relation(s_cols, s_rows)
+            relations[f"t{k}"] = Relation(t_cols, t_rows)
+        return program, Database(relations)
+
+
+def sprinkler_network() -> BayesianNetwork:
+    """The classic rain / sprinkler / wet-grass network."""
+    return BayesianNetwork(
+        nodes=("rain", "sprinkler", "grass"),
+        parents={"rain": (), "sprinkler": ("rain",), "grass": ("sprinkler", "rain")},
+        cpts={
+            "rain": {(): Fraction(1, 5)},
+            "sprinkler": {(0,): Fraction(2, 5), (1,): Fraction(1, 100)},
+            "grass": {
+                (0, 0): Fraction(0),
+                (0, 1): Fraction(4, 5),
+                (1, 0): Fraction(9, 10),
+                (1, 1): Fraction(99, 100),
+            },
+        },
+    )
+
+
+def random_network(
+    num_nodes: int,
+    max_in_degree: int = 2,
+    rng: RngLike = None,
+) -> BayesianNetwork:
+    """A random Boolean network: each node picks up to ``max_in_degree``
+    parents among its predecessors and random rational CPT entries."""
+    if num_nodes < 1:
+        raise BayesError("network needs at least one node")
+    generator = make_rng(rng)
+    nodes = tuple(f"b{i}" for i in range(num_nodes))
+    parents: dict[str, tuple[str, ...]] = {}
+    cpts: dict[str, dict[tuple[int, ...], Fraction]] = {}
+    for index, node in enumerate(nodes):
+        degree = generator.randint(0, min(max_in_degree, index))
+        chosen = tuple(generator.sample(nodes[:index], degree)) if degree else ()
+        parents[node] = chosen
+        table = {}
+        for bits in itertools.product((0, 1), repeat=degree):
+            table[bits] = Fraction(generator.randint(1, 9), 10)
+        cpts[node] = table
+    return BayesianNetwork(nodes=nodes, parents=parents, cpts=cpts)

@@ -1,0 +1,178 @@
+"""Gibbs sampling over Bayesian networks — the paper's MCMC motivation.
+
+The introduction argues that declarative Markov-chain languages would
+let MCMC applications be programmed at a higher level of abstraction.
+This module builds the classical *random-scan Gibbs sampler* for a
+Boolean Bayesian network as an explicit chain over complete valuations
+— states are full assignments, one step resamples a uniformly chosen
+node from its conditional given the Markov blanket — and runs it
+through the same machinery as the query languages: ergodicity checks,
+exact stationary distributions, mixing times, Theorem 5.6-style
+burn-in sampling.
+
+The invariant (verified exactly in the tests): the Gibbs chain's
+stationary distribution **is** the network's joint distribution,
+provided every CPT entry is strictly inside (0, 1) (zero entries can
+disconnect the state graph).
+
+A note on declarativity: expressing the Gibbs *conditional* as a
+repair-key weight would require multiplying probabilities inside a
+query, an arithmetic capability the paper's algebra (and therefore this
+reproduction's) deliberately lacks — its Example 3.10 sidesteps the
+issue by chaining one repair-key per CPT row.  The sampler is therefore
+built directly on the Markov substrate; the induced chain is the same
+object a declarative front-end would denote.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Mapping
+
+from repro.errors import ReproError
+from repro.markov.chain import MarkovChain
+from repro.probability.distribution import Distribution
+from repro.workloads.bayesnets import BayesianNetwork
+
+#: A chain state: the complete valuation as a sorted tuple of
+#: (node, value) pairs (hashable, order-canonical).
+Valuation = tuple[tuple[str, int], ...]
+
+
+def as_state(valuation: Mapping[str, int]) -> Valuation:
+    """Canonicalise a valuation mapping into a chain state."""
+    return tuple(sorted(valuation.items()))
+
+
+def as_mapping(state: Valuation) -> dict[str, int]:
+    """The inverse of :func:`as_state`."""
+    return dict(state)
+
+
+def _require_positive_cpts(network: BayesianNetwork) -> None:
+    for node in network.nodes:
+        for probability in network.cpts[node].values():
+            if not 0 < probability < 1:
+                raise ReproError(
+                    "Gibbs sampling needs CPT entries strictly inside (0, 1); "
+                    f"node {node!r} violates this (the chain could be reducible)"
+                )
+
+
+def conditional_probability(
+    network: BayesianNetwork, valuation: Mapping[str, int], node: str
+) -> Fraction:
+    """Pr[node = 1 | all other variables] under the network.
+
+    Proportional to Pr[node = 1 | parents] times the children's CPT
+    factors — the Markov-blanket conditional that one Gibbs step
+    resamples from.
+    """
+    weights = {}
+    for value in (0, 1):
+        probe = dict(valuation)
+        probe[node] = value
+        weight = Fraction(1)
+        # own factor
+        parent_values = tuple(probe[p] for p in network.parents.get(node, ()))
+        p_one = network.cpts[node][parent_values]
+        weight *= p_one if value == 1 else 1 - p_one
+        # children factors
+        for child in network.nodes:
+            if node not in network.parents.get(child, ()):
+                continue
+            child_parents = tuple(probe[p] for p in network.parents[child])
+            p_child_one = network.cpts[child][child_parents]
+            weight *= p_child_one if probe[child] == 1 else 1 - p_child_one
+        weights[value] = weight
+    total = weights[0] + weights[1]
+    if total == 0:
+        raise ReproError(
+            f"conditional of {node!r} is undefined (zero total weight)"
+        )
+    return weights[1] / total
+
+
+def gibbs_chain(network: BayesianNetwork) -> MarkovChain[Valuation]:
+    """The random-scan Gibbs chain over all 2ⁿ complete valuations.
+
+    One step: pick a node uniformly, resample it from its
+    Markov-blanket conditional.  Exact rational transition
+    probabilities; exponential state count (this is the *explicit*
+    chain used to verify the sampler — simulation via
+    :func:`gibbs_step` never materialises it).
+    """
+    _require_positive_cpts(network)
+    import itertools
+
+    n = len(network.nodes)
+    pick = Fraction(1, n)
+    transitions: dict[Valuation, Distribution[Valuation]] = {}
+    for bits in itertools.product((0, 1), repeat=n):
+        valuation = dict(zip(network.nodes, bits))
+        state = as_state(valuation)
+        weights: dict[Valuation, Fraction] = {}
+        for node in network.nodes:
+            p_one = conditional_probability(network, valuation, node)
+            for value, probability in ((1, p_one), (0, 1 - p_one)):
+                successor = dict(valuation)
+                successor[node] = value
+                key = as_state(successor)
+                weights[key] = weights.get(key, Fraction(0)) + pick * probability
+        transitions[state] = Distribution(weights, normalise=False)
+    return MarkovChain(transitions)
+
+
+def gibbs_step(
+    network: BayesianNetwork, valuation: dict[str, int], rng
+) -> dict[str, int]:
+    """One simulated Gibbs transition (polynomial; no chain build)."""
+    node = network.nodes[rng.randrange(len(network.nodes))]
+    p_one = float(conditional_probability(network, valuation, node))
+    updated = dict(valuation)
+    updated[node] = 1 if rng.random() < p_one else 0
+    return updated
+
+
+def gibbs_marginal_estimate(
+    network: BayesianNetwork,
+    conditions: Mapping[str, int],
+    samples: int,
+    burn_in: int,
+    rng,
+    thinning: int = 1,
+) -> float:
+    """Estimate Pr[⋀ conditions] with a burned-in, thinned Gibbs run.
+
+    One long chain: ``burn_in`` steps discarded, then every
+    ``thinning``-th state contributes one sample until ``samples``
+    are collected.
+    """
+    if samples < 1 or burn_in < 0 or thinning < 1:
+        raise ReproError("need samples ≥ 1, burn_in ≥ 0, thinning ≥ 1")
+    _require_positive_cpts(network)
+    valuation = network.sample(rng)
+    for _ in range(burn_in):
+        valuation = gibbs_step(network, valuation, rng)
+    hits = 0
+    collected = 0
+    while collected < samples:
+        for _ in range(thinning):
+            valuation = gibbs_step(network, valuation, rng)
+        collected += 1
+        if all(valuation[node] == value for node, value in conditions.items()):
+            hits += 1
+    return hits / samples
+
+
+def joint_distribution(network: BayesianNetwork) -> Distribution[Valuation]:
+    """The network's exact joint, keyed like the Gibbs chain's states."""
+    import itertools
+
+    weights = {}
+    for bits in itertools.product((0, 1), repeat=len(network.nodes)):
+        valuation = dict(zip(network.nodes, bits))
+        probability = network.joint_probability(valuation)
+        if probability > 0:
+            weights[as_state(valuation)] = probability
+    return Distribution(weights, normalise=False)

@@ -1,0 +1,303 @@
+"""Weighted-graph workloads.
+
+The paper's running examples (random walk, PageRank, reachability) all
+operate on a directed graph with probability-annotated edges, stored as
+a ternary relation ``E(I, J, P)`` (Example 3.3).  This module provides
+the graph value type, conversions to relations and Markov chains, and a
+family of generators with controlled structure: fast-mixing (complete),
+slow-mixing (cycle, barbell), layered DAGs (for reachability), and
+random graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Iterable, Sequence
+
+from repro.errors import ReproError
+from repro.markov.chain import MarkovChain, chain_from_edges
+from repro.probability.rng import RngLike, make_rng
+from repro.relational.relation import Relation
+
+Node = Any
+Edge = tuple[Node, Node, Fraction]
+
+
+class GraphError(ReproError):
+    """An ill-formed workload graph."""
+
+
+@dataclass(frozen=True)
+class WeightedGraph:
+    """A directed graph with positive edge weights.
+
+    Weights are interpreted as *relative* transition weights: the random
+    walk normalises them per source node (exactly what
+    ``repair-key_{I@P}`` does in Example 3.3), so they need not sum
+    to 1.
+    """
+
+    nodes: tuple[Node, ...]
+    edges: tuple[Edge, ...]
+
+    def __init__(self, nodes: Iterable[Node], edges: Iterable[tuple[Node, Node, Any]]):
+        node_tuple = tuple(nodes)
+        node_set = set(node_tuple)
+        if len(node_set) != len(node_tuple):
+            raise GraphError("duplicate nodes")
+        normalised = []
+        for source, target, weight in edges:
+            if source not in node_set or target not in node_set:
+                raise GraphError(f"edge ({source!r}, {target!r}) uses unknown nodes")
+            fraction = Fraction(weight)
+            if fraction <= 0:
+                raise GraphError(f"edge weight must be positive, got {weight!r}")
+            normalised.append((source, target, fraction))
+        object.__setattr__(self, "nodes", node_tuple)
+        object.__setattr__(self, "edges", tuple(normalised))
+
+    # -- views ----------------------------------------------------------------
+
+    def out_edges(self, node: Node) -> list[Edge]:
+        """Outgoing edges of one node."""
+        return [e for e in self.edges if e[0] == node]
+
+    def sinks(self) -> list[Node]:
+        """Nodes with no outgoing edge (a random walk gets stuck there)."""
+        sources = {source for source, _target, _weight in self.edges}
+        return [node for node in self.nodes if node not in sources]
+
+    def edge_relation(self, columns: Sequence[str] = ("I", "J", "P")) -> Relation:
+        """The ``E(I, J, P)`` relation of Example 3.3."""
+        return Relation(columns, [(s, t, w) for s, t, w in self.edges])
+
+    def to_markov_chain(self) -> MarkovChain[Node]:
+        """The random-walk chain (per-node weight normalisation).
+
+        Raises :class:`GraphError` when some node has no outgoing edge.
+        """
+        stuck = self.sinks()
+        if stuck:
+            raise GraphError(
+                f"nodes {stuck!r} have no outgoing edges; the walk is undefined"
+            )
+        return chain_from_edges(self.edges)
+
+    def __repr__(self) -> str:
+        return f"WeightedGraph({len(self.nodes)} nodes, {len(self.edges)} edges)"
+
+
+# -- generators ------------------------------------------------------------------
+
+
+def _names(count: int) -> list[str]:
+    return [f"n{i}" for i in range(count)]
+
+
+def complete_graph(size: int, self_loops: bool = True) -> WeightedGraph:
+    """The complete directed graph with uniform weights — fast mixing."""
+    if size < 2:
+        raise GraphError("complete graph needs at least 2 nodes")
+    nodes = _names(size)
+    edges = [
+        (u, v, 1)
+        for u in nodes
+        for v in nodes
+        if self_loops or u != v
+    ]
+    return WeightedGraph(nodes, edges)
+
+
+def cycle_graph(size: int, laziness: Fraction = Fraction(1, 2)) -> WeightedGraph:
+    """A lazy directed cycle — mixing time Θ(size²) at fixed laziness.
+
+    Each node stays put with weight ``laziness`` and advances with the
+    complement; the self-loop makes the chain aperiodic.
+    """
+    if size < 2:
+        raise GraphError("cycle needs at least 2 nodes")
+    if not 0 < laziness < 1:
+        raise GraphError("laziness must lie strictly between 0 and 1")
+    nodes = _names(size)
+    edges = []
+    for index, node in enumerate(nodes):
+        edges.append((node, node, laziness))
+        edges.append((node, nodes[(index + 1) % size], 1 - laziness))
+    return WeightedGraph(nodes, edges)
+
+
+def barbell_graph(side: int) -> WeightedGraph:
+    """Two complete ``side``-cliques joined by a single bridge edge —
+    the classical slow-mixing bottleneck family."""
+    if side < 2:
+        raise GraphError("barbell sides need at least 2 nodes")
+    left = [f"l{i}" for i in range(side)]
+    right = [f"r{i}" for i in range(side)]
+    edges: list[tuple[str, str, int]] = []
+    for clique in (left, right):
+        edges.extend((u, v, 1) for u in clique for v in clique)
+    edges.append((left[-1], right[0], 1))
+    edges.append((right[0], left[-1], 1))
+    return WeightedGraph(left + right, edges)
+
+
+def chain_graph(size: int) -> WeightedGraph:
+    """A reflecting path: each inner node steps left/right uniformly;
+    the endpoints bounce back (with a self-loop for aperiodicity)."""
+    if size < 2:
+        raise GraphError("chain needs at least 2 nodes")
+    nodes = _names(size)
+    edges = []
+    for index, node in enumerate(nodes):
+        if index > 0:
+            edges.append((node, nodes[index - 1], 1))
+        if index + 1 < size:
+            edges.append((node, nodes[index + 1], 1))
+    edges.append((nodes[0], nodes[0], 1))
+    return WeightedGraph(nodes, edges)
+
+
+def layered_dag(
+    layers: int,
+    width: int,
+    rng: RngLike = None,
+    edge_probability: float = 0.7,
+) -> WeightedGraph:
+    """A layered DAG with random forward edges plus an absorbing sink.
+
+    Every node of layer i points to a random non-empty subset of layer
+    i+1 with random weights; the last layer and any otherwise-stuck node
+    point to the absorbing ``sink``.  Good reachability workload: the
+    walk always terminates at the sink, and each node is reached with a
+    non-trivial probability.
+    """
+    if layers < 1 or width < 1:
+        raise GraphError("layered DAG needs positive layers and width")
+    generator = make_rng(rng)
+    grid = [[f"v{layer}_{pos}" for pos in range(width)] for layer in range(layers)]
+    nodes = [node for layer in grid for node in layer] + ["sink"]
+    edges: list[tuple[str, str, int]] = []
+    for layer_index in range(layers - 1):
+        for node in grid[layer_index]:
+            targets = [
+                target
+                for target in grid[layer_index + 1]
+                if generator.random() < edge_probability
+            ]
+            if not targets:
+                targets = [generator.choice(grid[layer_index + 1])]
+            for target in targets:
+                edges.append((node, target, generator.randint(1, 4)))
+    for node in grid[layers - 1]:
+        edges.append((node, "sink", 1))
+    edges.append(("sink", "sink", 1))
+    return WeightedGraph(nodes, edges)
+
+
+def erdos_renyi(
+    size: int,
+    edge_probability: float,
+    rng: RngLike = None,
+    weighted: bool = True,
+) -> WeightedGraph:
+    """A directed G(n, p) with a cycle backbone so every node has an
+    outgoing edge and the walk is irreducible."""
+    if size < 2:
+        raise GraphError("random graph needs at least 2 nodes")
+    generator = make_rng(rng)
+    nodes = _names(size)
+    edge_set: dict[tuple[str, str], int] = {}
+    for index, node in enumerate(nodes):
+        edge_set[(node, nodes[(index + 1) % size])] = (
+            generator.randint(1, 4) if weighted else 1
+        )
+    for u in nodes:
+        for v in nodes:
+            if u != v and generator.random() < edge_probability:
+                edge_set.setdefault(
+                    (u, v), generator.randint(1, 4) if weighted else 1
+                )
+    edges = [(u, v, w) for (u, v), w in edge_set.items()]
+    return WeightedGraph(nodes, edges)
+
+
+def star_graph(leaves: int, laziness: Fraction = Fraction(1, 2)) -> WeightedGraph:
+    """A hub with ``leaves`` spokes; all walks bounce hub ↔ leaf.
+
+    The hub self-loop (weight ``laziness`` of its mass) keeps the walk
+    aperiodic; leaves always return to the hub.
+    """
+    if leaves < 1:
+        raise GraphError("star needs at least one leaf")
+    if not 0 < laziness < 1:
+        raise GraphError("laziness must lie strictly between 0 and 1")
+    hub = "hub"
+    nodes = [hub] + [f"leaf{i}" for i in range(leaves)]
+    hub_total = Fraction(1)
+    edges: list[tuple[str, str, Fraction]] = [
+        (hub, hub, laziness * hub_total)
+    ]
+    spoke_weight = (1 - laziness) * hub_total / leaves
+    for i in range(leaves):
+        leaf = f"leaf{i}"
+        edges.append((hub, leaf, spoke_weight))
+        edges.append((leaf, hub, Fraction(1)))
+    return WeightedGraph(nodes, edges)
+
+
+def grid_graph(rows: int, columns: int) -> WeightedGraph:
+    """A lazy king-less grid: each cell steps to its 4-neighbours
+    uniformly, with a self-loop for aperiodicity."""
+    if rows < 1 or columns < 1:
+        raise GraphError("grid needs positive dimensions")
+    if rows * columns < 2:
+        raise GraphError("grid needs at least two cells")
+    nodes = [f"g{r}_{c}" for r in range(rows) for c in range(columns)]
+    edges: list[tuple[str, str, int]] = []
+    for r in range(rows):
+        for c in range(columns):
+            node = f"g{r}_{c}"
+            edges.append((node, node, 1))
+            for dr, dc in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                nr, nc = r + dr, c + dc
+                if 0 <= nr < rows and 0 <= nc < columns:
+                    edges.append((node, f"g{nr}_{nc}", 1))
+    return WeightedGraph(nodes, edges)
+
+
+def random_ergodic_chain(size: int, rng: RngLike = None) -> "MarkovChain":
+    """A random irreducible, aperiodic Markov chain on ``size`` states.
+
+    A lazy-cycle backbone guarantees ergodicity; random extra edges
+    with random weights provide variety.  Used by mixing-time and
+    stationary-distribution experiments that want chains rather than
+    graphs.
+    """
+    if size < 2:
+        raise GraphError("chain needs at least 2 states")
+    generator = make_rng(rng)
+    edges: list[tuple[int, int, int]] = []
+    for state in range(size):
+        edges.append((state, state, generator.randint(1, 3)))
+        edges.append((state, (state + 1) % size, generator.randint(1, 3)))
+        for _ in range(generator.randint(0, 2)):
+            edges.append((state, generator.randrange(size), generator.randint(1, 3)))
+    return chain_from_edges(edges)
+
+
+def two_component_graph(component_size: int, components: int = 2) -> WeightedGraph:
+    """Several disjoint lazy cycles — the partitioning (Section 5.1)
+    workload: classes are the components."""
+    if components < 1:
+        raise GraphError("need at least one component")
+    nodes: list[str] = []
+    edges: list[tuple[str, str, Fraction]] = []
+    for c in range(components):
+        part = cycle_graph(component_size)
+        renamed = {node: f"g{c}_{node}" for node in part.nodes}
+        nodes.extend(renamed.values())
+        edges.extend(
+            (renamed[s], renamed[t], w) for s, t, w in part.edges
+        )
+    return WeightedGraph(nodes, edges)

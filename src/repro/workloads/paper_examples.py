@@ -1,0 +1,63 @@
+"""The paper's literal example instances.
+
+These are the concrete relations and graphs printed in the paper, kept
+verbatim so the tests and benchmarks can cite them: Table 2 (the
+basketball players), the Example 3.3 / 3.6 two-successor graph, and the
+Example 3.9 evaluation instance.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.relational.relation import Relation
+from repro.workloads.graphs import WeightedGraph
+
+#: Table 2 of the paper: (Player, Team, Belief).
+BASKETBALL_COLUMNS = ("Player", "Team", "Belief")
+BASKETBALL_ROWS = (
+    ("Bryant", "LA Lakers", 17),
+    ("Bryant", "NY Knicks", 3),
+    ("Iverson", "Philadelphia 76ers", 8),
+    ("Iverson", "Memphis Grizzlies", 7),
+)
+
+
+def basketball_table() -> Relation:
+    """The Table 2 relation of Example 2.2."""
+    return Relation(BASKETBALL_COLUMNS, BASKETBALL_ROWS)
+
+
+#: Exact world probabilities of repair-key_{Player@Belief}(Table 2):
+#: the four team combinations and their product probabilities.
+BASKETBALL_WORLD_PROBABILITIES = {
+    ("LA Lakers", "Philadelphia 76ers"): Fraction(17, 20) * Fraction(8, 15),
+    ("LA Lakers", "Memphis Grizzlies"): Fraction(17, 20) * Fraction(7, 15),
+    ("NY Knicks", "Philadelphia 76ers"): Fraction(3, 20) * Fraction(8, 15),
+    ("NY Knicks", "Memphis Grizzlies"): Fraction(3, 20) * Fraction(7, 15),
+}
+
+
+def example_36_graph() -> WeightedGraph:
+    """E = {(a, b, 0.5), (a, c, 0.5)} of Examples 3.3 / 3.6 — the
+    two-successor instance where Pr[b ∈ C] is 1/2 with the guarded
+    encoding and 1 with the unguarded one.  Successor nodes get
+    self-loops so walks over the graph stay defined."""
+    return WeightedGraph(
+        nodes=("a", "b", "c"),
+        edges=(
+            ("a", "b", Fraction(1, 2)),
+            ("a", "c", Fraction(1, 2)),
+            ("b", "b", 1),
+            ("c", "c", 1),
+        ),
+    )
+
+
+def example_39_edb() -> Relation:
+    """E = {(v, w, 0.5), (v, u, 0.5)} of Example 3.9 (binary edges with
+    an explicit uniform weight column)."""
+    return Relation(
+        ("I", "J", "P"),
+        [("v", "w", Fraction(1, 2)), ("v", "u", Fraction(1, 2))],
+    )

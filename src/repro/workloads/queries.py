@@ -1,0 +1,182 @@
+"""Query builders for the paper's worked examples.
+
+Each builder returns a ready-to-evaluate query plus its initial
+database, encoding the examples exactly as the paper writes them:
+
+* :func:`random_walk_query` — Example 3.3 (random walk in a graph);
+* :func:`pagerank_query` — the Example 3.3 PageRank variant;
+* :func:`reachability_query` — Example 3.5 (inflationary fixpoint);
+* :func:`reachability_program` — Example 3.9 (probabilistic datalog);
+* :func:`unguarded_reachability_query` — the Example 3.6 pitfall
+  (tuple re-use without the ``C − C_old`` guard).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.events import TupleIn
+from repro.core.interpretation import Interpretation
+from repro.core.queries import ForeverQuery, InflationaryQuery
+from repro.datalog.ast import Program
+from repro.datalog.parser import parse_program
+from repro.errors import ReproError
+from repro.relational.algebra import (
+    Expression,
+    difference,
+    join,
+    literal,
+    product,
+    project,
+    rel,
+    rename,
+    repair_key,
+    union,
+)
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.workloads.graphs import Node, WeightedGraph
+
+
+def _walk_step(current: str = "C") -> Expression:
+    """``ρ_{J→I} π_J (repair-key_{I@P}(C ⋈ E))`` — one walk step."""
+    return rename(
+        project(repair_key(join(rel(current), rel("E")), ("I",), "P"), "J"),
+        J="I",
+    )
+
+
+def random_walk_query(
+    graph: WeightedGraph, start: Node, target: Node
+) -> tuple[ForeverQuery, Database]:
+    """Example 3.3: the forever-query whose result is the long-run
+    probability of the walk sitting at ``target``.
+
+    The kernel rewrites the current-position relation ``C`` with one
+    repair-key step over the edge relation; ``E`` stays unchanged.
+    """
+    if start not in graph.nodes or target not in graph.nodes:
+        raise ReproError("start/target must be graph nodes")
+    db = Database(
+        {
+            "C": Relation(("I",), [(start,)]),
+            "E": graph.edge_relation(),
+        }
+    )
+    kernel = Interpretation({"C": _walk_step()})
+    return ForeverQuery(kernel, TupleIn("C", (target,))), db
+
+
+def pagerank_query(
+    graph: WeightedGraph,
+    alpha: Fraction,
+    start: Node,
+    target: Node,
+) -> tuple[ForeverQuery, Database]:
+    """The Example 3.3 PageRank variant.
+
+    With probability 1 − α the walk follows an edge from the current
+    node; with probability α it jumps to a node chosen uniformly from
+    V = π_I(E) ∪ π_J(E).  The paper expresses both the jump choice and
+    the arbitration between "follow" and "jump" with keyless
+    repair-key applications over weight columns {1 − α} and {α}; we
+    follow that structure (the inner node choice is the keyless uniform
+    ``repair-key(V)``, so the two union arms carry total weights 1 − α
+    and α and the outer ``repair-key_{@P}`` realises the dampening
+    exactly).
+    """
+    if not 0 < alpha < 1:
+        raise ReproError("dampening factor alpha must lie in (0, 1)")
+    alpha = Fraction(alpha)
+    follow = product(_walk_step(), literal(("P",), [(1 - alpha,)]))
+    nodes = union(project(rel("E"), "I"), rename(project(rel("E"), "J"), J="I"))
+    jump = product(repair_key(nodes), literal(("P",), [(alpha,)]))
+    step = project(repair_key(union(follow, jump), key=(), weight="P"), "I")
+    db = Database(
+        {
+            "C": Relation(("I",), [(start,)]),
+            "E": graph.edge_relation(),
+        }
+    )
+    kernel = Interpretation({"C": step})
+    return ForeverQuery(kernel, TupleIn("C", (target,))), db
+
+
+def reachability_query(
+    graph: WeightedGraph, start: Node, target: Node
+) -> tuple[InflationaryQuery, Database]:
+    """Example 3.5: the inflationary fixpoint query for the probability
+    that ``target`` is eventually reached.
+
+    Kernel (all right-hand sides read the old state)::
+
+        Cold := C
+        C    := C ∪ ρ_{J→I} π_J (repair-key_{I@P}((C − Cold) ⋈ E))
+        E    := E   % unchanged
+    """
+    if start not in graph.nodes or target not in graph.nodes:
+        raise ReproError("start/target must be graph nodes")
+    frontier = difference(rel("C"), rel("Cold"))
+    step = rename(
+        project(repair_key(join(frontier, rel("E")), ("I",), "P"), "J"),
+        J="I",
+    )
+    kernel = Interpretation(
+        {
+            "C": union(rel("C"), step),
+            "Cold": rel("C"),
+        }
+    )
+    db = Database(
+        {
+            "C": Relation(("I",), [(start,)]),
+            "Cold": Relation(("I",), []),
+            "E": graph.edge_relation(),
+        }
+    )
+    return InflationaryQuery(kernel, TupleIn("C", (target,))), db
+
+
+def unguarded_reachability_query(
+    graph: WeightedGraph, start: Node, target: Node
+) -> tuple[InflationaryQuery, Database]:
+    """Example 3.6: the same query *without* the ``C − Cold`` guard.
+
+    Every node of C keeps re-choosing a successor forever, so every
+    tuple derivable ignoring repair-key ends up in the result with
+    probability 1 — the pitfall the example illustrates.
+    """
+    step = rename(
+        project(repair_key(join(rel("C"), rel("E")), ("I",), "P"), "J"),
+        J="I",
+    )
+    kernel = Interpretation({"C": union(rel("C"), step)})
+    db = Database(
+        {
+            "C": Relation(("I",), [(start,)]),
+            "E": graph.edge_relation(),
+        }
+    )
+    return InflationaryQuery(kernel, TupleIn("C", (target,))), db
+
+
+def reachability_program(graph: WeightedGraph, start: Node) -> tuple[Program, Database]:
+    """Example 3.9: reachability as a probabilistic datalog program.
+
+    The weighted variant of the paper's program — ``c2`` carries the
+    edge weight so the per-node successor choice follows the edge
+    probabilities::
+
+        c(<start>).
+        c2(X*, Y)@P :- c(X), e(X, Y, P).
+        c(Y) :- c2(X, Y).
+    """
+    program = parse_program(
+        f"""
+        c('{start}').
+        c2(X*, Y)@P :- c(X), e(X, Y, P).
+        c(Y) :- c2(X, Y).
+        """
+    )
+    edb = Database({"e": graph.edge_relation(columns=("I", "J", "P"))})
+    return program, edb

@@ -1,0 +1,138 @@
+"""Unit tests for the independent baselines."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.baselines import (
+    enumerate_marginal,
+    evaluate_classical,
+    functional_reachability_probability,
+    pagerank,
+    sampled_marginal,
+    walk_hitting_probability,
+)
+from repro.datalog import parse_program
+from repro.errors import DatalogError, ReproError
+from repro.relational import Database, Relation
+from repro.workloads import (
+    WeightedGraph,
+    complete_graph,
+    erdos_renyi,
+    example_36_graph,
+    layered_dag,
+    sprinkler_network,
+)
+
+
+class TestClassicalDatalog:
+    def test_transitive_closure(self):
+        program = parse_program(
+            "t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z)."
+        )
+        edb = Database({"e": Relation(("A", "B"), [(1, 2), (2, 3), (3, 4)])})
+        result = evaluate_classical(program, edb)
+        assert (1, 4) in result["t"]
+        assert len(result["t"]) == 6
+
+    def test_cyclic_graph_terminates(self):
+        program = parse_program(
+            "t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z)."
+        )
+        edb = Database({"e": Relation(("A", "B"), [(1, 2), (2, 1)])})
+        result = evaluate_classical(program, edb)
+        assert len(result["t"]) == 4
+
+    def test_facts_and_constants(self):
+        program = parse_program("p(a). q(X) :- p(X).")
+        result = evaluate_classical(program, Database({}))
+        assert ("a",) in result["q"]
+
+    def test_probabilistic_rule_rejected(self):
+        program = parse_program("h(X*, Y) :- e(X, Y).")
+        with pytest.raises(DatalogError):
+            evaluate_classical(program, Database({"e": Relation(("A", "B"), [])}))
+
+    def test_matches_probabilistic_engine_on_deterministic_program(self):
+        """A program with no repair-key has a single possible world."""
+        from repro.datalog import InflationaryDatalogEngine
+
+        program = parse_program(
+            "t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z)."
+        )
+        edb = Database({"e": Relation(("A", "B"), [(1, 2), (2, 3)])})
+        classical = evaluate_classical(program, edb)
+        engine = InflationaryDatalogEngine(program, edb)
+        finals = engine.fixpoint_distribution()
+        assert len(finals) == 1
+        final = next(iter(finals.support()))
+        assert final["t"] == classical["t"]
+
+
+class TestPagerank:
+    def test_uniform_on_symmetric(self):
+        scores = pagerank(complete_graph(4), alpha=0.2)
+        assert all(abs(score - 0.25) < 1e-12 for score in scores.values())
+
+    def test_scores_sum_to_one(self):
+        scores = pagerank(erdos_renyi(6, 0.3, rng=2), alpha=0.15)
+        assert abs(sum(scores.values()) - 1.0) < 1e-9
+
+    def test_alpha_validated(self):
+        with pytest.raises(ReproError):
+            pagerank(complete_graph(3), alpha=0.0)
+
+    def test_sink_rejected(self):
+        graph = WeightedGraph(("a", "b"), (("a", "b", 1),))
+        with pytest.raises(ReproError):
+            pagerank(graph, alpha=0.2)
+
+
+class TestReachabilityOracles:
+    def test_example_36_functional(self):
+        p = functional_reachability_probability(example_36_graph(), "a", "b")
+        assert p == Fraction(1, 2)
+
+    def test_self_target(self):
+        assert functional_reachability_probability(example_36_graph(), "a", "a") == 1
+
+    def test_unreachable(self):
+        assert functional_reachability_probability(example_36_graph(), "b", "c") == 0
+
+    def test_walk_hitting_on_dag_matches_functional(self):
+        """No revisits on a DAG — the two semantics coincide."""
+        graph = layered_dag(3, 2, rng=6)
+        for target in ("v1_0", "v2_1"):
+            functional = functional_reachability_probability(graph, "v0_0", target)
+            hitting = walk_hitting_probability(graph, "v0_0", target)
+            assert functional == hitting
+
+    def test_walk_hitting_differs_on_cycles(self):
+        """A self-loop: the frozen-choice semantics can get stuck, the
+        memoryless walk cannot (the Example 3.6 discussion)."""
+        graph = WeightedGraph(
+            ("a", "b"),
+            (("a", "a", 1), ("a", "b", 1), ("b", "b", 1)),
+        )
+        functional = functional_reachability_probability(graph, "a", "b")
+        hitting = walk_hitting_probability(graph, "a", "b")
+        assert functional == Fraction(1, 2)
+        assert hitting == 1
+
+    def test_unknown_nodes(self):
+        with pytest.raises(ReproError):
+            functional_reachability_probability(example_36_graph(), "zz", "a")
+        with pytest.raises(ReproError):
+            walk_hitting_probability(example_36_graph(), "a", "zz")
+
+
+class TestBayesBaseline:
+    def test_enumerate_known_value(self):
+        bn = sprinkler_network()
+        assert enumerate_marginal(bn, {"rain": 1}) == Fraction(1, 5)
+
+    def test_sampled_close_to_exact(self):
+        bn = sprinkler_network()
+        exact = float(enumerate_marginal(bn, {"grass": 1}))
+        estimate = sampled_marginal(bn, {"grass": 1}, samples=4000, rng=8)
+        assert abs(estimate - exact) < 0.03

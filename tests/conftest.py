@@ -1,0 +1,66 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.relational import Database, Relation
+
+# Deterministic property testing: examples derive from the test body,
+# not a per-run seed, so the suite is reproducible run-to-run.
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+from repro.workloads import (
+    WeightedGraph,
+    basketball_table,
+    cycle_graph,
+    example_36_graph,
+    sprinkler_network,
+)
+
+
+@pytest.fixture
+def players() -> Relation:
+    """Table 2 of the paper."""
+    return basketball_table()
+
+
+@pytest.fixture
+def two_successor_graph() -> WeightedGraph:
+    """The Example 3.3 / 3.6 graph E = {(a,b,1/2), (a,c,1/2)}."""
+    return example_36_graph()
+
+
+@pytest.fixture
+def walk_db() -> Database:
+    """A small random-walk database: 3-cycle with a lazy self-loop."""
+    return Database(
+        {
+            "C": Relation(("I",), [("a",)]),
+            "E": Relation(
+                ("I", "J", "P"),
+                [("a", "b", 1), ("b", "c", 1), ("c", "a", 1), ("a", "a", 1)],
+            ),
+        }
+    )
+
+
+@pytest.fixture
+def four_cycle() -> WeightedGraph:
+    return cycle_graph(4)
+
+
+@pytest.fixture
+def sprinkler():
+    return sprinkler_network()
+
+
+HALF = Fraction(1, 2)

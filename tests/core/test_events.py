@@ -1,0 +1,103 @@
+"""Unit tests for query events (Definition 3.2)."""
+
+from repro.core import RelationNonEmpty, TupleIn
+from repro.relational import Database, Relation
+
+
+DB = Database(
+    {
+        "C": Relation(("I",), [("a",), ("b",)]),
+        "Empty": Relation(("I",), []),
+    }
+)
+
+
+class TestTupleIn:
+    def test_holds(self):
+        assert TupleIn("C", ("a",)).holds(DB)
+
+    def test_missing_tuple(self):
+        assert not TupleIn("C", ("z",)).holds(DB)
+
+    def test_missing_relation_is_false(self):
+        assert not TupleIn("nope", ("a",)).holds(DB)
+
+    def test_callable(self):
+        assert TupleIn("C", ("a",))(DB)
+
+    def test_repr(self):
+        assert "C" in repr(TupleIn("C", ("a",)))
+
+
+class TestRelationNonEmpty:
+    def test_nonempty(self):
+        assert RelationNonEmpty("C").holds(DB)
+
+    def test_empty(self):
+        assert not RelationNonEmpty("Empty").holds(DB)
+
+    def test_missing_relation(self):
+        assert not RelationNonEmpty("nope").holds(DB)
+
+
+class TestCombinators:
+    def test_and(self):
+        event = TupleIn("C", ("a",)) & TupleIn("C", ("b",))
+        assert event.holds(DB)
+        assert not (TupleIn("C", ("a",)) & TupleIn("C", ("z",))).holds(DB)
+
+    def test_or(self):
+        assert (TupleIn("C", ("z",)) | TupleIn("C", ("b",))).holds(DB)
+        assert not (TupleIn("C", ("z",)) | TupleIn("C", ("y",))).holds(DB)
+
+    def test_not(self):
+        assert (~TupleIn("C", ("z",))).holds(DB)
+        assert not (~TupleIn("C", ("a",))).holds(DB)
+
+    def test_nested(self):
+        event = (TupleIn("C", ("a",)) | RelationNonEmpty("Empty")) & ~TupleIn(
+            "C", ("z",)
+        )
+        assert event.holds(DB)
+
+
+class TestExpressionEvent:
+    def test_boolean_query(self):
+        from repro.core import ExpressionEvent
+        from repro.relational import ValueEq, project, rel, select
+
+        event = ExpressionEvent(project(select(rel("C"), ValueEq("I", "a"))))
+        assert event.holds(DB)
+        missing = ExpressionEvent(project(select(rel("C"), ValueEq("I", "zz"))))
+        assert not missing.holds(DB)
+
+    def test_join_condition_event(self):
+        """An event no TupleIn can express: C and Empty share a value."""
+        from repro.core import ExpressionEvent
+        from repro.relational import join, project, rel
+
+        event = ExpressionEvent(project(join(rel("C"), rel("Empty"))))
+        assert not event.holds(DB)
+
+    def test_probabilistic_expression_rejected(self):
+        import pytest
+
+        from repro.core import ExpressionEvent
+        from repro.errors import AlgebraError
+        from repro.relational import rel, repair_key
+
+        with pytest.raises(AlgebraError):
+            ExpressionEvent(repair_key(rel("C"), ("I",)))
+
+    def test_usable_in_forever_query(self):
+        from fractions import Fraction
+
+        from repro.core import ExpressionEvent, evaluate_forever_exact
+        from repro.relational import ValueEq, project, rel, select
+        from repro.workloads import cycle_graph, random_walk_query
+
+        query, db = random_walk_query(cycle_graph(4), "n0", "n2")
+        query.event = ExpressionEvent(
+            project(select(rel("C"), ValueEq("I", "n2")))
+        )
+        assert evaluate_forever_exact(query, db).probability == Fraction(1, 4)

@@ -1,0 +1,141 @@
+"""Unit tests for exact inflationary evaluation (Proposition 4.4)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    InflationaryQuery,
+    Interpretation,
+    TupleIn,
+    evaluate_inflationary_exact,
+)
+from repro.core.evaluation import absorption_event_probability
+from repro.ctables import CTable, PCDatabase, boolean_variable, var_eq
+from repro.errors import StateSpaceLimitExceeded
+from repro.probability import Distribution
+from repro.relational import Database, Relation, rel
+from repro.workloads import (
+    example_36_graph,
+    reachability_query,
+    unguarded_reachability_query,
+)
+
+
+HALF = Fraction(1, 2)
+
+
+class TestGenericAbsorption:
+    """absorption_event_probability on hand-built processes."""
+
+    def test_immediate_fixpoint(self):
+        p, states = absorption_event_probability(
+            lambda s: Distribution.point(s), lambda s: s == "x", "x"
+        )
+        assert p == 1
+        assert states == 1
+
+    def test_two_branch(self):
+        def transition(state):
+            if state == "s":
+                return Distribution({"good": 1, "bad": 1})
+            return Distribution.point(state)
+
+        p, states = absorption_event_probability(
+            transition, lambda s: s == "good", "s"
+        )
+        assert p == HALF
+        assert states == 3
+
+    def test_self_loop_renormalised(self):
+        """Example 3.6 pattern: stay w.p. 1/2 forever has measure zero."""
+
+        def transition(state):
+            if state == "s":
+                return Distribution({"s": 1, "good": 1})
+            return Distribution.point(state)
+
+        p, _states = absorption_event_probability(
+            transition, lambda s: s == "good", "s"
+        )
+        assert p == 1
+
+    def test_deep_chain_no_recursion_error(self):
+        def transition(state):
+            if state < 3000:
+                return Distribution.point(state + 1)
+            return Distribution.point(state)
+
+        p, states = absorption_event_probability(
+            transition, lambda s: s == 3000, 0
+        )
+        assert p == 1
+        assert states == 3001
+
+    def test_max_states(self):
+        def transition(state):
+            return Distribution.point(state + 1) if state < 100 else Distribution.point(state)
+
+        with pytest.raises(StateSpaceLimitExceeded):
+            absorption_event_probability(
+                transition, lambda s: False, 0, max_states=5
+            )
+
+    def test_diamond_memoised(self):
+        """Converging paths share the memo entry (counted once)."""
+
+        def transition(state):
+            if state == "s":
+                return Distribution({"l": 1, "r": 1})
+            if state in ("l", "r"):
+                return Distribution.point("t")
+            return Distribution.point(state)
+
+        p, states = absorption_event_probability(transition, lambda s: s == "t", "s")
+        assert p == 1
+        assert states == 4
+
+
+class TestPaperExamples:
+    def test_example_35_guarded(self):
+        query, db = reachability_query(example_36_graph(), "a", "b")
+        result = evaluate_inflationary_exact(query, db)
+        assert result.probability == HALF
+        assert result.method == "prop-4.4"
+
+    def test_example_36_unguarded(self):
+        query, db = unguarded_reachability_query(example_36_graph(), "a", "b")
+        result = evaluate_inflationary_exact(query, db)
+        assert result.probability == 1
+
+    def test_target_equals_start(self):
+        query, db = reachability_query(example_36_graph(), "a", "a")
+        assert evaluate_inflationary_exact(query, db).probability == 1
+
+    def test_unreachable_target(self):
+        query, db = reachability_query(example_36_graph(), "b", "c")
+        assert evaluate_inflationary_exact(query, db).probability == 0
+
+
+class TestPcTableSemantics:
+    def test_choice_made_once(self):
+        """Section 3.2: pc-table choices happen once, before iteration."""
+        pc = PCDatabase(
+            {"A": CTable(("L",), [(("t",), var_eq("x", 1))])},
+            {"x": boolean_variable(Fraction(1, 3))},
+        )
+        kernel = Interpretation({}, pc_tables=pc)
+        db = Database({"A": Relation(("L",), [])})
+        query = InflationaryQuery(kernel, TupleIn("A", ("t",)))
+        result = evaluate_inflationary_exact(query, db)
+        assert result.probability == Fraction(1, 3)
+        assert result.details["pc_worlds"] == 2
+
+    def test_identity_kernel_event_from_initial(self):
+        db = Database({"C": Relation(("I",), [("a",)])})
+        query = InflationaryQuery(
+            Interpretation({"C": rel("C")}), TupleIn("C", ("a",))
+        )
+        result = evaluate_inflationary_exact(query, db)
+        assert result.probability == 1
+        assert result.states_explored == 1

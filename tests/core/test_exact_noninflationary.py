@@ -1,0 +1,110 @@
+"""Unit tests for exact forever-query evaluation (Prop 5.4 / Thm 5.5)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    ForeverQuery,
+    Interpretation,
+    TupleIn,
+    evaluate_forever_exact,
+)
+from repro.errors import StateSpaceLimitExceeded
+from repro.relational import (
+    Database,
+    Relation,
+    join,
+    project,
+    rel,
+    rename,
+    repair_key,
+)
+from repro.workloads import (
+    cycle_graph,
+    erdos_renyi,
+    random_walk_query,
+)
+from repro.markov import stationary_distribution
+
+
+class TestIrreducibleCase:
+    def test_cycle_uniform(self):
+        query, db = random_walk_query(cycle_graph(5), "n0", "n3")
+        result = evaluate_forever_exact(query, db)
+        assert result.probability == Fraction(1, 5)
+        assert result.method == "prop-5.4"
+        assert result.details["irreducible"]
+
+    def test_matches_direct_stationary(self):
+        graph = erdos_renyi(5, 0.4, rng=8)
+        query, db = random_walk_query(graph, "n0", "n2")
+        result = evaluate_forever_exact(query, db)
+        pi = stationary_distribution(graph.to_markov_chain())
+        assert result.probability == pi.probability("n2")
+
+    def test_result_independent_of_start(self):
+        graph = erdos_renyi(4, 0.5, rng=2)
+        r1 = evaluate_forever_exact(*random_walk_query(graph, "n0", "n3"))
+        r2 = evaluate_forever_exact(*random_walk_query(graph, "n1", "n3"))
+        assert r1.probability == r2.probability
+
+
+class TestReducibleCase:
+    def _absorbing_db(self):
+        # a -> b or c; b, c absorbing.
+        return Database(
+            {
+                "C": Relation(("I",), [("a",)]),
+                "E": Relation(
+                    ("I", "J", "P"),
+                    [("a", "b", 1), ("a", "c", 3), ("b", "b", 1), ("c", "c", 1)],
+                ),
+            }
+        )
+
+    def _walk_query(self, target):
+        step = rename(
+            project(repair_key(join(rel("C"), rel("E")), ("I",), "P"), "J"), J="I"
+        )
+        return ForeverQuery(Interpretation({"C": step}), TupleIn("C", (target,)))
+
+    def test_absorption_weights(self):
+        db = self._absorbing_db()
+        result_b = evaluate_forever_exact(self._walk_query("b"), db)
+        result_c = evaluate_forever_exact(self._walk_query("c"), db)
+        assert result_b.probability == Fraction(1, 4)
+        assert result_c.probability == Fraction(3, 4)
+        assert result_b.method == "thm-5.5"
+        assert not result_b.details["irreducible"]
+
+    def test_transient_state_probability_zero(self):
+        db = self._absorbing_db()
+        result = evaluate_forever_exact(self._walk_query("a"), db)
+        assert result.probability == 0
+
+    def test_periodic_leaf_uses_cesaro(self):
+        """A 2-cycle leaf: the Definition 3.2 limit is 1/2 per state."""
+        db = Database(
+            {
+                "C": Relation(("I",), [("s",)]),
+                "E": Relation(
+                    ("I", "J", "P"),
+                    [("s", "x", 1), ("x", "y", 1), ("y", "x", 1)],
+                ),
+            }
+        )
+        result = evaluate_forever_exact(self._walk_query("x"), db)
+        assert result.probability == Fraction(1, 2)
+
+
+class TestLimits:
+    def test_max_states(self):
+        query, db = random_walk_query(cycle_graph(6), "n0", "n1")
+        with pytest.raises(StateSpaceLimitExceeded):
+            evaluate_forever_exact(query, db, max_states=2)
+
+    def test_states_explored_reported(self):
+        query, db = random_walk_query(cycle_graph(6), "n0", "n1")
+        result = evaluate_forever_exact(query, db)
+        assert result.states_explored == 6

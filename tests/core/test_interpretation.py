@@ -1,0 +1,147 @@
+"""Unit tests for probabilistic first-order interpretations (Def 3.1)."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core import Interpretation, identity_interpretation
+from repro.ctables import CTable, PCDatabase, boolean_variable, var_eq
+from repro.errors import SchemaError
+from repro.relational import (
+    Database,
+    Relation,
+    join,
+    project,
+    rel,
+    rename,
+    repair_key,
+    union,
+)
+
+
+def walk_kernel() -> Interpretation:
+    step = rename(
+        project(repair_key(join(rel("C"), rel("E")), ("I",), "P"), "J"), J="I"
+    )
+    return Interpretation({"C": step})
+
+
+@pytest.fixture
+def db(walk_db) -> Database:
+    return walk_db
+
+
+class TestSchemaChecks:
+    def test_valid(self, db):
+        walk_kernel().check_schema(db)
+
+    def test_missing_relation(self):
+        with pytest.raises(SchemaError):
+            walk_kernel().check_schema(Database({"C": Relation(("I",), [])}))
+
+    def test_result_schema_mismatch(self, db):
+        bad = Interpretation({"C": rel("E")})
+        with pytest.raises(SchemaError):
+            bad.check_schema(db)
+
+    def test_pc_clash_with_query(self):
+        pc = PCDatabase(
+            {"C": CTable(("I",), [(("a",), var_eq("x", 1))])},
+            {"x": boolean_variable()},
+        )
+        with pytest.raises(SchemaError):
+            Interpretation({"C": rel("C")}, pc_tables=pc)
+
+    def test_pc_certain_rejected(self):
+        pc = PCDatabase(
+            {"A": CTable(("I",), [(("a",), var_eq("x", 1))])},
+            {"x": boolean_variable()},
+            certain={"E": Relation(("I",), [])},
+        )
+        with pytest.raises(SchemaError):
+            Interpretation({}, pc_tables=pc)
+
+    def test_pc_relation_must_be_in_db(self, db):
+        pc = PCDatabase(
+            {"A": CTable(("I",), [(("a",), var_eq("x", 1))])},
+            {"x": boolean_variable()},
+        )
+        kernel = Interpretation({}, pc_tables=pc)
+        with pytest.raises(SchemaError):
+            kernel.check_schema(db)
+
+
+class TestTransition:
+    def test_unqueried_relations_unchanged(self, db):
+        for world in walk_kernel().transition(db).support():
+            assert world["E"] == db["E"]
+
+    def test_branching(self, db):
+        worlds = walk_kernel().transition(db)
+        positions = {next(iter(w["C"]))[0] for w in worlds.support()}
+        assert positions == {"a", "b"}
+        assert sum(p for _w, p in worlds.items()) == 1
+
+    def test_identity_interpretation(self, db):
+        worlds = identity_interpretation().transition(db)
+        assert worlds.probability(db) == 1
+
+    def test_sample_matches_support(self, db):
+        kernel = walk_kernel()
+        support = kernel.transition(db).support()
+        rng = random.Random(1)
+        for _ in range(20):
+            assert kernel.sample_transition(db, rng) in support
+
+    def test_sample_frequencies(self, db):
+        kernel = walk_kernel()
+        rng = random.Random(9)
+        stays = sum(
+            next(iter(kernel.sample_transition(db, rng)["C"]))[0] == "a"
+            for _ in range(2000)
+        )
+        assert abs(stays / 2000 - 0.5) < 0.04
+
+
+class TestPcTables:
+    def _pc_kernel(self):
+        pc = PCDatabase(
+            {
+                "A": CTable(
+                    ("L",),
+                    [(("t",), var_eq("x", 1)), (("f",), var_eq("x", 0))],
+                )
+            },
+            {"x": boolean_variable(Fraction(1, 4))},
+        )
+        return Interpretation({}, pc_tables=pc)
+
+    def _pc_db(self):
+        return Database({"A": Relation(("L",), [("f",)])})
+
+    def test_pc_resampled_each_transition(self):
+        kernel = self._pc_kernel()
+        worlds = kernel.transition(self._pc_db())
+        assert len(worlds) == 2
+        true_world = next(
+            w for w in worlds.support() if ("t",) in w["A"]
+        )
+        assert worlds.probability(true_world) == Fraction(1, 4)
+
+    def test_without_pc_tables(self):
+        kernel = self._pc_kernel()
+        stripped = kernel.without_pc_tables()
+        worlds = stripped.transition(self._pc_db())
+        assert worlds.probability(self._pc_db()) == 1
+
+    def test_updated_relations(self):
+        kernel = self._pc_kernel()
+        assert kernel.updated_relations() == ["A"]
+        assert kernel.pc_relation_names() == ["A"]
+
+    def test_is_deterministic(self, db):
+        assert identity_interpretation().is_deterministic()
+        assert Interpretation({"C": rel("C")}).is_deterministic()
+        assert not walk_kernel().is_deterministic()
+        assert not self._pc_kernel().is_deterministic()

@@ -1,0 +1,75 @@
+"""Tests for lumped forever-query evaluation (ablation of bench A7)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    ForeverQuery,
+    Interpretation,
+    TupleIn,
+    evaluate_forever_exact,
+    evaluate_forever_lumped,
+)
+from repro.relational import Database, Relation, join, project, rel, rename, repair_key
+from repro.workloads import (
+    cycle_graph,
+    erdos_renyi,
+    random_walk_query,
+    two_component_graph,
+)
+
+
+def _walk_step():
+    return rename(
+        project(repair_key(join(rel("C"), rel("E")), ("I",), "P"), "J"), J="I"
+    )
+
+
+def _walkers(components: int, size: int):
+    graph = two_component_graph(size, components)
+    starts = [(f"g{c}_n0",) for c in range(components)]
+    db = Database({"C": Relation(("I",), starts), "E": graph.edge_relation()})
+    kernel = Interpretation({"C": _walk_step()})
+    return ForeverQuery(kernel, TupleIn("C", ("g0_n1",))), db
+
+
+class TestAgreement:
+    def test_single_walker(self):
+        query, db = random_walk_query(cycle_graph(5), "n0", "n2")
+        assert (
+            evaluate_forever_lumped(query, db).probability
+            == evaluate_forever_exact(query, db).probability
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_graphs(self, seed):
+        graph = erdos_renyi(5, 0.4, rng=seed)
+        query, db = random_walk_query(graph, "n0", "n3")
+        assert (
+            evaluate_forever_lumped(query, db).probability
+            == evaluate_forever_exact(query, db).probability
+        )
+
+    def test_multi_walker(self):
+        query, db = _walkers(2, 4)
+        lumped = evaluate_forever_lumped(query, db)
+        direct = evaluate_forever_exact(query, db)
+        assert lumped.probability == direct.probability
+
+
+class TestReduction:
+    def test_irrelevant_walkers_lumped_away(self):
+        """The event reads walker 0 only; walkers 1..k collapse."""
+        query, db = _walkers(3, 4)
+        result = evaluate_forever_lumped(query, db)
+        assert result.details["full_states"] == 4**3
+        assert result.details["quotient_states"] == 4
+        assert result.probability == Fraction(1, 4)
+
+    def test_method_and_counts_reported(self):
+        query, db = _walkers(2, 3)
+        result = evaluate_forever_lumped(query, db)
+        assert result.method == "lumped"
+        assert result.states_explored == result.details["quotient_states"]
+        assert result.details["quotient_states"] <= result.details["full_states"]

@@ -1,0 +1,111 @@
+"""Tests for kernels combining algebra queries *and* pc-tables.
+
+The Theorem 5.1 construction is the paper's canonical instance of this
+shape (IDB queries + a per-step-resampled c-table); these tests pin the
+interaction down in isolation.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    ForeverQuery,
+    Interpretation,
+    TupleIn,
+    build_state_chain,
+    evaluate_forever_exact,
+)
+from repro.ctables import CTable, PCDatabase, boolean_variable, var_eq
+from repro.relational import Database, Relation, rel
+
+
+def mixed_kernel():
+    """``H := A`` (copy last step's sample) while ``A`` is re-sampled."""
+    pc = PCDatabase(
+        {
+            "A": CTable(
+                ("L",),
+                [(("t",), var_eq("x", 1)), (("f",), var_eq("x", 0))],
+            )
+        },
+        {"x": boolean_variable(Fraction(1, 4))},
+    )
+    return Interpretation({"H": rel("A")}, pc_tables=pc)
+
+
+def initial_db():
+    return Database(
+        {
+            "A": Relation(("L",), [("f",)]),
+            "H": Relation(("L",), []),
+        }
+    )
+
+
+class TestMixedTransition:
+    def test_exact_transition_worlds(self):
+        kernel = mixed_kernel()
+        worlds = kernel.transition(initial_db())
+        # H deterministically copies old A = {f}; A branches two ways.
+        assert len(worlds) == 2
+        for world in worlds.support():
+            assert world["H"].rows == frozenset({("f",)})
+        p_true = worlds.probability_of(lambda w: ("t",) in w["A"])
+        assert p_true == Fraction(1, 4)
+
+    def test_query_reads_old_pc_state(self):
+        """Parallel firing: H sees the A of the *previous* step."""
+        kernel = mixed_kernel()
+        rng = random.Random(5)
+        state = initial_db()
+        for _ in range(30):
+            nxt = kernel.sample_transition(state, rng)
+            assert nxt["H"] == state["A"]
+            state = nxt
+
+    def test_long_run_probability(self):
+        kernel = mixed_kernel()
+        query = ForeverQuery(kernel, TupleIn("H", ("t",)))
+        result = evaluate_forever_exact(query, initial_db())
+        # H lags A by one step; long-run Pr[H = t] = Pr[x = 1] = 1/4
+        assert result.probability == Fraction(1, 4)
+
+    def test_chain_size(self):
+        chain = build_state_chain(mixed_kernel(), initial_db())
+        # the transient initial state (H empty) plus (A, H) ∈ {t, f}²
+        assert chain.size == 5
+
+    def test_sample_matches_enumeration(self):
+        kernel = mixed_kernel()
+        worlds = kernel.transition(initial_db())
+        rng = random.Random(11)
+        counts = {}
+        trials = 2000
+        for _ in range(trials):
+            world = kernel.sample_transition(initial_db(), rng)
+            counts[world] = counts.get(world, 0) + 1
+        for world, probability in worlds.items():
+            assert abs(counts.get(world, 0) / trials - float(probability)) < 0.04
+
+
+class TestCorrelatedPcTables:
+    def test_shared_variable_across_tables_stays_correlated(self):
+        """Two c-tables driven by one variable: worlds never disagree —
+        precisely what the algebraic macro compilation cannot express."""
+        pc = PCDatabase(
+            {
+                "A": CTable(("L",), [(("a1",), var_eq("x", 1))]),
+                "B": CTable(("L",), [(("b1",), var_eq("x", 1))]),
+            },
+            {"x": boolean_variable()},
+        )
+        kernel = Interpretation({}, pc_tables=pc)
+        db = Database(
+            {"A": Relation(("L",), []), "B": Relation(("L",), [])}
+        )
+        worlds = kernel.transition(db)
+        assert len(worlds) == 2
+        for world in worlds.support():
+            assert (len(world["A"]) == 1) == (len(world["B"]) == 1)

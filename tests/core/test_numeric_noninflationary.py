@@ -1,0 +1,62 @@
+"""Unit tests for the float64 forever-query evaluator."""
+
+import pytest
+
+from repro.core import (
+    ForeverQuery,
+    Interpretation,
+    TupleIn,
+    evaluate_forever_exact,
+    evaluate_forever_numeric,
+)
+from repro.errors import StateSpaceLimitExceeded
+from repro.relational import Database, Relation, join, project, rel, rename, repair_key
+from repro.workloads import cycle_graph, erdos_renyi, random_walk_query
+
+
+class TestNumericEvaluator:
+    def test_matches_exact_on_irreducible(self):
+        query, db = random_walk_query(cycle_graph(5), "n0", "n2")
+        exact = evaluate_forever_exact(query, db)
+        numeric = evaluate_forever_numeric(query, db)
+        assert numeric.probability == pytest.approx(float(exact.probability))
+        assert numeric.method == "prop-5.4-float"
+        assert numeric.states_explored == exact.states_explored
+
+    def test_matches_exact_on_reducible(self):
+        db = Database(
+            {
+                "C": Relation(("I",), [("a",)]),
+                "E": Relation(
+                    ("I", "J", "P"),
+                    [("a", "b", 1), ("a", "c", 3), ("b", "b", 1), ("c", "c", 1)],
+                ),
+            }
+        )
+        step = rename(
+            project(repair_key(join(rel("C"), rel("E")), ("I",), "P"), "J"), J="I"
+        )
+        query = ForeverQuery(Interpretation({"C": step}), TupleIn("C", ("c",)))
+        exact = evaluate_forever_exact(query, db)
+        numeric = evaluate_forever_numeric(query, db)
+        assert numeric.probability == pytest.approx(float(exact.probability))
+        assert numeric.method == "thm-5.5-float"
+
+    def test_random_graphs_agree(self):
+        for seed in range(4):
+            graph = erdos_renyi(5, 0.4, rng=seed)
+            query, db = random_walk_query(graph, "n0", "n3")
+            exact = float(evaluate_forever_exact(query, db).probability)
+            numeric = evaluate_forever_numeric(query, db).probability
+            assert numeric == pytest.approx(exact, abs=1e-10)
+
+    def test_max_states(self):
+        query, db = random_walk_query(cycle_graph(6), "n0", "n1")
+        with pytest.raises(StateSpaceLimitExceeded):
+            evaluate_forever_numeric(query, db, max_states=2)
+
+    def test_result_validation(self):
+        from repro.core.evaluation.numeric_noninflationary import NumericResult
+
+        with pytest.raises(ValueError):
+            NumericResult(probability=1.5, states_explored=1, method="x")

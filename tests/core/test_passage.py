@@ -1,0 +1,134 @@
+"""Unit tests for first-passage and full-distribution query APIs."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    ForeverQuery,
+    Interpretation,
+    TupleIn,
+    evaluate_forever_exact,
+    evaluate_inflationary_exact,
+    event_expected_hitting_time,
+    event_hitting_probability,
+    event_hitting_time_distribution,
+    forever_state_distribution,
+    inflationary_fixpoint_distribution,
+)
+from repro.relational import Database, Relation, join, project, rel, rename, repair_key
+from repro.workloads import (
+    cycle_graph,
+    example_36_graph,
+    random_walk_query,
+    reachability_query,
+)
+
+
+class TestHittingQueries:
+    def test_irreducible_walk_hits_surely(self):
+        query, db = random_walk_query(cycle_graph(4), "n0", "n2")
+        assert event_hitting_probability(query, db) == 1
+
+    def test_expected_time_on_lazy_cycle(self):
+        query, db = random_walk_query(cycle_graph(4), "n0", "n2")
+        # two forward steps, each geometric with success 1/2
+        assert event_expected_hitting_time(query, db) == 4
+
+    def test_absorbing_walk_partial_hitting(self):
+        db = Database(
+            {
+                "C": Relation(("I",), [("a",)]),
+                "E": Relation(
+                    ("I", "J", "P"),
+                    [("a", "b", 1), ("a", "c", 3), ("b", "b", 1), ("c", "c", 1)],
+                ),
+            }
+        )
+        step = rename(
+            project(repair_key(join(rel("C"), rel("E")), ("I",), "P"), "J"), J="I"
+        )
+        query = ForeverQuery(Interpretation({"C": step}), TupleIn("C", ("b",)))
+        assert event_hitting_probability(query, db) == Fraction(1, 4)
+
+    def test_hitting_vs_long_run_divergence(self):
+        """A transient event: hit almost surely, long-run probability 0."""
+        db = Database(
+            {
+                "C": Relation(("I",), [("s",)]),
+                "E": Relation(
+                    ("I", "J", "P"), [("s", "t", 1), ("t", "u", 1), ("u", "u", 1)]
+                ),
+            }
+        )
+        step = rename(
+            project(repair_key(join(rel("C"), rel("E")), ("I",), "P"), "J"), J="I"
+        )
+        query = ForeverQuery(Interpretation({"C": step}), TupleIn("C", ("t",)))
+        assert event_hitting_probability(query, db) == 1
+        assert evaluate_forever_exact(query, db).probability == 0
+
+    def test_hitting_time_distribution(self):
+        query, db = random_walk_query(cycle_graph(3), "n0", "n1")
+        dist = event_hitting_time_distribution(query, db, horizon=5)
+        # forward step with probability 1/2 each tick: geometric
+        assert dist.probability(1) == Fraction(1, 2)
+        assert dist.probability(2) == Fraction(1, 4)
+
+
+class TestForeverStateDistribution:
+    def test_matches_scalar_evaluator(self):
+        query, db = random_walk_query(cycle_graph(4), "n0", "n2")
+        distribution = forever_state_distribution(query, db)
+        scalar = evaluate_forever_exact(query, db).probability
+        assert distribution.probability_of(query.event.holds) == scalar
+
+    def test_transients_dropped(self):
+        db = Database(
+            {
+                "C": Relation(("I",), [("s",)]),
+                "E": Relation(
+                    ("I", "J", "P"), [("s", "t", 1), ("t", "t", 1)]
+                ),
+            }
+        )
+        step = rename(
+            project(repair_key(join(rel("C"), rel("E")), ("I",), "P"), "J"), J="I"
+        )
+        query = ForeverQuery(Interpretation({"C": step}), TupleIn("C", ("t",)))
+        distribution = forever_state_distribution(query, db)
+        assert len(distribution) == 1
+        assert sum(p for _s, p in distribution.items()) == 1
+
+
+class TestFixpointDistribution:
+    def test_example_35_two_worlds(self):
+        query, db = reachability_query(example_36_graph(), "a", "b")
+        finals = inflationary_fixpoint_distribution(query, db)
+        assert len(finals) == 2
+        assert all(p == Fraction(1, 2) for _w, p in finals.items())
+        reached = {
+            frozenset(v[0] for v in world["C"]) for world in finals.support()
+        }
+        assert reached == {frozenset({"a", "b"}), frozenset({"a", "c"})}
+
+    def test_scalar_consistency(self):
+        query, db = reachability_query(example_36_graph(), "a", "b")
+        finals = inflationary_fixpoint_distribution(query, db)
+        scalar = evaluate_inflationary_exact(query, db).probability
+        assert finals.probability_of(query.event.holds) == scalar
+
+    def test_pc_table_mixture(self):
+        from repro.ctables import CTable, PCDatabase, boolean_variable, var_eq
+        from repro.core import InflationaryQuery
+
+        pc = PCDatabase(
+            {"A": CTable(("L",), [(("t",), var_eq("x", 1))])},
+            {"x": boolean_variable(Fraction(1, 3))},
+        )
+        kernel = Interpretation({}, pc_tables=pc)
+        db = Database({"A": Relation(("L",), [])})
+        query = InflationaryQuery(kernel, TupleIn("A", ("t",)))
+        finals = inflationary_fixpoint_distribution(query, db)
+        assert len(finals) == 2
+        assert finals.probability_of(lambda w: ("t",) in w["A"]) == Fraction(1, 3)

@@ -1,0 +1,122 @@
+"""Unit tests for provenance tracking (Section 5.1 pre-processing)."""
+
+from repro.core.evaluation import evaluate_with_provenance, initial_provenance
+from repro.relational import (
+    Database,
+    Relation,
+    ValueEq,
+    difference,
+    extended_project,
+    join,
+    literal,
+    product,
+    project,
+    rel,
+    rename,
+    repair_key,
+    select,
+    union,
+)
+
+
+DB = Database(
+    {
+        "R": Relation(("A", "B"), [(1, "x"), (2, "y")]),
+        "S": Relation(("B", "C"), [("x", 10)]),
+    }
+)
+PROV = initial_provenance(DB)
+
+
+def ids(prov, row):
+    return set(prov[row])
+
+
+class TestLeaves:
+    def test_initial_singletons(self):
+        assert PROV["R"][(1, "x")] == frozenset({("R", (1, "x"))})
+
+    def test_relation_ref(self):
+        relation, prov = evaluate_with_provenance(rel("R"), DB, PROV)
+        assert relation == DB["R"]
+        assert ids(prov, (1, "x")) == {("R", (1, "x"))}
+
+    def test_literal_has_empty_provenance(self):
+        _relation, prov = evaluate_with_provenance(literal(("A",), [(5,)]), DB, PROV)
+        assert prov[(5,)] == frozenset()
+
+
+class TestOperators:
+    def test_select_preserves(self):
+        _r, prov = evaluate_with_provenance(
+            select(rel("R"), ValueEq("B", "x")), DB, PROV
+        )
+        assert set(prov) == {(1, "x")}
+        assert ids(prov, (1, "x")) == {("R", (1, "x"))}
+
+    def test_project_unions_collisions(self):
+        db = Database({"R": Relation(("A", "B"), [(1, "x"), (2, "x")])})
+        prov = initial_provenance(db)
+        _r, out = evaluate_with_provenance(project(rel("R"), "B"), db, prov)
+        assert ids(out, ("x",)) == {("R", (1, "x")), ("R", (2, "x"))}
+
+    def test_join_unions_both_sides(self):
+        _r, prov = evaluate_with_provenance(join(rel("R"), rel("S")), DB, PROV)
+        assert ids(prov, (1, "x", 10)) == {("R", (1, "x")), ("S", ("x", 10))}
+
+    def test_product_unions_both_sides(self):
+        left = project(rel("R"), "A")
+        right = project(rel("S"), "C")
+        _r, prov = evaluate_with_provenance(product(left, right), DB, PROV)
+        assert ("R", (1, "x")) in prov[(1, 10)]
+        assert ("S", ("x", 10)) in prov[(1, 10)]
+
+    def test_union_merges(self):
+        expr = union(project(rel("R"), "B"), project(rel("S"), "B"))
+        _r, prov = evaluate_with_provenance(expr, DB, PROV)
+        assert ("R", (1, "x")) in prov[("x",)]
+        assert ("S", ("x", 10)) in prov[("x",)]
+
+    def test_difference_adds_negative_dependencies(self):
+        expr = difference(project(rel("R"), "B"), project(rel("S"), "B"))
+        _r, prov = evaluate_with_provenance(expr, DB, PROV)
+        # surviving row depends on its own source AND the subtracted side
+        assert ("R", (2, "y")) in prov[("y",)]
+        assert ("S", ("x", 10)) in prov[("y",)]
+
+    def test_rename_and_extended_project(self):
+        expr = rename(rel("R"), A="X")
+        _r, prov = evaluate_with_provenance(expr, DB, PROV)
+        assert ids(prov, (1, "x")) == {("R", (1, "x"))}
+        expr2 = extended_project(rel("R"), [("Z", ("col", "A"))])
+        _r2, prov2 = evaluate_with_provenance(expr2, DB, PROV)
+        assert ids(prov2, (1,)) == {("R", (1, "x"))}
+
+
+class TestRepairKey:
+    def test_keeps_all_rows(self):
+        db = Database(
+            {"E": Relation(("I", "J", "P"), [("a", "b", 1), ("a", "c", 1)])}
+        )
+        prov = initial_provenance(db)
+        relation, _out = evaluate_with_provenance(
+            repair_key(rel("E"), ("I",), "P"), db, prov
+        )
+        assert relation == db["E"]
+
+    def test_group_members_coupled(self):
+        db = Database(
+            {
+                "E": Relation(
+                    ("I", "J", "P"),
+                    [("a", "b", 1), ("a", "c", 1), ("z", "z", 1)],
+                )
+            }
+        )
+        prov = initial_provenance(db)
+        _r, out = evaluate_with_provenance(repair_key(rel("E"), ("I",), "P"), db, prov)
+        # same group ("a") -> merged identifiers
+        assert out[("a", "b", 1)] == out[("a", "c", 1)]
+        assert len(out[("a", "b", 1)]) == 2
+        # different group stays separate
+        assert out[("z", "z", 1)] == frozenset({("E", ("z", "z", 1))})

@@ -1,0 +1,93 @@
+"""Unit tests for ForeverQuery / InflationaryQuery wrappers."""
+
+import pytest
+
+from repro.core import (
+    ForeverQuery,
+    InflationaryQuery,
+    Interpretation,
+    TupleIn,
+    inflationary_interpretation,
+    simulate_trajectory,
+)
+from repro.errors import NotInflationaryError
+from repro.relational import (
+    Database,
+    Relation,
+    difference,
+    join,
+    project,
+    rel,
+    rename,
+    repair_key,
+)
+
+
+def frontier_step():
+    return rename(
+        project(
+            repair_key(join(difference(rel("C"), rel("Cold")), rel("E")), ("I",), "P"),
+            "J",
+        ),
+        J="I",
+    )
+
+
+@pytest.fixture
+def reach_db():
+    return Database(
+        {
+            "C": Relation(("I",), [("a",)]),
+            "Cold": Relation(("I",), []),
+            "E": Relation(("I", "J", "P"), [("a", "b", 1), ("a", "c", 1)]),
+        }
+    )
+
+
+class TestInflationaryInterpretation:
+    def test_builds_union_queries(self, reach_db):
+        kernel = inflationary_interpretation({"C": frontier_step()})
+        for world in kernel.transition(reach_db).support():
+            assert world.contains_database(
+                reach_db.restrict(["C"])
+            ) or reach_db["C"].issubset(world["C"])
+
+    def test_every_world_contains_state(self, reach_db):
+        kernel = inflationary_interpretation(
+            {"C": frontier_step()},
+        )
+        kernel = Interpretation({**kernel.queries, "Cold": rel("C")})
+        query = InflationaryQuery(kernel, TupleIn("C", ("b",)))
+        for world in kernel.transition(reach_db).support():
+            query.check_step(reach_db.restrict(["C", "E"]), world.restrict(["C", "E"]))
+
+    def test_check_step_raises_on_shrink(self, reach_db):
+        query = InflationaryQuery(
+            Interpretation({"C": rel("C")}), TupleIn("C", ("b",))
+        )
+        shrunk = reach_db.with_relation("C", Relation(("I",), []))
+        with pytest.raises(NotInflationaryError):
+            query.check_step(reach_db, shrunk)
+
+
+class TestSimulateTrajectory:
+    def test_length_and_start(self, reach_db):
+        kernel = Interpretation({"Cold": rel("C")})
+        query = ForeverQuery(kernel, TupleIn("C", ("a",)))
+        trajectory = simulate_trajectory(query, reach_db, 5, __import__("random").Random(0))
+        assert len(trajectory) == 6
+        assert trajectory[0] == reach_db
+
+    def test_trajectory_respects_kernel(self, reach_db):
+        import random
+
+        kernel = Interpretation({"Cold": rel("C")})
+        query = ForeverQuery(kernel, TupleIn("C", ("a",)))
+        trajectory = simulate_trajectory(query, reach_db, 3, random.Random(1))
+        # after one step Cold = C = {a} and stays there
+        assert trajectory[1]["Cold"].rows == frozenset({("a",)})
+        assert trajectory[3] == trajectory[1]
+
+    def test_reprs(self, reach_db):
+        query = ForeverQuery(Interpretation({}), TupleIn("C", ("a",)))
+        assert "ForeverQuery" in repr(query)

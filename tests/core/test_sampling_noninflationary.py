@@ -1,0 +1,90 @@
+"""Unit tests for the Theorem 5.6 mixing-time sampler."""
+
+import pytest
+
+from repro.core import (
+    adaptive_burn_in,
+    computed_burn_in,
+    evaluate_forever_exact,
+    evaluate_forever_mcmc,
+)
+from repro.errors import EvaluationError, MarkovChainError
+from repro.markov import mixing_time
+from repro.workloads import complete_graph, cycle_graph, random_walk_query
+
+
+class TestComputedBurnIn:
+    def test_matches_chain_mixing_time(self):
+        graph = cycle_graph(5)
+        query, db = random_walk_query(graph, "n0", "n2")
+        burn = computed_burn_in(query, db, mixing_epsilon=0.1, max_states=100)
+        assert burn == mixing_time(graph.to_markov_chain(), epsilon=0.1)
+
+    def test_periodic_chain_rejected(self):
+        # pure 2-cycle is periodic -> mixing undefined
+        from repro.workloads import WeightedGraph
+
+        graph = WeightedGraph(("a", "b"), (("a", "b", 1), ("b", "a", 1)))
+        query, db = random_walk_query(graph, "a", "b")
+        with pytest.raises(MarkovChainError):
+            computed_burn_in(query, db, mixing_epsilon=0.1, max_states=100)
+
+
+class TestEvaluator:
+    def test_estimate_close_to_exact(self):
+        query, db = random_walk_query(cycle_graph(4), "n0", "n2")
+        exact = float(evaluate_forever_exact(query, db).probability)
+        result = evaluate_forever_mcmc(
+            query, db, epsilon=0.1, delta=0.1, samples=1200, burn_in=40, rng=2
+        )
+        assert abs(result.estimate - exact) < 0.07
+
+    def test_automatic_burn_in_used(self):
+        query, db = random_walk_query(cycle_graph(4), "n0", "n2")
+        result = evaluate_forever_mcmc(
+            query, db, epsilon=0.2, delta=0.2, samples=300, rng=4
+        )
+        assert result.details["burn_in"] >= 1
+        assert result.method == "thm-5.6"
+
+    def test_insufficient_burn_in_biases_estimate(self):
+        """With burn-in 0 every sample sits at the start state — the
+        failure mode Theorem 5.6's mixing requirement exists to avoid."""
+        query, db = random_walk_query(cycle_graph(8), "n0", "n4")
+        biased = evaluate_forever_mcmc(
+            query, db, samples=300, burn_in=0, rng=6
+        )
+        assert biased.estimate == 0.0  # never left n0
+
+    def test_epsilon_delta_recorded(self):
+        query, db = random_walk_query(complete_graph(3), "n0", "n1")
+        result = evaluate_forever_mcmc(query, db, epsilon=0.2, delta=0.25, rng=3)
+        assert result.epsilon == 0.2
+        assert result.delta == 0.25
+
+
+class TestAdaptiveBurnIn:
+    def test_fast_chain_stabilises_quickly(self):
+        query, db = random_walk_query(complete_graph(4), "n0", "n1")
+        steps = adaptive_burn_in(
+            query, db, rng=1, walkers=64, window=10, tolerance=0.12
+        )
+        assert steps <= 30
+
+    def test_slow_chain_needs_longer(self):
+        fast_query, fast_db = random_walk_query(complete_graph(8), "n0", "n1")
+        slow_query, slow_db = random_walk_query(cycle_graph(8), "n0", "n4")
+        fast = adaptive_burn_in(
+            fast_query, fast_db, rng=2, walkers=64, window=12, tolerance=0.12
+        )
+        slow = adaptive_burn_in(
+            slow_query, slow_db, rng=2, walkers=64, window=12, tolerance=0.12
+        )
+        assert slow >= fast
+
+    def test_max_steps_raises(self):
+        query, db = random_walk_query(cycle_graph(12), "n0", "n6")
+        with pytest.raises(EvaluationError):
+            adaptive_burn_in(
+                query, db, rng=3, walkers=8, window=50, tolerance=0.0, max_steps=60
+            )

@@ -1,0 +1,112 @@
+"""Unit tests for the finite-horizon series and one-shot pc queries."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    evaluate_forever_exact,
+    event_occupancy_series,
+    event_probability_series,
+    query_pc_database,
+)
+from repro.ctables import CTable, PCDatabase, boolean_variable, var_eq
+from repro.errors import EvaluationError
+from repro.relational import Relation, project, rel, repair_key
+from repro.workloads import complete_graph, cycle_graph, random_walk_query
+
+
+class TestEventProbabilitySeries:
+    def test_starts_at_initial_value(self):
+        query, db = random_walk_query(cycle_graph(3), "n0", "n0")
+        series = event_probability_series(query, db, 0)
+        assert series == [Fraction(1)]
+
+    def test_lazy_cycle_first_steps(self):
+        query, db = random_walk_query(cycle_graph(3), "n0", "n1")
+        series = event_probability_series(query, db, 2)
+        # step 1: at n1 with probability 1/2 (advance) else n0
+        assert series[:2] == [Fraction(0), Fraction(1, 2)]
+
+    def test_converges_to_long_run_value(self):
+        query, db = random_walk_query(complete_graph(4), "n0", "n2")
+        limit = evaluate_forever_exact(query, db).probability
+        series = event_probability_series(query, db, 20)
+        assert abs(series[-1] - limit) < Fraction(1, 10**6)
+
+    def test_horizon_validated(self):
+        query, db = random_walk_query(cycle_graph(3), "n0", "n1")
+        with pytest.raises(EvaluationError):
+            event_probability_series(query, db, -1)
+
+
+class TestOccupancySeries:
+    def test_running_average_of_pointwise(self):
+        query, db = random_walk_query(cycle_graph(3), "n0", "n1")
+        pointwise = event_probability_series(query, db, 5)
+        occupancy = event_occupancy_series(query, db, 5)
+        running = Fraction(0)
+        for t, value in enumerate(pointwise[1:], start=1):
+            running += value
+            assert occupancy[t - 1] == running / t
+
+    def test_cesaro_converges_to_definition_32(self):
+        query, db = random_walk_query(cycle_graph(4), "n0", "n2")
+        limit = evaluate_forever_exact(query, db).probability
+        occupancy = event_occupancy_series(query, db, 300)
+        assert abs(occupancy[-1] - limit) < Fraction(1, 50)
+
+    def test_needs_a_step(self):
+        query, db = random_walk_query(cycle_graph(3), "n0", "n1")
+        with pytest.raises(EvaluationError):
+            event_occupancy_series(query, db, 0)
+
+
+class TestQueryPcDatabase:
+    def _pcdb(self):
+        return PCDatabase(
+            {
+                "A": CTable(
+                    ("L", "P"),
+                    [
+                        (("t", 3), var_eq("x", 1)),
+                        (("u", 1), var_eq("x", 1)),
+                        (("f", 1), var_eq("x", 0)),
+                    ],
+                )
+            },
+            {"x": boolean_variable(Fraction(1, 2))},
+        )
+
+    def test_deterministic_query(self):
+        worlds = query_pc_database(project(rel("A"), "L"), self._pcdb())
+        assert len(worlds) == 2
+        assert worlds.probability_of(lambda r: ("t",) in r) == Fraction(1, 2)
+
+    def test_repair_key_composes_with_pc_choice(self):
+        expr = project(repair_key(rel("A"), key=(), weight="P"), "L")
+        worlds = query_pc_database(expr, self._pcdb())
+        # x=1 (1/2): pick t w.p. 3/4 or u w.p. 1/4;  x=0 (1/2): f surely
+        assert worlds.probability(Relation(("L",), [("t",)])) == Fraction(3, 8)
+        assert worlds.probability(Relation(("L",), [("u",)])) == Fraction(1, 8)
+        assert worlds.probability(Relation(("L",), [("f",)])) == Fraction(1, 2)
+
+    def test_total_probability(self):
+        expr = project(repair_key(rel("A"), key=(), weight="P"), "L")
+        worlds = query_pc_database(expr, self._pcdb())
+        assert sum(p for _w, p in worlds.items()) == 1
+
+
+class TestCycleDetection:
+    def test_oscillating_kernel_rejected_by_inflationary_evaluator(self):
+        """A non-inflationary kernel fed to the Prop 4.4 traversal must
+        fail loudly (cycle detection), not loop or silently mis-answer."""
+        from repro.core import InflationaryQuery, Interpretation, TupleIn
+        from repro.core.evaluation import absorption_event_probability
+        from repro.probability import Distribution
+
+        def oscillate(state):
+            return Distribution.point("b" if state == "a" else "a")
+
+        with pytest.raises(EvaluationError):
+            absorption_event_probability(oscillate, lambda s: False, "a")

@@ -1,0 +1,64 @@
+"""Unit tests for the c-table condition language."""
+
+import pytest
+
+from repro.ctables import FALSE, TRUE, var_eq, var_ne, vars_eq
+from repro.errors import ConditionError
+
+
+VALUATION = {"x": 1, "y": 0, "z": 1}
+
+
+class TestAtoms:
+    def test_constants(self):
+        assert TRUE.evaluate({})
+        assert not FALSE.evaluate({})
+        assert TRUE.variables() == frozenset()
+
+    def test_var_eq(self):
+        assert var_eq("x", 1).evaluate(VALUATION)
+        assert not var_eq("x", 0).evaluate(VALUATION)
+        assert var_eq("x", 1).variables() == {"x"}
+
+    def test_var_ne(self):
+        assert var_ne("y", 1).evaluate(VALUATION)
+        assert not var_ne("y", 0).evaluate(VALUATION)
+
+    def test_vars_eq(self):
+        assert vars_eq("x", "z").evaluate(VALUATION)
+        assert not vars_eq("x", "y").evaluate(VALUATION)
+        assert vars_eq("x", "y").variables() == {"x", "y"}
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(ConditionError):
+            var_eq("missing", 1).evaluate(VALUATION)
+
+
+class TestCombinators:
+    def test_and(self):
+        assert (var_eq("x", 1) & var_eq("y", 0)).evaluate(VALUATION)
+        assert not (var_eq("x", 1) & var_eq("y", 1)).evaluate(VALUATION)
+
+    def test_or(self):
+        assert (var_eq("x", 0) | var_eq("z", 1)).evaluate(VALUATION)
+        assert not (var_eq("x", 0) | var_eq("z", 0)).evaluate(VALUATION)
+
+    def test_not(self):
+        assert (~var_eq("x", 0)).evaluate(VALUATION)
+
+    def test_nested_variables(self):
+        condition = (var_eq("x", 1) & var_ne("y", 2)) | ~vars_eq("y", "z")
+        assert condition.variables() == {"x", "y", "z"}
+
+    def test_boolean_combination_matches_python(self):
+        for x in (0, 1):
+            for y in (0, 1):
+                valuation = {"x": x, "y": y}
+                condition = (var_eq("x", 1) | var_eq("y", 1)) & ~(
+                    var_eq("x", 1) & var_eq("y", 1)
+                )
+                assert condition.evaluate(valuation) == ((x == 1) ^ (y == 1))
+
+    def test_reprs(self):
+        condition = (var_eq("x", 1) & ~var_ne("y", 0)) | vars_eq("x", "y")
+        assert "x" in repr(condition)

@@ -1,0 +1,116 @@
+"""Unit tests for the pc-table → repair-key macro compilation."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.ctables import (
+    CTable,
+    PCDatabase,
+    boolean_variable,
+    compile_pc_database,
+    compile_pc_table,
+    domain_relation,
+    var_eq,
+    var_ne,
+    variable_relation_name,
+)
+from repro.errors import SchemaError
+from repro.probability import Distribution
+from repro.relational import Database, Relation, enumerate_worlds, sample_world
+
+
+def _two_var_pcdb() -> PCDatabase:
+    entries = []
+    for i in (1, 2):
+        entries.append(((f"v{i}",), var_eq(f"x{i}", 1)))
+        entries.append(((f"nv{i}",), var_eq(f"x{i}", 0)))
+    return PCDatabase(
+        tables={"A": CTable(("L",), entries)},
+        variables={"x1": boolean_variable(), "x2": boolean_variable()},
+    )
+
+
+class TestCompilation:
+    def test_matches_native_semantics(self):
+        """The compiled expression's world distribution equals the
+        pc-table's possible worlds (Section 3.1's macro claim)."""
+        pcdb = _two_var_pcdb()
+        ground, exprs = compile_pc_database(pcdb)
+        compiled = enumerate_worlds(exprs["A"], Database(ground))
+        native = pcdb.possible_worlds().map(lambda db: db["A"])
+        assert compiled == native
+
+    def test_biased_variables(self):
+        pcdb = PCDatabase(
+            {"A": CTable(("L",), [(("t",), var_eq("x", 1))])},
+            {"x": boolean_variable(Fraction(1, 5))},
+        )
+        ground, exprs = compile_pc_database(pcdb)
+        compiled = enumerate_worlds(exprs["A"], Database(ground))
+        native = pcdb.possible_worlds().map(lambda db: db["A"])
+        assert compiled == native
+
+    def test_negation_and_conjunction_conditions(self):
+        table = CTable(
+            ("L",),
+            [
+                (("both",), var_eq("x", 1) & var_eq("y", 1)),
+                (("notx",), var_ne("x", 1)),
+            ],
+        )
+        pcdb = PCDatabase(
+            {"A": table}, {"x": boolean_variable(), "y": boolean_variable()}
+        )
+        ground, exprs = compile_pc_database(pcdb)
+        compiled = enumerate_worlds(exprs["A"], Database(ground))
+        native = pcdb.possible_worlds().map(lambda db: db["A"])
+        assert compiled == native
+
+    def test_sampling_compiled_expression(self):
+        pcdb = _two_var_pcdb()
+        ground, exprs = compile_pc_database(pcdb)
+        db = Database(ground)
+        support = enumerate_worlds(exprs["A"], db).support()
+        rng = random.Random(4)
+        for _ in range(20):
+            assert sample_world(exprs["A"], db, rng) in support
+
+    def test_no_variables_resolves_statically(self):
+        table = CTable(("L",), [(("always",), None)])
+        ground, expr = compile_pc_table("A", table, {})
+        assert ground == {}
+        worlds = enumerate_worlds(expr, Database({}))
+        assert len(worlds) == 1
+
+    def test_certain_relations_forwarded(self):
+        pcdb = PCDatabase(
+            {"A": CTable(("L",), [(("a",), var_eq("x", 1))])},
+            {"x": boolean_variable()},
+            certain={"E": Relation(("I",), [("e",)])},
+        )
+        ground, _exprs = compile_pc_database(pcdb)
+        assert ("e",) in ground["E"]
+
+    def test_shared_variable_across_tables_rejected(self):
+        tables = {
+            "A": CTable(("L",), [(("a",), var_eq("x", 1))]),
+            "B": CTable(("L",), [(("b",), var_eq("x", 0))]),
+        }
+        pcdb = PCDatabase(tables, {"x": boolean_variable()})
+        with pytest.raises(SchemaError):
+            compile_pc_database(pcdb)
+
+    def test_reserved_column_names_rejected(self):
+        table = CTable(("__tid",), [(("a",), var_eq("x", 1))])
+        with pytest.raises(SchemaError):
+            compile_pc_table("A", table, {"x": boolean_variable()})
+
+    def test_domain_relation(self):
+        rel = domain_relation("x", Distribution({0: 1, 1: 3}))
+        assert rel.columns == ("V", "P")
+        assert (1, Fraction(3, 4)) in rel
+
+    def test_variable_relation_name(self):
+        assert variable_relation_name("x7") == "__var_x7"

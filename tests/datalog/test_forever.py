@@ -1,0 +1,115 @@
+"""Unit tests for non-inflationary probabilistic datalog."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import TupleIn, simulate_trajectory
+from repro.ctables import CTable, PCDatabase, boolean_variable, var_eq
+from repro.datalog import (
+    datalog_forever_query,
+    evaluate_datalog_forever,
+    parse_program,
+)
+from repro.errors import DatalogError
+from repro.relational import Database, Relation
+
+
+class TestStatelessChoice:
+    def test_weighted_choice_stationary(self):
+        """A single choice rule re-fires every step: the long-run
+        probability is the per-step choice probability."""
+        program = parse_program("h(X*, Y)@P :- e(X, Y, P).")
+        edb = Database(
+            {"e": Relation(("I", "J", "P"), [("a", "b", 1), ("a", "c", 3)])}
+        )
+        result = evaluate_datalog_forever(program, edb, TupleIn("h", ("a", "c")))
+        assert result.probability == Fraction(3, 4)
+        result_b = evaluate_datalog_forever(program, edb, TupleIn("h", ("a", "b")))
+        assert result_b.probability == Fraction(1, 4)
+
+    def test_deterministic_program_reaches_certain_state(self):
+        program = parse_program("h(X, Y) :- e(X, Y).")
+        edb = Database({"e": Relation(("I", "J"), [("a", "b")])})
+        result = evaluate_datalog_forever(program, edb, TupleIn("h", ("a", "b")))
+        assert result.probability == 1
+
+
+class TestPipelines:
+    def test_two_level_pipeline(self):
+        """Level-2 relations hold the choice made one step earlier."""
+        program = parse_program(
+            """
+            h(X*, Y)@P :- e(X, Y, P).
+            g(Y) :- h(X, Y).
+            """
+        )
+        edb = Database(
+            {"e": Relation(("I", "J", "P"), [("a", "b", 1), ("a", "c", 1)])}
+        )
+        result = evaluate_datalog_forever(program, edb, TupleIn("g", ("b",)))
+        assert result.probability == Fraction(1, 2)
+
+    def test_persistence_rule(self):
+        """The Theorem 5.1 idiom done(X) :- done(X) makes an event
+        absorbing: once set, the long-run probability is 1."""
+        program = parse_program(
+            """
+            h(X*, Y)@P :- e(X, Y, P).
+            done(a) :- h(a, b).
+            done(X) :- done(X).
+            """
+        )
+        edb = Database(
+            {"e": Relation(("I", "J", "P"), [("a", "b", 1), ("a", "c", 1)])}
+        )
+        result = evaluate_datalog_forever(program, edb, TupleIn("done", ("a",)))
+        assert result.probability == 1
+
+
+class TestPcTables:
+    def _pc(self):
+        return PCDatabase(
+            {
+                "A": CTable(
+                    ("L",),
+                    [(("t",), var_eq("x", 1)), (("f",), var_eq("x", 0))],
+                )
+            },
+            {"x": boolean_variable(Fraction(1, 4))},
+        )
+
+    def test_pc_table_resampled_each_step(self):
+        program = parse_program("h(X) :- a(X).")
+        # rename c-table to lowercase 'a' (datalog predicates are lowercase)
+        pc = PCDatabase(
+            {"a": self._pc().tables["A"]}, self._pc().variables
+        )
+        edb = Database({})
+        result = evaluate_datalog_forever(
+            program, edb, TupleIn("h", ("t",)), pc_tables=pc
+        )
+        # h holds the previous step's sample: long-run Pr = Pr[x=1] = 1/4
+        assert result.probability == Fraction(1, 4)
+
+    def test_pc_relation_varies_along_trajectory(self):
+        import random
+
+        program = parse_program("h(X) :- a(X).")
+        pc = PCDatabase({"a": self._pc().tables["A"]}, self._pc().variables)
+        query, initial = datalog_forever_query(
+            program, Database({}), TupleIn("h", ("t",)), pc_tables=pc
+        )
+        trajectory = simulate_trajectory(query, initial, 40, random.Random(3))
+        assert len({state["a"] for state in trajectory}) == 2
+
+    def test_pc_idb_clash_rejected(self):
+        program = parse_program("a(X) :- e(X).")
+        pc = PCDatabase({"a": self._pc().tables["A"]}, self._pc().variables)
+        with pytest.raises(DatalogError):
+            datalog_forever_query(
+                program,
+                Database({"e": Relation(("I",), [("t",)])}),
+                TupleIn("a", ("t",)),
+                pc_tables=pc,
+            )

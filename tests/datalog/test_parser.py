@@ -1,0 +1,127 @@
+"""Unit tests for the datalog parser."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.datalog import parse_program, parse_rule
+from repro.datalog.ast import Const, Var
+from repro.errors import DatalogParseError
+
+
+class TestRuleParsing:
+    def test_fact(self):
+        rule = parse_rule("c(v).")
+        assert rule.head.predicate == "c"
+        assert rule.head.terms == (Const("v"),)
+        assert rule.body == ()
+
+    def test_arrow_variants(self):
+        for arrow in (":-", "<-", "←"):
+            rule = parse_rule(f"c(Y) {arrow} e(X, Y).")
+            assert len(rule.body) == 1
+
+    def test_fact_with_arrow_and_empty_body(self):
+        """The paper writes fact rules as ``R(c0) ←``."""
+        rule = parse_rule("r(q0) :- .")
+        assert rule.body == ()
+
+    def test_key_markers(self):
+        rule = parse_rule("c2(X*, Y) :- c(X), e(X, Y).")
+        assert rule.key_variables == frozenset({"X"})
+        assert rule.is_probabilistic()
+
+    def test_weight_annotation(self):
+        rule = parse_rule("h(X*, Y)@P :- r(X, Y, P).")
+        assert rule.weight_variable == "P"
+
+    def test_example_37(self):
+        """H(X, Y, Z)@P ← R(X, Y, Z, P, W) with X, Y underlined."""
+        rule = parse_rule("h(X*, Y*, Z)@P :- r(X, Y, Z, P, W).")
+        assert rule.key_variables == frozenset({"X", "Y"})
+        assert rule.weight_variable == "P"
+        assert rule.head.arity == 3
+
+    def test_constants_numbers_and_strings(self):
+        rule = parse_rule("h(X) :- r(X, 1, 0.5, -2, 'hello world', abc).")
+        constants = [t.value for t in rule.body[0].terms if isinstance(t, Const)]
+        assert constants == [1, Fraction(1, 2), -2, "hello world", "abc"]
+
+    def test_anonymous_variables_are_fresh(self):
+        rule = parse_rule("done(a) :- r(_, _).")
+        names = {t.name for t in rule.body[0].terms}
+        assert len(names) == 2  # two distinct fresh variables
+
+    def test_anonymous_not_allowed_in_head(self):
+        with pytest.raises(DatalogParseError):
+            parse_rule("h(_) :- r(X).")
+
+    def test_zero_arity_head(self):
+        rule = parse_rule("q() :- v(x, 1).")
+        assert rule.head.arity == 0
+
+    def test_comments_skipped(self):
+        program = parse_program(
+            """
+            % the seed fact
+            c(v).   % trailing comment
+            c(Y) :- c2(X, Y).
+            """
+        )
+        assert len(program) == 2
+
+
+class TestErrors:
+    def test_uppercase_predicate_rejected(self):
+        with pytest.raises(DatalogParseError):
+            parse_rule("C(v).")
+        with pytest.raises(DatalogParseError):
+            parse_rule("h(X) :- Body(X).")
+
+    def test_missing_dot(self):
+        with pytest.raises(DatalogParseError):
+            parse_rule("c(v)")
+
+    def test_star_on_constant_rejected(self):
+        with pytest.raises(DatalogParseError):
+            parse_rule("c(v*).")
+
+    def test_weight_must_be_variable(self):
+        with pytest.raises(DatalogParseError):
+            parse_rule("c(X)@p :- r(X, p).")
+
+    def test_empty_program(self):
+        with pytest.raises(DatalogParseError):
+            parse_program("   % nothing but a comment\n")
+
+    def test_garbage_character(self):
+        with pytest.raises(DatalogParseError):
+            parse_rule("c(v) & d(w).")
+
+    def test_trailing_input_after_rule(self):
+        with pytest.raises(DatalogParseError):
+            parse_rule("c(v). extra")
+
+
+class TestProgramParsing:
+    def test_example_39_program(self):
+        program = parse_program(
+            """
+            c(v).
+            c2(X*, Y) :- c(X), e(X, Y).
+            c(Y) :- c2(X, Y).
+            """
+        )
+        assert len(program) == 3
+        assert program.idb_predicates() == ["c", "c2"]
+        assert program.edb_predicates() == ["e"]
+        assert program.is_linear()
+
+    def test_round_trip_via_repr(self):
+        source = "c2(X*, Y)@P :- c(X), e(X, Y, P)."
+        rule = parse_rule(source)
+        reparsed = parse_rule(repr(rule))
+        assert reparsed.key_variables == rule.key_variables
+        assert reparsed.weight_variable == rule.weight_variable
+        assert reparsed.head == rule.head
+        assert reparsed.body == rule.body

@@ -1,0 +1,117 @@
+"""Integration tests for Table 1's feasibility / infeasibility claims.
+
+These are the *functional* counterparts of the benchmark harness: each
+Table 1 cell has an executable witness here, on small instances.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core import evaluate_forever_exact, evaluate_forever_mcmc
+from repro.probability import hoeffding_sample_count, paper_sample_count
+from repro.reductions import (
+    CNFFormula,
+    build_thm41_instance,
+    build_thm51_instance,
+    decide_sat_via_absolute_approximation,
+    decide_sat_via_relative_approximation,
+    random_3cnf,
+    simulated_probability,
+    thm41_exact_probability,
+    thm41_sampled_probability,
+    thm51_exact_probability,
+)
+from repro.workloads import cycle_graph, random_walk_query
+
+
+class TestRow12ExactIsModelCounting:
+    """Table 1 rows 1–2, column "exact": the evaluator counts models
+    (♯P-hardness witnessed by the reduction's exactness)."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_exact_evaluation_counts_models(self, seed):
+        f = random_3cnf(4, 6, rng=seed)
+        instance = build_thm41_instance(f)
+        p = thm41_exact_probability(instance).probability
+        assert p == Fraction(f.count_models(), 16)
+
+
+class TestRow12RelativeApproxDecidesSAT:
+    """Table 1 rows 1–2, column "relative approximation": any relative
+    approximator decides SAT (Theorem 4.1)."""
+
+    def test_decision_procedure_on_both_variants(self):
+        sat = CNFFormula(3, [(1, 2, 3)])
+        unsat = CNFFormula(3, [(s1, s2, s3) for s1 in (1, -1) for s2 in (2, -2) for s3 in (3, -3)])
+        for variant in ("2'", "2"):
+            assert decide_sat_via_relative_approximation(sat, variant)
+            assert not decide_sat_via_relative_approximation(unsat, variant)
+
+
+class TestRow12AbsoluteApproxFeasible:
+    """Table 1 rows 1–2, column "absolute approximation": PTIME
+    sampling with a Chernoff guarantee (Theorem 4.3)."""
+
+    def test_guarantee_on_reduction_instance(self):
+        f = CNFFormula(3, [(1, 2, 3), (-1, 2, 3)])
+        instance = build_thm41_instance(f)
+        exact = float(thm41_exact_probability(instance).probability)
+        epsilon, delta = 0.1, 0.1
+        samples = paper_sample_count(epsilon, delta)
+        result = thm41_sampled_probability(instance, samples=samples, rng=13)
+        assert abs(result.estimate - exact) <= epsilon
+
+    def test_sample_counts_polynomial_in_guarantee_only(self):
+        # The planned sample count is independent of the database size.
+        assert paper_sample_count(0.05, 0.05) == paper_sample_count(0.05, 0.05)
+        assert hoeffding_sample_count(0.05, 0.05) >= paper_sample_count(0.05, 0.05)
+
+
+class TestRow3AbsoluteApproxHard:
+    """Table 1 row 3: absolute approximation decides SAT for
+    non-inflationary queries (Theorem 5.1) ..."""
+
+    def test_zero_one_law(self):
+        sat = CNFFormula(2, [(1, 2)])
+        unsat = CNFFormula(2, [(1,), (-1,)])
+        assert thm51_exact_probability(build_thm51_instance(sat)).probability == 1
+        assert thm51_exact_probability(build_thm51_instance(unsat)).probability == 0
+
+    def test_absolute_approximator_decides(self):
+        assert decide_sat_via_absolute_approximation(
+            CNFFormula(2, [(1, 2)]), steps=600, rng=3
+        )
+        assert not decide_sat_via_absolute_approximation(
+            CNFFormula(2, [(1,), (-1,)]), steps=600, rng=3
+        )
+
+
+class TestRow3MixingTimeSampler:
+    """... but is PTIME in database size and mixing time (Thm 5.6)."""
+
+    def test_guarantee_against_exact(self):
+        query, db = random_walk_query(cycle_graph(5), "n0", "n2")
+        exact = float(evaluate_forever_exact(query, db).probability)
+        epsilon, delta = 0.2, 0.2
+        rng = random.Random(17)
+        failures = 0
+        runs = 10
+        for _ in range(runs):
+            result = evaluate_forever_mcmc(
+                query, db, epsilon=epsilon, delta=delta, rng=rng
+            )
+            failures += abs(result.estimate - exact) > epsilon
+        assert failures <= 3  # δ = 0.2 with slack
+
+    def test_thm51_simulation_needs_exponential_steps(self):
+        """With few steps the simulated probability of a satisfiable
+        instance is far from 1 — the sampler alone cannot give a cheap
+        absolute approximation without mixing."""
+        sat = CNFFormula(2, [(1,), (2,)])  # single satisfying assignment
+        instance = build_thm51_instance(sat)
+        short = simulated_probability(instance, 8, rng=1)
+        long = simulated_probability(instance, 2000, rng=1)
+        assert short < 0.8
+        assert long > 0.9

@@ -1,0 +1,144 @@
+"""End-to-end reproduction of every worked example in the paper."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    TupleIn,
+    evaluate_forever_exact,
+    evaluate_forever_mcmc,
+    evaluate_inflationary_exact,
+    evaluate_inflationary_sampling,
+)
+from repro.baselines import pagerank
+from repro.datalog import evaluate_datalog_exact, evaluate_datalog_sampling
+from repro.markov import stationary_distribution
+from repro.relational import Database, Relation, repair_distribution
+from repro.workloads import (
+    BASKETBALL_WORLD_PROBABILITIES,
+    basketball_table,
+    cycle_graph,
+    erdos_renyi,
+    example_36_graph,
+    pagerank_query,
+    random_walk_query,
+    reachability_program,
+    reachability_query,
+    sprinkler_network,
+    unguarded_reachability_query,
+)
+
+
+class TestExample22Table2:
+    """Example 2.2: repair-key over the basketball table."""
+
+    def test_exact_world_probabilities(self):
+        worlds = repair_distribution(
+            basketball_table(), key=("Player",), weight="Belief"
+        )
+        assert len(worlds) == 4
+        observed = {
+            (dict(((r[0], r[1]) for r in w))["Bryant"],
+             dict(((r[0], r[1]) for r in w))["Iverson"]): p
+            for w, p in worlds.items()
+        }
+        assert observed == dict(BASKETBALL_WORLD_PROBABILITIES)
+
+
+class TestExample33RandomWalk:
+    """Example 3.3: the forever-query result is the stationary
+    probability of the target node."""
+
+    def test_exact_equals_stationary(self):
+        graph = erdos_renyi(5, 0.4, rng=11)
+        pi = stationary_distribution(graph.to_markov_chain())
+        for target in ("n1", "n3"):
+            query, db = random_walk_query(graph, "n0", target)
+            assert evaluate_forever_exact(query, db).probability == pi.probability(
+                target
+            )
+
+    def test_mcmc_estimates_stationary(self):
+        query, db = random_walk_query(cycle_graph(4), "n0", "n2")
+        result = evaluate_forever_mcmc(query, db, samples=800, burn_in=40, rng=21)
+        assert abs(result.estimate - 0.25) < 0.06
+
+
+class TestExample33PageRank:
+    """The PageRank variant against direct power iteration."""
+
+    @pytest.mark.parametrize("alpha", [Fraction(1, 10), Fraction(3, 10)])
+    def test_matches_power_iteration(self, alpha):
+        graph = erdos_renyi(4, 0.5, rng=3)
+        direct = pagerank(graph, float(alpha))
+        for target in ("n1", "n3"):
+            query, db = pagerank_query(graph, alpha, "n0", target)
+            result = evaluate_forever_exact(query, db)
+            assert abs(float(result.probability) - direct[target]) < 1e-9
+
+
+class TestExamples35And36:
+    """Reachability: guarded vs unguarded tuple re-use."""
+
+    def test_example_36_contrast(self):
+        graph = example_36_graph()
+        guarded, db1 = reachability_query(graph, "a", "b")
+        unguarded, db2 = unguarded_reachability_query(graph, "a", "b")
+        assert evaluate_inflationary_exact(guarded, db1).probability == Fraction(1, 2)
+        assert evaluate_inflationary_exact(unguarded, db2).probability == 1
+
+    def test_sampling_agrees(self):
+        graph = example_36_graph()
+        guarded, db = reachability_query(graph, "a", "b")
+        estimate = evaluate_inflationary_sampling(guarded, db, samples=1500, rng=2)
+        assert abs(estimate.estimate - 0.5) < 0.05
+
+
+class TestExample39Datalog:
+    """The probabilistic-datalog reachability program."""
+
+    def test_paper_trace_probabilities(self):
+        program, edb = reachability_program(example_36_graph(), "a")
+        result_b = evaluate_datalog_exact(program, edb, TupleIn("c", ("b",)))
+        result_c = evaluate_datalog_exact(program, edb, TupleIn("c", ("c",)))
+        # a's successor is b or c, each with probability 1/2; the chosen
+        # successor then self-loops.
+        assert result_b.probability == Fraction(1, 2)
+        assert result_c.probability == Fraction(1, 2)
+
+    def test_two_worlds_only(self):
+        from repro.datalog import InflationaryDatalogEngine
+
+        program, edb = reachability_program(example_36_graph(), "a")
+        finals = InflationaryDatalogEngine(program, edb).fixpoint_distribution()
+        # world 1: {a, b}; world 2: {a, c}
+        sizes = {len(w["c"]) for w in finals.support()}
+        assert sizes == {2}
+
+
+class TestExample310Bayes:
+    """Marginal inference through the K+1-rule program."""
+
+    def test_sprinkler_marginals(self):
+        bn = sprinkler_network()
+        cases = [
+            {"rain": 1},
+            {"grass": 1},
+            {"rain": 1, "grass": 1},
+            {"sprinkler": 1, "rain": 0},
+        ]
+        for conditions in cases:
+            program, edb = bn.to_datalog(conditions=conditions)
+            result = evaluate_datalog_exact(program, edb, TupleIn("q", ()))
+            assert result.probability == bn.marginal_probability(conditions)
+
+    def test_sampled_inference(self):
+        bn = sprinkler_network()
+        conditions = {"grass": 1}
+        program, edb = bn.to_datalog(conditions=conditions)
+        result = evaluate_datalog_sampling(
+            program, edb, TupleIn("q", ()), samples=2500, rng=31
+        )
+        exact = float(bn.marginal_probability(conditions))
+        assert abs(result.estimate - exact) < 0.04

@@ -1,0 +1,109 @@
+"""Unit tests for absorption analysis (Theorem 5.5 machinery)."""
+
+from fractions import Fraction
+
+from repro.markov import (
+    absorption_probabilities,
+    chain_from_edges,
+    expected_absorption_time,
+    long_run_event_probability,
+    long_run_state_distribution,
+)
+
+
+def two_leaf_chain():
+    """s → l1 (1/3) or → t → l2 (2/3); l2 is a 2-cycle."""
+    return chain_from_edges(
+        [
+            ("s", "l1", 1),
+            ("s", "t", 2),
+            ("t", "l2a", 1),
+            ("l1", "l1", 1),
+            ("l2a", "l2b", 1),
+            ("l2b", "l2a", 1),
+        ]
+    )
+
+
+class TestAbsorptionProbabilities:
+    def test_basic_split(self):
+        probabilities = absorption_probabilities(two_leaf_chain(), "s")
+        by_member = {min(leaf, key=repr): p for leaf, p in probabilities.items()}
+        assert by_member["l1"] == Fraction(1, 3)
+        assert by_member["l2a"] == Fraction(2, 3)
+
+    def test_sums_to_one(self):
+        assert sum(absorption_probabilities(two_leaf_chain(), "s").values()) == 1
+
+    def test_start_in_leaf(self):
+        probabilities = absorption_probabilities(two_leaf_chain(), "l2a")
+        for leaf, p in probabilities.items():
+            assert p == (1 if "l2a" in leaf else 0)
+
+    def test_transient_cycle_before_absorption(self):
+        """A transient 2-cycle with escape: probability still sums to 1."""
+        chain = chain_from_edges(
+            [
+                ("u", "v", 9),
+                ("v", "u", 9),
+                ("u", "x", 1),
+                ("v", "y", 1),
+                ("x", "x", 1),
+                ("y", "y", 1),
+            ]
+        )
+        probabilities = absorption_probabilities(chain, "u")
+        total = sum(probabilities.values())
+        assert total == 1
+        by_member = {min(leaf): p for leaf, p in probabilities.items()}
+        # symmetric apart from first-move advantage of u
+        assert by_member["x"] > by_member["y"]
+        assert by_member["x"] == Fraction(10, 19)
+
+
+class TestLongRunEvent:
+    def test_event_in_one_leaf(self):
+        p = long_run_event_probability(two_leaf_chain(), "s", lambda s: s == "l2a")
+        # reach leaf2 w.p. 2/3, then stationary weight of l2a is 1/2
+        assert p == Fraction(1, 3)
+
+    def test_event_true_everywhere(self):
+        p = long_run_event_probability(two_leaf_chain(), "s", lambda _s: True)
+        assert p == 1
+
+    def test_transient_event_has_probability_zero(self):
+        p = long_run_event_probability(two_leaf_chain(), "s", lambda s: s in ("s", "t"))
+        assert p == 0
+
+    def test_irreducible_chain_equals_stationary(self):
+        chain = chain_from_edges(
+            [("a", "a", 1), ("a", "b", 1), ("b", "a", 1)]
+        )
+        p = long_run_event_probability(chain, "a", lambda s: s == "a")
+        assert p == Fraction(2, 3)
+
+
+class TestLongRunDistribution:
+    def test_values(self):
+        occupancy = long_run_state_distribution(two_leaf_chain(), "s")
+        assert occupancy["s"] == 0
+        assert occupancy["t"] == 0
+        assert occupancy["l1"] == Fraction(1, 3)
+        assert occupancy["l2a"] == Fraction(1, 3)
+        assert occupancy["l2b"] == Fraction(1, 3)
+        assert sum(occupancy.values()) == 1
+
+
+class TestExpectedAbsorptionTime:
+    def test_zero_when_recurrent(self):
+        assert expected_absorption_time(two_leaf_chain(), "l1") == 0
+
+    def test_simple_chain(self):
+        assert expected_absorption_time(two_leaf_chain(), "t") == 1
+        # from s: 1 step to l1 (1/3) or 1 + 1 steps via t (2/3)
+        assert expected_absorption_time(two_leaf_chain(), "s") == Fraction(5, 3)
+
+    def test_geometric_escape(self):
+        # stay with 1/2, leave with 1/2 -> expected 2 steps
+        chain = chain_from_edges([("u", "u", 1), ("u", "x", 1), ("x", "x", 1)])
+        assert expected_absorption_time(chain, "u") == 2

@@ -1,0 +1,127 @@
+"""Unit tests for the MarkovChain type."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import MarkovChainError
+from repro.markov import MarkovChain, chain_from_edges
+from repro.probability import Distribution
+
+
+HALF = Fraction(1, 2)
+
+
+@pytest.fixture
+def lazy_cycle() -> MarkovChain:
+    return chain_from_edges(
+        [("a", "a", 1), ("a", "b", 1), ("b", "c", 2), ("c", "a", 1)]
+    )
+
+
+class TestConstruction:
+    def test_basic(self, lazy_cycle):
+        assert lazy_cycle.size == 3
+        assert lazy_cycle.probability("a", "b") == HALF
+        assert lazy_cycle.probability("b", "c") == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(MarkovChainError):
+            MarkovChain({})
+
+    def test_unknown_successor_rejected(self):
+        with pytest.raises(MarkovChainError):
+            MarkovChain({"a": Distribution({"ghost": 1})})
+
+    def test_chain_from_edges_merges_parallel(self):
+        chain = chain_from_edges(
+            [("a", "b", 1), ("a", "b", 1), ("a", "a", 2), ("b", "b", 1)]
+        )
+        assert chain.probability("a", "b") == HALF
+
+    def test_chain_from_edges_requires_outgoing(self):
+        with pytest.raises(MarkovChainError):
+            chain_from_edges([("a", "b", 1)])  # b has no outgoing edge
+
+    def test_index_of_unknown(self, lazy_cycle):
+        with pytest.raises(MarkovChainError):
+            lazy_cycle.index_of("zz")
+
+    def test_contains(self, lazy_cycle):
+        assert "a" in lazy_cycle
+        assert "z" not in lazy_cycle
+
+
+class TestMatrices:
+    def test_transition_matrix_rows_sum_to_one(self, lazy_cycle):
+        matrix = lazy_cycle.transition_matrix()
+        assert matrix.shape == (3, 3)
+        assert all(abs(row.sum() - 1.0) < 1e-12 for row in matrix)
+
+    def test_exact_matrix(self, lazy_cycle):
+        matrix = lazy_cycle.exact_matrix()
+        i, j = lazy_cycle.index_of("a"), lazy_cycle.index_of("b")
+        assert matrix[i][j] == HALF
+        assert all(sum(row) == 1 for row in matrix)
+
+
+class TestEvolution:
+    def test_step_distribution(self, lazy_cycle):
+        mu = Distribution.point("a")
+        stepped = lazy_cycle.step_distribution(mu)
+        assert stepped.probability("a") == HALF
+        assert stepped.probability("b") == HALF
+
+    def test_distribution_after(self, lazy_cycle):
+        after2 = lazy_cycle.distribution_after("a", 2)
+        # a->a->a (1/4), a->a->b (1/4), a->b->c (1/2)
+        assert after2.probability("a") == Fraction(1, 4)
+        assert after2.probability("b") == Fraction(1, 4)
+        assert after2.probability("c") == HALF
+
+    def test_walk_length_and_membership(self, lazy_cycle):
+        rng = random.Random(0)
+        steps = list(lazy_cycle.walk("a", 25, rng))
+        assert len(steps) == 25
+        assert all(s in lazy_cycle for s in steps)
+
+    def test_walk_unknown_start(self, lazy_cycle):
+        with pytest.raises(MarkovChainError):
+            list(lazy_cycle.walk("zz", 1, random.Random(0)))
+
+    def test_walk_respects_transitions(self, lazy_cycle):
+        rng = random.Random(5)
+        previous = "a"
+        for state in lazy_cycle.walk("a", 50, rng):
+            assert lazy_cycle.probability(previous, state) > 0
+            previous = state
+
+
+class TestTransforms:
+    def test_restricted_to_closed_subset(self):
+        chain = chain_from_edges(
+            [("s", "a", 1), ("a", "b", 1), ("b", "a", 1), ("s", "s", 1)]
+        )
+        sub = chain.restricted_to({"a", "b"})
+        assert sub.size == 2
+        assert sub.probability("a", "b") == 1
+
+    def test_restricted_to_open_subset_rejected(self, lazy_cycle):
+        with pytest.raises(MarkovChainError):
+            lazy_cycle.restricted_to({"a", "b"})  # b -> c leaves
+
+    def test_restricted_to_unknown_states(self, lazy_cycle):
+        with pytest.raises(MarkovChainError):
+            lazy_cycle.restricted_to({"a", "zz"})
+
+    def test_relabelled(self, lazy_cycle):
+        renamed = lazy_cycle.relabelled(str.upper)
+        assert renamed.probability("A", "B") == HALF
+
+    def test_relabelled_requires_injective(self, lazy_cycle):
+        with pytest.raises(MarkovChainError):
+            lazy_cycle.relabelled(lambda _s: "same")
+
+    def test_edges_iterates_all(self, lazy_cycle):
+        assert len(list(lazy_cycle.edges())) == 4

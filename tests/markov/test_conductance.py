@@ -1,0 +1,88 @@
+"""Unit tests for conductance and the Cheeger bounds."""
+
+import pytest
+
+from repro.errors import MarkovChainError
+from repro.markov import (
+    chain_from_edges,
+    cheeger_bounds,
+    conductance,
+    eigenvalue_gap,
+    is_reversible,
+    mixing_time,
+    set_conductance,
+)
+from repro.workloads import barbell_graph, complete_graph, cycle_graph
+
+
+class TestReversibility:
+    def test_symmetric_walk_reversible(self):
+        assert is_reversible(barbell_graph(3).to_markov_chain())
+        assert is_reversible(complete_graph(4).to_markov_chain())
+
+    def test_directed_cycle_not_reversible(self):
+        assert not is_reversible(cycle_graph(5).to_markov_chain())
+
+
+class TestSetConductance:
+    def test_known_two_state_value(self):
+        # a <-> b uniformly; pi = (1/2, 1/2); Phi({a}) = (1/2 * 1/2) / (1/2) = 1/2
+        chain = chain_from_edges(
+            [("a", "a", 1), ("a", "b", 1), ("b", "b", 1), ("b", "a", 1)]
+        )
+        assert set_conductance(chain, frozenset({"a"})) == pytest.approx(0.5)
+
+    def test_large_set_rejected(self):
+        chain = complete_graph(4).to_markov_chain()
+        with pytest.raises(MarkovChainError):
+            set_conductance(chain, frozenset(chain.states))
+
+
+class TestConductance:
+    def test_complete_graph_high(self):
+        phi, _set = conductance(complete_graph(6).to_markov_chain())
+        assert phi >= 0.4
+
+    def test_barbell_bottleneck_found(self):
+        chain = barbell_graph(4).to_markov_chain()
+        phi, witness = conductance(chain)
+        # the minimising cut separates the two cliques
+        sides = {state[0] for state in witness}
+        assert sides in ({"l"}, {"r"})
+        assert phi < 0.15
+
+    def test_barbell_narrower_than_complete(self):
+        barbell_phi, _w = conductance(barbell_graph(4).to_markov_chain())
+        complete_phi, _w = conductance(complete_graph(8).to_markov_chain())
+        assert barbell_phi < complete_phi / 3
+
+    def test_size_limit(self):
+        with pytest.raises(MarkovChainError):
+            conductance(complete_graph(25).to_markov_chain())
+
+
+class TestCheeger:
+    @pytest.mark.parametrize(
+        "graph",
+        [complete_graph(5), barbell_graph(3), cycle_graph(6)],
+        ids=["complete", "barbell", "cycle"],
+    )
+    def test_sandwich(self, graph):
+        chain = graph.to_markov_chain()
+        bounds = cheeger_bounds(chain)
+        assert bounds["cheeger_lower"] <= bounds["gap"] + 1e-9
+        if bounds["reversible"]:
+            assert bounds["gap"] <= bounds["cheeger_upper"] + 1e-9
+
+    def test_low_conductance_implies_slow_mixing(self):
+        """The Section 5.1 connection: small Φ → large mixing time."""
+        barbell = barbell_graph(4).to_markov_chain()
+        complete = complete_graph(8).to_markov_chain()
+        phi_barbell, _w = conductance(barbell)
+        phi_complete, _w = conductance(complete)
+        assert phi_barbell < phi_complete
+        assert mixing_time(barbell, 0.1) > mixing_time(complete, 0.1)
+
+    def test_gap_consistency(self):
+        chain = complete_graph(5).to_markov_chain()
+        assert cheeger_bounds(chain)["gap"] == pytest.approx(eigenvalue_gap(chain))

@@ -1,0 +1,77 @@
+"""Unit tests for exact rational linear algebra."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import MarkovChainError
+from repro.markov import identity, solve_exact, solve_exact_vector
+
+
+F = Fraction
+
+
+class TestSolveExact:
+    def test_identity_system(self):
+        a = identity(3)
+        b = [[F(1)], [F(2)], [F(3)]]
+        assert solve_exact(a, b) == b
+
+    def test_known_2x2(self):
+        a = [[F(2), F(1)], [F(1), F(3)]]
+        b = [[F(5)], [F(10)]]
+        x = solve_exact_vector(a, [F(5), F(10)])
+        assert x == [F(1), F(3)]
+        assert solve_exact(a, b) == [[F(1)], [F(3)]]
+
+    def test_exactness_no_rounding(self):
+        a = [[F(1, 3), F(1, 7)], [F(1, 11), F(1, 13)]]
+        b = [F(1), F(2)]
+        x = solve_exact_vector(a, b)
+        # verify by substitution, exactly
+        assert a[0][0] * x[0] + a[0][1] * x[1] == b[0]
+        assert a[1][0] * x[0] + a[1][1] * x[1] == b[1]
+
+    def test_pivoting_handles_zero_leading_entry(self):
+        a = [[F(0), F(1)], [F(1), F(0)]]
+        x = solve_exact_vector(a, [F(3), F(4)])
+        assert x == [F(4), F(3)]
+
+    def test_multiple_right_hand_sides(self):
+        a = [[F(1), F(1)], [F(0), F(1)]]
+        b = [[F(3), F(0)], [F(1), F(2)]]
+        x = solve_exact(a, b)
+        assert x == [[F(2), F(-2)], [F(1), F(2)]]
+
+    def test_singular_rejected(self):
+        a = [[F(1), F(2)], [F(2), F(4)]]
+        with pytest.raises(MarkovChainError):
+            solve_exact_vector(a, [F(1), F(1)])
+
+    def test_shape_validation(self):
+        with pytest.raises(MarkovChainError):
+            solve_exact([[F(1), F(2)]], [[F(1)]])
+        with pytest.raises(MarkovChainError):
+            solve_exact([[F(1)]], [[F(1)], [F(2)]])
+        with pytest.raises(MarkovChainError):
+            solve_exact([[F(1)], [F(2)]], [[F(1)], [F(2)]])
+
+    def test_larger_random_system_verifies(self):
+        import random
+
+        rng = random.Random(3)
+        n = 6
+        a = [[F(rng.randint(-5, 5), rng.randint(1, 4)) for _ in range(n)] for _ in range(n)]
+        # make strictly diagonally dominant -> nonsingular
+        for i in range(n):
+            a[i][i] = F(20)
+        b = [F(rng.randint(-9, 9)) for _ in range(n)]
+        x = solve_exact_vector(a, b)
+        for i in range(n):
+            assert sum(a[i][j] * x[j] for j in range(n)) == b[i]
+
+
+class TestIdentity:
+    def test_identity_shape(self):
+        eye = identity(2)
+        assert eye == [[F(1), F(0)], [F(0), F(1)]]

@@ -1,0 +1,132 @@
+"""Unit tests for strong lumping."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import MarkovChainError
+from repro.markov import (
+    chain_from_edges,
+    coarsest_lumping,
+    is_lumpable,
+    long_run_event_probability,
+    lumped_event_probability,
+    quotient_chain,
+    stationary_distribution,
+)
+
+
+def symmetric_fork():
+    """s → a or b (uniform); a, b both → t; t → s.  {a, b} lumps."""
+    return chain_from_edges(
+        [("s", "a", 1), ("s", "b", 1), ("a", "t", 1), ("b", "t", 1), ("t", "s", 1)]
+    )
+
+
+class TestIsLumpable:
+    def test_symmetric_block_lumpable(self):
+        chain = symmetric_fork()
+        assert is_lumpable(chain, [{"s"}, {"a", "b"}, {"t"}])
+
+    def test_asymmetric_block_not_lumpable(self):
+        chain = chain_from_edges(
+            [("s", "a", 3), ("s", "b", 1), ("a", "s", 1), ("b", "b", 1), ("b", "s", 1)]
+        )
+        # a always returns to s; b returns only half the time
+        assert not is_lumpable(chain, [{"s"}, {"a", "b"}])
+
+    def test_trivial_partitions(self):
+        chain = symmetric_fork()
+        assert is_lumpable(chain, [{s} for s in chain.states])  # identity
+        assert is_lumpable(chain, [set(chain.states)])  # everything
+
+    def test_partition_validation(self):
+        chain = symmetric_fork()
+        with pytest.raises(MarkovChainError):
+            is_lumpable(chain, [{"s", "ghost"}])
+        with pytest.raises(MarkovChainError):
+            is_lumpable(chain, [{"s"}, {"s", "a"}])
+        with pytest.raises(MarkovChainError):
+            is_lumpable(chain, [{"s"}])  # misses states
+
+
+class TestCoarsestLumping:
+    def test_trivial_seed_stays_trivial(self):
+        """{all states} is always a strong lumping of itself."""
+        chain = symmetric_fork()
+        partition = coarsest_lumping(chain, [set(chain.states)])
+        assert partition == [frozenset(chain.states)]
+
+    def test_event_seed_refines_to_symmetric_blocks(self):
+        chain = symmetric_fork()
+        partition = coarsest_lumping(chain, [{"t"}, {"s", "a", "b"}])
+        blocks = {frozenset(b) for b in partition}
+        assert frozenset({"a", "b"}) in blocks
+        assert len(partition) == 3
+
+    def test_result_is_lumpable(self):
+        chain = chain_from_edges(
+            [("x", "y", 1), ("y", "x", 2), ("y", "y", 1), ("x", "x", 1)]
+        )
+        partition = coarsest_lumping(chain, [{"x"}, {"y"}])
+        assert is_lumpable(chain, partition)
+
+    def test_respects_initial_partition(self):
+        chain = symmetric_fork()
+        partition = coarsest_lumping(chain, [{"a"}, {"b"}, {"s", "t"}])
+        # a and b start separated; they stay separated
+        blocks = {frozenset(b) for b in partition}
+        assert frozenset({"a"}) in blocks
+        assert frozenset({"b"}) in blocks
+
+
+class TestQuotient:
+    def test_quotient_transitions(self):
+        chain = symmetric_fork()
+        quotient, index = quotient_chain(chain, [{"s"}, {"a", "b"}, {"t"}])
+        assert quotient.size == 3
+        assert quotient.probability(index["s"], index["a"]) == 1
+        assert quotient.probability(index["a"], index["t"]) == 1
+
+    def test_quotient_stationary_aggregates(self):
+        chain = symmetric_fork()
+        quotient, index = quotient_chain(chain, [{"s"}, {"a", "b"}, {"t"}])
+        pi = stationary_distribution(chain)
+        pi_q = stationary_distribution(quotient)
+        assert pi_q.probability(index["a"]) == pi.probability("a") + pi.probability("b")
+
+    def test_non_lumpable_rejected(self):
+        chain = chain_from_edges(
+            [("s", "a", 3), ("s", "b", 1), ("a", "s", 1), ("b", "b", 1), ("b", "s", 1)]
+        )
+        with pytest.raises(MarkovChainError):
+            quotient_chain(chain, [{"s"}, {"a", "b"}])
+
+
+class TestLumpedEventProbability:
+    def test_matches_direct_on_symmetric_chain(self):
+        chain = symmetric_fork()
+        event = lambda s: s == "t"
+        direct = long_run_event_probability(chain, "s", event)
+        lumped, size = lumped_event_probability(chain, "s", event)
+        assert lumped == direct
+        assert size == 3
+
+    def test_matches_direct_on_arbitrary_chain(self):
+        chain = chain_from_edges(
+            [("u", "v", 2), ("v", "w", 1), ("w", "u", 1), ("u", "u", 1), ("v", "u", 1)]
+        )
+        for target in ("u", "v", "w"):
+            event = lambda s, target=target: s == target
+            direct = long_run_event_probability(chain, "u", event)
+            lumped, _size = lumped_event_probability(chain, "u", event)
+            assert lumped == direct
+
+    def test_event_blocks_never_mix(self):
+        """The quotient event is well-defined (event constant per block)."""
+        chain = symmetric_fork()
+        probability, size = lumped_event_probability(
+            chain, "s", lambda s: s in ("a", "b")
+        )
+        assert probability == Fraction(1, 3)
+        assert size == 3

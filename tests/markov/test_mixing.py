@@ -1,0 +1,109 @@
+"""Unit tests for mixing times and spectral bounds."""
+
+import pytest
+
+from repro.errors import MarkovChainError
+from repro.markov import (
+    chain_from_edges,
+    eigenvalue_gap,
+    mixing_time,
+    mixing_time_lower_bound,
+    mixing_time_upper_bound,
+    relaxation_time,
+    tv_distance_curve,
+    tv_from_stationary,
+)
+from repro.workloads import barbell_graph, complete_graph, cycle_graph
+
+
+def fast_chain(n=6):
+    return complete_graph(n).to_markov_chain()
+
+
+def slow_chain(n=12):
+    return cycle_graph(n).to_markov_chain()
+
+
+class TestMixingTime:
+    def test_complete_graph_mixes_in_one_step(self):
+        # uniform rows: TV distance is 0 after one step
+        assert mixing_time(fast_chain(), epsilon=0.25) == 1
+
+    def test_definition_holds_at_t(self):
+        chain = slow_chain(8)
+        t = mixing_time(chain, epsilon=0.25)
+        assert tv_from_stationary(chain, t) < 0.25
+        if t > 1:
+            assert tv_from_stationary(chain, t - 1) >= 0.25
+
+    def test_monotone_in_epsilon(self):
+        chain = slow_chain(10)
+        assert mixing_time(chain, epsilon=0.01) >= mixing_time(chain, epsilon=0.3)
+
+    def test_cycle_slower_than_complete(self):
+        assert mixing_time(slow_chain(12), epsilon=0.1) > mixing_time(
+            fast_chain(12), epsilon=0.1
+        )
+
+    def test_barbell_slower_than_complete_of_same_size(self):
+        barbell = barbell_graph(6).to_markov_chain()  # 12 states
+        complete = fast_chain(12)
+        assert mixing_time(barbell, epsilon=0.1) > 10 * mixing_time(
+            complete, epsilon=0.1
+        )
+
+    def test_periodic_chain_rejected(self):
+        chain = chain_from_edges([("a", "b", 1), ("b", "a", 1)])
+        with pytest.raises(MarkovChainError):
+            mixing_time(chain)
+
+    def test_reducible_chain_rejected(self):
+        chain = chain_from_edges([("a", "a", 1), ("b", "b", 1)])
+        with pytest.raises(MarkovChainError):
+            mixing_time(chain)
+
+    def test_bad_epsilon(self):
+        with pytest.raises(MarkovChainError):
+            mixing_time(fast_chain(), epsilon=1.5)
+
+    def test_step_limit_respected(self):
+        chain = slow_chain(30)
+        with pytest.raises(MarkovChainError):
+            mixing_time(chain, epsilon=1e-9, step_limit=2)
+
+
+class TestTvCurve:
+    def test_curve_nonincreasing(self):
+        curve = tv_distance_curve(slow_chain(8), 60)
+        assert all(a >= b - 1e-12 for a, b in zip(curve, curve[1:]))
+
+    def test_curve_starts_near_one(self):
+        curve = tv_distance_curve(slow_chain(8), 1)
+        assert curve[0] > 0.5
+
+    def test_curve_tends_to_zero(self):
+        curve = tv_distance_curve(fast_chain(), 5)
+        assert curve[-1] < 1e-10
+
+
+class TestSpectral:
+    def test_gap_in_unit_interval(self):
+        gap = eigenvalue_gap(slow_chain(8))
+        assert 0 < gap < 1
+
+    def test_complete_graph_gap_is_one(self):
+        assert abs(eigenvalue_gap(fast_chain()) - 1.0) < 1e-9
+
+    def test_relaxation_time_inverse(self):
+        chain = slow_chain(8)
+        assert abs(relaxation_time(chain) * eigenvalue_gap(chain) - 1.0) < 1e-9
+
+    def test_bounds_bracket_measured_time(self):
+        chain = slow_chain(10)
+        measured = mixing_time(chain, epsilon=0.1)
+        assert mixing_time_lower_bound(chain, 0.1) <= measured
+        assert measured <= mixing_time_upper_bound(chain, 0.1) + 1
+
+    def test_lower_bound_epsilon_range(self):
+        with pytest.raises(MarkovChainError):
+            mixing_time_lower_bound(fast_chain(), 0.7)

@@ -1,0 +1,84 @@
+"""Unit tests for the float64 chain solvers."""
+
+import pytest
+
+from repro.errors import MarkovChainError
+from repro.markov import (
+    absorption_probabilities,
+    absorption_probabilities_float,
+    chain_from_edges,
+    long_run_event_probability,
+    long_run_event_probability_float,
+    long_run_state_distribution,
+    long_run_state_distribution_float,
+)
+
+
+def two_leaf_chain():
+    return chain_from_edges(
+        [
+            ("s", "l1", 1),
+            ("s", "t", 2),
+            ("t", "l2a", 1),
+            ("l1", "l1", 1),
+            ("l2a", "l2b", 1),
+            ("l2b", "l2a", 1),
+        ]
+    )
+
+
+class TestFloatAbsorption:
+    def test_matches_exact(self):
+        chain = two_leaf_chain()
+        exact = absorption_probabilities(chain, "s")
+        floats = absorption_probabilities_float(chain, "s")
+        for leaf, probability in exact.items():
+            assert abs(floats[leaf] - float(probability)) < 1e-12
+
+    def test_start_in_leaf(self):
+        floats = absorption_probabilities_float(two_leaf_chain(), "l1")
+        assert sum(floats.values()) == pytest.approx(1.0)
+        assert max(floats.values()) == 1.0
+
+    def test_sums_to_one(self):
+        floats = absorption_probabilities_float(two_leaf_chain(), "s")
+        assert sum(floats.values()) == pytest.approx(1.0)
+
+
+class TestFloatLongRun:
+    def test_event_probability_matches_exact(self):
+        chain = two_leaf_chain()
+        for event in (lambda s: s == "l2a", lambda s: s == "l1", lambda _s: True):
+            exact = long_run_event_probability(chain, "s", event)
+            numeric = long_run_event_probability_float(chain, "s", event)
+            assert abs(numeric - float(exact)) < 1e-12
+
+    def test_distribution_matches_exact(self):
+        chain = two_leaf_chain()
+        exact = long_run_state_distribution(chain, "s")
+        numeric = long_run_state_distribution_float(chain, "s")
+        for state in chain.states:
+            assert abs(numeric[state] - float(exact[state])) < 1e-12
+
+    def test_clipped_to_unit_interval(self):
+        chain = chain_from_edges([("a", "a", 1)])
+        assert long_run_event_probability_float(chain, "a", lambda _s: True) == 1.0
+        assert long_run_event_probability_float(chain, "a", lambda _s: False) == 0.0
+
+
+class TestLargerChainAgreement:
+    def test_random_chain_agreement(self):
+        import random
+
+        rng = random.Random(12)
+        n = 14
+        edges = []
+        for i in range(n):
+            for _ in range(3):
+                edges.append((i, rng.randrange(n), rng.randint(1, 5)))
+            edges.append((i, i, 1))
+        chain = chain_from_edges(edges)
+        event = lambda s: s % 3 == 0
+        exact = long_run_event_probability(chain, 0, event)
+        numeric = long_run_event_probability_float(chain, 0, event)
+        assert abs(numeric - float(exact)) < 1e-9

@@ -1,0 +1,110 @@
+"""Unit tests for first-passage analysis."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import MarkovChainError
+from repro.markov import (
+    chain_from_edges,
+    expected_hitting_time,
+    hitting_probability,
+    hitting_time_distribution,
+)
+
+
+def branch_chain():
+    """s → good (1/3) or bad (2/3); both absorbing."""
+    return chain_from_edges(
+        [("s", "good", 1), ("s", "bad", 2), ("good", "good", 1), ("bad", "bad", 1)]
+    )
+
+
+def lazy_line():
+    """a → a (1/2) or → b (1/2); b absorbing."""
+    return chain_from_edges([("a", "a", 1), ("a", "b", 1), ("b", "b", 1)])
+
+
+class TestHittingProbability:
+    def test_branching(self):
+        chain = branch_chain()
+        assert hitting_probability(chain, "s", lambda s: s == "good") == Fraction(1, 3)
+        assert hitting_probability(chain, "s", lambda s: s == "bad") == Fraction(2, 3)
+
+    def test_start_in_target(self):
+        assert hitting_probability(branch_chain(), "good", lambda s: s == "good") == 1
+
+    def test_unreachable_target(self):
+        assert hitting_probability(branch_chain(), "good", lambda s: s == "bad") == 0
+
+    def test_empty_target(self):
+        assert hitting_probability(branch_chain(), "s", lambda _s: False) == 0
+
+    def test_geometric_escape_hits_surely(self):
+        assert hitting_probability(lazy_line(), "a", lambda s: s == "b") == 1
+
+    def test_transient_cycle(self):
+        chain = chain_from_edges(
+            [("u", "v", 1), ("v", "u", 1), ("u", "x", 1), ("x", "x", 1)]
+        )
+        # from u: 1/2 to x, 1/2 to v which returns to u
+        p = hitting_probability(chain, "u", lambda s: s == "x")
+        assert p == 1
+
+
+class TestExpectedHittingTime:
+    def test_zero_when_started_there(self):
+        assert expected_hitting_time(branch_chain(), "good", lambda s: s == "good") == 0
+
+    def test_geometric(self):
+        # success probability 1/2 per step -> expectation 2
+        assert expected_hitting_time(lazy_line(), "a", lambda s: s == "b") == 2
+
+    def test_chain_of_two_geometrics(self):
+        chain = chain_from_edges(
+            [
+                ("a", "a", 1),
+                ("a", "b", 1),
+                ("b", "b", 2),
+                ("b", "c", 1),
+                ("c", "c", 1),
+            ]
+        )
+        # E = 2 (leave a) + 3 (leave b at rate 1/3)
+        assert expected_hitting_time(chain, "a", lambda s: s == "c") == 5
+
+    def test_infinite_expectation_rejected(self):
+        chain = branch_chain()
+        with pytest.raises(MarkovChainError):
+            expected_hitting_time(chain, "s", lambda s: s == "good")
+
+
+class TestHittingTimeDistribution:
+    def test_geometric_law(self):
+        dist = hitting_time_distribution(lazy_line(), "a", lambda s: s == "b", 6)
+        for k in range(1, 7):
+            assert dist.probability(k) == Fraction(1, 2**k)
+        assert dist.probability(7) == Fraction(1, 64)  # "not yet" mass
+
+    def test_point_mass_at_zero(self):
+        dist = hitting_time_distribution(lazy_line(), "b", lambda s: s == "b", 5)
+        assert dist.probability(0) == 1
+
+    def test_total_mass_one(self):
+        dist = hitting_time_distribution(branch_chain(), "s", lambda s: s == "good", 4)
+        assert sum(p for _k, p in dist.items()) == 1
+
+    def test_never_hit_mass(self):
+        dist = hitting_time_distribution(branch_chain(), "s", lambda s: s == "good", 4)
+        # after step 1 the walk is absorbed; mass 2/3 never hits
+        assert dist.probability(1) == Fraction(1, 3)
+        assert dist.probability(5) == Fraction(2, 3)
+
+    def test_expectation_consistency(self):
+        dist = hitting_time_distribution(lazy_line(), "a", lambda s: s == "b", 40)
+        truncated_mean = sum(k * p for k, p in dist.items() if k <= 40)
+        assert abs(float(truncated_mean) - 2.0) < 1e-9
+
+    def test_negative_horizon(self):
+        with pytest.raises(MarkovChainError):
+            hitting_time_distribution(lazy_line(), "a", lambda s: s == "b", -1)

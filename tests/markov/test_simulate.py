@@ -1,0 +1,54 @@
+"""Unit tests for random-walk simulation."""
+
+import pytest
+
+from repro.errors import MarkovChainError
+from repro.markov import (
+    chain_from_edges,
+    event_frequency,
+    occupancy_frequencies,
+    state_after,
+    stationary_distribution,
+    walk_states,
+)
+
+
+def biased_chain():
+    return chain_from_edges([("a", "a", 2), ("a", "b", 1), ("b", "a", 1)])
+
+
+class TestWalks:
+    def test_walk_states_includes_start(self):
+        trajectory = walk_states(biased_chain(), "a", 10, rng=0)
+        assert trajectory[0] == "a"
+        assert len(trajectory) == 11
+
+    def test_deterministic_with_seed(self):
+        a = walk_states(biased_chain(), "a", 20, rng=42)
+        b = walk_states(biased_chain(), "a", 20, rng=42)
+        assert a == b
+
+    def test_state_after(self):
+        final = state_after(biased_chain(), "a", 7, rng=1)
+        assert final in ("a", "b")
+        assert final == walk_states(biased_chain(), "a", 7, rng=1)[-1]
+
+
+class TestOccupancy:
+    def test_converges_to_stationary(self):
+        chain = biased_chain()
+        pi = stationary_distribution(chain)
+        frequencies = occupancy_frequencies(chain, "a", 50_000, rng=3)
+        for state in chain.states:
+            assert abs(frequencies.get(state, 0.0) - float(pi.probability(state))) < 0.02
+
+    def test_event_frequency_matches(self):
+        chain = biased_chain()
+        frequency = event_frequency(chain, "a", lambda s: s == "b", 50_000, rng=5)
+        assert abs(frequency - 0.25) < 0.02
+
+    def test_zero_steps_rejected(self):
+        with pytest.raises(MarkovChainError):
+            occupancy_frequencies(biased_chain(), "a", 0)
+        with pytest.raises(MarkovChainError):
+            event_frequency(biased_chain(), "a", lambda s: True, 0)

@@ -1,0 +1,90 @@
+"""Unit tests for stationary distributions."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import MarkovChainError
+from repro.markov import (
+    cesaro_average,
+    chain_from_edges,
+    is_stationary,
+    power_iteration,
+    stationary_distribution,
+    stationary_distribution_float,
+)
+
+
+def biased_two_state():
+    # a -> b with 1/3, stays 2/3; b -> a with 1.  pi = (3/4, 1/4).
+    return chain_from_edges([("a", "a", 2), ("a", "b", 1), ("b", "a", 1)])
+
+
+class TestExactStationary:
+    def test_two_state_exact(self):
+        pi = stationary_distribution(biased_two_state())
+        assert pi.probability("a") == Fraction(3, 4)
+        assert pi.probability("b") == Fraction(1, 4)
+
+    def test_balance_equations_hold(self):
+        chain = chain_from_edges(
+            [("a", "b", 1), ("b", "c", 2), ("b", "a", 1), ("c", "a", 1), ("a", "a", 3)]
+        )
+        pi = stationary_distribution(chain)
+        assert is_stationary(chain, pi)
+
+    def test_uniform_on_doubly_stochastic(self):
+        # symmetric random walk on a 4-cycle (periodic but irreducible):
+        # stationary (Cesàro) distribution is uniform.
+        chain = chain_from_edges(
+            [(i, (i + 1) % 4, 1) for i in range(4)]
+            + [(i, (i - 1) % 4, 1) for i in range(4)]
+        )
+        pi = stationary_distribution(chain)
+        assert all(pi.probability(i) == Fraction(1, 4) for i in range(4))
+
+    def test_reducible_rejected(self):
+        chain = chain_from_edges([("a", "a", 1), ("b", "b", 1)])
+        with pytest.raises(MarkovChainError):
+            stationary_distribution(chain)
+
+
+class TestFloatStationary:
+    def test_matches_exact(self):
+        chain = biased_two_state()
+        exact = stationary_distribution(chain)
+        floats = stationary_distribution_float(chain)
+        for state in chain.states:
+            assert abs(floats[state] - float(exact.probability(state))) < 1e-12
+
+    def test_reducible_rejected(self):
+        chain = chain_from_edges([("a", "a", 1), ("b", "b", 1)])
+        with pytest.raises(MarkovChainError):
+            stationary_distribution_float(chain)
+
+
+class TestIterativeMethods:
+    def test_power_iteration_matches_exact(self):
+        chain = biased_two_state()
+        result = power_iteration(chain, "b")
+        assert abs(result["a"] - 0.75) < 1e-9
+
+    def test_power_iteration_periodic_fails(self):
+        chain = chain_from_edges([("a", "b", 1), ("b", "a", 1)])
+        with pytest.raises(MarkovChainError):
+            power_iteration(chain, "a", max_steps=500)
+
+    def test_cesaro_converges_even_when_periodic(self):
+        """The Definition 3.2 Cesàro limit exists for periodic chains."""
+        chain = chain_from_edges([("a", "b", 1), ("b", "a", 1)])
+        average = cesaro_average(chain, "a", 10_000)
+        assert abs(average["a"] - 0.5) < 1e-3
+
+    def test_cesaro_matches_stationary(self):
+        chain = biased_two_state()
+        average = cesaro_average(chain, "b", 20_000)
+        assert abs(average["a"] - 0.75) < 1e-3
+
+    def test_cesaro_needs_steps(self):
+        with pytest.raises(MarkovChainError):
+            cesaro_average(biased_two_state(), "a", 0)

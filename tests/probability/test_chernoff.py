@@ -1,0 +1,100 @@
+"""Unit tests for Chernoff/Hoeffding sample-size planning."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ProbabilityError
+from repro.probability import (
+    hoeffding_epsilon,
+    hoeffding_failure_probability,
+    hoeffding_sample_count,
+    majority_vote_failure_probability,
+    majority_vote_runs,
+    paper_sample_count,
+)
+
+
+class TestPaperBound:
+    def test_formula(self):
+        # m >= ln(1/δ) / (4 ε²), Theorem 4.3.
+        assert paper_sample_count(0.05, 0.05) == math.ceil(
+            math.log(20) / (4 * 0.05**2)
+        )
+
+    def test_monotone_in_epsilon(self):
+        assert paper_sample_count(0.01, 0.05) > paper_sample_count(0.1, 0.05)
+
+    def test_logarithmic_in_delta(self):
+        tight = paper_sample_count(0.1, 1e-6)
+        loose = paper_sample_count(0.1, 1e-3)
+        assert tight <= 2 * loose  # ln scaling
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ProbabilityError):
+            paper_sample_count(0, 0.1)
+        with pytest.raises(ProbabilityError):
+            paper_sample_count(0.1, 1.0)
+
+
+class TestHoeffding:
+    def test_failure_probability_bound_holds_empirically(self):
+        """Empirical check of Pr(|p̂ − p| ≥ ε) ≤ 2 exp(−2ε²m)."""
+        rng = random.Random(123)
+        p, epsilon, m = 0.3, 0.1, hoeffding_sample_count(0.1, 0.05)
+        failures = 0
+        trials = 200
+        for _ in range(trials):
+            estimate = sum(rng.random() < p for _ in range(m)) / m
+            failures += abs(estimate - p) >= epsilon
+        assert failures / trials <= 0.05 + 0.03
+
+    def test_count_round_trip(self):
+        m = hoeffding_sample_count(0.05, 0.01)
+        assert hoeffding_failure_probability(0.05, m) <= 0.01
+
+    def test_epsilon_round_trip(self):
+        m = 2000
+        epsilon = hoeffding_epsilon(m, 0.05)
+        assert hoeffding_sample_count(epsilon, 0.05) <= m + 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ProbabilityError):
+            hoeffding_failure_probability(0.1, 0)
+        with pytest.raises(ProbabilityError):
+            hoeffding_epsilon(0, 0.1)
+        with pytest.raises(ProbabilityError):
+            hoeffding_epsilon(10, 2.0)
+
+
+class TestMajorityVote:
+    def test_run_count_is_odd(self):
+        assert majority_vote_runs(0.3, 0.01) % 2 == 1
+
+    def test_amplification_logarithmic(self):
+        n1 = majority_vote_runs(0.3, 1e-2)
+        n2 = majority_vote_runs(0.3, 1e-4)
+        assert n2 <= 2 * n1 + 2
+
+    def test_bound_matches_run_count(self):
+        runs = majority_vote_runs(0.3, 0.01)
+        assert majority_vote_failure_probability(0.3, runs) <= 0.01
+
+    def test_empirical_amplification(self):
+        """A 30%-error decider amplified by majority vote."""
+        rng = random.Random(9)
+        per_run_error = 0.3
+        runs = majority_vote_runs(per_run_error, 0.05)
+        wrong = 0
+        trials = 300
+        for _ in range(trials):
+            votes = sum(rng.random() >= per_run_error for _ in range(runs))
+            wrong += votes <= runs // 2
+        assert wrong / trials <= 0.05 + 0.03
+
+    def test_rejects_error_at_half(self):
+        with pytest.raises(ProbabilityError):
+            majority_vote_runs(0.5, 0.1)
+        with pytest.raises(ProbabilityError):
+            majority_vote_failure_probability(0.6, 3)

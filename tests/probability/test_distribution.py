@@ -1,0 +1,193 @@
+"""Unit tests for the exact Distribution type."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ProbabilityError
+from repro.probability import Distribution, as_fraction, product_distribution
+
+
+HALF = Fraction(1, 2)
+
+
+class TestConstruction:
+    def test_normalises_by_default(self):
+        d = Distribution({"a": 1, "b": 3})
+        assert d.probability("a") == Fraction(1, 4)
+        assert d.probability("b") == Fraction(3, 4)
+
+    def test_strict_mode_accepts_exact_one(self):
+        d = Distribution({"a": HALF, "b": HALF}, normalise=False)
+        assert d.probability("a") == HALF
+
+    def test_strict_mode_rejects_bad_total(self):
+        with pytest.raises(ProbabilityError):
+            Distribution({"a": HALF}, normalise=False)
+
+    def test_zero_weights_dropped(self):
+        d = Distribution({"a": 1, "b": 0})
+        assert "b" not in d
+        assert d.probability("b") == 0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ProbabilityError):
+            Distribution({"a": -1})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProbabilityError):
+            Distribution({})
+        with pytest.raises(ProbabilityError):
+            Distribution({"a": 0})
+
+    def test_nan_rejected(self):
+        with pytest.raises(ProbabilityError):
+            Distribution({"a": float("nan")})
+
+    def test_duplicate_outcomes_merge(self):
+        d = Distribution([("a", 1), ("a", 1), ("b", 2)])
+        assert d.probability("a") == HALF
+
+    def test_float_weights_supported(self):
+        d = Distribution({"a": 0.5, "b": 0.5}, normalise=False)
+        assert d.probability("a") == 0.5
+
+    def test_point(self):
+        d = Distribution.point("x")
+        assert d.probability("x") == 1
+        assert len(d) == 1
+
+    def test_uniform(self):
+        d = Distribution.uniform(["a", "b", "c", "a"])
+        assert d.probability("a") == HALF
+        assert d.probability("b") == Fraction(1, 4)
+
+    def test_uniform_empty_rejected(self):
+        with pytest.raises(ProbabilityError):
+            Distribution.uniform([])
+
+    def test_bernoulli(self):
+        d = Distribution.bernoulli(Fraction(1, 3))
+        assert d.probability(True) == Fraction(1, 3)
+        assert d.probability(False) == Fraction(2, 3)
+
+    def test_bernoulli_bad_parameter(self):
+        with pytest.raises(ProbabilityError):
+            Distribution.bernoulli(2)
+
+
+class TestCombinators:
+    def test_map_merges_collisions(self):
+        d = Distribution({1: 1, -1: 1, 2: 2})
+        squared = d.map(abs)
+        assert squared.probability(1) == HALF
+        assert squared.probability(2) == HALF
+
+    def test_product_independence(self):
+        d = Distribution({"a": 1, "b": 1})
+        joint = d.product(Distribution({0: 1, 1: 3}))
+        assert joint.probability(("a", 1)) == HALF * Fraction(3, 4)
+        assert sum(p for _o, p in joint.items()) == 1
+
+    def test_bind_is_one_probabilistic_step(self):
+        start = Distribution({"s": 1})
+        stepped = start.bind(lambda _s: Distribution({"x": 1, "y": 1}))
+        assert stepped.probability("x") == HALF
+
+    def test_bind_total_probability(self):
+        d = Distribution({0: 1, 1: 1, 2: 2})
+        stepped = d.bind(lambda k: Distribution({k: 1, k + 10: 1}))
+        assert sum(p for _o, p in stepped.items()) == 1
+
+    def test_condition(self):
+        d = Distribution({1: 1, 2: 1, 3: 2})
+        at_least_two = d.condition(lambda x: x >= 2)
+        assert at_least_two.probability(2) == Fraction(1, 3)
+        assert at_least_two.probability(3) == Fraction(2, 3)
+
+    def test_condition_on_null_event(self):
+        with pytest.raises(ProbabilityError):
+            Distribution({1: 1}).condition(lambda x: x > 5)
+
+    def test_expectation(self):
+        d = Distribution({0: 1, 10: 1})
+        assert d.expectation(lambda x: x) == 5
+
+    def test_probability_of(self):
+        d = Distribution({1: 1, 2: 1, 3: 2})
+        assert d.probability_of(lambda x: x >= 2) == Fraction(3, 4)
+
+    def test_total_variation(self):
+        d1 = Distribution({"a": 1, "b": 1})
+        d2 = Distribution({"a": 1})
+        assert d1.total_variation(d2) == HALF
+        assert d1.total_variation(d1) == 0
+
+    def test_product_distribution_helper(self):
+        parts = [Distribution({0: 1, 1: 1}) for _ in range(3)]
+        joint = product_distribution(parts)
+        assert len(joint) == 8
+        assert joint.probability((0, 1, 0)) == Fraction(1, 8)
+
+    def test_product_distribution_empty(self):
+        joint = product_distribution([])
+        assert joint.probability(()) == 1
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        a = Distribution({"x": 1, "y": 1})
+        b = Distribution({"y": HALF, "x": HALF}, normalise=False)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_support_and_contains(self):
+        d = Distribution({"x": 1, "y": 0.0})
+        assert d.support() == frozenset({"x"})
+        assert "x" in d
+
+    def test_getitem(self):
+        d = Distribution({"x": 1})
+        assert d["x"] == 1
+        assert d["missing"] == 0
+
+
+class TestSampling:
+    def test_sample_within_support(self):
+        d = Distribution({"a": 1, "b": 2})
+        rng = random.Random(0)
+        assert all(d.sample(rng) in ("a", "b") for _ in range(100))
+
+    def test_sample_frequencies(self):
+        d = Distribution({"a": 1, "b": 3})
+        rng = random.Random(7)
+        draws = d.sample_many(rng, 4000)
+        assert abs(draws.count("b") / 4000 - 0.75) < 0.03
+
+    def test_point_sample_deterministic(self):
+        d = Distribution.point("only")
+        assert d.sample(random.Random(5)) == "only"
+
+    def test_as_floats(self):
+        d = Distribution({"a": 1, "b": 1})
+        assert d.as_floats() == {"a": 0.5, "b": 0.5}
+
+
+class TestAsFraction:
+    def test_int(self):
+        assert as_fraction(2) == 2
+
+    def test_fraction_passthrough(self):
+        assert as_fraction(HALF) is HALF
+
+    def test_float_exact_binary(self):
+        assert as_fraction(0.5) == HALF
+
+    def test_infinite_rejected(self):
+        with pytest.raises(ProbabilityError):
+            as_fraction(float("inf"))
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(ProbabilityError):
+            as_fraction("0.5")

@@ -1,0 +1,32 @@
+"""Unit tests for the seeded RNG helpers."""
+
+import random
+
+from repro.probability import make_rng, spawn
+
+
+class TestMakeRng:
+    def test_passthrough(self):
+        rng = random.Random(1)
+        assert make_rng(rng) is rng
+
+    def test_seed_is_deterministic(self):
+        assert make_rng(7).random() == make_rng(7).random()
+
+    def test_different_seeds_differ(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+    def test_none_gives_fresh_generator(self):
+        assert isinstance(make_rng(None), random.Random)
+
+
+class TestSpawn:
+    def test_child_is_deterministic_given_parent_seed(self):
+        a = spawn(make_rng(5)).random()
+        b = spawn(make_rng(5)).random()
+        assert a == b
+
+    def test_child_stream_differs_from_parent(self):
+        parent = make_rng(5)
+        child = spawn(parent)
+        assert child.random() != parent.random()

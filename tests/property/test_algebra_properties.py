@@ -1,0 +1,100 @@
+"""Property-based tests for relational-algebra laws."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import (
+    Database,
+    Relation,
+    ValueEq,
+    difference,
+    evaluate,
+    join,
+    literal,
+    project,
+    rel,
+    rename,
+    select,
+    union,
+)
+
+
+def relations_ab():
+    rows = st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 4)), min_size=0, max_size=8
+    )
+    return rows.map(lambda r: Relation(("A", "B"), r))
+
+
+@given(relations_ab(), relations_ab())
+@settings(max_examples=50)
+def test_union_commutative_associative(r, s):
+    db = Database({"R": r, "S": s})
+    left = evaluate(union(rel("R"), rel("S")), db)
+    right = evaluate(union(rel("S"), rel("R")), db)
+    assert left == right
+    t = Relation(("A", "B"), [(9, 9)])
+    db2 = Database({"R": r, "S": s, "T": t})
+    assoc1 = evaluate(union(union(rel("R"), rel("S")), rel("T")), db2)
+    assoc2 = evaluate(union(rel("R"), union(rel("S"), rel("T"))), db2)
+    assert assoc1 == assoc2
+
+
+@given(relations_ab(), relations_ab())
+@settings(max_examples=50)
+def test_difference_laws(r, s):
+    db = Database({"R": r, "S": s})
+    diff = evaluate(difference(rel("R"), rel("S")), db)
+    assert diff.rows == r.rows - s.rows
+    # R − R = ∅, R − ∅ = R
+    assert len(evaluate(difference(rel("R"), rel("R")), db)) == 0
+    empty = literal(("A", "B"), [])
+    assert evaluate(difference(rel("R"), empty), db) == r
+
+
+@given(relations_ab())
+@settings(max_examples=50)
+def test_select_project_interaction(r):
+    db = Database({"R": r})
+    # selecting then projecting keeps exactly the selected rows' images
+    selected_first = evaluate(project(select(rel("R"), ValueEq("A", 1)), "B"), db)
+    expected = {(b,) for a, b in r if a == 1}
+    assert selected_first.rows == frozenset(expected)
+
+
+@given(relations_ab())
+@settings(max_examples=50)
+def test_rename_is_invertible(r):
+    db = Database({"R": r})
+    round_trip = evaluate(rename(rename(rel("R"), A="X"), X="A"), db)
+    assert round_trip == r
+
+
+@given(relations_ab(), relations_ab())
+@settings(max_examples=50)
+def test_join_with_itself_is_identity_on_schema(r, s):
+    db = Database({"R": r, "S": s})
+    assert evaluate(join(rel("R"), rel("R")), db) == r
+
+
+@given(relations_ab(), relations_ab())
+@settings(max_examples=50)
+def test_join_subset_of_product_semantics(r, s):
+    """Natural join on shared columns = filtered combination."""
+    # build S with columns (B, C) so the join is on B
+    s_bc = Relation(("B", "C"), s.rows)
+    db = Database({"R": r, "S": s_bc})
+    joined = evaluate(join(rel("R"), rel("S")), db)
+    expected = {
+        (a, b, c) for (a, b) in r for (b2, c) in s_bc if b == b2
+    }
+    assert joined.rows == frozenset(expected)
+
+
+@given(relations_ab())
+@settings(max_examples=50)
+def test_projection_idempotent(r):
+    db = Database({"R": r})
+    once = evaluate(project(rel("R"), "A"), db)
+    twice = evaluate(project(project(rel("R"), "A"), "A"), db)
+    assert once == twice

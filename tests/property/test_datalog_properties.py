@@ -1,0 +1,128 @@
+"""Differential property tests over random datalog programs.
+
+For randomly generated safe programs (see
+:mod:`repro.workloads.programs`):
+
+* the Section 3.3 engine's fixpoint distribution is a probability
+  distribution whose worlds all contain the seed fact;
+* exact evaluation agrees with the Proposition 3.8 compiled form;
+* sampled runs terminate at states inside the exact support;
+* deterministic programs have a single world that matches classical
+  semi-naive datalog.
+"""
+
+import random
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import evaluate_classical
+from repro.core import InflationaryQuery, TupleIn, evaluate_inflationary_exact
+from repro.datalog import (
+    InflationaryDatalogEngine,
+    evaluate_datalog_exact,
+    evaluate_datalog_sampling,
+    inflationary_initial_database,
+    inflationary_interpretation_for_program,
+)
+from repro.errors import StateSpaceLimitExceeded
+from repro.workloads.programs import DOMAIN, random_program
+
+SEEDS = st.integers(min_value=0, max_value=10_000)
+
+#: Cap to keep adversarial random instances from blowing up the tests.
+MAX_STATES = 60_000
+
+
+def _some_event(program, edb) -> TupleIn:
+    """A fixed probe tuple for the first IDB predicate."""
+    predicate = program.idb_predicates()[0]
+    arity = program.arity(predicate)
+    return TupleIn(predicate, tuple(DOMAIN[:1] * arity))
+
+
+@given(SEEDS)
+@settings(max_examples=20, deadline=None)
+def test_fixpoint_distribution_is_probability_distribution(seed):
+    program, edb = random_program(rng=seed)
+    engine = InflationaryDatalogEngine(program, edb)
+    try:
+        finals = engine.fixpoint_distribution(max_states=MAX_STATES)
+    except (StateSpaceLimitExceeded, RecursionError):
+        assume(False)
+    total = sum(p for _w, p in finals.items())
+    assert total == 1
+    seed_fact = program.rules[0].head
+    for world in finals.support():
+        assert tuple(t.value for t in seed_fact.terms) in world[seed_fact.predicate]
+
+
+@given(SEEDS)
+@settings(max_examples=12, deadline=None)
+def test_engine_agrees_with_prop38_compilation(seed):
+    program, edb = random_program(rng=seed)
+    event = _some_event(program, edb)
+    try:
+        engine_result = evaluate_datalog_exact(
+            program, edb, event, max_states=MAX_STATES
+        )
+    except StateSpaceLimitExceeded:
+        assume(False)
+    kernel = inflationary_interpretation_for_program(program, edb.schema())
+    init = inflationary_initial_database(program, edb)
+    try:
+        compiled = evaluate_inflationary_exact(
+            InflationaryQuery(kernel, event), init, max_states=MAX_STATES
+        )
+    except StateSpaceLimitExceeded:
+        assume(False)
+    assert engine_result.probability == compiled.probability
+
+
+@given(SEEDS, SEEDS)
+@settings(max_examples=15, deadline=None)
+def test_sampled_fixpoints_in_exact_support(seed, sample_seed):
+    program, edb = random_program(rng=seed)
+    engine = InflationaryDatalogEngine(program, edb)
+    try:
+        support = engine.fixpoint_distribution(max_states=MAX_STATES).support()
+    except (StateSpaceLimitExceeded, RecursionError):
+        assume(False)
+    rng = random.Random(sample_seed)
+    state = engine.initial_state()
+    for _ in range(200):
+        nxt = engine.sample_step(state, rng)
+        if nxt == state and engine.is_fixpoint(state):
+            break
+        state = nxt
+    assert engine.database_of(state) in support
+
+
+@given(SEEDS)
+@settings(max_examples=12, deadline=None)
+def test_sampling_estimate_within_generous_band(seed):
+    program, edb = random_program(rng=seed)
+    event = _some_event(program, edb)
+    try:
+        exact = evaluate_datalog_exact(program, edb, event, max_states=MAX_STATES)
+    except StateSpaceLimitExceeded:
+        assume(False)
+    sampled = evaluate_datalog_sampling(
+        program, edb, event, samples=300, rng=seed + 1
+    )
+    assert abs(sampled.estimate - float(exact.probability)) < 0.15
+
+
+@given(SEEDS)
+@settings(max_examples=20, deadline=None)
+def test_deterministic_programs_match_classical_datalog(seed):
+    program, edb = random_program(rng=seed)
+    assume(not program.has_probabilistic_rules())
+    engine = InflationaryDatalogEngine(program, edb)
+    finals = engine.fixpoint_distribution(max_states=MAX_STATES)
+    assert len(finals) == 1
+    final = next(iter(finals.support()))
+    classical = evaluate_classical(program, edb)
+    for predicate in program.idb_predicates():
+        assert final[predicate] == classical[predicate]

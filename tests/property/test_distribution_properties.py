@@ -1,0 +1,104 @@
+"""Property-based tests (hypothesis) for the Distribution type."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.probability import Distribution, product_distribution
+
+
+def weight_maps():
+    """Non-empty mappings outcome → positive Fraction weight."""
+    weights = st.fractions(min_value=Fraction(1, 100), max_value=Fraction(100))
+    return st.dictionaries(
+        st.integers(min_value=-50, max_value=50), weights, min_size=1, max_size=8
+    )
+
+
+@given(weight_maps())
+def test_normalisation_sums_to_one(weights):
+    d = Distribution(weights)
+    assert sum(p for _o, p in d.items()) == 1
+
+
+@given(weight_maps())
+def test_probabilities_proportional_to_weights(weights):
+    d = Distribution(weights)
+    total = sum(weights.values())
+    for outcome, weight in weights.items():
+        assert d.probability(outcome) == Fraction(weight) / total
+
+
+@given(weight_maps())
+def test_map_preserves_total_probability(weights):
+    d = Distribution(weights)
+    image = d.map(lambda x: x % 3)
+    assert sum(p for _o, p in image.items()) == 1
+
+
+@given(weight_maps())
+def test_map_pushforward_correct(weights):
+    d = Distribution(weights)
+    image = d.map(abs)
+    for outcome in image.support():
+        expected = d.probability(outcome) + (
+            d.probability(-outcome) if outcome != 0 else 0
+        )
+        assert image.probability(outcome) == expected
+
+
+@given(weight_maps(), weight_maps())
+def test_product_marginals(left_weights, right_weights):
+    left = Distribution(left_weights)
+    right = Distribution(right_weights)
+    joint = left.product(right)
+    # marginalising the joint recovers the factors
+    assert joint.map(lambda pair: pair[0]) == left
+    assert joint.map(lambda pair: pair[1]) == right
+
+
+@given(weight_maps())
+def test_bind_with_point_is_map(weights):
+    d = Distribution(weights)
+    assert d.bind(lambda x: Distribution.point(x + 1)) == d.map(lambda x: x + 1)
+
+
+@given(weight_maps())
+def test_point_bind_left_identity(weights):
+    d = Distribution(weights)
+    assert Distribution.point(0).bind(lambda _zero: d) == d
+
+
+@given(weight_maps())
+def test_total_variation_bounds(weights):
+    d = Distribution(weights)
+    uniform = Distribution.uniform(list(range(-50, -40)))
+    tv = d.total_variation(uniform)
+    assert 0 <= tv <= 1
+    assert d.total_variation(d) == 0
+
+
+@given(weight_maps(), weight_maps())
+def test_total_variation_symmetry(wa, wb):
+    a, b = Distribution(wa), Distribution(wb)
+    assert a.total_variation(b) == b.total_variation(a)
+
+
+@given(st.lists(weight_maps(), min_size=0, max_size=4))
+@settings(max_examples=25)
+def test_product_distribution_total(parts):
+    joint = product_distribution([Distribution(w) for w in parts])
+    assert sum(p for _o, p in joint.items()) == 1
+    for outcome in joint.support():
+        assert len(outcome) == len(parts)
+
+
+@given(weight_maps(), st.integers(min_value=0, max_value=2**32 - 1))
+def test_sampling_stays_in_support(weights, seed):
+    import random
+
+    d = Distribution(weights)
+    rng = random.Random(seed)
+    for _ in range(10):
+        assert d.sample(rng) in d.support()

@@ -1,0 +1,101 @@
+"""Property-based tests for strong lumping on random chains."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.markov import (
+    MarkovChain,
+    coarsest_lumping,
+    is_lumpable,
+    long_run_event_probability,
+    lumped_event_probability,
+    quotient_chain,
+    stationary_distribution,
+    is_irreducible,
+)
+from repro.probability import Distribution
+
+
+def random_chains(min_states=2, max_states=6):
+    """Arbitrary chains over 0..n-1 (self-loop fallback keeps rows valid)."""
+
+    def build(data):
+        n, rows = data
+        transitions = {}
+        for state in range(n):
+            weights = {
+                target: weight
+                for target, weight in rows.get(state, {}).items()
+                if target < n and weight > 0
+            }
+            if not weights:
+                weights = {state: 1}
+            transitions[state] = Distribution(weights)
+        return MarkovChain(transitions)
+
+    return (
+        st.integers(min_states, max_states)
+        .flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                st.dictionaries(
+                    st.integers(0, n - 1),
+                    st.dictionaries(st.integers(0, n - 1), st.integers(0, 4), max_size=n),
+                    max_size=n,
+                ),
+            )
+        )
+        .map(build)
+    )
+
+
+def event_of(modulus):
+    return lambda state: state % modulus == 0
+
+
+@given(random_chains(), st.integers(2, 3))
+@settings(max_examples=50, deadline=None)
+def test_coarsest_lumping_is_a_strong_lumping(chain, modulus):
+    event = event_of(modulus)
+    seed = [
+        {s for s in chain.states if event(s)},
+        {s for s in chain.states if not event(s)},
+    ]
+    partition = coarsest_lumping(chain, [b for b in seed if b])
+    assert is_lumpable(chain, partition)
+    # the partition still separates event values
+    for block in partition:
+        values = {event(s) for s in block}
+        assert len(values) == 1
+
+
+@given(random_chains(), st.integers(2, 3))
+@settings(max_examples=40, deadline=None)
+def test_lumped_probability_equals_direct(chain, modulus):
+    event = event_of(modulus)
+    direct = long_run_event_probability(chain, chain.states[0], event)
+    lumped, size = lumped_event_probability(chain, chain.states[0], event)
+    assert lumped == direct
+    assert 1 <= size <= chain.size
+
+
+@given(random_chains())
+@settings(max_examples=30, deadline=None)
+def test_quotient_preserves_stationary_mass(chain):
+    """On irreducible chains the quotient's stationary distribution is
+    the block-aggregated original (for any strong lumping)."""
+    if not is_irreducible(chain):
+        return
+    seed = [
+        {s for s in chain.states if s % 2 == 0},
+        {s for s in chain.states if s % 2 == 1},
+    ]
+    partition = coarsest_lumping(chain, [b for b in seed if b])
+    quotient, index = quotient_chain(chain, partition)
+    if not is_irreducible(quotient):
+        return
+    pi = stationary_distribution(chain)
+    pi_q = stationary_distribution(quotient)
+    for number, block in enumerate(partition):
+        aggregated = sum(pi.probability(s) for s in block)
+        assert pi_q.probability(number) == aggregated

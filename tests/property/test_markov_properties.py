@@ -1,0 +1,137 @@
+"""Property-based tests for Markov-chain invariants."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.markov import (
+    MarkovChain,
+    absorption_probabilities,
+    is_irreducible,
+    is_stationary,
+    long_run_state_distribution,
+    stationary_distribution,
+)
+from repro.probability import Distribution
+
+
+def random_chains(min_states=2, max_states=5):
+    """Arbitrary chains over 0..n-1 with integer edge weights.
+
+    Every state gets at least one outgoing edge (a self-loop fallback),
+    so the mapping always yields a valid chain.
+    """
+
+    def build(data):
+        n, rows = data
+        transitions = {}
+        for state in range(n):
+            weights = {
+                target: weight
+                for target, weight in rows.get(state, {}).items()
+                if target < n and weight > 0
+            }
+            if not weights:
+                weights = {state: 1}
+            transitions[state] = Distribution(weights)
+        return MarkovChain(transitions)
+
+    n_and_rows = st.integers(min_states, max_states).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.dictionaries(
+                st.integers(0, n - 1),
+                st.dictionaries(
+                    st.integers(0, n - 1), st.integers(0, 5), max_size=n
+                ),
+                max_size=n,
+            ),
+        )
+    )
+    return n_and_rows.map(build)
+
+
+def irreducible_chains(min_states=2, max_states=5):
+    """Random chains forced irreducible by a lazy-cycle backbone."""
+
+    def build(data):
+        n, rows = data
+        transitions = {}
+        for state in range(n):
+            weights = {
+                target: weight
+                for target, weight in rows.get(state, {}).items()
+                if target < n and weight > 0
+            }
+            weights[(state + 1) % n] = weights.get((state + 1) % n, 0) + 1
+            weights[state] = weights.get(state, 0) + 1
+            transitions[state] = Distribution(weights)
+        return MarkovChain(transitions)
+
+    n_and_rows = st.integers(min_states, max_states).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.dictionaries(
+                st.integers(0, n - 1),
+                st.dictionaries(
+                    st.integers(0, n - 1), st.integers(0, 5), max_size=n
+                ),
+                max_size=n,
+            ),
+        )
+    )
+    return n_and_rows.map(build)
+
+
+@given(irreducible_chains())
+@settings(max_examples=40, deadline=None)
+def test_stationary_distribution_is_stationary(chain):
+    assert is_irreducible(chain)
+    pi = stationary_distribution(chain)
+    assert is_stationary(chain, pi)
+    assert sum(p for _s, p in pi.items()) == 1
+
+
+@given(irreducible_chains())
+@settings(max_examples=40, deadline=None)
+def test_stationary_positive_on_irreducible(chain):
+    pi = stationary_distribution(chain)
+    assert all(pi.probability(s) > 0 for s in chain.states)
+
+
+@given(random_chains())
+@settings(max_examples=40, deadline=None)
+def test_absorption_probabilities_sum_to_one(chain):
+    probabilities = absorption_probabilities(chain, chain.states[0])
+    assert sum(probabilities.values()) == 1
+    assert all(p >= 0 for p in probabilities.values())
+
+
+@given(random_chains())
+@settings(max_examples=40, deadline=None)
+def test_long_run_distribution_is_a_distribution(chain):
+    occupancy = long_run_state_distribution(chain, chain.states[0])
+    assert sum(occupancy.values()) == 1
+    assert all(p >= 0 for p in occupancy.values())
+
+
+@given(random_chains())
+@settings(max_examples=30, deadline=None)
+def test_long_run_matches_cesaro_numerically(chain):
+    """The exact Thm 5.5 occupancy agrees with a long Cesàro average."""
+    import numpy as np
+
+    start = chain.states[0]
+    occupancy = long_run_state_distribution(chain, start)
+    matrix = chain.transition_matrix()
+    mu = np.zeros(chain.size)
+    mu[chain.index_of(start)] = 1.0
+    acc = mu.copy()
+    steps = 3000
+    for _ in range(steps - 1):
+        mu = mu @ matrix
+        acc += mu
+    acc /= steps
+    for state in chain.states:
+        assert abs(acc[chain.index_of(state)] - float(occupancy[state])) < 0.02

@@ -1,0 +1,93 @@
+"""Property-based tests for repair-key (Section 2.2 invariants)."""
+
+import random
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import (
+    Relation,
+    repair_distribution,
+    sample_repair,
+    world_probability,
+)
+
+
+def weighted_relations():
+    """Relations (K, V, P) with positive integer weights."""
+    rows = st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),   # key
+            st.integers(min_value=0, max_value=5),   # value
+            st.integers(min_value=1, max_value=9),   # weight
+        ),
+        min_size=0,
+        max_size=10,
+    )
+    return rows.map(lambda r: Relation(("K", "V", "P"), r))
+
+
+@given(weighted_relations())
+@settings(max_examples=60)
+def test_world_probabilities_sum_to_one(relation):
+    worlds = repair_distribution(relation, key=("K",), weight="P")
+    assert sum(p for _w, p in worlds.items()) == 1
+
+
+@given(weighted_relations())
+@settings(max_examples=60)
+def test_every_world_is_a_maximal_repair(relation):
+    worlds = repair_distribution(relation, key=("K",), weight="P")
+    keys = relation.column_values("K")
+    for world in worlds.support():
+        # one row per key group, and key groups exactly preserved
+        assert world.column_values("K") == keys
+        seen = [row[0] for row in world]
+        assert len(seen) == len(set(seen))
+
+
+@given(weighted_relations())
+@settings(max_examples=40)
+def test_world_probability_agrees_with_enumeration(relation):
+    worlds = repair_distribution(relation, key=("K",), weight="P")
+    for world, probability in worlds.items():
+        assert (
+            world_probability(relation, world, key=("K",), weight="P") == probability
+        )
+
+
+@given(weighted_relations(), st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=40)
+def test_sampled_repairs_have_positive_probability(relation, seed):
+    rng = random.Random(seed)
+    worlds = repair_distribution(relation, key=("K",), weight="P")
+    sampled = sample_repair(relation, rng, key=("K",), weight="P")
+    assert worlds.probability(sampled) > 0
+
+
+@given(weighted_relations())
+@settings(max_examples=40)
+def test_uniform_repair_counts(relation):
+    """Without weights, the number of worlds is the product of group
+    sizes (after value-level dedup) and each is equally likely."""
+    deduped = Relation(("K", "V"), {(k, v) for k, v, _p in relation})
+    worlds = repair_distribution(deduped, key=("K",))
+    expected = 1
+    for key in deduped.column_values("K"):
+        group = [row for row in deduped if row[0] == key]
+        expected *= len(group)
+    assert len(worlds) == expected
+    if expected:
+        assert all(p == Fraction(1, expected) for _w, p in worlds.items())
+
+
+@given(weighted_relations())
+@settings(max_examples=40)
+def test_keyless_repair_picks_single_row(relation):
+    worlds = repair_distribution(relation, key=(), weight="P")
+    if len(relation) == 0:
+        assert len(worlds) == 1
+        return
+    for world in worlds.support():
+        assert len(world) == 1

@@ -1,0 +1,120 @@
+"""Property-based tests on whole-query semantics.
+
+These tie the layers together: for random small graph workloads the
+exact evaluators must agree with independent oracles, samplers must stay
+inside the enumerated supports, and inflationarity must hold along
+every path the exact evaluator visits.
+"""
+
+import random
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import functional_reachability_probability
+from repro.core import (
+    TupleIn,
+    build_state_chain,
+    evaluate_forever_exact,
+    evaluate_inflationary_exact,
+)
+from repro.datalog import evaluate_datalog_exact
+from repro.markov import stationary_distribution
+from repro.workloads import (
+    WeightedGraph,
+    random_walk_query,
+    reachability_program,
+    reachability_query,
+)
+
+
+def small_graphs(max_nodes=4):
+    """Connected-ish random weighted digraphs with a cycle backbone
+    (every node has an out-edge)."""
+
+    def build(data):
+        n, extra = data
+        nodes = [f"n{i}" for i in range(n)]
+        edges = {}
+        for i in range(n):
+            edges[(nodes[i], nodes[(i + 1) % n])] = 1
+        for (a, b, w) in extra:
+            if a < n and b < n:
+                edges[(nodes[a], nodes[b])] = w
+        return WeightedGraph(nodes, [(s, t, w) for (s, t), w in edges.items()])
+
+    return st.integers(2, max_nodes).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.tuples(
+                    st.integers(0, max_nodes - 1),
+                    st.integers(0, max_nodes - 1),
+                    st.integers(1, 4),
+                ),
+                max_size=6,
+            ),
+        )
+    ).map(build)
+
+
+@given(small_graphs())
+@settings(max_examples=20, deadline=None)
+def test_forever_query_equals_graph_stationary(graph):
+    query, db = random_walk_query(graph, graph.nodes[0], graph.nodes[-1])
+    result = evaluate_forever_exact(query, db)
+    pi = stationary_distribution(graph.to_markov_chain())
+    assert result.probability == pi.probability(graph.nodes[-1])
+
+
+@given(small_graphs())
+@settings(max_examples=15, deadline=None)
+def test_reachability_fixpoint_equals_oracle(graph):
+    start, target = graph.nodes[0], graph.nodes[-1]
+    query, db = reachability_query(graph, start, target)
+    result = evaluate_inflationary_exact(query, db)
+    oracle = functional_reachability_probability(graph, start, target)
+    assert result.probability == oracle
+
+
+@given(small_graphs(max_nodes=3))
+@settings(max_examples=10, deadline=None)
+def test_datalog_reachability_equals_oracle(graph):
+    start, target = graph.nodes[0], graph.nodes[-1]
+    program, edb = reachability_program(graph, start)
+    result = evaluate_datalog_exact(program, edb, TupleIn("c", (target,)))
+    oracle = functional_reachability_probability(graph, start, target)
+    assert result.probability == oracle
+
+
+@given(small_graphs(), st.integers(0, 2**32 - 1))
+@settings(max_examples=15, deadline=None)
+def test_sampled_trajectories_stay_in_reachable_chain(graph, seed):
+    query, db = random_walk_query(graph, graph.nodes[0], graph.nodes[-1])
+    chain = build_state_chain(query.kernel, db)
+    rng = random.Random(seed)
+    state = db
+    for _ in range(12):
+        state = query.kernel.sample_transition(state, rng)
+        assert state in chain
+
+
+@given(small_graphs())
+@settings(max_examples=15, deadline=None)
+def test_inflationary_states_grow_monotonically(graph):
+    """Every transition of the Example 3.5 kernel is inflationary on C."""
+    query, db = reachability_query(graph, graph.nodes[0], graph.nodes[-1])
+    chain = build_state_chain(query.kernel, db, max_states=2000)
+    for state in chain.states:
+        for successor in chain.successors(state):
+            assert state["C"].issubset(successor["C"])
+
+
+@given(small_graphs())
+@settings(max_examples=15, deadline=None)
+def test_probability_results_are_valid(graph):
+    query, db = reachability_query(graph, graph.nodes[0], graph.nodes[1])
+    result = evaluate_inflationary_exact(query, db)
+    assert 0 <= result.probability <= 1
+    assert result.states_explored >= 1

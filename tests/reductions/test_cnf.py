@@ -1,0 +1,92 @@
+"""Unit tests for the CNF machinery."""
+
+import pytest
+
+from repro.reductions import (
+    CNFFormula,
+    random_3cnf,
+    satisfiable_formula,
+    unsatisfiable_formula,
+)
+from repro.reductions.cnf import CNFError
+
+
+class TestFormula:
+    def test_satisfied_by(self):
+        f = CNFFormula(2, [(1, 2), (-1, 2)])
+        assert f.satisfied_by([True, True])
+        assert f.satisfied_by([False, True])
+        assert not f.satisfied_by([True, False])
+
+    def test_count_models(self):
+        f = CNFFormula(2, [(1, 2), (-1, 2)])
+        assert f.count_models() == 2
+
+    def test_models_enumeration(self):
+        f = CNFFormula(2, [(1,), (2,)])
+        assert list(f.models()) == [(True, True)]
+
+    def test_wrong_assignment_length(self):
+        with pytest.raises(CNFError):
+            CNFFormula(2, [(1,)]).satisfied_by([True])
+
+    def test_validation(self):
+        with pytest.raises(CNFError):
+            CNFFormula(0, [(1,)])
+        with pytest.raises(CNFError):
+            CNFFormula(2, [])
+        with pytest.raises(CNFError):
+            CNFFormula(2, [()])
+        with pytest.raises(CNFError):
+            CNFFormula(2, [(3,)])
+        with pytest.raises(CNFError):
+            CNFFormula(2, [(0,)])
+
+    def test_repr(self):
+        assert "x1" in repr(CNFFormula(2, [(1, -2)]))
+        assert "¬x2" in repr(CNFFormula(2, [(1, -2)]))
+
+
+class TestDPLL:
+    def test_agrees_with_brute_force_on_random_instances(self):
+        for seed in range(20):
+            f = random_3cnf(5, 12, rng=seed)
+            assert f.is_satisfiable() == (f.count_models() > 0)
+
+    def test_canonical_instances(self):
+        assert satisfiable_formula(3).is_satisfiable()
+        assert not unsatisfiable_formula(3).is_satisfiable()
+
+    def test_unit_propagation_chain(self):
+        f = CNFFormula(3, [(1,), (-1, 2), (-2, 3)])
+        assert f.is_satisfiable()
+        assert f.count_models() == 1
+
+    def test_contradiction_found(self):
+        f = CNFFormula(1, [(1,), (-1,)])
+        assert not f.is_satisfiable()
+
+
+class TestGenerators:
+    def test_random_3cnf_shape(self):
+        f = random_3cnf(6, 10, rng=1)
+        assert f.num_variables == 6
+        assert f.num_clauses == 10
+        for clause in f.clauses:
+            assert len(clause) == 3
+            assert len({abs(l) for l in clause}) == 3
+
+    def test_random_3cnf_deterministic_by_seed(self):
+        assert random_3cnf(5, 8, rng=4).clauses == random_3cnf(5, 8, rng=4).clauses
+
+    def test_random_3cnf_needs_3_variables(self):
+        with pytest.raises(CNFError):
+            random_3cnf(2, 3, rng=0)
+
+    def test_satisfiable_formula_model_count(self):
+        # x1=x2=x3=true forced; extra variables free
+        assert satisfiable_formula(3).count_models() == 1
+        assert satisfiable_formula(5).count_models() == 4
+
+    def test_unsatisfiable_formula(self):
+        assert unsatisfiable_formula(4).count_models() == 0

@@ -1,0 +1,113 @@
+"""Unit tests for the Theorem 4.1 reduction."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.reductions import (
+    CNFFormula,
+    build_thm41_instance,
+    decide_sat_via_relative_approximation,
+    random_3cnf,
+    satisfiable_formula,
+    thm41_exact_probability,
+    thm41_sampled_probability,
+    unsatisfiable_formula,
+)
+
+
+class TestLemma42:
+    """p = ♯models / 2ⁿ — checked with exact equality."""
+
+    @pytest.mark.parametrize("variant", ["2'", "2"])
+    def test_satisfiable_probability(self, variant):
+        f = satisfiable_formula(3)
+        instance = build_thm41_instance(f, variant)
+        result = thm41_exact_probability(instance)
+        assert result.probability == Fraction(1, 8)
+        assert result.probability == instance.expected_probability()
+
+    @pytest.mark.parametrize("variant", ["2'", "2"])
+    def test_unsatisfiable_probability_zero(self, variant):
+        f = unsatisfiable_formula(3)
+        instance = build_thm41_instance(f, variant)
+        assert thm41_exact_probability(instance).probability == 0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_instances_count_models(self, seed):
+        f = random_3cnf(4, 5, rng=seed)
+        instance = build_thm41_instance(f)
+        result = thm41_exact_probability(instance)
+        assert result.probability == Fraction(f.count_models(), 2**4)
+
+    def test_variants_agree(self):
+        f = random_3cnf(3, 4, rng=9)
+        p_ctable = thm41_exact_probability(build_thm41_instance(f, "2'")).probability
+        p_repair = thm41_exact_probability(build_thm41_instance(f, "2")).probability
+        assert p_ctable == p_repair
+
+    def test_lower_bound_when_satisfiable(self):
+        f = random_3cnf(4, 4, rng=3)
+        instance = build_thm41_instance(f)
+        p = thm41_exact_probability(instance).probability
+        if f.is_satisfiable():
+            assert p >= Fraction(1, 2**4)
+        else:
+            assert p == 0
+
+
+class TestConstructionShape:
+    def test_program_is_linear(self):
+        instance = build_thm41_instance(satisfiable_formula(3))
+        assert instance.program.is_linear()
+
+    def test_pctable_variant_has_no_probabilistic_rules(self):
+        instance = build_thm41_instance(satisfiable_formula(3), "2'")
+        assert not instance.program.has_probabilistic_rules()
+        assert instance.pc_tables is not None
+
+    def test_repairkey_variant_has_probabilistic_rule(self):
+        instance = build_thm41_instance(satisfiable_formula(3), "2")
+        assert instance.program.has_probabilistic_rules()
+        assert instance.pc_tables is None
+
+    def test_chain_length(self):
+        f = CNFFormula(3, [(1, 2, 3), (-1, -2, -3)])
+        instance = build_thm41_instance(f)
+        assert len(instance.edb["o"]) == f.num_clauses
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            build_thm41_instance(satisfiable_formula(3), "nope")
+
+
+class TestDecisionProcedure:
+    @pytest.mark.parametrize("variant", ["2'", "2"])
+    def test_decides_sat_correctly(self, variant):
+        assert decide_sat_via_relative_approximation(
+            satisfiable_formula(3), variant
+        )
+        assert not decide_sat_via_relative_approximation(
+            unsatisfiable_formula(3), variant
+        )
+
+    def test_agrees_with_dpll_on_random_instances(self):
+        for seed in range(3):
+            f = random_3cnf(3, 6, rng=seed + 100)
+            assert (
+                decide_sat_via_relative_approximation(f) == f.is_satisfiable()
+            )
+
+
+class TestSamplingCannotSeeTinyProbabilities:
+    def test_absolute_sampler_misses_rare_event(self):
+        """The Table 1 gap: with p = 2⁻ⁿ and few samples, an absolute
+        approximation typically returns 0 — relative approximation is
+        the hard column, absolute the easy one."""
+        f = satisfiable_formula(6)  # p = 8/64 = 1/8
+        instance = build_thm41_instance(f)
+        expected = float(instance.expected_probability())
+        result = thm41_sampled_probability(instance, samples=10, rng=5)
+        # the estimate is a legal absolute approximation at eps ~ 0.3
+        # even though it carries no relative information about p
+        assert abs(result.estimate - expected) < 0.3

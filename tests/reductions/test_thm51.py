@@ -1,0 +1,103 @@
+"""Unit tests for the Theorem 5.1 reduction.
+
+Exact chain evaluation on these instances is expensive (the hardness is
+the point), so the formulas here are minimal: 2 variables, 1–2 clauses.
+"""
+
+import random
+
+import pytest
+
+from repro.core import simulate_trajectory
+from repro.reductions import (
+    CNFFormula,
+    build_thm51_instance,
+    decide_sat_via_absolute_approximation,
+    simulated_probability,
+    thm51_exact_probability,
+)
+
+
+SAT = CNFFormula(2, [(1, 2)])
+UNSAT = CNFFormula(2, [(1,), (-1,)])
+
+
+class TestLemma52:
+    def test_satisfiable_gives_one(self):
+        instance = build_thm51_instance(SAT)
+        result = thm51_exact_probability(instance)
+        assert result.probability == 1
+        assert result.method == "thm-5.5"
+
+    def test_unsatisfiable_gives_zero(self):
+        instance = build_thm51_instance(UNSAT)
+        result = thm51_exact_probability(instance)
+        assert result.probability == 0
+
+    def test_expected_probability_helper(self):
+        assert build_thm51_instance(SAT).expected_probability() == 1
+        assert build_thm51_instance(UNSAT).expected_probability() == 0
+
+
+class TestSimulation:
+    def test_satisfiable_converges_to_one(self):
+        instance = build_thm51_instance(SAT)
+        assert simulated_probability(instance, 800, rng=1) > 0.8
+
+    def test_unsatisfiable_stays_zero(self):
+        instance = build_thm51_instance(UNSAT)
+        assert simulated_probability(instance, 800, rng=1) == 0.0
+
+    def test_done_persists_once_reached(self):
+        """The done(X) :- done(X) rule keeps the event absorbing."""
+        instance = build_thm51_instance(SAT)
+        trajectory = simulate_trajectory(
+            instance.query, instance.initial, 120, random.Random(3)
+        )
+        seen = False
+        for state in trajectory:
+            holds = instance.event.holds(state)
+            if seen:
+                assert holds
+            seen = seen or holds
+        assert seen
+
+
+class TestConstructionShape:
+    def test_pc_table_attached(self):
+        instance = build_thm51_instance(SAT)
+        assert instance.query.kernel.pc_tables is not None
+        assert "a" in instance.query.kernel.pc_tables.tables
+
+    def test_assignment_resampled_each_step(self):
+        """The non-inflationary pc-table semantics: ``a`` varies along a
+        trajectory."""
+        instance = build_thm51_instance(SAT)
+        trajectory = simulate_trajectory(
+            instance.query, instance.initial, 60, random.Random(7)
+        )
+        assignments = {state["a"] for state in trajectory}
+        assert len(assignments) > 1
+
+    def test_assignment_always_consistent(self):
+        """Each sampled ``a`` holds exactly one literal per variable."""
+        instance = build_thm51_instance(SAT)
+        trajectory = simulate_trajectory(
+            instance.query, instance.initial, 40, random.Random(5)
+        )
+        for state in trajectory:
+            literals = {row[0] for row in state["a"]}
+            for v in (1, 2):
+                assert (f"v{v}" in literals) != (f"nv{v}" in literals)
+
+
+class TestDecisionProcedure:
+    def test_decides_sat(self):
+        assert decide_sat_via_absolute_approximation(SAT, steps=800, rng=2)
+
+    def test_decides_unsat(self):
+        assert not decide_sat_via_absolute_approximation(UNSAT, steps=800, rng=2)
+
+    def test_epsilon_validated(self):
+        with pytest.raises(ValueError):
+            decide_sat_via_absolute_approximation(SAT, epsilon=0.7, steps=10, rng=0)

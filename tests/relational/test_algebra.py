@@ -1,0 +1,203 @@
+"""Unit tests for the relational algebra AST and deterministic evaluator."""
+
+import pytest
+
+from repro.errors import AlgebraError
+from repro.relational import (
+    Database,
+    ExtendedProject,
+    Relation,
+    TruePredicate,
+    ValueEq,
+    ColumnEq,
+    difference,
+    evaluate,
+    extended_project,
+    join,
+    literal,
+    product,
+    project,
+    rel,
+    rename,
+    repair_key,
+    select,
+    union,
+    validate,
+)
+
+
+@pytest.fixture
+def db() -> Database:
+    return Database(
+        {
+            "R": Relation(("A", "B"), [(1, "x"), (2, "y"), (3, "x")]),
+            "S": Relation(("B", "C"), [("x", 10), ("y", 20)]),
+        }
+    )
+
+
+class TestSchemaInference:
+    def test_relation_ref(self, db):
+        assert validate(rel("R"), db.schema()) == ("A", "B")
+
+    def test_unknown_relation(self, db):
+        with pytest.raises(AlgebraError):
+            validate(rel("Z"), db.schema())
+
+    def test_projection_columns(self, db):
+        assert validate(project(rel("R"), "B"), db.schema()) == ("B",)
+
+    def test_projection_missing_column(self, db):
+        with pytest.raises(AlgebraError):
+            validate(project(rel("R"), "Z"), db.schema())
+
+    def test_projection_duplicate_columns(self):
+        with pytest.raises(AlgebraError):
+            project(rel("R"), "A", "A")
+
+    def test_rename(self, db):
+        assert validate(rename(rel("R"), A="X"), db.schema()) == ("X", "B")
+
+    def test_rename_missing(self, db):
+        with pytest.raises(AlgebraError):
+            validate(rename(rel("R"), Z="Q"), db.schema())
+
+    def test_rename_collision(self, db):
+        with pytest.raises(AlgebraError):
+            validate(rename(rel("R"), A="B"), db.schema())
+
+    def test_union_schema_mismatch(self, db):
+        with pytest.raises(AlgebraError):
+            validate(union(rel("R"), rel("S")), db.schema())
+
+    def test_product_column_clash(self, db):
+        with pytest.raises(AlgebraError):
+            validate(product(rel("R"), rel("R")), db.schema())
+
+    def test_join_columns(self, db):
+        assert validate(join(rel("R"), rel("S")), db.schema()) == ("A", "B", "C")
+
+    def test_select_unknown_predicate_column(self, db):
+        with pytest.raises(AlgebraError):
+            validate(select(rel("R"), ValueEq("Z", 1)), db.schema())
+
+    def test_repair_key_schema_passthrough(self, db):
+        assert validate(repair_key(rel("R"), ("A",)), db.schema()) == ("A", "B")
+
+    def test_repair_key_missing_key(self, db):
+        with pytest.raises(AlgebraError):
+            validate(repair_key(rel("R"), ("Z",)), db.schema())
+
+    def test_repair_key_weight_is_key_rejected(self):
+        with pytest.raises(AlgebraError):
+            repair_key(rel("R"), ("P",), "P")
+
+
+class TestDeterministicEvaluation:
+    def test_select(self, db):
+        result = evaluate(select(rel("R"), ValueEq("B", "x")), db)
+        assert result.rows == frozenset({(1, "x"), (3, "x")})
+
+    def test_select_column_eq(self):
+        db = Database({"R": Relation(("A", "B"), [(1, 1), (1, 2)])})
+        result = evaluate(select(rel("R"), ColumnEq("A", "B")), db)
+        assert result.rows == frozenset({(1, 1)})
+
+    def test_project_collapses_duplicates(self, db):
+        result = evaluate(project(rel("R"), "B"), db)
+        assert result.rows == frozenset({("x",), ("y",)})
+
+    def test_rename(self, db):
+        result = evaluate(rename(rel("R"), A="X"), db)
+        assert result.columns == ("X", "B")
+        assert (1, "x") in result
+
+    def test_union(self, db):
+        result = evaluate(union(project(rel("R"), "B"), project(rel("S"), "B")), db)
+        assert result.rows == frozenset({("x",), ("y",)})
+
+    def test_union_variadic(self, db):
+        expr = union(project(rel("R"), "B"), project(rel("S"), "B"), literal(("B",), [("z",)]))
+        assert ("z",) in evaluate(expr, db)
+
+    def test_difference(self, db):
+        extra = literal(("B",), [("x",)])
+        result = evaluate(difference(project(rel("R"), "B"), extra), db)
+        assert result.rows == frozenset({("y",)})
+
+    def test_product(self, db):
+        left = project(rel("R"), "A")
+        right = project(rel("S"), "C")
+        result = evaluate(product(left, right), db)
+        assert len(result) == 6
+        assert result.columns == ("A", "C")
+
+    def test_product_runtime_clash(self):
+        db = Database({"R": Relation(("A",), [(1,)])})
+        with pytest.raises(AlgebraError):
+            evaluate(product(rel("R"), rel("R")), db)
+
+    def test_natural_join(self, db):
+        result = evaluate(join(rel("R"), rel("S")), db)
+        assert result.rows == frozenset({(1, "x", 10), (3, "x", 10), (2, "y", 20)})
+
+    def test_join_no_shared_columns_is_product(self):
+        db = Database(
+            {"R": Relation(("A",), [(1,)]), "S": Relation(("B",), [(2,), (3,)])}
+        )
+        result = evaluate(join(rel("R"), rel("S")), db)
+        assert len(result) == 2
+
+    def test_join_variadic(self, db):
+        result = evaluate(join(rel("R"), rel("S"), literal(("C",), [(10,)])), db)
+        assert result.rows == frozenset({(1, "x", 10), (3, "x", 10)})
+
+    def test_literal(self):
+        result = evaluate(literal(("A",), [(1,)]), Database({}))
+        assert result.rows == frozenset({(1,)})
+
+    def test_select_true_predicate(self, db):
+        assert evaluate(select(rel("R"), TruePredicate()), db) == db["R"]
+
+    def test_repair_key_rejected_by_evaluate(self, db):
+        with pytest.raises(AlgebraError):
+            evaluate(repair_key(rel("R"), ("A",)), db)
+
+
+class TestExtendedProject:
+    def test_duplicate_column_and_constant(self):
+        db = Database({"R": Relation(("A",), [(1,), (2,)])})
+        expr = extended_project(
+            rel("R"), [("X", ("col", "A")), ("Y", ("col", "A")), ("Z", ("const", 9))]
+        )
+        result = evaluate(expr, db)
+        assert result.columns == ("X", "Y", "Z")
+        assert result.rows == frozenset({(1, 1, 9), (2, 2, 9)})
+
+    def test_schema_checks(self, db):
+        with pytest.raises(AlgebraError):
+            validate(extended_project(rel("R"), [("X", ("col", "Z"))]), db.schema())
+        with pytest.raises(AlgebraError):
+            extended_project(rel("R"), [("X", ("col", "A")), ("X", ("col", "B"))])
+        with pytest.raises(AlgebraError):
+            ExtendedProject(rel("R"), [("X", ("weird", "A"))])
+
+    def test_empty_output_gives_boolean_relation(self, db):
+        result = evaluate(extended_project(rel("R"), []), db)
+        assert result.columns == ()
+        assert result.rows == frozenset({()})
+
+
+class TestStructuralHelpers:
+    def test_is_deterministic(self, db):
+        assert rel("R").is_deterministic()
+        assert not repair_key(rel("R"), ("A",)).is_deterministic()
+        assert not union(rel("R"), project(repair_key(rel("R"), ("A",)), "A", "B")).is_deterministic()
+
+    def test_referenced_relations(self, db):
+        expr = join(rel("R"), project(rel("S"), "B"))
+        assert expr.referenced_relations() == frozenset({"R", "S"})
+
+    def test_empty_relation_name_rejected(self):
+        with pytest.raises(AlgebraError):
+            rel("")

@@ -1,0 +1,116 @@
+"""Unit tests for Database snapshots."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import Database, Relation, database_from_rows
+
+
+@pytest.fixture
+def db() -> Database:
+    return Database(
+        {
+            "C": Relation(("I",), [("a",)]),
+            "E": Relation(("I", "J"), [("a", "b")]),
+        }
+    )
+
+
+class TestConstruction:
+    def test_lookup(self, db):
+        assert ("a",) in db["C"]
+
+    def test_missing_relation(self, db):
+        with pytest.raises(SchemaError):
+            db["missing"]
+
+    def test_bad_name(self):
+        with pytest.raises(SchemaError):
+            Database({"": Relation(("A",), [])})
+
+    def test_bad_value(self):
+        with pytest.raises(SchemaError):
+            Database({"R": "not a relation"})
+
+    def test_from_rows_helper(self):
+        db = database_from_rows({"E": (("I", "J"), [("a", "b")])})
+        assert len(db["E"]) == 1
+
+    def test_names_sorted(self, db):
+        assert db.names() == ["C", "E"]
+
+    def test_iteration_and_len(self, db):
+        assert list(db) == ["C", "E"]
+        assert len(db) == 2
+
+    def test_contains(self, db):
+        assert "C" in db
+        assert "X" not in db
+
+
+class TestValueSemantics:
+    def test_equal_and_hashable(self, db):
+        clone = Database({"C": db["C"], "E": db["E"]})
+        assert db == clone
+        assert hash(db) == hash(clone)
+        assert {db: 1}[clone] == 1
+
+    def test_not_equal_on_content(self, db):
+        other = db.with_relation("C", Relation(("I",), [("b",)]))
+        assert db != other
+
+    def test_not_equal_other_type(self, db):
+        assert db != "db"
+
+
+class TestFunctionalUpdates:
+    def test_with_relation_returns_new(self, db):
+        updated = db.with_relation("C", Relation(("I",), []))
+        assert len(updated["C"]) == 0
+        assert len(db["C"]) == 1
+
+    def test_with_relations_bulk(self, db):
+        updated = db.with_relations(
+            {"C": Relation(("I",), []), "E": Relation(("I", "J"), [])}
+        )
+        assert updated.total_rows() == 0
+
+    def test_restrict(self, db):
+        only_c = db.restrict(["C"])
+        assert only_c.names() == ["C"]
+
+    def test_relations_copy_is_detached(self, db):
+        copy = db.relations()
+        copy["C"] = Relation(("I",), [])
+        assert len(db["C"]) == 1
+
+
+class TestSchemaAndDomain:
+    def test_schema(self, db):
+        assert db.schema() == {"C": ("I",), "E": ("I", "J")}
+
+    def test_active_domain(self, db):
+        assert db.active_domain() == {"a", "b"}
+
+    def test_total_rows(self, db):
+        assert db.total_rows() == 2
+
+
+class TestContainsDatabase:
+    def test_superset(self, db):
+        grown = db.with_relation("C", db["C"].with_rows([("z",)]))
+        assert grown.contains_database(db)
+        assert not db.contains_database(grown)
+
+    def test_reflexive(self, db):
+        assert db.contains_database(db)
+
+    def test_missing_relation_not_contained(self, db):
+        partial = db.restrict(["C"])
+        assert not partial.contains_database(db)
+        # db has every relation of partial and more
+        assert db.contains_database(partial)
+
+    def test_schema_change_not_contained(self, db):
+        other = db.with_relation("C", Relation(("X",), [("a",)]))
+        assert not other.contains_database(db)

@@ -1,0 +1,208 @@
+"""Unit tests for the algebra/kernel text parser."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    ForeverQuery,
+    InflationaryQuery,
+    TupleIn,
+    evaluate_forever_exact,
+    evaluate_inflationary_exact,
+)
+from repro.relational import (
+    AlgebraParseError,
+    Database,
+    Difference,
+    Literal,
+    NaturalJoin,
+    Product,
+    Project,
+    Relation,
+    RelationRef,
+    Rename,
+    RepairKey,
+    Select,
+    Union,
+    evaluate,
+    parse_expression,
+    parse_interpretation,
+)
+
+
+class TestExpressionParsing:
+    def test_relation_reference(self):
+        expr = parse_expression("Employees")
+        assert isinstance(expr, RelationRef)
+        assert expr.name == "Employees"
+
+    def test_project(self):
+        expr = parse_expression("project[A, B](R)")
+        assert isinstance(expr, Project)
+        assert expr.columns == ("A", "B")
+
+    def test_rename(self):
+        expr = parse_expression("rename[J->I, K->L](R)")
+        assert isinstance(expr, Rename)
+        assert expr.mapping == {"J": "I", "K": "L"}
+
+    def test_rename_duplicate_rejected(self):
+        with pytest.raises(AlgebraParseError):
+            parse_expression("rename[J->I, J->K](R)")
+
+    def test_repair_key_full_form(self):
+        expr = parse_expression("repair-key[I, K@P](R)")
+        assert isinstance(expr, RepairKey)
+        assert expr.key == ("I", "K")
+        assert expr.weight == "P"
+
+    def test_repair_key_abbreviations(self):
+        keyless = parse_expression("repair-key[@P](R)")
+        assert keyless.key == ()
+        assert keyless.weight == "P"
+        uniform = parse_expression("repair-key[I](R)")
+        assert uniform.key == ("I",)
+        assert uniform.weight is None
+        fully_uniform = parse_expression("repair-key[](R)")
+        assert fully_uniform.key == ()
+        assert fully_uniform.weight is None
+
+    def test_binary_word_operators(self):
+        assert isinstance(parse_expression("A union B"), Union)
+        assert isinstance(parse_expression("A minus B"), Difference)
+        assert isinstance(parse_expression("A join B"), NaturalJoin)
+        assert isinstance(parse_expression("A times B"), Product)
+
+    def test_binary_symbol_operators(self):
+        assert isinstance(parse_expression("A ∪ B"), Union)
+        assert isinstance(parse_expression("A − B"), Difference)
+        assert isinstance(parse_expression("A ⋈ B"), NaturalJoin)
+        assert isinstance(parse_expression("A × B"), Product)
+
+    def test_precedence_join_binds_tighter(self):
+        expr = parse_expression("A union B join C")
+        assert isinstance(expr, Union)
+        assert isinstance(expr.right, NaturalJoin)
+
+    def test_parentheses_override(self):
+        expr = parse_expression("(A union B) join C")
+        assert isinstance(expr, NaturalJoin)
+        assert isinstance(expr.left, Union)
+
+    def test_left_associativity(self):
+        expr = parse_expression("A minus B minus C")
+        assert isinstance(expr, Difference)
+        assert isinstance(expr.left, Difference)
+
+    def test_literal(self):
+        expr = parse_expression("literal[A, P]{('x', 1/2), ('y', 0.5)}")
+        assert isinstance(expr, Literal)
+        assert ("x", Fraction(1, 2)) in expr.relation
+        assert ("y", Fraction(1, 2)) in expr.relation
+
+    def test_literal_empty(self):
+        expr = parse_expression("literal[A]{}")
+        assert len(expr.relation) == 0
+
+    def test_literal_arity_checked(self):
+        with pytest.raises(AlgebraParseError):
+            parse_expression("literal[A, B]{('x')}")
+
+    def test_select_predicates(self):
+        expr = parse_expression("select[A='x', B!=3, A=B](R)")
+        assert isinstance(expr, Select)
+        row = {"A": "x", "B": "x"}
+        assert expr.predicate.evaluate(row)
+        assert not expr.predicate.evaluate({"A": "x", "B": 3})
+
+    def test_select_column_comparison(self):
+        expr = parse_expression("select[A=B](R)")
+        assert expr.predicate.evaluate({"A": 1, "B": 1})
+
+    def test_empty_select_is_true(self):
+        expr = parse_expression("select[](R)")
+        assert expr.predicate.evaluate({})
+
+    def test_errors(self):
+        with pytest.raises(AlgebraParseError):
+            parse_expression("")
+        with pytest.raises(AlgebraParseError):
+            parse_expression("A join")
+        with pytest.raises(AlgebraParseError):
+            parse_expression("project[A](R) extra")
+        with pytest.raises(AlgebraParseError):
+            parse_expression("select[A ~ 1](R)")
+        with pytest.raises(AlgebraParseError):
+            parse_expression("union(A)(B)")
+
+
+class TestEvaluationThroughParser:
+    DB = Database(
+        {
+            "R": Relation(("A", "B"), [(1, "x"), (2, "y")]),
+            "S": Relation(("B", "C"), [("x", 10)]),
+        }
+    )
+
+    def test_parsed_equals_constructed(self):
+        parsed = parse_expression("project[A](select[B='x'](R join S))")
+        assert evaluate(parsed, self.DB).rows == frozenset({(1,)})
+
+    def test_fraction_constants_exact(self):
+        parsed = parse_expression("select[P=1/3](literal[P]{(1/3), (2/3)})")
+        assert evaluate(parsed, Database({})).rows == frozenset({(Fraction(1, 3),)})
+
+
+class TestInterpretationParsing:
+    def test_example_33_kernel(self):
+        kernel = parse_interpretation(
+            """
+            C := rename[J->I](project[J](repair-key[I@P](C join E)))
+            E := E    % unchanged
+            """
+        )
+        db = Database(
+            {
+                "C": Relation(("I",), [("a",)]),
+                "E": Relation(
+                    ("I", "J", "P"),
+                    [("a", "b", 1), ("b", "a", 1)],
+                ),
+            }
+        )
+        query = ForeverQuery(kernel, TupleIn("C", ("b",)))
+        assert evaluate_forever_exact(query, db).probability == Fraction(1, 2)
+
+    def test_example_35_kernel(self):
+        kernel = parse_interpretation(
+            """
+            Cold := C
+            C := C union rename[J->I](project[J](
+                     repair-key[I@P]((C minus Cold) join E)))
+            """
+        )
+        db = Database(
+            {
+                "C": Relation(("I",), [("a",)]),
+                "Cold": Relation(("I",), []),
+                "E": Relation(
+                    ("I", "J", "P"),
+                    [("a", "b", Fraction(1, 2)), ("a", "c", Fraction(1, 2))],
+                ),
+            }
+        )
+        query = InflationaryQuery(kernel, TupleIn("C", ("b",)))
+        assert evaluate_inflationary_exact(query, db).probability == Fraction(1, 2)
+
+    def test_duplicate_assignment_rejected(self):
+        with pytest.raises(AlgebraParseError):
+            parse_interpretation("C := C\nC := C")
+
+    def test_empty_rejected(self):
+        with pytest.raises(AlgebraParseError):
+            parse_interpretation("   % only a comment")
+
+    def test_keyword_relation_rejected(self):
+        with pytest.raises(AlgebraParseError):
+            parse_interpretation("union := A")

@@ -1,0 +1,73 @@
+"""Unit tests for selection predicates."""
+
+import pytest
+
+from repro.errors import AlgebraError
+from repro.relational import (
+    ColumnEq,
+    RowPredicate,
+    TruePredicate,
+    ValueEq,
+    ValueNe,
+)
+
+
+ROW = {"A": 1, "B": 1, "C": 2}
+
+
+class TestAtoms:
+    def test_true(self):
+        assert TruePredicate().evaluate(ROW)
+        assert TruePredicate().referenced_columns() == frozenset()
+
+    def test_value_eq(self):
+        assert ValueEq("A", 1).evaluate(ROW)
+        assert not ValueEq("A", 2).evaluate(ROW)
+        assert ValueEq("A", 1).referenced_columns() == {"A"}
+
+    def test_value_ne(self):
+        assert ValueNe("A", 2).evaluate(ROW)
+        assert not ValueNe("A", 1).evaluate(ROW)
+
+    def test_column_eq(self):
+        assert ColumnEq("A", "B").evaluate(ROW)
+        assert not ColumnEq("A", "C").evaluate(ROW)
+        assert ColumnEq("A", "C").referenced_columns() == {"A", "C"}
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(AlgebraError):
+            ValueEq("Z", 1).evaluate(ROW)
+
+
+class TestCombinators:
+    def test_and(self):
+        predicate = ValueEq("A", 1) & ValueEq("C", 2)
+        assert predicate.evaluate(ROW)
+        assert not (ValueEq("A", 1) & ValueEq("C", 3)).evaluate(ROW)
+
+    def test_or(self):
+        assert (ValueEq("A", 9) | ValueEq("C", 2)).evaluate(ROW)
+        assert not (ValueEq("A", 9) | ValueEq("C", 9)).evaluate(ROW)
+
+    def test_not(self):
+        assert (~ValueEq("A", 9)).evaluate(ROW)
+        assert not (~ValueEq("A", 1)).evaluate(ROW)
+
+    def test_nested_referenced_columns(self):
+        predicate = (ValueEq("A", 1) & ColumnEq("B", "C")) | ~ValueEq("A", 3)
+        assert predicate.referenced_columns() == {"A", "B", "C"}
+
+    def test_reprs_render(self):
+        predicate = (ValueEq("A", 1) & ~ColumnEq("B", "C")) | TruePredicate()
+        assert "A" in repr(predicate)
+
+
+class TestRowPredicate:
+    def test_callable(self):
+        predicate = RowPredicate(lambda row: row["A"] + row["C"] == 3, ("A", "C"))
+        assert predicate.evaluate(ROW)
+        assert predicate.referenced_columns() == {"A", "C"}
+
+    def test_result_coerced_to_bool(self):
+        predicate = RowPredicate(lambda row: row["A"], ("A",))
+        assert predicate.evaluate(ROW) is True

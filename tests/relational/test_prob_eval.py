@@ -1,0 +1,140 @@
+"""Unit tests for probabilistic expression evaluation."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import AlgebraError
+from repro.relational import (
+    Database,
+    Relation,
+    count_repair_keys,
+    difference,
+    enumerate_worlds,
+    join,
+    literal,
+    product,
+    project,
+    rel,
+    rename,
+    repair_key,
+    sample_world,
+    select,
+    union,
+    ValueEq,
+)
+
+
+@pytest.fixture
+def db() -> Database:
+    return Database(
+        {
+            "E": Relation(
+                ("I", "J", "P"), [("a", "b", 1), ("a", "c", 1), ("b", "d", 2)]
+            ),
+            "C": Relation(("I",), [("a",)]),
+        }
+    )
+
+
+class TestEnumerateWorlds:
+    def test_deterministic_expression_single_world(self, db):
+        worlds = enumerate_worlds(project(rel("E"), "I"), db)
+        assert len(worlds) == 1
+
+    def test_repair_key_branches(self, db):
+        worlds = enumerate_worlds(repair_key(rel("E"), ("I",), "P"), db)
+        # group a has two choices, group b has one -> 2 worlds
+        assert len(worlds) == 2
+        assert sum(p for _w, p in worlds.items()) == 1
+
+    def test_operator_above_repair_key(self, db):
+        expr = project(repair_key(rel("E"), ("I",), "P"), "J")
+        worlds = enumerate_worlds(expr, db)
+        supports = {frozenset(r.column_values("J")) for r in worlds.support()}
+        assert supports == {frozenset({"b", "d"}), frozenset({"c", "d"})}
+
+    def test_world_merging_adds_probabilities(self):
+        """Distinct repairs that project to the same relation merge."""
+        db = Database(
+            {"R": Relation(("K", "V", "P"), [("k", 1, 1), ("k", 1, 2), ("k", 2, 3)])}
+        )
+        # footnote-1 merge turns the two (k, 1, ·) rows into one of weight 3.
+        worlds = enumerate_worlds(project(repair_key(rel("R"), ("K",), "P"), "V"), db)
+        assert len(worlds) == 2
+        by_value = {next(iter(w))[0]: p for w, p in worlds.items()}
+        assert by_value[1] == Fraction(1, 2)
+        assert by_value[2] == Fraction(1, 2)
+
+    def test_independent_subtrees_multiply(self, db):
+        left = rename(project(repair_key(rel("E"), ("I",), "P"), "J"), J="X")
+        right = rename(project(repair_key(rel("E"), ("I",), "P"), "J"), J="Y")
+        worlds = enumerate_worlds(product(left, right), db)
+        # 2 worlds on each side -> up to 4 combined
+        assert len(worlds) == 4
+        assert sum(p for _w, p in worlds.items()) == 1
+
+    def test_union_with_probabilistic_arm(self, db):
+        expr = union(
+            project(repair_key(rel("E"), ("I",), "P"), "J"),
+            literal(("J",), [("z",)]),
+        )
+        worlds = enumerate_worlds(expr, db)
+        assert all(("z",) in w for w in worlds.support())
+
+    def test_difference_with_probabilistic_arm(self, db):
+        expr = difference(
+            project(repair_key(rel("E"), ("I",), "P"), "J"),
+            literal(("J",), [("b",)]),
+        )
+        worlds = enumerate_worlds(expr, db)
+        assert all(("b",) not in w for w in worlds.support())
+
+    def test_select_over_repair(self, db):
+        expr = select(repair_key(rel("E"), ("I",), "P"), ValueEq("I", "a"))
+        worlds = enumerate_worlds(expr, db)
+        for world in worlds.support():
+            assert world.column_values("I") == {"a"}
+
+    def test_join_with_current_relation(self, db):
+        expr = project(repair_key(join(rel("C"), rel("E")), ("I",), "P"), "J")
+        worlds = enumerate_worlds(expr, db)
+        assert len(worlds) == 2
+
+
+class TestSampleWorld:
+    def test_sample_in_support(self, db):
+        expr = project(repair_key(rel("E"), ("I",), "P"), "J")
+        worlds = enumerate_worlds(expr, db)
+        rng = random.Random(3)
+        for _ in range(40):
+            assert sample_world(expr, db, rng) in worlds.support()
+
+    def test_sample_frequencies_match_enumeration(self, db):
+        expr = project(repair_key(join(rel("C"), rel("E")), ("I",), "P"), "J")
+        worlds = enumerate_worlds(expr, db)
+        rng = random.Random(17)
+        trials = 3000
+        counts: dict = {}
+        for _ in range(trials):
+            world = sample_world(expr, db, rng)
+            counts[world] = counts.get(world, 0) + 1
+        for world, probability in worlds.items():
+            assert abs(counts.get(world, 0) / trials - float(probability)) < 0.04
+
+    def test_deterministic_sample_is_stable(self, db):
+        expr = project(rel("E"), "I")
+        a = sample_world(expr, db, random.Random(0))
+        b = sample_world(expr, db, random.Random(99))
+        assert a == b
+
+
+class TestHelpers:
+    def test_count_repair_keys(self, db):
+        expr = product(
+            rename(project(repair_key(rel("E"), ("I",), "P"), "J"), J="X"),
+            rename(project(repair_key(rel("E"), ("I",), "P"), "J"), J="Y"),
+        )
+        assert count_repair_keys(expr) == 2
+        assert count_repair_keys(rel("E")) == 0

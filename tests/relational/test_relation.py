@@ -1,0 +1,143 @@
+"""Unit tests for the Relation value type."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import Relation
+
+
+class TestConstruction:
+    def test_basic(self):
+        r = Relation(("A", "B"), [(1, 2), (3, 4)])
+        assert r.arity == 2
+        assert len(r) == 2
+        assert (1, 2) in r
+
+    def test_duplicate_rows_collapse(self):
+        r = Relation(("A",), [(1,), (1,), (2,)])
+        assert len(r) == 2
+
+    def test_zero_arity_relation(self):
+        # Zero-column relations encode booleans: {()} = true, {} = false.
+        truthy = Relation((), [()])
+        falsy = Relation((), [])
+        assert len(truthy) == 1
+        assert len(falsy) == 0
+        assert () in truthy
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation(("A", "A"), [])
+
+    def test_empty_column_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation(("",), [])
+
+    def test_non_string_column_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation((1,), [])
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation(("A", "B"), [(1,)])
+
+    def test_from_dicts(self):
+        r = Relation.from_dicts(("A", "B"), [{"B": 2, "A": 1}])
+        assert (1, 2) in r
+
+    def test_from_dicts_missing_column(self):
+        with pytest.raises(SchemaError):
+            Relation.from_dicts(("A", "B"), [{"A": 1}])
+
+    def test_singleton(self):
+        r = Relation.singleton(("A",), (7,))
+        assert r.rows == frozenset({(7,)})
+
+    def test_empty(self):
+        assert len(Relation.empty(("A", "B"))) == 0
+
+
+class TestValueSemantics:
+    def test_equality_ignores_row_order(self):
+        a = Relation(("A",), [(1,), (2,)])
+        b = Relation(("A",), [(2,), (1,)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_on_columns(self):
+        a = Relation(("A",), [(1,)])
+        b = Relation(("B",), [(1,)])
+        assert a != b
+
+    def test_usable_as_dict_key(self):
+        a = Relation(("A",), [(1,)])
+        b = Relation(("A",), [(1,)])
+        assert {a: "x"}[b] == "x"
+
+    def test_not_equal_other_type(self):
+        assert Relation(("A",), []) != 42
+
+
+class TestAccessors:
+    def test_column_index(self):
+        r = Relation(("A", "B"), [])
+        assert r.column_index("B") == 1
+
+    def test_column_index_missing(self):
+        with pytest.raises(SchemaError):
+            Relation(("A",), []).column_index("Z")
+
+    def test_column_values(self):
+        r = Relation(("A", "B"), [(1, "x"), (2, "x")])
+        assert r.column_values("A") == {1, 2}
+        assert r.column_values("B") == {"x"}
+
+    def test_row_as_dict(self):
+        r = Relation(("A", "B"), [(1, 2)])
+        assert r.row_as_dict((1, 2)) == {"A": 1, "B": 2}
+
+    def test_sorted_rows_deterministic(self):
+        r = Relation(("A",), [(3,), (1,), (2,)])
+        assert r.sorted_rows() == sorted(r.rows, key=repr)
+
+    def test_active_domain(self):
+        r = Relation(("A", "B"), [(1, "x")])
+        assert r.active_domain() == {1, "x"}
+
+
+class TestSetOperations:
+    def test_union(self):
+        a = Relation(("A",), [(1,)])
+        b = Relation(("A",), [(2,)])
+        assert len(a.union(b)) == 2
+
+    def test_union_schema_mismatch(self):
+        with pytest.raises(SchemaError):
+            Relation(("A",), []).union(Relation(("B",), []))
+
+    def test_difference(self):
+        a = Relation(("A",), [(1,), (2,)])
+        b = Relation(("A",), [(2,)])
+        assert a.difference(b).rows == frozenset({(1,)})
+
+    def test_intersection(self):
+        a = Relation(("A",), [(1,), (2,)])
+        b = Relation(("A",), [(2,), (3,)])
+        assert a.intersection(b).rows == frozenset({(2,)})
+
+    def test_issubset(self):
+        a = Relation(("A",), [(1,)])
+        b = Relation(("A",), [(1,), (2,)])
+        assert a.issubset(b)
+        assert not b.issubset(a)
+
+    def test_with_rows(self):
+        a = Relation(("A",), [(1,)])
+        grown = a.with_rows([(2,)])
+        assert len(grown) == 2
+        assert len(a) == 1  # original untouched
+
+    def test_operations_preserve_immutability(self):
+        a = Relation(("A",), [(1,)])
+        a.union(Relation(("A",), [(2,)]))
+        assert len(a) == 1

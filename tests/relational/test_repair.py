@@ -1,0 +1,147 @@
+"""Unit tests for repair-key possible-worlds semantics (Section 2.2)."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ProbabilityError
+from repro.relational import (
+    Relation,
+    repair_distribution,
+    sample_repair,
+    world_probability,
+)
+from repro.workloads import BASKETBALL_WORLD_PROBABILITIES, basketball_table
+
+
+class TestRepairDistribution:
+    def test_basketball_example_22(self):
+        """Example 2.2 / Table 2: the exact four-world distribution."""
+        worlds = repair_distribution(
+            basketball_table(), key=("Player",), weight="Belief"
+        )
+        assert len(worlds) == 4
+        observed = {}
+        for world, probability in worlds.items():
+            key = tuple(sorted(row[1] for row in world))
+            observed[key] = probability
+        for (bryant, iverson), expected in BASKETBALL_WORLD_PROBABILITIES.items():
+            key = tuple(sorted((bryant, iverson)))
+            assert observed[key] == expected
+
+    def test_probabilities_sum_to_one(self, players):
+        worlds = repair_distribution(players, key=("Player",), weight="Belief")
+        assert sum(p for _w, p in worlds.items()) == 1
+
+    def test_each_world_is_maximal_repair(self, players):
+        worlds = repair_distribution(players, key=("Player",), weight="Belief")
+        key_values = players.column_values("Player")
+        for world in worlds.support():
+            assert world.column_values("Player") == key_values
+            assert len(world) == len(key_values)
+
+    def test_empty_relation_single_empty_world(self):
+        empty = Relation(("A", "P"), [])
+        worlds = repair_distribution(empty, key=(), weight="P")
+        assert len(worlds) == 1
+        assert worlds.probability(empty) == 1
+
+    def test_uniform_without_weight(self):
+        r = Relation(("K", "V"), [("k", 1), ("k", 2), ("k", 3)])
+        worlds = repair_distribution(r, key=("K",))
+        assert all(p == Fraction(1, 3) for _w, p in worlds.items())
+
+    def test_keyless_single_choice(self):
+        r = Relation(("V", "P"), [("a", 1), ("b", 3)])
+        worlds = repair_distribution(r, key=(), weight="P")
+        chosen = {next(iter(w))[0]: p for w, p in worlds.items()}
+        assert chosen == {"a": Fraction(1, 4), "b": Fraction(3, 4)}
+
+    def test_fully_uniform(self):
+        r = Relation(("V",), [("a",), ("b",)])
+        worlds = repair_distribution(r)
+        assert all(p == Fraction(1, 2) for _w, p in worlds.items())
+
+    def test_output_schema_keeps_weight_column(self, players):
+        worlds = repair_distribution(players, key=("Player",), weight="Belief")
+        for world in worlds.support():
+            assert world.columns == players.columns
+
+    def test_footnote1_duplicate_merge(self):
+        """Rows equal on non-weight columns merge by summing weights."""
+        r = Relation(("K", "V", "P"), [("k", "a", 1), ("k", "a", 2), ("k", "b", 3)])
+        worlds = repair_distribution(r, key=("K",), weight="P")
+        by_value = {next(iter(w))[1]: p for w, p in worlds.items()}
+        assert by_value["a"] == Fraction(1, 2)
+        assert by_value["b"] == Fraction(1, 2)
+        merged_row = ("k", "a", Fraction(3))
+        assert any(merged_row in w for w in worlds.support())
+
+    def test_nonpositive_weight_rejected(self):
+        r = Relation(("V", "P"), [("a", 0)])
+        with pytest.raises(ProbabilityError):
+            repair_distribution(r, key=(), weight="P")
+        r2 = Relation(("V", "P"), [("a", -1)])
+        with pytest.raises(ProbabilityError):
+            repair_distribution(r2, key=(), weight="P")
+
+    def test_groups_independent(self):
+        """World probability = product over groups (Example 2.2)."""
+        r = Relation(
+            ("K", "V", "P"), [("x", 1, 1), ("x", 2, 1), ("y", 1, 1), ("y", 2, 3)]
+        )
+        worlds = repair_distribution(r, key=("K",), weight="P")
+        target = Relation(("K", "V", "P"), [("x", 1, 1), ("y", 2, 3)])
+        assert worlds.probability(target) == Fraction(1, 2) * Fraction(3, 4)
+
+
+class TestWorldProbability:
+    def test_matches_enumeration(self, players):
+        worlds = repair_distribution(players, key=("Player",), weight="Belief")
+        for world, probability in worlds.items():
+            assert (
+                world_probability(players, world, key=("Player",), weight="Belief")
+                == probability
+            )
+
+    def test_non_repair_is_zero(self, players):
+        bogus = Relation(players.columns, [("Bryant", "LA Lakers", 17)])
+        assert world_probability(players, bogus, key=("Player",), weight="Belief") == 0
+
+    def test_two_rows_same_group_is_zero(self, players):
+        bogus = Relation(
+            players.columns,
+            [
+                ("Bryant", "LA Lakers", 17),
+                ("Bryant", "NY Knicks", 3),
+                ("Iverson", "Philadelphia 76ers", 8),
+            ],
+        )
+        assert world_probability(players, bogus, key=("Player",), weight="Belief") == 0
+
+
+class TestSampleRepair:
+    def test_sampled_world_is_possible(self, players):
+        rng = random.Random(0)
+        worlds = repair_distribution(players, key=("Player",), weight="Belief")
+        for _ in range(50):
+            sampled = sample_repair(players, rng, key=("Player",), weight="Belief")
+            assert sampled in worlds.support()
+
+    def test_sampling_frequencies_match(self, players):
+        """Empirical frequencies approach the exact world probabilities."""
+        rng = random.Random(42)
+        counts: dict = {}
+        trials = 4000
+        for _ in range(trials):
+            world = sample_repair(players, rng, key=("Player",), weight="Belief")
+            counts[world] = counts.get(world, 0) + 1
+        worlds = repair_distribution(players, key=("Player",), weight="Belief")
+        for world, probability in worlds.items():
+            observed = counts.get(world, 0) / trials
+            assert abs(observed - float(probability)) < 0.03
+
+    def test_empty_input(self):
+        empty = Relation(("A",), [])
+        assert sample_repair(empty, random.Random(1)) == empty

@@ -1,0 +1,217 @@
+"""End-to-end tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main, parse_event
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    """Program, kernel, and database files for CLI runs."""
+    db = tmp_path / "db.json"
+    db.write_text(
+        json.dumps(
+            {
+                "relations": {
+                    "e": {"columns": ["I", "J"], "rows": [["v", "w"], ["v", "u"]]},
+                    "C": {"columns": ["I"], "rows": [["a"]]},
+                    "E": {
+                        "columns": ["I", "J", "P"],
+                        "rows": [["a", "b", 1], ["b", "a", 1], ["a", "a", 1]],
+                    },
+                    "Cold": {"columns": ["I"], "rows": []},
+                }
+            }
+        )
+    )
+    program = tmp_path / "reach.dl"
+    program.write_text(
+        "c(v).\nc2(X*, Y) :- c(X), e(X, Y).\nc(Y) :- c2(X, Y).\n"
+    )
+    walk = tmp_path / "walk.ra"
+    walk.write_text("C := rename[J->I](project[J](repair-key[I@P](C join E)))\n")
+    reach = tmp_path / "reach.ra"
+    reach.write_text(
+        "Cold := C\n"
+        "C := C union rename[J->I](project[J]("
+        "repair-key[I@P]((C minus Cold) join E)))\n"
+    )
+    return {"db": str(db), "program": str(program), "walk": str(walk), "reach": str(reach)}
+
+
+class TestParseEvent:
+    def test_simple(self):
+        event = parse_event("c(w)")
+        assert event.relation == "c"
+        assert event.row == ("w",)
+
+    def test_typed_values(self):
+        event = parse_event("r(3, 1/2, 'two words', plain)")
+        from fractions import Fraction
+
+        assert event.row == (3, Fraction(1, 2), "two words", "plain")
+
+    def test_zero_arity(self):
+        assert parse_event("q()").row == ()
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ReproError):
+            parse_event("not an event")
+
+
+class TestDatalogCommand:
+    def test_exact(self, workspace, capsys):
+        code = main(
+            ["datalog", workspace["program"], "--db", workspace["db"], "--event", "c(w)"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "probability: 1/2" in out
+
+    def test_sampling(self, workspace, capsys):
+        code = main(
+            [
+                "datalog",
+                workspace["program"],
+                "--db",
+                workspace["db"],
+                "--event",
+                "c(w)",
+                "--samples",
+                "400",
+                "--seed",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Theorem 4.3" in out
+
+    def test_json_output(self, workspace, capsys):
+        code = main(
+            [
+                "datalog",
+                workspace["program"],
+                "--db",
+                workspace["db"],
+                "--event",
+                "c(w)",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["probability"] == "1/2"
+
+
+class TestForeverCommand:
+    def test_exact(self, workspace, capsys):
+        code = main(
+            ["forever", workspace["walk"], "--db", workspace["db"], "--event", "C(b)"]
+        )
+        assert code == 0
+        assert "1/3" in capsys.readouterr().out
+
+    def test_mcmc(self, workspace, capsys):
+        code = main(
+            [
+                "forever",
+                workspace["walk"],
+                "--db",
+                workspace["db"],
+                "--event",
+                "C(b)",
+                "--mcmc",
+                "--samples",
+                "200",
+                "--burn-in",
+                "20",
+                "--seed",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert "Theorem 5.6" in capsys.readouterr().out
+
+
+class TestInflationaryCommand:
+    def test_exact(self, workspace, capsys):
+        code = main(
+            [
+                "inflationary",
+                workspace["reach"],
+                "--db",
+                workspace["db"],
+                "--event",
+                "C(b)",
+            ]
+        )
+        assert code == 0
+        assert "probability: 1" in capsys.readouterr().out
+
+
+class TestChainCommand:
+    def test_report(self, workspace, capsys):
+        code = main(["chain", workspace["walk"], "--db", workspace["db"]])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "irreducible: True" in out
+        assert "mixing_time_0.25" in out
+
+
+class TestErrors:
+    def test_missing_file(self, workspace, capsys):
+        code = main(
+            ["datalog", "/nonexistent.dl", "--db", workspace["db"], "--event", "c(w)"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_event(self, workspace, capsys):
+        code = main(
+            [
+                "datalog",
+                workspace["program"],
+                "--db",
+                workspace["db"],
+                "--event",
+                "???",
+            ]
+        )
+        assert code == 1
+
+    def test_non_inflationary_kernel_rejected(self, workspace, capsys):
+        code = main(
+            [
+                "inflationary",
+                workspace["walk"],
+                "--db",
+                workspace["db"],
+                "--event",
+                "C(b)",
+            ]
+        )
+        assert code == 1
+        assert "not inflationary" in capsys.readouterr().err
+
+
+class TestLumpedFlag:
+    def test_forever_lumped(self, workspace, capsys):
+        code = main(
+            [
+                "forever",
+                workspace["walk"],
+                "--db",
+                workspace["db"],
+                "--event",
+                "C(b)",
+                "--lumped",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lumped quotient" in out
+        assert "probability: 1/3" in out

@@ -1,0 +1,79 @@
+"""Unit tests for JSON database I/O."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.io import (
+    database_from_json,
+    database_to_json,
+    decode_value,
+    encode_value,
+    load_database,
+    save_database,
+)
+from repro.relational import Database, Relation
+
+
+class TestValueCodec:
+    def test_int_round_trip(self):
+        assert decode_value(3) == 3
+        assert encode_value(3) == 3
+
+    def test_float_decodes_decimal_exactly(self):
+        assert decode_value(0.1) == Fraction(1, 10)
+        assert decode_value(0.5) == Fraction(1, 2)
+
+    def test_rational_string(self):
+        assert decode_value("1/3") == Fraction(1, 3)
+        assert encode_value(Fraction(1, 3)) == "1/3"
+
+    def test_integral_fraction_encodes_as_int(self):
+        assert encode_value(Fraction(4, 2)) == 2
+
+    def test_plain_string(self):
+        assert decode_value("alice") == "alice"
+        assert encode_value("alice") == "alice"
+
+    def test_bool_and_none_rejected(self):
+        with pytest.raises(SchemaError):
+            decode_value(True)
+        with pytest.raises(SchemaError):
+            decode_value(None)
+
+    def test_unencodable_rejected(self):
+        with pytest.raises(SchemaError):
+            encode_value(object())
+
+
+class TestDatabaseJson:
+    def test_round_trip(self):
+        db = Database(
+            {
+                "E": Relation(
+                    ("I", "J", "P"),
+                    [("a", "b", Fraction(1, 2)), ("b", "a", 1)],
+                ),
+                "C": Relation(("I",), [("a",)]),
+            }
+        )
+        assert database_from_json(database_to_json(db)) == db
+
+    def test_missing_relations_key(self):
+        with pytest.raises(SchemaError):
+            database_from_json({})
+
+    def test_missing_columns(self):
+        with pytest.raises(SchemaError):
+            database_from_json({"relations": {"R": {"rows": []}}})
+
+    def test_rows_optional(self):
+        db = database_from_json({"relations": {"R": {"columns": ["A"]}}})
+        assert len(db["R"]) == 0
+
+    def test_file_round_trip(self, tmp_path):
+        db = Database({"R": Relation(("A",), [(Fraction(2, 3),), ("x",)])})
+        path = tmp_path / "db.json"
+        save_database(db, path)
+        assert load_database(path) == db

@@ -1,0 +1,134 @@
+"""Unit tests for pc-table JSON decoding."""
+
+import json
+from fractions import Fraction
+
+import pytest
+
+from repro.ctables import TRUE
+from repro.errors import SchemaError
+from repro.io import condition_from_json, load_pc_database, pc_database_from_json
+
+
+def spec(**overrides):
+    base = {
+        "variables": {"x1": {"values": [0, 1], "weights": [1, 3]}},
+        "tables": {
+            "a": {
+                "columns": ["L"],
+                "entries": [
+                    {"row": ["v1"], "condition": {"var": "x1", "equals": 1}},
+                    {"row": ["nv1"], "condition": {"var": "x1", "not_equals": 1}},
+                ],
+            }
+        },
+    }
+    base.update(overrides)
+    return base
+
+
+class TestConditions:
+    def test_atoms(self):
+        eq = condition_from_json({"var": "x", "equals": 1})
+        assert eq.evaluate({"x": 1})
+        assert not eq.evaluate({"x": 0})
+        ne = condition_from_json({"var": "x", "not_equals": 1})
+        assert ne.evaluate({"x": 0})
+
+    def test_true_and_missing(self):
+        assert condition_from_json(True) is TRUE
+        assert condition_from_json(None) is TRUE
+        assert condition_from_json({"and": []}) is TRUE
+
+    def test_combinators(self):
+        condition = condition_from_json(
+            {
+                "and": [
+                    {"or": [{"var": "x", "equals": 1}, {"var": "y", "equals": 1}]},
+                    {"not": {"var": "z", "equals": 1}},
+                ]
+            }
+        )
+        assert condition.evaluate({"x": 1, "y": 0, "z": 0})
+        assert not condition.evaluate({"x": 1, "y": 0, "z": 1})
+
+    def test_values_decoded(self):
+        condition = condition_from_json({"var": "x", "equals": "1/2"})
+        assert condition.evaluate({"x": Fraction(1, 2)})
+
+    def test_bad_condition(self):
+        with pytest.raises(SchemaError):
+            condition_from_json({"weird": 1})
+        with pytest.raises(SchemaError):
+            condition_from_json("nope")
+        with pytest.raises(SchemaError):
+            condition_from_json({"or": []})
+
+
+class TestPcDatabase:
+    def test_round_trip_semantics(self):
+        pcdb = pc_database_from_json(spec())
+        worlds = pcdb.possible_worlds()
+        assert len(worlds) == 2
+        true_world = next(w for w in worlds.support() if ("v1",) in w["a"])
+        assert worlds.probability(true_world) == Fraction(3, 4)
+
+    def test_uniform_weights_default(self):
+        data = spec()
+        del data["variables"]["x1"]["weights"]
+        pcdb = pc_database_from_json(data)
+        assert pcdb.variables["x1"].probability(1) == Fraction(1, 2)
+
+    def test_missing_sections(self):
+        with pytest.raises(SchemaError):
+            pc_database_from_json({"variables": {}})
+        with pytest.raises(SchemaError):
+            pc_database_from_json({"tables": {}})
+
+    def test_length_mismatch(self):
+        data = spec()
+        data["variables"]["x1"]["weights"] = [1]
+        with pytest.raises(SchemaError):
+            pc_database_from_json(data)
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "pc.json"
+        path.write_text(json.dumps(spec()))
+        pcdb = load_pc_database(path)
+        assert sorted(pcdb.tables) == ["a"]
+
+
+class TestCliIntegration:
+    def test_thm41_style_instance(self, tmp_path, capsys):
+        from repro.cli import main
+
+        (tmp_path / "pc.json").write_text(json.dumps(spec()))
+        (tmp_path / "db.json").write_text(
+            json.dumps(
+                {
+                    "relations": {
+                        "o": {"columns": ["C1", "C2"], "rows": [["q0", "q1"]]},
+                        "cl": {"columns": ["C", "L"], "rows": [["q1", "v1"]]},
+                    }
+                }
+            )
+        )
+        (tmp_path / "prog.dl").write_text(
+            "r(q0).\nr(Y) :- r(X), o(X, Y), cl(Y, L), a(L).\ndone(x) :- r(q1).\n"
+        )
+        code = main(
+            [
+                "datalog",
+                str(tmp_path / "prog.dl"),
+                "--db",
+                str(tmp_path / "db.json"),
+                "--pc",
+                str(tmp_path / "pc.json"),
+                "--event",
+                "done(x)",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "probability: 3/4" in out
+        assert "pc_worlds: 2" in out

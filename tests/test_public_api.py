@@ -1,0 +1,59 @@
+"""Sanity checks on the public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+PACKAGES = [
+    "repro",
+    "repro.baselines",
+    "repro.core",
+    "repro.core.evaluation",
+    "repro.ctables",
+    "repro.datalog",
+    "repro.markov",
+    "repro.probability",
+    "repro.reductions",
+    "repro.relational",
+    "repro.workloads",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_names_resolve(package):
+    module = importlib.import_module(package)
+    exported = getattr(module, "__all__", None)
+    assert exported, f"{package} must define __all__"
+    for name in exported:
+        assert hasattr(module, name), f"{package}.__all__ lists missing {name!r}"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_sorted_and_unique(package):
+    module = importlib.import_module(package)
+    exported = list(module.__all__)
+    assert exported == sorted(exported), f"{package}.__all__ is not sorted"
+    assert len(exported) == len(set(exported)), f"{package}.__all__ has duplicates"
+
+
+def test_version_string():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_star_import_is_clean():
+    namespace: dict = {}
+    exec("from repro import *", namespace)  # noqa: S102 - deliberate
+    missing = [n for n in repro.__all__ if n not in namespace]
+    assert not missing
+
+
+def test_every_public_callable_has_a_docstring():
+    undocumented = []
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if callable(obj) and not (obj.__doc__ or "").strip():
+            undocumented.append(name)
+    assert not undocumented, f"missing docstrings: {undocumented}"

@@ -1,0 +1,31 @@
+"""Execute every Python snippet in docs/tutorial.md.
+
+The tutorial is executable documentation; this test keeps it that way.
+Snippets share one namespace, in order, exactly as a reader would run
+them.
+"""
+
+import re
+from pathlib import Path
+
+TUTORIAL = Path(__file__).resolve().parent.parent / "docs" / "tutorial.md"
+
+
+def test_tutorial_snippets_run():
+    text = TUTORIAL.read_text(encoding="utf-8")
+    snippets = re.findall(r"```python\n(.*?)```", text, re.S)
+    assert len(snippets) >= 8, "tutorial lost its code snippets"
+    namespace: dict = {}
+    for index, snippet in enumerate(snippets):
+        code = compile(snippet, f"<tutorial-snippet-{index}>", "exec")
+        exec(code, namespace)  # noqa: S102 - the point of the test
+
+
+def test_readme_quickstart_snippet_runs():
+    readme = (TUTORIAL.parent.parent / "README.md").read_text(encoding="utf-8")
+    snippets = re.findall(r"```python\n(.*?)```", readme, re.S)
+    assert snippets, "README lost its quickstart snippet"
+    namespace: dict = {}
+    for index, snippet in enumerate(snippets):
+        code = compile(snippet, f"<readme-snippet-{index}>", "exec")
+        exec(code, namespace)  # noqa: S102

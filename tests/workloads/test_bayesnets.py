@@ -1,0 +1,136 @@
+"""Unit tests for Bayesian-network workloads (Example 3.10)."""
+
+import itertools
+from fractions import Fraction
+
+import pytest
+
+from repro.core import TupleIn
+from repro.datalog import evaluate_datalog_exact
+from repro.workloads import BayesError, BayesianNetwork, random_network, sprinkler_network
+
+
+class TestNetworkValidation:
+    def test_parent_must_precede(self):
+        with pytest.raises(BayesError):
+            BayesianNetwork(
+                nodes=("a", "b"),
+                parents={"a": ("b",), "b": ()},
+                cpts={"a": {(0,): Fraction(1, 2), (1,): Fraction(1, 2)}, "b": {(): Fraction(1, 2)}},
+            )
+
+    def test_cpt_must_cover_all_combinations(self):
+        with pytest.raises(BayesError):
+            BayesianNetwork(
+                nodes=("a", "b"),
+                parents={"a": (), "b": ("a",)},
+                cpts={"a": {(): Fraction(1, 2)}, "b": {(0,): Fraction(1, 2)}},
+            )
+
+    def test_missing_cpt(self):
+        with pytest.raises(BayesError):
+            BayesianNetwork(nodes=("a",), parents={"a": ()}, cpts={})
+
+    def test_probability_range(self):
+        with pytest.raises(BayesError):
+            BayesianNetwork(
+                nodes=("a",), parents={"a": ()}, cpts={"a": {(): Fraction(3, 2)}}
+            )
+
+
+class TestExactSemantics:
+    def test_joint_sums_to_one(self, sprinkler):
+        total = sum(
+            sprinkler.joint_probability(dict(zip(sprinkler.nodes, bits)))
+            for bits in itertools.product((0, 1), repeat=3)
+        )
+        assert total == 1
+
+    def test_known_sprinkler_marginal(self, sprinkler):
+        # Pr[rain] = 1/5 by construction
+        assert sprinkler.marginal_probability({"rain": 1}) == Fraction(1, 5)
+
+    def test_marginal_of_unknown_node(self, sprinkler):
+        with pytest.raises(BayesError):
+            sprinkler.marginal_probability({"zz": 1})
+
+    def test_sampling_matches_marginal(self, sprinkler):
+        import random
+
+        rng = random.Random(0)
+        hits = sum(sprinkler.sample(rng)["grass"] for _ in range(4000))
+        expected = float(sprinkler.marginal_probability({"grass": 1}))
+        assert abs(hits / 4000 - expected) < 0.03
+
+    def test_max_in_degree(self, sprinkler):
+        assert sprinkler.max_in_degree == 2
+
+
+class TestDatalogTranslation:
+    def test_program_structure(self, sprinkler):
+        program, edb = sprinkler.to_datalog()
+        # one rule per in-degree (0, 1, 2)
+        assert len(program) == 3
+        assert "s0" in edb and "t2" in edb
+
+    def test_marginal_matches_enumeration(self, sprinkler):
+        for conditions in ({"grass": 1}, {"rain": 1, "grass": 1}, {"sprinkler": 0}):
+            program, edb = sprinkler.to_datalog(conditions=conditions)
+            result = evaluate_datalog_exact(program, edb, TupleIn("q", ()))
+            assert result.probability == sprinkler.marginal_probability(conditions)
+
+    def test_zero_probability_rows_omitted(self, sprinkler):
+        _program, edb = sprinkler.to_datalog()
+        weights = [row[-1] for row in edb["t2"]]
+        assert all(w > 0 for w in weights)
+
+    def test_empty_conditions_rejected(self, sprinkler):
+        with pytest.raises(BayesError):
+            sprinkler.to_datalog(conditions={})
+
+
+class TestRandomNetworks:
+    def test_deterministic_by_seed(self):
+        a = random_network(5, rng=3)
+        b = random_network(5, rng=3)
+        assert a.parents == b.parents
+        assert a.cpts == b.cpts
+
+    def test_in_degree_bound(self):
+        network = random_network(8, max_in_degree=2, rng=1)
+        assert network.max_in_degree <= 2
+
+    def test_random_network_translation_agrees(self):
+        for seed in range(3):
+            network = random_network(4, max_in_degree=2, rng=seed)
+            conditions = {network.nodes[-1]: 1}
+            program, edb = network.to_datalog(conditions=conditions)
+            result = evaluate_datalog_exact(program, edb, TupleIn("q", ()))
+            assert result.probability == network.marginal_probability(conditions)
+
+    def test_size_validated(self):
+        with pytest.raises(BayesError):
+            random_network(0)
+
+
+class TestHigherInDegree:
+    def test_in_degree_three_rules(self):
+        """Networks with K = 3 exercise the t3/s3 rule shape of Ex 3.10."""
+        network = BayesianNetwork(
+            nodes=("a", "b", "c", "d"),
+            parents={"a": (), "b": (), "c": (), "d": ("a", "b", "c")},
+            cpts={
+                "a": {(): Fraction(1, 2)},
+                "b": {(): Fraction(1, 3)},
+                "c": {(): Fraction(1, 4)},
+                "d": {
+                    bits: Fraction(1 + sum(bits), 5)
+                    for bits in __import__("itertools").product((0, 1), repeat=3)
+                },
+            },
+        )
+        assert network.max_in_degree == 3
+        program, edb = network.to_datalog(conditions={"d": 1})
+        assert "t3" in edb and "s3" in edb
+        result = evaluate_datalog_exact(program, edb, TupleIn("q", ()))
+        assert result.probability == network.marginal_probability({"d": 1})

@@ -1,0 +1,118 @@
+"""Unit tests for the Gibbs-sampler MCMC application."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ReproError
+from repro.markov import is_ergodic, is_irreducible, mixing_time, stationary_distribution
+from repro.workloads import BayesianNetwork, random_network
+from repro.workloads.gibbs import (
+    as_mapping,
+    as_state,
+    conditional_probability,
+    gibbs_chain,
+    gibbs_marginal_estimate,
+    gibbs_step,
+    joint_distribution,
+)
+
+
+def two_node_network() -> BayesianNetwork:
+    return BayesianNetwork(
+        nodes=("x", "y"),
+        parents={"x": (), "y": ("x",)},
+        cpts={
+            "x": {(): Fraction(3, 10)},
+            "y": {(0,): Fraction(1, 5), (1,): Fraction(4, 5)},
+        },
+    )
+
+
+class TestStateCodec:
+    def test_round_trip(self):
+        valuation = {"b": 1, "a": 0}
+        assert as_mapping(as_state(valuation)) == valuation
+
+    def test_canonical_order(self):
+        assert as_state({"b": 1, "a": 0}) == as_state({"a": 0, "b": 1})
+
+
+class TestConditional:
+    def test_root_without_children_uses_prior(self):
+        bn = BayesianNetwork(
+            nodes=("x",), parents={"x": ()}, cpts={"x": {(): Fraction(3, 10)}}
+        )
+        assert conditional_probability(bn, {"x": 0}, "x") == Fraction(3, 10)
+
+    def test_blanket_conditional_known_value(self):
+        bn = two_node_network()
+        # Pr[x=1 | y=1] = 0.3*0.8 / (0.3*0.8 + 0.7*0.2) = 24/38
+        assert conditional_probability(bn, {"x": 0, "y": 1}, "x") == Fraction(24, 38)
+
+    def test_child_conditional_is_cpt(self):
+        bn = two_node_network()
+        assert conditional_probability(bn, {"x": 1, "y": 0}, "y") == Fraction(4, 5)
+
+
+class TestGibbsChain:
+    def test_stationary_is_exactly_the_joint(self):
+        for seed in range(3):
+            bn = random_network(3, max_in_degree=2, rng=seed)
+            chain = gibbs_chain(bn)
+            assert stationary_distribution(chain) == joint_distribution(bn)
+
+    def test_chain_is_ergodic(self):
+        bn = random_network(4, max_in_degree=2, rng=9)
+        chain = gibbs_chain(bn)
+        assert is_irreducible(chain)
+        assert is_ergodic(chain)
+
+    def test_state_count(self):
+        assert gibbs_chain(two_node_network()).size == 4
+
+    def test_zero_cpt_rejected(self):
+        bn = BayesianNetwork(
+            nodes=("x",), parents={"x": ()}, cpts={"x": {(): Fraction(0)}}
+        )
+        with pytest.raises(ReproError):
+            gibbs_chain(bn)
+
+    def test_mixing_time_finite(self):
+        bn = two_node_network()
+        assert mixing_time(gibbs_chain(bn), epsilon=0.1) >= 1
+
+
+class TestSimulation:
+    def test_step_changes_at_most_one_node(self):
+        bn = random_network(5, max_in_degree=2, rng=4)
+        rng = random.Random(0)
+        valuation = bn.sample(rng)
+        for _ in range(50):
+            successor = gibbs_step(bn, valuation, rng)
+            changed = [n for n in bn.nodes if successor[n] != valuation[n]]
+            assert len(changed) <= 1
+            valuation = successor
+
+    def test_marginal_estimate_accuracy(self):
+        bn = two_node_network()
+        exact = float(bn.marginal_probability({"y": 1}))
+        estimate = gibbs_marginal_estimate(
+            bn, {"y": 1}, samples=4000, burn_in=30, rng=random.Random(7), thinning=2
+        )
+        assert abs(estimate - exact) < 0.03
+
+    def test_joint_condition_estimate(self):
+        bn = random_network(4, max_in_degree=2, rng=11)
+        conditions = {bn.nodes[0]: 1, bn.nodes[-1]: 0}
+        exact = float(bn.marginal_probability(conditions))
+        estimate = gibbs_marginal_estimate(
+            bn, conditions, samples=4000, burn_in=40, rng=random.Random(3), thinning=3
+        )
+        assert abs(estimate - exact) < 0.04
+
+    def test_parameter_validation(self):
+        bn = two_node_network()
+        with pytest.raises(ReproError):
+            gibbs_marginal_estimate(bn, {"y": 1}, samples=0, burn_in=0, rng=random.Random(0))

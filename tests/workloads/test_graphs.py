@@ -1,0 +1,162 @@
+"""Unit tests for the graph workload generators."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.markov import is_ergodic, is_irreducible
+from repro.workloads import (
+    GraphError,
+    WeightedGraph,
+    barbell_graph,
+    chain_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    layered_dag,
+    random_ergodic_chain,
+    star_graph,
+    two_component_graph,
+)
+
+
+class TestWeightedGraph:
+    def test_construction(self):
+        g = WeightedGraph(("a", "b"), (("a", "b", 1), ("b", "a", 0.5)))
+        assert len(g.edges) == 2
+        assert g.out_edges("a") == [("a", "b", Fraction(1))]
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(GraphError):
+            WeightedGraph(("a", "a"), ())
+
+    def test_unknown_edge_endpoint_rejected(self):
+        with pytest.raises(GraphError):
+            WeightedGraph(("a",), (("a", "z", 1),))
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(GraphError):
+            WeightedGraph(("a", "b"), (("a", "b", 0),))
+
+    def test_edge_relation(self):
+        g = WeightedGraph(("a", "b"), (("a", "b", 2), ("b", "a", 1)))
+        relation = g.edge_relation()
+        assert relation.columns == ("I", "J", "P")
+        assert ("a", "b", Fraction(2)) in relation
+
+    def test_sinks(self):
+        g = WeightedGraph(("a", "b"), (("a", "b", 1),))
+        assert g.sinks() == ["b"]
+
+    def test_to_markov_chain_normalises(self):
+        g = WeightedGraph(("a", "b"), (("a", "b", 1), ("a", "a", 3), ("b", "a", 1)))
+        chain = g.to_markov_chain()
+        assert chain.probability("a", "b") == Fraction(1, 4)
+
+    def test_to_markov_chain_rejects_sinks(self):
+        g = WeightedGraph(("a", "b"), (("a", "b", 1),))
+        with pytest.raises(GraphError):
+            g.to_markov_chain()
+
+
+class TestGenerators:
+    def test_complete_graph_ergodic(self):
+        assert is_ergodic(complete_graph(5).to_markov_chain())
+
+    def test_cycle_graph_lazy_and_ergodic(self):
+        chain = cycle_graph(6).to_markov_chain()
+        assert is_ergodic(chain)
+        assert chain.probability("n0", "n0") == Fraction(1, 2)
+
+    def test_cycle_laziness_validated(self):
+        with pytest.raises(GraphError):
+            cycle_graph(4, laziness=Fraction(2))
+
+    def test_barbell_structure(self):
+        g = barbell_graph(4)
+        assert len(g.nodes) == 8
+        assert is_irreducible(g.to_markov_chain())
+
+    def test_chain_graph_irreducible(self):
+        assert is_irreducible(chain_graph(5).to_markov_chain())
+
+    def test_layered_dag_walk_terminates_at_sink(self):
+        g = layered_dag(3, 2, rng=0)
+        assert "sink" in g.nodes
+        assert g.out_edges("sink") == [("sink", "sink", Fraction(1))]
+        assert not g.sinks()  # everything has an out-edge
+
+    def test_layered_dag_deterministic_by_seed(self):
+        assert layered_dag(3, 3, rng=5).edges == layered_dag(3, 3, rng=5).edges
+
+    def test_erdos_renyi_irreducible(self):
+        for seed in range(5):
+            assert is_irreducible(erdos_renyi(6, 0.3, rng=seed).to_markov_chain())
+
+    def test_two_component_graph_disconnected(self):
+        g = two_component_graph(3, components=2)
+        assert len(g.nodes) == 6
+        chain = g.to_markov_chain()
+        assert not is_irreducible(chain)
+
+    def test_size_validation(self):
+        with pytest.raises(GraphError):
+            complete_graph(1)
+        with pytest.raises(GraphError):
+            cycle_graph(1)
+        with pytest.raises(GraphError):
+            layered_dag(0, 2)
+
+
+class TestAdditionalGenerators:
+    def test_star_graph_structure(self):
+        from repro.markov import is_ergodic, stationary_distribution
+
+        g = star_graph(4)
+        chain = g.to_markov_chain()
+        assert chain.size == 5
+        assert is_ergodic(chain)
+        pi = stationary_distribution(chain)
+        # leaves are symmetric
+        leaf_masses = {pi.probability(f"leaf{i}") for i in range(4)}
+        assert len(leaf_masses) == 1
+
+    def test_star_validation(self):
+        with pytest.raises(GraphError):
+            star_graph(0)
+        with pytest.raises(GraphError):
+            star_graph(3, laziness=Fraction(2))
+
+    def test_grid_graph_structure(self):
+        from repro.markov import is_ergodic
+
+        g = grid_graph(3, 4)
+        chain = g.to_markov_chain()
+        assert chain.size == 12
+        assert is_ergodic(chain)
+        # corner cell: self-loop + 2 neighbours
+        assert len(g.out_edges("g0_0")) == 3
+
+    def test_grid_validation(self):
+        with pytest.raises(GraphError):
+            grid_graph(0, 3)
+        with pytest.raises(GraphError):
+            grid_graph(1, 1)
+
+    def test_random_ergodic_chain(self):
+        from repro.markov import is_ergodic, is_irreducible
+
+        for seed in range(4):
+            chain = random_ergodic_chain(6, rng=seed)
+            assert is_irreducible(chain)
+            assert is_ergodic(chain)
+
+    def test_random_ergodic_chain_deterministic(self):
+        a = random_ergodic_chain(5, rng=9)
+        b = random_ergodic_chain(5, rng=9)
+        assert a.exact_matrix() == b.exact_matrix()
+
+    def test_random_ergodic_chain_validation(self):
+        with pytest.raises(GraphError):
+            random_ergodic_chain(1)

@@ -1,0 +1,53 @@
+"""Unit tests for the literal paper instances."""
+
+from fractions import Fraction
+
+from repro.relational import repair_distribution
+from repro.workloads import (
+    BASKETBALL_WORLD_PROBABILITIES,
+    basketball_table,
+    example_36_graph,
+    example_39_edb,
+)
+
+
+class TestTable2:
+    def test_shape(self):
+        table = basketball_table()
+        assert table.columns == ("Player", "Team", "Belief")
+        assert len(table) == 4
+
+    def test_recorded_probabilities_normalise(self):
+        assert sum(BASKETBALL_WORLD_PROBABILITIES.values()) == 1
+
+    def test_recorded_probabilities_match_repair_key(self):
+        worlds = repair_distribution(
+            basketball_table(), key=("Player",), weight="Belief"
+        )
+        for world, probability in worlds.items():
+            teams = {row[0]: row[1] for row in world}
+            key = (teams["Bryant"], teams["Iverson"])
+            assert BASKETBALL_WORLD_PROBABILITIES[key] == probability
+
+    def test_bryant_lakers_probability(self):
+        assert (
+            BASKETBALL_WORLD_PROBABILITIES[("LA Lakers", "Philadelphia 76ers")]
+            == Fraction(17, 20) * Fraction(8, 15)
+        )
+
+
+class TestExampleGraphs:
+    def test_example_36_weights(self):
+        graph = example_36_graph()
+        weights = {(s, t): w for s, t, w in graph.edges}
+        assert weights[("a", "b")] == Fraction(1, 2)
+        assert weights[("a", "c")] == Fraction(1, 2)
+
+    def test_example_36_walkable(self):
+        chain = example_36_graph().to_markov_chain()
+        assert chain.size == 3
+
+    def test_example_39_edb(self):
+        relation = example_39_edb()
+        assert relation.columns == ("I", "J", "P")
+        assert ("v", "w", Fraction(1, 2)) in relation

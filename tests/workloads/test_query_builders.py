@@ -1,0 +1,83 @@
+"""Unit tests for the Example 3.3–3.9 query builders."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    evaluate_forever_exact,
+    evaluate_inflationary_exact,
+    TupleIn,
+)
+from repro.datalog import evaluate_datalog_exact
+from repro.errors import ReproError
+from repro.markov import stationary_distribution
+from repro.workloads import (
+    cycle_graph,
+    erdos_renyi,
+    example_36_graph,
+    pagerank_query,
+    random_walk_query,
+    reachability_program,
+    reachability_query,
+    unguarded_reachability_query,
+)
+
+
+class TestRandomWalkQuery:
+    def test_stationary_matches_graph_chain(self):
+        graph = erdos_renyi(4, 0.5, rng=7)
+        query, db = random_walk_query(graph, "n0", "n1")
+        result = evaluate_forever_exact(query, db)
+        pi = stationary_distribution(graph.to_markov_chain())
+        assert result.probability == pi.probability("n1")
+
+    def test_bad_nodes_rejected(self):
+        with pytest.raises(ReproError):
+            random_walk_query(cycle_graph(3), "n0", "zz")
+
+
+class TestPagerankQuery:
+    def test_uniform_on_symmetric_graph(self):
+        query, db = pagerank_query(cycle_graph(4), Fraction(1, 5), "n0", "n2")
+        result = evaluate_forever_exact(query, db)
+        assert result.probability == Fraction(1, 4)
+
+    def test_alpha_validated(self):
+        with pytest.raises(ReproError):
+            pagerank_query(cycle_graph(3), Fraction(2), "n0", "n1")
+
+    def test_jump_makes_chain_irreducible(self):
+        # one-way edge graph: without the jump, n2 unreachable states occur
+        from repro.workloads import WeightedGraph
+
+        graph = WeightedGraph(
+            ("a", "b", "c"),
+            (("a", "b", 1), ("b", "a", 1), ("c", "a", 1), ("c", "c", 1)),
+        )
+        query, db = pagerank_query(graph, Fraction(1, 4), "a", "c")
+        result = evaluate_forever_exact(query, db)
+        assert 0 < result.probability < 1
+        assert result.details["irreducible"]
+
+
+class TestReachabilityBuilders:
+    def test_example_35_value(self):
+        query, db = reachability_query(example_36_graph(), "a", "b")
+        assert evaluate_inflationary_exact(query, db).probability == Fraction(1, 2)
+
+    def test_example_36_value(self):
+        query, db = unguarded_reachability_query(example_36_graph(), "a", "b")
+        assert evaluate_inflationary_exact(query, db).probability == 1
+
+    def test_datalog_program_matches_fixpoint_query(self):
+        graph = example_36_graph()
+        fix_query, fix_db = reachability_query(graph, "a", "b")
+        fix = evaluate_inflationary_exact(fix_query, fix_db).probability
+        program, edb = reachability_program(graph, "a")
+        datalog = evaluate_datalog_exact(program, edb, TupleIn("c", ("b",))).probability
+        assert fix == datalog
+
+    def test_bad_nodes_rejected(self):
+        with pytest.raises(ReproError):
+            reachability_query(example_36_graph(), "zz", "b")
