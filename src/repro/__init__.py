@@ -51,6 +51,8 @@ from repro.datalog import (
 )
 from repro.errors import (
     AlgebraError,
+    BudgetExceededError,
+    CheckpointError,
     ConditionError,
     DatalogError,
     EvaluationError,
@@ -58,6 +60,7 @@ from repro.errors import (
     NotInflationaryError,
     ProbabilityError,
     ReproError,
+    RunCancelledError,
     SchemaError,
     StateSpaceLimitExceeded,
 )
@@ -75,6 +78,15 @@ from repro.reductions import (
     build_thm41_instance,
     build_thm51_instance,
     random_3cnf,
+)
+from repro.runtime import (
+    Budget,
+    Checkpoint,
+    DegradationPolicy,
+    RunContext,
+    RunReport,
+    evaluate_forever_resilient,
+    load_checkpoint,
 )
 from repro.relational import (
     Database,
@@ -116,11 +128,16 @@ __version__ = "1.0.0"
 __all__ = [
     "AlgebraError",
     "BayesianNetwork",
+    "Budget",
+    "BudgetExceededError",
     "CNFFormula",
     "CTable",
+    "Checkpoint",
+    "CheckpointError",
     "ConditionError",
     "Database",
     "DatalogError",
+    "DegradationPolicy",
     "Distribution",
     "EvaluationError",
     "ExactResult",
@@ -139,6 +156,9 @@ __all__ = [
     "RelationNonEmpty",
     "ReproError",
     "Rule",
+    "RunCancelledError",
+    "RunContext",
+    "RunReport",
     "SamplingResult",
     "SchemaError",
     "StateSpaceLimitExceeded",
@@ -162,6 +182,7 @@ __all__ = [
     "evaluate_forever_mcmc",
     "evaluate_forever_numeric",
     "evaluate_forever_partitioned",
+    "evaluate_forever_resilient",
     "evaluate_inflationary_exact",
     "evaluate_inflationary_sampling",
     "hoeffding_sample_count",
@@ -171,6 +192,7 @@ __all__ = [
     "join",
     "layered_dag",
     "literal",
+    "load_checkpoint",
     "mixing_time",
     "pagerank_query",
     "paper_sample_count",

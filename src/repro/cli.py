@@ -19,6 +19,22 @@ Evaluate queries of the paper's languages directly from files::
 Exact evaluation is the default; pass ``--samples`` or
 ``--epsilon/--delta`` for the sampling evaluators (Theorems 4.3 / 5.6).
 ``--json`` switches the output to machine-readable JSON.
+
+Resource limits (see ``docs/robustness.md``): every subcommand accepts
+``--timeout SECONDS`` (wall-clock deadline) and ``--max-steps N``
+(transition-step budget); exceeding either aborts with a one-line
+message and exit code 2.  ``forever`` additionally supports
+
+* ``--fallback {none,lumped,mcmc,auto}`` — degrade gracefully when the
+  explicit chain outgrows ``--max-states`` instead of failing
+  (exact → lumped → MCMC; each downgrade is reported);
+* ``--checkpoint PATH`` — persist Theorem 5.6 sampler progress on
+  interruption (budget, Ctrl-C) so nothing is lost;
+* ``--resume PATH`` — continue an interrupted sampler run
+  bit-identically from its checkpoint.
+
+Exit codes: 0 success, 2 any library/input error, 130 interrupted
+(Ctrl-C; a configured ``--checkpoint`` is flushed first).
 """
 
 from __future__ import annotations
@@ -46,6 +62,7 @@ from repro.errors import ReproError
 from repro.io import load_database, load_pc_database
 from repro.markov import classify, is_ergodic, is_irreducible, mixing_time
 from repro.relational.parser import parse_interpretation
+from repro.runtime import Budget, DegradationPolicy, RunContext, evaluate_forever_resilient
 
 _EVENT_RE = re.compile(r"^\s*([A-Za-z_][A-Za-z0-9_]*)\s*\((.*)\)\s*$")
 _RATIONAL_RE = re.compile(r"^[+-]?\d+/\d+$")
@@ -109,11 +126,38 @@ def _add_sampling_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=None, help="RNG seed")
 
 
+def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget; exceeding it aborts with exit code 2",
+    )
+    parser.add_argument(
+        "--max-steps",
+        type=int,
+        default=None,
+        metavar="N",
+        help="total transition-step budget across the whole run",
+    )
+
+
+def _build_context(args: argparse.Namespace) -> RunContext:
+    """A run context from the subcommand's budget flags."""
+    return RunContext(
+        Budget(
+            wall_clock=getattr(args, "timeout", None),
+            max_steps=getattr(args, "max_steps", None),
+        )
+    )
+
+
 def _wants_sampling(args: argparse.Namespace) -> bool:
     return args.samples is not None or args.epsilon is not None
 
 
-def _command_datalog(args: argparse.Namespace) -> dict:
+def _command_datalog(args: argparse.Namespace, context: RunContext) -> dict:
     with open(args.program, encoding="utf-8") as handle:
         program = parse_program(handle.read())
     edb = load_database(args.db)
@@ -129,6 +173,7 @@ def _command_datalog(args: argparse.Namespace) -> dict:
             delta=args.delta,
             samples=args.samples,
             rng=args.seed,
+            context=context,
         )
         return {
             "mode": "sampling (Theorem 4.3)",
@@ -138,7 +183,12 @@ def _command_datalog(args: argparse.Namespace) -> dict:
             "delta": result.delta,
         }
     result = evaluate_datalog_exact(
-        program, edb, event, pc_tables=pc_tables, max_states=args.max_states
+        program,
+        edb,
+        event,
+        pc_tables=pc_tables,
+        max_states=args.max_states,
+        context=context,
     )
     return {
         "mode": "exact (Proposition 4.4)",
@@ -157,10 +207,57 @@ def _load_kernel_and_event(args: argparse.Namespace):
     return kernel, db, event
 
 
-def _command_forever(args: argparse.Namespace) -> dict:
+def _mcmc_payload(result) -> dict:
+    payload = {
+        "mode": "MCMC (Theorem 5.6)",
+        "estimate": result.estimate,
+        "samples": result.samples,
+        "burn_in": result.details["burn_in"],
+    }
+    if result.details.get("resumed_at") is not None:
+        payload["resumed_at_sample"] = result.details["resumed_at"]
+    return payload
+
+
+def _exact_payload(result) -> dict:
+    return {
+        "mode": f"exact ({result.method})",
+        "probability": str(result.probability),
+        "probability_float": float(result.probability),
+        "chain_states": result.states_explored,
+    }
+
+
+def _command_forever(args: argparse.Namespace, context: RunContext) -> dict:
     kernel, db, event = _load_kernel_and_event(args)
     query = ForeverQuery(kernel, event)
-    if args.mcmc or _wants_sampling(args):
+    if args.fallback != "none":
+        policy = DegradationPolicy(
+            mode=args.fallback,
+            mcmc_epsilon=args.epsilon or 0.1,
+            mcmc_delta=args.delta,
+            mcmc_samples=args.samples,
+            mcmc_burn_in=args.burn_in,
+        )
+        result = evaluate_forever_resilient(
+            query,
+            db,
+            max_states=args.max_states,
+            policy=policy,
+            context=context,
+            rng=args.seed,
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
+        )
+        if hasattr(result, "estimate"):
+            payload = _mcmc_payload(result)
+        else:
+            payload = _exact_payload(result)
+        report = context.report()
+        if report.downgrades:
+            payload["downgrades"] = [d.as_dict() for d in report.downgrades]
+        return payload
+    if args.mcmc or args.resume or _wants_sampling(args):
         result = evaluate_forever_mcmc(
             query,
             db,
@@ -169,15 +266,15 @@ def _command_forever(args: argparse.Namespace) -> dict:
             samples=args.samples,
             burn_in=args.burn_in,
             rng=args.seed,
+            context=context,
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
         )
-        return {
-            "mode": "MCMC (Theorem 5.6)",
-            "estimate": result.estimate,
-            "samples": result.samples,
-            "burn_in": result.details["burn_in"],
-        }
+        return _mcmc_payload(result)
     if args.lumped:
-        result = evaluate_forever_lumped(query, db, max_states=args.max_states)
+        result = evaluate_forever_lumped(
+            query, db, max_states=args.max_states, context=context
+        )
         return {
             "mode": "exact (lumped quotient)",
             "probability": str(result.probability),
@@ -185,17 +282,15 @@ def _command_forever(args: argparse.Namespace) -> dict:
             "full_chain_states": result.details["full_states"],
             "quotient_states": result.details["quotient_states"],
         }
-    result = evaluate_forever_exact(query, db, max_states=args.max_states)
-    return {
-        "mode": f"exact ({result.method})",
-        "probability": str(result.probability),
-        "probability_float": float(result.probability),
-        "chain_states": result.states_explored,
-        "irreducible": result.details["irreducible"],
-    }
+    result = evaluate_forever_exact(
+        query, db, max_states=args.max_states, context=context
+    )
+    payload = _exact_payload(result)
+    payload["irreducible"] = result.details["irreducible"]
+    return payload
 
 
-def _command_inflationary(args: argparse.Namespace) -> dict:
+def _command_inflationary(args: argparse.Namespace, context: RunContext) -> dict:
     kernel, db, event = _load_kernel_and_event(args)
     query = InflationaryQuery(kernel, event)
     if _wants_sampling(args):
@@ -206,13 +301,16 @@ def _command_inflationary(args: argparse.Namespace) -> dict:
             delta=args.delta,
             samples=args.samples,
             rng=args.seed,
+            context=context,
         )
         return {
             "mode": "sampling (Theorem 4.3)",
             "estimate": result.estimate,
             "samples": result.samples,
         }
-    result = evaluate_inflationary_exact(query, db, max_states=args.max_states)
+    result = evaluate_inflationary_exact(
+        query, db, max_states=args.max_states, context=context
+    )
     return {
         "mode": "exact (Proposition 4.4)",
         "probability": str(result.probability),
@@ -221,15 +319,15 @@ def _command_inflationary(args: argparse.Namespace) -> dict:
     }
 
 
-def _command_chain(args: argparse.Namespace) -> dict:
+def _command_chain(args: argparse.Namespace, context: RunContext) -> dict:
     with open(args.kernel, encoding="utf-8") as handle:
         kernel = parse_interpretation(handle.read())
     db = load_database(args.db)
-    chain = build_state_chain(kernel, db, max_states=args.max_states)
+    chain = build_state_chain(kernel, db, max_states=args.max_states, context=context)
     summary: dict = dict(classify(chain))
     if is_irreducible(chain) and is_ergodic(chain):
-        summary["mixing_time_0.25"] = mixing_time(chain, epsilon=0.25)
-        summary["mixing_time_0.05"] = mixing_time(chain, epsilon=0.05)
+        summary["mixing_time_0.25"] = mixing_time(chain, epsilon=0.25, context=context)
+        summary["mixing_time_0.05"] = mixing_time(chain, epsilon=0.05, context=context)
     return summary
 
 
@@ -253,6 +351,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     datalog.add_argument("--pc", help="pc-table database JSON (Definition 2.1)")
     datalog.add_argument("--max-states", type=int, default=100_000)
     _add_sampling_arguments(datalog)
+    _add_budget_arguments(datalog)
     datalog.set_defaults(handler=_command_datalog)
 
     forever = subparsers.add_parser(
@@ -269,7 +368,27 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     forever.add_argument("--burn-in", type=int, default=None)
     forever.add_argument("--max-states", type=int, default=20_000)
+    forever.add_argument(
+        "--fallback",
+        choices=("none", "lumped", "mcmc", "auto"),
+        default="none",
+        help="degrade exact -> lumped -> MCMC when the chain outgrows "
+        "--max-states instead of failing (downgrades are reported)",
+    )
+    forever.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="write sampler progress here on interruption (budget or Ctrl-C)",
+    )
+    forever.add_argument(
+        "--resume",
+        metavar="PATH",
+        default=None,
+        help="resume an interrupted Theorem 5.6 run from its checkpoint",
+    )
     _add_sampling_arguments(forever)
+    _add_budget_arguments(forever)
     forever.set_defaults(handler=_command_forever)
 
     inflationary = subparsers.add_parser(
@@ -280,6 +399,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     inflationary.add_argument("--event", required=True)
     inflationary.add_argument("--max-states", type=int, default=100_000)
     _add_sampling_arguments(inflationary)
+    _add_budget_arguments(inflationary)
     inflationary.set_defaults(handler=_command_inflationary)
 
     chain = subparsers.add_parser(
@@ -288,19 +408,35 @@ def build_arg_parser() -> argparse.ArgumentParser:
     chain.add_argument("kernel")
     chain.add_argument("--db", required=True)
     chain.add_argument("--max-states", type=int, default=20_000)
+    _add_budget_arguments(chain)
     chain.set_defaults(handler=_command_chain)
 
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point.
+
+    Exit codes: 0 on success; 2 for any :class:`ReproError` (including
+    budget exhaustion) or input problem, printed as one line on stderr;
+    130 when interrupted with Ctrl-C (the samplers flush a checkpoint
+    first when ``--checkpoint`` is configured).
+    """
     parser = build_arg_parser()
     args = parser.parse_args(argv)
     try:
-        payload = args.handler(args)
+        context = _build_context(args)
+        payload = args.handler(args, context)
+    except KeyboardInterrupt:
+        message = "interrupted"
+        checkpoint = getattr(args, "checkpoint", None)
+        if checkpoint:
+            message += f" (progress saved to {checkpoint})"
+        print(message, file=sys.stderr)
+        return 130
     except (ReproError, OSError, json.JSONDecodeError) as error:
         print(f"error: {error}", file=sys.stderr)
-        return 1
+        return 2
     _emit(payload, args.json)
     return 0
 

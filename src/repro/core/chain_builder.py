@@ -15,12 +15,16 @@ callers can fall back to sampling (Theorem 5.6).
 from __future__ import annotations
 
 from collections import deque
+from typing import TYPE_CHECKING
 
 from repro.core.interpretation import Interpretation
 from repro.errors import StateSpaceLimitExceeded
 from repro.markov.chain import MarkovChain
 from repro.probability.distribution import Distribution
 from repro.relational.database import Database
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.runtime.context import RunContext
 
 #: Default cap on the number of database states explored.
 DEFAULT_MAX_STATES = 20_000
@@ -30,12 +34,19 @@ def build_state_chain(
     kernel: Interpretation,
     initial: Database,
     max_states: int = DEFAULT_MAX_STATES,
+    context: "RunContext | None" = None,
 ) -> MarkovChain[Database]:
     """The reachable Markov chain over database states from ``initial``.
 
     Every reachable state's transition row is the exact distribution
     Q(state); the result is a closed chain suitable for the exact
     machinery of :mod:`repro.markov`.
+
+    ``context`` (a :class:`~repro.runtime.RunContext`) makes the
+    exploration interruptible: each materialised state is charged
+    against the context's budget and the cancellation token is polled
+    once per expanded state.  Omitting it keeps the build unbounded
+    apart from ``max_states``.
 
     Examples
     --------
@@ -53,7 +64,11 @@ def build_state_chain(
     transitions: dict[Database, Distribution[Database]] = {}
     queue: deque[Database] = deque([initial])
     discovered = {initial}
+    if context is not None:
+        context.tick_states()
     while queue:
+        if context is not None:
+            context.check()
         state = queue.popleft()
         row = kernel.transition(state)
         transitions[state] = row
@@ -61,11 +76,23 @@ def build_state_chain(
             if successor not in discovered:
                 if len(discovered) >= max_states:
                     raise StateSpaceLimitExceeded(
-                        f"state chain exceeds max_states={max_states}; "
-                        "raise the limit or use the sampling evaluator"
+                        f"state chain exceeds max_states={max_states} "
+                        f"({len(discovered)} states discovered, "
+                        f"{len(transitions)} expanded, frontier size "
+                        f"{len(queue) + 1}); raise the limit, use the "
+                        "lumped or sampling evaluator, or enable "
+                        "degradation (--fallback auto)",
+                        details={
+                            "max_states": max_states,
+                            "states_discovered": len(discovered),
+                            "states_expanded": len(transitions),
+                            "frontier_size": len(queue) + 1,
+                        },
                     )
                 discovered.add(successor)
                 queue.append(successor)
+                if context is not None:
+                    context.tick_states()
     return MarkovChain(transitions)
 
 
@@ -73,6 +100,7 @@ def count_reachable_states(
     kernel: Interpretation,
     initial: Database,
     max_states: int = DEFAULT_MAX_STATES,
+    context: "RunContext | None" = None,
 ) -> int:
     """Number of reachable database states (bounded exploration)."""
-    return build_state_chain(kernel, initial, max_states).size
+    return build_state_chain(kernel, initial, max_states, context=context).size

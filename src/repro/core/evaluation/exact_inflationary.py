@@ -25,13 +25,16 @@ from __future__ import annotations
 
 import sys
 from fractions import Fraction
-from typing import Callable, Hashable, TypeVar
+from typing import TYPE_CHECKING, Callable, Hashable, TypeVar
 
 from repro.core.evaluation.results import ExactResult
 from repro.core.queries import InflationaryQuery
 from repro.errors import EvaluationError, StateSpaceLimitExceeded
 from repro.probability.distribution import Distribution, as_fraction
 from repro.relational.database import Database
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.runtime.context import RunContext
 
 S = TypeVar("S", bound=Hashable)
 
@@ -45,6 +48,7 @@ def absorption_event_probability(
     initial: S,
     max_states: int = DEFAULT_MAX_STATES,
     check_growth: Callable[[S, S], None] | None = None,
+    context: "RunContext | None" = None,
 ) -> tuple[Fraction, int]:
     """Probability that ``event`` holds at the absorbing fixpoint.
 
@@ -71,9 +75,13 @@ def absorption_event_probability(
                 return cached  # type: ignore[return-value]
             if len(memo) >= max_states:
                 raise StateSpaceLimitExceeded(
-                    f"inflationary computation tree exceeds max_states={max_states}"
+                    f"inflationary computation tree exceeds max_states="
+                    f"{max_states} ({len(memo)} states memoised)",
+                    details={"max_states": max_states, "states_memoised": len(memo)},
                 )
             memo[state] = pending
+            if context is not None:
+                context.tick_states()
             row = transition(state)
             self_probability = as_fraction(row.probability(state))
             successors = [
@@ -104,6 +112,7 @@ def evaluate_inflationary_exact(
     query: InflationaryQuery,
     initial: Database,
     max_states: int = DEFAULT_MAX_STATES,
+    context: "RunContext | None" = None,
 ) -> ExactResult:
     """Exact result of an inflationary query (Proposition 4.4).
 
@@ -131,6 +140,7 @@ def evaluate_inflationary_exact(
             world_db,
             max_states=max_states,
             check_growth=query.check_step,
+            context=context,
         )
 
     if kernel.pc_tables is None:
@@ -149,6 +159,8 @@ def evaluate_inflationary_exact(
     total_states = 0
     worlds = 0
     for values, weight in pc.valuation_distribution().items():
+        if context is not None:
+            context.check()
         valuation = dict(zip(variable_names, values))
         world_db = initial.with_relations(
             {name: pc.tables[name].instantiate(valuation) for name in names}

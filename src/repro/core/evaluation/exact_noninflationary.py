@@ -19,6 +19,8 @@ exactly, periodic chains included.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.chain_builder import DEFAULT_MAX_STATES, build_state_chain
 from repro.core.evaluation.results import ExactResult
 from repro.core.queries import ForeverQuery
@@ -26,11 +28,15 @@ from repro.markov.absorption import long_run_event_probability
 from repro.markov.analysis import classify
 from repro.relational.database import Database
 
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.runtime.context import RunContext
+
 
 def evaluate_forever_exact(
     query: ForeverQuery,
     initial: Database,
     max_states: int = DEFAULT_MAX_STATES,
+    context: "RunContext | None" = None,
 ) -> ExactResult:
     """Exact result of a forever-query.
 
@@ -54,7 +60,11 @@ def evaluate_forever_exact(
     >>> evaluate_forever_exact(q, db).probability
     Fraction(1, 2)
     """
-    chain = build_state_chain(query.kernel, initial, max_states=max_states)
+    chain = build_state_chain(
+        query.kernel, initial, max_states=max_states, context=context
+    )
+    if context is not None:
+        context.check()
     probability = long_run_event_probability(chain, initial, query.event.holds)
     structure = classify(chain)
     method = "prop-5.4" if structure["irreducible"] else "thm-5.5"

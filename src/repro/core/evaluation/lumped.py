@@ -15,17 +15,23 @@ chain-level technique.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.chain_builder import DEFAULT_MAX_STATES, build_state_chain
 from repro.core.evaluation.results import ExactResult
 from repro.core.queries import ForeverQuery
 from repro.markov.lumping import lumped_event_probability
 from repro.relational.database import Database
 
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.runtime.context import RunContext
+
 
 def evaluate_forever_lumped(
     query: ForeverQuery,
     initial: Database,
     max_states: int = DEFAULT_MAX_STATES,
+    context: "RunContext | None" = None,
 ) -> ExactResult:
     """Exact forever-query result via the event-respecting quotient.
 
@@ -40,7 +46,11 @@ def evaluate_forever_lumped(
     >>> evaluate_forever_lumped(query, db).probability
     Fraction(1, 4)
     """
-    chain = build_state_chain(query.kernel, initial, max_states=max_states)
+    chain = build_state_chain(
+        query.kernel, initial, max_states=max_states, context=context
+    )
+    if context is not None:
+        context.check()
     probability, quotient_size = lumped_event_probability(
         chain, initial, query.event.holds
     )

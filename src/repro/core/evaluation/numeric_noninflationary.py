@@ -17,13 +17,16 @@ solver (not a statistical guarantee — the computation is deterministic).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.core.chain_builder import DEFAULT_MAX_STATES, build_state_chain
 from repro.core.queries import ForeverQuery
 from repro.markov.analysis import classify
 from repro.markov.numeric import long_run_event_probability_float
 from repro.relational.database import Database
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.runtime.context import RunContext
 
 
 @dataclass(frozen=True)
@@ -44,6 +47,7 @@ def evaluate_forever_numeric(
     query: ForeverQuery,
     initial: Database,
     max_states: int = DEFAULT_MAX_STATES,
+    context: "RunContext | None" = None,
 ) -> NumericResult:
     """Float64 result of a forever-query (Prop 5.4 / Thm 5.5 structure).
 
@@ -54,7 +58,11 @@ def evaluate_forever_numeric(
     >>> round(evaluate_forever_numeric(query, db).probability, 9)
     0.25
     """
-    chain = build_state_chain(query.kernel, initial, max_states=max_states)
+    chain = build_state_chain(
+        query.kernel, initial, max_states=max_states, context=context
+    )
+    if context is not None:
+        context.check()
     probability = long_run_event_probability_float(
         chain, initial, query.event.holds
     )

@@ -20,6 +20,7 @@ mention.
 from __future__ import annotations
 
 from fractions import Fraction
+from typing import TYPE_CHECKING
 
 from repro.core.chain_builder import DEFAULT_MAX_STATES
 from repro.core.evaluation.exact_noninflationary import evaluate_forever_exact
@@ -34,6 +35,9 @@ from repro.ctables.pctable import CTable, PCDatabase
 from repro.errors import EvaluationError
 from repro.relational.database import Database
 from repro.relational.relation import Relation
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.runtime.context import RunContext
 
 #: Safety cap on the inflationary provenance iteration.
 DEFAULT_MAX_PROVENANCE_ITERATIONS = 10_000
@@ -183,6 +187,7 @@ def evaluate_forever_partitioned(
     query: ForeverQuery,
     initial: Database,
     max_states: int = DEFAULT_MAX_STATES,
+    context: "RunContext | None" = None,
 ) -> ExactResult:
     """Exact forever-query evaluation through the Section 5.1 partition.
 
@@ -220,7 +225,7 @@ def evaluate_forever_partitioned(
             restricted_kernel = kernel
         restricted_query = ForeverQuery(restricted_kernel, query.event)
         result = evaluate_forever_exact(
-            restricted_query, restricted_db, max_states=max_states
+            restricted_query, restricted_db, max_states=max_states, context=context
         )
         miss *= 1 - result.probability
         total_states += result.states_explored

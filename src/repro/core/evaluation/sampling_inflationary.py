@@ -21,7 +21,7 @@ off by default.
 
 from __future__ import annotations
 
-from typing import Callable, Hashable, TypeVar
+from typing import TYPE_CHECKING, Callable, Hashable, TypeVar
 
 from repro.core.evaluation.results import SamplingResult
 from repro.core.queries import InflationaryQuery
@@ -30,6 +30,9 @@ from repro.probability.chernoff import hoeffding_sample_count, paper_sample_coun
 from repro.probability.distribution import Distribution
 from repro.probability.rng import RngLike, make_rng
 from repro.relational.database import Database
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.runtime.context import RunContext
 
 S = TypeVar("S", bound=Hashable)
 
@@ -43,6 +46,7 @@ def sample_fixpoint(
     initial: S,
     max_steps: int = DEFAULT_MAX_STEPS,
     stall_threshold: int | None = None,
+    context: "RunContext | None" = None,
 ) -> tuple[S, int]:
     """Run one probabilistic computation to its fixpoint.
 
@@ -54,6 +58,8 @@ def sample_fixpoint(
     state = initial
     stalled = 0
     for steps in range(max_steps):
+        if context is not None:
+            context.tick_steps()
         successor = step(state)
         if successor == state:
             if stall_threshold is None:
@@ -83,6 +89,7 @@ def evaluate_inflationary_sampling(
     max_steps: int = DEFAULT_MAX_STEPS,
     stall_threshold: int | None = None,
     use_paper_bound: bool = True,
+    context: "RunContext | None" = None,
 ) -> SamplingResult:
     """The Theorem 4.3 sampler: a randomized absolute (ε, δ)-approximation
     running in time polynomial in the database size.
@@ -137,6 +144,7 @@ def evaluate_inflationary_sampling(
             world,
             max_steps=max_steps,
             stall_threshold=stall_threshold,
+            context=context,
         )
         return query.event.holds(fixpoint), steps
 

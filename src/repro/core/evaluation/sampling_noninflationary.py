@@ -14,18 +14,34 @@ chain (small chains; used to validate the method), or estimated by the
 convergence heuristic the paper sketches in Section 5.1
 (:func:`adaptive_burn_in` — "computing intermediate probabilities up
 until convergence" over an ensemble of parallel walks).
+
+Resilience: the sampler is interruptible through an optional
+:class:`~repro.runtime.RunContext` (budget + cancellation checked once
+per kernel application) and can persist its exact position — partial
+tallies, mid-burn-in walker state, and the full RNG state — to a
+:class:`~repro.runtime.Checkpoint`, from which a later run resumes
+bit-identically (budget/cancellation interruptions stop on step
+boundaries; a ``KeyboardInterrupt`` checkpoint is best-effort, since
+the signal can land between the draws of a single transition).
 """
 
 from __future__ import annotations
 
+from pathlib import Path
+from typing import TYPE_CHECKING
+
 from repro.core.chain_builder import build_state_chain
 from repro.core.evaluation.results import SamplingResult
 from repro.core.queries import ForeverQuery
-from repro.errors import EvaluationError
+from repro.errors import CheckpointError, EvaluationError
 from repro.markov.mixing import mixing_time
 from repro.probability.chernoff import hoeffding_sample_count, paper_sample_count
 from repro.probability.rng import RngLike, make_rng
 from repro.relational.database import Database
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.runtime.checkpoint import Checkpoint
+    from repro.runtime.context import RunContext
 
 #: Default cap for the adaptive-burn-in heuristic.
 DEFAULT_ADAPTIVE_MAX_STEPS = 10_000
@@ -36,11 +52,14 @@ def computed_burn_in(
     initial: Database,
     mixing_epsilon: float,
     max_states: int,
+    context: "RunContext | None" = None,
 ) -> int:
     """The exact ε-mixing time of the induced chain (requires the chain
     to fit in ``max_states`` and to be ergodic)."""
-    chain = build_state_chain(query.kernel, initial, max_states=max_states)
-    return mixing_time(chain, epsilon=mixing_epsilon)
+    chain = build_state_chain(
+        query.kernel, initial, max_states=max_states, context=context
+    )
+    return mixing_time(chain, epsilon=mixing_epsilon, context=context)
 
 
 def adaptive_burn_in(
@@ -51,6 +70,7 @@ def adaptive_burn_in(
     window: int = 20,
     tolerance: float = 0.02,
     max_steps: int = DEFAULT_ADAPTIVE_MAX_STEPS,
+    context: "RunContext | None" = None,
 ) -> int:
     """Convergence-detection heuristic for implicit (too large) chains.
 
@@ -62,13 +82,18 @@ def adaptive_burn_in(
 
     This is a heuristic (no TV guarantee): slow modes invisible to the
     event can be missed.  Benchmarks compare it against the exact
-    mixing time.
+    mixing time.  On non-stabilisation the raised
+    :class:`~repro.errors.EvaluationError` carries the tail of the
+    frequency ``history`` and the walker count in its ``details`` so
+    callers (notably the degradation policy) can diagnose slow modes.
     """
     generator = make_rng(rng)
     query.kernel.check_schema(initial)
     states = [initial] * walkers
     history: list[float] = []
     for step in range(1, max_steps + 1):
+        if context is not None:
+            context.tick_steps(walkers)
         states = [
             query.kernel.sample_transition(state, generator) for state in states
         ]
@@ -79,10 +104,33 @@ def adaptive_burn_in(
             centre = sum(recent) / window
             if all(abs(value - centre) <= tolerance for value in recent):
                 return step
+    tail = history[-2 * window :]
     raise EvaluationError(
-        f"event frequency did not stabilise within {max_steps} steps; "
-        "increase max_steps or tolerance"
+        f"event frequency did not stabilise within {max_steps} steps "
+        f"({walkers} walkers; last {len(tail)} frequencies: {tail}); "
+        "increase max_steps or tolerance",
+        details={
+            "walkers": walkers,
+            "max_steps": max_steps,
+            "window": window,
+            "tolerance": tolerance,
+            "history_tail": tail,
+        },
     )
+
+
+def _load_resume(resume: "Checkpoint | str | Path | None") -> "Checkpoint | None":
+    if resume is None:
+        return None
+    from repro.runtime.checkpoint import KIND_FOREVER_MCMC, Checkpoint, load_checkpoint
+
+    checkpoint = resume if isinstance(resume, Checkpoint) else load_checkpoint(resume)
+    if checkpoint.kind != KIND_FOREVER_MCMC:
+        raise CheckpointError(
+            f"checkpoint kind {checkpoint.kind!r} is not a "
+            f"{KIND_FOREVER_MCMC!r} checkpoint"
+        )
+    return checkpoint
 
 
 def evaluate_forever_mcmc(
@@ -95,6 +143,9 @@ def evaluate_forever_mcmc(
     rng: RngLike = None,
     max_states_for_mixing: int = 5_000,
     use_paper_bound: bool = True,
+    context: "RunContext | None" = None,
+    checkpoint_path: str | Path | None = None,
+    resume: "Checkpoint | str | Path | None" = None,
 ) -> SamplingResult:
     """The Theorem 5.6 sampler.
 
@@ -112,32 +163,114 @@ def evaluate_forever_mcmc(
         ergodic) — the faithful Theorem 5.6 setting.
     samples:
         Override the planned sample count (ε/δ then recorded as None).
+    context:
+        Optional :class:`~repro.runtime.RunContext`; each kernel
+        application is charged one step, so budgets and cancellation
+        interrupt the run with one-transition latency.
+    checkpoint_path:
+        When set, an interruption (budget, cancellation, or Ctrl-C)
+        writes a :class:`~repro.runtime.Checkpoint` here before the
+        error propagates; a completed run removes any stale file.
+    resume:
+        A checkpoint (object or path) from a previous interrupted run.
+        The plan (burn-in, sample count, tallies) and the RNG state are
+        restored from it, so the resumed run is bit-identical to the
+        uninterrupted one; ``epsilon``/``delta``/``samples`` arguments
+        are ignored in favour of the checkpointed plan.
     """
+    from repro.runtime.checkpoint import (
+        KIND_FOREVER_MCMC,
+        Checkpoint,
+        run_fingerprint,
+    )
+
     generator = make_rng(rng)
     query.kernel.check_schema(initial)
+    fingerprint = run_fingerprint(repr(query.kernel), initial, repr(query.event))
 
-    if burn_in is None:
-        burn_in = computed_burn_in(
-            query, initial, mixing_epsilon=epsilon / 2.0, max_states=max_states_for_mixing
+    checkpoint = _load_resume(resume)
+    if checkpoint is not None:
+        checkpoint.verify_fingerprint(fingerprint)
+        burn_in = checkpoint.burn_in
+        planned = checkpoint.planned
+        recorded_epsilon = checkpoint.epsilon
+        recorded_delta = checkpoint.delta
+        positive = checkpoint.positive
+        start_sample = checkpoint.samples_done
+        checkpoint.restore_rng(generator)
+        resumed_walker = checkpoint.walker_state()
+    else:
+        if burn_in is None:
+            burn_in = computed_burn_in(
+                query,
+                initial,
+                mixing_epsilon=epsilon / 2.0,
+                max_states=max_states_for_mixing,
+                context=context,
+            )
+            sample_epsilon = epsilon / 2.0
+        else:
+            sample_epsilon = epsilon
+
+        if samples is None:
+            planner = paper_sample_count if use_paper_bound else hoeffding_sample_count
+            planned = planner(sample_epsilon, delta)
+            recorded_epsilon, recorded_delta = epsilon, delta
+        else:
+            planned = samples
+            recorded_epsilon = recorded_delta = None
+        positive = 0
+        start_sample = 0
+        resumed_walker = None
+
+    def snapshot(samples_done: int, walker: dict | None) -> Checkpoint:
+        return Checkpoint(
+            kind=KIND_FOREVER_MCMC,
+            samples_done=samples_done,
+            positive=positive,
+            planned=planned,
+            burn_in=burn_in,
+            epsilon=recorded_epsilon,
+            delta=recorded_delta,
+            rng_state=generator.getstate(),
+            walker=walker,
+            fingerprint=fingerprint,
         )
-        sample_epsilon = epsilon / 2.0
-    else:
-        sample_epsilon = epsilon
 
-    if samples is None:
-        planner = paper_sample_count if use_paper_bound else hoeffding_sample_count
-        planned = planner(sample_epsilon, delta)
-        recorded_epsilon, recorded_delta = epsilon, delta
-    else:
-        planned = samples
-        recorded_epsilon = recorded_delta = None
+    sample_index = start_sample
+    state = initial
+    steps_done = 0
+    try:
+        while sample_index < planned:
+            if resumed_walker is not None:
+                state, steps_done = resumed_walker
+                resumed_walker = None
+            else:
+                state = initial
+                steps_done = 0
+            while steps_done < burn_in:
+                if context is not None:
+                    context.tick_steps()
+                state = query.kernel.sample_transition(state, generator)
+                steps_done += 1
+            positive += query.event.holds(state)
+            sample_index += 1
+    except BaseException:
+        if checkpoint_path is not None:
+            from repro.io import database_to_json
 
-    positive = 0
-    for _ in range(planned):
-        state = initial
-        for _ in range(burn_in):
-            state = query.kernel.sample_transition(state, generator)
-        positive += query.event.holds(state)
+            walker = None
+            if 0 < steps_done < burn_in:
+                walker = {
+                    "state": database_to_json(state),
+                    "steps_done": steps_done,
+                }
+            snapshot(sample_index, walker).save(checkpoint_path)
+        raise
+
+    if checkpoint_path is not None:
+        # The run completed; a stale checkpoint must not be resumed.
+        Path(checkpoint_path).unlink(missing_ok=True)
 
     return SamplingResult(
         estimate=positive / planned,
@@ -146,5 +279,5 @@ def evaluate_forever_mcmc(
         epsilon=recorded_epsilon,
         delta=recorded_delta,
         method="thm-5.6",
-        details={"burn_in": burn_in},
+        details={"burn_in": burn_in, "resumed_at": start_sample or None},
     )

@@ -55,6 +55,11 @@ from repro.relational.database import Database
 from repro.relational.relation import Relation, Row
 from repro.relational.repair import repair_distribution, sample_repair
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.runtime.context import RunContext
+
 
 def _head_row(rule: Rule, valuation: dict[str, object]) -> Row:
     """Instantiate the head atom under one body valuation."""
@@ -228,6 +233,7 @@ def evaluate_datalog_exact(
     event: QueryEvent,
     pc_tables: PCDatabase | None = None,
     max_states: int = DEFAULT_MAX_STATES,
+    context: "RunContext | None" = None,
 ) -> ExactResult:
     """Exact inflationary-datalog evaluation (Prop 4.4 over the
     Section 3.3 machine).
@@ -244,6 +250,7 @@ def evaluate_datalog_exact(
             lambda state: event.holds(engine.database_of(state)),
             engine.initial_state(),
             max_states=max_states,
+            context=context,
         )
 
     if pc_tables is None:
@@ -254,6 +261,8 @@ def evaluate_datalog_exact(
     total_states = 0
     worlds = 0
     for world, weight in pc_tables.possible_worlds().items():
+        if context is not None:
+            context.check()
         merged = edb.with_relations(world.relations())
         probability, states = world_result(merged)
         total += as_fraction(weight) * probability
@@ -273,6 +282,7 @@ def evaluate_datalog_sampling(
     rng: RngLike = None,
     max_steps: int = DEFAULT_MAX_STEPS,
     use_paper_bound: bool = True,
+    context: "RunContext | None" = None,
 ) -> SamplingResult:
     """The Theorem 4.3 sampler specialised to datalog.
 
@@ -312,6 +322,7 @@ def evaluate_datalog_sampling(
             engine.is_fixpoint,
             engine.initial_state(),
             max_steps=max_steps,
+            context=context,
         )
         positive += event.holds(engine.database_of(fixpoint))
         total_steps += steps

@@ -7,9 +7,21 @@ still distinguishing schema problems from semantic ones.
 
 from __future__ import annotations
 
+from typing import Any, Mapping
+
 
 class ReproError(Exception):
-    """Base class of all errors raised by this library."""
+    """Base class of all errors raised by this library.
+
+    Every error carries a ``details`` mapping of machine-readable
+    diagnostics (empty by default) so callers — in particular the
+    :mod:`repro.runtime` degradation policy — can react to *why* an
+    operation failed without parsing the message text.
+    """
+
+    def __init__(self, *args: object, details: Mapping[str, Any] | None = None):
+        super().__init__(*args)
+        self.details: dict[str, Any] = dict(details or {})
 
 
 class SchemaError(ReproError):
@@ -69,3 +81,23 @@ class StateSpaceLimitExceeded(EvaluationError):
 class NotInflationaryError(EvaluationError):
     """A transition kernel produced a possible world that does not
     contain its input state, violating Definition 3.4."""
+
+
+class BudgetExceededError(EvaluationError):
+    """A :class:`~repro.runtime.Budget` resource limit was exhausted.
+
+    ``details`` records which resource tripped (``"wall_clock"``,
+    ``"steps"``, or ``"states"``), the limit, and the amount spent, so
+    callers can decide whether to retry with a cheaper evaluator.
+    """
+
+
+class RunCancelledError(ReproError):
+    """A cooperative cancellation token attached to the active
+    :class:`~repro.runtime.RunContext` was triggered and the evaluator
+    stopped at its next check point."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file could not be read, has an incompatible version
+    or kind, or does not match the run being resumed."""

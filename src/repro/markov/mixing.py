@@ -21,7 +21,7 @@ chain is also mixed in the paper's sense.
 
 from __future__ import annotations
 
-from typing import Hashable, TypeVar
+from typing import TYPE_CHECKING, Hashable, TypeVar
 
 import numpy as np
 
@@ -29,6 +29,9 @@ from repro.errors import MarkovChainError
 from repro.markov.analysis import is_aperiodic, is_irreducible
 from repro.markov.chain import MarkovChain
 from repro.markov.stationary import stationary_distribution_float
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.runtime.context import RunContext
 
 S = TypeVar("S", bound=Hashable)
 
@@ -56,7 +59,11 @@ def tv_from_stationary(chain: MarkovChain[S], steps: int) -> float:
     return float(np.max(np.abs(power - pi[None, :]).sum(axis=1) / 2.0))
 
 
-def tv_distance_curve(chain: MarkovChain[S], max_steps: int) -> list[float]:
+def tv_distance_curve(
+    chain: MarkovChain[S],
+    max_steps: int,
+    context: "RunContext | None" = None,
+) -> list[float]:
     """Worst-start TV distance after 0, 1, ..., max_steps steps.
 
     Useful for plotting convergence; entry 0 is the distance of the
@@ -70,13 +77,18 @@ def tv_distance_curve(chain: MarkovChain[S], max_steps: int) -> list[float]:
     power = np.eye(chain.size)
     curve = []
     for _ in range(max_steps + 1):
+        if context is not None:
+            context.check()
         curve.append(float(np.max(np.abs(power - pi[None, :]).sum(axis=1) / 2.0)))
         power = power @ matrix
     return curve
 
 
 def mixing_time(
-    chain: MarkovChain[S], epsilon: float = 0.25, step_limit: int = DEFAULT_STEP_LIMIT
+    chain: MarkovChain[S],
+    epsilon: float = 0.25,
+    step_limit: int = DEFAULT_STEP_LIMIT,
+    context: "RunContext | None" = None,
 ) -> int:
     """The ε-mixing time t(ε) of an ergodic chain, computed exactly.
 
@@ -100,6 +112,8 @@ def mixing_time(
     power = matrix.copy()
     powers = {1: power}
     while distance_at(power) >= epsilon:
+        if context is not None:
+            context.check()
         t *= 2
         if t > step_limit:
             raise MarkovChainError(
@@ -111,6 +125,8 @@ def mixing_time(
     # Binary search in (t/2, t].
     low, high = t // 2, t
     while high - low > 1:
+        if context is not None:
+            context.check()
         mid = (low + high) // 2
         mid_power = np.linalg.matrix_power(matrix, mid)
         if distance_at(mid_power) < epsilon:

@@ -3,39 +3,67 @@
 Thin, seeded wrappers around :meth:`MarkovChain.walk` used by the
 Theorem 5.6 sampler and by the empirical-validation benchmarks (e.g.
 checking the Definition 3.2 Cesàro limit by simulation).
+
+Every walk accepts an optional :class:`~repro.runtime.RunContext`;
+each transition is charged one budget step and the cancellation token
+is polled, so even a million-step simulation stops within one
+transition of a deadline or a cancel request.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Callable, Hashable, TypeVar
+from typing import TYPE_CHECKING, Callable, Hashable, TypeVar
 
 from repro.errors import MarkovChainError
 from repro.markov.chain import MarkovChain
 from repro.probability.rng import RngLike, make_rng
 
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.runtime.context import RunContext
+
 S = TypeVar("S", bound=Hashable)
 
 
 def walk_states(
-    chain: MarkovChain[S], start: S, steps: int, rng: RngLike = None
+    chain: MarkovChain[S],
+    start: S,
+    steps: int,
+    rng: RngLike = None,
+    context: "RunContext | None" = None,
 ) -> list[S]:
     """The full trajectory [start, X₁, ..., X_steps] of one random walk."""
     generator = make_rng(rng)
-    return [start] + list(chain.walk(start, steps, generator))
+    trajectory = [start]
+    for state in chain.walk(start, steps, generator):
+        if context is not None:
+            context.tick_steps()
+        trajectory.append(state)
+    return trajectory
 
 
-def state_after(chain: MarkovChain[S], start: S, steps: int, rng: RngLike = None) -> S:
+def state_after(
+    chain: MarkovChain[S],
+    start: S,
+    steps: int,
+    rng: RngLike = None,
+    context: "RunContext | None" = None,
+) -> S:
     """The state reached after ``steps`` transitions from ``start``."""
     generator = make_rng(rng)
     state = start
     for state in chain.walk(start, steps, generator):
-        pass
+        if context is not None:
+            context.tick_steps()
     return state
 
 
 def occupancy_frequencies(
-    chain: MarkovChain[S], start: S, steps: int, rng: RngLike = None
+    chain: MarkovChain[S],
+    start: S,
+    steps: int,
+    rng: RngLike = None,
+    context: "RunContext | None" = None,
 ) -> dict[S, float]:
     """Empirical occupancy of one long walk: the fraction of the first
     ``steps`` positions (after the start) spent in each state.
@@ -49,6 +77,8 @@ def occupancy_frequencies(
     generator = make_rng(rng)
     counts: Counter[S] = Counter()
     for state in chain.walk(start, steps, generator):
+        if context is not None:
+            context.tick_steps()
         counts[state] += 1
     return {state: count / steps for state, count in counts.items()}
 
@@ -59,6 +89,7 @@ def event_frequency(
     event: Callable[[S], bool],
     steps: int,
     rng: RngLike = None,
+    context: "RunContext | None" = None,
 ) -> float:
     """Fraction of the walk's time during which ``event`` holds —
     the simulated counterpart of Definition 3.2's query result."""
@@ -67,6 +98,8 @@ def event_frequency(
     generator = make_rng(rng)
     hits = 0
     for state in chain.walk(start, steps, generator):
+        if context is not None:
+            context.tick_steps()
         if event(state):
             hits += 1
     return hits / steps

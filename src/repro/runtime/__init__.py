@@ -1,0 +1,47 @@
+"""Resilient evaluation runtime: budgets, cancellation, checkpoints,
+and graceful degradation.
+
+The paper's evaluators are exact on explicit Markov chains whose size
+can be exponential in the database (Proposition 5.4) — this package is
+the substrate that makes running them safe in production:
+
+* :class:`Budget` / :class:`RunContext` — wall-clock deadlines, step
+  and state limits, cooperative cancellation, and a structured
+  :class:`RunReport` of what was spent and why;
+* :class:`Checkpoint` — serialise and restore sampler progress (partial
+  tallies, walker state, RNG state) so interrupted Theorem 5.6 runs
+  resume bit-identically;
+* :class:`DegradationPolicy` / :func:`evaluate_forever_resilient` —
+  fall back exact → lumped → MCMC when the state budget trips, with
+  every downgrade recorded instead of raised.
+
+Every evaluator in :mod:`repro.core.evaluation` accepts an optional
+``context``; the default (no context) keeps historical behaviour and
+signatures intact.
+"""
+
+from repro.runtime.budget import Budget
+from repro.runtime.checkpoint import (
+    CHECKPOINT_VERSION,
+    KIND_FOREVER_MCMC,
+    Checkpoint,
+    load_checkpoint,
+    run_fingerprint,
+)
+from repro.runtime.context import Downgrade, RunContext, RunReport, ensure_context
+from repro.runtime.degradation import DegradationPolicy, evaluate_forever_resilient
+
+__all__ = [
+    "Budget",
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
+    "DegradationPolicy",
+    "Downgrade",
+    "KIND_FOREVER_MCMC",
+    "RunContext",
+    "RunReport",
+    "ensure_context",
+    "evaluate_forever_resilient",
+    "load_checkpoint",
+    "run_fingerprint",
+]

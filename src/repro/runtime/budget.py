@@ -1,0 +1,77 @@
+"""Resource budgets for query evaluation.
+
+The paper's evaluators are inherently explosive: the non-inflationary
+semantics induces a Markov chain over *database instances*
+(Proposition 5.4), whose reachable part can be exponential in the
+database size, and the Theorem 5.6 sampler multiplies a burn-in by a
+Chernoff sample count.  A :class:`Budget` bounds a run along the three
+axes that matter in practice:
+
+* ``wall_clock`` — a deadline in seconds from the moment the
+  :class:`~repro.runtime.context.RunContext` is created;
+* ``max_steps`` — total transition-kernel applications (sampler steps,
+  random-walk steps);
+* ``max_states`` — total database states materialised across all chain
+  constructions of the run.
+
+``None`` for any axis means unlimited; :meth:`Budget.unlimited` is the
+default used when callers do not pass a context, which keeps every
+pre-existing call site working unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProbabilityError
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Hard resource limits for one evaluation run.
+
+    Examples
+    --------
+    >>> Budget(wall_clock=2.5, max_steps=10_000).is_unlimited
+    False
+    >>> Budget.unlimited().is_unlimited
+    True
+    """
+
+    wall_clock: float | None = None
+    max_steps: int | None = None
+    max_states: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.wall_clock is not None and self.wall_clock < 0:
+            raise ProbabilityError(
+                f"wall_clock budget must be non-negative, got {self.wall_clock!r}"
+            )
+        for name in ("max_steps", "max_states"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ProbabilityError(
+                    f"{name} budget must be non-negative, got {value!r}"
+                )
+
+    @classmethod
+    def unlimited(cls) -> "Budget":
+        """A budget with no limits (the default for legacy call sites)."""
+        return cls()
+
+    @property
+    def is_unlimited(self) -> bool:
+        """Whether no axis is bounded."""
+        return (
+            self.wall_clock is None
+            and self.max_steps is None
+            and self.max_states is None
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-friendly rendering (used by :class:`RunReport`)."""
+        return {
+            "wall_clock": self.wall_clock,
+            "max_steps": self.max_steps,
+            "max_states": self.max_states,
+        }

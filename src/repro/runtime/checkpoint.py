@@ -1,0 +1,229 @@
+"""Checkpoint / resume for the long-running samplers.
+
+A Theorem 5.6 run multiplies a burn-in (the mixing time, potentially
+huge) by a Chernoff sample count; killing it an hour in used to lose
+everything.  A :class:`Checkpoint` captures the sampler's exact
+position — completed samples, positive tally, the mid-burn-in walker
+state (as a serialised database) and, crucially, the full Mersenne
+Twister state from :mod:`repro.probability.rng`'s generator — so a
+resumed run continues the *same* random sequence and produces estimates
+bit-identical to an uninterrupted run.
+
+The on-disk format is JSON with an explicit ``version`` and ``kind``;
+anything unexpected raises :class:`~repro.errors.CheckpointError`
+rather than resuming garbage.  An optional ``fingerprint`` of the
+query/database pair guards against resuming a checkpoint into a
+different run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import CheckpointError
+from repro.io import database_from_json, database_to_json
+from repro.relational.database import Database
+
+#: Format version written to every checkpoint file.
+CHECKPOINT_VERSION = 1
+
+#: ``kind`` tag of Theorem 5.6 forever-query sampler checkpoints.
+KIND_FOREVER_MCMC = "forever-mcmc"
+
+
+def _encode_rng_state(state: Any) -> list:
+    """``random.Random.getstate()`` → JSON-friendly nested lists."""
+
+    def encode(value: Any) -> Any:
+        if isinstance(value, tuple):
+            return [encode(item) for item in value]
+        return value
+
+    return encode(state)
+
+
+def _decode_rng_state(data: Any) -> tuple:
+    """Inverse of :func:`_encode_rng_state` (lists back to tuples)."""
+
+    def decode(value: Any) -> Any:
+        if isinstance(value, list):
+            return tuple(decode(item) for item in value)
+        return value
+
+    state = decode(data)
+    if not isinstance(state, tuple):
+        raise CheckpointError(f"malformed RNG state in checkpoint: {data!r}")
+    return state
+
+
+def run_fingerprint(kernel_repr: str, initial: Database, event_repr: str) -> str:
+    """Stable digest identifying (kernel, database, event) for a run."""
+    payload = json.dumps(
+        {
+            "kernel": kernel_repr,
+            "database": database_to_json(initial),
+            "event": event_repr,
+        },
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A serialisable snapshot of sampler progress.
+
+    Attributes
+    ----------
+    kind:
+        Which sampler wrote this (currently :data:`KIND_FOREVER_MCMC`).
+    samples_done / positive / planned:
+        Partial tallies: completed samples, how many satisfied the
+        event, and the total planned count.
+    burn_in:
+        Steps per sample (fixed at planning time, restored on resume so
+        a resume never recomputes a different mixing time).
+    epsilon / delta:
+        The recorded accuracy guarantee (``None`` when the caller fixed
+        the sample count directly).
+    rng_state:
+        ``random.Random.getstate()`` of the run's generator at the
+        instant of the snapshot.
+    walker:
+        Mid-burn-in walker position: ``{"state": <database json>,
+        "steps_done": n}``, or ``None`` when the snapshot sits on a
+        sample boundary.
+    fingerprint:
+        Digest of (kernel, database, event); checked on resume.
+    """
+
+    kind: str
+    samples_done: int
+    positive: int
+    planned: int
+    burn_in: int
+    epsilon: float | None
+    delta: float | None
+    rng_state: tuple
+    walker: dict | None = None
+    fingerprint: str | None = None
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.samples_done < 0 or self.positive < 0:
+            raise CheckpointError("checkpoint tallies must be non-negative")
+        if self.positive > self.samples_done:
+            raise CheckpointError(
+                f"checkpoint positive count {self.positive} exceeds "
+                f"samples_done {self.samples_done}"
+            )
+
+    # -- resume helpers -------------------------------------------------
+
+    def restore_rng(self, generator: random.Random) -> None:
+        """Load the saved Mersenne Twister state into ``generator``."""
+        try:
+            generator.setstate(self.rng_state)
+        except (TypeError, ValueError) as error:
+            raise CheckpointError(
+                f"checkpoint RNG state is not restorable: {error}"
+            ) from error
+
+    def walker_state(self) -> tuple[Database, int] | None:
+        """The mid-burn-in walker ``(database, steps_done)``, if any."""
+        if self.walker is None:
+            return None
+        try:
+            db = database_from_json(self.walker["state"])
+            steps_done = int(self.walker["steps_done"])
+        except (KeyError, TypeError) as error:
+            raise CheckpointError(
+                f"malformed walker snapshot in checkpoint: {error}"
+            ) from error
+        return db, steps_done
+
+    def verify_fingerprint(self, expected: str | None) -> None:
+        """Raise unless the checkpoint belongs to the ``expected`` run."""
+        if self.fingerprint is None or expected is None:
+            return
+        if self.fingerprint != expected:
+            raise CheckpointError(
+                "checkpoint does not match this run (different kernel, "
+                "database, or event); refusing to resume"
+            )
+
+    # -- (de)serialisation ----------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "version": CHECKPOINT_VERSION,
+            "kind": self.kind,
+            "samples_done": self.samples_done,
+            "positive": self.positive,
+            "planned": self.planned,
+            "burn_in": self.burn_in,
+            "epsilon": self.epsilon,
+            "delta": self.delta,
+            "rng_state": _encode_rng_state(self.rng_state),
+            "walker": self.walker,
+            "fingerprint": self.fingerprint,
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_json(cls, data: Any) -> "Checkpoint":
+        if not isinstance(data, dict):
+            raise CheckpointError("checkpoint JSON must be an object")
+        version = data.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint version {version!r} "
+                f"(this library writes version {CHECKPOINT_VERSION})"
+            )
+        try:
+            return cls(
+                kind=data["kind"],
+                samples_done=data["samples_done"],
+                positive=data["positive"],
+                planned=data["planned"],
+                burn_in=data["burn_in"],
+                epsilon=data.get("epsilon"),
+                delta=data.get("delta"),
+                rng_state=_decode_rng_state(data["rng_state"]),
+                walker=data.get("walker"),
+                fingerprint=data.get("fingerprint"),
+                meta=data.get("meta") or {},
+            )
+        except KeyError as error:
+            raise CheckpointError(
+                f"checkpoint JSON is missing field {error.args[0]!r}"
+            ) from None
+
+    def save(self, path: str | Path) -> None:
+        """Write the checkpoint atomically (write-then-rename)."""
+        target = Path(path)
+        temp = target.with_name(target.name + ".tmp")
+        with open(temp, "w", encoding="utf-8") as handle:
+            json.dump(self.to_json(), handle)
+            handle.write("\n")
+        temp.replace(target)
+
+
+def load_checkpoint(path: str | Path) -> Checkpoint:
+    """Read and validate a checkpoint file."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as error:
+        raise CheckpointError(f"cannot read checkpoint {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise CheckpointError(
+            f"checkpoint {path} is not valid JSON: {error}"
+        ) from error
+    return Checkpoint.from_json(data)

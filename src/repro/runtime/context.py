@@ -1,0 +1,248 @@
+"""Cooperative run control: cancellation, budget checks, run reports.
+
+A :class:`RunContext` travels through an evaluation call tree (every
+evaluator accepts an optional ``context``) and provides three services:
+
+* **budget enforcement** — :meth:`RunContext.tick_steps` /
+  :meth:`RunContext.tick_states` charge work against the
+  :class:`~repro.runtime.budget.Budget` and raise
+  :class:`~repro.errors.BudgetExceededError` the moment an axis is
+  exhausted;
+* **cooperative cancellation** — :meth:`RunContext.cancel` (safe to
+  call from another thread or a signal handler) makes the next check
+  raise :class:`~repro.errors.RunCancelledError`;
+* **reporting** — downgrades and noteworthy events are recorded as they
+  happen and :meth:`RunContext.report` assembles a structured
+  :class:`RunReport` of what was spent and why.
+
+Checks happen at step/state granularity inside the evaluators' hot
+loops, so interruption latency is one transition, never one full run.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.errors import BudgetExceededError, RunCancelledError
+from repro.runtime.budget import Budget
+
+
+@dataclass(frozen=True)
+class Downgrade:
+    """One recorded evaluator downgrade (e.g. exact → lumped)."""
+
+    from_method: str
+    to_method: str
+    reason: str
+
+    def as_dict(self) -> dict:
+        return {
+            "from": self.from_method,
+            "to": self.to_method,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class RunReport:
+    """Structured account of one evaluation run.
+
+    Attributes
+    ----------
+    outcome:
+        ``"ok"`` on success, ``"budget_exceeded"`` / ``"cancelled"``
+        when the run was stopped, ``"running"`` while in flight.
+    method:
+        The algorithm that produced the final answer (``None`` until a
+        result exists).
+    downgrades:
+        The degradation path taken, in order.
+    events:
+        Free-form progress notes recorded by evaluators.
+    budget / spent:
+        The configured limits and what was actually consumed.
+    """
+
+    outcome: str = "running"
+    method: str | None = None
+    downgrades: list[Downgrade] = field(default_factory=list)
+    events: list[str] = field(default_factory=list)
+    budget: Mapping[str, Any] = field(default_factory=dict)
+    spent: Mapping[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "outcome": self.outcome,
+            "method": self.method,
+            "downgrades": [d.as_dict() for d in self.downgrades],
+            "events": list(self.events),
+            "budget": dict(self.budget),
+            "spent": dict(self.spent),
+        }
+
+
+class RunContext:
+    """Shared state of one evaluation run: budget, token, counters.
+
+    Parameters
+    ----------
+    budget:
+        Resource limits; ``None`` means unlimited.
+    clock:
+        Monotonic-seconds callable, injectable for deterministic tests.
+
+    Examples
+    --------
+    >>> context = RunContext(Budget(max_steps=2))
+    >>> context.tick_steps()
+    >>> context.tick_steps()
+    >>> context.tick_steps()
+    Traceback (most recent call last):
+        ...
+    repro.errors.BudgetExceededError: step budget exhausted: 3 > max_steps=2
+    """
+
+    def __init__(
+        self,
+        budget: Budget | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.budget = budget if budget is not None else Budget.unlimited()
+        self._clock = clock
+        self._started = clock()
+        self.steps_used = 0
+        self.states_used = 0
+        self._cancel_event = threading.Event()
+        self._downgrades: list[Downgrade] = []
+        self._events: list[str] = []
+        self._outcome = "running"
+        self._method: str | None = None
+
+    # -- cancellation -------------------------------------------------
+
+    def cancel(self) -> None:
+        """Request cooperative cancellation (thread/signal safe)."""
+        self._cancel_event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancel_event.is_set()
+
+    # -- time ---------------------------------------------------------
+
+    def elapsed(self) -> float:
+        """Seconds since the context was created."""
+        return self._clock() - self._started
+
+    def remaining_time(self) -> float | None:
+        """Seconds left on the wall-clock budget (``None`` = unlimited)."""
+        if self.budget.wall_clock is None:
+            return None
+        return self.budget.wall_clock - self.elapsed()
+
+    # -- checks -------------------------------------------------------
+
+    def check(self) -> None:
+        """Raise if cancelled or past the wall-clock deadline.
+
+        Called by evaluators at every loop iteration; charging methods
+        call it implicitly, so hot loops need only one ``tick_*`` call.
+        """
+        if self._cancel_event.is_set():
+            self._outcome = "cancelled"
+            raise RunCancelledError(
+                "run cancelled", details={"elapsed": self.elapsed()}
+            )
+        remaining = self.remaining_time()
+        if remaining is not None and remaining < 0:
+            self._outcome = "budget_exceeded"
+            raise BudgetExceededError(
+                f"wall-clock budget exhausted: {self.elapsed():.3f}s > "
+                f"{self.budget.wall_clock}s",
+                details={
+                    "resource": "wall_clock",
+                    "limit": self.budget.wall_clock,
+                    "spent": self.elapsed(),
+                },
+            )
+
+    def tick_steps(self, n: int = 1) -> None:
+        """Charge ``n`` transition steps against the budget."""
+        self.steps_used += n
+        limit = self.budget.max_steps
+        if limit is not None and self.steps_used > limit:
+            self._outcome = "budget_exceeded"
+            raise BudgetExceededError(
+                f"step budget exhausted: {self.steps_used} > max_steps={limit}",
+                details={
+                    "resource": "steps",
+                    "limit": limit,
+                    "spent": self.steps_used,
+                },
+            )
+        self.check()
+
+    def tick_states(self, n: int = 1) -> None:
+        """Charge ``n`` materialised states against the budget."""
+        self.states_used += n
+        limit = self.budget.max_states
+        if limit is not None and self.states_used > limit:
+            self._outcome = "budget_exceeded"
+            raise BudgetExceededError(
+                f"state budget exhausted: {self.states_used} > "
+                f"max_states={limit}",
+                details={
+                    "resource": "states",
+                    "limit": limit,
+                    "spent": self.states_used,
+                },
+            )
+        self.check()
+
+    # -- reporting ----------------------------------------------------
+
+    def record_event(self, message: str) -> None:
+        """Append a free-form progress note to the report."""
+        self._events.append(message)
+
+    def record_downgrade(self, from_method: str, to_method: str, reason: str) -> None:
+        """Record one degradation step (exact → lumped → MCMC)."""
+        self._downgrades.append(Downgrade(from_method, to_method, reason))
+        self._events.append(f"downgrade {from_method} -> {to_method}: {reason}")
+
+    @property
+    def downgrades(self) -> tuple[Downgrade, ...]:
+        return tuple(self._downgrades)
+
+    def finish(self, method: str | None = None) -> None:
+        """Mark the run successful (optionally noting the final method)."""
+        self._outcome = "ok"
+        if method is not None:
+            self._method = method
+
+    def report(self) -> RunReport:
+        """A structured snapshot of what was spent and why."""
+        return RunReport(
+            outcome=self._outcome,
+            method=self._method,
+            downgrades=list(self._downgrades),
+            events=list(self._events),
+            budget=self.budget.as_dict(),
+            spent={
+                "wall_clock": self.elapsed(),
+                "steps": self.steps_used,
+                "states": self.states_used,
+            },
+        )
+
+
+def ensure_context(context: RunContext | None) -> RunContext:
+    """Normalise an optional context to a concrete one.
+
+    ``None`` becomes a fresh unlimited context, so legacy call sites pay
+    only a cheap counter per loop iteration and can never trip a limit.
+    """
+    return context if context is not None else RunContext()

@@ -1,0 +1,221 @@
+"""Graceful exact → lumped → MCMC degradation for forever-queries.
+
+Proposition 5.4's chain over database instances can be exponential in
+the database size, so exact evaluation over an explicit chain is a bet,
+not a guarantee.  Instead of aborting when the bet is lost
+(:class:`~repro.errors.StateSpaceLimitExceeded`), a
+:class:`DegradationPolicy` steps down a ladder of evaluators:
+
+1. **exact** (:func:`~repro.core.evaluation.evaluate_forever_exact`) —
+   the Prop 5.4 / Thm 5.5 answer on the explicit chain;
+2. **lumped** (:func:`~repro.core.evaluation.evaluate_forever_lumped`)
+   — still exact, but granted a larger state allowance because its
+   expensive linear-algebra phase runs on the quotient chain
+   (``lumped_state_factor``);
+3. **MCMC** (:func:`~repro.core.evaluation.evaluate_forever_mcmc` with
+   :func:`~repro.core.evaluation.adaptive_burn_in`) — never
+   materialises the chain at all; an (ε, δ) estimate is returned where
+   an error used to be raised.
+
+Every downgrade is recorded in the run's
+:class:`~repro.runtime.context.RunReport` with the triggering reason,
+so the answer's provenance (exact or estimated, and why) is always
+auditable.  Wall-clock/step budget exhaustion and cancellation are
+*not* degraded — a run out of time is out of time for the fallback
+too — only state-space overflow is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Union
+
+from repro.core.chain_builder import DEFAULT_MAX_STATES
+from repro.core.evaluation.exact_noninflationary import evaluate_forever_exact
+from repro.core.evaluation.lumped import evaluate_forever_lumped
+from repro.core.evaluation.results import ExactResult, SamplingResult
+from repro.core.evaluation.sampling_noninflationary import (
+    DEFAULT_ADAPTIVE_MAX_STEPS,
+    adaptive_burn_in,
+    evaluate_forever_mcmc,
+)
+from repro.core.queries import ForeverQuery
+from repro.errors import EvaluationError, StateSpaceLimitExceeded
+from repro.probability.rng import RngLike, make_rng
+from repro.relational.database import Database
+from repro.runtime.context import RunContext, ensure_context
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.runtime.checkpoint import Checkpoint
+
+#: The degradation ladder per mode.
+_LADDERS = {
+    "none": ("exact",),
+    "lumped": ("exact", "lumped"),
+    "mcmc": ("exact", "mcmc"),
+    "auto": ("exact", "lumped", "mcmc"),
+}
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """What to do when exact evaluation trips the state budget.
+
+    Attributes
+    ----------
+    mode:
+        ``"none"`` (raise, the legacy behaviour), ``"lumped"``,
+        ``"mcmc"``, or ``"auto"`` (lumped first, then MCMC).
+    lumped_state_factor:
+        Multiplier on ``max_states`` granted to the lumped retry; the
+        full chain is still built there, but its linear algebra runs on
+        the quotient, so a larger exploration is affordable.
+    mcmc_epsilon / mcmc_delta / mcmc_samples:
+        Accuracy plan for the MCMC rung (``mcmc_samples`` overrides the
+        (ε, δ) plan when set).
+    mcmc_burn_in:
+        Fixed burn-in for the MCMC rung; ``None`` estimates it with
+        :func:`~repro.core.evaluation.adaptive_burn_in` (the explicit
+        chain is unavailable by construction when this rung is
+        reached).
+    adaptive_walkers / adaptive_window / adaptive_tolerance /
+    adaptive_max_steps:
+        Knobs for the adaptive burn-in heuristic.  The tolerance
+        default is looser than :func:`adaptive_burn_in`'s own because
+        an ensemble of ``adaptive_walkers`` walkers quantises the
+        event frequency in steps of ``1 / adaptive_walkers``: a
+        tolerance below the sampling noise would spin to
+        ``adaptive_max_steps`` and abort the last rung of the ladder.
+    """
+
+    mode: str = "auto"
+    lumped_state_factor: int = 4
+    mcmc_epsilon: float = 0.1
+    mcmc_delta: float = 0.05
+    mcmc_samples: int | None = None
+    mcmc_burn_in: int | None = None
+    adaptive_walkers: int = 64
+    adaptive_window: int = 20
+    adaptive_tolerance: float = 0.1
+    adaptive_max_steps: int = DEFAULT_ADAPTIVE_MAX_STEPS
+
+    def __post_init__(self) -> None:
+        if self.mode not in _LADDERS:
+            raise EvaluationError(
+                f"unknown degradation mode {self.mode!r}; "
+                f"expected one of {sorted(_LADDERS)}"
+            )
+        if self.lumped_state_factor < 1:
+            raise EvaluationError("lumped_state_factor must be >= 1")
+        if self.adaptive_walkers < 1:
+            raise EvaluationError("adaptive_walkers must be >= 1")
+        if self.adaptive_tolerance < 0:
+            raise EvaluationError("adaptive_tolerance must be >= 0")
+
+    @property
+    def ladder(self) -> tuple[str, ...]:
+        return _LADDERS[self.mode]
+
+
+def evaluate_forever_resilient(
+    query: ForeverQuery,
+    initial: Database,
+    max_states: int = DEFAULT_MAX_STATES,
+    policy: DegradationPolicy | None = None,
+    context: RunContext | None = None,
+    rng: RngLike = None,
+    checkpoint_path: "str | Path | None" = None,
+    resume: "Checkpoint | str | Path | None" = None,
+) -> Union[ExactResult, SamplingResult]:
+    """Evaluate a forever-query, degrading instead of aborting.
+
+    Runs the policy's ladder top-down; a
+    :class:`~repro.errors.StateSpaceLimitExceeded` from one rung moves
+    to the next and is recorded via
+    :meth:`RunContext.record_downgrade`.  Budget exhaustion and
+    cancellation propagate unchanged from any rung.  Returns whichever
+    result type the successful rung produces (:class:`ExactResult` for
+    exact/lumped, :class:`SamplingResult` for MCMC).
+
+    ``checkpoint_path`` / ``resume`` apply to the MCMC rung (the only
+    long-running sampler on the ladder).  Resuming from a checkpoint
+    jumps straight to that rung.
+
+    Examples
+    --------
+    >>> from repro.workloads import cycle_graph, random_walk_query
+    >>> query, db = random_walk_query(cycle_graph(4), "n0", "n2")
+    >>> context = RunContext()
+    >>> result = evaluate_forever_resilient(
+    ...     query, db, max_states=3,
+    ...     policy=DegradationPolicy(mode="lumped"), context=context)
+    >>> result.probability
+    Fraction(1, 4)
+    >>> [d.from_method for d in context.report().downgrades]
+    ['exact']
+    """
+    policy = policy if policy is not None else DegradationPolicy()
+    context = ensure_context(context)
+    generator = make_rng(rng)
+
+    ladder = list(policy.ladder)
+    if resume is not None and "mcmc" in ladder:
+        # The checkpoint proves the exact rungs already overflowed (or
+        # the caller decided for MCMC); do not rebuild the chain.
+        context.record_event("resuming from checkpoint: skipping to MCMC rung")
+        ladder = ["mcmc"]
+
+    last_error: StateSpaceLimitExceeded | None = None
+    for position, rung in enumerate(ladder):
+        on_last_rung = position == len(ladder) - 1
+        try:
+            if rung == "exact":
+                result: Union[ExactResult, SamplingResult] = evaluate_forever_exact(
+                    query, initial, max_states=max_states, context=context
+                )
+            elif rung == "lumped":
+                result = evaluate_forever_lumped(
+                    query,
+                    initial,
+                    max_states=max_states * policy.lumped_state_factor,
+                    context=context,
+                )
+            else:
+                burn_in = policy.mcmc_burn_in
+                if burn_in is None and resume is None:
+                    burn_in = adaptive_burn_in(
+                        query,
+                        initial,
+                        rng=generator,
+                        walkers=policy.adaptive_walkers,
+                        window=policy.adaptive_window,
+                        tolerance=policy.adaptive_tolerance,
+                        max_steps=policy.adaptive_max_steps,
+                        context=context,
+                    )
+                    context.record_event(f"adaptive burn-in estimated: {burn_in}")
+                result = evaluate_forever_mcmc(
+                    query,
+                    initial,
+                    epsilon=policy.mcmc_epsilon,
+                    delta=policy.mcmc_delta,
+                    burn_in=burn_in,
+                    samples=policy.mcmc_samples,
+                    rng=generator,
+                    context=context,
+                    checkpoint_path=checkpoint_path,
+                    resume=resume,
+                )
+        except StateSpaceLimitExceeded as error:
+            if on_last_rung:
+                raise
+            last_error = error
+            context.record_downgrade(rung, ladder[position + 1], str(error))
+            continue
+        context.finish(method=result.method)
+        return result
+
+    raise last_error if last_error is not None else EvaluationError(
+        "degradation ladder is empty"
+    )  # pragma: no cover - ladder always has >= 1 rung

@@ -167,7 +167,7 @@ class TestErrors:
         code = main(
             ["datalog", "/nonexistent.dl", "--db", workspace["db"], "--event", "c(w)"]
         )
-        assert code == 1
+        assert code == 2
         assert "error:" in capsys.readouterr().err
 
     def test_bad_event(self, workspace, capsys):
@@ -181,7 +181,7 @@ class TestErrors:
                 "???",
             ]
         )
-        assert code == 1
+        assert code == 2
 
     def test_non_inflationary_kernel_rejected(self, workspace, capsys):
         code = main(
@@ -194,8 +194,138 @@ class TestErrors:
                 "C(b)",
             ]
         )
-        assert code == 1
+        assert code == 2
         assert "not inflationary" in capsys.readouterr().err
+
+
+class TestResourceLimits:
+    def test_timeout_exhausted_exits_2(self, workspace, capsys):
+        code = main(
+            [
+                "forever",
+                workspace["walk"],
+                "--db",
+                workspace["db"],
+                "--event",
+                "C(b)",
+                "--timeout",
+                "0",
+            ]
+        )
+        assert code == 2
+        assert "wall-clock budget" in capsys.readouterr().err
+
+    def test_step_budget_exhausted_exits_2(self, workspace, capsys):
+        code = main(
+            [
+                "forever",
+                workspace["walk"],
+                "--db",
+                workspace["db"],
+                "--event",
+                "C(b)",
+                "--mcmc",
+                "--samples",
+                "200",
+                "--burn-in",
+                "20",
+                "--seed",
+                "1",
+                "--max-steps",
+                "50",
+            ]
+        )
+        assert code == 2
+        assert "step budget" in capsys.readouterr().err
+
+    def test_fallback_auto_records_downgrade(self, workspace, capsys):
+        code = main(
+            [
+                "forever",
+                workspace["walk"],
+                "--db",
+                workspace["db"],
+                "--event",
+                "C(b)",
+                "--fallback",
+                "auto",
+                "--max-states",
+                "1",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["probability"] == "1/3"
+        assert payload["downgrades"][0]["from"] == "exact"
+        assert payload["downgrades"][0]["to"] == "lumped"
+
+    def test_checkpoint_resume_matches_uninterrupted(
+        self, workspace, capsys, tmp_path
+    ):
+        mcmc = [
+            "forever",
+            workspace["walk"],
+            "--db",
+            workspace["db"],
+            "--event",
+            "C(b)",
+            "--mcmc",
+            "--samples",
+            "200",
+            "--burn-in",
+            "20",
+            "--seed",
+            "1",
+            "--json",
+        ]
+        assert main(mcmc) == 0
+        full = json.loads(capsys.readouterr().out)
+
+        path = tmp_path / "cli.ckpt"
+        code = main(mcmc + ["--max-steps", "1234", "--checkpoint", str(path)])
+        assert code == 2
+        capsys.readouterr()
+        assert path.exists()
+
+        code = main(
+            [
+                "forever",
+                workspace["walk"],
+                "--db",
+                workspace["db"],
+                "--event",
+                "C(b)",
+                "--resume",
+                str(path),
+                "--json",
+            ]
+        )
+        assert code == 0
+        resumed = json.loads(capsys.readouterr().out)
+        assert resumed["estimate"] == full["estimate"]
+        assert resumed["resumed_at_sample"] > 0
+
+    def test_keyboard_interrupt_exits_130(self, workspace, capsys, monkeypatch):
+        def interrupted(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr("repro.cli.evaluate_forever_mcmc", interrupted)
+        code = main(
+            [
+                "forever",
+                workspace["walk"],
+                "--db",
+                workspace["db"],
+                "--event",
+                "C(b)",
+                "--mcmc",
+                "--checkpoint",
+                "progress.ckpt",
+            ]
+        )
+        assert code == 130
+        assert "progress saved to progress.ckpt" in capsys.readouterr().err
 
 
 class TestLumpedFlag:

@@ -29,6 +29,9 @@ import repro.relational.parser
 import repro.relational.prob_eval
 import repro.relational.relation
 import repro.relational.repair
+import repro.runtime.budget
+import repro.runtime.context
+import repro.runtime.degradation
 import repro.workloads.programs
 
 MODULES = [
@@ -51,6 +54,9 @@ MODULES = [
     repro.relational.prob_eval,
     repro.relational.relation,
     repro.relational.repair,
+    repro.runtime.budget,
+    repro.runtime.context,
+    repro.runtime.degradation,
     repro.workloads.programs,
 ]
 

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.probability",
     "repro.reductions",
     "repro.relational",
+    "repro.runtime",
     "repro.workloads",
 ]
 
