@@ -33,6 +33,13 @@ message and exit code 2.  ``forever`` additionally supports
 * ``--resume PATH`` — continue an interrupted sampler run
   bit-identically from its checkpoint.
 
+Performance knobs (see ``docs/performance.md``): the sampling
+subcommands accept ``--workers N`` (multi-core trials with
+deterministic per-worker seeds; ``--workers 1`` reproduces the
+sequential sampler bit-identically) and ``--cache-size N`` (memoize up
+to N exact transition rows).  With ``--fallback``, both knobs apply to
+the MCMC rung of the degradation ladder.
+
 Exit codes: 0 success, 2 any library/input error, 130 interrupted
 (Ctrl-C; a configured ``--checkpoint`` is flushed first).
 """
@@ -143,6 +150,37 @@ def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_perf_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the sampling evaluators (1 = the "
+        "historical sequential sampler, bit-identical; N > 1 is "
+        "seed-stable for fixed N)",
+    )
+    parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="memoize up to N exact transition rows (LRU); hit/miss "
+        "counters are reported — see docs/performance.md for when "
+        "this is safe",
+    )
+
+
+def _parallel_config(args: argparse.Namespace):
+    """A ParallelConfig from --workers (None when sequential)."""
+    workers = getattr(args, "workers", 1)
+    if workers <= 1:
+        return None
+    from repro.perf import ParallelConfig
+
+    return ParallelConfig(workers=workers)
+
+
 def _build_context(args: argparse.Namespace) -> RunContext:
     """A run context from the subcommand's budget flags."""
     return RunContext(
@@ -216,7 +254,18 @@ def _mcmc_payload(result) -> dict:
     }
     if result.details.get("resumed_at") is not None:
         payload["resumed_at_sample"] = result.details["resumed_at"]
+    _add_perf_details(payload, result)
     return payload
+
+
+def _add_perf_details(payload: dict, result) -> None:
+    if result.details.get("workers"):
+        payload["workers"] = result.details["workers"]
+    cache = result.details.get("cache")
+    if cache:
+        payload["cache_hits"] = cache["hits"]
+        payload["cache_misses"] = cache["misses"]
+        payload["cache_evictions"] = cache["evictions"]
 
 
 def _exact_payload(result) -> dict:
@@ -238,6 +287,8 @@ def _command_forever(args: argparse.Namespace, context: RunContext) -> dict:
             mcmc_delta=args.delta,
             mcmc_samples=args.samples,
             mcmc_burn_in=args.burn_in,
+            mcmc_workers=args.workers,
+            mcmc_cache_size=args.cache_size,
         )
         result = evaluate_forever_resilient(
             query,
@@ -269,6 +320,8 @@ def _command_forever(args: argparse.Namespace, context: RunContext) -> dict:
             context=context,
             checkpoint_path=args.checkpoint,
             resume=args.resume,
+            cache_size=args.cache_size,
+            parallel=_parallel_config(args),
         )
         return _mcmc_payload(result)
     if args.lumped:
@@ -302,12 +355,16 @@ def _command_inflationary(args: argparse.Namespace, context: RunContext) -> dict
             samples=args.samples,
             rng=args.seed,
             context=context,
+            cache_size=args.cache_size,
+            parallel=_parallel_config(args),
         )
-        return {
+        payload = {
             "mode": "sampling (Theorem 4.3)",
             "estimate": result.estimate,
             "samples": result.samples,
         }
+        _add_perf_details(payload, result)
+        return payload
     result = evaluate_inflationary_exact(
         query, db, max_states=args.max_states, context=context
     )
@@ -389,6 +446,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     _add_sampling_arguments(forever)
     _add_budget_arguments(forever)
+    _add_perf_arguments(forever)
     forever.set_defaults(handler=_command_forever)
 
     inflationary = subparsers.add_parser(
@@ -400,6 +458,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     inflationary.add_argument("--max-states", type=int, default=100_000)
     _add_sampling_arguments(inflationary)
     _add_budget_arguments(inflationary)
+    _add_perf_arguments(inflationary)
     inflationary.set_defaults(handler=_command_inflationary)
 
     chain = subparsers.add_parser(

@@ -18,12 +18,13 @@ from collections import deque
 from typing import TYPE_CHECKING
 
 from repro.core.interpretation import Interpretation
-from repro.errors import StateSpaceLimitExceeded
+from repro.errors import EvaluationError, StateSpaceLimitExceeded
 from repro.markov.chain import MarkovChain
 from repro.probability.distribution import Distribution
 from repro.relational.database import Database
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.perf.cache import TransitionCache
     from repro.runtime.context import RunContext
 
 #: Default cap on the number of database states explored.
@@ -35,6 +36,7 @@ def build_state_chain(
     initial: Database,
     max_states: int = DEFAULT_MAX_STATES,
     context: "RunContext | None" = None,
+    cache: "TransitionCache | None" = None,
 ) -> MarkovChain[Database]:
     """The reachable Markov chain over database states from ``initial``.
 
@@ -47,6 +49,13 @@ def build_state_chain(
     against the context's budget and the cancellation token is polled
     once per expanded state.  Omitting it keeps the build unbounded
     apart from ``max_states``.
+
+    ``cache`` (a :class:`~repro.perf.cache.TransitionCache` built on
+    the *same* kernel, e.g. ``kernel.cached()``) memoizes rows across
+    builds: rebuilding a chain — or building it after a sampler warmed
+    the cache — skips the algebra evaluation for every remembered
+    state.  A single BFS visits each state once, so a cold cache only
+    helps later calls.
 
     Examples
     --------
@@ -61,6 +70,11 @@ def build_state_chain(
     2
     """
     kernel.check_schema(initial)
+    if cache is not None and cache.kernel is not kernel:
+        raise EvaluationError(
+            "transition cache was built for a different kernel; "
+            "a cache memoizes exactly one kernel's rows"
+        )
     transitions: dict[Database, Distribution[Database]] = {}
     queue: deque[Database] = deque([initial])
     discovered = {initial}
@@ -70,7 +84,7 @@ def build_state_chain(
         if context is not None:
             context.check()
         state = queue.popleft()
-        row = kernel.transition(state)
+        row = cache.transition(state) if cache is not None else kernel.transition(state)
         transitions[state] = row
         for successor in row:
             if successor not in discovered:

@@ -32,6 +32,7 @@ from repro.probability.rng import RngLike, make_rng
 from repro.relational.database import Database
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.perf.parallel import ParallelConfig
     from repro.runtime.context import RunContext
 
 S = TypeVar("S", bound=Hashable)
@@ -90,6 +91,8 @@ def evaluate_inflationary_sampling(
     stall_threshold: int | None = None,
     use_paper_bound: bool = True,
     context: "RunContext | None" = None,
+    cache_size: int | None = None,
+    parallel: "ParallelConfig | None" = None,
 ) -> SamplingResult:
     """The Theorem 4.3 sampler: a randomized absolute (ε, δ)-approximation
     running in time polynomial in the database size.
@@ -105,6 +108,20 @@ def evaluate_inflationary_sampling(
         (default) or the tight two-sided Hoeffding constant.
     stall_threshold:
         See :func:`sample_fixpoint`.
+    cache_size:
+        Bound the fixpoint-verification memo with an LRU
+        :class:`~repro.perf.cache.TransitionCache` of this size (and
+        surface hit/miss counters on the run report).  Sampling steps
+        stay on the polynomial ``sample_transition`` path, so the RNG
+        stream — and hence the estimate for a given seed — is
+        unchanged; only the exact one-state verification rows are
+        memoized.
+    parallel:
+        A :class:`~repro.perf.parallel.ParallelConfig`; ``workers=N``
+        splits the planned trials over a process pool with
+        deterministic per-worker seeds (``workers=1`` keeps this
+        sequential path bit-identically), pro-rated budgets, and
+        cancellation propagation.
     """
     kernel = query.kernel
     kernel.check_schema(initial)
@@ -119,12 +136,42 @@ def evaluate_inflationary_sampling(
         planned = samples
         recorded_epsilon = recorded_delta = None
 
+    if parallel is not None and parallel.enabled and planned > 1:
+        return _inflationary_sampling_parallel(
+            query,
+            initial,
+            planned=planned,
+            epsilon=recorded_epsilon,
+            delta=recorded_delta,
+            generator=generator,
+            max_steps=max_steps,
+            stall_threshold=stall_threshold,
+            cache_size=cache_size,
+            parallel=parallel,
+            context=context,
+        )
+
+    row_cache = None
+    if cache_size is not None:
+        from repro.perf.cache import TransitionCache
+
+        # The memo must enumerate the *fixed* kernel (pc-table choices
+        # are made once per sample, outside the fixpoint iteration).
+        row_cache = TransitionCache(fixed_kernel, maxsize=cache_size)
+        if context is not None:
+            context.attach_cache(row_cache)
+
     fixpoint_cache: dict[Database, bool] = {}
 
     def is_fixpoint(state: Database) -> bool:
         cached = fixpoint_cache.get(state)
         if cached is None:
-            cached = fixed_kernel.transition(state) == Distribution.point(state)
+            row = (
+                row_cache.transition(state)
+                if row_cache is not None
+                else fixed_kernel.transition(state)
+            )
+            cached = row == Distribution.point(state)
             fixpoint_cache[state] = cached
         return cached
 
@@ -155,6 +202,12 @@ def evaluate_inflationary_sampling(
         positive += satisfied
         total_steps += steps
 
+    details: dict = {
+        "mean_steps_per_sample": total_steps / planned,
+        "fixpoint_cache_size": len(fixpoint_cache),
+    }
+    if row_cache is not None:
+        details["cache"] = row_cache.stats()
     return SamplingResult(
         estimate=positive / planned,
         samples=planned,
@@ -162,8 +215,69 @@ def evaluate_inflationary_sampling(
         epsilon=recorded_epsilon,
         delta=recorded_delta,
         method="thm-4.3",
-        details={
-            "mean_steps_per_sample": total_steps / planned,
-            "fixpoint_cache_size": len(fixpoint_cache),
-        },
+        details=details,
+    )
+
+
+def _inflationary_sampling_parallel(
+    query: InflationaryQuery,
+    initial: Database,
+    planned: int,
+    epsilon: float | None,
+    delta: float | None,
+    generator,
+    max_steps: int,
+    stall_threshold: int | None,
+    cache_size: int | None,
+    parallel: "ParallelConfig",
+    context: "RunContext | None",
+) -> SamplingResult:
+    """Theorem 4.3 trials over a worker pool (seed-stable, budgeted)."""
+    from repro.perf.parallel import (
+        _run_inflationary_trials,
+        merge_tallies,
+        prorated_budgets,
+        run_worker_pool,
+        split_trials,
+        worker_seeds,
+    )
+
+    workers = min(parallel.workers, planned)
+    seeds = worker_seeds(generator, workers)
+    counts = split_trials(planned, workers)
+    budgets = prorated_budgets(context, workers)
+    tasks = [
+        {
+            "query": query,
+            "initial": initial,
+            "samples": count,
+            "seed": seed,
+            "max_steps": max_steps,
+            "stall_threshold": stall_threshold,
+            "cache_size": cache_size,
+            "budget": budget,
+        }
+        for count, seed, budget in zip(counts, seeds, budgets)
+        if count > 0
+    ]
+    tallies = run_worker_pool(_run_inflationary_trials, tasks, parallel, context)
+    merged = merge_tallies(tallies)
+    details: dict = {
+        "mean_steps_per_sample": merged.get("total_steps", 0) / planned,
+        "workers": workers,
+    }
+    if context is not None:
+        context.absorb_usage(steps=merged["steps"])
+        if merged.get("cache"):
+            context.record_cache_stats(merged["cache"])
+    if merged.get("cache"):
+        details["cache"] = merged["cache"]
+    return SamplingResult(
+        estimate=merged["positive"] / planned,
+        samples=planned,
+        positive=merged["positive"],
+        epsilon=epsilon,
+        delta=delta,
+        method="thm-4.3",
+        details=details,
     )

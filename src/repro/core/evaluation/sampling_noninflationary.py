@@ -40,11 +40,28 @@ from repro.probability.rng import RngLike, make_rng
 from repro.relational.database import Database
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.perf.parallel import ParallelConfig
     from repro.runtime.checkpoint import Checkpoint
     from repro.runtime.context import RunContext
 
 #: Default cap for the adaptive-burn-in heuristic.
 DEFAULT_ADAPTIVE_MAX_STEPS = 10_000
+
+
+def _make_cache(kernel, cache_size: int | None, context: "RunContext | None"):
+    """Build (and attach to the context) an optional TransitionCache.
+
+    Imported lazily: :mod:`repro.perf` sits above the evaluators in the
+    import graph, exactly like :mod:`repro.runtime`.
+    """
+    if cache_size is None:
+        return None
+    from repro.perf.cache import TransitionCache
+
+    cache = TransitionCache(kernel, maxsize=cache_size)
+    if context is not None:
+        context.attach_cache(cache)
+    return cache
 
 
 def computed_burn_in(
@@ -71,6 +88,7 @@ def adaptive_burn_in(
     tolerance: float = 0.02,
     max_steps: int = DEFAULT_ADAPTIVE_MAX_STEPS,
     context: "RunContext | None" = None,
+    cache_size: int | None = None,
 ) -> int:
     """Convergence-detection heuristic for implicit (too large) chains.
 
@@ -89,14 +107,14 @@ def adaptive_burn_in(
     """
     generator = make_rng(rng)
     query.kernel.check_schema(initial)
+    cache = _make_cache(query.kernel, cache_size, context)
+    draw = query.kernel.sample_transition if cache is None else cache.sample
     states = [initial] * walkers
     history: list[float] = []
     for step in range(1, max_steps + 1):
         if context is not None:
             context.tick_steps(walkers)
-        states = [
-            query.kernel.sample_transition(state, generator) for state in states
-        ]
+        states = [draw(state, generator) for state in states]
         fraction = sum(query.event.holds(state) for state in states) / walkers
         history.append(fraction)
         if len(history) >= window:
@@ -146,6 +164,8 @@ def evaluate_forever_mcmc(
     context: "RunContext | None" = None,
     checkpoint_path: str | Path | None = None,
     resume: "Checkpoint | str | Path | None" = None,
+    cache_size: int | None = None,
+    parallel: "ParallelConfig | None" = None,
 ) -> SamplingResult:
     """The Theorem 5.6 sampler.
 
@@ -177,6 +197,25 @@ def evaluate_forever_mcmc(
         restored from it, so the resumed run is bit-identical to the
         uninterrupted one; ``epsilon``/``delta``/``samples`` arguments
         are ignored in favour of the checkpointed plan.
+    cache_size:
+        When set, burn-in steps draw successors from a bounded
+        :class:`~repro.perf.cache.TransitionCache` of that size — each
+        distinct state's exact row is computed once, then sampling is
+        one uniform draw plus a bisection.  Only for kernels with small
+        per-state support (the exact row enumerates all worlds), and
+        note the RNG stream differs from the uncached sampler (results
+        stay deterministic per ``(seed, cache_size)``; the setting is
+        recorded in checkpoints so resumes stay bit-identical).
+    parallel:
+        A :class:`~repro.perf.parallel.ParallelConfig`.  With
+        ``workers=N > 1`` the planned samples are fanned out over a
+        process pool with deterministic per-worker seeds derived from
+        ``rng`` (seed-stable for fixed N); ``workers=1`` keeps this
+        historical sequential path bit-identically.  Budgets are
+        pro-rated across workers and cancellation propagates.
+        Checkpointing needs the single sequential stream, so a
+        configured ``checkpoint_path``/``resume`` disables the pool
+        (recorded as a context event).
     """
     from repro.runtime.checkpoint import (
         KIND_FOREVER_MCMC,
@@ -199,6 +238,9 @@ def evaluate_forever_mcmc(
         start_sample = checkpoint.samples_done
         checkpoint.restore_rng(generator)
         resumed_walker = checkpoint.walker_state()
+        # The cache setting shapes the RNG stream (one draw per cached
+        # step); honour whatever the interrupted run used.
+        cache_size = checkpoint.meta.get("cache_size", cache_size)
     else:
         if burn_in is None:
             burn_in = computed_burn_in(
@@ -223,6 +265,30 @@ def evaluate_forever_mcmc(
         start_sample = 0
         resumed_walker = None
 
+    if parallel is not None and parallel.enabled:
+        if checkpoint_path is not None or resume is not None:
+            if context is not None:
+                context.record_event(
+                    "checkpointing requires the single sequential RNG "
+                    "stream: ignoring parallel workers"
+                )
+        elif planned > 1:
+            return _forever_mcmc_parallel(
+                query,
+                initial,
+                planned=planned,
+                burn_in=burn_in,
+                epsilon=recorded_epsilon,
+                delta=recorded_delta,
+                generator=generator,
+                cache_size=cache_size,
+                parallel=parallel,
+                context=context,
+            )
+
+    cache = _make_cache(query.kernel, cache_size, context)
+    draw = query.kernel.sample_transition if cache is None else cache.sample
+
     def snapshot(samples_done: int, walker: dict | None) -> Checkpoint:
         return Checkpoint(
             kind=KIND_FOREVER_MCMC,
@@ -235,6 +301,7 @@ def evaluate_forever_mcmc(
             rng_state=generator.getstate(),
             walker=walker,
             fingerprint=fingerprint,
+            meta={"cache_size": cache_size},
         )
 
     sample_index = start_sample
@@ -251,7 +318,7 @@ def evaluate_forever_mcmc(
             while steps_done < burn_in:
                 if context is not None:
                     context.tick_steps()
-                state = query.kernel.sample_transition(state, generator)
+                state = draw(state, generator)
                 steps_done += 1
             positive += query.event.holds(state)
             sample_index += 1
@@ -272,6 +339,9 @@ def evaluate_forever_mcmc(
         # The run completed; a stale checkpoint must not be resumed.
         Path(checkpoint_path).unlink(missing_ok=True)
 
+    details: dict = {"burn_in": burn_in, "resumed_at": start_sample or None}
+    if cache is not None:
+        details["cache"] = cache.stats()
     return SamplingResult(
         estimate=positive / planned,
         samples=planned,
@@ -279,5 +349,70 @@ def evaluate_forever_mcmc(
         epsilon=recorded_epsilon,
         delta=recorded_delta,
         method="thm-5.6",
-        details={"burn_in": burn_in, "resumed_at": start_sample or None},
+        details=details,
+    )
+
+
+def _forever_mcmc_parallel(
+    query: ForeverQuery,
+    initial: Database,
+    planned: int,
+    burn_in: int,
+    epsilon: float | None,
+    delta: float | None,
+    generator,
+    cache_size: int | None,
+    parallel: "ParallelConfig",
+    context: "RunContext | None",
+) -> SamplingResult:
+    """Fan the planned trials out over a worker pool and merge tallies.
+
+    Per-worker seeds are drawn from ``generator`` in worker order, so a
+    fixed (seed, workers) pair is reproducible; shares of the step
+    budget are pro-rated so the pool can never outspend the budget a
+    sequential run honours.
+    """
+    from repro.perf.parallel import (
+        _run_mcmc_trials,
+        merge_tallies,
+        prorated_budgets,
+        run_worker_pool,
+        split_trials,
+        worker_seeds,
+    )
+
+    workers = min(parallel.workers, planned)
+    seeds = worker_seeds(generator, workers)
+    counts = split_trials(planned, workers)
+    budgets = prorated_budgets(context, workers)
+    tasks = [
+        {
+            "query": query,
+            "initial": initial,
+            "samples": count,
+            "burn_in": burn_in,
+            "seed": seed,
+            "cache_size": cache_size,
+            "budget": budget,
+        }
+        for count, seed, budget in zip(counts, seeds, budgets)
+        if count > 0
+    ]
+    tallies = run_worker_pool(_run_mcmc_trials, tasks, parallel, context)
+    merged = merge_tallies(tallies)
+    details: dict = {"burn_in": burn_in, "resumed_at": None, "workers": workers}
+    if context is not None:
+        context.absorb_usage(steps=merged["steps"])
+        if merged.get("cache"):
+            context.record_cache_stats(merged["cache"])
+    if merged.get("cache"):
+        details["cache"] = merged["cache"]
+    return SamplingResult(
+        estimate=merged["positive"] / planned,
+        samples=planned,
+        positive=merged["positive"],
+        epsilon=epsilon,
+        delta=delta,
+        method="thm-5.6",
+        details=details,
     )

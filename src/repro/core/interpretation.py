@@ -25,7 +25,7 @@ Conveniences beyond the bare definition, both used throughout the paper:
 from __future__ import annotations
 
 import random
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from repro.ctables.pctable import PCDatabase
 from repro.errors import SchemaError
@@ -34,6 +34,9 @@ from repro.relational.algebra import Expression, validate
 from repro.relational.database import Database
 from repro.relational.prob_eval import enumerate_worlds, sample_world
 from repro.relational.relation import Relation
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.perf.cache import TransitionCache
 
 
 class Interpretation:
@@ -175,6 +178,22 @@ class Interpretation:
             for name, table in self.pc_tables.tables.items():
                 updates[name] = table.instantiate(valuation)
         return self._merge(db, updates)
+
+    def cached(self, maxsize: int | None = None) -> "TransitionCache":
+        """A bounded LRU memo of this kernel's exact transition rows.
+
+        Convenience constructor for
+        :class:`~repro.perf.cache.TransitionCache`: pass the result as
+        ``cache=`` to :func:`~repro.core.chain_builder.build_state_chain`
+        or use its ``sample`` method for memoized walking.  See
+        ``docs/performance.md`` for when memoized sampling is
+        appropriate (small per-state support; different RNG stream).
+        """
+        from repro.perf.cache import DEFAULT_CACHE_SIZE, TransitionCache
+
+        return TransitionCache(
+            self, maxsize=DEFAULT_CACHE_SIZE if maxsize is None else maxsize
+        )
 
     def is_deterministic(self) -> bool:
         """True when the kernel makes no probabilistic choice at all."""

@@ -23,6 +23,19 @@ class ReproError(Exception):
         super().__init__(*args)
         self.details: dict[str, Any] = dict(details or {})
 
+    def __reduce__(self):
+        # The default Exception reduction drops keyword-only state, so a
+        # BudgetExceededError crossing a process-pool boundary (parallel
+        # sampling) would lose its ``details``.  Rebuild through a helper
+        # that restores them.
+        return (_rebuild_error, (type(self), self.args, self.details))
+
+
+def _rebuild_error(cls: type, args: tuple, details: Mapping[str, Any]) -> "ReproError":
+    error = cls(*args)
+    error.details = dict(details)
+    return error
+
 
 class SchemaError(ReproError):
     """A relation, database, or query violates schema constraints.

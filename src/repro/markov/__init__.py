@@ -29,7 +29,7 @@ from repro.markov.conductance import (
     is_reversible,
     set_conductance,
 )
-from repro.markov.linalg import identity, solve_exact, solve_exact_vector
+from repro.markov.linalg import identity, solve_exact, solve_exact_gauss, solve_exact_vector
 from repro.markov.lumping import (
     coarsest_lumping,
     is_lumpable,
@@ -112,6 +112,7 @@ __all__ = [
     "relaxation_time",
     "set_conductance",
     "solve_exact",
+    "solve_exact_gauss",
     "solve_exact_vector",
     "state_after",
     "stationary_distribution",

@@ -3,13 +3,34 @@
 The exact evaluators of Proposition 5.4 and Theorem 5.5 need stationary
 distributions and absorption probabilities as *exact* rationals (so that
 e.g. Lemma 5.2's "p = 1 iff satisfiable" can be checked with ``==``).
-This module implements Gaussian elimination with partial (first-nonzero)
-pivoting over :class:`fractions.Fraction` — cubic time, no rounding.
+
+Two solvers are provided, both cubic-time and rounding-free:
+
+* :func:`solve_exact` — **Bareiss fraction-free elimination**, the
+  default.  Each row of the augmented system is scaled once by the LCM
+  of its denominators, after which the entire elimination runs in
+  integer arithmetic: the Bareiss two-by-two update
+  ``(a·p − b·q) // prev_pivot`` divides exactly (every intermediate is
+  a minor determinant of the scaled matrix), so the per-operation gcd
+  normalisation that dominates :class:`fractions.Fraction` arithmetic
+  is paid only once per result entry during back-substitution instead
+  of at every inner-loop multiply.
+* :func:`solve_exact_gauss` — the original Gauss–Jordan elimination
+  over :class:`Fraction`, kept as the independent reference
+  implementation; ``benchmarks/run_benchmarks.py`` and the test suite
+  verify the two agree entry-for-entry.
+
+Singular and malformed systems raise :class:`MarkovChainError` whose
+message and ``details`` carry the matrix dimensions (and, for
+singularity, the failing column index) so chain-level callers can
+report *which* system died, matching the diagnostic style of the
+runtime layer.
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
+from math import gcd
 from typing import Sequence
 
 from repro.errors import MarkovChainError
@@ -17,28 +38,121 @@ from repro.errors import MarkovChainError
 Matrix = list[list[Fraction]]
 
 
-def solve_exact(a: Sequence[Sequence[Fraction]], b: Sequence[Sequence[Fraction]]) -> Matrix:
+def _check_shapes(
+    a: Sequence[Sequence[Fraction]], b: Sequence[Sequence[Fraction]]
+) -> tuple[int, int]:
+    """Validate an ``A · X = B`` system, returning ``(n, k)``."""
+    n = len(a)
+    for index, row in enumerate(a):
+        if len(row) != n:
+            raise MarkovChainError(
+                f"coefficient matrix is not square: row {index} has "
+                f"{len(row)} entries in a {n}-row matrix",
+                details={"rows": n, "row": index, "row_length": len(row)},
+            )
+    if len(b) != n:
+        raise MarkovChainError(
+            f"right-hand side has wrong row count: {len(b)} rows for a "
+            f"{n}x{n} coefficient matrix",
+            details={"rows": n, "rhs_rows": len(b)},
+        )
+    k = len(b[0]) if n else 0
+    for index, row in enumerate(b):
+        if len(row) != k:
+            raise MarkovChainError(
+                f"ragged right-hand side: row {index} has {len(row)} "
+                f"entries, expected {k} (system is {n}x{n})",
+                details={"rows": n, "rhs_columns": k, "row": index},
+            )
+    return n, k
+
+
+def _singular(n: int, k: int, col: int) -> MarkovChainError:
+    return MarkovChainError(
+        f"singular system in exact solve: no pivot in column {col} "
+        f"of the {n}x{n} coefficient matrix ({k} right-hand columns)",
+        details={"rows": n, "columns": n, "rhs_columns": k, "column": col},
+    )
+
+
+def solve_exact(
+    a: Sequence[Sequence[Fraction]], b: Sequence[Sequence[Fraction]]
+) -> Matrix:
     """Solve ``A · X = B`` exactly for possibly-multiple right-hand sides.
 
     ``a`` is an n×n matrix, ``b`` an n×k matrix (k right-hand columns).
-    Raises :class:`MarkovChainError` when A is singular.
+    Uses Bareiss fraction-free elimination (denominators cleared once
+    per row, one exact division per update, Fractions only rebuilt
+    during back-substitution).  Raises :class:`MarkovChainError` when A
+    is singular; the error's ``details`` name the failing column.
     """
-    n = len(a)
-    if any(len(row) != n for row in a):
-        raise MarkovChainError("coefficient matrix is not square")
-    if len(b) != n:
-        raise MarkovChainError("right-hand side has wrong row count")
-    k = len(b[0]) if n else 0
-    if any(len(row) != k for row in b):
-        raise MarkovChainError("ragged right-hand side")
+    n, k = _check_shapes(a, b)
+    width = n + k
+
+    # Clear denominators row-by-row: scaling a row of [A | B] by a
+    # positive integer does not change the solution set.
+    aug: list[list[int]] = []
+    for i in range(n):
+        row = [Fraction(value) for value in a[i]] + [Fraction(value) for value in b[i]]
+        scale = 1
+        for value in row:
+            scale = scale * value.denominator // gcd(scale, value.denominator)
+        aug.append([int(value * scale) for value in row])
+
+    # Bareiss forward elimination to upper-triangular form.  Every
+    # division by the previous pivot is exact (Sylvester's identity).
+    previous_pivot = 1
+    for col in range(n):
+        pivot_row = next((r for r in range(col, n) if aug[r][col] != 0), None)
+        if pivot_row is None:
+            raise _singular(n, k, col)
+        if pivot_row != col:
+            aug[col], aug[pivot_row] = aug[pivot_row], aug[col]
+        pivot = aug[col][col]
+        pivot_values = aug[col]
+        for r in range(col + 1, n):
+            row = aug[r]
+            factor = row[col]
+            if factor == 0:
+                for c in range(col, width):
+                    row[c] = row[c] * pivot // previous_pivot
+            else:
+                for c in range(col, width):
+                    row[c] = (row[c] * pivot - factor * pivot_values[c]) // previous_pivot
+        previous_pivot = pivot
+
+    # Back-substitution, rebuilding exact Fractions once per entry.
+    solution: Matrix = [[Fraction(0)] * k for _ in range(n)]
+    for i in reversed(range(n)):
+        diagonal = aug[i][i]
+        for j in range(k):
+            acc = Fraction(aug[i][n + j])
+            for c in range(i + 1, n):
+                acc -= aug[i][c] * solution[c][j]
+            solution[i][j] = acc / diagonal
+    return solution
+
+
+def solve_exact_gauss(
+    a: Sequence[Sequence[Fraction]], b: Sequence[Sequence[Fraction]]
+) -> Matrix:
+    """Reference solver: Gauss–Jordan elimination over ``Fraction``.
+
+    Kept as the independent implementation that :func:`solve_exact` is
+    verified against (tests and the benchmark harness's checksum
+    guard); prefer :func:`solve_exact` everywhere else.
+    """
+    n, k = _check_shapes(a, b)
 
     # Work on an augmented copy.
-    aug: Matrix = [list(map(Fraction, a[i])) + list(map(Fraction, b[i])) for i in range(n)]
+    aug: Matrix = [
+        list(map(Fraction, a[i])) + list(map(Fraction, b[i])) for i in range(n)
+    ]
 
     for col in range(n):
         pivot_row = next((r for r in range(col, n) if aug[r][col] != 0), None)
         if pivot_row is None:
-            raise MarkovChainError("singular system in exact solve")
+            raise _singular(n, k, col)
         if pivot_row != col:
             aug[col], aug[pivot_row] = aug[pivot_row], aug[col]
         pivot = aug[col][col]
@@ -59,7 +173,9 @@ def solve_exact(a: Sequence[Sequence[Fraction]], b: Sequence[Sequence[Fraction]]
     return [row[n:] for row in aug]
 
 
-def solve_exact_vector(a: Sequence[Sequence[Fraction]], b: Sequence[Fraction]) -> list[Fraction]:
+def solve_exact_vector(
+    a: Sequence[Sequence[Fraction]], b: Sequence[Fraction]
+) -> list[Fraction]:
     """Solve ``A · x = b`` exactly for a single right-hand vector."""
     solution = solve_exact(a, [[value] for value in b])
     return [row[0] for row in solution]

@@ -1,0 +1,45 @@
+"""Performance layer: memoized kernels and multi-core sampling.
+
+Three pillars, threaded through the evaluators the same way
+:mod:`repro.runtime` threads ``context=``:
+
+* :class:`TransitionCache` — a bounded LRU memo of exact transition
+  rows (``Interpretation.transition``) with a cumulative-weight index,
+  so walkers and the BFS chain builder evaluate each distinct state's
+  algebra tree once and then draw successors in O(log k);
+* :class:`ParallelConfig` — multi-core trial execution for the
+  Theorem 4.3 / Theorem 5.6 samplers over a process pool, with
+  deterministic per-worker RNG streams, pro-rated budgets, and
+  cross-process cancellation;
+* the Bareiss fraction-free exact solver lives in
+  :mod:`repro.markov.linalg` (it replaces the inner loop of the old
+  Fraction Gaussian elimination) and is re-validated against the old
+  path by ``benchmarks/run_benchmarks.py``.
+
+See ``docs/performance.md`` for the determinism contract and the cache
+semantics.
+"""
+
+from repro.perf.cache import DEFAULT_CACHE_SIZE, CachedRow, TransitionCache
+from repro.perf.parallel import (
+    ParallelConfig,
+    WorkerContext,
+    merge_tallies,
+    prorated_budgets,
+    run_worker_pool,
+    split_trials,
+    worker_seeds,
+)
+
+__all__ = [
+    "CachedRow",
+    "DEFAULT_CACHE_SIZE",
+    "ParallelConfig",
+    "TransitionCache",
+    "WorkerContext",
+    "merge_tallies",
+    "prorated_budgets",
+    "run_worker_pool",
+    "split_trials",
+    "worker_seeds",
+]

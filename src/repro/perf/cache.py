@@ -1,0 +1,166 @@
+"""Memoized transition kernels: a bounded LRU cache of exact rows.
+
+Every evaluator that walks the Markov chain over database states pays
+the same bill at every step: evaluating the kernel's relational-algebra
+tree on the current state.  MCMC walkers (Theorem 5.6) and the BFS
+chain builder (Proposition 5.4) revisit the *same* states over and over
+— a random walk on an n-state chain touches n distinct states but takes
+burn_in × samples steps — so the algebra work is overwhelmingly
+redundant.  A :class:`TransitionCache` memoizes
+:meth:`~repro.core.interpretation.Interpretation.transition` per state
+(states are immutable, hashable :class:`~repro.relational.database.Database`
+snapshots, so the key is free) and keeps a cumulative-weight index next
+to each cached :class:`~repro.probability.distribution.Distribution` so
+that drawing a successor is one ``rng.random()`` plus an O(log k)
+bisection instead of a fresh algebra evaluation.
+
+Two caveats, both documented in ``docs/performance.md``:
+
+* **Support size.**  The exact row enumerates *all* possible worlds of
+  Q(state), which can be exponential in the number of probabilistic
+  choices, whereas ``sample_transition`` stays polynomial.  The cache
+  is therefore opt-in, intended for kernels whose per-state support is
+  small (e.g. single-repair-key random walks).
+* **RNG stream.**  Cached sampling consumes exactly one uniform draw
+  per step; ``sample_transition`` consumes one per repair-key block.
+  Results are drawn from the *same exact distribution* but the random
+  stream differs, so cached and uncached runs with the same seed are
+  not bit-identical (each is individually deterministic).
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from collections import OrderedDict
+from itertools import accumulate
+
+from repro.core.interpretation import Interpretation
+from repro.errors import ProbabilityError
+from repro.probability.distribution import Distribution
+from repro.relational.database import Database
+
+#: Default number of distinct states kept by a cache.
+DEFAULT_CACHE_SIZE = 4096
+
+
+class CachedRow:
+    """One memoized transition row: the exact distribution plus a
+    cumulative-weight index for O(log k) successor draws.
+
+    The cumulative weights accumulate the same float conversions in the
+    same order as :meth:`Distribution.sample`, so a draw from the cached
+    row returns the identical outcome for the identical ``rng`` state.
+    """
+
+    __slots__ = ("distribution", "_outcomes", "_cumulative")
+
+    def __init__(self, distribution: Distribution[Database]):
+        self.distribution = distribution
+        self._outcomes = list(distribution)
+        self._cumulative = list(
+            accumulate(float(distribution.probability(o)) for o in self._outcomes)
+        )
+
+    def sample(self, rng: random.Random) -> Database:
+        """Draw one successor state (one uniform draw, one bisection)."""
+        total = self._cumulative[-1]
+        pick = rng.random() * total
+        index = bisect_right(self._cumulative, pick)
+        if index >= len(self._outcomes):
+            index = len(self._outcomes) - 1
+        return self._outcomes[index]
+
+    def __len__(self) -> int:
+        return len(self._outcomes)
+
+
+class TransitionCache:
+    """A bounded LRU memo of ``kernel.transition(state)`` rows.
+
+    Parameters
+    ----------
+    kernel:
+        The transition kernel whose rows are memoized.  One cache
+        serves exactly one kernel; sharing a cache across kernels would
+        silently mix distributions.
+    maxsize:
+        Upper bound on the number of distinct states retained; the
+        least-recently-used row is evicted beyond it.
+
+    The counters ``hits`` / ``misses`` / ``evictions`` are plain ints,
+    surfaced on :class:`~repro.runtime.context.RunReport` via
+    :meth:`RunContext.attach_cache <repro.runtime.context.RunContext.attach_cache>`.
+
+    Examples
+    --------
+    >>> from repro.workloads import cycle_graph, random_walk_query
+    >>> query, db = random_walk_query(cycle_graph(4), "n0", "n2")
+    >>> cache = TransitionCache(query.kernel, maxsize=16)
+    >>> cache.transition(db) == query.kernel.transition(db)
+    True
+    >>> cache.transition(db) is cache.transition(db)   # memoized
+    True
+    >>> (cache.hits, cache.misses, cache.evictions)
+    (2, 1, 0)
+    """
+
+    __slots__ = ("kernel", "maxsize", "_rows", "hits", "misses", "evictions")
+
+    def __init__(self, kernel: Interpretation, maxsize: int = DEFAULT_CACHE_SIZE):
+        if maxsize < 1:
+            raise ProbabilityError(f"cache maxsize must be >= 1, got {maxsize!r}")
+        self.kernel = kernel
+        self.maxsize = maxsize
+        self._rows: OrderedDict[Database, CachedRow] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def row(self, state: Database) -> CachedRow:
+        """The memoized row for ``state`` (computed on first request)."""
+        row = self._rows.get(state)
+        if row is not None:
+            self.hits += 1
+            self._rows.move_to_end(state)
+            return row
+        self.misses += 1
+        row = CachedRow(self.kernel.transition(state))
+        self._rows[state] = row
+        if len(self._rows) > self.maxsize:
+            self._rows.popitem(last=False)
+            self.evictions += 1
+        return row
+
+    def transition(self, state: Database) -> Distribution[Database]:
+        """Memoized ``kernel.transition(state)``."""
+        return self.row(state).distribution
+
+    def sample(self, state: Database, rng: random.Random) -> Database:
+        """Draw one successor of ``state`` from the memoized exact row."""
+        return self.row(state).sample(rng)
+
+    def clear(self) -> None:
+        """Drop all rows (counters are kept — they describe the run)."""
+        self._rows.clear()
+
+    def stats(self) -> dict:
+        """JSON-friendly counter snapshot for :class:`RunReport`."""
+        total = self.hits + self.misses
+        return {
+            "size": len(self._rows),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": (self.hits / total) if total else None,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"TransitionCache(size={len(self._rows)}/{self.maxsize}, "
+            f"hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
+        )

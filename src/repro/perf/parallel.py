@@ -1,0 +1,298 @@
+"""Multi-core trial execution for the Monte-Carlo samplers.
+
+The Theorem 4.3 and Theorem 5.6 samplers are embarrassingly parallel:
+every trial is an independent walk whose tally merges into one
+Chernoff-valid estimate.  This module fans the planned trials out over
+a :class:`concurrent.futures.ProcessPoolExecutor` while preserving the
+three contracts the rest of the library depends on:
+
+* **Determinism** — each worker runs an independent RNG stream seeded
+  by ``master.getrandbits(64)`` draws taken in worker order, so a fixed
+  ``(seed, workers)`` pair always produces the same estimate
+  (*seed-stable*), and ``workers=1`` never enters this module at all —
+  the samplers keep their historical single-stream path, so results
+  there are bit-identical to previous releases.
+* **Budgets** — the caller's remaining step budget is pro-rated across
+  workers (shares sum exactly to the remainder) and the wall-clock
+  deadline is forwarded, so a parallel run can never outspend the
+  :class:`~repro.runtime.budget.Budget` a sequential run honours.
+* **Cancellation** — the parent polls its own
+  :class:`~repro.runtime.context.RunContext` while the pool runs; any
+  cancellation or deadline trip flips a shared event that every
+  worker's :class:`WorkerContext` polls, so workers stop within a few
+  transitions instead of running to completion.
+
+Workers return plain tally dicts (positives, samples, steps, cache
+counters); the samplers merge them and build the usual
+:class:`~repro.core.evaluation.results.SamplingResult`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+from concurrent.futures import FIRST_EXCEPTION, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.errors import EvaluationError
+from repro.runtime.budget import Budget
+from repro.runtime.context import RunContext
+
+#: Seconds between parent-side budget/cancellation polls while waiting.
+_POLL_INTERVAL = 0.05
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How to parallelise a sampler's trials.
+
+    Attributes
+    ----------
+    workers:
+        Number of worker processes.  ``1`` (the default) disables the
+        pool entirely and keeps the sampler on its historical,
+        bit-identical sequential path.
+    start_method:
+        ``multiprocessing`` start method; ``None`` picks ``"fork"``
+        where available (Linux) and the platform default elsewhere.
+
+    Examples
+    --------
+    >>> ParallelConfig(workers=4).workers
+    4
+    """
+
+    workers: int = 1
+    start_method: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise EvaluationError(f"workers must be >= 1, got {self.workers!r}")
+        methods = multiprocessing.get_all_start_methods()
+        if self.start_method is not None and self.start_method not in methods:
+            raise EvaluationError(
+                f"unknown start method {self.start_method!r}; "
+                f"this platform supports {methods}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether a pool will actually be used."""
+        return self.workers > 1
+
+    def mp_context(self):
+        """The resolved multiprocessing context."""
+        method = self.start_method
+        if method is None:
+            method = (
+                "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+            )
+        return multiprocessing.get_context(method)
+
+
+# -- deterministic seeding and budget pro-rating ---------------------------
+
+
+def worker_seeds(master: random.Random, workers: int) -> list[int]:
+    """Derive one 64-bit seed per worker from the master stream.
+
+    Seeds are drawn in worker order, so a fixed master seed and worker
+    count always yields the same seed vector regardless of scheduling.
+    """
+    return [master.getrandbits(64) for _ in range(workers)]
+
+
+def split_trials(total: int, workers: int) -> list[int]:
+    """Split ``total`` trials into ``workers`` near-equal shares.
+
+    The shares sum exactly to ``total``; earlier workers absorb the
+    remainder.  Shares can be zero when ``total < workers``.
+    """
+    if total < 0:
+        raise EvaluationError(f"cannot split {total} trials")
+    base, remainder = divmod(total, workers)
+    return [base + (1 if index < remainder else 0) for index in range(workers)]
+
+
+def prorated_budgets(context: RunContext | None, workers: int) -> list[Budget]:
+    """Per-worker budgets whose step shares sum to the parent's remainder.
+
+    The wall-clock deadline is forwarded as the parent's *remaining*
+    time (each worker restarts the clock when it builds its context),
+    and ``max_states`` is not forwarded — the samplers never
+    materialise chains inside workers.
+    """
+    if context is None:
+        return [Budget.unlimited() for _ in range(workers)]
+    remaining_time = context.remaining_time()
+    limit = context.budget.max_steps
+    if limit is None:
+        shares: list[int | None] = [None] * workers
+    else:
+        shares = list(split_trials(max(limit - context.steps_used, 0), workers))
+    return [
+        Budget(wall_clock=remaining_time, max_steps=share) for share in shares
+    ]
+
+
+# -- worker-side context ---------------------------------------------------
+
+#: Cross-process cancellation flag, installed by the pool initializer.
+_CANCEL_EVENT: Any = None
+
+
+def _pool_initializer(cancel_event: Any) -> None:
+    global _CANCEL_EVENT
+    _CANCEL_EVENT = cancel_event
+
+
+class WorkerContext(RunContext):
+    """A :class:`RunContext` that also honours the pool's cancel event.
+
+    The shared event is polled every :data:`POLL_EVERY` checks (an
+    ``Event.is_set`` crosses a lock, so per-step polling would tax the
+    hot loop); a set event behaves exactly like a local
+    :meth:`~RunContext.cancel` call.
+    """
+
+    POLL_EVERY = 64
+
+    def __init__(self, budget: Budget | None = None):
+        super().__init__(budget)
+        self._poll_countdown = self.POLL_EVERY
+
+    def check(self) -> None:
+        self._poll_countdown -= 1
+        if self._poll_countdown <= 0:
+            self._poll_countdown = self.POLL_EVERY
+            if _CANCEL_EVENT is not None and _CANCEL_EVENT.is_set():
+                self.cancel()
+        super().check()
+
+
+# -- worker entry points ---------------------------------------------------
+#
+# These run inside the pool processes; the sampler imports happen lazily
+# so that this module never forms an import cycle with the evaluators.
+
+
+def _run_mcmc_trials(task: dict) -> dict:
+    from repro.core.evaluation.sampling_noninflationary import evaluate_forever_mcmc
+
+    context = WorkerContext(task["budget"])
+    result = evaluate_forever_mcmc(
+        task["query"],
+        task["initial"],
+        samples=task["samples"],
+        burn_in=task["burn_in"],
+        rng=task["seed"],
+        cache_size=task["cache_size"],
+        context=context,
+    )
+    return {
+        "positive": result.positive,
+        "samples": result.samples,
+        "steps": context.steps_used,
+        "cache": result.details.get("cache"),
+    }
+
+
+def _run_inflationary_trials(task: dict) -> dict:
+    from repro.core.evaluation.sampling_inflationary import (
+        evaluate_inflationary_sampling,
+    )
+
+    context = WorkerContext(task["budget"])
+    result = evaluate_inflationary_sampling(
+        task["query"],
+        task["initial"],
+        samples=task["samples"],
+        rng=task["seed"],
+        max_steps=task["max_steps"],
+        stall_threshold=task["stall_threshold"],
+        cache_size=task["cache_size"],
+        context=context,
+    )
+    return {
+        "positive": result.positive,
+        "samples": result.samples,
+        "steps": context.steps_used,
+        "total_steps": result.details["mean_steps_per_sample"] * result.samples,
+        "cache": result.details.get("cache"),
+    }
+
+
+# -- parent-side pool driver ----------------------------------------------
+
+
+def run_worker_pool(
+    worker: Callable[[dict], dict],
+    tasks: Sequence[dict],
+    config: ParallelConfig,
+    context: RunContext | None = None,
+) -> list[dict]:
+    """Run one task per worker, merging budget/cancellation semantics.
+
+    Blocks until every worker finishes; polls the parent ``context``
+    while waiting so a cancellation or wall-clock trip in the parent
+    propagates to the workers via the shared event.  The first worker
+    exception (e.g. a pro-rated budget trip) is re-raised in the parent
+    after the remaining workers have been told to stop.
+    """
+    mp_context = config.mp_context()
+    cancel_event = mp_context.Event()
+    with ProcessPoolExecutor(
+        max_workers=len(tasks),
+        mp_context=mp_context,
+        initializer=_pool_initializer,
+        initargs=(cancel_event,),
+    ) as pool:
+        futures: list[Future] = [pool.submit(worker, task) for task in tasks]
+        try:
+            pending = set(futures)
+            while pending:
+                done, pending = wait(
+                    pending, timeout=_POLL_INTERVAL, return_when=FIRST_EXCEPTION
+                )
+                for future in done:
+                    future.result()  # re-raise worker failures eagerly
+                if context is not None:
+                    context.check()
+        except BaseException:
+            cancel_event.set()
+            for future in futures:
+                future.cancel()
+            raise
+    return [future.result() for future in futures]
+
+
+def merge_tallies(tallies: Sequence[dict]) -> dict:
+    """Sum per-worker tallies into one Chernoff-valid aggregate.
+
+    Trials in different workers are independent (independent seeds, no
+    shared state), so the summed positives over the summed samples obey
+    the same Hoeffding/Chernoff bound the sequential plan was sized
+    for.  Cache counters are summed across the workers' private caches.
+    """
+    merged = {
+        "positive": sum(t["positive"] for t in tallies),
+        "samples": sum(t["samples"] for t in tallies),
+        "steps": sum(t["steps"] for t in tallies),
+    }
+    caches = [t.get("cache") for t in tallies if t.get("cache")]
+    if caches:
+        merged["cache"] = {
+            "size": sum(c["size"] for c in caches),
+            "maxsize": sum(c["maxsize"] for c in caches),
+            "hits": sum(c["hits"] for c in caches),
+            "misses": sum(c["misses"] for c in caches),
+            "evictions": sum(c["evictions"] for c in caches),
+            "hit_rate": (
+                sum(c["hits"] for c in caches)
+                / max(sum(c["hits"] + c["misses"] for c in caches), 1)
+            ),
+        }
+    if any("total_steps" in t for t in tallies):
+        merged["total_steps"] = sum(t.get("total_steps", 0) for t in tallies)
+    return merged

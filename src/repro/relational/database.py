@@ -35,7 +35,10 @@ class Database:
             if not isinstance(rel, Relation):
                 raise SchemaError(f"value for {name!r} is not a Relation: {rel!r}")
         self._relations: dict[str, Relation] = dict(relations)
-        self._hash = hash(frozenset(self._relations.items()))
+        # Computed lazily on first __hash__: evaluators build many
+        # throwaway intermediates (with_relation chains inside exact
+        # transition enumeration) that are never used as dict keys.
+        self._hash: int | None = None
 
     # -- mapping protocol -------------------------------------------------
 
@@ -70,7 +73,10 @@ class Database:
         return self._relations == other._relations
 
     def __hash__(self) -> int:
-        return self._hash
+        value = self._hash
+        if value is None:
+            value = self._hash = hash(frozenset(self._relations.items()))
+        return value
 
     def __repr__(self) -> str:
         parts = ", ".join(f"{n}[{len(r)}]" for n, r in sorted(self._relations.items()))

@@ -64,6 +64,11 @@ class RunReport:
         Free-form progress notes recorded by evaluators.
     budget / spent:
         The configured limits and what was actually consumed.
+    cache:
+        Hit/miss/eviction counters of the run's
+        :class:`~repro.perf.cache.TransitionCache` (``None`` when no
+        cache was attached).  Parallel runs report the summed counters
+        of the workers' private caches.
     """
 
     outcome: str = "running"
@@ -72,6 +77,7 @@ class RunReport:
     events: list[str] = field(default_factory=list)
     budget: Mapping[str, Any] = field(default_factory=dict)
     spent: Mapping[str, Any] = field(default_factory=dict)
+    cache: Mapping[str, Any] | None = None
 
     def as_dict(self) -> dict:
         return {
@@ -81,6 +87,7 @@ class RunReport:
             "events": list(self.events),
             "budget": dict(self.budget),
             "spent": dict(self.spent),
+            "cache": dict(self.cache) if self.cache is not None else None,
         }
 
 
@@ -120,6 +127,8 @@ class RunContext:
         self._events: list[str] = []
         self._outcome = "running"
         self._method: str | None = None
+        self._cache: Any = None
+        self._cache_stats: Mapping[str, Any] | None = None
 
     # -- cancellation -------------------------------------------------
 
@@ -202,7 +211,31 @@ class RunContext:
             )
         self.check()
 
+    # -- usage merging ------------------------------------------------
+
+    def absorb_usage(self, steps: int = 0, states: int = 0) -> None:
+        """Fold a child run's consumption into this context's counters.
+
+        Used after a parallel sampler joins its workers: each worker
+        enforced its own pro-rated :class:`Budget`, so the sum can never
+        exceed this context's limits and no check is re-run here — the
+        counters exist so :meth:`report` accounts for all work done.
+        """
+        self.steps_used += steps
+        self.states_used += states
+
     # -- reporting ----------------------------------------------------
+
+    def attach_cache(self, cache: Any) -> None:
+        """Surface a :class:`~repro.perf.cache.TransitionCache`'s
+        counters on this run's :class:`RunReport` (``stats()`` is read
+        when the report is built, so final numbers are reported)."""
+        self._cache = cache
+
+    def record_cache_stats(self, stats: Mapping[str, Any]) -> None:
+        """Record already-aggregated cache counters (parallel runs sum
+        their workers' private caches and report the total here)."""
+        self._cache_stats = dict(stats)
 
     def record_event(self, message: str) -> None:
         """Append a free-form progress note to the report."""
@@ -225,6 +258,9 @@ class RunContext:
 
     def report(self) -> RunReport:
         """A structured snapshot of what was spent and why."""
+        cache_stats = self._cache_stats
+        if cache_stats is None and self._cache is not None:
+            cache_stats = self._cache.stats()
         return RunReport(
             outcome=self._outcome,
             method=self._method,
@@ -236,6 +272,7 @@ class RunContext:
                 "steps": self.steps_used,
                 "states": self.states_used,
             },
+            cache=cache_stats,
         )
 
 

@@ -47,6 +47,7 @@ from repro.relational.database import Database
 from repro.runtime.context import RunContext, ensure_context
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.perf.parallel import ParallelConfig
     from repro.runtime.checkpoint import Checkpoint
 
 #: The degradation ladder per mode.
@@ -87,6 +88,15 @@ class DegradationPolicy:
         event frequency in steps of ``1 / adaptive_walkers``: a
         tolerance below the sampling noise would spin to
         ``adaptive_max_steps`` and abort the last rung of the ladder.
+    mcmc_workers:
+        Worker processes for the MCMC rung's trials (``1`` keeps the
+        historical sequential sampler bit-identically; ``N > 1`` is
+        seed-stable for fixed N — see
+        :class:`~repro.perf.parallel.ParallelConfig`).
+    mcmc_cache_size:
+        When set, the MCMC rung (both the adaptive burn-in ensemble
+        and the sampler walks) draws successors from a bounded
+        :class:`~repro.perf.cache.TransitionCache` of this size.
     """
 
     mode: str = "auto"
@@ -99,6 +109,8 @@ class DegradationPolicy:
     adaptive_window: int = 20
     adaptive_tolerance: float = 0.1
     adaptive_max_steps: int = DEFAULT_ADAPTIVE_MAX_STEPS
+    mcmc_workers: int = 1
+    mcmc_cache_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in _LADDERS:
@@ -112,10 +124,22 @@ class DegradationPolicy:
             raise EvaluationError("adaptive_walkers must be >= 1")
         if self.adaptive_tolerance < 0:
             raise EvaluationError("adaptive_tolerance must be >= 0")
+        if self.mcmc_workers < 1:
+            raise EvaluationError("mcmc_workers must be >= 1")
+        if self.mcmc_cache_size is not None and self.mcmc_cache_size < 1:
+            raise EvaluationError("mcmc_cache_size must be >= 1")
 
     @property
     def ladder(self) -> tuple[str, ...]:
         return _LADDERS[self.mode]
+
+    def parallel_config(self) -> "ParallelConfig | None":
+        """The MCMC rung's pool configuration (``None`` when serial)."""
+        if self.mcmc_workers <= 1:
+            return None
+        from repro.perf.parallel import ParallelConfig
+
+        return ParallelConfig(workers=self.mcmc_workers)
 
 
 def evaluate_forever_resilient(
@@ -193,6 +217,7 @@ def evaluate_forever_resilient(
                         tolerance=policy.adaptive_tolerance,
                         max_steps=policy.adaptive_max_steps,
                         context=context,
+                        cache_size=policy.mcmc_cache_size,
                     )
                     context.record_event(f"adaptive burn-in estimated: {burn_in}")
                 result = evaluate_forever_mcmc(
@@ -206,6 +231,8 @@ def evaluate_forever_resilient(
                     context=context,
                     checkpoint_path=checkpoint_path,
                     resume=resume,
+                    cache_size=policy.mcmc_cache_size,
+                    parallel=policy.parallel_config(),
                 )
         except StateSpaceLimitExceeded as error:
             if on_last_rung:

@@ -5,7 +5,7 @@ from fractions import Fraction
 import pytest
 
 from repro.errors import MarkovChainError
-from repro.markov import identity, solve_exact, solve_exact_vector
+from repro.markov import identity, solve_exact, solve_exact_gauss, solve_exact_vector
 
 
 F = Fraction
@@ -69,6 +69,62 @@ class TestSolveExact:
         x = solve_exact_vector(a, b)
         for i in range(n):
             assert sum(a[i][j] * x[j] for j in range(n)) == b[i]
+
+
+class TestBareissAgainstGauss:
+    """The fraction-free Bareiss path must reproduce the Gauss–Jordan
+    reference solver exactly on every solvable system."""
+
+    def test_random_fraction_systems(self):
+        import random
+
+        rng = random.Random(11)
+        for trial in range(20):
+            n = rng.randint(1, 5)
+            a = [
+                [F(rng.randint(-6, 6), rng.randint(1, 5)) for _ in range(n)]
+                for _ in range(n)
+            ]
+            for i in range(n):
+                a[i][i] += F(25)  # diagonally dominant -> nonsingular
+            k = rng.randint(1, 3)
+            b = [
+                [F(rng.randint(-9, 9), rng.randint(1, 7)) for _ in range(k)]
+                for _ in range(n)
+            ]
+            assert solve_exact(a, b) == solve_exact_gauss(a, b)
+
+    def test_zero_pivot_requires_row_swap(self):
+        a = [[F(0), F(1), F(2)], [F(1), F(0), F(1)], [F(2), F(1), F(0)]]
+        b = [[F(3)], [F(2)], [F(3)]]
+        assert solve_exact(a, b) == solve_exact_gauss(a, b)
+
+    def test_results_are_fractions(self):
+        x = solve_exact([[F(2)]], [[F(1)]])
+        assert isinstance(x[0][0], Fraction)
+        assert x == [[F(1, 2)]]
+
+
+class TestErrorDiagnostics:
+    def test_singular_error_names_dimensions_and_column(self):
+        a = [[F(1), F(2)], [F(2), F(4)]]
+        with pytest.raises(MarkovChainError) as excinfo:
+            solve_exact(a, [[F(1)], [F(1)]])
+        message = str(excinfo.value)
+        assert "2x2" in message
+        assert "column" in message
+        assert excinfo.value.details["rows"] == 2
+        assert excinfo.value.details["column"] == 1
+
+    def test_shape_error_reports_dimensions(self):
+        with pytest.raises(MarkovChainError) as excinfo:
+            solve_exact([[F(1), F(2)]], [[F(1)]])
+        assert "1" in str(excinfo.value) and "2" in str(excinfo.value)
+
+    def test_rhs_length_mismatch_reports_dimensions(self):
+        with pytest.raises(MarkovChainError) as excinfo:
+            solve_exact([[F(1)]], [[F(1)], [F(2)]])
+        assert excinfo.value.details.get("rows") == 1
 
 
 class TestIdentity:

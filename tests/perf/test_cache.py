@@ -1,0 +1,126 @@
+"""TransitionCache: memoization, LRU bound, sampling equivalence."""
+
+import pytest
+
+from repro.core.chain_builder import build_state_chain
+from repro.core.interpretation import Interpretation
+from repro.errors import EvaluationError, ProbabilityError
+from repro.perf import CachedRow, TransitionCache
+from repro.probability.rng import make_rng
+from repro.relational import rel
+from repro.workloads import cycle_graph, random_walk_query
+
+
+@pytest.fixture()
+def walk():
+    return random_walk_query(cycle_graph(5), "n0", "n2")
+
+
+class TestMemoization:
+    def test_transition_matches_kernel(self, walk):
+        query, db = walk
+        cache = TransitionCache(query.kernel)
+        assert cache.transition(db) == query.kernel.transition(db)
+
+    def test_hit_miss_counters(self, walk):
+        query, db = walk
+        cache = TransitionCache(query.kernel, maxsize=8)
+        cache.transition(db)
+        cache.transition(db)
+        cache.transition(db)
+        assert (cache.hits, cache.misses, cache.evictions) == (2, 1, 0)
+        stats = cache.stats()
+        assert stats["hits"] == 2 and stats["misses"] == 1
+        assert stats["hit_rate"] == pytest.approx(2 / 3)
+
+    def test_rows_are_shared_objects(self, walk):
+        query, db = walk
+        cache = TransitionCache(query.kernel)
+        assert cache.row(db) is cache.row(db)
+
+    def test_clear_drops_rows_keeps_counters(self, walk):
+        query, db = walk
+        cache = TransitionCache(query.kernel)
+        cache.transition(db)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.misses == 1
+
+
+class TestLruBound:
+    def test_size_never_exceeds_maxsize(self, walk):
+        query, db = walk
+        cache = TransitionCache(query.kernel, maxsize=2)
+        rng = make_rng(7)
+        state = db
+        for _ in range(50):
+            state = cache.sample(state, rng)
+        assert len(cache) <= 2
+        assert cache.evictions > 0
+
+    def test_least_recently_used_is_evicted(self, walk):
+        query, db = walk
+        chain = build_state_chain(query.kernel, db)
+        first, second, third = list(chain.states)[:3]
+        cache = TransitionCache(query.kernel, maxsize=2)
+        cache.row(first)
+        cache.row(second)
+        cache.row(first)  # refresh first: second is now LRU
+        cache.row(third)  # evicts second
+        before = cache.misses
+        cache.row(first)
+        assert cache.misses == before  # still cached
+        cache.row(second)
+        assert cache.misses == before + 1  # was evicted
+
+    def test_rejects_non_positive_maxsize(self, walk):
+        query, _ = walk
+        with pytest.raises(ProbabilityError):
+            TransitionCache(query.kernel, maxsize=0)
+
+
+class TestSamplingEquivalence:
+    def test_cached_row_matches_distribution_sample(self, walk):
+        """CachedRow.sample replays Distribution.sample's accumulation
+        order, so identical rng states give identical outcomes."""
+        query, db = walk
+        row = CachedRow(query.kernel.transition(db))
+        for seed in range(40):
+            assert row.sample(make_rng(seed)) == row.distribution.sample(
+                make_rng(seed)
+            )
+
+    def test_cached_walk_visits_correct_support(self, walk):
+        query, db = walk
+        cache = TransitionCache(query.kernel)
+        rng = make_rng(3)
+        state = db
+        for _ in range(200):
+            successor = cache.sample(state, rng)
+            assert cache.transition(state).probability(successor) > 0
+            state = successor
+
+
+class TestIntegration:
+    def test_cached_convenience_constructor(self, walk):
+        query, _ = walk
+        cache = query.kernel.cached(maxsize=7)
+        assert isinstance(cache, TransitionCache)
+        assert cache.maxsize == 7
+        assert cache.kernel is query.kernel
+
+    def test_chain_builder_accepts_warm_cache(self, walk):
+        query, db = walk
+        cache = query.kernel.cached()
+        cold = build_state_chain(query.kernel, db)
+        warm = build_state_chain(query.kernel, db, cache=cache)
+        assert warm.size == cold.size
+        misses_after_first = cache.misses
+        build_state_chain(query.kernel, db, cache=cache)
+        assert cache.misses == misses_after_first  # fully memoized rebuild
+
+    def test_chain_builder_rejects_foreign_cache(self, walk):
+        query, db = walk
+        other = Interpretation({"C": rel("C")})
+        with pytest.raises(EvaluationError):
+            build_state_chain(query.kernel, db, cache=TransitionCache(other))

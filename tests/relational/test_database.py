@@ -62,6 +62,17 @@ class TestValueSemantics:
     def test_not_equal_other_type(self, db):
         assert db != "db"
 
+    def test_hash_is_lazy_and_cached(self, db):
+        fresh = Database(db.relations())
+        assert fresh._hash is None  # not computed at construction
+        first = hash(fresh)
+        assert fresh._hash == first  # cached after first call
+        assert hash(fresh) == first
+
+    def test_slots_still_enforced(self, db):
+        with pytest.raises(AttributeError):
+            db.extra = 1
+
 
 class TestFunctionalUpdates:
     def test_with_relation_returns_new(self, db):
