@@ -275,6 +275,17 @@ def main(argv: list[str] | None = None) -> int:
         "seed": SEED,
         "cores": cores,
         "python": platform.python_version(),
+        # Numbers are only comparable across runs on comparable hosts;
+        # record enough of the host to tell.
+        "host": {
+            "python_version": platform.python_version(),
+            "python_implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+            "cpu_count": os.cpu_count(),
+            "usable_cores": cores,
+        },
         "benchmarks": h.benchmarks,
         "targets": h.targets,
         "checks": h.checks,

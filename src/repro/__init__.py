@@ -123,7 +123,24 @@ from repro.workloads import (
     sprinkler_network,
 )
 
-__version__ = "1.0.0"
+def _resolve_version() -> str:
+    """The installed distribution version, or the source-tree fallback.
+
+    When the package is installed (``pip install -e .``) this reads the
+    authoritative version from the distribution metadata, so
+    ``repro --version`` always matches ``pyproject.toml``; running
+    straight from the source tree (``PYTHONPATH=src``) falls back to
+    the pinned literal below, which must be kept in lockstep.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        return "1.0.0"
+
+
+__version__ = _resolve_version()
 
 __all__ = [
     "AlgebraError",

@@ -40,23 +40,31 @@ sequential sampler bit-identically) and ``--cache-size N`` (memoize up
 to N exact transition rows).  With ``--fallback``, both knobs apply to
 the MCMC rung of the degradation ladder.
 
+Serving (see ``docs/service.md``): ``repro serve`` runs the HTTP query
+service (persistent engine sessions, bounded job queue, result cache);
+``repro submit`` and ``repro jobs`` are its client — submit a query,
+poll/cancel jobs, scrape ``/v1/metrics``::
+
+    python -m repro serve --port 8352 --workers 4 --default-timeout 60
+    python -m repro submit forever kernel.ra --db db.json --event 'C(a)' --url http://127.0.0.1:8352
+    python -m repro jobs --metrics --url http://127.0.0.1:8352
+
 Exit codes: 0 success, 2 any library/input error, 130 interrupted
-(Ctrl-C; a configured ``--checkpoint`` is flushed first).
+(Ctrl-C; a configured ``--checkpoint`` is flushed first, and a
+``serve`` process shuts its workers down).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import re
 import sys
-from fractions import Fraction
-from typing import Any, Sequence
+from typing import Sequence
 
+from repro import __version__
 from repro.core import (
     ForeverQuery,
     InflationaryQuery,
-    TupleIn,
     build_state_chain,
     evaluate_forever_exact,
     evaluate_forever_lumped,
@@ -64,59 +72,13 @@ from repro.core import (
     evaluate_inflationary_exact,
     evaluate_inflationary_sampling,
 )
+from repro.core.events import parse_event
 from repro.datalog import evaluate_datalog_exact, evaluate_datalog_sampling, parse_program
 from repro.errors import ReproError
 from repro.io import load_database, load_pc_database
 from repro.markov import classify, is_ergodic, is_irreducible, mixing_time
 from repro.relational.parser import parse_interpretation
 from repro.runtime import Budget, DegradationPolicy, RunContext, evaluate_forever_resilient
-
-_EVENT_RE = re.compile(r"^\s*([A-Za-z_][A-Za-z0-9_]*)\s*\((.*)\)\s*$")
-_RATIONAL_RE = re.compile(r"^[+-]?\d+/\d+$")
-_NUMBER_RE = re.compile(r"^[+-]?\d+(\.\d+)?$")
-
-
-def parse_event(text: str) -> TupleIn:
-    """Parse a ground event atom like ``c(w, 3, '1/2 beer')``."""
-    match = _EVENT_RE.match(text)
-    if match is None:
-        raise ReproError(
-            f"cannot parse event {text!r}; expected relation(value, ...)"
-        )
-    relation, inner = match.groups()
-    values: list[Any] = []
-    if inner.strip():
-        for raw in _split_arguments(inner):
-            values.append(_parse_event_value(raw.strip()))
-    return TupleIn(relation, tuple(values))
-
-
-def _split_arguments(inner: str) -> list[str]:
-    parts: list[str] = []
-    depth_quote = False
-    current = ""
-    for char in inner:
-        if char == "'":
-            depth_quote = not depth_quote
-            current += char
-        elif char == "," and not depth_quote:
-            parts.append(current)
-            current = ""
-        else:
-            current += char
-    parts.append(current)
-    return parts
-
-
-def _parse_event_value(raw: str) -> Any:
-    if raw.startswith("'") and raw.endswith("'") and len(raw) >= 2:
-        return raw[1:-1]
-    if _RATIONAL_RE.match(raw):
-        return Fraction(raw)
-    if _NUMBER_RE.match(raw):
-        return Fraction(raw) if "." in raw else int(raw)
-    return raw
-
 
 def _emit(payload: dict, as_json: bool) -> None:
     if as_json:
@@ -388,10 +350,117 @@ def _command_chain(args: argparse.Namespace, context: RunContext) -> dict:
     return summary
 
 
+def _command_serve(args: argparse.Namespace, context: RunContext) -> dict:
+    """Run the HTTP query service until interrupted (Ctrl-C -> 130)."""
+    from repro.service import QueryService, ServiceConfig, make_server
+
+    default_budget = None
+    if args.default_timeout is not None or args.default_max_steps is not None:
+        default_budget = Budget(
+            wall_clock=args.default_timeout, max_steps=args.default_max_steps
+        )
+    config = ServiceConfig(
+        workers=args.workers,
+        queue_size=args.queue_size,
+        default_budget=default_budget,
+        session_pool_size=args.session_pool_size,
+        result_cache_size=args.result_cache_size,
+    )
+    service = QueryService(config)
+    server = make_server(service, args.host, args.port)
+    host, port = server.server_address[:2]
+    url = f"http://{host}:{port}"
+    # The startup line is printed (and flushed) before serving so a
+    # parent process can parse the bound address, ephemeral port included.
+    _emit(
+        {"serving": url, "workers": args.workers, "queue_size": args.queue_size},
+        args.json,
+    )
+    sys.stdout.flush()
+    service.start()
+    try:
+        server.serve_forever(poll_interval=0.2)
+    finally:
+        server.server_close()
+        service.shutdown(wait=False, cancel_running=True)
+    return {"stopped": url}
+
+
+def _submit_body(args: argparse.Namespace) -> dict:
+    with open(args.program, encoding="utf-8") as handle:
+        program_text = handle.read()
+    with open(args.db, encoding="utf-8") as handle:
+        database = json.load(handle)
+    body: dict = {
+        "semantics": args.semantics,
+        "program": program_text,
+        "database": database,
+        "event": args.event,
+        "priority": args.priority,
+    }
+    if args.pc:
+        with open(args.pc, encoding="utf-8") as handle:
+            body["pc_tables"] = json.load(handle)
+    params = {
+        key: getattr(args, key)
+        for key in (
+            "samples", "epsilon", "delta", "seed", "max_states",
+            "burn_in", "workers", "cache_size",
+        )
+        if getattr(args, key) is not None
+    }
+    if args.mcmc:
+        params["mcmc"] = True
+    if args.lumped:
+        params["lumped"] = True
+    if args.fallback is not None:
+        params["fallback"] = args.fallback
+    if params:
+        body["params"] = params
+    budget = {
+        key: getattr(args, key)
+        for key in ("timeout", "max_steps")
+        if getattr(args, key) is not None
+    }
+    if budget:
+        body["budget"] = budget
+    return body
+
+
+def _command_submit(args: argparse.Namespace, context: RunContext) -> dict:
+    """Submit one query to a running service; wait unless --no-wait."""
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.url)
+    record = client.submit(_submit_body(args))
+    if args.no_wait:
+        return record
+    return client.wait(record["id"], timeout=args.wait_timeout)
+
+
+def _command_jobs(args: argparse.Namespace, context: RunContext) -> dict:
+    """List/poll/cancel jobs on a running service; scrape its metrics."""
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.metrics:
+        return client.metrics()
+    if args.health:
+        return client.healthz()
+    if args.job_id is None:
+        return {"jobs": client.jobs()}
+    if args.cancel:
+        return client.cancel(args.job_id)
+    return client.job(args.job_id)
+
+
 def build_arg_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Probabilistic fixpoint / Markov chain query languages (PODS 2010)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     # --json is accepted both before and after the subcommand.
     common = argparse.ArgumentParser(add_help=False)
@@ -469,6 +538,107 @@ def build_arg_parser() -> argparse.ArgumentParser:
     chain.add_argument("--max-states", type=int, default=20_000)
     _add_budget_arguments(chain)
     chain.set_defaults(handler=_command_chain)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the HTTP query service (see docs/service.md)",
+        parents=[common],
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8352, help="0 picks an ephemeral port"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="scheduler worker threads"
+    )
+    serve.add_argument(
+        "--queue-size",
+        type=int,
+        default=64,
+        help="bounded queue capacity; submissions beyond it get HTTP 429",
+    )
+    serve.add_argument(
+        "--default-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget for jobs that do not set one",
+    )
+    serve.add_argument(
+        "--default-max-steps",
+        type=int,
+        default=None,
+        metavar="N",
+        help="transition-step budget for jobs that do not set one",
+    )
+    serve.add_argument(
+        "--session-pool-size",
+        type=int,
+        default=32,
+        help="resident prepared programs (LRU beyond this)",
+    )
+    serve.add_argument(
+        "--result-cache-size",
+        type=int,
+        default=1024,
+        help="retained deterministic results (LRU beyond this)",
+    )
+    serve.set_defaults(handler=_command_serve)
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="submit one query to a running service",
+        parents=[common],
+    )
+    submit.add_argument(
+        "semantics", choices=("forever", "inflationary", "datalog")
+    )
+    submit.add_argument("program", help="program/kernel file")
+    submit.add_argument("--db", required=True, help="database JSON file")
+    submit.add_argument("--event", required=True)
+    submit.add_argument("--url", default="http://127.0.0.1:8352")
+    submit.add_argument("--pc", help="pc-table database JSON (datalog only)")
+    submit.add_argument("--priority", choices=("normal", "high"), default="normal")
+    submit.add_argument("--samples", type=int, default=None)
+    submit.add_argument("--epsilon", type=float, default=None)
+    submit.add_argument("--delta", type=float, default=None)
+    submit.add_argument("--seed", type=int, default=None)
+    submit.add_argument("--max-states", type=int, default=None)
+    submit.add_argument("--mcmc", action="store_true")
+    submit.add_argument("--lumped", action="store_true")
+    submit.add_argument(
+        "--fallback", choices=("lumped", "mcmc", "auto"), default=None
+    )
+    submit.add_argument("--burn-in", type=int, default=None)
+    submit.add_argument("--workers", type=int, default=None)
+    submit.add_argument("--cache-size", type=int, default=None)
+    submit.add_argument("--timeout", type=float, default=None, help="per-job wall-clock budget")
+    submit.add_argument("--max-steps", type=int, default=None, help="per-job step budget")
+    submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="print the accepted job record instead of polling for the result",
+    )
+    submit.add_argument(
+        "--wait-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="give up polling after this long",
+    )
+    submit.set_defaults(handler=_command_submit)
+
+    jobs = subparsers.add_parser(
+        "jobs",
+        help="list, poll, or cancel jobs on a running service",
+        parents=[common],
+    )
+    jobs.add_argument("job_id", nargs="?", default=None)
+    jobs.add_argument("--url", default="http://127.0.0.1:8352")
+    jobs.add_argument("--cancel", action="store_true", help="cancel the given job")
+    jobs.add_argument("--metrics", action="store_true", help="scrape /v1/metrics")
+    jobs.add_argument("--health", action="store_true", help="probe /v1/healthz")
+    jobs.set_defaults(handler=_command_jobs)
 
     return parser
 

@@ -29,6 +29,7 @@ from repro.markov.analysis import classify
 from repro.relational.database import Database
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.perf.cache import TransitionCache
     from repro.runtime.context import RunContext
 
 
@@ -37,6 +38,7 @@ def evaluate_forever_exact(
     initial: Database,
     max_states: int = DEFAULT_MAX_STATES,
     context: "RunContext | None" = None,
+    cache: "TransitionCache | None" = None,
 ) -> ExactResult:
     """Exact result of a forever-query.
 
@@ -45,6 +47,12 @@ def evaluate_forever_exact(
     the database size); fall back to
     :func:`repro.core.evaluation.sampling_noninflationary.evaluate_forever_mcmc`
     in that case.
+
+    ``cache`` (a :class:`~repro.perf.cache.TransitionCache` built on
+    the same kernel) memoizes transition rows across chain builds, so a
+    warm cache — e.g. the one a long-lived
+    :class:`~repro.service.EngineSession` keeps — skips the algebra
+    evaluation for every remembered state.
 
     Examples
     --------
@@ -61,7 +69,7 @@ def evaluate_forever_exact(
     Fraction(1, 2)
     """
     chain = build_state_chain(
-        query.kernel, initial, max_states=max_states, context=context
+        query.kernel, initial, max_states=max_states, context=context, cache=cache
     )
     if context is not None:
         context.check()

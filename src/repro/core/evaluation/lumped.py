@@ -24,6 +24,7 @@ from repro.markov.lumping import lumped_event_probability
 from repro.relational.database import Database
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.perf.cache import TransitionCache
     from repro.runtime.context import RunContext
 
 
@@ -32,12 +33,16 @@ def evaluate_forever_lumped(
     initial: Database,
     max_states: int = DEFAULT_MAX_STATES,
     context: "RunContext | None" = None,
+    cache: "TransitionCache | None" = None,
 ) -> ExactResult:
     """Exact forever-query result via the event-respecting quotient.
 
     ``states_explored`` reports the *quotient* size; the full chain is
     still constructed (the saving is in the linear-algebra phase, which
-    dominates for large chains — see benchmark A7).
+    dominates for large chains — see benchmark A7).  ``cache`` (a
+    :class:`~repro.perf.cache.TransitionCache` on the same kernel)
+    memoizes transition rows across builds, e.g. across the requests of
+    one :class:`~repro.service.EngineSession`.
 
     Examples
     --------
@@ -47,7 +52,7 @@ def evaluate_forever_lumped(
     Fraction(1, 4)
     """
     chain = build_state_chain(
-        query.kernel, initial, max_states=max_states, context=context
+        query.kernel, initial, max_states=max_states, context=context, cache=cache
     )
     if context is not None:
         context.check()

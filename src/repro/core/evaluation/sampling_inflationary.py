@@ -32,6 +32,7 @@ from repro.probability.rng import RngLike, make_rng
 from repro.relational.database import Database
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.perf.cache import TransitionCache
     from repro.perf.parallel import ParallelConfig
     from repro.runtime.context import RunContext
 
@@ -93,6 +94,7 @@ def evaluate_inflationary_sampling(
     context: "RunContext | None" = None,
     cache_size: int | None = None,
     parallel: "ParallelConfig | None" = None,
+    cache: "TransitionCache | None" = None,
 ) -> SamplingResult:
     """The Theorem 4.3 sampler: a randomized absolute (ε, δ)-approximation
     running in time polynomial in the database size.
@@ -122,6 +124,16 @@ def evaluate_inflationary_sampling(
         deterministic per-worker seeds (``workers=1`` keeps this
         sequential path bit-identically), pro-rated budgets, and
         cancellation propagation.
+    cache:
+        A pre-built fixpoint-verification memo shared across runs (the
+        :class:`~repro.service.EngineSession` pattern); overrides
+        ``cache_size``.  It must have been built on the **pc-free**
+        kernel (``kernel.without_pc_tables().cached()``), because the
+        fixpoint check enumerates the fixed kernel.  The estimate for a
+        given seed is unchanged either way (sampling stays on
+        ``sample_transition``).  Ignored with ``parallel`` workers
+        (caches cannot cross process boundaries; workers get private
+        caches of the same capacity).
     """
     kernel = query.kernel
     kernel.check_schema(initial)
@@ -137,6 +149,14 @@ def evaluate_inflationary_sampling(
         recorded_epsilon = recorded_delta = None
 
     if parallel is not None and parallel.enabled and planned > 1:
+        if cache is not None:
+            cache_size = cache.maxsize
+            cache = None
+            if context is not None:
+                context.record_event(
+                    "shared transition cache cannot cross process "
+                    "boundaries: workers use private caches"
+                )
         return _inflationary_sampling_parallel(
             query,
             initial,
@@ -151,15 +171,15 @@ def evaluate_inflationary_sampling(
             context=context,
         )
 
-    row_cache = None
-    if cache_size is not None:
+    row_cache = cache
+    if row_cache is None and cache_size is not None:
         from repro.perf.cache import TransitionCache
 
         # The memo must enumerate the *fixed* kernel (pc-table choices
         # are made once per sample, outside the fixpoint iteration).
         row_cache = TransitionCache(fixed_kernel, maxsize=cache_size)
-        if context is not None:
-            context.attach_cache(row_cache)
+    if row_cache is not None and context is not None:
+        context.attach_cache(row_cache)
 
     fixpoint_cache: dict[Database, bool] = {}
 

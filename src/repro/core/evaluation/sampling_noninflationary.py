@@ -40,6 +40,7 @@ from repro.probability.rng import RngLike, make_rng
 from repro.relational.database import Database
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.perf.cache import TransitionCache
     from repro.perf.parallel import ParallelConfig
     from repro.runtime.checkpoint import Checkpoint
     from repro.runtime.context import RunContext
@@ -48,12 +49,32 @@ if TYPE_CHECKING:  # pragma: no cover - type-only import
 DEFAULT_ADAPTIVE_MAX_STEPS = 10_000
 
 
-def _make_cache(kernel, cache_size: int | None, context: "RunContext | None"):
+def _make_cache(
+    kernel,
+    cache_size: int | None,
+    context: "RunContext | None",
+    cache: "TransitionCache | None" = None,
+):
     """Build (and attach to the context) an optional TransitionCache.
+
+    An explicit ``cache`` wins over ``cache_size``: it is a pre-built —
+    possibly already warm — :class:`~repro.perf.cache.TransitionCache`
+    shared across runs (the :class:`~repro.service.EngineSession`
+    pattern).  It must have been built on the *same* kernel object;
+    mixing kernels would silently mix distributions, so that is checked.
 
     Imported lazily: :mod:`repro.perf` sits above the evaluators in the
     import graph, exactly like :mod:`repro.runtime`.
     """
+    if cache is not None:
+        if cache.kernel is not kernel:
+            raise EvaluationError(
+                "the supplied TransitionCache was built for a different "
+                "kernel object; a cache serves exactly one kernel"
+            )
+        if context is not None:
+            context.attach_cache(cache)
+        return cache
     if cache_size is None:
         return None
     from repro.perf.cache import TransitionCache
@@ -89,6 +110,7 @@ def adaptive_burn_in(
     max_steps: int = DEFAULT_ADAPTIVE_MAX_STEPS,
     context: "RunContext | None" = None,
     cache_size: int | None = None,
+    cache: "TransitionCache | None" = None,
 ) -> int:
     """Convergence-detection heuristic for implicit (too large) chains.
 
@@ -107,7 +129,7 @@ def adaptive_burn_in(
     """
     generator = make_rng(rng)
     query.kernel.check_schema(initial)
-    cache = _make_cache(query.kernel, cache_size, context)
+    cache = _make_cache(query.kernel, cache_size, context, cache)
     draw = query.kernel.sample_transition if cache is None else cache.sample
     states = [initial] * walkers
     history: list[float] = []
@@ -166,6 +188,7 @@ def evaluate_forever_mcmc(
     resume: "Checkpoint | str | Path | None" = None,
     cache_size: int | None = None,
     parallel: "ParallelConfig | None" = None,
+    cache: "TransitionCache | None" = None,
 ) -> SamplingResult:
     """The Theorem 5.6 sampler.
 
@@ -216,6 +239,15 @@ def evaluate_forever_mcmc(
         Checkpointing needs the single sequential stream, so a
         configured ``checkpoint_path``/``resume`` disables the pool
         (recorded as a context event).
+    cache:
+        A pre-built :class:`~repro.perf.cache.TransitionCache` on the
+        same kernel, shared — and kept warm — across runs (the
+        :class:`~repro.service.EngineSession` pattern); overrides
+        ``cache_size``.  The RNG-stream caveat of ``cache_size``
+        applies.  A shared cache cannot cross process boundaries: with
+        ``parallel`` workers, each worker falls back to a private cache
+        of the same capacity.  Do not combine with ``resume`` unless
+        the interrupted run was itself cached.
     """
     from repro.runtime.checkpoint import (
         KIND_FOREVER_MCMC,
@@ -273,6 +305,16 @@ def evaluate_forever_mcmc(
                     "stream: ignoring parallel workers"
                 )
         elif planned > 1:
+            if cache is not None:
+                # A shared cache cannot cross the process boundary;
+                # workers build private caches of the same capacity.
+                cache_size = cache.maxsize
+                cache = None
+                if context is not None:
+                    context.record_event(
+                        "shared transition cache cannot cross process "
+                        "boundaries: workers use private caches"
+                    )
             return _forever_mcmc_parallel(
                 query,
                 initial,
@@ -286,8 +328,12 @@ def evaluate_forever_mcmc(
                 context=context,
             )
 
-    cache = _make_cache(query.kernel, cache_size, context)
+    cache = _make_cache(query.kernel, cache_size, context, cache)
     draw = query.kernel.sample_transition if cache is None else cache.sample
+    if cache is not None:
+        # The cached/uncached choice shapes the RNG stream; record the
+        # effective capacity so a resumed run replays the same stream.
+        cache_size = cache.maxsize
 
     def snapshot(samples_done: int, walker: dict | None) -> Checkpoint:
         return Checkpoint(

@@ -9,8 +9,11 @@ Boolean queries, which is all Definition 3.2 requires).
 
 from __future__ import annotations
 
+import re
+from fractions import Fraction
 from typing import Any, Sequence
 
+from repro.errors import ReproError
 from repro.relational.database import Database
 
 
@@ -145,3 +148,64 @@ class NotEvent(QueryEvent):
 
     def __repr__(self) -> str:
         return f"¬{self.inner!r}"
+
+
+# ---------------------------------------------------------------------------
+# Text form: "relation(value, ...)" — shared by the CLI and the service
+# ---------------------------------------------------------------------------
+
+_EVENT_RE = re.compile(r"^\s*([A-Za-z_][A-Za-z0-9_]*)\s*\((.*)\)\s*$")
+_RATIONAL_RE = re.compile(r"^[+-]?\d+/\d+$")
+_NUMBER_RE = re.compile(r"^[+-]?\d+(\.\d+)?$")
+
+
+def parse_event(text: str) -> TupleIn:
+    """Parse a ground event atom like ``c(w, 3, '1/2 beer')``.
+
+    Values parse like datalog constants: integers stay exact ints,
+    decimals and ``p/q`` strings become :class:`fractions.Fraction`,
+    ``'quoted strings'`` lose their quotes, and barewords stay strings.
+
+    Examples
+    --------
+    >>> parse_event("c(w)").relation, parse_event("c(w)").row
+    ('c', ('w',))
+    """
+    match = _EVENT_RE.match(text)
+    if match is None:
+        raise ReproError(
+            f"cannot parse event {text!r}; expected relation(value, ...)"
+        )
+    relation, inner = match.groups()
+    values: list[Any] = []
+    if inner.strip():
+        for raw in _split_event_arguments(inner):
+            values.append(_parse_event_value(raw.strip()))
+    return TupleIn(relation, tuple(values))
+
+
+def _split_event_arguments(inner: str) -> list[str]:
+    parts: list[str] = []
+    in_quote = False
+    current = ""
+    for char in inner:
+        if char == "'":
+            in_quote = not in_quote
+            current += char
+        elif char == "," and not in_quote:
+            parts.append(current)
+            current = ""
+        else:
+            current += char
+    parts.append(current)
+    return parts
+
+
+def _parse_event_value(raw: str) -> Any:
+    if raw.startswith("'") and raw.endswith("'") and len(raw) >= 2:
+        return raw[1:-1]
+    if _RATIONAL_RE.match(raw):
+        return Fraction(raw)
+    if _NUMBER_RE.match(raw):
+        return Fraction(raw) if "." in raw else int(raw)
+    return raw

@@ -114,3 +114,28 @@ class RunCancelledError(ReproError):
 class CheckpointError(ReproError):
     """A checkpoint file could not be read, has an incompatible version
     or kind, or does not match the run being resumed."""
+
+
+class ServiceError(ReproError):
+    """Base class of query-service failures (:mod:`repro.service`).
+
+    Covers request validation, scheduling, and client-side transport
+    problems; the HTTP front-end maps subclasses to status codes (see
+    ``docs/service.md``)."""
+
+
+class InvalidRequestError(ServiceError):
+    """A query request is malformed: unknown semantics, missing fields,
+    unexpected parameters, or values of the wrong type.  The HTTP
+    front-end answers 400."""
+
+
+class QueueFullError(ServiceError):
+    """The scheduler's bounded queue is at capacity and the job was
+    rejected at admission.  The HTTP front-end answers 429; clients
+    should back off and resubmit."""
+
+
+class JobNotFoundError(ServiceError):
+    """No job with the requested id exists in the scheduler's registry.
+    The HTTP front-end answers 404."""

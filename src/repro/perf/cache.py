@@ -31,6 +31,7 @@ Two caveats, both documented in ``docs/performance.md``:
 from __future__ import annotations
 
 import random
+import threading
 from bisect import bisect_right
 from collections import OrderedDict
 from itertools import accumulate
@@ -92,6 +93,16 @@ class TransitionCache:
     surfaced on :class:`~repro.runtime.context.RunReport` via
     :meth:`RunContext.attach_cache <repro.runtime.context.RunContext.attach_cache>`.
 
+    The cache is thread-safe: the LRU order, the counters, and row
+    insertion are guarded by an internal lock, so a long-lived cache can
+    be shared by the concurrent workers of a
+    :class:`~repro.service.JobScheduler` (one
+    :class:`~repro.service.EngineSession` keeps one warm cache across
+    requests).  Row *computation* happens outside the lock — two threads
+    missing the same state may both evaluate the kernel, but the row is
+    deterministic so either result is correct, and hits never block on
+    another thread's algebra evaluation.
+
     Examples
     --------
     >>> from repro.workloads import cycle_graph, random_walk_query
@@ -105,7 +116,7 @@ class TransitionCache:
     (2, 1, 0)
     """
 
-    __slots__ = ("kernel", "maxsize", "_rows", "hits", "misses", "evictions")
+    __slots__ = ("kernel", "maxsize", "_rows", "_lock", "hits", "misses", "evictions")
 
     def __init__(self, kernel: Interpretation, maxsize: int = DEFAULT_CACHE_SIZE):
         if maxsize < 1:
@@ -113,26 +124,35 @@ class TransitionCache:
         self.kernel = kernel
         self.maxsize = maxsize
         self._rows: OrderedDict[Database, CachedRow] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._rows)
+        with self._lock:
+            return len(self._rows)
 
     def row(self, state: Database) -> CachedRow:
         """The memoized row for ``state`` (computed on first request)."""
-        row = self._rows.get(state)
-        if row is not None:
-            self.hits += 1
-            self._rows.move_to_end(state)
-            return row
-        self.misses += 1
+        with self._lock:
+            row = self._rows.get(state)
+            if row is not None:
+                self.hits += 1
+                self._rows.move_to_end(state)
+                return row
+            self.misses += 1
         row = CachedRow(self.kernel.transition(state))
-        self._rows[state] = row
-        if len(self._rows) > self.maxsize:
-            self._rows.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            existing = self._rows.get(state)
+            if existing is not None:
+                # Another thread raced us to the same state; keep its
+                # row so concurrent callers share one object.
+                return existing
+            self._rows[state] = row
+            if len(self._rows) > self.maxsize:
+                self._rows.popitem(last=False)
+                self.evictions += 1
         return row
 
     def transition(self, state: Database) -> Distribution[Database]:
@@ -145,13 +165,14 @@ class TransitionCache:
 
     def clear(self) -> None:
         """Drop all rows (counters are kept — they describe the run)."""
-        self._rows.clear()
+        with self._lock:
+            self._rows.clear()
 
     def stats(self) -> dict:
         """JSON-friendly counter snapshot for :class:`RunReport`."""
         total = self.hits + self.misses
         return {
-            "size": len(self._rows),
+            "size": len(self),
             "maxsize": self.maxsize,
             "hits": self.hits,
             "misses": self.misses,

@@ -47,6 +47,7 @@ from repro.relational.database import Database
 from repro.runtime.context import RunContext, ensure_context
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.perf.cache import TransitionCache
     from repro.perf.parallel import ParallelConfig
     from repro.runtime.checkpoint import Checkpoint
 
@@ -151,6 +152,7 @@ def evaluate_forever_resilient(
     rng: RngLike = None,
     checkpoint_path: "str | Path | None" = None,
     resume: "Checkpoint | str | Path | None" = None,
+    cache: "TransitionCache | None" = None,
 ) -> Union[ExactResult, SamplingResult]:
     """Evaluate a forever-query, degrading instead of aborting.
 
@@ -165,6 +167,14 @@ def evaluate_forever_resilient(
     ``checkpoint_path`` / ``resume`` apply to the MCMC rung (the only
     long-running sampler on the ladder).  Resuming from a checkpoint
     jumps straight to that rung.
+
+    ``cache`` is an optional pre-built — possibly warm —
+    :class:`~repro.perf.cache.TransitionCache` on the query's kernel,
+    shared by every rung: the exact and lumped chain builds draw
+    memoized rows from it, and (when no checkpointing is configured)
+    the MCMC rung walks on it too.  This is how a long-lived
+    :class:`~repro.service.EngineSession` makes repeated queries on the
+    same program cheap; it overrides the policy's ``mcmc_cache_size``.
 
     Examples
     --------
@@ -196,7 +206,7 @@ def evaluate_forever_resilient(
         try:
             if rung == "exact":
                 result: Union[ExactResult, SamplingResult] = evaluate_forever_exact(
-                    query, initial, max_states=max_states, context=context
+                    query, initial, max_states=max_states, context=context, cache=cache
                 )
             elif rung == "lumped":
                 result = evaluate_forever_lumped(
@@ -204,6 +214,7 @@ def evaluate_forever_resilient(
                     initial,
                     max_states=max_states * policy.lumped_state_factor,
                     context=context,
+                    cache=cache,
                 )
             else:
                 burn_in = policy.mcmc_burn_in
@@ -218,6 +229,7 @@ def evaluate_forever_resilient(
                         max_steps=policy.adaptive_max_steps,
                         context=context,
                         cache_size=policy.mcmc_cache_size,
+                        cache=cache,
                     )
                     context.record_event(f"adaptive burn-in estimated: {burn_in}")
                 result = evaluate_forever_mcmc(
@@ -233,6 +245,7 @@ def evaluate_forever_resilient(
                     resume=resume,
                     cache_size=policy.mcmc_cache_size,
                     parallel=policy.parallel_config(),
+                    cache=cache if checkpoint_path is None and resume is None else None,
                 )
         except StateSpaceLimitExceeded as error:
             if on_last_rung:

@@ -1,0 +1,126 @@
+"""A small urllib client for the query service's HTTP API.
+
+Used by the ``repro submit`` / ``repro jobs`` CLI subcommands, the CI
+smoke test, and anyone scripting against a running ``repro serve``.
+Server-side errors are translated back into the exception types the
+service raised — the ``error.type`` field round-trips — so client code
+handles :class:`~repro.errors.QueueFullError` the same way whether the
+service is in-process or across the wire.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+from repro.errors import (
+    InvalidRequestError,
+    JobNotFoundError,
+    QueueFullError,
+    ServiceError,
+)
+
+_ERROR_TYPES = {
+    "InvalidRequestError": InvalidRequestError,
+    "QueueFullError": QueueFullError,
+    "JobNotFoundError": JobNotFoundError,
+}
+
+#: Poll interval for :meth:`ServiceClient.wait`.
+POLL_SECONDS = 0.1
+
+
+def _raise_service_error(status: int, payload: Any) -> None:
+    error = payload.get("error") if isinstance(payload, dict) else None
+    if not isinstance(error, dict):
+        raise ServiceError(f"service returned HTTP {status}: {payload!r}")
+    kind = _ERROR_TYPES.get(error.get("type"), ServiceError)
+    raise kind(
+        error.get("message") or f"service returned HTTP {status}",
+        details=error.get("details") or {},
+    )
+
+
+class ServiceClient:
+    """Talk to one running query service.
+
+    Examples
+    --------
+    ::
+
+        client = ServiceClient("http://127.0.0.1:8352")
+        job = client.submit({"semantics": "forever", ...})
+        done = client.wait(job["id"], timeout=60.0)
+        print(done["result"]["probability"])
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _call(self, method: str, path: str, body: Any = None) -> Any:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                payload = json.loads(response.read())
+        except urllib.error.HTTPError as http_error:
+            try:
+                payload = json.loads(http_error.read())
+            except (ValueError, OSError):
+                payload = None
+            _raise_service_error(http_error.code, payload)
+        except urllib.error.URLError as url_error:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {url_error.reason}"
+            )
+        return payload
+
+    # -- API ------------------------------------------------------------
+
+    def submit(self, request_body: dict) -> dict:
+        """``POST /v1/jobs`` — returns the accepted job record."""
+        return self._call("POST", "/v1/jobs", body=request_body)
+
+    def job(self, job_id: str) -> dict:
+        """``GET /v1/jobs/<id>``."""
+        return self._call("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> list[dict]:
+        """``GET /v1/jobs`` — all registered jobs."""
+        return self._call("GET", "/v1/jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> dict:
+        """``DELETE /v1/jobs/<id>``."""
+        return self._call("DELETE", f"/v1/jobs/{job_id}")
+
+    def metrics(self) -> dict:
+        """``GET /v1/metrics``."""
+        return self._call("GET", "/v1/metrics")
+
+    def healthz(self) -> dict:
+        """``GET /v1/healthz``."""
+        return self._call("GET", "/v1/healthz")
+
+    def wait(self, job_id: str, timeout: float | None = None) -> dict:
+        """Poll until the job reaches a finished state."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["state"] in ("done", "failed", "cancelled"):
+                return record
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"timed out waiting for job {job_id} "
+                    f"(state: {record['state']})"
+                )
+            time.sleep(POLL_SECONDS)

@@ -1,0 +1,159 @@
+"""Serving metrics: counters and fixed-bucket latency histograms.
+
+Everything here is cheap enough to update on every job (a few integer
+increments under a lock) and renders straight to the JSON the
+``GET /v1/metrics`` endpoint returns.  Histograms use fixed
+upper-bound buckets (Prometheus-style cumulative counts are derivable
+by the scraper), one histogram per query semantics, split into *queue
+wait* and *run* time so saturation (growing waits) is distinguishable
+from slow queries (growing runs).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Mapping
+
+#: Upper bounds (seconds) of the latency buckets; the last bucket is
+#: unbounded.  Spans cache hits (~µs) to multi-minute exact builds.
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class LatencyHistogram:
+    """A fixed-bucket latency histogram (thread-safe).
+
+    Examples
+    --------
+    >>> histogram = LatencyHistogram()
+    >>> histogram.observe(0.003)
+    >>> histogram.observe(0.2)
+    >>> histogram.count, round(histogram.sum, 3)
+    (2, 0.203)
+    """
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS):
+        self.buckets = tuple(buckets)
+        self._counts = [0] * (len(self.buckets) + 1)
+        self._lock = threading.Lock()
+        self.count = 0
+        self.sum = 0.0
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency observation."""
+        index = len(self.buckets)
+        for position, bound in enumerate(self.buckets):
+            if seconds <= bound:
+                index = position
+                break
+        with self._lock:
+            self._counts[index] += 1
+            self.count += 1
+            self.sum += seconds
+            if seconds > self.max:
+                self.max = seconds
+
+    def as_dict(self) -> dict:
+        """JSON-friendly rendering: bucket bounds, counts, summary."""
+        with self._lock:
+            counts = list(self._counts)
+            return {
+                "buckets": [*self.buckets, "+Inf"],
+                "counts": counts,
+                "count": self.count,
+                "sum": self.sum,
+                "max": self.max,
+                "mean": (self.sum / self.count) if self.count else None,
+            }
+
+
+class ServiceMetrics:
+    """Aggregated serving counters plus per-semantics latency histograms.
+
+    The scheduler calls the ``job_*`` hooks; queue/cache/session gauges
+    are sampled live from their owners when :meth:`snapshot` renders.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+        self.rejected = 0
+        self.result_cache_hits = 0
+        self._queue_wait: dict[str, LatencyHistogram] = {}
+        self._run: dict[str, LatencyHistogram] = {}
+
+    def _histogram(self, table: dict, semantics: str) -> LatencyHistogram:
+        with self._lock:
+            histogram = table.get(semantics)
+            if histogram is None:
+                histogram = table[semantics] = LatencyHistogram()
+            return histogram
+
+    # -- hooks ----------------------------------------------------------
+
+    def job_submitted(self) -> None:
+        with self._lock:
+            self.submitted += 1
+
+    def job_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def job_finished(
+        self,
+        semantics: str,
+        outcome: str,
+        queue_seconds: float | None,
+        run_seconds: float | None,
+        cache_hit: bool = False,
+    ) -> None:
+        """Record one finished job (``outcome``: done/failed/cancelled)."""
+        with self._lock:
+            if outcome == "done":
+                self.completed += 1
+            elif outcome == "failed":
+                self.failed += 1
+            else:
+                self.cancelled += 1
+            if cache_hit:
+                self.result_cache_hits += 1
+        if queue_seconds is not None:
+            self._histogram(self._queue_wait, semantics).observe(queue_seconds)
+        if run_seconds is not None:
+            self._histogram(self._run, semantics).observe(run_seconds)
+
+    # -- rendering ------------------------------------------------------
+
+    def snapshot(self, gauges: Mapping[str, object] | None = None) -> dict:
+        """The full metrics document for ``GET /v1/metrics``."""
+        with self._lock:
+            payload: dict = {
+                "jobs": {
+                    "submitted": self.submitted,
+                    "completed": self.completed,
+                    "failed": self.failed,
+                    "cancelled": self.cancelled,
+                    "rejected": self.rejected,
+                    "result_cache_hits": self.result_cache_hits,
+                },
+            }
+            queue_wait = dict(self._queue_wait)
+            run = dict(self._run)
+        payload["latency"] = {
+            "queue_wait_seconds": {
+                semantics: histogram.as_dict()
+                for semantics, histogram in sorted(queue_wait.items())
+            },
+            "run_seconds": {
+                semantics: histogram.as_dict()
+                for semantics, histogram in sorted(run.items())
+            },
+        }
+        if gauges:
+            payload.update(gauges)
+        return payload

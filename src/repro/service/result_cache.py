@@ -1,0 +1,92 @@
+"""A bounded LRU of finished query results, keyed by canonical SHA-256.
+
+The key is :meth:`QueryRequest.cache_key
+<repro.service.request.QueryRequest.cache_key>` — a canonical hash of
+(program text, database, event, evaluation parameters incl. seed,
+semantics) — so *identical requests* are served from memory without
+re-evaluation.  Exact results are always cacheable; sampling results
+only when their seed is pinned (an unseeded run is fresh randomness by
+contract), which the service checks via
+:meth:`QueryRequest.is_cacheable` before consulting this cache.
+
+Entries are plain JSON-friendly payload dicts (never evaluator
+objects), so a cached response is byte-identical to the original one.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any
+
+from repro.errors import ServiceError
+
+#: Default number of retained results.
+DEFAULT_RESULT_CACHE_SIZE = 1024
+
+
+class ResultCache:
+    """Thread-safe bounded LRU of result payloads with hit/miss counters.
+
+    Examples
+    --------
+    >>> cache = ResultCache(maxsize=2)
+    >>> cache.get("k1") is None
+    True
+    >>> cache.put("k1", {"probability": "1/3"})
+    >>> cache.get("k1")
+    {'probability': '1/3'}
+    >>> (cache.hits, cache.misses)
+    (1, 1)
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_RESULT_CACHE_SIZE):
+        if maxsize < 1:
+            raise ServiceError(f"result cache maxsize must be >= 1, got {maxsize!r}")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str) -> Any | None:
+        """The cached payload for ``key``, or ``None`` (counted)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+
+    def put(self, key: str, payload: Any) -> None:
+        """Retain ``payload`` under ``key``, evicting LRU beyond bound."""
+        with self._lock:
+            self._entries[key] = payload
+            self._entries.move_to_end(key)
+            if len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        """JSON-friendly counter snapshot for the metrics endpoint."""
+        total = self.hits + self.misses
+        return {
+            "size": len(self),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": (self.hits / total) if total else None,
+        }

@@ -1,0 +1,405 @@
+"""Bounded job scheduling: admission, lanes, workers, cancellation.
+
+The serving layer's concurrency heart.  A :class:`JobScheduler` owns
+
+* a **bounded queue** with two lanes — ``high`` before ``normal``,
+  FIFO within a lane — whose total capacity is ``queue_size``; a
+  submission beyond it is rejected at admission with
+  :class:`~repro.errors.QueueFullError` (the HTTP front-end maps this
+  to 429) instead of letting latency grow without bound;
+* a pool of **worker threads** that execute jobs through the callable
+  the owner injects (the :class:`~repro.service.service.QueryService`
+  method that consults the result cache and the session pool);
+* **per-job budgets**: every admitted job gets a
+  :class:`~repro.runtime.RunContext` with the request's budget,
+  resolved against the server's default and clamped to its admission
+  cap, so one pathological query exhausts its own budget (recorded in
+  its :class:`~repro.runtime.RunReport`), never the server;
+* a **registry** of job records — queued/running/done/failed/cancelled
+  — polled by ``GET /v1/jobs/<id>`` and pruned of the oldest finished
+  entries beyond ``registry_limit``;
+* **cancellation** at any point: a queued job is marked and skipped, a
+  running one has its context's cooperative token cancelled and stops
+  within one transition step.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+import uuid
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import (
+    JobNotFoundError,
+    QueueFullError,
+    ReproError,
+    RunCancelledError,
+    ServiceError,
+)
+from repro.runtime import Budget, RunContext
+from repro.service.metrics import ServiceMetrics
+from repro.service.request import QueryRequest
+
+# Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+FINISHED_STATES = (DONE, FAILED, CANCELLED)
+
+#: Default bounded-queue capacity.
+DEFAULT_QUEUE_SIZE = 64
+
+#: Default worker-thread count.
+DEFAULT_WORKERS = 2
+
+#: Finished jobs retained for polling before pruning.
+DEFAULT_REGISTRY_LIMIT = 1024
+
+
+@dataclass
+class Job:
+    """One scheduled query: request, lifecycle, result, accounting."""
+
+    id: str
+    request: QueryRequest
+    budget: Budget
+    state: str = QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    context: RunContext | None = None
+    result: Any = None
+    error: dict | None = None
+    report: dict | None = None
+    cache_hit: bool = False
+    cancel_requested: bool = False
+
+    @property
+    def finished(self) -> bool:
+        return self.state in FINISHED_STATES
+
+    def queue_seconds(self) -> float | None:
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    def run_seconds(self) -> float | None:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def as_dict(self, include_request: bool = False) -> dict:
+        """JSON-friendly job record for the HTTP API."""
+        payload: dict = {
+            "id": self.id,
+            "state": self.state,
+            "semantics": self.request.semantics,
+            "priority": self.request.priority,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "queue_seconds": self.queue_seconds(),
+            "run_seconds": self.run_seconds(),
+            "cache_hit": self.cache_hit,
+            "result": self.result,
+            "error": self.error,
+            "report": self.report,
+        }
+        if include_request:
+            payload["request"] = self.request.as_dict()
+        return payload
+
+
+class JobScheduler:
+    """Bounded two-lane work queue with a thread worker pool.
+
+    Parameters
+    ----------
+    executor:
+        ``executor(job) -> payload`` — runs the job's query and returns
+        its JSON-friendly result payload; it may set ``job.cache_hit``.
+        Everything it raises is classified here: a
+        :class:`~repro.errors.RunCancelledError` finishes the job as
+        ``cancelled``, any other :class:`~repro.errors.ReproError` as
+        ``failed`` with the error's type/message/details recorded.
+    workers / queue_size:
+        Pool width and admission bound.
+    default_budget / max_budget:
+        Per-job budget resolution (see
+        :meth:`QueryRequest.make_budget`): the default fills axes the
+        request leaves open; the cap clamps every admitted job.
+    metrics:
+        A :class:`~repro.service.metrics.ServiceMetrics` to notify;
+        one is created when omitted.
+
+    Examples
+    --------
+    >>> scheduler = JobScheduler(lambda job: {"answer": 42}, workers=1)
+    >>> request = QueryRequest.from_json({
+    ...     "semantics": "forever", "program": "C := C", "event": "C(a)",
+    ...     "database": {"relations": {"C": {"columns": ["I"], "rows": [["a"]]}}}})
+    >>> scheduler.start()
+    >>> job = scheduler.submit(request)
+    >>> scheduler.wait(job.id, timeout=10.0).result
+    {'answer': 42}
+    >>> scheduler.shutdown()
+    """
+
+    def __init__(
+        self,
+        executor: Callable[[Job], Any],
+        workers: int = DEFAULT_WORKERS,
+        queue_size: int = DEFAULT_QUEUE_SIZE,
+        default_budget: Budget | None = None,
+        max_budget: Budget | None = None,
+        metrics: ServiceMetrics | None = None,
+        registry_limit: int = DEFAULT_REGISTRY_LIMIT,
+    ):
+        if workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {workers!r}")
+        if queue_size < 1:
+            raise ServiceError(f"queue_size must be >= 1, got {queue_size!r}")
+        if registry_limit < 1:
+            raise ServiceError(f"registry_limit must be >= 1, got {registry_limit!r}")
+        self._executor = executor
+        self.workers = workers
+        self.queue_size = queue_size
+        self.default_budget = default_budget
+        self.max_budget = max_budget
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.registry_limit = registry_limit
+        self._lanes = {"high": deque(), "normal": deque()}
+        self._jobs: dict[str, Job] = {}
+        self._order: deque[str] = deque()  # submission order, for pruning
+        self._lock = threading.Lock()
+        self._work_available = threading.Condition(self._lock)
+        self._job_finished = threading.Condition(self._lock)
+        self._threads: list[threading.Thread] = []
+        self._running = False
+        self._in_flight = 0
+        self._counter = itertools.count(1)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker pool (idempotent)."""
+        with self._lock:
+            if self._running:
+                return
+            self._running = True
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def shutdown(self, wait: bool = True, cancel_running: bool = False) -> None:
+        """Stop the pool; queued jobs are cancelled, not silently lost."""
+        with self._lock:
+            self._running = False
+            for lane in self._lanes.values():
+                for job in lane:
+                    if job.state == QUEUED:
+                        self._finish_locked(job, CANCELLED, error={
+                            "type": "RunCancelledError",
+                            "message": "server shutting down",
+                            "details": {},
+                        })
+                lane.clear()
+            if cancel_running:
+                for job in self._jobs.values():
+                    if job.state == RUNNING and job.context is not None:
+                        job.context.cancel()
+            self._work_available.notify_all()
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=30.0)
+        self._threads.clear()
+
+    # -- admission ------------------------------------------------------
+
+    def submit(self, request: QueryRequest) -> Job:
+        """Admit one request; raises :class:`QueueFullError` at capacity."""
+        budget = request.make_budget(self.default_budget, self.max_budget)
+        job = Job(
+            id=f"job-{next(self._counter)}-{uuid.uuid4().hex[:6]}",
+            request=request,
+            budget=budget,
+        )
+        with self._lock:
+            depth = sum(len(lane) for lane in self._lanes.values())
+            if depth >= self.queue_size:
+                self.metrics.job_rejected()
+                raise QueueFullError(
+                    f"queue is full ({depth}/{self.queue_size} jobs queued); "
+                    "retry later or raise --queue-size",
+                    details={"depth": depth, "queue_size": self.queue_size},
+                )
+            self._jobs[job.id] = job
+            self._order.append(job.id)
+            self._lanes[request.priority].append(job)
+            self._prune_locked()
+            self.metrics.job_submitted()
+            self._work_available.notify()
+        return job
+
+    # -- registry -------------------------------------------------------
+
+    def get(self, job_id: str) -> Job:
+        """The job record, or :class:`JobNotFoundError`."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise JobNotFoundError(f"no such job: {job_id!r}")
+        return job
+
+    def jobs(self) -> list[Job]:
+        """All registered jobs, oldest first."""
+        with self._lock:
+            return [self._jobs[job_id] for job_id in self._order]
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a queued or running job (finished jobs are a no-op)."""
+        job = self.get(job_id)
+        with self._lock:
+            job.cancel_requested = True
+            if job.state == QUEUED:
+                self._finish_locked(job, CANCELLED, error={
+                    "type": "RunCancelledError",
+                    "message": "cancelled while queued",
+                    "details": {},
+                })
+            elif job.state == RUNNING and job.context is not None:
+                job.context.cancel()
+        return job
+
+    def wait(self, job_id: str, timeout: float | None = None) -> Job:
+        """Block until the job finishes (or ``timeout`` seconds pass)."""
+        job = self.get(job_id)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while not job.finished:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise ServiceError(
+                            f"timed out waiting for job {job_id} "
+                            f"(state: {job.state})"
+                        )
+                self._job_finished.wait(timeout=remaining)
+        return job
+
+    def stats(self) -> dict:
+        """Queue/worker gauges for the metrics endpoint."""
+        with self._lock:
+            states: dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            return {
+                "workers": self.workers,
+                "queue_size": self.queue_size,
+                "queue_depth": sum(len(lane) for lane in self._lanes.values()),
+                "in_flight": self._in_flight,
+                "running": self._running,
+                "states": states,
+                "registered_jobs": len(self._jobs),
+            }
+
+    # -- internals ------------------------------------------------------
+
+    def _prune_locked(self) -> None:
+        """Drop the oldest finished jobs beyond ``registry_limit``."""
+        while len(self._jobs) > self.registry_limit:
+            for job_id in list(self._order):
+                job = self._jobs[job_id]
+                if job.finished:
+                    self._order.remove(job_id)
+                    del self._jobs[job_id]
+                    break
+            else:
+                return  # nothing finished to prune; registry all live
+
+    def _finish_locked(self, job: Job, state: str, error: dict | None = None) -> None:
+        job.state = state
+        job.error = error
+        job.finished_at = time.time()
+        if job.context is not None:
+            if state == DONE:
+                # Raw executors (and cache hits) don't touch the context;
+                # a job that returned is an "ok" run.
+                job.context.finish()
+            elif error is not None:
+                job.context.record_event(f"{error['type']}: {error['message']}")
+            job.report = job.context.report().as_dict()
+        outcome = {DONE: "done", FAILED: "failed"}.get(state, "cancelled")
+        self.metrics.job_finished(
+            job.request.semantics,
+            outcome,
+            job.queue_seconds(),
+            job.run_seconds(),
+            cache_hit=job.cache_hit,
+        )
+        self._job_finished.notify_all()
+
+    def _next_job_locked(self) -> Job | None:
+        for lane_name in ("high", "normal"):
+            lane = self._lanes[lane_name]
+            while lane:
+                job = lane.popleft()
+                if job.state == QUEUED:
+                    return job
+        return None
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._lock:
+                job = self._next_job_locked()
+                while job is None:
+                    if not self._running:
+                        return
+                    self._work_available.wait()
+                    job = self._next_job_locked()
+                job.state = RUNNING
+                job.started_at = time.time()
+                # The budget clock starts when execution starts, not at
+                # submission: queue wait is the server's problem, the
+                # run budget is the job's.
+                job.context = RunContext(job.budget)
+                if job.cancel_requested:
+                    job.context.cancel()
+                self._in_flight += 1
+            try:
+                payload = self._executor(job)
+            except RunCancelledError as cancelled:
+                self._record_failure(job, CANCELLED, cancelled)
+            except ReproError as error:
+                self._record_failure(job, FAILED, error)
+            except Exception as unexpected:  # noqa: BLE001 - server must survive
+                self._record_failure(job, FAILED, unexpected)
+            else:
+                with self._lock:
+                    job.result = payload
+                    self._finish_locked(job, DONE)
+            finally:
+                with self._lock:
+                    self._in_flight -= 1
+
+    def _record_failure(self, job: Job, state: str, error: BaseException) -> None:
+        details = dict(getattr(error, "details", {}) or {})
+        with self._lock:
+            self._finish_locked(job, state, error={
+                "type": type(error).__name__,
+                "message": str(error),
+                "details": details,
+            })

@@ -1,0 +1,188 @@
+"""The query service facade: sessions + scheduler + caches + metrics.
+
+:class:`QueryService` wires the serving pillars together behind two
+methods — :meth:`~QueryService.submit` and :meth:`~QueryService.job` —
+that the HTTP front-end (and tests) call directly:
+
+* admission and execution go through the
+  :class:`~repro.service.scheduler.JobScheduler` (bounded queue,
+  priority lanes, per-job budgets, cancellation);
+* each job executes on the
+  :class:`~repro.service.session.SessionPool`'s prepared
+  :class:`~repro.service.session.EngineSession` for its program, so the
+  parse/compile work and the warm transition cache are shared across
+  requests;
+* deterministic requests (exact, or sampling with a pinned seed) are
+  answered from the :class:`~repro.service.result_cache.ResultCache`
+  when an identical computation already ran;
+* everything observable lands in one
+  :class:`~repro.service.metrics.ServiceMetrics` snapshot for
+  ``GET /v1/metrics``.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from dataclasses import dataclass, field
+
+from repro.runtime import Budget
+from repro.service.metrics import ServiceMetrics
+from repro.service.request import QueryRequest
+from repro.service.result_cache import DEFAULT_RESULT_CACHE_SIZE, ResultCache
+from repro.service.scheduler import (
+    DEFAULT_QUEUE_SIZE,
+    DEFAULT_REGISTRY_LIMIT,
+    DEFAULT_WORKERS,
+    Job,
+    JobScheduler,
+)
+from repro.service.session import (
+    DEFAULT_SESSION_POOL_SIZE,
+    DEFAULT_TRANSITION_CACHE_SIZE,
+    SessionPool,
+)
+
+#: Cap applied to every admitted job when the operator does not set one.
+#: Unbounded serving jobs are an availability hazard (Proposition 5.4's
+#: exponential state spaces), so the service always has *some* ceiling.
+DEFAULT_MAX_BUDGET = Budget(wall_clock=300.0, max_steps=50_000_000)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Operator-facing knobs for one :class:`QueryService`.
+
+    ``default_budget`` fills budget axes a request leaves open;
+    ``max_budget`` clamps every admitted job (see
+    :meth:`QueryRequest.make_budget`).
+    """
+
+    workers: int = DEFAULT_WORKERS
+    queue_size: int = DEFAULT_QUEUE_SIZE
+    default_budget: Budget | None = None
+    max_budget: Budget = field(default_factory=lambda: DEFAULT_MAX_BUDGET)
+    session_pool_size: int = DEFAULT_SESSION_POOL_SIZE
+    transition_cache_size: int = DEFAULT_TRANSITION_CACHE_SIZE
+    result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE
+    registry_limit: int = DEFAULT_REGISTRY_LIMIT
+
+
+class QueryService:
+    """One serving instance: submit queries, poll jobs, scrape metrics.
+
+    Examples
+    --------
+    >>> service = QueryService(ServiceConfig(workers=1))
+    >>> service.start()
+    >>> request = QueryRequest.from_json({
+    ...     "semantics": "forever",
+    ...     "program": "C := rename[J->I](project[J](repair-key[I@P](C join E)))",
+    ...     "database": {"relations": {
+    ...         "C": {"columns": ["I"], "rows": [["a"]]},
+    ...         "E": {"columns": ["I", "J", "P"],
+    ...               "rows": [["a", "b", 1], ["b", "a", 1], ["a", "a", 1]]}}},
+    ...     "event": "C(b)",
+    ... })
+    >>> job = service.submit(request)
+    >>> service.wait(job.id, timeout=30.0).result["probability"]
+    '1/3'
+    >>> service.shutdown()
+    """
+
+    def __init__(self, config: ServiceConfig | None = None):
+        self.config = config if config is not None else ServiceConfig()
+        self.started_at: float | None = None
+        self.metrics = ServiceMetrics()
+        self.sessions = SessionPool(
+            maxsize=self.config.session_pool_size,
+            transition_cache_size=self.config.transition_cache_size,
+        )
+        self.results = ResultCache(maxsize=self.config.result_cache_size)
+        self.scheduler = JobScheduler(
+            self._execute,
+            workers=self.config.workers,
+            queue_size=self.config.queue_size,
+            default_budget=self.config.default_budget,
+            max_budget=self.config.max_budget,
+            metrics=self.metrics,
+            registry_limit=self.config.registry_limit,
+        )
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker pool (idempotent)."""
+        if self.started_at is None:
+            self.started_at = time.time()
+        self.scheduler.start()
+
+    def shutdown(self, wait: bool = True, cancel_running: bool = False) -> None:
+        """Stop the workers; queued jobs finish as ``cancelled``."""
+        self.scheduler.shutdown(wait=wait, cancel_running=cancel_running)
+
+    # -- the serving API ------------------------------------------------
+
+    def submit(self, request: QueryRequest) -> Job:
+        """Admit one request (raises :class:`QueueFullError` at capacity)."""
+        return self.scheduler.submit(request)
+
+    def job(self, job_id: str) -> Job:
+        """The job record (raises :class:`JobNotFoundError`)."""
+        return self.scheduler.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        """All registered jobs, oldest first."""
+        return self.scheduler.jobs()
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a queued or running job."""
+        return self.scheduler.cancel(job_id)
+
+    def wait(self, job_id: str, timeout: float | None = None) -> Job:
+        """Block until the job finishes."""
+        return self.scheduler.wait(job_id, timeout=timeout)
+
+    # -- observability --------------------------------------------------
+
+    def healthz(self) -> dict:
+        """Liveness document for ``GET /v1/healthz``."""
+        stats = self.scheduler.stats()
+        return {
+            "status": "ok" if stats["running"] else "stopped",
+            "uptime_seconds": (
+                time.time() - self.started_at if self.started_at else None
+            ),
+            "workers": stats["workers"],
+            "queue_depth": stats["queue_depth"],
+            "in_flight": stats["in_flight"],
+        }
+
+    def metrics_snapshot(self) -> dict:
+        """The full metrics document for ``GET /v1/metrics``."""
+        return self.metrics.snapshot(gauges={
+            "scheduler": self.scheduler.stats(),
+            "result_cache": self.results.stats(),
+            "session_pool": self.sessions.stats(),
+            "uptime_seconds": (
+                time.time() - self.started_at if self.started_at else None
+            ),
+        })
+
+    # -- execution (called by scheduler workers) ------------------------
+
+    def _execute(self, job: Job) -> dict:
+        request = job.request
+        cacheable = request.is_cacheable()
+        if cacheable:
+            cached = self.results.get(request.cache_key())
+            if cached is not None:
+                job.cache_hit = True
+                # Copies keep cached entries immutable even if a caller
+                # annotates the returned payload.
+                return copy.deepcopy(cached)
+        session = self.sessions.get_or_create(request)
+        payload = session.evaluate(request, job.context)
+        if cacheable:
+            self.results.put(request.cache_key(), copy.deepcopy(payload))
+        return payload

@@ -1,0 +1,432 @@
+"""Persistent engine sessions: parse once, keep the kernel warm.
+
+A one-shot CLI run pays the full bill on every invocation: parse the
+program, decode the database, build the chain or walk it cold.  An
+:class:`EngineSession` is the long-lived alternative — the parsed
+kernel (or datalog program), the decoded initial :class:`Database`, and
+one warm :class:`~repro.perf.cache.TransitionCache` live as long as the
+session does, so repeated queries against the same program (different
+events, seeds, ε/δ, modes) skip everything but the actual evaluation,
+and even that draws memoized transition rows.
+
+Sessions are immutable after preparation apart from the cache and the
+served-request counters, and the cache is thread-safe, so one session
+may serve concurrent scheduler workers.  A :class:`SessionPool` bounds
+how many prepared programs stay resident (LRU beyond ``maxsize``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Mapping
+
+from repro.core import ForeverQuery, InflationaryQuery
+from repro.core.events import parse_event
+from repro.errors import InvalidRequestError, ReproError
+from repro.io import database_from_json, pc_database_from_json
+from repro.perf.cache import TransitionCache
+from repro.runtime import DegradationPolicy, RunContext, evaluate_forever_resilient
+from repro.service.request import QueryRequest
+
+#: Default capacity of a session's warm transition cache.
+DEFAULT_TRANSITION_CACHE_SIZE = 4096
+
+#: Default number of resident sessions in a pool.
+DEFAULT_SESSION_POOL_SIZE = 32
+
+
+def _exact_payload(result) -> dict:
+    payload = {
+        "kind": "exact",
+        "method": result.method,
+        "probability": str(result.probability),
+        "probability_float": float(result.probability),
+        "states_explored": result.states_explored,
+    }
+    return payload
+
+
+def _sampling_payload(result) -> dict:
+    payload = {
+        "kind": "sampling",
+        "method": result.method,
+        "estimate": result.estimate,
+        "samples": result.samples,
+        "positive": result.positive,
+        "epsilon": result.epsilon,
+        "delta": result.delta,
+    }
+    for key in ("burn_in", "workers"):
+        if result.details.get(key) is not None:
+            payload[key] = result.details[key]
+    if result.details.get("cache"):
+        payload["transition_cache"] = dict(result.details["cache"])
+    return payload
+
+
+def result_payload(result) -> dict:
+    """JSON-friendly rendering of an evaluator result."""
+    if hasattr(result, "probability"):
+        return _exact_payload(result)
+    return _sampling_payload(result)
+
+
+class EngineSession:
+    """A prepared program: parsed artifacts plus a warm transition cache.
+
+    Build one with :meth:`prepare`; evaluate any number of requests that
+    share its :meth:`~repro.service.request.QueryRequest.session_key`
+    with :meth:`evaluate`.
+
+    Examples
+    --------
+    >>> request = QueryRequest.from_json({
+    ...     "semantics": "forever",
+    ...     "program": "C := rename[J->I](project[J](repair-key[I@P](C join E)))",
+    ...     "database": {"relations": {
+    ...         "C": {"columns": ["I"], "rows": [["a"]]},
+    ...         "E": {"columns": ["I", "J", "P"],
+    ...               "rows": [["a", "b", 1], ["b", "a", 1], ["a", "a", 1]]}}},
+    ...     "event": "C(b)",
+    ... })
+    >>> session = EngineSession.prepare(request)
+    >>> session.evaluate(request)["probability"]
+    '1/3'
+    >>> session.requests_served
+    1
+    """
+
+    def __init__(
+        self,
+        key: str,
+        semantics: str,
+        kernel=None,
+        program=None,
+        database=None,
+        pc_tables=None,
+        cache_size: int = DEFAULT_TRANSITION_CACHE_SIZE,
+    ):
+        self.key = key
+        self.semantics = semantics
+        self.kernel = kernel
+        self.program = program
+        self.database = database
+        self.pc_tables = pc_tables
+        self.created_at = time.time()
+        self.requests_served = 0
+        self._served_lock = threading.Lock()
+        self._cache: TransitionCache | None = None
+        if kernel is not None:
+            memo_kernel = kernel
+            if semantics == "inflationary":
+                # The inflationary fixpoint check enumerates the pc-free
+                # kernel; memoize that one (see evaluate_inflationary_sampling).
+                memo_kernel = kernel.without_pc_tables()
+            self._cache = TransitionCache(memo_kernel, maxsize=cache_size)
+
+    @classmethod
+    def prepare(
+        cls,
+        request: QueryRequest,
+        cache_size: int = DEFAULT_TRANSITION_CACHE_SIZE,
+    ) -> "EngineSession":
+        """Parse and compile a request's program/database once."""
+        database = database_from_json(dict(request.database))
+        if request.semantics == "datalog":
+            from repro.datalog import parse_program
+
+            program = parse_program(request.program)
+            pc = (
+                pc_database_from_json(dict(request.pc_tables))
+                if request.pc_tables is not None
+                else None
+            )
+            return cls(
+                key=request.session_key(),
+                semantics="datalog",
+                program=program,
+                database=database,
+                pc_tables=pc,
+                cache_size=cache_size,
+            )
+        from repro.relational.parser import parse_interpretation
+
+        kernel = parse_interpretation(request.program)
+        return cls(
+            key=request.session_key(),
+            semantics=request.semantics,
+            kernel=kernel,
+            database=database,
+            cache_size=cache_size,
+        )
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def cache(self) -> TransitionCache | None:
+        """The session's warm transition cache (``None`` for datalog)."""
+        return self._cache
+
+    def stats(self) -> dict:
+        """JSON-friendly session snapshot for the metrics endpoint."""
+        return {
+            "key": self.key,
+            "semantics": self.semantics,
+            "created_at": self.created_at,
+            "requests_served": self.requests_served,
+            "transition_cache": self._cache.stats() if self._cache else None,
+        }
+
+    # -- evaluation -----------------------------------------------------
+
+    def evaluate(
+        self,
+        request: QueryRequest,
+        context: RunContext | None = None,
+    ) -> dict:
+        """Evaluate one request on this prepared engine.
+
+        Returns the JSON-friendly result payload.  Raises any
+        :class:`~repro.errors.ReproError` the evaluators raise —
+        budget exhaustion and cancellation included — unchanged, so the
+        scheduler can classify the failure.
+        """
+        if request.session_key() != self.key:
+            raise InvalidRequestError(
+                "request does not belong to this session "
+                f"(session {self.key[:12]}…, request {request.session_key()[:12]}…)"
+            )
+        dispatch = {
+            "forever": self._evaluate_forever,
+            "inflationary": self._evaluate_inflationary,
+            "datalog": self._evaluate_datalog,
+        }
+        payload = dispatch[self.semantics](request, context)
+        with self._served_lock:
+            self.requests_served += 1
+        return payload
+
+    def _parallel_config(self, params: Mapping[str, Any]):
+        workers = params.get("workers") or 1
+        if workers <= 1:
+            return None
+        from repro.perf import ParallelConfig
+
+        return ParallelConfig(workers=workers)
+
+    def _walk_cache(self, params: Mapping[str, Any]) -> TransitionCache | None:
+        """The warm cache, unless the request opts out.
+
+        ``cache_size: 0`` disables caching for the request (the
+        polynomial ``sample_transition`` path, e.g. for kernels with
+        exponential per-state support); any other value keeps the
+        session cache — per-request sizes would defeat sharing.
+        """
+        if params.get("cache_size") == 0:
+            return None
+        return self._cache
+
+    def _evaluate_forever(
+        self, request: QueryRequest, context: RunContext | None
+    ) -> dict:
+        from repro.core import (
+            evaluate_forever_exact,
+            evaluate_forever_lumped,
+            evaluate_forever_mcmc,
+        )
+
+        params = request.params
+        query = ForeverQuery(self.kernel, parse_event(request.event))
+        max_states = params.get("max_states") or 20_000
+        fallback = params.get("fallback") or "none"
+        cache = self._walk_cache(params)
+        if fallback != "none":
+            policy = DegradationPolicy(
+                mode=fallback,
+                mcmc_epsilon=params.get("epsilon") or 0.1,
+                mcmc_delta=params.get("delta") or 0.05,
+                mcmc_samples=params.get("samples"),
+                mcmc_burn_in=params.get("burn_in"),
+                mcmc_workers=params.get("workers") or 1,
+                mcmc_cache_size=params.get("cache_size"),
+            )
+            result = evaluate_forever_resilient(
+                query,
+                self.database,
+                max_states=max_states,
+                policy=policy,
+                context=context,
+                rng=params.get("seed"),
+                cache=cache,
+            )
+            payload = result_payload(result)
+            if context is not None:
+                downgrades = context.report().downgrades
+                if downgrades:
+                    payload["downgrades"] = [d.as_dict() for d in downgrades]
+            return payload
+        wants_sampling = (
+            bool(params.get("mcmc"))
+            or params.get("samples") is not None
+            or params.get("epsilon") is not None
+        )
+        if wants_sampling:
+            result = evaluate_forever_mcmc(
+                query,
+                self.database,
+                epsilon=params.get("epsilon") or 0.1,
+                delta=params.get("delta") or 0.05,
+                samples=params.get("samples"),
+                burn_in=params.get("burn_in"),
+                rng=params.get("seed"),
+                context=context,
+                cache=cache,
+                parallel=self._parallel_config(params),
+            )
+            return result_payload(result)
+        if params.get("lumped"):
+            result = evaluate_forever_lumped(
+                query, self.database, max_states=max_states,
+                context=context, cache=cache,
+            )
+            return result_payload(result)
+        result = evaluate_forever_exact(
+            query, self.database, max_states=max_states,
+            context=context, cache=cache,
+        )
+        return result_payload(result)
+
+    def _evaluate_inflationary(
+        self, request: QueryRequest, context: RunContext | None
+    ) -> dict:
+        from repro.core import (
+            evaluate_inflationary_exact,
+            evaluate_inflationary_sampling,
+        )
+
+        params = request.params
+        query = InflationaryQuery(self.kernel, parse_event(request.event))
+        if params.get("samples") is not None or params.get("epsilon") is not None:
+            result = evaluate_inflationary_sampling(
+                query,
+                self.database,
+                epsilon=params.get("epsilon") or 0.05,
+                delta=params.get("delta") or 0.05,
+                samples=params.get("samples"),
+                rng=params.get("seed"),
+                context=context,
+                cache=self._walk_cache(params),
+                parallel=self._parallel_config(params),
+            )
+            return result_payload(result)
+        result = evaluate_inflationary_exact(
+            query,
+            self.database,
+            max_states=params.get("max_states") or 100_000,
+            context=context,
+        )
+        return result_payload(result)
+
+    def _evaluate_datalog(
+        self, request: QueryRequest, context: RunContext | None
+    ) -> dict:
+        from repro.datalog import evaluate_datalog_exact, evaluate_datalog_sampling
+
+        params = request.params
+        event = parse_event(request.event)
+        if params.get("samples") is not None or params.get("epsilon") is not None:
+            result = evaluate_datalog_sampling(
+                self.program,
+                self.database,
+                event,
+                pc_tables=self.pc_tables,
+                epsilon=params.get("epsilon") or 0.05,
+                delta=params.get("delta") or 0.05,
+                samples=params.get("samples"),
+                rng=params.get("seed"),
+                context=context,
+            )
+            return result_payload(result)
+        result = evaluate_datalog_exact(
+            self.program,
+            self.database,
+            event,
+            pc_tables=self.pc_tables,
+            max_states=params.get("max_states") or 100_000,
+            context=context,
+        )
+        payload = result_payload(result)
+        payload["pc_worlds"] = result.details.get("pc_worlds", 1)
+        return payload
+
+
+class SessionPool:
+    """A bounded, thread-safe LRU pool of :class:`EngineSession`.
+
+    ``get_or_create`` is the only entry point: the pool either returns
+    the resident session for the request's
+    :meth:`~repro.service.request.QueryRequest.session_key` (a *hit* —
+    parse work and cache warmth are reused) or prepares a fresh one,
+    evicting the least-recently-used session beyond ``maxsize``.
+    """
+
+    def __init__(
+        self,
+        maxsize: int = DEFAULT_SESSION_POOL_SIZE,
+        transition_cache_size: int = DEFAULT_TRANSITION_CACHE_SIZE,
+    ):
+        if maxsize < 1:
+            raise ReproError(f"session pool maxsize must be >= 1, got {maxsize!r}")
+        self.maxsize = maxsize
+        self.transition_cache_size = transition_cache_size
+        self._sessions: OrderedDict[str, EngineSession] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def get_or_create(self, request: QueryRequest) -> EngineSession:
+        """The resident session for the request, preparing it on miss."""
+        key = request.session_key()
+        with self._lock:
+            session = self._sessions.get(key)
+            if session is not None:
+                self.hits += 1
+                self._sessions.move_to_end(key)
+                return session
+            self.misses += 1
+        # Prepare outside the lock: parsing can be slow and two racing
+        # requests for the same program at worst parse twice.
+        session = EngineSession.prepare(
+            request, cache_size=self.transition_cache_size
+        )
+        with self._lock:
+            existing = self._sessions.get(key)
+            if existing is not None:
+                return existing
+            self._sessions[key] = session
+            if len(self._sessions) > self.maxsize:
+                self._sessions.popitem(last=False)
+                self.evictions += 1
+        return session
+
+    def stats(self) -> dict:
+        """JSON-friendly pool snapshot for the metrics endpoint."""
+        with self._lock:
+            sessions = list(self._sessions.values())
+        total = self.hits + self.misses
+        return {
+            "size": len(sessions),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": (self.hits / total) if total else None,
+            "sessions": [session.stats() for session in sessions],
+        }

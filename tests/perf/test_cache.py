@@ -124,3 +124,38 @@ class TestIntegration:
         other = Interpretation({"C": rel("C")})
         with pytest.raises(EvaluationError):
             build_state_chain(query.kernel, db, cache=TransitionCache(other))
+
+
+class TestThreadSafety:
+    def test_concurrent_walkers_share_one_cache(self, walk):
+        """Scheduler workers share a session's cache; rows must never
+        be corrupted and every lookup must agree with the kernel."""
+        import threading
+
+        query, db = walk
+        cache = TransitionCache(query.kernel, maxsize=64)
+        errors = []
+
+        def walker(seed):
+            rng = make_rng(seed)
+            state = db
+            try:
+                for _ in range(300):
+                    row = cache.row(state)
+                    assert row.distribution == query.kernel.transition(state)
+                    state = cache.sample(state, rng)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=walker, args=(seed,)) for seed in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        stats = cache.stats()
+        # two lookups per iteration: row() plus sample()'s internal row()
+        assert stats["hits"] + stats["misses"] == 2 * 8 * 300
+        assert len(cache) <= 64

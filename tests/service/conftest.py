@@ -1,0 +1,45 @@
+"""Shared fixtures for the serving-layer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import QueryRequest
+
+#: The Example 3.3-style random walk: P(C(b)) = 1/3 on the 3-edge graph.
+WALK_PROGRAM = "C := rename[J->I](project[J](repair-key[I@P](C join E)))"
+
+WALK_DATABASE = {
+    "relations": {
+        "C": {"columns": ["I"], "rows": [["a"]]},
+        "E": {
+            "columns": ["I", "J", "P"],
+            "rows": [["a", "b", 1], ["b", "a", 1], ["a", "a", 1]],
+        },
+    }
+}
+
+REACH_DATALOG = "t(X, Y) :- e(X, Y).\nt(X, Z) :- t(X, Y), e(Y, Z).\n"
+
+REACH_DATABASE = {
+    "relations": {
+        "e": {"columns": ["A", "B"], "rows": [["a", "b"], ["b", "c"]]},
+    }
+}
+
+
+def walk_body(**overrides) -> dict:
+    """A ready-to-submit forever-query request body."""
+    body = {
+        "semantics": "forever",
+        "program": WALK_PROGRAM,
+        "database": WALK_DATABASE,
+        "event": "C(b)",
+    }
+    body.update(overrides)
+    return body
+
+
+@pytest.fixture
+def walk_request() -> QueryRequest:
+    return QueryRequest.from_json(walk_body())

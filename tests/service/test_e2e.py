@@ -1,0 +1,135 @@
+"""The issue's acceptance scenarios, end to end.
+
+1. The same forever query submitted twice to one engine session is
+   served from the :class:`ResultCache` the second time.
+2. Two concurrent budgeted jobs on a 2-worker scheduler both complete
+   with the correct probabilities — verified against a direct
+   ``evaluate_forever_exact`` call — while a queue-overflow submission
+   is rejected with 429/:class:`QueueFullError`, not a crash.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core import ForeverQuery, evaluate_forever_exact
+from repro.core.events import parse_event
+from repro.errors import QueueFullError
+from repro.io import database_from_json
+from repro.relational.parser import parse_interpretation
+from repro.runtime import Budget
+from repro.service import (
+    QueryRequest,
+    QueryService,
+    ServiceConfig,
+    make_server,
+)
+
+from tests.service.conftest import WALK_DATABASE, WALK_PROGRAM, walk_body
+
+
+def direct_probability(event: str) -> str:
+    kernel = parse_interpretation(WALK_PROGRAM)
+    database = database_from_json(WALK_DATABASE)
+    result = evaluate_forever_exact(
+        ForeverQuery(kernel, parse_event(event)), database
+    )
+    return str(result.probability)
+
+
+def test_repeated_query_hits_result_cache_on_one_session():
+    service = QueryService(ServiceConfig(workers=2))
+    service.start()
+    try:
+        request = QueryRequest.from_json(walk_body())
+        first = service.wait(service.submit(request).id, timeout=60.0)
+        second = service.wait(service.submit(request).id, timeout=60.0)
+
+        assert first.state == second.state == "done"
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert first.result == second.result
+        assert second.result["probability"] == direct_probability("C(b)")
+        # one engine session served the program; the repeat never
+        # reached the session pool (result-cache fast path)
+        assert service.sessions.misses == 1
+        assert service.results.hits == 1
+    finally:
+        service.shutdown()
+
+
+def test_concurrent_budgeted_jobs_complete_while_overflow_is_rejected():
+    service = QueryService(
+        ServiceConfig(
+            workers=2,
+            queue_size=2,
+            default_budget=Budget(wall_clock=60.0, max_steps=10_000_000),
+        )
+    )
+    try:
+        # fill the bounded queue before starting the workers so the
+        # overflow outcome is deterministic
+        job_b = service.submit(QueryRequest.from_json(
+            walk_body(event="C(b)", budget={"timeout": 30.0})
+        ))
+        job_a = service.submit(QueryRequest.from_json(
+            walk_body(event="C(a)", budget={"timeout": 30.0})
+        ))
+        with pytest.raises(QueueFullError):
+            service.submit(QueryRequest.from_json(walk_body(event="C(a)")))
+
+        service.start()
+        job_b = service.wait(job_b.id, timeout=60.0)
+        job_a = service.wait(job_a.id, timeout=60.0)
+
+        assert job_b.state == "done"
+        assert job_a.state == "done"
+        assert not job_b.budget.is_unlimited
+        assert job_b.result["probability"] == direct_probability("C(b)")
+        assert job_a.result["probability"] == direct_probability("C(a)")
+        assert service.metrics.rejected == 1
+        # the overflow was a rejection, not a crash: the service still
+        # serves fresh submissions afterwards
+        retry = service.wait(
+            service.submit(QueryRequest.from_json(walk_body())).id, timeout=60.0
+        )
+        assert retry.state == "done"
+    finally:
+        service.shutdown()
+
+
+def test_overflow_maps_to_http_429():
+    service = QueryService(ServiceConfig(workers=1, queue_size=1))
+    server = make_server(service, "127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    url = f"http://{host}:{port}/v1/jobs"
+    body = json.dumps(walk_body()).encode()
+
+    def post():
+        request = urllib.request.Request(
+            url, data=body, method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=10.0) as response:
+            return response.status
+
+    try:
+        # workers never started: the first submission occupies the
+        # whole queue, the second must bounce
+        assert post() == 202
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post()
+        assert excinfo.value.code == 429
+        payload = json.loads(excinfo.value.read())
+        assert payload["error"]["type"] == "QueueFullError"
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.shutdown(wait=False)

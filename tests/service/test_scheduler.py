@@ -1,0 +1,247 @@
+"""JobScheduler: lanes, admission, budgets, cancellation, registry."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    EvaluationError,
+    JobNotFoundError,
+    QueueFullError,
+    ServiceError,
+)
+from repro.runtime import Budget
+from repro.service import CANCELLED, DONE, FAILED, QUEUED, JobScheduler, QueryRequest
+
+from tests.service.conftest import walk_body
+
+
+def make_request(**overrides) -> QueryRequest:
+    return QueryRequest.from_json(walk_body(**overrides))
+
+
+def make_scheduler(executor, **kwargs) -> JobScheduler:
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("queue_size", 8)
+    return JobScheduler(executor, **kwargs)
+
+
+class TestLifecycle:
+    def test_submit_run_done(self):
+        scheduler = make_scheduler(lambda job: {"answer": 42})
+        scheduler.start()
+        try:
+            job = scheduler.submit(make_request())
+            job = scheduler.wait(job.id, timeout=10.0)
+            assert job.state == DONE
+            assert job.result == {"answer": 42}
+            assert job.report is not None
+            assert job.report["outcome"] == "ok"
+            assert job.queue_seconds() >= 0
+            assert job.run_seconds() >= 0
+        finally:
+            scheduler.shutdown()
+
+    def test_jobs_queued_before_start_run_after(self):
+        scheduler = make_scheduler(lambda job: {"ok": True})
+        submitted = [scheduler.submit(make_request()) for _ in range(3)]
+        assert all(job.state == QUEUED for job in submitted)
+        scheduler.start()
+        try:
+            for job in submitted:
+                assert scheduler.wait(job.id, timeout=10.0).state == DONE
+        finally:
+            scheduler.shutdown()
+
+    def test_shutdown_cancels_queued_jobs(self):
+        scheduler = make_scheduler(lambda job: {"ok": True})
+        job = scheduler.submit(make_request())
+        scheduler.shutdown()
+        assert scheduler.get(job.id).state == CANCELLED
+
+    def test_failure_is_classified_not_fatal(self):
+        def boom(job):
+            raise EvaluationError("chain exploded", details={"states": 7})
+
+        scheduler = make_scheduler(boom)
+        scheduler.start()
+        try:
+            job = scheduler.wait(scheduler.submit(make_request()).id, timeout=10.0)
+            assert job.state == FAILED
+            assert job.error["type"] == "EvaluationError"
+            assert job.error["details"] == {"states": 7}
+            # the pool survives a failing job
+            ok = scheduler.submit(make_request())
+            assert scheduler.wait(ok.id, timeout=10.0).state == FAILED
+        finally:
+            scheduler.shutdown()
+
+    def test_unexpected_exception_recorded(self):
+        def boom(job):
+            raise ValueError("not a ReproError")
+
+        scheduler = make_scheduler(boom)
+        scheduler.start()
+        try:
+            job = scheduler.wait(scheduler.submit(make_request()).id, timeout=10.0)
+            assert job.state == FAILED
+            assert job.error["type"] == "ValueError"
+        finally:
+            scheduler.shutdown()
+
+
+class TestAdmission:
+    def test_queue_full_rejected(self):
+        scheduler = make_scheduler(lambda job: None, queue_size=2)
+        scheduler.submit(make_request())
+        scheduler.submit(make_request())
+        with pytest.raises(QueueFullError) as excinfo:
+            scheduler.submit(make_request())
+        assert excinfo.value.details["queue_size"] == 2
+        assert scheduler.metrics.rejected == 1
+        scheduler.shutdown()
+
+    def test_budget_resolution_at_admission(self):
+        scheduler = make_scheduler(
+            lambda job: None,
+            default_budget=Budget(wall_clock=60),
+            max_budget=Budget(wall_clock=30, max_steps=1000),
+        )
+        job = scheduler.submit(make_request(budget={"max_steps": 50}))
+        assert job.budget.wall_clock == 30  # default clamped by cap
+        assert job.budget.max_steps == 50
+        scheduler.shutdown()
+
+    def test_priority_lane_served_first(self):
+        order = []
+        lock = threading.Lock()
+
+        def record(job):
+            with lock:
+                order.append(job.request.priority)
+
+        scheduler = JobScheduler(record, workers=1, queue_size=8)
+        normal = [scheduler.submit(make_request()) for _ in range(2)]
+        high = scheduler.submit(make_request(priority="high"))
+        scheduler.start()
+        try:
+            for job in (*normal, high):
+                scheduler.wait(job.id, timeout=10.0)
+            assert order[0] == "high"
+        finally:
+            scheduler.shutdown()
+
+
+class TestBudgetsAndCancellation:
+    def test_wall_clock_budget_fails_job(self):
+        def spin(job):
+            while True:
+                job.context.check()
+                time.sleep(0.005)
+
+        scheduler = make_scheduler(
+            spin, default_budget=Budget(wall_clock=0.05)
+        )
+        scheduler.start()
+        try:
+            job = scheduler.wait(scheduler.submit(make_request()).id, timeout=10.0)
+            assert job.state == FAILED
+            assert job.error["type"] == "BudgetExceededError"
+            assert job.report["outcome"] == "budget_exceeded"
+        finally:
+            scheduler.shutdown()
+
+    def test_cancel_running_job(self):
+        started = threading.Event()
+
+        def spin(job):
+            started.set()
+            while True:
+                job.context.check()
+                time.sleep(0.005)
+
+        scheduler = make_scheduler(spin, workers=1)
+        scheduler.start()
+        try:
+            job = scheduler.submit(make_request())
+            assert started.wait(timeout=10.0)
+            scheduler.cancel(job.id)
+            job = scheduler.wait(job.id, timeout=10.0)
+            assert job.state == CANCELLED
+        finally:
+            scheduler.shutdown()
+
+    def test_cancel_queued_job_never_runs(self):
+        ran = []
+        scheduler = JobScheduler(lambda job: ran.append(job.id), workers=1)
+        job = scheduler.submit(make_request())
+        cancelled = scheduler.cancel(job.id)
+        assert cancelled.state == CANCELLED
+        scheduler.start()
+        try:
+            ok = scheduler.submit(make_request())
+            scheduler.wait(ok.id, timeout=10.0)
+            assert job.id not in ran
+        finally:
+            scheduler.shutdown()
+
+    def test_cancel_finished_job_is_noop(self):
+        scheduler = make_scheduler(lambda job: {"ok": True})
+        scheduler.start()
+        try:
+            job = scheduler.wait(scheduler.submit(make_request()).id, timeout=10.0)
+            assert scheduler.cancel(job.id).state == DONE
+        finally:
+            scheduler.shutdown()
+
+
+class TestRegistry:
+    def test_unknown_job_raises(self):
+        scheduler = make_scheduler(lambda job: None)
+        with pytest.raises(JobNotFoundError):
+            scheduler.get("job-999-zzzzzz")
+        scheduler.shutdown()
+
+    def test_registry_prunes_oldest_finished(self):
+        scheduler = make_scheduler(lambda job: {"ok": True}, registry_limit=3)
+        scheduler.start()
+        try:
+            ids = []
+            for _ in range(5):
+                job = scheduler.submit(make_request())
+                scheduler.wait(job.id, timeout=10.0)
+                ids.append(job.id)
+            registered = {job.id for job in scheduler.jobs()}
+            assert len(registered) == 3
+            assert ids[-1] in registered
+            assert ids[0] not in registered
+        finally:
+            scheduler.shutdown()
+
+    def test_wait_timeout_raises(self):
+        scheduler = make_scheduler(lambda job: None)  # workers never started
+        job = scheduler.submit(make_request())
+        with pytest.raises(ServiceError, match="timed out"):
+            scheduler.wait(job.id, timeout=0.05)
+        scheduler.shutdown()
+
+    def test_stats_shape(self):
+        scheduler = make_scheduler(lambda job: {"ok": True})
+        scheduler.submit(make_request())
+        stats = scheduler.stats()
+        assert stats["queue_depth"] == 1
+        assert stats["states"] == {"queued": 1}
+        scheduler.shutdown()
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"workers": 0}, {"queue_size": 0}, {"registry_limit": 0}],
+    )
+    def test_bad_configuration_rejected(self, kwargs):
+        with pytest.raises(ServiceError):
+            JobScheduler(lambda job: None, **kwargs)

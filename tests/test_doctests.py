@@ -32,6 +32,12 @@ import repro.relational.repair
 import repro.runtime.budget
 import repro.runtime.context
 import repro.runtime.degradation
+import repro.service.metrics
+import repro.service.request
+import repro.service.result_cache
+import repro.service.scheduler
+import repro.service.session
+import repro.service.service
 import repro.workloads.programs
 
 MODULES = [
@@ -57,6 +63,12 @@ MODULES = [
     repro.runtime.budget,
     repro.runtime.context,
     repro.runtime.degradation,
+    repro.service.metrics,
+    repro.service.request,
+    repro.service.result_cache,
+    repro.service.scheduler,
+    repro.service.session,
+    repro.service.service,
     repro.workloads.programs,
 ]
 
