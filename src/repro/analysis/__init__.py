@@ -1,0 +1,63 @@
+"""Static analysis of probabilistic fixpoint programs.
+
+One pass over a parsed program — datalog AST or relational transition
+kernel — that runs *before* evaluation and produces:
+
+* a :class:`~repro.analysis.diagnostics.DiagnosticReport` of findings
+  with stable codes (``RK001``, ``SF002``, ...), severities
+  (error / warning / hint), source spans, and fix suggestions;
+* :class:`~repro.analysis.hints.PlanHints` the engine exploits —
+  determinism (skip sampling), pc-freeness (memoized kernel), and
+  non-absorbing-chain detection for forever-queries.
+
+Entry points: :func:`analyze_source` for raw text (used by ``repro
+lint``, the service admission path, and :class:`EngineSession`), and
+:func:`analyze_program` / :func:`analyze_kernel` for parsed objects.
+The code catalogue lives in ``docs/analysis.md``.
+"""
+
+from repro.analysis.analyze import (
+    SEMANTICS,
+    AnalysisResult,
+    analyze_kernel,
+    analyze_program,
+    analyze_source,
+)
+from repro.analysis.datalog import check_rules
+from repro.analysis.diagnostics import (
+    CODES,
+    ERROR,
+    HINT,
+    SEVERITIES,
+    WARNING,
+    Diagnostic,
+    DiagnosticReport,
+    SourceSpan,
+    severity_of,
+)
+from repro.analysis.graph import DepEdge, DependencyGraph, accumulates
+from repro.analysis.hints import PlanHints
+from repro.analysis.kernel import check_kernel
+
+__all__ = [
+    "AnalysisResult",
+    "CODES",
+    "DepEdge",
+    "DependencyGraph",
+    "Diagnostic",
+    "DiagnosticReport",
+    "ERROR",
+    "HINT",
+    "PlanHints",
+    "SEMANTICS",
+    "SEVERITIES",
+    "SourceSpan",
+    "WARNING",
+    "accumulates",
+    "analyze_kernel",
+    "analyze_program",
+    "analyze_source",
+    "check_kernel",
+    "check_rules",
+    "severity_of",
+]

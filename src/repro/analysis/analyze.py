@@ -1,0 +1,273 @@
+"""Front door of the static analyzer.
+
+:func:`analyze_source` takes the same raw inputs every entry layer
+already has — semantics, program text, optional database JSON (or a
+decoded :class:`~repro.relational.database.Database`), optional
+pc-tables, optional event text — parses them, runs every applicable
+check, and returns an :class:`AnalysisResult` bundling the diagnostic
+report, the derived :class:`~repro.analysis.hints.PlanHints`, and the
+parsed artifacts (so callers that analyze before evaluating never parse
+twice).
+
+Parse failures are not exceptions here: they become ``PE001``/``PE002``
+diagnostics (with source position when the parser provides one), so the
+CLI ``lint`` command and the service's 400 path render syntax errors
+and semantic errors uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.analysis.datalog import check_rules
+from repro.analysis.diagnostics import DiagnosticReport, SourceSpan
+from repro.analysis.hints import PlanHints
+from repro.analysis.kernel import check_kernel
+from repro.errors import ReproError
+
+if TYPE_CHECKING:
+    from repro.core.events import TupleIn
+    from repro.core.interpretation import Interpretation
+    from repro.ctables.pctable import PCDatabase
+    from repro.datalog.ast import Program
+    from repro.relational.database import Database
+
+SEMANTICS = ("forever", "inflationary", "datalog")
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analysis pass produced."""
+
+    semantics: str
+    report: DiagnosticReport
+    hints: PlanHints | None = None
+    program: "Program | None" = None
+    kernel: "Interpretation | None" = None
+    database: "Database | None" = None
+    pc_tables: "PCDatabase | None" = None
+    event: "TupleIn | None" = None
+    diagnostics_extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-level diagnostic was found."""
+        return not self.report.has_errors
+
+    def as_dict(self) -> dict[str, Any]:
+        payload = self.report.as_dict()
+        payload["semantics"] = self.semantics
+        if self.hints is not None:
+            payload["plan_hints"] = self.hints.as_dict()
+        return payload
+
+
+def analyze_source(
+    semantics: str,
+    source: str,
+    *,
+    database: "Database | Mapping[str, Any] | None" = None,
+    pc_tables: "PCDatabase | Mapping[str, Any] | None" = None,
+    event: "TupleIn | str | None" = None,
+) -> AnalysisResult:
+    """Parse and statically analyze one program.
+
+    ``database`` and ``pc_tables`` accept either decoded objects or the
+    JSON structures of :mod:`repro.io`; ``event`` accepts a
+    :class:`~repro.core.events.TupleIn` or its text form.  All three are
+    optional — checks that need them simply do not run.
+    """
+    if semantics not in SEMANTICS:
+        raise ReproError(
+            f"unknown semantics {semantics!r}; expected one of {SEMANTICS}"
+        )
+    report = DiagnosticReport()
+    result = AnalysisResult(semantics=semantics, report=report)
+
+    result.database = _decode_database(database, report)
+    result.pc_tables = _decode_pc_tables(pc_tables, report)
+    result.event = _parse_event(event, report)
+
+    if semantics == "datalog":
+        _analyze_datalog(source, result)
+    else:
+        _analyze_kernel(source, result)
+    return result
+
+
+def _analyze_datalog(source: str, result: AnalysisResult) -> None:
+    from repro.datalog.ast import Program
+    from repro.datalog.parser import parse_rules
+
+    try:
+        rules_and_spans = parse_rules(source)
+    except ReproError as error:
+        _report_parse_error(result.report, "PE001", error, source)
+        return
+    rules = [rule for rule, _span in rules_and_spans]
+    spans = [span for _rule, span in rules_and_spans]
+    result.report.extend(
+        check_rules(
+            rules,
+            source=source,
+            spans=spans,
+            database=result.database,
+            pc_tables=result.pc_tables,
+            event=result.event,
+        )
+    )
+    if result.report.has_errors:
+        return
+    # Error-free rule lists satisfy every invariant Program enforces.
+    program = Program(rules)
+    program.rule_spans = tuple(spans)
+    result.program = program
+    result.hints = PlanHints.for_program(program, result.pc_tables)
+
+
+def _analyze_kernel(source: str, result: AnalysisResult) -> None:
+    from repro.relational.parser import parse_interpretation
+
+    try:
+        kernel = parse_interpretation(source)
+    except ReproError as error:
+        code = str(error.details.get("analysis_code") or "PE001")
+        _report_parse_error(result.report, code, error, source)
+        return
+    result.kernel = kernel
+    result.report.extend(
+        check_kernel(
+            kernel,
+            source=source,
+            spans=kernel.source_spans,
+            database=result.database,
+            event=result.event,
+            semantics=result.semantics,
+        )
+    )
+    if not result.report.has_errors:
+        result.hints = PlanHints.for_kernel(
+            kernel, event=result.event, semantics=result.semantics
+        )
+
+
+def analyze_program(
+    program: "Program",
+    *,
+    database: "Database | None" = None,
+    pc_tables: "PCDatabase | None" = None,
+    event: "TupleIn | None" = None,
+) -> AnalysisResult:
+    """Analyze an already-parsed datalog program."""
+    report = check_rules(
+        list(program.rules),
+        database=database,
+        pc_tables=pc_tables,
+        event=event,
+    )
+    result = AnalysisResult(
+        semantics="datalog",
+        report=report,
+        program=program,
+        database=database,
+        pc_tables=pc_tables,
+        event=event,
+    )
+    if not report.has_errors:
+        result.hints = PlanHints.for_program(program, pc_tables)
+    return result
+
+
+def analyze_kernel(
+    kernel: "Interpretation",
+    *,
+    database: "Database | None" = None,
+    event: "TupleIn | None" = None,
+    semantics: str = "forever",
+) -> AnalysisResult:
+    """Analyze an already-parsed transition kernel."""
+    report = check_kernel(
+        kernel,
+        spans=kernel.source_spans,
+        database=database,
+        event=event,
+        semantics=semantics,
+    )
+    result = AnalysisResult(
+        semantics=semantics,
+        report=report,
+        kernel=kernel,
+        database=database,
+        event=event,
+    )
+    if not report.has_errors:
+        result.hints = PlanHints.for_kernel(kernel, event=event, semantics=semantics)
+    return result
+
+
+# -- input decoding -----------------------------------------------------------
+
+
+def _decode_database(
+    database: "Database | Mapping[str, Any] | None",
+    report: DiagnosticReport,
+) -> "Database | None":
+    from repro.relational.database import Database
+
+    if database is None or isinstance(database, Database):
+        return database
+    from repro.io import database_from_json
+
+    try:
+        return database_from_json(dict(database))
+    except ReproError as error:
+        report.add("PE001", f"cannot decode the database: {error}")
+        return None
+
+
+def _decode_pc_tables(
+    pc_tables: "PCDatabase | Mapping[str, Any] | None",
+    report: DiagnosticReport,
+) -> "PCDatabase | None":
+    from repro.ctables.pctable import PCDatabase
+
+    if pc_tables is None or isinstance(pc_tables, PCDatabase):
+        return pc_tables
+    from repro.io import pc_database_from_json
+
+    try:
+        return pc_database_from_json(dict(pc_tables))
+    except ReproError as error:
+        report.add("PE001", f"cannot decode the pc-tables: {error}")
+        return None
+
+
+def _parse_event(
+    event: "TupleIn | str | None",
+    report: DiagnosticReport,
+) -> "TupleIn | None":
+    if event is None or not isinstance(event, str):
+        return event
+    from repro.core.events import parse_event
+
+    try:
+        return parse_event(event)
+    except ReproError as error:
+        report.add(
+            "PE002",
+            f"cannot parse the query event: {error}",
+            suggestion="events have the form relation(value, ...)",
+        )
+        return None
+
+
+def _report_parse_error(
+    report: DiagnosticReport, code: str, error: ReproError, source: str
+) -> None:
+    span = None
+    details = error.details
+    if "offset" in details:
+        offset = int(details["offset"])
+        span = SourceSpan.from_offsets(source, offset, offset + 1)
+    report.add(code, str(error), span=span)

@@ -1,0 +1,353 @@
+"""Static checks over probabilistic datalog rule lists.
+
+The analyzer consumes *raw* :class:`~repro.datalog.ast.Rule` sequences
+(not a :class:`~repro.datalog.ast.Program`, whose constructor raises on
+the first violation) so a single pass can report every problem in the
+program at once.  The error-level checks are a superset of what
+``Program.__init__`` / ``Rule.validate`` enforce: a rule list with no
+error diagnostics constructs a ``Program`` without raising.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from numbers import Rational
+from typing import TYPE_CHECKING, Sequence
+
+from repro.analysis.diagnostics import DiagnosticReport, SourceSpan
+from repro.analysis.graph import DependencyGraph
+from repro.datalog.ast import _ANON_PREFIX, Rule, Var
+
+if TYPE_CHECKING:
+    from repro.core.events import TupleIn
+    from repro.ctables.pctable import PCDatabase
+    from repro.relational.database import Database
+    from repro.relational.relation import Relation
+
+Span = tuple[int, int]
+
+
+def check_rules(
+    rules: Sequence[Rule],
+    *,
+    source: str | None = None,
+    spans: Sequence[Span] | None = None,
+    database: "Database | None" = None,
+    pc_tables: "PCDatabase | None" = None,
+    event: "TupleIn | None" = None,
+) -> DiagnosticReport:
+    """Analyze a datalog rule list and return every finding.
+
+    ``spans`` (parallel to ``rules``) and ``source`` attach source
+    positions to per-rule diagnostics; database-dependent checks (EDB
+    existence, arities, weight-column types, IDB/EDB clashes) only run
+    when a ``database`` is supplied.
+    """
+    report = DiagnosticReport()
+    if not rules:
+        report.add("PE001", "a program needs at least one rule")
+        return report
+
+    rule_spans = _resolve_spans(rules, spans, source)
+    for rule, span in zip(rules, rule_spans):
+        _check_rule_safety(rule, span, report)
+
+    arities = _check_arities(rules, rule_spans, report)
+    idb = {rule.head.predicate for rule in rules}
+    base_relations = _base_relations(database, pc_tables)
+
+    if database is not None:
+        _check_against_database(
+            rules, rule_spans, idb, base_relations, database, report
+        )
+
+    if event is not None:
+        _check_event(
+            rules, rule_spans, idb, arities, base_relations, database, event, report
+        )
+
+    _emit_plan_hints(rules, idb, pc_tables, report)
+    return report
+
+
+# -- per-rule safety ----------------------------------------------------------
+
+
+def _check_rule_safety(
+    rule: Rule, span: SourceSpan | None, report: DiagnosticReport
+) -> None:
+    body_vars = set(rule.body_variables())
+    head_vars = set(rule.head_variables())
+
+    unsafe = sorted(head_vars - body_vars)
+    if unsafe:
+        report.add(
+            "SF001",
+            f"rule {rule!r} is unsafe: head variables {unsafe!r} are not "
+            "bound by any positive body atom",
+            span=span,
+            subject=rule.head.predicate,
+            suggestion=f"bind {', '.join(unsafe)} in a body atom or use constants",
+        )
+
+    bad_keys = sorted(rule.key_variables - head_vars)
+    if bad_keys:
+        report.add(
+            "SF003",
+            f"rule {rule!r}: key variables {bad_keys!r} are not head variables",
+            span=span,
+            subject=rule.head.predicate,
+            suggestion="key-mark (X*) only variables that occur in the head",
+        )
+
+    if rule.weight_variable is not None and rule.weight_variable not in body_vars:
+        report.add(
+            "SF002",
+            f"rule {rule!r}: weight variable {rule.weight_variable!r} is not "
+            "bound in the body",
+            span=span,
+            subject=rule.head.predicate,
+            suggestion=f"add a body atom binding {rule.weight_variable}, or "
+            "drop @" + rule.weight_variable + " for uniform weighting",
+        )
+
+    anonymous = sorted(
+        {
+            term.name
+            for term in rule.head.terms
+            if isinstance(term, Var) and term.name.startswith(_ANON_PREFIX)
+        }
+    )
+    if anonymous:
+        report.add(
+            "SF004",
+            f"rule {rule!r}: anonymous variables cannot occur in the head",
+            span=span,
+            subject=rule.head.predicate,
+            suggestion="name the variable and bind it in the body",
+        )
+
+
+# -- program-level structure --------------------------------------------------
+
+
+def _check_arities(
+    rules: Sequence[Rule],
+    spans: Sequence[SourceSpan | None],
+    report: DiagnosticReport,
+) -> dict[str, int]:
+    arities: dict[str, int] = {}
+    flagged: set[str] = set()
+    for rule, span in zip(rules, spans):
+        for atom in (rule.head, *rule.body):
+            known = arities.setdefault(atom.predicate, atom.arity)
+            if known != atom.arity and atom.predicate not in flagged:
+                flagged.add(atom.predicate)
+                report.add(
+                    "AR001",
+                    f"predicate {atom.predicate!r} is used with arity "
+                    f"{atom.arity} here but arity {known} elsewhere",
+                    span=span,
+                    subject=atom.predicate,
+                    suggestion="use one arity per predicate",
+                )
+    return arities
+
+
+def _check_against_database(
+    rules: Sequence[Rule],
+    spans: Sequence[SourceSpan | None],
+    idb: set[str],
+    base_relations: dict[str, int],
+    database: "Database",
+    report: DiagnosticReport,
+) -> None:
+    seen: set[tuple[str, str]] = set()
+    for rule, span in zip(rules, spans):
+        head = rule.head.predicate
+        if head in base_relations and ("clash", head) not in seen:
+            seen.add(("clash", head))
+            report.add(
+                "SF005",
+                f"IDB predicate {head!r} clashes with a database relation "
+                "of the same name",
+                span=span,
+                subject=head,
+                suggestion="rename the rule head or the EDB relation",
+            )
+        for atom in rule.body:
+            predicate = atom.predicate
+            if predicate in idb or ("edb", predicate) in seen:
+                continue
+            seen.add(("edb", predicate))
+            if predicate not in base_relations:
+                report.add(
+                    "AR002",
+                    f"EDB predicate {predicate!r} is missing from the database",
+                    span=span,
+                    subject=predicate,
+                    suggestion="add the relation to the database or define "
+                    "it with rules",
+                )
+            elif base_relations[predicate] != atom.arity:
+                report.add(
+                    "AR003",
+                    f"EDB predicate {predicate!r} is used with arity "
+                    f"{atom.arity} but the database relation has "
+                    f"{base_relations[predicate]} columns",
+                    span=span,
+                    subject=predicate,
+                )
+        _check_weight_values(rule, span, idb, database, report)
+
+
+def _check_weight_values(
+    rule: Rule,
+    span: SourceSpan | None,
+    idb: set[str],
+    database: "Database",
+    report: DiagnosticReport,
+) -> None:
+    """RK004: every EDB column a ``@P`` weight variable is bound to must
+    hold numeric values (weights feed repair-key's choice distribution).
+    """
+    weight = rule.weight_variable
+    if weight is None:
+        return
+    for atom in rule.body:
+        if atom.predicate in idb or atom.predicate not in database.names():
+            continue
+        relation = database[atom.predicate]
+        if len(relation.columns) != atom.arity:
+            continue  # already reported as AR003
+        for position, term in enumerate(atom.terms):
+            if not (isinstance(term, Var) and term.name == weight):
+                continue
+            column = relation.columns[position]
+            bad = _non_numeric_values(relation, column)
+            if bad:
+                report.add(
+                    "RK004",
+                    f"weight variable {weight!r} is bound to column "
+                    f"{column!r} of {atom.predicate!r}, which holds "
+                    f"non-numeric values (e.g. {bad[0]!r})",
+                    span=span,
+                    subject=atom.predicate,
+                    suggestion="weight columns must hold rational numbers",
+                )
+                return
+
+
+def _check_event(
+    rules: Sequence[Rule],
+    spans: Sequence[SourceSpan | None],
+    idb: set[str],
+    arities: dict[str, int],
+    base_relations: dict[str, int],
+    database: "Database | None",
+    event: "TupleIn",
+    report: DiagnosticReport,
+) -> None:
+    relation = event.relation
+    known_arity: int | None = arities.get(relation)
+    if known_arity is None and relation in base_relations:
+        known_arity = base_relations[relation]
+
+    if relation not in arities and (database is not None and relation not in base_relations):
+        report.add(
+            "DD002",
+            f"event relation {relation!r} is neither defined by the program "
+            "nor present in the database; the event is constantly false",
+            subject=relation,
+            suggestion="query a predicate the program defines",
+        )
+    elif known_arity is not None and len(event.row) != known_arity:
+        report.add(
+            "DD003",
+            f"event {event!r} has arity {len(event.row)} but relation "
+            f"{relation!r} has arity {known_arity}; the event is "
+            "constantly false",
+            subject=relation,
+        )
+
+    # Dead rules: a rule is useful when the event's predicate (directly
+    # or transitively) depends on its head.
+    graph = DependencyGraph.from_rules(rules)
+    useful = graph.reachable_from([relation])
+    for rule, span in zip(rules, spans):
+        if rule.head.predicate in idb and rule.head.predicate not in useful:
+            report.add(
+                "DD001",
+                f"rule {rule!r} is dead: the event relation {relation!r} "
+                f"does not depend on {rule.head.predicate!r}",
+                span=span,
+                subject=rule.head.predicate,
+                suggestion="remove the rule or query a predicate that uses it",
+            )
+
+
+def _emit_plan_hints(
+    rules: Sequence[Rule],
+    idb: set[str],
+    pc_tables: "PCDatabase | None",
+    report: DiagnosticReport,
+) -> None:
+    probabilistic = any(rule.is_probabilistic() for rule in rules)
+    pc_free = pc_tables is None or not pc_tables.variables
+    if not probabilistic and pc_free:
+        report.add(
+            "PH001",
+            "the program makes no repair-key choice and uses no pc-table: "
+            "a single exact run computes the answer; sampling is unnecessary",
+        )
+    if _is_linear(rules, idb):
+        report.add(
+            "PH004",
+            "linear datalog program (at most one IDB atom per body): the "
+            "efficient fragment of Theorem 4.1 applies",
+        )
+
+
+def _is_linear(rules: Sequence[Rule], idb: set[str]) -> bool:
+    return all(
+        sum(1 for atom in rule.body if atom.predicate in idb) <= 1 for rule in rules
+    )
+
+
+# -- helpers ------------------------------------------------------------------
+
+
+def _resolve_spans(
+    rules: Sequence[Rule],
+    spans: Sequence[Span] | None,
+    source: str | None,
+) -> list[SourceSpan | None]:
+    if spans is None or source is None or len(spans) != len(rules):
+        return [None] * len(rules)
+    return [SourceSpan.from_offsets(source, start, end) for start, end in spans]
+
+
+def _base_relations(
+    database: "Database | None",
+    pc_tables: "PCDatabase | None",
+) -> dict[str, int]:
+    """Relations available without rules: database + pc-table outputs."""
+    base: dict[str, int] = {}
+    if database is not None:
+        for name in database.names():
+            base[name] = len(database[name].columns)
+    if pc_tables is not None:
+        for name, table in pc_tables.tables.items():
+            base[name] = len(table.columns)
+    return base
+
+
+def _non_numeric_values(relation: "Relation", column: str) -> list[object]:
+    """Values in ``relation.column`` that cannot serve as weights."""
+    index = relation.column_index(column)
+    return [
+        row[index]
+        for row in relation
+        if isinstance(row[index], bool)
+        or not isinstance(row[index], (int, float, Fraction, Rational))
+    ]

@@ -1,0 +1,224 @@
+"""Structured diagnostics emitted by the static analyzer.
+
+Every finding is a :class:`Diagnostic` with a *stable* code (``RK001``,
+``SF002``, ...) drawn from the :data:`CODES` registry, which fixes the
+code's severity and short title in one place.  Codes never change
+meaning once published; new checks get new codes.  The full catalogue
+with examples lives in ``docs/analysis.md``.
+
+Code families:
+
+``PE``
+    Parse errors (program text or query event).
+``AR``
+    Arity and schema consistency (Definition 3.1 compatibility).
+``SF``
+    Safety / range-restriction of datalog rules.
+``RK``
+    ``repair-key`` well-formedness (Section 2 side conditions).
+``ST`` / ``IN``
+    Dependency-graph shape: negative cycles, non-inflationary queries.
+``DD``
+    Dead code relative to the query event.
+``PH``
+    Plan hints and plan-level warnings the engine can exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import line_and_column
+
+ERROR = "error"
+WARNING = "warning"
+HINT = "hint"
+
+SEVERITIES: tuple[str, ...] = (ERROR, WARNING, HINT)
+
+#: Registry of every published diagnostic code: ``code -> (severity, title)``.
+CODES: dict[str, tuple[str, str]] = {
+    "PE001": (ERROR, "program parse error"),
+    "PE002": (ERROR, "event parse error"),
+    "AR001": (ERROR, "conflicting predicate arities"),
+    "AR002": (ERROR, "unknown relation"),
+    "AR003": (ERROR, "result schema mismatch"),
+    "AR004": (ERROR, "ill-formed algebra expression"),
+    "SF001": (ERROR, "unsafe rule"),
+    "SF002": (ERROR, "unbound weight variable"),
+    "SF003": (ERROR, "key variable not in head"),
+    "SF004": (ERROR, "anonymous variable in head"),
+    "SF005": (ERROR, "IDB/EDB name clash"),
+    "RK001": (ERROR, "repair-key key column missing"),
+    "RK002": (ERROR, "repair-key weight column missing"),
+    "RK003": (ERROR, "repair-key key/weight overlap"),
+    "RK004": (ERROR, "non-numeric weight column"),
+    "DD003": (ERROR, "event arity mismatch"),
+    "ST001": (WARNING, "negative dependency cycle"),
+    "IN001": (WARNING, "possibly non-inflationary query"),
+    "DD001": (WARNING, "dead rule"),
+    "DD002": (WARNING, "unknown event relation"),
+    "DD004": (WARNING, "relation cannot influence the event"),
+    "PH003": (WARNING, "possibly non-absorbing chain"),
+    "PH001": (HINT, "deterministic program"),
+    "PH002": (HINT, "pc-free kernel"),
+    "PH004": (HINT, "linear datalog program"),
+}
+
+
+def severity_of(code: str) -> str:
+    """Severity of a registered diagnostic code."""
+    try:
+        return CODES[code][0]
+    except KeyError:
+        raise ValueError(f"unknown diagnostic code {code!r}") from None
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """Half-open character range ``[start, end)`` in the program text,
+    with the 1-based line/column of ``start`` precomputed for display."""
+
+    start: int
+    end: int
+    line: int = 1
+    column: int = 1
+
+    @classmethod
+    def from_offsets(cls, source: str, start: int, end: int) -> "SourceSpan":
+        line, column = line_and_column(source, start)
+        return cls(start=start, end=max(start, end), line=line, column=column)
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "start": self.start,
+            "end": self.end,
+            "line": self.line,
+            "column": self.column,
+        }
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding.
+
+    ``subject`` names the program element the finding is about (a
+    predicate, relation, or variable) so callers can group findings
+    without parsing the message; ``suggestion`` is a short imperative
+    fix hint rendered after the message.
+    """
+
+    code: str
+    severity: str
+    message: str
+    span: SourceSpan | None = None
+    subject: str | None = None
+    suggestion: str | None = None
+
+    def as_dict(self) -> dict[str, object]:
+        payload: dict[str, object] = {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.span is not None:
+            payload["span"] = self.span.as_dict()
+        if self.subject is not None:
+            payload["subject"] = self.subject
+        if self.suggestion is not None:
+            payload["suggestion"] = self.suggestion
+        return payload
+
+    def render(self, name: str = "<program>") -> str:
+        """One ``file:line:col: severity CODE: message`` line."""
+        position = f"{self.span.line}:{self.span.column}" if self.span else "-"
+        line = f"{name}:{position}: {self.severity} {self.code}: {self.message}"
+        if self.suggestion:
+            line += f" (fix: {self.suggestion})"
+        return line
+
+
+class DiagnosticReport:
+    """An ordered collection of diagnostics with severity roll-ups."""
+
+    def __init__(self, diagnostics: Iterable[Diagnostic] = ()):
+        self._diagnostics: list[Diagnostic] = list(diagnostics)
+
+    def add(
+        self,
+        code: str,
+        message: str,
+        *,
+        span: SourceSpan | None = None,
+        subject: str | None = None,
+        suggestion: str | None = None,
+    ) -> Diagnostic:
+        """Append a finding; severity comes from the :data:`CODES` registry."""
+        diagnostic = Diagnostic(
+            code=code,
+            severity=severity_of(code),
+            message=message,
+            span=span,
+            subject=subject,
+            suggestion=suggestion,
+        )
+        self._diagnostics.append(diagnostic)
+        return diagnostic
+
+    def extend(self, other: "DiagnosticReport") -> None:
+        self._diagnostics.extend(other)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self._diagnostics)
+
+    def __len__(self) -> int:
+        return len(self._diagnostics)
+
+    def __bool__(self) -> bool:
+        return bool(self._diagnostics)
+
+    @property
+    def diagnostics(self) -> tuple[Diagnostic, ...]:
+        return tuple(self._diagnostics)
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self._diagnostics if d.severity == ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self._diagnostics if d.severity == WARNING)
+
+    @property
+    def hints(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self._diagnostics if d.severity == HINT)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity == ERROR for d in self._diagnostics)
+
+    def codes(self) -> tuple[str, ...]:
+        """All distinct codes present, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for diagnostic in self._diagnostics:
+            seen.setdefault(diagnostic.code, None)
+        return tuple(seen)
+
+    def error_codes(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for diagnostic in self._diagnostics:
+            if diagnostic.severity == ERROR:
+                seen.setdefault(diagnostic.code, None)
+        return tuple(seen)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "diagnostics": [d.as_dict() for d in self._diagnostics],
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "hints": len(self.hints),
+        }
+
+    def render_lines(self, name: str = "<program>") -> list[str]:
+        return [d.render(name) for d in self._diagnostics]

@@ -1,0 +1,209 @@
+"""Predicate / relation dependency graphs with edge polarity.
+
+For a datalog program the nodes are predicates and every ``head :- body``
+rule contributes positive edges ``head -> body_predicate``.  For a
+relational kernel the nodes are relation names and ``R := e`` contributes
+an edge ``R -> S`` for every relation ``S`` referenced by ``e``; edges
+that originate inside the *right* subtree of a ``Difference`` node are
+negative (the classic negation-as-difference polarity), and edges that
+pass through a ``repair-key`` node are marked probabilistic.
+
+A relation sitting on a cycle with a negative edge depends
+*non-monotonically* on itself — the fixpoint the while-language computes
+for it is not guaranteed to be order-independent, which is exactly what
+stratification rules out in datalog with negation (cf. the stable-
+negation treatment in Alviano et al.'s generative-datalog follow-up).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.datalog.ast import Rule
+from repro.relational.algebra import (
+    Difference,
+    Expression,
+    RelationRef,
+    RepairKey,
+    Union,
+)
+
+
+@dataclass(frozen=True)
+class DepEdge:
+    """A dependency ``src -> dst``: computing ``src`` reads ``dst``."""
+
+    src: str
+    dst: str
+    positive: bool = True
+    probabilistic: bool = False
+
+
+class DependencyGraph:
+    """Directed multigraph over predicate/relation names."""
+
+    def __init__(self, nodes: Iterable[str], edges: Iterable[DepEdge]):
+        self.nodes: frozenset[str] = frozenset(nodes)
+        self.edges: tuple[DepEdge, ...] = tuple(edges)
+        self._successors: dict[str, set[str]] = {node: set() for node in self.nodes}
+        for edge in self.edges:
+            self._successors.setdefault(edge.src, set()).add(edge.dst)
+            self._successors.setdefault(edge.dst, set())
+
+    @classmethod
+    def from_rules(cls, rules: Sequence[Rule]) -> "DependencyGraph":
+        nodes: set[str] = set()
+        edges: list[DepEdge] = []
+        for rule in rules:
+            nodes.add(rule.head.predicate)
+            probabilistic = rule.is_probabilistic()
+            for atom in rule.body:
+                nodes.add(atom.predicate)
+                edges.append(
+                    DepEdge(
+                        src=rule.head.predicate,
+                        dst=atom.predicate,
+                        positive=True,
+                        probabilistic=probabilistic,
+                    )
+                )
+        return cls(nodes, edges)
+
+    @classmethod
+    def from_queries(cls, queries: Mapping[str, Expression]) -> "DependencyGraph":
+        nodes: set[str] = set(queries)
+        edges: list[DepEdge] = []
+        for name, expression in queries.items():
+            for dst, positive, probabilistic in _references(expression):
+                nodes.add(dst)
+                edges.append(
+                    DepEdge(src=name, dst=dst, positive=positive, probabilistic=probabilistic)
+                )
+        return cls(nodes, edges)
+
+    def reachable_from(self, starts: Iterable[str]) -> set[str]:
+        """All nodes reachable from ``starts`` along dependency edges
+        (including the start nodes themselves, when present)."""
+        frontier = [node for node in starts if node in self._successors]
+        reached = set(frontier)
+        while frontier:
+            node = frontier.pop()
+            for successor in self._successors.get(node, ()):
+                if successor not in reached:
+                    reached.add(successor)
+                    frontier.append(successor)
+        return reached
+
+    def strongly_connected_components(self) -> list[frozenset[str]]:
+        """Tarjan's algorithm, iterative so deep chains cannot overflow
+        the recursion limit."""
+        index: dict[str, int] = {}
+        lowlink: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        components: list[frozenset[str]] = []
+        counter = 0
+
+        for root in sorted(self._successors):
+            if root in index:
+                continue
+            work: list[tuple[str, "list[str]"]] = [(root, sorted(self._successors[root]))]
+            index[root] = lowlink[root] = counter
+            counter += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, successors = work[-1]
+                advanced = False
+                while successors:
+                    successor = successors.pop()
+                    if successor not in index:
+                        index[successor] = lowlink[successor] = counter
+                        counter += 1
+                        stack.append(successor)
+                        on_stack.add(successor)
+                        work.append((successor, sorted(self._successors[successor])))
+                        advanced = True
+                        break
+                    if successor in on_stack:
+                        lowlink[node] = min(lowlink[node], index[successor])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    component: set[str] = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.add(member)
+                        if member == node:
+                            break
+                    components.append(frozenset(component))
+        return components
+
+    def negative_cycle_members(self) -> set[str]:
+        """Nodes of every cycle that contains a negative edge.
+
+        A negative edge ``u -> v`` lies on a cycle exactly when ``u`` and
+        ``v`` belong to the same strongly connected component (a negative
+        self-loop counts: its endpoint forms a singleton SCC with itself
+        reachable)."""
+        component_of: dict[str, frozenset[str]] = {}
+        for component in self.strongly_connected_components():
+            for node in component:
+                component_of[node] = component
+        members: set[str] = set()
+        for edge in self.edges:
+            if edge.positive:
+                continue
+            if edge.src == edge.dst:
+                members.add(edge.src)
+                continue
+            if component_of.get(edge.src) is component_of.get(edge.dst):
+                members.update(component_of[edge.src])
+        return members
+
+
+def _references(
+    expression: Expression,
+    positive: bool = True,
+    probabilistic: bool = False,
+) -> list[tuple[str, bool, bool]]:
+    """``(relation, polarity, under-repair-key)`` triples for every
+    relation reference inside ``expression``."""
+    found: list[tuple[str, bool, bool]] = []
+    if isinstance(expression, RelationRef):
+        found.append((expression.name, positive, probabilistic))
+    elif isinstance(expression, Difference):
+        found.extend(_references(expression.left, positive, probabilistic))
+        found.extend(_references(expression.right, not positive, probabilistic))
+    elif isinstance(expression, RepairKey):
+        found.extend(_references(expression.child, positive, True))
+    else:
+        for child in _children(expression):
+            found.extend(_references(child, positive, probabilistic))
+    return found
+
+
+def _children(expression: Expression) -> list[Expression]:
+    children: list[Expression] = []
+    for attribute in ("child", "left", "right"):
+        value = getattr(expression, attribute, None)
+        if isinstance(value, Expression):
+            children.append(value)
+    return children
+
+
+def accumulates(expression: Expression, name: str) -> bool:
+    """True when ``expression`` is syntactically of the inflationary
+    shape ``name ∪ ...`` — it contains the old value of ``name`` as a
+    top-level union operand, so every transition can only add tuples."""
+    if isinstance(expression, RelationRef):
+        return expression.name == name
+    if isinstance(expression, Union):
+        return accumulates(expression.left, name) or accumulates(expression.right, name)
+    return False

@@ -1,0 +1,89 @@
+"""Plan hints: facts about a program the engine can exploit.
+
+The analyzer derives these once at parse time; the CLI, the service's
+:class:`~repro.service.session.EngineSession`, and the runtime's
+degradation ladder consult them before choosing an evaluation strategy:
+
+* ``deterministic`` — no repair-key, no pc-variables: one exact run is
+  the full answer, sampling is pure overhead (and the MCMC rung of a
+  degradation ladder can be skipped outright);
+* ``pc_free`` — no pc-table resampling: inflationary evaluation can
+  route through the memoized transition kernel;
+* ``linear`` — linear datalog (Theorem 4.1 fragment); ``None`` for
+  relational kernels, where the notion does not apply;
+* ``possibly_non_absorbing`` — the forever-query event relation is
+  rewritten probabilistically without accumulating, so event states are
+  typically transient and MCMC needs adequate burn-in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.analysis.graph import accumulates
+
+if TYPE_CHECKING:
+    from repro.core.events import TupleIn
+    from repro.core.interpretation import Interpretation
+    from repro.ctables.pctable import PCDatabase
+    from repro.datalog.ast import Program
+
+
+@dataclass(frozen=True)
+class PlanHints:
+    """Engine-exploitable facts about one prepared program."""
+
+    deterministic: bool = False
+    pc_free: bool = True
+    linear: bool | None = None
+    possibly_non_absorbing: bool = False
+
+    def as_dict(self) -> dict[str, object]:
+        payload: dict[str, object] = {
+            "deterministic": self.deterministic,
+            "pc_free": self.pc_free,
+            "possibly_non_absorbing": self.possibly_non_absorbing,
+        }
+        if self.linear is not None:
+            payload["linear"] = self.linear
+        return payload
+
+    @classmethod
+    def for_kernel(
+        cls,
+        kernel: "Interpretation",
+        event: "TupleIn | None" = None,
+        semantics: str = "forever",
+    ) -> "PlanHints":
+        """Hints for a relational transition kernel."""
+        pc_free = kernel.pc_tables is None or not kernel.pc_tables.variables
+        non_absorbing = False
+        if event is not None and semantics == "forever":
+            query = kernel.queries.get(event.relation)
+            non_absorbing = (
+                query is not None
+                and not query.is_deterministic()
+                and not accumulates(query, event.relation)
+            )
+        return cls(
+            deterministic=kernel.is_deterministic(),
+            pc_free=pc_free,
+            linear=None,
+            possibly_non_absorbing=non_absorbing,
+        )
+
+    @classmethod
+    def for_program(
+        cls,
+        program: "Program",
+        pc_tables: "PCDatabase | None" = None,
+    ) -> "PlanHints":
+        """Hints for a probabilistic datalog program."""
+        pc_free = pc_tables is None or not pc_tables.variables
+        return cls(
+            deterministic=not program.has_probabilistic_rules() and pc_free,
+            pc_free=pc_free,
+            linear=program.is_linear(),
+            possibly_non_absorbing=False,
+        )

@@ -1,0 +1,440 @@
+"""Static checks over relational transition kernels (Definition 3.1).
+
+A kernel maps each relation to the algebra expression computing its next
+value.  The checks mirror :meth:`Interpretation.check_schema` but emit
+*every* finding instead of raising on the first, attach per-node codes
+(``AR002`` unknown relation, ``RK001``/``RK002`` repair-key columns,
+``AR004`` other shape errors), and add plan-level analyses that need no
+data at all: negative dependency cycles, inflationary shape, dead
+relations relative to the event, and absorption of the event relation.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from numbers import Rational
+from typing import TYPE_CHECKING, Mapping
+
+from repro.analysis.diagnostics import DiagnosticReport, SourceSpan
+from repro.analysis.graph import DependencyGraph, accumulates
+from repro.relational.algebra import (
+    Difference,
+    Expression,
+    ExtendedProject,
+    Literal,
+    NaturalJoin,
+    Product,
+    Project,
+    RelationRef,
+    Rename,
+    RepairKey,
+    Select,
+    Union,
+)
+
+if TYPE_CHECKING:
+    from repro.core.events import TupleIn
+    from repro.core.interpretation import Interpretation
+    from repro.relational.database import Database
+    from repro.relational.relation import Relation
+
+Span = tuple[int, int]
+
+
+def check_kernel(
+    kernel: "Interpretation",
+    *,
+    source: str | None = None,
+    spans: Mapping[str, Span] | None = None,
+    database: "Database | None" = None,
+    event: "TupleIn | None" = None,
+    semantics: str = "forever",
+) -> DiagnosticReport:
+    """Analyze a transition kernel and return every finding.
+
+    ``spans`` maps relation names to their assignment's character range
+    in ``source``.  Schema- and data-dependent checks (column existence,
+    result schemas, weight types) run only when ``database`` is given;
+    the dependency-graph and shape checks always run.
+    """
+    report = DiagnosticReport()
+    resolved_spans = _resolve_spans(kernel, spans, source)
+
+    if database is not None:
+        _check_schemas(kernel, resolved_spans, database, report)
+
+    _check_dependency_shape(kernel, resolved_spans, semantics, report)
+
+    if event is not None:
+        _check_event(kernel, database, event, semantics, report)
+
+    _emit_plan_hints(kernel, semantics, report)
+    return report
+
+
+# -- schema checks (need a database) -----------------------------------------
+
+
+def _check_schemas(
+    kernel: "Interpretation",
+    spans: Mapping[str, SourceSpan],
+    database: "Database",
+    report: DiagnosticReport,
+) -> None:
+    schema = dict(database.schema())
+    for name in sorted(kernel.queries):
+        span = spans.get(name)
+        if name not in schema:
+            report.add(
+                "AR002",
+                f"kernel rewrites relation {name!r}, which is missing from "
+                "the database",
+                span=span,
+                subject=name,
+                suggestion="add the relation to the initial database",
+            )
+        expression = kernel.queries[name]
+        columns = _expression_columns(expression, schema, name, span, report)
+        _check_weight_values(expression, schema, database, name, span, report)
+        if columns is None or name not in schema:
+            continue
+        if columns != schema[name]:
+            report.add(
+                "AR003",
+                f"the query for {name!r} produces columns {columns!r}, but "
+                f"the relation has columns {schema[name]!r} "
+                "(Definition 3.1 requires matching schemas)",
+                span=span,
+                subject=name,
+                suggestion="project or rename the result to the relation's columns",
+            )
+    for name in kernel.pc_relation_names():
+        if name not in schema:
+            report.add(
+                "AR002",
+                f"pc-table relation {name!r} is missing from the database; "
+                "include an initial instantiation in the start state",
+                subject=name,
+            )
+
+
+def _expression_columns(
+    expression: Expression,
+    schema: Mapping[str, tuple[str, ...]],
+    relation: str,
+    span: SourceSpan | None,
+    report: DiagnosticReport,
+) -> tuple[str, ...] | None:
+    """Output columns of ``expression``, or ``None`` when a subexpression
+    is ill-formed; every problem found is reported with its own code."""
+
+    def walk(node: Expression) -> tuple[str, ...] | None:
+        if isinstance(node, RelationRef):
+            if node.name not in schema:
+                report.add(
+                    "AR002",
+                    f"the query for {relation!r} references unknown relation "
+                    f"{node.name!r}",
+                    span=span,
+                    subject=node.name,
+                    suggestion="add the relation to the database or fix the name",
+                )
+                return None
+            return tuple(schema[node.name])
+        if isinstance(node, Literal):
+            return node.relation.columns
+        if isinstance(node, RepairKey):
+            columns = walk(node.child)
+            if columns is None:
+                return None
+            ok = True
+            missing_key = sorted(set(node.key) - set(columns))
+            if missing_key:
+                report.add(
+                    "RK001",
+                    f"repair-key key columns {missing_key!r} are absent from "
+                    f"its input columns {list(columns)!r}",
+                    span=span,
+                    subject=relation,
+                    suggestion="key attributes must be columns of the input",
+                )
+                ok = False
+            if node.weight is not None and node.weight not in columns:
+                report.add(
+                    "RK002",
+                    f"repair-key weight column {node.weight!r} is absent from "
+                    f"its input columns {list(columns)!r}",
+                    span=span,
+                    subject=relation,
+                    suggestion="weight must be an input column, or omit @weight "
+                    "for uniform choice",
+                )
+                ok = False
+            return columns if ok else None
+        children = node.children()
+        child_columns = [walk(child) for child in children]
+        if any(columns is None for columns in child_columns):
+            return None
+        # Leaf-free nodes with resolved children: defer to the node's own
+        # schema inference, translating its AlgebraError into AR004.
+        probe = {f"__child_{i}": columns for i, columns in enumerate(child_columns)}
+        rebuilt = _with_children(
+            node, [RelationRef(f"__child_{i}") for i in range(len(children))]
+        )
+        try:
+            return rebuilt.output_columns(probe)
+        except Exception as error:  # AlgebraError, but stay defensive
+            report.add(
+                "AR004",
+                f"ill-formed expression in the query for {relation!r}: {error}",
+                span=span,
+                subject=relation,
+            )
+            return None
+
+    return walk(expression)
+
+
+def _with_children(node: Expression, replacements: list[Expression]) -> Expression:
+    """A structural copy of ``node`` with its children swapped out, used
+    to probe one operator's schema inference in isolation."""
+    if isinstance(node, Select):
+        return Select(replacements[0], node.predicate)
+    if isinstance(node, Project):
+        return Project(replacements[0], node.columns)
+    if isinstance(node, Rename):
+        return Rename(replacements[0], node.mapping)
+    if isinstance(node, ExtendedProject):
+        return ExtendedProject(replacements[0], node.outputs)
+    if isinstance(node, (Union, Difference, Product, NaturalJoin)):
+        return type(node)(replacements[0], replacements[1])
+    return node
+
+
+def _check_weight_values(
+    expression: Expression,
+    schema: Mapping[str, tuple[str, ...]],
+    database: "Database",
+    relation: str,
+    span: SourceSpan | None,
+    report: DiagnosticReport,
+) -> None:
+    """RK004: trace every repair-key weight column back to base relations
+    and check the stored values are numeric.
+
+    Tracing follows renamings and stops at projections/joins that keep
+    the column; selections are *not* evaluated, so a selection that
+    filters out the offending rows can cause a false positive — the
+    documented trade-off of a static check.
+    """
+    for node in _walk_nodes(expression):
+        if not isinstance(node, RepairKey) or node.weight is None:
+            continue
+        for origin_relation, origin_column in _column_origins(
+            node.child, node.weight, schema
+        ):
+            if origin_relation not in database.names():
+                continue
+            base = database[origin_relation]
+            if origin_column not in base.columns:
+                continue
+            bad = _non_numeric_values(base, origin_column)
+            if bad:
+                report.add(
+                    "RK004",
+                    f"repair-key weight column {node.weight!r} in the query "
+                    f"for {relation!r} traces to column {origin_column!r} of "
+                    f"{origin_relation!r}, which holds non-numeric values "
+                    f"(e.g. {bad[0]!r})",
+                    span=span,
+                    subject=origin_relation,
+                    suggestion="weight columns must hold rational numbers",
+                )
+                return
+
+
+def _walk_nodes(expression: Expression):
+    yield expression
+    for child in expression.children():
+        yield from _walk_nodes(child)
+
+
+def _column_origins(
+    expression: Expression,
+    column: str,
+    schema: Mapping[str, tuple[str, ...]],
+) -> set[tuple[str, str]]:
+    """Base ``(relation, column)`` pairs the given output column of
+    ``expression`` copies values from (empty when untraceable, e.g. a
+    constant introduced by an extended projection)."""
+    if isinstance(expression, RelationRef):
+        if column in schema.get(expression.name, ()):
+            return {(expression.name, column)}
+        return set()
+    if isinstance(expression, Rename):
+        inverse = {new: old for old, new in expression.mapping.items()}
+        if column in inverse:
+            return _column_origins(expression.child, inverse[column], schema)
+        if column in expression.mapping:
+            return set()  # the old name was renamed away
+        return _column_origins(expression.child, column, schema)
+    if isinstance(expression, (Project, Select, RepairKey)):
+        return _column_origins(expression.child, column, schema)
+    if isinstance(expression, ExtendedProject):
+        for name, (kind, value) in expression.outputs:
+            if name == column and kind == "col":
+                return _column_origins(expression.child, value, schema)
+        return set()
+    if isinstance(
+        expression, (Union, Difference, Product, NaturalJoin)
+    ):
+        return _column_origins(expression.left, column, schema) | _column_origins(
+            expression.right, column, schema
+        )
+    return set()
+
+
+def _non_numeric_values(relation: "Relation", column: str) -> list[object]:
+    index = relation.column_index(column)
+    return [
+        row[index]
+        for row in relation
+        if isinstance(row[index], bool)
+        or not isinstance(row[index], (int, float, Fraction, Rational))
+    ]
+
+
+# -- dependency / shape checks (no database needed) ---------------------------
+
+
+def _check_dependency_shape(
+    kernel: "Interpretation",
+    spans: Mapping[str, SourceSpan],
+    semantics: str,
+    report: DiagnosticReport,
+) -> None:
+    graph = DependencyGraph.from_queries(kernel.queries)
+    negative = graph.negative_cycle_members()
+    for name in sorted(negative & set(kernel.queries)):
+        report.add(
+            "ST001",
+            f"relation {name!r} depends negatively on itself (through a "
+            "difference); the induced fixpoint is non-monotone and need "
+            "not be order-independent",
+            span=spans.get(name),
+            subject=name,
+            suggestion="stratify: compute the subtracted relation in a "
+            "separate phase",
+        )
+    if semantics == "inflationary":
+        for name in sorted(kernel.queries):
+            expression = kernel.queries[name]
+            if not accumulates(expression, name):
+                report.add(
+                    "IN001",
+                    f"the query for {name!r} is not of the inflationary shape "
+                    f"{name} ∪ …; Definition 3.4 is then only checked at run "
+                    "time (NotInflationaryError on violation)",
+                    span=spans.get(name),
+                    subject=name,
+                    suggestion=f"write the query as {name} ∪ (…) to guarantee "
+                    "inflationary steps",
+                )
+
+
+def _check_event(
+    kernel: "Interpretation",
+    database: "Database | None",
+    event: "TupleIn",
+    semantics: str,
+    report: DiagnosticReport,
+) -> None:
+    relation = event.relation
+    updated = set(kernel.updated_relations())
+    in_database = database is not None and relation in database.names()
+    if relation not in updated and database is not None and not in_database:
+        report.add(
+            "DD002",
+            f"event relation {relation!r} is neither rewritten by the kernel "
+            "nor present in the database; the event is constantly false",
+            subject=relation,
+            suggestion="query a relation of the kernel's schema",
+        )
+    elif in_database:
+        arity = len(database[relation].columns)
+        if len(event.row) != arity:
+            report.add(
+                "DD003",
+                f"event {event!r} has arity {len(event.row)} but relation "
+                f"{relation!r} has arity {arity}; the event is constantly false",
+                subject=relation,
+            )
+
+    graph = DependencyGraph.from_queries(kernel.queries)
+    useful = graph.reachable_from([relation])
+    for name in sorted(kernel.queries):
+        expression = kernel.queries[name]
+        if isinstance(expression, RelationRef) and expression.name == name:
+            continue  # identity lines are documentation, not work
+        if name not in useful:
+            report.add(
+                "DD004",
+                f"relation {name!r} is rewritten by the kernel but the event "
+                f"relation {relation!r} never depends on it; it cannot "
+                "influence the answer yet inflates the explicit chain",
+                subject=name,
+                suggestion="drop the query or make it an identity line",
+            )
+
+    if semantics == "forever":
+        query = kernel.queries.get(relation)
+        if (
+            query is not None
+            and not query.is_deterministic()
+            and not accumulates(query, relation)
+        ):
+            report.add(
+                "PH003",
+                f"the event relation {relation!r} is rewritten probabilistically "
+                "without accumulating its old value, so event states are "
+                "typically transient (non-absorbing chain): the forever-query "
+                "answer is the event's long-run frequency, and MCMC estimates "
+                "need adequate burn-in",
+                subject=relation,
+            )
+
+
+def _emit_plan_hints(
+    kernel: "Interpretation", semantics: str, report: DiagnosticReport
+) -> None:
+    if kernel.is_deterministic():
+        report.add(
+            "PH001",
+            "the kernel makes no probabilistic choice: the chain is a "
+            "deterministic orbit and a single exact run computes the answer; "
+            "sampling is unnecessary",
+        )
+    pc_free = kernel.pc_tables is None or not kernel.pc_tables.variables
+    if semantics == "inflationary" and pc_free:
+        report.add(
+            "PH002",
+            "pc-free inflationary kernel: transition results can be memoized "
+            "across runs (the TransitionCache fixpoint path applies)",
+        )
+
+
+# -- helpers ------------------------------------------------------------------
+
+
+def _resolve_spans(
+    kernel: "Interpretation",
+    spans: Mapping[str, Span] | None,
+    source: str | None,
+) -> dict[str, SourceSpan]:
+    if spans is None or source is None:
+        return {}
+    return {
+        name: SourceSpan.from_offsets(source, start, end)
+        for name, (start, end) in spans.items()
+        if name in kernel.queries
+    }

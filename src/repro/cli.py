@@ -243,6 +243,9 @@ def _command_forever(args: argparse.Namespace, context: RunContext) -> dict:
     kernel, db, event = _load_kernel_and_event(args)
     query = ForeverQuery(kernel, event)
     if args.fallback != "none":
+        from repro.analysis import PlanHints
+
+        hints = PlanHints.for_kernel(kernel, event=event, semantics="forever")
         policy = DegradationPolicy(
             mode=args.fallback,
             mcmc_epsilon=args.epsilon or 0.1,
@@ -261,6 +264,7 @@ def _command_forever(args: argparse.Namespace, context: RunContext) -> dict:
             rng=args.seed,
             checkpoint_path=args.checkpoint,
             resume=args.resume,
+            hints=hints,
         )
         if hasattr(result, "estimate"):
             payload = _mcmc_payload(result)
@@ -347,6 +351,64 @@ def _command_chain(args: argparse.Namespace, context: RunContext) -> dict:
     if is_irreducible(chain) and is_ergodic(chain):
         summary["mixing_time_0.25"] = mixing_time(chain, epsilon=0.25, context=context)
         summary["mixing_time_0.05"] = mixing_time(chain, epsilon=0.05, context=context)
+    return summary
+
+
+def _infer_semantics(path: str, source: str) -> str:
+    """Pick the language for ``lint`` when --semantics is ``auto``:
+    by extension first (.dl / .ra), then by shape (``:=`` lines are
+    kernels)."""
+    lowered = path.lower()
+    if lowered.endswith(".dl"):
+        return "datalog"
+    if lowered.endswith(".ra"):
+        return "forever"
+    return "forever" if ":=" in source else "datalog"
+
+
+def _command_lint(args: argparse.Namespace, context: RunContext) -> dict:
+    """Statically analyze a program without evaluating it.
+
+    Exit codes: 1 when error-level diagnostics are found (warnings and
+    hints alone keep exit 0), 2 for I/O problems as usual.
+    """
+    from repro.analysis import analyze_source
+
+    with open(args.program, encoding="utf-8") as handle:
+        source = handle.read()
+    semantics = args.semantics
+    if semantics == "auto":
+        semantics = _infer_semantics(args.program, source)
+    database = None
+    if args.db:
+        with open(args.db, encoding="utf-8") as handle:
+            database = json.load(handle)
+    pc_tables = None
+    if args.pc:
+        with open(args.pc, encoding="utf-8") as handle:
+            pc_tables = json.load(handle)
+    result = analyze_source(
+        semantics, source, database=database, pc_tables=pc_tables, event=args.event
+    )
+    if result.report.has_errors:
+        args._exit_code = 1
+    if args.json:
+        payload = result.as_dict()
+        payload["program"] = args.program
+        return payload
+    for line in result.report.render_lines(args.program):
+        print(line)
+    report = result.report
+    summary: dict = {
+        "semantics": semantics,
+        "errors": len(report.errors),
+        "warnings": len(report.warnings),
+        "hints": len(report.hints),
+    }
+    if result.hints is not None:
+        summary["plan_hints"] = ", ".join(
+            f"{key}={value}" for key, value in result.hints.as_dict().items()
+        )
     return summary
 
 
@@ -539,6 +601,32 @@ def build_arg_parser() -> argparse.ArgumentParser:
     _add_budget_arguments(chain)
     chain.set_defaults(handler=_command_chain)
 
+    lint = subparsers.add_parser(
+        "lint",
+        help="statically analyze a program without evaluating it "
+        "(see docs/analysis.md)",
+        parents=[common],
+    )
+    lint.add_argument("program", help="program file (.dl datalog, .ra kernel)")
+    lint.add_argument(
+        "--semantics",
+        choices=("auto", "datalog", "forever", "inflationary"),
+        default="auto",
+        help="language/semantics to check against (auto: by file extension)",
+    )
+    lint.add_argument(
+        "--db",
+        default=None,
+        help="database JSON; enables schema, arity, and weight-type checks",
+    )
+    lint.add_argument("--pc", default=None, help="pc-table database JSON")
+    lint.add_argument(
+        "--event",
+        default=None,
+        help="query event; enables dead-rule/reachability checks",
+    )
+    lint.set_defaults(handler=_command_lint)
+
     serve = subparsers.add_parser(
         "serve",
         help="run the HTTP query service (see docs/service.md)",
@@ -667,7 +755,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     _emit(payload, args.json)
-    return 0
+    # ``lint`` signals error-level diagnostics with exit 1 (distinct
+    # from exit 2, which means the run itself failed).
+    return getattr(args, "_exit_code", 0)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -205,7 +205,12 @@ def _parse_event_value(raw: str) -> Any:
     if raw.startswith("'") and raw.endswith("'") and len(raw) >= 2:
         return raw[1:-1]
     if _RATIONAL_RE.match(raw):
-        return Fraction(raw)
+        try:
+            return Fraction(raw)
+        except ZeroDivisionError as error:
+            raise ReproError(
+                f"invalid rational {raw!r} in event: zero denominator"
+            ) from error
     if _NUMBER_RE.match(raw):
         return Fraction(raw) if "." in raw else int(raw)
     return raw

@@ -60,6 +60,11 @@ class Interpretation:
     >>> kernel = Interpretation({"C": rel("C")})   # identity kernel
     """
 
+    #: Per-relation ``(start, end)`` character ranges of the ``NAME := expr``
+    #: assignments in the source text; set by the parser, ``None`` for
+    #: programmatically built kernels.
+    source_spans: Mapping[str, tuple[int, int]] | None = None
+
     def __init__(
         self,
         queries: Mapping[str, Expression],

@@ -200,6 +200,10 @@ class Program:
     database).  Arities must be consistent per predicate.
     """
 
+    #: Per-rule ``(start, end)`` character ranges in the source text,
+    #: populated by the parser; empty for programmatically built programs.
+    rule_spans: tuple[tuple[int, int], ...] = ()
+
     def __init__(self, rules: Sequence[Rule]):
         self.rules = tuple(rules)
         if not self.rules:

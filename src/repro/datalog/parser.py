@@ -39,7 +39,10 @@ from fractions import Fraction
 from typing import Any, NamedTuple
 
 from repro.datalog.ast import Atom, Const, Program, Rule, Var, fresh_anonymous
-from repro.errors import DatalogParseError
+from repro.errors import DatalogParseError, describe_position, position_details
+
+#: A rule's half-open character range in the source text.
+Span = tuple[int, int]
 
 _TOKEN_SPEC = [
     ("COMMENT", r"%[^\n]*"),
@@ -71,7 +74,9 @@ def _tokenize(source: str) -> list[_Token]:
         match = _TOKEN_RE.match(source, position)
         if match is None:
             raise DatalogParseError(
-                f"unexpected character {source[position]!r} at offset {position}"
+                f"unexpected character {source[position]!r} at "
+                f"{describe_position(source, position)}",
+                details=position_details(source, position),
             )
         kind = match.lastgroup or ""
         if kind not in ("WS", "COMMENT"):
@@ -93,10 +98,19 @@ def _parse_constant(text: str) -> Any:
 class _Parser:
     """Recursive-descent parser over the token list."""
 
-    def __init__(self, tokens: list[_Token]):
+    def __init__(self, tokens: list[_Token], source: str = ""):
         self._tokens = tokens
+        self._source = source
         self._pos = 0
         self._anon_counter = [0]
+
+    def _fail(self, message: str, position: int | None = None) -> "DatalogParseError":
+        if position is None:
+            return DatalogParseError(message)
+        return DatalogParseError(
+            f"{message} at {describe_position(self._source, position)}",
+            details=position_details(self._source, position),
+        )
 
     def _peek(self) -> _Token | None:
         if self._pos < len(self._tokens):
@@ -106,13 +120,13 @@ class _Parser:
     def _next(self, expected: str | None = None) -> _Token:
         token = self._peek()
         if token is None:
-            raise DatalogParseError(
-                f"unexpected end of input (expected {expected or 'more tokens'})"
+            raise self._fail(
+                f"unexpected end of input (expected {expected or 'more tokens'})",
+                len(self._source) if self._source else None,
             )
         if expected is not None and token.kind != expected:
-            raise DatalogParseError(
-                f"expected {expected} but found {token.text!r} at offset "
-                f"{token.position}"
+            raise self._fail(
+                f"expected {expected} but found {token.text!r}", token.position
             )
         self._pos += 1
         return token
@@ -123,14 +137,25 @@ class _Parser:
     # -- grammar --------------------------------------------------------------
 
     def parse_program(self) -> Program:
-        rules = []
-        while not self._at_end():
-            rules.append(self.parse_rule())
-        if not rules:
+        rules_and_spans = self.parse_rules()
+        if not rules_and_spans:
             raise DatalogParseError("empty program")
-        return Program(rules)
+        program = Program([rule for rule, _span in rules_and_spans])
+        program.rule_spans = tuple(span for _rule, span in rules_and_spans)
+        return program
 
-    def parse_rule(self) -> Rule:
+    def parse_rules(self) -> list[tuple[Rule, Span]]:
+        """Parse every rule with its source span, *without* the safety
+        and arity validation of :class:`Program` — the static analyzer
+        needs the raw rules to report all violations at once."""
+        rules: list[tuple[Rule, Span]] = []
+        while not self._at_end():
+            rules.append(self.parse_rule_with_span())
+        return rules
+
+    def parse_rule_with_span(self) -> tuple[Rule, Span]:
+        start_token = self._peek()
+        start = start_token.position if start_token is not None else 0
         head, keys, weight = self._parse_head()
         body: list[Atom] = []
         token = self._peek()
@@ -144,15 +169,19 @@ class _Parser:
                 while self._peek() is not None and self._peek().kind == "COMMA":
                     self._next("COMMA")
                     body.append(self._parse_atom())
-        self._next("DOT")
-        return Rule(head, body, key_variables=keys, weight_variable=weight)
+        dot = self._next("DOT")
+        rule = Rule(head, body, key_variables=keys, weight_variable=weight)
+        return rule, (start, dot.position + 1)
+
+    def parse_rule(self) -> Rule:
+        return self.parse_rule_with_span()[0]
 
     def _parse_head(self) -> tuple[Atom, frozenset[str], str | None]:
         name = self._next("IDENT")
         if name.text[0].isupper():
-            raise DatalogParseError(
-                f"predicate names must start lowercase: {name.text!r} at "
-                f"offset {name.position}"
+            raise self._fail(
+                f"predicate names must start lowercase: {name.text!r}",
+                name.position,
             )
         terms = []
         keys: set[str] = set()
@@ -160,11 +189,15 @@ class _Parser:
         token = self._peek()
         if token is not None and token.kind != "RPAREN":
             while True:
+                term_token = self._peek()
                 term, is_key = self._parse_head_term()
                 terms.append(term)
                 if is_key:
                     if not isinstance(term, Var):
-                        raise DatalogParseError("only variables can be key-marked")
+                        raise self._fail(
+                            "only variables can be key-marked",
+                            term_token.position if term_token else None,
+                        )
                     keys.add(term.name)
                 token = self._peek()
                 if token is not None and token.kind == "COMMA":
@@ -178,8 +211,9 @@ class _Parser:
             self._next("AT")
             weight_token = self._next("IDENT")
             if not weight_token.text[0].isupper():
-                raise DatalogParseError(
-                    f"weight annotation @{weight_token.text} must be a variable"
+                raise self._fail(
+                    f"weight annotation @{weight_token.text} must be a variable",
+                    weight_token.position,
                 )
             weight = weight_token.text
         return Atom(name.text, terms), frozenset(keys), weight
@@ -195,9 +229,9 @@ class _Parser:
     def _parse_atom(self) -> Atom:
         name = self._next("IDENT")
         if name.text[0].isupper():
-            raise DatalogParseError(
-                f"predicate names must start lowercase: {name.text!r} at "
-                f"offset {name.position}"
+            raise self._fail(
+                f"predicate names must start lowercase: {name.text!r}",
+                name.position,
             )
         terms = []
         self._next("LPAREN")
@@ -216,37 +250,55 @@ class _Parser:
     def _parse_term(self, allow_anonymous: bool) -> Var | Const:
         token = self._peek()
         if token is None:
-            raise DatalogParseError("unexpected end of input in term position")
+            raise self._fail(
+                "unexpected end of input in term position",
+                len(self._source) if self._source else None,
+            )
         if token.kind == "IDENT":
             self._next()
             if token.text == "_":
                 if not allow_anonymous:
-                    raise DatalogParseError(
-                        "anonymous variable '_' is only allowed in rule bodies"
+                    raise self._fail(
+                        "anonymous variable '_' is only allowed in rule bodies",
+                        token.position,
                     )
                 return fresh_anonymous(self._anon_counter)
             if token.text[0].isupper():
                 return Var(token.text)
             return Const(token.text)
-        if token.kind == "NUMBER":
+        if token.kind in ("NUMBER", "STRING"):
             self._next()
-            return Const(_parse_constant(token.text))
-        if token.kind == "STRING":
-            self._next()
-            return Const(_parse_constant(token.text))
-        raise DatalogParseError(
-            f"unexpected token {token.text!r} at offset {token.position}"
-        )
+            try:
+                return Const(_parse_constant(token.text))
+            except (ValueError, ZeroDivisionError) as error:
+                raise self._fail(
+                    f"invalid literal {token.text!r}: {error}", token.position
+                ) from error
+        raise self._fail(f"unexpected token {token.text!r}", token.position)
 
 
 def parse_program(source: str) -> Program:
-    """Parse a full probabilistic datalog program from text."""
-    return _Parser(_tokenize(source)).parse_program()
+    """Parse a full probabilistic datalog program from text.
+
+    The returned program carries ``rule_spans``: per-rule character
+    ranges in ``source``, used by diagnostics.
+    """
+    return _Parser(_tokenize(source), source).parse_program()
+
+
+def parse_rules(source: str) -> list[tuple[Rule, Span]]:
+    """Parse rules with their source spans, skipping program validation.
+
+    Unlike :func:`parse_program` this never raises for unsafe rules or
+    arity clashes — only for syntax errors — so the static analyzer can
+    report every violation of a broken program in one pass.
+    """
+    return _Parser(_tokenize(source), source).parse_rules()
 
 
 def parse_rule(source: str) -> Rule:
     """Parse a single rule from text."""
-    parser = _Parser(_tokenize(source))
+    parser = _Parser(_tokenize(source), source)
     rule = parser.parse_rule()
     if not parser._at_end():
         raise DatalogParseError("trailing input after the rule")

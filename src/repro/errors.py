@@ -10,6 +10,30 @@ from __future__ import annotations
 from typing import Any, Mapping
 
 
+def line_and_column(source: str, offset: int) -> tuple[int, int]:
+    """1-based (line, column) of a character offset in ``source``.
+
+    Shared by the parsers and the static analyzer so every diagnostic
+    and parse error renders positions the same way.
+    """
+    offset = max(0, min(offset, len(source)))
+    line = source.count("\n", 0, offset) + 1
+    column = offset - (source.rfind("\n", 0, offset) + 1) + 1
+    return line, column
+
+
+def position_details(source: str, offset: int) -> dict[str, int]:
+    """Machine-readable source position for an error's ``details``."""
+    line, column = line_and_column(source, offset)
+    return {"offset": offset, "line": line, "column": column}
+
+
+def describe_position(source: str, offset: int) -> str:
+    """Human-readable source position, e.g. ``line 3, column 7``."""
+    line, column = line_and_column(source, offset)
+    return f"line {line}, column {column}"
+
+
 class ReproError(Exception):
     """Base class of all errors raised by this library.
 
@@ -128,6 +152,14 @@ class InvalidRequestError(ServiceError):
     """A query request is malformed: unknown semantics, missing fields,
     unexpected parameters, or values of the wrong type.  The HTTP
     front-end answers 400."""
+
+
+class ProgramRejectedError(InvalidRequestError):
+    """Static analysis found error-level diagnostics in a submitted
+    program, so the service refused to schedule it.  ``details`` carries
+    the rendered diagnostic list under ``"diagnostics"`` and the stable
+    codes under ``"codes"``; the HTTP front-end answers 400 with both in
+    the response body."""
 
 
 class QueueFullError(ServiceError):

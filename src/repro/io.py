@@ -60,7 +60,12 @@ def decode_value(value: Any) -> Any:
         # Use the decimal rendering so "0.1" means 1/10 exactly.
         return Fraction(repr(value))
     if isinstance(value, str) and _RATIONAL_RE.match(value):
-        return Fraction(value)
+        try:
+            return Fraction(value)
+        except ZeroDivisionError:
+            raise SchemaError(
+                f"invalid rational {value!r} in a relation row: zero denominator"
+            ) from None
     if isinstance(value, str):
         return value
     raise SchemaError(f"unsupported JSON value {value!r} in a relation row")

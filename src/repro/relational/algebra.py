@@ -335,11 +335,20 @@ class RepairKey(Expression):
     def __init__(self, child: Expression, key: Sequence[str] = (), weight: str | None = None):
         self.child = child
         self.key = tuple(key)
+        # The ``analysis_code`` detail lets the static analyzer surface
+        # these construction-time rejections under their stable RK003
+        # diagnostic code instead of a generic parse error.
         if len(set(self.key)) != len(self.key):
-            raise AlgebraError(f"repair-key key columns contain duplicates: {self.key!r}")
+            raise AlgebraError(
+                f"repair-key key columns contain duplicates: {self.key!r}",
+                details={"analysis_code": "RK003"},
+            )
         self.weight = weight
         if weight is not None and weight in self.key:
-            raise AlgebraError(f"weight column {weight!r} cannot also be a key column")
+            raise AlgebraError(
+                f"weight column {weight!r} cannot also be a key column",
+                details={"analysis_code": "RK003"},
+            )
 
     def output_columns(self, schema: Schema) -> tuple[str, ...]:
         cols = self.child.output_columns(schema)

@@ -38,7 +38,7 @@ import re
 from fractions import Fraction
 from typing import Any, NamedTuple
 
-from repro.errors import AlgebraError
+from repro.errors import AlgebraError, describe_position, position_details
 from repro.relational.algebra import (
     Difference,
     Expression,
@@ -115,7 +115,9 @@ def _tokenize(source: str) -> list[_Token]:
         match = _TOKEN_RE.match(source, position)
         if match is None:
             raise AlgebraParseError(
-                f"unexpected character {source[position]!r} at offset {position}"
+                f"unexpected character {source[position]!r} at "
+                f"{describe_position(source, position)}",
+                details=position_details(source, position),
             )
         kind = match.lastgroup or ""
         if kind not in ("WS", "COMMENT"):
@@ -135,11 +137,20 @@ def _parse_constant(text: str) -> Any:
 
 
 class _Parser:
-    def __init__(self, tokens: list[_Token]):
+    def __init__(self, tokens: list[_Token], source: str = ""):
         self._tokens = tokens
+        self._source = source
         self._pos = 0
 
     # -- token plumbing ----------------------------------------------------
+
+    def _fail(self, message: str, position: int | None = None) -> AlgebraParseError:
+        if position is None:
+            return AlgebraParseError(message)
+        return AlgebraParseError(
+            f"{message} at {describe_position(self._source, position)}",
+            details=position_details(self._source, position),
+        )
 
     def _peek(self) -> _Token | None:
         return self._tokens[self._pos] if self._pos < len(self._tokens) else None
@@ -147,15 +158,27 @@ class _Parser:
     def _next(self, expected: str | None = None) -> _Token:
         token = self._peek()
         if token is None:
-            raise AlgebraParseError(
-                f"unexpected end of input (expected {expected or 'more tokens'})"
+            raise self._fail(
+                f"unexpected end of input (expected {expected or 'more tokens'})",
+                len(self._source) if self._source else None,
             )
         if expected is not None and token.kind != expected:
-            raise AlgebraParseError(
-                f"expected {expected} but found {token.text!r} at offset {token.position}"
+            raise self._fail(
+                f"expected {expected} but found {token.text!r}", token.position
             )
         self._pos += 1
         return token
+
+    def _constant(self, token: _Token) -> Any:
+        """Parse a constant token, turning ``ValueError`` and the
+        ``1/0``-style ``ZeroDivisionError`` into positioned parse errors
+        instead of leaking raw built-in exceptions."""
+        try:
+            return _parse_constant(token.text)
+        except (ValueError, ZeroDivisionError) as error:
+            raise self._fail(
+                f"invalid literal {token.text!r}: {error}", token.position
+            ) from error
 
     def _at_word(self, words: set[str]) -> bool:
         token = self._peek()
@@ -337,7 +360,7 @@ class _Parser:
             return ColumnEq(column, other)
         if value_token.kind in ("NUMBER", "STRING"):
             self._next(value_token.kind)
-            value = _parse_constant(value_token.text)
+            value = self._constant(value_token)
             if operator.kind == "EQ":
                 return ValueEq(column, value)
             return ValueNe(column, value)
@@ -358,7 +381,7 @@ class _Parser:
                     raise AlgebraParseError("unexpected end of input in literal row")
                 if value_token.kind in ("NUMBER", "STRING"):
                     self._next(value_token.kind)
-                    values.append(_parse_constant(value_token.text))
+                    values.append(self._constant(value_token))
                 elif value_token.kind == "NAME":
                     values.append(self._next("NAME").text)
                 else:
@@ -393,10 +416,14 @@ def parse_expression(source: str) -> Expression:
     >>> expr.is_deterministic()
     False
     """
-    parser = _Parser(_tokenize(source))
+    parser = _Parser(_tokenize(source), source)
     expression = parser.parse_expression()
     if not parser.at_end():
-        raise AlgebraParseError("trailing input after the expression")
+        token = parser._peek()
+        raise parser._fail(
+            "trailing input after the expression",
+            token.position if token else None,
+        )
     return expression
 
 
@@ -419,17 +446,27 @@ def parse_interpretation(source: str):
     """
     from repro.core.interpretation import Interpretation
 
-    parser = _Parser(_tokenize(source))
+    parser = _Parser(_tokenize(source), source)
     queries: dict[str, Expression] = {}
+    spans: dict[str, tuple[int, int]] = {}
     while not parser.at_end():
-        name = parser._next("NAME").text
+        name_token = parser._next("NAME")
+        name = name_token.text
         if name in _KEYWORDS:
-            raise AlgebraParseError(f"keyword {name!r} cannot name a relation")
+            raise parser._fail(
+                f"keyword {name!r} cannot name a relation", name_token.position
+            )
         parser._next("ASSIGN")
         expression = parser.parse_expression()
         if name in queries:
-            raise AlgebraParseError(f"relation {name!r} assigned twice")
+            raise parser._fail(
+                f"relation {name!r} assigned twice", name_token.position
+            )
         queries[name] = expression
+        last = parser._tokens[parser._pos - 1]
+        spans[name] = (name_token.position, last.position + len(last.text))
     if not queries:
         raise AlgebraParseError("empty interpretation")
-    return Interpretation(queries)
+    kernel = Interpretation(queries)
+    kernel.source_spans = spans
+    return kernel

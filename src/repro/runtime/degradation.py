@@ -47,6 +47,7 @@ from repro.relational.database import Database
 from repro.runtime.context import RunContext, ensure_context
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.analysis.hints import PlanHints
     from repro.perf.cache import TransitionCache
     from repro.perf.parallel import ParallelConfig
     from repro.runtime.checkpoint import Checkpoint
@@ -153,6 +154,7 @@ def evaluate_forever_resilient(
     checkpoint_path: "str | Path | None" = None,
     resume: "Checkpoint | str | Path | None" = None,
     cache: "TransitionCache | None" = None,
+    hints: "PlanHints | None" = None,
 ) -> Union[ExactResult, SamplingResult]:
     """Evaluate a forever-query, degrading instead of aborting.
 
@@ -176,6 +178,14 @@ def evaluate_forever_resilient(
     :class:`~repro.service.EngineSession` makes repeated queries on the
     same program cheap; it overrides the policy's ``mcmc_cache_size``.
 
+    ``hints`` are the static analyzer's
+    :class:`~repro.analysis.hints.PlanHints` for the query's kernel.  A
+    kernel the analyzer proved deterministic (``PH001``) induces a
+    one-state-per-step chain, so every rung below exact could only
+    re-estimate a number the exact rung computes outright; the ladder
+    collapses to ``("exact",)`` and the shortcut is recorded in the run
+    report.
+
     Examples
     --------
     >>> from repro.workloads import cycle_graph, random_walk_query
@@ -194,6 +204,13 @@ def evaluate_forever_resilient(
     generator = make_rng(rng)
 
     ladder = list(policy.ladder)
+    if hints is not None and hints.deterministic and len(ladder) > 1:
+        # PH001: no repair-key choice anywhere in the kernel — the chain
+        # is a deterministic trajectory; sampling rungs cannot help.
+        context.record_event(
+            "plan hint PH001 (deterministic kernel): using the exact rung only"
+        )
+        ladder = ["exact"]
     if resume is not None and "mcmc" in ladder:
         # The checkpoint proves the exact rungs already overflowed (or
         # the caller decided for MCMC); do not rebuild the chain.

@@ -19,12 +19,14 @@ from typing import Any
 from repro.errors import (
     InvalidRequestError,
     JobNotFoundError,
+    ProgramRejectedError,
     QueueFullError,
     ServiceError,
 )
 
 _ERROR_TYPES = {
     "InvalidRequestError": InvalidRequestError,
+    "ProgramRejectedError": ProgramRejectedError,
     "QueueFullError": QueueFullError,
     "JobNotFoundError": JobNotFoundError,
 }

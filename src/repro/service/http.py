@@ -18,6 +18,10 @@ unknown job → 404, full queue → 429 (the back-pressure contract: a
 saturated server *rejects* rather than queueing without bound), any
 other :class:`~repro.errors.ReproError` → 400, everything else → 500.
 Every error body is ``{"error": {"type", "message", "details"}}``.
+A program the static analyzer rejects at admission
+(:class:`~repro.errors.ProgramRejectedError`) answers 400 with the
+full diagnostic list under ``details.diagnostics`` and the rejecting
+codes under ``details.codes`` — see ``docs/analysis.md``.
 """
 
 from __future__ import annotations

@@ -84,6 +84,7 @@ class ServiceMetrics:
         self.cancelled = 0
         self.rejected = 0
         self.result_cache_hits = 0
+        self.admission_rejections: dict[str, int] = {}
         self._queue_wait: dict[str, LatencyHistogram] = {}
         self._run: dict[str, LatencyHistogram] = {}
 
@@ -103,6 +104,20 @@ class ServiceMetrics:
     def job_rejected(self) -> None:
         with self._lock:
             self.rejected += 1
+
+    def admission_rejected(self, codes) -> None:
+        """Record one program rejected by static analysis.
+
+        ``codes`` are the diagnostic codes (``RK001``, ``SF001``, ...)
+        that caused the rejection; each is counted so ``/v1/metrics``
+        shows *why* programs bounce, not just how many.
+        """
+        with self._lock:
+            self.rejected += 1
+            for code in codes or ("unknown",):
+                self.admission_rejections[code] = (
+                    self.admission_rejections.get(code, 0) + 1
+                )
 
     def job_finished(
         self,
@@ -141,6 +156,9 @@ class ServiceMetrics:
                     "rejected": self.rejected,
                     "result_cache_hits": self.result_cache_hits,
                 },
+                "admission_rejections": dict(
+                    sorted(self.admission_rejections.items())
+                ),
             }
             queue_wait = dict(self._queue_wait)
             run = dict(self._run)

@@ -26,6 +26,7 @@ import copy
 import time
 from dataclasses import dataclass, field
 
+from repro.errors import ProgramRejectedError
 from repro.runtime import Budget
 from repro.service.metrics import ServiceMetrics
 from repro.service.request import QueryRequest
@@ -124,7 +125,21 @@ class QueryService:
     # -- the serving API ------------------------------------------------
 
     def submit(self, request: QueryRequest) -> Job:
-        """Admit one request (raises :class:`QueueFullError` at capacity)."""
+        """Admit one request (raises :class:`QueueFullError` at capacity).
+
+        Admission runs the static analyzer first (via the session pool,
+        so an accepted program's parse work is already done when a
+        worker picks the job up): a program with error-level diagnostics
+        — or an event that is provably constant-false against it — is
+        rejected here with :class:`~repro.errors.ProgramRejectedError`
+        (HTTP 400, diagnostics in the body) and never enters the queue.
+        """
+        try:
+            session = self.sessions.get_or_create(request)
+            session.check_event(request.event)
+        except ProgramRejectedError as error:
+            self.metrics.admission_rejected(error.details.get("codes", ()))
+            raise
         return self.scheduler.submit(request)
 
     def job(self, job_id: str) -> Job:

@@ -22,9 +22,12 @@ import time
 from collections import OrderedDict
 from typing import Any, Mapping
 
+from repro.analysis import AnalysisResult, DiagnosticReport, analyze_source
+from repro.analysis.datalog import check_rules
+from repro.analysis.kernel import check_kernel
 from repro.core import ForeverQuery, InflationaryQuery
 from repro.core.events import parse_event
-from repro.errors import InvalidRequestError, ReproError
+from repro.errors import InvalidRequestError, ProgramRejectedError, ReproError
 from repro.io import database_from_json, pc_database_from_json
 from repro.perf.cache import TransitionCache
 from repro.runtime import DegradationPolicy, RunContext, evaluate_forever_resilient
@@ -73,6 +76,24 @@ def result_payload(result) -> dict:
     return _sampling_payload(result)
 
 
+def _rejection(report: DiagnosticReport) -> ProgramRejectedError:
+    """A 400-mapped error carrying the analyzer's findings.
+
+    The rejecting codes are the error-level ones when any exist;
+    otherwise (event admission promotes ``DD002``) every reported code.
+    """
+    primary = report.errors or list(report)
+    summary = primary[0].message if primary else "program rejected"
+    codes = list(report.error_codes()) or list(report.codes())
+    return ProgramRejectedError(
+        f"program rejected by static analysis: {summary}",
+        details={
+            "diagnostics": [d.as_dict() for d in report],
+            "codes": codes,
+        },
+    )
+
+
 class EngineSession:
     """A prepared program: parsed artifacts plus a warm transition cache.
 
@@ -114,6 +135,7 @@ class EngineSession:
         self.program = program
         self.database = database
         self.pc_tables = pc_tables
+        self.analysis: AnalysisResult | None = None
         self.created_at = time.time()
         self.requests_served = 0
         self._served_lock = threading.Lock()
@@ -132,35 +154,37 @@ class EngineSession:
         request: QueryRequest,
         cache_size: int = DEFAULT_TRANSITION_CACHE_SIZE,
     ) -> "EngineSession":
-        """Parse and compile a request's program/database once."""
+        """Parse, statically analyze, and compile a request's program once.
+
+        The full analyzer (:mod:`repro.analysis`) runs here, at admission
+        time; a program with error-level diagnostics never becomes a
+        session — :class:`~repro.errors.ProgramRejectedError` carries the
+        diagnostic list (rendered as HTTP 400 by the service).  Event-
+        dependent checks are *not* run here (a session is shared across
+        events); see :meth:`check_event`.
+        """
         database = database_from_json(dict(request.database))
-        if request.semantics == "datalog":
-            from repro.datalog import parse_program
-
-            program = parse_program(request.program)
-            pc = (
-                pc_database_from_json(dict(request.pc_tables))
-                if request.pc_tables is not None
-                else None
-            )
-            return cls(
-                key=request.session_key(),
-                semantics="datalog",
-                program=program,
-                database=database,
-                pc_tables=pc,
-                cache_size=cache_size,
-            )
-        from repro.relational.parser import parse_interpretation
-
-        kernel = parse_interpretation(request.program)
-        return cls(
+        pc = (
+            pc_database_from_json(dict(request.pc_tables))
+            if request.pc_tables is not None
+            else None
+        )
+        analysis = analyze_source(
+            request.semantics, request.program, database=database, pc_tables=pc
+        )
+        if analysis.report.has_errors:
+            raise _rejection(analysis.report)
+        session = cls(
             key=request.session_key(),
             semantics=request.semantics,
-            kernel=kernel,
+            kernel=analysis.kernel,
+            program=analysis.program,
             database=database,
+            pc_tables=pc,
             cache_size=cache_size,
         )
+        session.analysis = analysis
+        return session
 
     # -- introspection --------------------------------------------------
 
@@ -169,14 +193,59 @@ class EngineSession:
         """The session's warm transition cache (``None`` for datalog)."""
         return self._cache
 
+    @property
+    def hints(self):
+        """The analyzer's :class:`~repro.analysis.hints.PlanHints` (or None)."""
+        return self.analysis.hints if self.analysis is not None else None
+
+    def check_event(self, event_text: str) -> DiagnosticReport:
+        """Run the event-dependent checks for one request.
+
+        Sessions are shared across events, so :meth:`prepare` cannot run
+        these.  Returns the report (warnings like dead rules included);
+        raises :class:`~repro.errors.ProgramRejectedError` when the event
+        itself is broken (``PE002``) or provably constant-false against
+        this program (``DD002``/``DD003`` are error-level here: evaluating
+        would silently return probability 0 for a typo).
+        """
+        report = DiagnosticReport()
+        try:
+            event = parse_event(event_text)
+        except ReproError as error:
+            report.add("PE002", f"cannot parse the query event: {error}")
+            raise _rejection(report)
+        if self.program is not None:
+            full = check_rules(
+                list(self.program.rules),
+                database=self.database,
+                pc_tables=self.pc_tables,
+                event=event,
+            )
+        else:
+            full = check_kernel(
+                self.kernel,
+                database=self.database,
+                event=event,
+                semantics=self.semantics,
+            )
+        event_codes = {"DD001", "DD002", "DD003", "DD004", "PH003"}
+        for diagnostic in full:
+            if diagnostic.code in event_codes:
+                report.extend([diagnostic])
+        if any(d.code in ("DD002", "DD003") for d in report):
+            raise _rejection(report)
+        return report
+
     def stats(self) -> dict:
         """JSON-friendly session snapshot for the metrics endpoint."""
+        hints = self.hints
         return {
             "key": self.key,
             "semantics": self.semantics,
             "created_at": self.created_at,
             "requests_served": self.requests_served,
             "transition_cache": self._cache.stats() if self._cache else None,
+            "plan_hints": hints.as_dict() if hints is not None else None,
         }
 
     # -- evaluation -----------------------------------------------------
@@ -207,6 +276,11 @@ class EngineSession:
         with self._served_lock:
             self.requests_served += 1
         return payload
+
+    @property
+    def _deterministic(self) -> bool:
+        hints = self.hints
+        return hints is not None and hints.deterministic
 
     def _parallel_config(self, params: Mapping[str, Any]):
         workers = params.get("workers") or 1
@@ -260,6 +334,7 @@ class EngineSession:
                 context=context,
                 rng=params.get("seed"),
                 cache=cache,
+                hints=self.hints,
             )
             payload = result_payload(result)
             if context is not None:
@@ -272,6 +347,17 @@ class EngineSession:
             or params.get("samples") is not None
             or params.get("epsilon") is not None
         )
+        if wants_sampling and self._deterministic:
+            # PH001: the kernel makes no probabilistic choice — the
+            # requested estimate would converge on a number a single
+            # exact run computes outright.
+            result = evaluate_forever_exact(
+                query, self.database, max_states=max_states,
+                context=context, cache=cache,
+            )
+            payload = result_payload(result)
+            payload["hint_applied"] = "PH001"
+            return payload
         if wants_sampling:
             result = evaluate_forever_mcmc(
                 query,
@@ -308,7 +394,20 @@ class EngineSession:
 
         params = request.params
         query = InflationaryQuery(self.kernel, parse_event(request.event))
-        if params.get("samples") is not None or params.get("epsilon") is not None:
+        wants_sampling = (
+            params.get("samples") is not None or params.get("epsilon") is not None
+        )
+        if wants_sampling and self._deterministic:
+            result = evaluate_inflationary_exact(
+                query,
+                self.database,
+                max_states=params.get("max_states") or 100_000,
+                context=context,
+            )
+            payload = result_payload(result)
+            payload["hint_applied"] = "PH001"
+            return payload
+        if wants_sampling:
             result = evaluate_inflationary_sampling(
                 query,
                 self.database,
@@ -336,7 +435,23 @@ class EngineSession:
 
         params = request.params
         event = parse_event(request.event)
-        if params.get("samples") is not None or params.get("epsilon") is not None:
+        wants_sampling = (
+            params.get("samples") is not None or params.get("epsilon") is not None
+        )
+        if wants_sampling and self._deterministic:
+            result = evaluate_datalog_exact(
+                self.program,
+                self.database,
+                event,
+                pc_tables=self.pc_tables,
+                max_states=params.get("max_states") or 100_000,
+                context=context,
+            )
+            payload = result_payload(result)
+            payload["pc_worlds"] = result.details.get("pc_worlds", 1)
+            payload["hint_applied"] = "PH001"
+            return payload
+        if wants_sampling:
             result = evaluate_datalog_sampling(
                 self.program,
                 self.database,

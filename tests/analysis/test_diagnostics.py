@@ -1,0 +1,101 @@
+"""Units for the diagnostic data model (codes, spans, report)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    CODES,
+    ERROR,
+    HINT,
+    SEVERITIES,
+    WARNING,
+    DiagnosticReport,
+    SourceSpan,
+    severity_of,
+)
+
+
+class TestRegistry:
+    def test_every_code_has_severity_and_description(self):
+        for code, (severity, description) in CODES.items():
+            assert severity in SEVERITIES
+            assert description
+            assert severity_of(code) == severity
+
+    def test_code_families_match_severities(self):
+        # Parse, arity/schema, safety, and repair-key shape problems are
+        # errors; structural/dead-code findings warn; PH* are plan hints.
+        for code in CODES:
+            if code.startswith(("PE", "AR", "SF", "RK")):
+                assert severity_of(code) == ERROR, code
+            if code.startswith("PH"):
+                assert severity_of(code) in (HINT, WARNING), code
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            severity_of("XX999")
+        with pytest.raises(ValueError):
+            DiagnosticReport().add("XX999", "nope")
+
+
+class TestSourceSpan:
+    def test_from_offsets_computes_line_and_column(self):
+        source = "first\nsecond line\nthird"
+        span = SourceSpan.from_offsets(source, source.index("second"), 17)
+        assert (span.line, span.column) == (2, 1)
+        span = SourceSpan.from_offsets(source, source.index("third"), 23)
+        assert (span.line, span.column) == (3, 1)
+
+    def test_as_dict_round_trips_offsets(self):
+        span = SourceSpan.from_offsets("abc\ndef", 4, 7)
+        payload = span.as_dict()
+        assert payload["start"] == 4 and payload["end"] == 7
+        assert payload["line"] == 2 and payload["column"] == 1
+
+
+class TestReport:
+    def make(self) -> DiagnosticReport:
+        report = DiagnosticReport()
+        report.add("PH001", "deterministic")
+        report.add("SF001", "unsafe", subject="p")
+        report.add("DD001", "dead rule", subject="q")
+        report.add("SF001", "unsafe again", subject="r")
+        return report
+
+    def test_partitions_by_severity(self):
+        report = self.make()
+        assert [d.code for d in report.errors] == ["SF001", "SF001"]
+        assert [d.code for d in report.warnings] == ["DD001"]
+        assert [d.code for d in report.hints] == ["PH001"]
+        assert report.has_errors and bool(report) and len(report) == 4
+
+    def test_codes_deduplicate_in_first_appearance_order(self):
+        report = self.make()
+        assert list(report.codes()) == ["PH001", "SF001", "DD001"]
+        assert list(report.error_codes()) == ["SF001"]
+
+    def test_as_dict_counts(self):
+        payload = self.make().as_dict()
+        assert payload["errors"] == 2
+        assert payload["warnings"] == 1
+        assert payload["hints"] == 1
+        assert len(payload["diagnostics"]) == 4
+
+    def test_render_lines_name_and_position(self):
+        report = DiagnosticReport()
+        source = "C := repair-key[K@P](E)\n"
+        span = SourceSpan.from_offsets(source, 0, len(source) - 1)
+        report.add("RK001", "key column missing", span=span, suggestion="fix it")
+        (line,) = report.render_lines("walk.ra")
+        assert line.startswith("walk.ra:1:1: error RK001:")
+        assert "(fix: fix it)" in line
+
+    def test_extend_merges_reports(self):
+        first = DiagnosticReport()
+        first.add("PH001", "deterministic")
+        second = DiagnosticReport()
+        second.add("SF001", "unsafe")
+        first.extend(second)
+        assert [d.code for d in first] == ["PH001", "SF001"]
+        assert first.has_errors

@@ -1,0 +1,128 @@
+"""Golden-file tests for the static analyzer.
+
+Every file under ``golden/`` is a program in one of the two languages
+with ``%!`` directive comments (``%`` starts a comment in both
+grammars) declaring what the analyzer must say about it::
+
+    %! semantics: inflationary      -- optional; default from extension
+    %! db: walk.db.json             -- optional database, relative path
+    %! event: C(b)                  -- optional query event
+    %! expect: RK001                -- this code must be reported
+    %! absent: SF001                -- this code must NOT be reported
+
+A file with no error-level ``expect`` directive must analyze without
+error-level diagnostics, so every ``clean_*`` / ``ph*`` file doubles as
+the non-triggering counterpart of the error codes.  A meta-test checks
+the directory plus the two programmatically-tested codes cover the
+whole registry.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import CODES, ERROR, analyze_source, severity_of
+from repro.analysis.datalog import check_rules
+from repro.datalog.ast import Atom, Rule, Var
+
+GOLDEN = Path(__file__).parent / "golden"
+PROGRAMS = sorted(GOLDEN.glob("*.ra")) + sorted(GOLDEN.glob("*.dl"))
+
+#: Codes whose triggering shape the parsers reject, so no golden file
+#: can express them; they are covered programmatically below.
+PARSE_BLOCKED = {"SF003", "SF004"}
+
+
+def load_case(path: Path) -> dict:
+    source = path.read_text(encoding="utf-8")
+    case = {
+        "source": source,
+        "semantics": "forever" if path.suffix == ".ra" else "datalog",
+        "db": None,
+        "event": None,
+        "expect": [],
+        "absent": [],
+    }
+    for line in source.splitlines():
+        if not line.startswith("%!"):
+            continue
+        key, _, value = line[2:].partition(":")
+        key, value = key.strip(), value.strip()
+        if key in ("expect", "absent"):
+            case[key].append(value)
+        elif key in ("semantics", "event"):
+            case[key] = value
+        elif key == "db":
+            case["db"] = json.loads((GOLDEN / value).read_text(encoding="utf-8"))
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"{path.name}: unknown directive {key!r}")
+    return case
+
+
+@pytest.mark.parametrize("path", PROGRAMS, ids=lambda p: p.name)
+def test_golden_program(path: Path):
+    case = load_case(path)
+    result = analyze_source(
+        case["semantics"],
+        case["source"],
+        database=case["db"],
+        event=case["event"],
+    )
+    reported = set(result.report.codes())
+    for code in case["expect"]:
+        assert code in reported, (
+            f"{path.name}: expected {code}, got {sorted(reported)}"
+        )
+    for code in case["absent"]:
+        assert code not in reported, f"{path.name}: {code} must not fire"
+    expects_errors = any(severity_of(code) == ERROR for code in case["expect"])
+    if not expects_errors:
+        assert result.ok, (
+            f"{path.name} should be error-free, got "
+            f"{[d.render(path.name) for d in result.report.errors]}"
+        )
+        assert result.hints is not None
+
+
+def test_every_code_has_a_triggering_case():
+    covered = set(PARSE_BLOCKED)
+    for path in PROGRAMS:
+        covered.update(load_case(path)["expect"])
+    assert covered == set(CODES)
+
+
+def test_error_spans_point_into_the_source():
+    case = load_case(GOLDEN / "rk001_bad_key.ra")
+    result = analyze_source(case["semantics"], case["source"], database=case["db"])
+    (error,) = result.report.errors
+    assert error.code == "RK001"
+    assert error.span is not None
+    assert 1 <= error.span.line <= case["source"].count("\n") + 1
+    assert "RK001" in error.render("walk.ra")
+
+
+# -- parse-blocked codes, triggered on hand-built ASTs ----------------------
+
+
+def test_sf003_key_variable_not_in_head():
+    rule = Rule(
+        head=Atom("p", (Var("X"),)),
+        body=(Atom("q", (Var("X"), Var("Y"))),),
+        key_variables=("Y",),
+    )
+    report = check_rules([rule])
+    assert "SF003" in report.codes()
+
+
+def test_sf004_anonymous_variable_in_head():
+    from repro.datalog.ast import _ANON_PREFIX
+
+    rule = Rule(
+        head=Atom("p", (Var(_ANON_PREFIX + "0"),)),
+        body=(Atom("q", (Var(_ANON_PREFIX + "0"),)),),
+    )
+    report = check_rules([rule])
+    assert "SF004" in report.codes()

@@ -1,0 +1,96 @@
+"""Plan hints and how the runtime consumes them."""
+
+from __future__ import annotations
+
+from repro.analysis import PlanHints, analyze_source
+from repro.core import ForeverQuery
+from repro.core.events import parse_event
+from repro.io import database_from_json
+from repro.relational.parser import parse_interpretation
+from repro.runtime import DegradationPolicy, RunContext, evaluate_forever_resilient
+
+WALK = "C := rename[J->I](project[J](repair-key[I@P](C join E)))"
+DETERMINISTIC = "C := rename[J->I](project[J](C join E)) union C"
+
+WALK_DB = {
+    "relations": {
+        "C": {"columns": ["I"], "rows": [["a"]]},
+        "E": {
+            "columns": ["I", "J", "P"],
+            "rows": [["a", "b", 1], ["b", "a", 1], ["a", "a", 1]],
+        },
+    }
+}
+
+
+class TestForKernel:
+    def test_probabilistic_walk(self):
+        kernel = parse_interpretation(WALK)
+        hints = PlanHints.for_kernel(
+            kernel, event=parse_event("C(b)"), semantics="forever"
+        )
+        assert not hints.deterministic
+        assert hints.pc_free
+        assert hints.possibly_non_absorbing
+
+    def test_deterministic_accumulating_kernel(self):
+        kernel = parse_interpretation(DETERMINISTIC)
+        hints = PlanHints.for_kernel(kernel, semantics="inflationary")
+        assert hints.deterministic
+        assert hints.pc_free
+        assert not hints.possibly_non_absorbing
+
+    def test_as_dict_omits_unset_linear(self):
+        kernel = parse_interpretation(WALK)
+        hints = PlanHints.for_kernel(kernel)
+        assert "linear" not in hints.as_dict()
+
+
+class TestForProgram:
+    def test_certain_program_is_deterministic(self):
+        result = analyze_source("datalog", "t(X, Y) :- e(X, Y).\n")
+        assert result.hints is not None
+        assert result.hints.deterministic
+        assert result.hints.linear is True
+
+    def test_repair_key_program_is_not(self):
+        result = analyze_source(
+            "datalog", "c(a).\nc2(X*, Y)@P :- c(X), e(X, Y, P).\nc(Y) :- c2(X, Y).\n"
+        )
+        assert result.hints is not None
+        assert not result.hints.deterministic
+
+
+class TestDegradationShortcut:
+    def evaluate(self, hints):
+        query = ForeverQuery(
+            parse_interpretation(DETERMINISTIC), parse_event("C(b)")
+        )
+        db = database_from_json(
+            {
+                "relations": {
+                    "C": {"columns": ["I"], "rows": [["a"]]},
+                    "E": {"columns": ["I", "J"], "rows": [["a", "b"]]},
+                }
+            }
+        )
+        context = RunContext()
+        result = evaluate_forever_resilient(
+            query,
+            db,
+            policy=DegradationPolicy(mode="auto"),
+            context=context,
+            hints=hints,
+        )
+        return result, context.report()
+
+    def test_deterministic_hint_collapses_the_ladder(self):
+        hints = PlanHints(deterministic=True)
+        result, report = self.evaluate(hints)
+        assert result.probability == 1
+        assert any("PH001" in event for event in report.events)
+
+    def test_without_hints_no_shortcut_event(self):
+        result, report = self.evaluate(None)
+        assert result.probability == 1
+        assert not any("PH001" in event for event in report.events)

@@ -1,0 +1,100 @@
+"""The ``repro lint`` subcommand: exit codes, rendering, JSON mode."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+WALK_DB = {
+    "relations": {
+        "C": {"columns": ["I"], "rows": [["a"]]},
+        "E": {
+            "columns": ["I", "J", "P"],
+            "rows": [["a", "b", 1], ["b", "a", 1], ["a", "a", 1]],
+        },
+    }
+}
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    path = tmp_path / "db.json"
+    path.write_text(json.dumps(WALK_DB), encoding="utf-8")
+    return str(path)
+
+
+def write(tmp_path, name: str, text: str) -> str:
+    path = tmp_path / name
+    path.write_text(text, encoding="utf-8")
+    return str(path)
+
+
+class TestExitCodes:
+    def test_seeded_repair_key_bug_exits_1(self, tmp_path, db_path, capsys):
+        bad = write(
+            tmp_path, "bad.ra",
+            "C := rename[J->I](project[J](repair-key[K@P](C join E)))\n",
+        )
+        assert main(["lint", bad, "--db", db_path, "--event", "C(b)"]) == 1
+        out = capsys.readouterr().out
+        assert "error RK001" in out
+        assert "bad.ra:1:1" in out
+
+    def test_unsafe_rule_exits_1(self, tmp_path, capsys):
+        unsafe = write(tmp_path, "unsafe.dl", "p(X, Y) :- q(X).\n")
+        assert main(["lint", unsafe]) == 1
+        assert "error SF001" in capsys.readouterr().out
+
+    def test_clean_program_with_warnings_exits_0(self, tmp_path, db_path, capsys):
+        good = write(
+            tmp_path, "good.ra",
+            "C := rename[J->I](project[J](repair-key[I@P](C join E)))\n",
+        )
+        assert main(["lint", good, "--db", db_path, "--event", "C(b)"]) == 0
+        out = capsys.readouterr().out
+        assert "warning PH003" in out
+
+    def test_syntax_error_exits_1_with_position(self, tmp_path, capsys):
+        broken = write(tmp_path, "broken.dl", "p(X :- q(X).\n")
+        assert main(["lint", broken]) == 1
+        assert "PE001" in capsys.readouterr().out
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope.dl")]) == 2
+
+
+class TestModes:
+    def test_json_payload_carries_diagnostics_and_hints(
+        self, tmp_path, db_path, capsys
+    ):
+        good = write(
+            tmp_path, "good.ra",
+            "C := rename[J->I](project[J](repair-key[I@P](C join E)))\n",
+        )
+        assert main(["lint", good, "--db", db_path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 0
+        assert payload["plan_hints"]["pc_free"] is True
+        assert payload["program"] == good
+
+    def test_semantics_inferred_from_extension(self, tmp_path, capsys):
+        kernel = write(tmp_path, "k.ra", "C := C\n")
+        assert main(["lint", kernel]) == 0
+        assert "semantics: forever" in capsys.readouterr().out
+
+    def test_semantics_override(self, tmp_path, capsys):
+        kernel = write(tmp_path, "k.ra", "C := C union C\n")
+        assert main(["lint", kernel, "--semantics", "inflationary"]) == 0
+        assert "semantics: inflationary" in capsys.readouterr().out
+
+    def test_other_commands_keep_exit_0(self, tmp_path, db_path, capsys):
+        kernel = write(
+            tmp_path, "walk.ra",
+            "C := rename[J->I](project[J](repair-key[I@P](C join E)))\n",
+        )
+        code = main(["forever", kernel, "--db", db_path, "--event", "C(b)"])
+        assert code == 0
+        assert "probability" in capsys.readouterr().out

@@ -1,0 +1,86 @@
+"""Every program this repo ships or generates lints without errors.
+
+Covers the bundled ``examples/programs/`` files (the same set CI lints)
+and, property-style, the workload generators — whatever
+:func:`~repro.workloads.random_program` produces must satisfy the
+analyzer's error-level checks, since the generators only emit valid
+programs by construction.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import analyze_kernel, analyze_program, analyze_source
+from repro.workloads import (
+    cycle_graph,
+    random_walk_query,
+    reachability_program,
+    reachability_query,
+)
+from repro.workloads.programs import random_program
+
+REPO = Path(__file__).resolve().parents[2]
+EXAMPLES = REPO / "examples" / "programs"
+
+EXAMPLE_CASES = [
+    ("random_walk.ra", "forever", "random_walk.db.json", "C(b)"),
+    ("reachability.dl", "datalog", "reachability.db.json", "c(c)"),
+    ("deterministic_reach.ra", "inflationary", "deterministic_reach.db.json", "C(c)"),
+]
+
+
+@pytest.mark.parametrize(
+    "program, semantics, db, event", EXAMPLE_CASES, ids=lambda c: str(c)
+)
+def test_bundled_examples_lint_clean(program, semantics, db, event):
+    source = (EXAMPLES / program).read_text(encoding="utf-8")
+    database = json.loads((EXAMPLES / db).read_text(encoding="utf-8"))
+    result = analyze_source(semantics, source, database=database, event=event)
+    assert result.ok, [d.render(program) for d in result.report.errors]
+    assert result.hints is not None
+
+
+def test_examples_manifest_is_exhaustive():
+    listed = {case[0] for case in EXAMPLE_CASES} | {
+        case[2] for case in EXAMPLE_CASES
+    }
+    on_disk = {
+        path.name
+        for path in EXAMPLES.iterdir()
+        if path.suffix in (".ra", ".dl", ".json")
+    }
+    assert on_disk == listed
+
+
+@given(st.integers(min_value=0, max_value=200))
+def test_random_programs_lint_clean(seed):
+    program, edb = random_program(seed)
+    result = analyze_program(program, database=edb)
+    assert not result.report.has_errors, [
+        d.render("random") for d in result.report.errors
+    ]
+
+
+@pytest.mark.parametrize("nodes", [3, 4, 5])
+def test_workload_queries_lint_clean(nodes):
+    graph = cycle_graph(nodes)
+    walk, walk_db = random_walk_query(graph, "n0", "n1")
+    result = analyze_kernel(
+        walk.kernel, database=walk_db, event=walk.event, semantics="forever"
+    )
+    assert not result.report.has_errors
+
+    reach, reach_db = reachability_query(graph, "n0", "n1")
+    result = analyze_kernel(
+        reach.kernel, database=reach_db, event=reach.event, semantics="inflationary"
+    )
+    assert not result.report.has_errors
+
+    program, edb = reachability_program(graph, "n0")
+    result = analyze_program(program, database=edb)
+    assert not result.report.has_errors

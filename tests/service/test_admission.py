@@ -1,0 +1,147 @@
+"""Static-analysis admission: rejected programs, applied plan hints."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ProgramRejectedError
+from repro.service import QueryRequest, QueryService, ServiceClient, ServiceConfig, make_server
+
+from tests.service.conftest import WALK_DATABASE, walk_body
+
+DETERMINISTIC_BODY = {
+    "semantics": "forever",
+    "program": "C := rename[J->I](project[J](C join E)) union C",
+    "database": {
+        "relations": {
+            "C": {"columns": ["I"], "rows": [["a"]]},
+            "E": {"columns": ["I", "J"], "rows": [["a", "b"], ["b", "a"]]},
+        }
+    },
+    "event": "C(b)",
+}
+
+
+@pytest.fixture
+def service():
+    instance = QueryService(ServiceConfig(workers=1))
+    instance.start()
+    yield instance
+    instance.shutdown(wait=False, cancel_running=True)
+
+
+class TestAdmission:
+    def test_repair_key_bug_rejected_with_codes(self, service):
+        body = walk_body(
+            program="C := rename[J->I](project[J](repair-key[K@P](C join E)))"
+        )
+        with pytest.raises(ProgramRejectedError) as info:
+            service.submit(QueryRequest.from_json(body))
+        assert info.value.details["codes"] == ["RK001"]
+        diagnostics = info.value.details["diagnostics"]
+        assert diagnostics[0]["code"] == "RK001"
+        assert diagnostics[0]["severity"] == "error"
+
+    def test_unsafe_datalog_rejected(self, service):
+        body = {
+            "semantics": "datalog",
+            "program": "p(X, Y) :- q(X).",
+            "database": WALK_DATABASE,
+            "event": "p(a, b)",
+        }
+        with pytest.raises(ProgramRejectedError) as info:
+            service.submit(QueryRequest.from_json(body))
+        assert "SF001" in info.value.details["codes"]
+
+    def test_unknown_event_relation_rejected(self, service):
+        with pytest.raises(ProgramRejectedError) as info:
+            service.submit(QueryRequest.from_json(walk_body(event="Nope(b)")))
+        assert "DD002" in info.value.details["codes"]
+
+    def test_event_arity_mismatch_rejected(self, service):
+        with pytest.raises(ProgramRejectedError) as info:
+            service.submit(QueryRequest.from_json(walk_body(event="C(a, b)")))
+        assert "DD003" in info.value.details["codes"]
+
+    def test_good_program_still_admitted(self, service):
+        job = service.submit(QueryRequest.from_json(walk_body()))
+        assert service.wait(job.id, timeout=30.0).result["probability"] == "1/3"
+
+    def test_rejections_counted_per_code(self, service):
+        for event in ("Nope(b)", "C(a, b)"):
+            with pytest.raises(ProgramRejectedError):
+                service.submit(QueryRequest.from_json(walk_body(event=event)))
+        snapshot = service.metrics_snapshot()
+        rejections = snapshot["admission_rejections"]
+        assert rejections.get("DD002") == 1
+        assert rejections.get("DD003") == 1
+        assert snapshot["jobs"]["rejected"] >= 2
+
+    def test_session_stats_carry_plan_hints(self, service):
+        job = service.submit(QueryRequest.from_json(DETERMINISTIC_BODY))
+        service.wait(job.id, timeout=30.0)
+        sessions = service.metrics_snapshot()["session_pool"]["sessions"]
+        (hints,) = [s["plan_hints"] for s in sessions]
+        assert hints["deterministic"] is True
+
+
+class TestHintApplied:
+    def test_sampling_request_on_deterministic_program_runs_exact(self, service):
+        body = dict(DETERMINISTIC_BODY)
+        body["params"] = {"samples": 100, "seed": 3}
+        job = service.submit(QueryRequest.from_json(body))
+        result = service.wait(job.id, timeout=30.0).result
+        assert result["kind"] == "exact"
+        assert result["hint_applied"] == "PH001"
+        assert result["probability"] == "1"
+
+    def test_probabilistic_program_still_samples(self, service):
+        job = service.submit(
+            QueryRequest.from_json(
+                walk_body(params={"samples": 50, "seed": 3, "burn_in": 2})
+            )
+        )
+        result = service.wait(job.id, timeout=30.0).result
+        assert result["kind"] == "sampling"
+        assert "hint_applied" not in result
+
+
+class TestHTTPRejection:
+    @pytest.fixture
+    def served(self):
+        service = QueryService(ServiceConfig(workers=1))
+        service.start()
+        server = make_server(service, "127.0.0.1", 0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        client = ServiceClient(f"http://{host}:{port}", timeout=10.0)
+        try:
+            yield client
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.shutdown(wait=False, cancel_running=True)
+
+    def test_rejected_program_answers_400_with_diagnostics(self, served):
+        body = walk_body(
+            program="C := rename[J->I](project[J](repair-key[K@P](C join E)))"
+        )
+        with pytest.raises(ProgramRejectedError) as info:
+            served.submit(body)
+        # The typed error round-trips through the 400 body.
+        assert info.value.details["codes"] == ["RK001"]
+        assert info.value.details["diagnostics"][0]["code"] == "RK001"
+        assert info.value.details["diagnostics"][0]["severity"] == "error"
+
+    def test_metrics_endpoint_exposes_admission_rejections(self, served):
+        with pytest.raises(ProgramRejectedError):
+            served.submit(
+                walk_body(
+                    program="C := rename[J->I](project[J](repair-key[K@P](C join E)))"
+                )
+            )
+        metrics = served.metrics()
+        assert metrics["admission_rejections"] == {"RK001": 1}
