@@ -40,10 +40,21 @@ sequential sampler bit-identically) and ``--cache-size N`` (memoize up
 to N exact transition rows).  With ``--fallback``, both knobs apply to
 the MCMC rung of the degradation ladder.
 
+Observability (see ``docs/observability.md``): every evaluation
+subcommand accepts ``--trace PATH`` to write a JSONL trace of spans
+(``parse`` → ``chain-build`` → ``solve`` / ``sample``) and bounded step
+events; ``repro report trace.jsonl`` pretty-prints it — phase
+breakdown, convergence sparkline, event counts::
+
+    python -m repro forever kernel.ra --db db.json --event 'C(a)' \
+        --mcmc --seed 7 --trace run.jsonl
+    python -m repro report run.jsonl
+
 Serving (see ``docs/service.md``): ``repro serve`` runs the HTTP query
 service (persistent engine sessions, bounded job queue, result cache);
+``--log-level`` controls the ``repro.service`` logger on stderr.
 ``repro submit`` and ``repro jobs`` are its client — submit a query,
-poll/cancel jobs, scrape ``/v1/metrics``::
+poll/cancel jobs, fetch traces, scrape ``/v1/metrics``::
 
     python -m repro serve --port 8352 --workers 4 --default-timeout 60
     python -m repro submit forever kernel.ra --db db.json --event 'C(a)' --url http://127.0.0.1:8352
@@ -76,6 +87,7 @@ from repro.core.events import parse_event
 from repro.datalog import evaluate_datalog_exact, evaluate_datalog_sampling, parse_program
 from repro.errors import ReproError
 from repro.io import load_database, load_pc_database
+from repro.obs.schema import TraceSchemaError
 from repro.markov import classify, is_ergodic, is_irreducible, mixing_time
 from repro.relational.parser import parse_interpretation
 from repro.runtime import Budget, DegradationPolicy, RunContext, evaluate_forever_resilient
@@ -143,14 +155,56 @@ def _parallel_config(args: argparse.Namespace):
     return ParallelConfig(workers=workers)
 
 
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a JSONL evaluation trace here "
+        "(inspect with 'repro report PATH')",
+    )
+
+
 def _build_context(args: argparse.Namespace) -> RunContext:
-    """A run context from the subcommand's budget flags."""
+    """A run context from the subcommand's budget/trace flags."""
+    tracer = None
+    trace_path = getattr(args, "trace", None)
+    # ``jobs --trace`` is a boolean flag fetching a *service* trace, not
+    # a path to write one to.
+    if isinstance(trace_path, str) and trace_path:
+        from repro.obs import JsonlSink, Tracer
+
+        tracer = Tracer(JsonlSink.open(trace_path))
     return RunContext(
         Budget(
             wall_clock=getattr(args, "timeout", None),
             max_steps=getattr(args, "max_steps", None),
-        )
+        ),
+        tracer=tracer,
     )
+
+
+def _finalize_trace(context: RunContext | None, payload: dict | None) -> None:
+    """Write the closing ``run`` record and flush the trace file.
+
+    Runs on every exit path (success, budget abort, Ctrl-C) so a traced
+    run always ends with its report — outcome, per-phase timings, spent
+    budget — even when the evaluation itself died.
+    """
+    if context is None or not context.tracer.enabled:
+        return
+    if payload is not None:
+        # A handler that returned is a successful run; error paths leave
+        # the outcome the context recorded (budget_exceeded, cancelled).
+        context.finish()
+    report = context.report().as_dict()
+    fields: dict = {"outcome": report["outcome"], "report": report}
+    if isinstance(payload, dict):
+        for key in ("mode", "estimate", "probability", "samples"):
+            if key in payload:
+                fields[key] = payload[key]
+    context.tracer.run_record(**fields)
+    context.tracer.close()
 
 
 def _wants_sampling(args: argparse.Namespace) -> bool:
@@ -158,11 +212,12 @@ def _wants_sampling(args: argparse.Namespace) -> bool:
 
 
 def _command_datalog(args: argparse.Namespace, context: RunContext) -> dict:
-    with open(args.program, encoding="utf-8") as handle:
-        program = parse_program(handle.read())
-    edb = load_database(args.db)
-    event = parse_event(args.event)
-    pc_tables = load_pc_database(args.pc) if args.pc else None
+    with context.phase("parse"):
+        with open(args.program, encoding="utf-8") as handle:
+            program = parse_program(handle.read())
+        edb = load_database(args.db)
+        event = parse_event(args.event)
+        pc_tables = load_pc_database(args.pc) if args.pc else None
     if _wants_sampling(args):
         result = evaluate_datalog_sampling(
             program,
@@ -199,11 +254,12 @@ def _command_datalog(args: argparse.Namespace, context: RunContext) -> dict:
     }
 
 
-def _load_kernel_and_event(args: argparse.Namespace):
-    with open(args.kernel, encoding="utf-8") as handle:
-        kernel = parse_interpretation(handle.read())
-    db = load_database(args.db)
-    event = parse_event(args.event)
+def _load_kernel_and_event(args: argparse.Namespace, context: RunContext):
+    with context.phase("parse"):
+        with open(args.kernel, encoding="utf-8") as handle:
+            kernel = parse_interpretation(handle.read())
+        db = load_database(args.db)
+        event = parse_event(args.event)
     return kernel, db, event
 
 
@@ -240,7 +296,7 @@ def _exact_payload(result) -> dict:
 
 
 def _command_forever(args: argparse.Namespace, context: RunContext) -> dict:
-    kernel, db, event = _load_kernel_and_event(args)
+    kernel, db, event = _load_kernel_and_event(args, context)
     query = ForeverQuery(kernel, event)
     if args.fallback != "none":
         from repro.analysis import PlanHints
@@ -310,7 +366,7 @@ def _command_forever(args: argparse.Namespace, context: RunContext) -> dict:
 
 
 def _command_inflationary(args: argparse.Namespace, context: RunContext) -> dict:
-    kernel, db, event = _load_kernel_and_event(args)
+    kernel, db, event = _load_kernel_and_event(args, context)
     query = InflationaryQuery(kernel, event)
     if _wants_sampling(args):
         result = evaluate_inflationary_sampling(
@@ -343,15 +399,36 @@ def _command_inflationary(args: argparse.Namespace, context: RunContext) -> dict
 
 
 def _command_chain(args: argparse.Namespace, context: RunContext) -> dict:
-    with open(args.kernel, encoding="utf-8") as handle:
-        kernel = parse_interpretation(handle.read())
-    db = load_database(args.db)
-    chain = build_state_chain(kernel, db, max_states=args.max_states, context=context)
-    summary: dict = dict(classify(chain))
-    if is_irreducible(chain) and is_ergodic(chain):
-        summary["mixing_time_0.25"] = mixing_time(chain, epsilon=0.25, context=context)
-        summary["mixing_time_0.05"] = mixing_time(chain, epsilon=0.05, context=context)
+    with context.phase("parse"):
+        with open(args.kernel, encoding="utf-8") as handle:
+            kernel = parse_interpretation(handle.read())
+        db = load_database(args.db)
+    with context.phase("chain-build") as scope:
+        chain = build_state_chain(
+            kernel, db, max_states=args.max_states, context=context
+        )
+        scope.annotate(states=chain.size)
+    with context.phase("solve"):
+        summary: dict = dict(classify(chain))
+        if is_irreducible(chain) and is_ergodic(chain):
+            summary["mixing_time_0.25"] = mixing_time(
+                chain, epsilon=0.25, context=context
+            )
+            summary["mixing_time_0.05"] = mixing_time(
+                chain, epsilon=0.05, context=context
+            )
     return summary
+
+
+def _command_report(args: argparse.Namespace, context: RunContext) -> dict:
+    """Pretty-print a JSONL trace: phases, convergence curve, events."""
+    from repro.obs import load_summary, render_summary
+
+    summary = load_summary(args.trace_file)
+    if args.json:
+        return summary.as_dict()
+    print(render_summary(summary), end="")
+    return {}
 
 
 def _infer_semantics(path: str, source: str) -> str:
@@ -421,12 +498,16 @@ def _command_serve(args: argparse.Namespace, context: RunContext) -> dict:
         default_budget = Budget(
             wall_clock=args.default_timeout, max_steps=args.default_max_steps
         )
+    from repro.obs.logs import configure_service_logging
+
+    configure_service_logging(args.log_level)
     config = ServiceConfig(
         workers=args.workers,
         queue_size=args.queue_size,
         default_budget=default_budget,
         session_pool_size=args.session_pool_size,
         result_cache_size=args.result_cache_size,
+        trace_events=args.trace_events,
     )
     service = QueryService(config)
     server = make_server(service, args.host, args.port)
@@ -507,12 +588,17 @@ def _command_jobs(args: argparse.Namespace, context: RunContext) -> dict:
     client = ServiceClient(args.url)
     if args.metrics:
         return client.metrics()
+    if args.prometheus:
+        print(client.metrics_prometheus(), end="")
+        return {}
     if args.health:
         return client.healthz()
     if args.job_id is None:
         return {"jobs": client.jobs()}
     if args.cancel:
         return client.cancel(args.job_id)
+    if args.trace:
+        return {"job_id": args.job_id, "trace": client.trace(args.job_id)}
     return client.job(args.job_id)
 
 
@@ -540,6 +626,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     datalog.add_argument("--max-states", type=int, default=100_000)
     _add_sampling_arguments(datalog)
     _add_budget_arguments(datalog)
+    _add_trace_argument(datalog)
     datalog.set_defaults(handler=_command_datalog)
 
     forever = subparsers.add_parser(
@@ -578,6 +665,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     _add_sampling_arguments(forever)
     _add_budget_arguments(forever)
     _add_perf_arguments(forever)
+    _add_trace_argument(forever)
     forever.set_defaults(handler=_command_forever)
 
     inflationary = subparsers.add_parser(
@@ -590,6 +678,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     _add_sampling_arguments(inflationary)
     _add_budget_arguments(inflationary)
     _add_perf_arguments(inflationary)
+    _add_trace_argument(inflationary)
     inflationary.set_defaults(handler=_command_inflationary)
 
     chain = subparsers.add_parser(
@@ -599,6 +688,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     chain.add_argument("--db", required=True)
     chain.add_argument("--max-states", type=int, default=20_000)
     _add_budget_arguments(chain)
+    _add_trace_argument(chain)
     chain.set_defaults(handler=_command_chain)
 
     lint = subparsers.add_parser(
@@ -671,6 +761,20 @@ def build_arg_parser() -> argparse.ArgumentParser:
         default=1024,
         help="retained deterministic results (LRU beyond this)",
     )
+    serve.add_argument(
+        "--trace-events",
+        type=int,
+        default=2048,
+        metavar="N",
+        help="per-job trace event bound served by GET /v1/jobs/<id>/trace "
+        "(0 disables job tracing)",
+    )
+    serve.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="info",
+        help="repro.service logger verbosity (stderr, job-id correlated)",
+    )
     serve.set_defaults(handler=_command_serve)
 
     submit = subparsers.add_parser(
@@ -725,8 +829,28 @@ def build_arg_parser() -> argparse.ArgumentParser:
     jobs.add_argument("--url", default="http://127.0.0.1:8352")
     jobs.add_argument("--cancel", action="store_true", help="cancel the given job")
     jobs.add_argument("--metrics", action="store_true", help="scrape /v1/metrics")
+    jobs.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="scrape /v1/metrics?format=prometheus (raw text)",
+    )
     jobs.add_argument("--health", action="store_true", help="probe /v1/healthz")
+    jobs.add_argument(
+        "--trace",
+        action="store_true",
+        help="fetch the given job's trace records",
+    )
     jobs.set_defaults(handler=_command_jobs)
+
+    report = subparsers.add_parser(
+        "report",
+        help="pretty-print a JSONL evaluation trace (phases, convergence)",
+        parents=[common],
+    )
+    report.add_argument(
+        "trace_file", metavar="trace", help="trace file written by --trace"
+    )
+    report.set_defaults(handler=_command_report)
 
     return parser
 
@@ -741,6 +865,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     """
     parser = build_arg_parser()
     args = parser.parse_args(argv)
+    context = None
+    payload = None
     try:
         context = _build_context(args)
         payload = args.handler(args, context)
@@ -751,9 +877,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             message += f" (progress saved to {checkpoint})"
         print(message, file=sys.stderr)
         return 130
-    except (ReproError, OSError, json.JSONDecodeError) as error:
+    except (ReproError, OSError, json.JSONDecodeError, TraceSchemaError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        _finalize_trace(context, payload)
     _emit(payload, args.json)
     # ``lint`` signals error-level diagnostics with exit 1 (distinct
     # from exit 2, which means the run itself failed).

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING
 from repro.core.interpretation import Interpretation
 from repro.errors import EvaluationError, StateSpaceLimitExceeded
 from repro.markov.chain import MarkovChain
+from repro.obs.trace import tracer_of
 from repro.probability.distribution import Distribution
 from repro.relational.database import Database
 
@@ -75,6 +76,7 @@ def build_state_chain(
             "transition cache was built for a different kernel; "
             "a cache memoizes exactly one kernel's rows"
         )
+    tracer = tracer_of(context)
     transitions: dict[Database, Distribution[Database]] = {}
     queue: deque[Database] = deque([initial])
     discovered = {initial}
@@ -86,6 +88,14 @@ def build_state_chain(
         state = queue.popleft()
         row = cache.transition(state) if cache is not None else kernel.transition(state)
         transitions[state] = row
+        if tracer.enabled:
+            tracer.event(
+                "chain-state",
+                expanded=len(transitions),
+                discovered=len(discovered),
+                frontier=len(queue),
+                out_degree=len(row),
+            )
         for successor in row:
             if successor not in discovered:
                 if len(discovered) >= max_states:

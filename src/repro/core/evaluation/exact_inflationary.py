@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING, Callable, Hashable, TypeVar
 from repro.core.evaluation.results import ExactResult
 from repro.core.queries import InflationaryQuery
 from repro.errors import EvaluationError, StateSpaceLimitExceeded
+from repro.obs.trace import phase_scope, tracer_of
 from repro.probability.distribution import Distribution, as_fraction
 from repro.relational.database import Database
 
@@ -143,8 +144,11 @@ def evaluate_inflationary_exact(
             context=context,
         )
 
+    tracer = tracer_of(context)
     if kernel.pc_tables is None:
-        probability, states = world_probability(initial)
+        with phase_scope(context, "solve") as scope:
+            probability, states = world_probability(initial)
+            scope.annotate(states=states)
         return ExactResult(
             probability=probability,
             states_explored=states,
@@ -158,17 +162,24 @@ def evaluate_inflationary_exact(
     total = Fraction(0)
     total_states = 0
     worlds = 0
-    for values, weight in pc.valuation_distribution().items():
-        if context is not None:
-            context.check()
-        valuation = dict(zip(variable_names, values))
-        world_db = initial.with_relations(
-            {name: pc.tables[name].instantiate(valuation) for name in names}
-        )
-        probability, states = world_probability(world_db)
-        total += as_fraction(weight) * probability
-        total_states += states
-        worlds += 1
+    with phase_scope(context, "solve") as scope:
+        for values, weight in pc.valuation_distribution().items():
+            if context is not None:
+                context.check()
+            valuation = dict(zip(variable_names, values))
+            world_db = initial.with_relations(
+                {name: pc.tables[name].instantiate(valuation) for name in names}
+            )
+            probability, states = world_probability(world_db)
+            total += as_fraction(weight) * probability
+            total_states += states
+            worlds += 1
+            if tracer.enabled:
+                tracer.event(
+                    "pc-world", world=worlds, states=states,
+                    weight=float(weight),
+                )
+        scope.annotate(pc_worlds=worlds, states=total_states)
     return ExactResult(
         probability=total,
         states_explored=total_states,

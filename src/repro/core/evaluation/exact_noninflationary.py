@@ -26,6 +26,7 @@ from repro.core.evaluation.results import ExactResult
 from repro.core.queries import ForeverQuery
 from repro.markov.absorption import long_run_event_probability
 from repro.markov.analysis import classify
+from repro.obs.trace import phase_scope, tracer_of
 from repro.relational.database import Database
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
@@ -68,13 +69,19 @@ def evaluate_forever_exact(
     >>> evaluate_forever_exact(q, db).probability
     Fraction(1, 2)
     """
-    chain = build_state_chain(
-        query.kernel, initial, max_states=max_states, context=context, cache=cache
-    )
+    with phase_scope(context, "chain-build") as scope:
+        chain = build_state_chain(
+            query.kernel, initial, max_states=max_states, context=context,
+            cache=cache,
+        )
+        scope.annotate(states=chain.size)
     if context is not None:
         context.check()
-    probability = long_run_event_probability(chain, initial, query.event.holds)
-    structure = classify(chain)
+    with phase_scope(context, "solve", states=chain.size):
+        probability = long_run_event_probability(
+            chain, initial, query.event.holds, tracer=tracer_of(context)
+        )
+        structure = classify(chain)
     method = "prop-5.4" if structure["irreducible"] else "thm-5.5"
     return ExactResult(
         probability=probability,

@@ -21,6 +21,7 @@ from repro.core.chain_builder import DEFAULT_MAX_STATES, build_state_chain
 from repro.core.evaluation.results import ExactResult
 from repro.core.queries import ForeverQuery
 from repro.markov.lumping import lumped_event_probability
+from repro.obs.trace import phase_scope
 from repro.relational.database import Database
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
@@ -51,14 +52,19 @@ def evaluate_forever_lumped(
     >>> evaluate_forever_lumped(query, db).probability
     Fraction(1, 4)
     """
-    chain = build_state_chain(
-        query.kernel, initial, max_states=max_states, context=context, cache=cache
-    )
+    with phase_scope(context, "chain-build") as scope:
+        chain = build_state_chain(
+            query.kernel, initial, max_states=max_states, context=context,
+            cache=cache,
+        )
+        scope.annotate(states=chain.size)
     if context is not None:
         context.check()
-    probability, quotient_size = lumped_event_probability(
-        chain, initial, query.event.holds
-    )
+    with phase_scope(context, "solve", states=chain.size) as scope:
+        probability, quotient_size = lumped_event_probability(
+            chain, initial, query.event.holds
+        )
+        scope.annotate(quotient_states=quotient_size)
     return ExactResult(
         probability=probability,
         states_explored=quotient_size,

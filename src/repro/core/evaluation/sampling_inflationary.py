@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Callable, Hashable, TypeVar
 from repro.core.evaluation.results import SamplingResult
 from repro.core.queries import InflationaryQuery
 from repro.errors import EvaluationError
+from repro.obs.trace import phase_scope, tracer_of
 from repro.probability.chernoff import hoeffding_sample_count, paper_sample_count
 from repro.probability.distribution import Distribution
 from repro.probability.rng import RngLike, make_rng
@@ -215,12 +216,19 @@ def evaluate_inflationary_sampling(
         )
         return query.event.holds(fixpoint), steps
 
+    tracer = tracer_of(context)
     positive = 0
     total_steps = 0
-    for _ in range(planned):
-        satisfied, steps = one_sample()
-        positive += satisfied
-        total_steps += steps
+    with phase_scope(context, "sample", planned=planned):
+        for index in range(1, planned + 1):
+            satisfied, steps = one_sample()
+            positive += satisfied
+            total_steps += steps
+            if tracer.enabled:
+                tracer.event(
+                    "sample", index=index, hit=bool(satisfied),
+                    positive=positive, steps=steps,
+                )
 
     details: dict = {
         "mean_steps_per_sample": total_steps / planned,
@@ -280,8 +288,11 @@ def _inflationary_sampling_parallel(
         for count, seed, budget in zip(counts, seeds, budgets)
         if count > 0
     ]
-    tallies = run_worker_pool(_run_inflationary_trials, tasks, parallel, context)
-    merged = merge_tallies(tallies)
+    with phase_scope(context, "sample", planned=planned, workers=workers):
+        tallies = run_worker_pool(
+            _run_inflationary_trials, tasks, parallel, context
+        )
+        merged = merge_tallies(tallies)
     details: dict = {
         "mean_steps_per_sample": merged.get("total_steps", 0) / planned,
         "workers": workers,

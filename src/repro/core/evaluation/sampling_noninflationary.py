@@ -35,6 +35,7 @@ from repro.core.evaluation.results import SamplingResult
 from repro.core.queries import ForeverQuery
 from repro.errors import CheckpointError, EvaluationError
 from repro.markov.mixing import mixing_time
+from repro.obs.trace import phase_scope, tracer_of
 from repro.probability.chernoff import hoeffding_sample_count, paper_sample_count
 from repro.probability.rng import RngLike, make_rng
 from repro.relational.database import Database
@@ -131,19 +132,23 @@ def adaptive_burn_in(
     query.kernel.check_schema(initial)
     cache = _make_cache(query.kernel, cache_size, context, cache)
     draw = query.kernel.sample_transition if cache is None else cache.sample
+    tracer = tracer_of(context)
     states = [initial] * walkers
     history: list[float] = []
-    for step in range(1, max_steps + 1):
-        if context is not None:
-            context.tick_steps(walkers)
-        states = [draw(state, generator) for state in states]
-        fraction = sum(query.event.holds(state) for state in states) / walkers
-        history.append(fraction)
-        if len(history) >= window:
-            recent = history[-window:]
-            centre = sum(recent) / window
-            if all(abs(value - centre) <= tolerance for value in recent):
-                return step
+    with phase_scope(context, "plan", walkers=walkers):
+        for step in range(1, max_steps + 1):
+            if context is not None:
+                context.tick_steps(walkers)
+            states = [draw(state, generator) for state in states]
+            fraction = sum(query.event.holds(state) for state in states) / walkers
+            history.append(fraction)
+            if tracer.enabled:
+                tracer.event("ensemble-step", step=step, fraction=fraction)
+            if len(history) >= window:
+                recent = history[-window:]
+                centre = sum(recent) / window
+                if all(abs(value - centre) <= tolerance for value in recent):
+                    return step
     tail = history[-2 * window :]
     raise EvaluationError(
         f"event frequency did not stabilise within {max_steps} steps "
@@ -275,13 +280,15 @@ def evaluate_forever_mcmc(
         cache_size = checkpoint.meta.get("cache_size", cache_size)
     else:
         if burn_in is None:
-            burn_in = computed_burn_in(
-                query,
-                initial,
-                mixing_epsilon=epsilon / 2.0,
-                max_states=max_states_for_mixing,
-                context=context,
-            )
+            with phase_scope(context, "plan") as scope:
+                burn_in = computed_burn_in(
+                    query,
+                    initial,
+                    mixing_epsilon=epsilon / 2.0,
+                    max_states=max_states_for_mixing,
+                    context=context,
+                )
+                scope.annotate(burn_in=burn_in)
             sample_epsilon = epsilon / 2.0
         else:
             sample_epsilon = epsilon
@@ -350,24 +357,34 @@ def evaluate_forever_mcmc(
             meta={"cache_size": cache_size},
         )
 
+    tracer = tracer_of(context)
     sample_index = start_sample
     state = initial
     steps_done = 0
     try:
-        while sample_index < planned:
-            if resumed_walker is not None:
-                state, steps_done = resumed_walker
-                resumed_walker = None
-            else:
-                state = initial
-                steps_done = 0
-            while steps_done < burn_in:
-                if context is not None:
-                    context.tick_steps()
-                state = draw(state, generator)
-                steps_done += 1
-            positive += query.event.holds(state)
-            sample_index += 1
+        with phase_scope(
+            context, "sample", planned=planned, burn_in=burn_in
+        ):
+            while sample_index < planned:
+                if resumed_walker is not None:
+                    state, steps_done = resumed_walker
+                    resumed_walker = None
+                else:
+                    state = initial
+                    steps_done = 0
+                while steps_done < burn_in:
+                    if context is not None:
+                        context.tick_steps()
+                    state = draw(state, generator)
+                    steps_done += 1
+                hit = query.event.holds(state)
+                positive += hit
+                sample_index += 1
+                if tracer.enabled:
+                    tracer.event(
+                        "sample", index=sample_index, hit=bool(hit),
+                        positive=positive,
+                    )
     except BaseException:
         if checkpoint_path is not None:
             from repro.io import database_to_json
@@ -444,8 +461,11 @@ def _forever_mcmc_parallel(
         for count, seed, budget in zip(counts, seeds, budgets)
         if count > 0
     ]
-    tallies = run_worker_pool(_run_mcmc_trials, tasks, parallel, context)
-    merged = merge_tallies(tallies)
+    with phase_scope(
+        context, "sample", planned=planned, burn_in=burn_in, workers=workers
+    ):
+        tallies = run_worker_pool(_run_mcmc_trials, tasks, parallel, context)
+        merged = merge_tallies(tallies)
     details: dict = {"burn_in": burn_in, "resumed_at": None, "workers": workers}
     if context is not None:
         context.absorb_usage(steps=merged["steps"])

@@ -47,6 +47,7 @@ from repro.datalog.compiler import (
     strip_auxiliary,
 )
 from repro.errors import DatalogError
+from repro.obs.trace import phase_scope, tracer_of
 from repro.probability.chernoff import hoeffding_sample_count, paper_sample_count
 from repro.probability.distribution import Distribution, as_fraction, product_distribution
 from repro.probability.rng import RngLike, make_rng
@@ -253,21 +254,31 @@ def evaluate_datalog_exact(
             context=context,
         )
 
+    tracer = tracer_of(context)
     if pc_tables is None:
-        probability, states = world_result(edb)
+        with phase_scope(context, "solve") as scope:
+            probability, states = world_result(edb)
+            scope.annotate(states=states)
         return ExactResult(probability, states, "datalog-exact", {"pc_worlds": 1})
 
     total = Fraction(0)
     total_states = 0
     worlds = 0
-    for world, weight in pc_tables.possible_worlds().items():
-        if context is not None:
-            context.check()
-        merged = edb.with_relations(world.relations())
-        probability, states = world_result(merged)
-        total += as_fraction(weight) * probability
-        total_states += states
-        worlds += 1
+    with phase_scope(context, "solve") as scope:
+        for world, weight in pc_tables.possible_worlds().items():
+            if context is not None:
+                context.check()
+            merged = edb.with_relations(world.relations())
+            probability, states = world_result(merged)
+            total += as_fraction(weight) * probability
+            total_states += states
+            worlds += 1
+            if tracer.enabled:
+                tracer.event(
+                    "pc-world", world=worlds, states=states,
+                    weight=float(weight),
+                )
+        scope.annotate(pc_worlds=worlds, states=total_states)
     return ExactResult(total, total_states, "datalog-exact", {"pc_worlds": worlds})
 
 
@@ -309,23 +320,31 @@ def evaluate_datalog_sampling(
             engines[world_edb] = engine
         return engine
 
+    tracer = tracer_of(context)
     positive = 0
     total_steps = 0
-    for _ in range(planned):
-        world_edb = edb
-        if pc_tables is not None:
-            world = pc_tables.sample_world(generator)
-            world_edb = edb.with_relations(world.relations())
-        engine = engine_for(world_edb)
-        fixpoint, steps = sample_fixpoint(
-            lambda state, engine=engine: engine.sample_step(state, generator),
-            engine.is_fixpoint,
-            engine.initial_state(),
-            max_steps=max_steps,
-            context=context,
-        )
-        positive += event.holds(engine.database_of(fixpoint))
-        total_steps += steps
+    with phase_scope(context, "sample", planned=planned):
+        for index in range(1, planned + 1):
+            world_edb = edb
+            if pc_tables is not None:
+                world = pc_tables.sample_world(generator)
+                world_edb = edb.with_relations(world.relations())
+            engine = engine_for(world_edb)
+            fixpoint, steps = sample_fixpoint(
+                lambda state, engine=engine: engine.sample_step(state, generator),
+                engine.is_fixpoint,
+                engine.initial_state(),
+                max_steps=max_steps,
+                context=context,
+            )
+            hit = event.holds(engine.database_of(fixpoint))
+            positive += hit
+            total_steps += steps
+            if tracer.enabled:
+                tracer.event(
+                    "sample", index=index, hit=bool(hit),
+                    positive=positive, steps=steps,
+                )
 
     return SamplingResult(
         estimate=positive / planned,

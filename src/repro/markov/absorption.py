@@ -21,7 +21,7 @@ chain size.  See DESIGN.md §2 "Substitutions".
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Callable, Hashable, TypeVar
+from typing import Any, Callable, Hashable, TypeVar
 
 from repro.errors import MarkovChainError
 from repro.markov.analysis import leaf_components
@@ -87,7 +87,10 @@ def absorption_probabilities(
 
 
 def long_run_event_probability(
-    chain: MarkovChain[S], start: S, event: Callable[[S], bool]
+    chain: MarkovChain[S],
+    start: S,
+    event: Callable[[S], bool],
+    tracer: Any = None,
 ) -> Fraction:
     """The paper's Definition 3.2 query result, exactly (Theorem 5.5).
 
@@ -109,7 +112,7 @@ def long_run_event_probability(
     leaf_value: dict[S, Fraction] = {}
     for leaf in leaves:
         sub_chain = chain.restricted_to(leaf)
-        pi = stationary_distribution(sub_chain)
+        pi = stationary_distribution(sub_chain, tracer=tracer)
         mass = sum(
             (as_fraction(weight) for state, weight in pi.items() if event(state)),
             Fraction(0),
@@ -134,7 +137,7 @@ def long_run_event_probability(
                 system[i][t_index[successor]] -= p
             else:
                 rhs[i][0] += p * leaf_value[successor]
-    solution = solve_exact(system, rhs)
+    solution = solve_exact(system, rhs, tracer=tracer)
     return solution[t_index[start]][0]
 
 

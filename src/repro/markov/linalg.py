@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from fractions import Fraction
 from math import gcd
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.errors import MarkovChainError
 
@@ -76,7 +76,9 @@ def _singular(n: int, k: int, col: int) -> MarkovChainError:
 
 
 def solve_exact(
-    a: Sequence[Sequence[Fraction]], b: Sequence[Sequence[Fraction]]
+    a: Sequence[Sequence[Fraction]],
+    b: Sequence[Sequence[Fraction]],
+    tracer: Any = None,
 ) -> Matrix:
     """Solve ``A · X = B`` exactly for possibly-multiple right-hand sides.
 
@@ -85,6 +87,11 @@ def solve_exact(
     per row, one exact division per update, Fractions only rebuilt
     during back-substitution).  Raises :class:`MarkovChainError` when A
     is singular; the error's ``details`` name the failing column.
+
+    ``tracer`` (a :class:`~repro.obs.trace.Tracer`, optional) receives
+    one bounded ``pivot`` event per elimination column — column index,
+    whether rows were swapped, and the pivot's bit length, enough to
+    watch coefficient growth on big chains.
     """
     n, k = _check_shapes(a, b)
     width = n + k
@@ -109,6 +116,13 @@ def solve_exact(
         if pivot_row != col:
             aug[col], aug[pivot_row] = aug[pivot_row], aug[col]
         pivot = aug[col][col]
+        if tracer is not None and tracer.enabled:
+            tracer.event(
+                "pivot",
+                column=col,
+                swapped=pivot_row != col,
+                pivot_bits=pivot.bit_length(),
+            )
         pivot_values = aug[col]
         for r in range(col + 1, n):
             row = aug[r]
@@ -174,10 +188,12 @@ def solve_exact_gauss(
 
 
 def solve_exact_vector(
-    a: Sequence[Sequence[Fraction]], b: Sequence[Fraction]
+    a: Sequence[Sequence[Fraction]],
+    b: Sequence[Fraction],
+    tracer: Any = None,
 ) -> list[Fraction]:
     """Solve ``A · x = b`` exactly for a single right-hand vector."""
-    solution = solve_exact(a, [[value] for value in b])
+    solution = solve_exact(a, [[value] for value in b], tracer=tracer)
     return [row[0] for row in solution]
 
 

@@ -20,7 +20,7 @@ chains; useful to validate the Definition 3.2 limit empirically).
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Hashable, TypeVar
+from typing import Any, Hashable, TypeVar
 
 import numpy as np
 
@@ -33,7 +33,9 @@ from repro.probability.distribution import Distribution
 S = TypeVar("S", bound=Hashable)
 
 
-def stationary_distribution(chain: MarkovChain[S]) -> Distribution[S]:
+def stationary_distribution(
+    chain: MarkovChain[S], tracer: Any = None
+) -> Distribution[S]:
     """The unique stationary distribution of an irreducible chain, exact.
 
     Solves the transposed balance equations ``(Pᵀ − I)π = 0`` with one
@@ -43,6 +45,9 @@ def stationary_distribution(chain: MarkovChain[S]) -> Distribution[S]:
     stationary distribution is not unique (use
     :mod:`repro.markov.absorption` and per-leaf stationary distributions
     instead, per Theorem 5.5).
+
+    ``tracer`` forwards to :func:`~repro.markov.linalg.solve_exact` for
+    per-pivot elimination events.
     """
     if not is_irreducible(chain):
         raise MarkovChainError(
@@ -55,7 +60,7 @@ def stationary_distribution(chain: MarkovChain[S]) -> Distribution[S]:
     system = [[matrix[j][i] - (1 if i == j else 0) for j in range(n)] for i in range(n)]
     system[n - 1] = [Fraction(1)] * n
     rhs = [Fraction(0)] * (n - 1) + [Fraction(1)]
-    solution = solve_exact_vector(system, rhs)
+    solution = solve_exact_vector(system, rhs, tracer=tracer)
     return Distribution(
         {state: value for state, value in zip(chain.states, solution)},
         normalise=False,

@@ -1,0 +1,73 @@
+"""Observability: tracing, unified metrics, run introspection.
+
+A stdlib-only leaf package — :mod:`repro.core` imports it freely
+without creating a cycle back through :mod:`repro.runtime` or
+:mod:`repro.service`.  See ``docs/observability.md`` for the span
+model, the metric-name table, and the trace-schema policy.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_TIME_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.report import (
+    TraceSummary,
+    load_summary,
+    render_summary,
+    render_trace_file,
+    summarize,
+    summarize_lines,
+)
+from repro.obs.schema import (
+    TraceSchemaError,
+    validate_record,
+    validate_trace_file,
+    validate_trace_lines,
+    validate_trace_records,
+)
+from repro.obs.trace import (
+    DEFAULT_MAX_EVENTS,
+    JsonlSink,
+    MemorySink,
+    NULL_TRACER,
+    NullTracer,
+    Sink,
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+    TraceSpan,
+    phase_scope,
+    tracer_of,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_MAX_EVENTS",
+    "DEFAULT_TIME_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Sink",
+    "TRACE_SCHEMA_VERSION",
+    "TraceSchemaError",
+    "TraceSpan",
+    "TraceSummary",
+    "Tracer",
+    "load_summary",
+    "phase_scope",
+    "render_summary",
+    "render_trace_file",
+    "summarize",
+    "summarize_lines",
+    "tracer_of",
+    "validate_record",
+    "validate_trace_file",
+    "validate_trace_lines",
+    "validate_trace_records",
+]

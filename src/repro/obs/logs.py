@@ -1,0 +1,70 @@
+"""Structured stdlib logging for the service with job/run correlation.
+
+One logger hierarchy rooted at ``repro.service``; scheduler, session,
+and HTTP layers log through child loggers (``repro.service.scheduler``
+etc.).  Every record carries a ``job_id`` correlation field — filled by
+passing ``extra={"job_id": ...}`` or by wrapping a logger with
+:func:`job_logger` — defaulting to ``-`` so the format string never
+KeyErrors on uncorrelated records.
+
+``repro serve --log-level`` calls :func:`configure_service_logging`;
+library code only ever *gets* loggers and never installs handlers, so
+embedders keep control of output.
+"""
+
+from __future__ import annotations
+
+import logging
+
+#: The root of the service logger hierarchy.
+SERVICE_LOGGER = "repro.service"
+
+#: One line per record: time, level, logger, job correlation, message.
+LOG_FORMAT = (
+    "%(asctime)s %(levelname)-7s %(name)s [job=%(job_id)s] %(message)s"
+)
+
+
+class _JobIdFilter(logging.Filter):
+    """Default the ``job_id`` field so the formatter always finds it."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        if not hasattr(record, "job_id"):
+            record.job_id = "-"
+        return True
+
+
+def get_logger(component: str | None = None) -> logging.Logger:
+    """The service logger, or a component child (``scheduler``, ``http``…)."""
+    name = SERVICE_LOGGER if not component else f"{SERVICE_LOGGER}.{component}"
+    return logging.getLogger(name)
+
+
+def job_logger(logger: logging.Logger, job_id: str) -> logging.LoggerAdapter:
+    """Bind a job id to every record logged through the adapter."""
+    return logging.LoggerAdapter(logger, {"job_id": job_id})
+
+
+def configure_service_logging(
+    level: str | int = "info", stream=None
+) -> logging.Logger:
+    """Install a stderr handler on ``repro.service`` (idempotent).
+
+    Called by ``repro serve``; re-configuring replaces the previous
+    handler rather than stacking duplicates.
+    """
+    if isinstance(level, str):
+        parsed = logging.getLevelName(level.upper())
+        if not isinstance(parsed, int):
+            raise ValueError(f"unknown log level: {level!r}")
+        level = parsed
+    logger = logging.getLogger(SERVICE_LOGGER)
+    logger.setLevel(level)
+    logger.propagate = False
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(logging.Formatter(LOG_FORMAT))
+    handler.addFilter(_JobIdFilter())
+    logger.addHandler(handler)
+    return logger

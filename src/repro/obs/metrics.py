@@ -1,0 +1,398 @@
+"""One thread-safe metrics registry for every layer of the engine.
+
+Before this module, instrumentation lived on two disjoint islands:
+``ServiceMetrics`` hand-rolled its counters and latency histograms, and
+each cache/pool/scheduler exposed ad-hoc ``stats()`` dicts that the
+snapshot code sampled *without holding the owners' locks*.  The
+:class:`MetricsRegistry` unifies them:
+
+* **Counters** — monotonically increasing, optionally labelled
+  (``jobs_finished_total{semantics="forever", outcome="ok"}``).
+* **Gauges** — set directly, *or* backed by a callback so the value is
+  read under the owner's lock at scrape time (the fix for the
+  mid-eviction inconsistent-size bug).
+* **Histograms** — fixed cumulative buckets plus sum/count, with
+  quantile estimation for the JSON view.
+
+Two renderings of the same registry: :meth:`MetricsRegistry.as_dict`
+(JSON, served at ``/v1/metrics``) and
+:meth:`MetricsRegistry.render_prometheus` (text exposition format
+0.0.4, served at ``/v1/metrics?format=prometheus``).
+
+All mutation goes through per-family locks, so samplers, scheduler
+workers and HTTP threads can publish concurrently; a scrape sees each
+family atomically.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Callable, Iterable, Mapping
+
+#: Latency buckets (seconds) shared by queue-wait and run histograms.
+DEFAULT_TIME_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0,
+)
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, Any]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(key: _LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = key + extra
+    if not pairs:
+        return ""
+    inner = ",".join(f'{name}="{_escape_label(value)}"' for name, value in pairs)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """A monotone counter family; label-less use goes through ``inc()``."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str):
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._values: dict[_LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every label combination."""
+        with self._lock:
+            return sum(self._values.values())
+
+    def collect(self) -> list[tuple[_LabelKey, float]]:
+        with self._lock:
+            return sorted(self._values.items())
+
+
+class Gauge:
+    """A settable value family; may instead be backed by a callback.
+
+    Callback gauges are the lock-correctness mechanism: the owner
+    registers ``lambda: self._sample_under_lock()`` and the registry
+    calls it only at scrape time, so sizes and hit counts are read in
+    one consistent critical section rather than sampled field-by-field.
+    """
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str,
+                 fn: Callable[[], float] | None = None):
+        self.name = name
+        self.help = help
+        self._fn = fn
+        self._lock = threading.Lock()
+        self._values: dict[_LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        if self._fn is not None:
+            raise ValueError(f"gauge {self.name} is callback-backed")
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if self._fn is not None:
+            raise ValueError(f"gauge {self.name} is callback-backed")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: Any) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def collect(self) -> list[tuple[_LabelKey, float]]:
+        if self._fn is not None:
+            return [((), float(self._fn()))]
+        with self._lock:
+            return sorted(self._values.items())
+
+
+class _HistogramSeries:
+    __slots__ = ("bucket_counts", "total", "count", "observations")
+
+    def __init__(self, n_buckets: int, keep_observations: bool):
+        self.bucket_counts = [0] * n_buckets
+        self.total = 0.0
+        self.count = 0
+        self.observations: list[float] | None = (
+            [] if keep_observations else None
+        )
+
+
+class Histogram:
+    """Fixed-bucket cumulative histogram family.
+
+    ``buckets`` are upper bounds; an implicit ``+Inf`` bucket catches
+    the rest.  ``keep_observations`` (bounded by
+    ``max_observations``) retains raw values for exact small-sample
+    quantiles in the JSON view — the service's latency histograms keep
+    them, high-volume engine histograms need not.
+    """
+
+    kind = "histogram"
+
+    #: Raw observations kept per series when ``keep_observations``.
+    max_observations = 10_000
+
+    def __init__(self, name: str, help: str,
+                 buckets: Iterable[float] = DEFAULT_TIME_BUCKETS,
+                 keep_observations: bool = True):
+        self.name = name
+        self.help = help
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError(f"histogram {self.name} needs at least one bucket")
+        self._keep = keep_observations
+        self._lock = threading.Lock()
+        self._series: dict[_LabelKey, _HistogramSeries] = {}
+
+    def _series_for(self, key: _LabelKey) -> _HistogramSeries:
+        series = self._series.get(key)
+        if series is None:
+            series = _HistogramSeries(len(self.buckets), self._keep)
+            self._series[key] = series
+        return series
+
+    def observe(self, value: float, **labels: Any) -> None:
+        value = float(value)
+        key = _label_key(labels)
+        with self._lock:
+            series = self._series_for(key)
+            series.total += value
+            series.count += 1
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    series.bucket_counts[index] += 1
+                    break
+            if (
+                series.observations is not None
+                and len(series.observations) < self.max_observations
+            ):
+                series.observations.append(value)
+
+    def count(self, **labels: Any) -> int:
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return series.count if series else 0
+
+    def sum(self, **labels: Any) -> float:
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return series.total if series else 0.0
+
+    def quantile(self, q: float, **labels: Any) -> float | None:
+        """Quantile estimate; ``None`` for an empty histogram.
+
+        Exact (nearest-rank over retained observations) when raw values
+        are kept and none overflowed; otherwise interpolated from the
+        cumulative buckets, clamped to the largest finite bound.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        key = _label_key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None or series.count == 0:
+                return None
+            obs = series.observations
+            if obs is not None and len(obs) == series.count:
+                ordered = sorted(obs)
+                rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+                return ordered[rank]
+            target = q * series.count
+            cumulative = 0
+            for index, bound in enumerate(self.buckets):
+                cumulative += series.bucket_counts[index]
+                if cumulative >= target:
+                    return bound
+            return self.buckets[-1]
+
+    def as_dict(self, **labels: Any) -> dict:
+        """The JSON shape of one series (``ServiceMetrics``-compatible)."""
+        key = _label_key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = _HistogramSeries(len(self.buckets), False)
+            count = series.count
+            total = series.total
+            cumulative: list[int] = []
+            running = 0
+            for bucket_count in series.bucket_counts:
+                running += bucket_count
+                cumulative.append(running)
+        result = {
+            "count": count,
+            "sum": round(total, 9),
+            "mean": round(total / count, 9) if count else None,
+            "buckets": {
+                _format_value(bound): cum
+                for bound, cum in zip(self.buckets, cumulative)
+            },
+        }
+        result["buckets"]["+Inf"] = count
+        for name, q in (("p50", 0.5), ("p95", 0.95), ("p99", 0.99)):
+            value = self.quantile(q, **labels)
+            result[name] = round(value, 9) if value is not None else None
+        return result
+
+    def collect(self) -> list[tuple[_LabelKey, tuple[list[int], float, int]]]:
+        """``(labels, (cumulative_bucket_counts, sum, count))`` per series."""
+        with self._lock:
+            out = []
+            for key, series in sorted(self._series.items()):
+                cumulative: list[int] = []
+                running = 0
+                for bucket_count in series.bucket_counts:
+                    running += bucket_count
+                    cumulative.append(running)
+                out.append((key, (cumulative, series.total, series.count)))
+            return out
+
+    def label_keys(self) -> list[_LabelKey]:
+        with self._lock:
+            return sorted(self._series)
+
+
+class MetricsRegistry:
+    """The process-wide family registry.
+
+    Families are created idempotently — asking for an existing name
+    returns the same object (help text must agree, kind must agree) —
+    so distant layers can share a family without plumbing references.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _register(self, family: Counter | Gauge | Histogram) -> Any:
+        with self._lock:
+            existing = self._families.get(family.name)
+            if existing is not None:
+                if type(existing) is not type(family):
+                    raise ValueError(
+                        f"metric {family.name} already registered as "
+                        f"{existing.kind}"
+                    )
+                return existing
+            self._families[family.name] = family
+            return family
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._register(Counter(name, help))
+
+    def gauge(self, name: str, help: str = "",
+              fn: Callable[[], float] | None = None) -> Gauge:
+        gauge = self._register(Gauge(name, help, fn=fn))
+        if fn is not None and gauge._fn is None:
+            gauge._fn = fn
+        return gauge
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Iterable[float] = DEFAULT_TIME_BUCKETS,
+                  keep_observations: bool = True) -> Histogram:
+        return self._register(
+            Histogram(name, help, buckets=buckets,
+                      keep_observations=keep_observations)
+        )
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        with self._lock:
+            return self._families.get(name)
+
+    def families(self) -> list[Counter | Gauge | Histogram]:
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    # -- renderings -----------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """Nested-JSON view: ``{name: value | {label_repr: value}}``."""
+        out: dict[str, Any] = {}
+        for family in self.families():
+            if isinstance(family, Histogram):
+                out[family.name] = {
+                    _format_labels(key) or "": family.as_dict(**dict(key))
+                    for key in family.label_keys()
+                } or {}
+                continue
+            series = family.collect()
+            if len(series) == 1 and series[0][0] == ():
+                out[family.name] = series[0][1]
+            else:
+                out[family.name] = {
+                    _format_labels(key): value for key, value in series
+                }
+        return out
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format 0.0.4."""
+        lines: list[str] = []
+        for family in self.families():
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            if isinstance(family, Histogram):
+                for key, (cumulative, total, count) in family.collect():
+                    for bound, cum in zip(family.buckets, cumulative):
+                        le = (("le", _format_value(bound)),)
+                        lines.append(
+                            f"{family.name}_bucket"
+                            f"{_format_labels(key, le)} {cum}"
+                        )
+                    inf = (("le", "+Inf"),)
+                    lines.append(
+                        f"{family.name}_bucket{_format_labels(key, inf)} {count}"
+                    )
+                    lines.append(
+                        f"{family.name}_sum{_format_labels(key)} "
+                        f"{_format_value(total)}"
+                    )
+                    lines.append(
+                        f"{family.name}_count{_format_labels(key)} {count}"
+                    )
+                continue
+            series = family.collect()
+            if not series:
+                series = [((), 0.0)]
+            for key, value in series:
+                lines.append(
+                    f"{family.name}{_format_labels(key)} {_format_value(value)}"
+                )
+        return "\n".join(lines) + "\n"

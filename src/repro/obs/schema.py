@@ -1,0 +1,149 @@
+"""Validation for the versioned JSONL trace schema.
+
+Pure-python (no jsonschema dependency): each record type has a table of
+required fields with type predicates, plus structural rules — span and
+event ``parent`` references must resolve to a span that appears in the
+file, every trace opens with a ``start`` record, and at most one
+closing ``run`` record exists.  Used by the CI observability-smoke job
+and the round-trip tests; readers must tolerate *unknown* keys (the
+schema's forward-compatibility contract) so validation only checks the
+keys it knows.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from repro.obs.trace import TRACE_SCHEMA_VERSION
+
+
+class TraceSchemaError(ValueError):
+    """A trace record or file violates the schema."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        prefix = f"line {line}: " if line is not None else ""
+        super().__init__(prefix + message)
+
+
+_NUMBER = (int, float)
+
+#: required-field tables per record type: name -> accepted types.
+_RECORD_FIELDS: dict[str, dict[str, tuple[type, ...]]] = {
+    "start": {"ts": _NUMBER},
+    "span": {
+        "name": (str,),
+        "span": (int,),
+        "parent": (int, type(None)),
+        "wall_s": _NUMBER,
+        "cpu_s": _NUMBER,
+        "attrs": (dict,),
+    },
+    "event": {
+        "name": (str,),
+        "parent": (int, type(None)),
+    },
+    "run": {
+        "ts": _NUMBER,
+        "events": (int,),
+        "dropped_events": (int,),
+    },
+}
+
+
+def validate_record(record: Any, line: int | None = None) -> dict:
+    """Check one parsed record; returns it, raises :class:`TraceSchemaError`."""
+    if not isinstance(record, dict):
+        raise TraceSchemaError(
+            f"record must be a JSON object, got {type(record).__name__}", line
+        )
+    version = record.get("v")
+    if not isinstance(version, int):
+        raise TraceSchemaError("missing integer schema version 'v'", line)
+    if version > TRACE_SCHEMA_VERSION:
+        raise TraceSchemaError(
+            f"record schema version {version} is newer than supported "
+            f"{TRACE_SCHEMA_VERSION}", line
+        )
+    kind = record.get("type")
+    fields = _RECORD_FIELDS.get(kind)  # type: ignore[arg-type]
+    if fields is None:
+        raise TraceSchemaError(
+            f"unknown record type {kind!r} "
+            f"(expected one of {sorted(_RECORD_FIELDS)})", line
+        )
+    for field, types in fields.items():
+        if field not in record:
+            raise TraceSchemaError(f"{kind} record missing field {field!r}", line)
+        if not isinstance(record[field], types):
+            raise TraceSchemaError(
+                f"{kind} record field {field!r} has type "
+                f"{type(record[field]).__name__}", line
+            )
+    if kind == "span":
+        if record["wall_s"] < 0 or record["cpu_s"] < 0:
+            raise TraceSchemaError("span durations must be non-negative", line)
+    return record
+
+
+def validate_records(records: Iterable[tuple[int, Any]]) -> list[dict]:
+    """Validate an ordered stream of ``(line_number, record)`` pairs."""
+    validated: list[dict] = []
+    span_ids: set[int] = set()
+    pending_parents: list[tuple[int, int]] = []
+    run_seen = False
+    for line, record in records:
+        record = validate_record(record, line)
+        if not validated and record["type"] != "start":
+            raise TraceSchemaError(
+                f"trace must open with a 'start' record, got "
+                f"{record['type']!r}", line
+            )
+        if record["type"] == "span":
+            if record["span"] in span_ids:
+                raise TraceSchemaError(
+                    f"duplicate span id {record['span']}", line
+                )
+            span_ids.add(record["span"])
+        if record["type"] in ("span", "event") and record["parent"] is not None:
+            # Spans close child-before-parent, so a parent may legally
+            # appear after its children; resolve references at the end.
+            pending_parents.append((line, record["parent"]))
+        if record["type"] == "run":
+            if run_seen:
+                raise TraceSchemaError("multiple 'run' records", line)
+            run_seen = True
+        validated.append(record)
+    for line, parent in pending_parents:
+        if parent not in span_ids:
+            raise TraceSchemaError(
+                f"parent span {parent} never appears in the trace", line
+            )
+    return validated
+
+
+def validate_trace_records(records: Iterable[Any]) -> list[dict]:
+    """Validate already-parsed records (e.g. a service job's in-memory
+    trace); positions in the sequence stand in for line numbers."""
+    return validate_records(enumerate(records, start=1))
+
+
+def validate_trace_lines(lines: Iterable[str]) -> list[dict]:
+    """Parse + validate JSONL text lines (blank lines are skipped)."""
+    def parsed() -> Iterable[tuple[int, Any]]:
+        for number, text in enumerate(lines, start=1):
+            text = text.strip()
+            if not text:
+                continue
+            try:
+                yield number, json.loads(text)
+            except json.JSONDecodeError as error:
+                raise TraceSchemaError(f"invalid JSON: {error}", number)
+    return validate_records(parsed())
+
+
+def validate_trace_file(path: str) -> list[dict]:
+    """Validate one JSONL trace file; returns the parsed records."""
+    with open(path, encoding="utf-8") as handle:
+        return validate_trace_lines(handle)

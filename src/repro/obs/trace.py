@@ -1,0 +1,288 @@
+"""Hierarchical evaluation tracing: spans, step events, JSONL emission.
+
+The paper's algorithms are iterative stochastic processes — fixpoint
+runs (Thm 4.3), chain construction and stationary solves (Prop 5.4 /
+Thm 5.5), mixing-time sampling walks (Thm 5.6) — and a flat result
+object hides where the time and state-space budget went.  A
+:class:`Tracer` records
+
+* **spans** — timed phases with parent/child structure (``parse`` →
+  ``chain-build`` → ``solve`` / ``sample``), wall *and* CPU seconds;
+* **step events** — bounded, cheap progress points inside a span
+  (fixpoint iteration: tuples added; Markov walk: states discovered,
+  frontier size, event hits; sampler: per-sample tallies; solver:
+  elimination pivots).
+
+Records are JSON-friendly dicts with a versioned schema (see
+:mod:`repro.obs.schema`); sinks decide where they go — a JSONL file
+(:class:`JsonlSink`, the CLI ``--trace`` path) or an in-memory ring
+(:class:`MemorySink`, the service's per-job trace served by
+``GET /v1/jobs/<id>/trace``).
+
+Cost discipline: tracing must be free when off.  :data:`NULL_TRACER`
+is a singleton whose methods are no-ops, and every instrumented hot
+loop guards event emission with the plain attribute check
+``if tracer.enabled:`` — one dictionary-free boolean load per
+iteration, measured at < 2% overhead by ``benchmarks/run_benchmarks.py``.
+Event volume is bounded per tracer (``max_events``); past the bound
+events are counted but dropped, and the drop count is recorded on the
+closing ``run`` record so truncation is never silent.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+from typing import Any, Callable, IO, Mapping
+
+#: Version of the emitted trace schema.  Policy (see DESIGN.md): bump on
+#: any backwards-incompatible change to record fields; readers accept
+#: records with ``v`` <= their own version and must ignore unknown keys.
+TRACE_SCHEMA_VERSION = 1
+
+#: Default cap on emitted (not merely counted) step events per tracer.
+DEFAULT_MAX_EVENTS = 10_000
+
+
+class Sink:
+    """Where trace records go.  Subclasses implement :meth:`write`."""
+
+    def write(self, record: Mapping[str, Any]) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush/release resources (default: nothing to do)."""
+
+
+class MemorySink(Sink):
+    """Collect records in a list (the per-job service trace)."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def write(self, record: Mapping[str, Any]) -> None:
+        self.records.append(dict(record))
+
+
+class JsonlSink(Sink):
+    """Write one JSON object per line to a file handle it owns."""
+
+    def __init__(self, handle: IO[str], close_handle: bool = True):
+        self._handle = handle
+        self._close_handle = close_handle
+
+    @classmethod
+    def open(cls, path: str) -> "JsonlSink":
+        return cls(open(path, "w", encoding="utf-8"))
+
+    def write(self, record: Mapping[str, Any]) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True, default=str))
+        self._handle.write("\n")
+
+    def close(self) -> None:
+        self._handle.flush()
+        if self._close_handle:
+            self._handle.close()
+
+
+class TraceSpan:
+    """One timed phase of a run; a context manager.
+
+    Created through :meth:`Tracer.span`; records a ``span`` record with
+    wall and CPU durations when closed.  Attributes passed at creation
+    (or added via :meth:`annotate`) land on the record's ``attrs``.
+    """
+
+    __slots__ = (
+        "tracer", "name", "span_id", "parent_id", "attrs",
+        "_wall_start", "_cpu_start", "wall_seconds", "cpu_seconds",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, parent_id: int | None,
+                 attrs: dict[str, Any]):
+        self.tracer = tracer
+        self.name = name
+        self.span_id = next(tracer._ids)
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.wall_seconds: float | None = None
+        self.cpu_seconds: float | None = None
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach attributes to the span record (last write wins)."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "TraceSpan":
+        self.tracer._stack.append(self.span_id)
+        self._wall_start = time.perf_counter()
+        self._cpu_start = time.process_time()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.wall_seconds = time.perf_counter() - self._wall_start
+        self.cpu_seconds = time.process_time() - self._cpu_start
+        stack = self.tracer._stack
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        self.tracer._emit({
+            "type": "span",
+            "name": self.name,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "wall_s": round(self.wall_seconds, 9),
+            "cpu_s": round(self.cpu_seconds, 9),
+            "attrs": self.attrs,
+        })
+
+
+class _NullSpan:
+    """The reusable do-nothing span of :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+    def annotate(self, **attrs: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a near-zero-cost no-op.
+
+    Hot loops guard with ``if tracer.enabled:`` (a plain attribute
+    load); code outside hot loops may call :meth:`span` / :meth:`event`
+    unconditionally.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **fields: Any) -> None:
+        pass
+
+    def run_record(self, **fields: Any) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: The process-wide disabled tracer.
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """An enabled tracer bound to one sink.
+
+    Not thread-safe by design: one tracer traces one run (the service
+    gives each job its own).  ``max_events`` bounds the number of step
+    events *written*; further events are counted and the overflow is
+    reported on the ``run`` record as ``dropped_events``.
+
+    Examples
+    --------
+    >>> sink = MemorySink()
+    >>> tracer = Tracer(sink)
+    >>> with tracer.span("solve", states=3):
+    ...     tracer.event("pivot", column=0)
+    >>> [r["type"] for r in sink.records]
+    ['event', 'span']
+    >>> sink.records[0]["parent"] == sink.records[1]["span"]
+    True
+    """
+
+    enabled = True
+
+    def __init__(self, sink: Sink, max_events: int = DEFAULT_MAX_EVENTS,
+                 clock: Callable[[], float] = time.time):
+        self.sink = sink
+        self.max_events = max_events
+        self._clock = clock
+        self._ids = itertools.count(1)
+        self._stack: list[int] = []
+        self.events_emitted = 0
+        self.events_dropped = 0
+        self._emit({"type": "start", "ts": self._clock()})
+
+    # -- record plumbing ----------------------------------------------
+
+    def _emit(self, record: dict[str, Any]) -> None:
+        record["v"] = TRACE_SCHEMA_VERSION
+        self.sink.write(record)
+
+    @property
+    def current_span_id(self) -> int | None:
+        return self._stack[-1] if self._stack else None
+
+    # -- the API -------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> TraceSpan:
+        """Open a (context-manager) span under the current one."""
+        return TraceSpan(self, name, self.current_span_id, attrs)
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Record one bounded step event under the current span."""
+        if self.events_emitted >= self.max_events:
+            self.events_dropped += 1
+            return
+        self.events_emitted += 1
+        self._emit({
+            "type": "event",
+            "name": name,
+            "parent": self.current_span_id,
+            **fields,
+        })
+
+    def run_record(self, **fields: Any) -> None:
+        """Write the closing ``run`` record (report, outcome, totals)."""
+        self._emit({
+            "type": "run",
+            "ts": self._clock(),
+            "events": self.events_emitted,
+            "dropped_events": self.events_dropped,
+            **fields,
+        })
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+def tracer_of(context: Any) -> "Tracer | NullTracer":
+    """The tracer carried by an optional run context.
+
+    Evaluators receive ``context: RunContext | None``; this normalises
+    both the ``None`` case and contexts created before tracing existed
+    (duck-typed, so :mod:`repro.core` need not import the runtime
+    layer).
+    """
+    if context is None:
+        return NULL_TRACER
+    return getattr(context, "tracer", NULL_TRACER)
+
+
+def phase_scope(context: Any, name: str, **attrs: Any):
+    """A phase context manager on an optional run context.
+
+    ``RunContext.phase`` both opens a tracer span and accrues the
+    exclusive wall/CPU totals reported on the
+    :class:`~repro.runtime.context.RunReport`; with no context the
+    scope is the no-op span.
+    """
+    if context is None:
+        return _NULL_SPAN
+    phase = getattr(context, "phase", None)
+    if phase is None:
+        return _NULL_SPAN
+    return phase(name, **attrs)

@@ -169,15 +169,22 @@ class TransitionCache:
             self._rows.clear()
 
     def stats(self) -> dict:
-        """JSON-friendly counter snapshot for :class:`RunReport`."""
-        total = self.hits + self.misses
+        """JSON-friendly counter snapshot for :class:`RunReport`.
+
+        All fields are read in one critical section, so a snapshot taken
+        mid-eviction can never pair a new size with old counters.
+        """
+        with self._lock:
+            hits, misses, evictions = self.hits, self.misses, self.evictions
+            size = len(self._rows)
+        total = hits + misses
         return {
-            "size": len(self),
+            "size": size,
             "maxsize": self.maxsize,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": (self.hits / total) if total else None,
+            "hits": hits,
+            "misses": misses,
+            "evictions": evictions,
+            "hit_rate": (hits / total) if total else None,
         }
 
     def __repr__(self) -> str:

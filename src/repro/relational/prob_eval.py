@@ -21,6 +21,7 @@ exactly as the paper's semantics prescribes.
 from __future__ import annotations
 
 import random
+from typing import Any
 
 from repro.errors import AlgebraError
 from repro.probability.distribution import Distribution
@@ -71,12 +72,19 @@ def _apply_binary(expr: Expression, left: Relation, right: Relation) -> Relation
     raise AlgebraError(f"not a binary operator node: {expr!r}")
 
 
-def enumerate_worlds(expr: Expression, db: Database) -> Distribution[Relation]:
+def enumerate_worlds(
+    expr: Expression, db: Database, tracer: Any = None
+) -> Distribution[Relation]:
     """The exact distribution over result relations of ``expr`` on ``db``.
 
     Deterministic sub-expressions are evaluated once; every
     ``repair-key`` node branches into its possible repairs; results of
     independent subtrees combine by product.
+
+    ``tracer`` (a :class:`~repro.obs.trace.Tracer`, optional) receives
+    one bounded ``repair-key`` event per firing — key columns, input
+    rows, and branching factor — the step-level view of where the
+    exponential world count comes from.
 
     Examples
     --------
@@ -90,39 +98,61 @@ def enumerate_worlds(expr: Expression, db: Database) -> Distribution[Relation]:
     if expr.is_deterministic():
         return Distribution.point(evaluate(expr, db))
     if isinstance(expr, RepairKey):
-        child = enumerate_worlds(expr.child, db)
-        return child.bind(
-            lambda relation: repair_distribution(relation, expr.key, expr.weight)
-        )
+        child = enumerate_worlds(expr.child, db, tracer=tracer)
+
+        def repairs(relation: Relation) -> Distribution[Relation]:
+            distribution = repair_distribution(relation, expr.key, expr.weight)
+            if tracer is not None and tracer.enabled:
+                tracer.event(
+                    "repair-key",
+                    mode="enumerate",
+                    key=list(expr.key),
+                    input_rows=len(relation),
+                    repairs=len(distribution),
+                )
+            return distribution
+
+        return child.bind(repairs)
     if isinstance(expr, (Select, Project, Rename, ExtendedProject)):
-        child = enumerate_worlds(expr.child, db)
+        child = enumerate_worlds(expr.child, db, tracer=tracer)
         return child.map(lambda relation: _apply_unary(expr, relation))
     if isinstance(expr, (Union, Difference, Product, NaturalJoin)):
-        left = enumerate_worlds(expr.left, db)
-        right = enumerate_worlds(expr.right, db)
+        left = enumerate_worlds(expr.left, db, tracer=tracer)
+        right = enumerate_worlds(expr.right, db, tracer=tracer)
         return left.product(right).map(
             lambda pair: _apply_binary(expr, pair[0], pair[1])
         )
     raise AlgebraError(f"cannot enumerate worlds of {expr!r}")
 
 
-def sample_world(expr: Expression, db: Database, rng: random.Random) -> Relation:
+def sample_world(
+    expr: Expression, db: Database, rng: random.Random, tracer: Any = None
+) -> Relation:
     """Draw one possible result of ``expr`` on ``db`` (polynomial time).
 
     The draw is faithful to :func:`enumerate_worlds`: sampling the
     expression tree bottom-up with independent repair-key draws realises
-    exactly the enumerated distribution.
+    exactly the enumerated distribution.  ``tracer`` receives one
+    bounded ``repair-key`` event per firing, as in
+    :func:`enumerate_worlds` (``mode="sample"``).
     """
     if expr.is_deterministic():
         return evaluate(expr, db)
     if isinstance(expr, RepairKey):
-        child = sample_world(expr.child, db, rng)
+        child = sample_world(expr.child, db, rng, tracer=tracer)
+        if tracer is not None and tracer.enabled:
+            tracer.event(
+                "repair-key",
+                mode="sample",
+                key=list(expr.key),
+                input_rows=len(child),
+            )
         return sample_repair(child, rng, expr.key, expr.weight)
     if isinstance(expr, (Select, Project, Rename, ExtendedProject)):
-        return _apply_unary(expr, sample_world(expr.child, db, rng))
+        return _apply_unary(expr, sample_world(expr.child, db, rng, tracer=tracer))
     if isinstance(expr, (Union, Difference, Product, NaturalJoin)):
-        left = sample_world(expr.left, db, rng)
-        right = sample_world(expr.right, db, rng)
+        left = sample_world(expr.left, db, rng, tracer=tracer)
+        right = sample_world(expr.right, db, rng, tracer=tracer)
         return _apply_binary(expr, left, right)
     raise AlgebraError(f"cannot sample a world of {expr!r}")
 

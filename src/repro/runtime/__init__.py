@@ -28,7 +28,13 @@ from repro.runtime.checkpoint import (
     load_checkpoint,
     run_fingerprint,
 )
-from repro.runtime.context import Downgrade, RunContext, RunReport, ensure_context
+from repro.runtime.context import (
+    Downgrade,
+    PhaseTiming,
+    RunContext,
+    RunReport,
+    ensure_context,
+)
 from repro.runtime.degradation import DegradationPolicy, evaluate_forever_resilient
 
 __all__ = [
@@ -38,6 +44,7 @@ __all__ = [
     "DegradationPolicy",
     "Downgrade",
     "KIND_FOREVER_MCMC",
+    "PhaseTiming",
     "RunContext",
     "RunReport",
     "ensure_context",

@@ -27,7 +27,62 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
 from repro.errors import BudgetExceededError, RunCancelledError
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.runtime.budget import Budget
+
+
+@dataclass
+class PhaseTiming:
+    """Exclusive wall/CPU totals of one named run phase.
+
+    *Exclusive* means time spent in a nested phase is charged to the
+    child, not the parent — so the per-phase wall totals partition the
+    instrumented portion of the run and sum (plus glue) to the run's
+    wall clock.
+    """
+
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    count: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "wall_seconds": round(self.wall_seconds, 9),
+            "cpu_seconds": round(self.cpu_seconds, 9),
+            "count": self.count,
+        }
+
+
+class _PhaseScope:
+    """Context manager pairing a tracer span with exclusive accounting."""
+
+    __slots__ = ("_context", "_name", "_span")
+
+    def __init__(self, context: "RunContext", name: str, attrs: dict):
+        self._context = context
+        self._name = name
+        self._span = context.tracer.span(name, **attrs)
+
+    def annotate(self, **attrs: Any) -> None:
+        self._span.annotate(**attrs)
+
+    def __enter__(self) -> "_PhaseScope":
+        context = self._context
+        context._phase_boundary()
+        context._phase_stack.append(self._name)
+        timing = context._phases.get(self._name)
+        if timing is None:
+            timing = context._phases[self._name] = PhaseTiming()
+        timing.count += 1
+        self._span.__enter__()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._span.__exit__(*exc_info)
+        context = self._context
+        context._phase_boundary()
+        if context._phase_stack and context._phase_stack[-1] == self._name:
+            context._phase_stack.pop()
 
 
 @dataclass(frozen=True)
@@ -69,6 +124,9 @@ class RunReport:
         :class:`~repro.perf.cache.TransitionCache` (``None`` when no
         cache was attached).  Parallel runs report the summed counters
         of the workers' private caches.
+    phases:
+        Exclusive per-phase wall/CPU timings (``parse``, ``chain-build``,
+        ``solve``, ``sample``, …) recorded via :meth:`RunContext.phase`.
     """
 
     outcome: str = "running"
@@ -78,6 +136,7 @@ class RunReport:
     budget: Mapping[str, Any] = field(default_factory=dict)
     spent: Mapping[str, Any] = field(default_factory=dict)
     cache: Mapping[str, Any] | None = None
+    phases: Mapping[str, PhaseTiming] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {
@@ -88,6 +147,9 @@ class RunReport:
             "budget": dict(self.budget),
             "spent": dict(self.spent),
             "cache": dict(self.cache) if self.cache is not None else None,
+            "phases": {
+                name: timing.as_dict() for name, timing in self.phases.items()
+            },
         }
 
 
@@ -100,6 +162,17 @@ class RunContext:
         Resource limits; ``None`` means unlimited.
     clock:
         Monotonic-seconds callable, injectable for deterministic tests.
+    tracer:
+        Span/event sink for this run; defaults to the no-op
+        :data:`~repro.obs.trace.NULL_TRACER` (near-zero cost — hot
+        loops guard with ``if tracer.enabled:``).
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` that
+        run-level counters (downgrades) publish into; ``None`` outside
+        the service.
+    run_id:
+        Correlation id carried into logs and the trace's ``run``
+        record (the service uses the job id).
 
     Examples
     --------
@@ -116,24 +189,42 @@ class RunContext:
         self,
         budget: Budget | None = None,
         clock: Callable[[], float] = time.monotonic,
+        tracer: Tracer | NullTracer | None = None,
+        metrics: Any = None,
+        run_id: str | None = None,
     ):
         self.budget = budget if budget is not None else Budget.unlimited()
         self._clock = clock
         self._started = clock()
         self.steps_used = 0
         self.states_used = 0
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        self.run_id = run_id
         self._cancel_event = threading.Event()
+        # Hot-loop fast path: tick_* charge millions of steps per run, so
+        # an unlimited budget skips the deadline/limit checks entirely.
+        # ``budget`` must not be swapped mid-run (nothing does).
+        self._unbounded = self.budget.is_unlimited
+        self._cancelled = False
         self._downgrades: list[Downgrade] = []
         self._events: list[str] = []
         self._outcome = "running"
         self._method: str | None = None
         self._cache: Any = None
         self._cache_stats: Mapping[str, Any] | None = None
+        self._phases: dict[str, PhaseTiming] = {}
+        self._phase_stack: list[str] = []
+        self._segment_wall = time.perf_counter()
+        self._segment_cpu = time.process_time()
 
     # -- cancellation -------------------------------------------------
 
     def cancel(self) -> None:
         """Request cooperative cancellation (thread/signal safe)."""
+        # The plain bool is what the tick fast path reads: a GIL-safe
+        # attribute load instead of an Event.is_set() call per step.
+        self._cancelled = True
         self._cancel_event.set()
 
     @property
@@ -181,6 +272,8 @@ class RunContext:
     def tick_steps(self, n: int = 1) -> None:
         """Charge ``n`` transition steps against the budget."""
         self.steps_used += n
+        if self._unbounded and not self._cancelled:
+            return
         limit = self.budget.max_steps
         if limit is not None and self.steps_used > limit:
             self._outcome = "budget_exceeded"
@@ -197,6 +290,8 @@ class RunContext:
     def tick_states(self, n: int = 1) -> None:
         """Charge ``n`` materialised states against the budget."""
         self.states_used += n
+        if self._unbounded and not self._cancelled:
+            return
         limit = self.budget.max_states
         if limit is not None and self.states_used > limit:
             self._outcome = "budget_exceeded"
@@ -210,6 +305,34 @@ class RunContext:
                 },
             )
         self.check()
+
+    # -- phase accounting ---------------------------------------------
+
+    def _phase_boundary(self) -> None:
+        """Close the current timing segment, charging the active phase."""
+        now_wall = time.perf_counter()
+        now_cpu = time.process_time()
+        if self._phase_stack:
+            timing = self._phases[self._phase_stack[-1]]
+            timing.wall_seconds += now_wall - self._segment_wall
+            timing.cpu_seconds += now_cpu - self._segment_cpu
+        self._segment_wall = now_wall
+        self._segment_cpu = now_cpu
+
+    def phase(self, name: str, **attrs: Any) -> _PhaseScope:
+        """A named run phase: tracer span + exclusive wall/CPU timing.
+
+        Nesting pauses the parent — entering ``solve`` inside
+        ``chain-build`` charges the inner time to ``solve`` only — so
+        per-phase totals on the :class:`RunReport` partition the run.
+
+        >>> context = RunContext()
+        >>> with context.phase("solve"):
+        ...     pass
+        >>> context.report().phases["solve"].count
+        1
+        """
+        return _PhaseScope(self, name, attrs)
 
     # -- usage merging ------------------------------------------------
 
@@ -245,6 +368,16 @@ class RunContext:
         """Record one degradation step (exact → lumped → MCMC)."""
         self._downgrades.append(Downgrade(from_method, to_method, reason))
         self._events.append(f"downgrade {from_method} -> {to_method}: {reason}")
+        if self.tracer.enabled:
+            self.tracer.event(
+                "downgrade", from_method=from_method, to_method=to_method,
+                reason=reason,
+            )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_engine_downgrades_total",
+                "Degradation-ladder downgrades taken by runs",
+            ).inc(from_method=from_method, to_method=to_method)
 
     @property
     def downgrades(self) -> tuple[Downgrade, ...]:
@@ -273,6 +406,12 @@ class RunContext:
                 "states": self.states_used,
             },
             cache=cache_stats,
+            phases={
+                name: PhaseTiming(
+                    timing.wall_seconds, timing.cpu_seconds, timing.count
+                )
+                for name, timing in self._phases.items()
+            },
         )
 
 

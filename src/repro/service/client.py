@@ -105,9 +105,33 @@ class ServiceClient:
         """``DELETE /v1/jobs/<id>``."""
         return self._call("DELETE", f"/v1/jobs/{job_id}")
 
+    def trace(self, job_id: str) -> list[dict]:
+        """``GET /v1/jobs/<id>/trace`` — the job's trace records."""
+        return self._call("GET", f"/v1/jobs/{job_id}/trace")["trace"]
+
     def metrics(self) -> dict:
         """``GET /v1/metrics``."""
         return self._call("GET", "/v1/metrics")
+
+    def metrics_prometheus(self) -> str:
+        """``GET /v1/metrics?format=prometheus`` — raw text exposition."""
+        request = urllib.request.Request(
+            f"{self.base_url}/v1/metrics?format=prometheus",
+            headers={"Accept": "text/plain"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as http_error:
+            try:
+                payload = json.loads(http_error.read())
+            except (ValueError, OSError):
+                payload = None
+            _raise_service_error(http_error.code, payload)
+        except urllib.error.URLError as url_error:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {url_error.reason}"
+            )
 
     def healthz(self) -> dict:
         """``GET /v1/healthz``."""

@@ -4,14 +4,16 @@ A thin JSON layer over :class:`~repro.service.service.QueryService`,
 built on :class:`http.server.ThreadingHTTPServer` only — the serving
 layer adds no dependencies.  Routes:
 
-==========================  =============================================
-``POST   /v1/jobs``         submit a query (202 + job record)
-``GET    /v1/jobs``         list registered jobs
-``GET    /v1/jobs/<id>``    poll one job
-``DELETE /v1/jobs/<id>``    cancel a queued/running job
-``GET    /v1/metrics``      counters, gauges, latency histograms
-``GET    /v1/healthz``      liveness
-==========================  =============================================
+===============================  ========================================
+``POST   /v1/jobs``              submit a query (202 + job record)
+``GET    /v1/jobs``              list registered jobs
+``GET    /v1/jobs/<id>``         poll one job
+``GET    /v1/jobs/<id>/trace``   the job's trace records (404 until done)
+``DELETE /v1/jobs/<id>``         cancel a queued/running job
+``GET    /v1/metrics``           counters, gauges, latency histograms
+``GET    /v1/metrics?format=prometheus``  text exposition format 0.0.4
+``GET    /v1/healthz``           liveness
+===============================  ========================================
 
 Errors map to HTTP statuses via exception type: invalid request → 400,
 unknown job → 404, full queue → 429 (the back-pressure contract: a
@@ -28,6 +30,7 @@ from __future__ import annotations
 
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import (
     InvalidRequestError,
@@ -93,6 +96,14 @@ class ServiceHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, status: int, body: str, content_type: str) -> None:
+        encoded = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
     def _send_error_json(self, error: BaseException) -> None:
         self._send_json(status_for(error), error_payload(error))
 
@@ -128,19 +139,35 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802
         try:
-            if self.path == "/v1/healthz":
+            url = urlsplit(self.path)
+            path = url.path
+            query = parse_qs(url.query)
+            if path == "/v1/healthz":
                 self._send_json(200, self.service.healthz())
-            elif self.path == "/v1/metrics":
-                self._send_json(200, self.service.metrics_snapshot())
-            elif self.path == "/v1/jobs":
+            elif path == "/v1/metrics":
+                if query.get("format", ["json"])[-1] == "prometheus":
+                    self._send_text(
+                        200,
+                        self.service.metrics_prometheus(),
+                        "text/plain; version=0.0.4; charset=utf-8",
+                    )
+                else:
+                    self._send_json(200, self.service.metrics_snapshot())
+            elif path == "/v1/jobs":
                 self._send_json(200, {
                     "jobs": [job.as_dict() for job in self.service.jobs()],
                 })
-            elif self.path.startswith("/v1/jobs/"):
-                job = self.service.job(self._job_id(self.path))
+            elif path.startswith("/v1/jobs/") and path.endswith("/trace"):
+                job_id = self._job_id(path)[: -len("/trace")]
+                self._send_json(200, {
+                    "job_id": job_id,
+                    "trace": self.service.job_trace(job_id),
+                })
+            elif path.startswith("/v1/jobs/"):
+                job = self.service.job(self._job_id(path))
                 self._send_json(200, job.as_dict())
             else:
-                raise JobNotFoundError(f"no such endpoint: GET {self.path}")
+                raise JobNotFoundError(f"no such endpoint: GET {path}")
         except Exception as error:  # noqa: BLE001
             self._send_error_json(error)
 

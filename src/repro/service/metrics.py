@@ -1,18 +1,37 @@
-"""Serving metrics: counters and fixed-bucket latency histograms.
+"""Serving metrics, backed by the unified observability registry.
 
-Everything here is cheap enough to update on every job (a few integer
-increments under a lock) and renders straight to the JSON the
-``GET /v1/metrics`` endpoint returns.  Histograms use fixed
-upper-bound buckets (Prometheus-style cumulative counts are derivable
-by the scraper), one histogram per query semantics, split into *queue
-wait* and *run* time so saturation (growing waits) is distinguishable
-from slow queries (growing runs).
+:class:`ServiceMetrics` keeps its historical API — the scheduler calls
+the ``job_*`` hooks, :meth:`ServiceMetrics.snapshot` renders the JSON
+the ``GET /v1/metrics`` endpoint returns — but every counter and
+latency histogram now lives in a shared
+:class:`~repro.obs.metrics.MetricsRegistry` instead of ad-hoc locked
+attributes.  That one registry is also what ``RunContext`` (downgrade
+counters), the scheduler (step/state totals), and the cache/pool
+callback gauges publish into, so ``/v1/metrics?format=prometheus``
+exposes the whole engine through a single exposition endpoint.
+
+Metric names (see ``docs/observability.md`` for the full table):
+
+==================================  =========  ==========================
+``repro_jobs_submitted_total``      counter    accepted submissions
+``repro_jobs_finished_total``       counter    by ``outcome`` label
+``repro_jobs_rejected_total``       counter    admission + queue rejects
+``repro_admission_rejections_total`` counter   by diagnostic ``code``
+``repro_result_cache_hits_total``   counter    result-cache short-cuts
+``repro_job_queue_seconds``         histogram  by ``semantics`` label
+``repro_job_run_seconds``           histogram  by ``semantics`` label
+==================================  =========  ==========================
+
+:class:`LatencyHistogram` (the original fixed-bucket histogram) is kept
+for callers that want a standalone histogram without a registry.
 """
 
 from __future__ import annotations
 
 import threading
 from typing import Mapping
+
+from repro.obs.metrics import MetricsRegistry
 
 #: Upper bounds (seconds) of the latency buckets; the last bucket is
 #: unbounded.  Spans cache hits (~µs) to multi-minute exact builds.
@@ -22,7 +41,7 @@ DEFAULT_BUCKETS = (
 
 
 class LatencyHistogram:
-    """A fixed-bucket latency histogram (thread-safe).
+    """A fixed-bucket latency histogram (thread-safe, standalone).
 
     Examples
     --------
@@ -72,38 +91,83 @@ class LatencyHistogram:
 class ServiceMetrics:
     """Aggregated serving counters plus per-semantics latency histograms.
 
-    The scheduler calls the ``job_*`` hooks; queue/cache/session gauges
-    are sampled live from their owners when :meth:`snapshot` renders.
+    The scheduler calls the ``job_*`` hooks.  All state lives in the
+    ``registry`` (created on demand, or passed in to share one registry
+    across the whole service); the legacy attribute views
+    (``metrics.rejected`` etc.) read the registry counters.
     """
 
-    def __init__(self):
-        self._lock = threading.Lock()
-        self.submitted = 0
-        self.completed = 0
-        self.failed = 0
-        self.cancelled = 0
-        self.rejected = 0
-        self.result_cache_hits = 0
-        self.admission_rejections: dict[str, int] = {}
-        self._queue_wait: dict[str, LatencyHistogram] = {}
-        self._run: dict[str, LatencyHistogram] = {}
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._submitted = self.registry.counter(
+            "repro_jobs_submitted_total", "Jobs accepted into the queue"
+        )
+        self._finished = self.registry.counter(
+            "repro_jobs_finished_total", "Jobs finished, by outcome"
+        )
+        self._rejected = self.registry.counter(
+            "repro_jobs_rejected_total",
+            "Submissions rejected (admission checks or full queue)",
+        )
+        self._admission = self.registry.counter(
+            "repro_admission_rejections_total",
+            "Programs rejected by static analysis, by diagnostic code",
+        )
+        self._cache_hits = self.registry.counter(
+            "repro_result_cache_hits_total",
+            "Jobs answered from the result cache",
+        )
+        self._queue_wait = self.registry.histogram(
+            "repro_job_queue_seconds",
+            "Seconds jobs spent queued before execution",
+            buckets=DEFAULT_BUCKETS,
+        )
+        self._run = self.registry.histogram(
+            "repro_job_run_seconds",
+            "Seconds jobs spent executing",
+            buckets=DEFAULT_BUCKETS,
+        )
 
-    def _histogram(self, table: dict, semantics: str) -> LatencyHistogram:
-        with self._lock:
-            histogram = table.get(semantics)
-            if histogram is None:
-                histogram = table[semantics] = LatencyHistogram()
-            return histogram
+    # -- legacy attribute views ----------------------------------------
+
+    @property
+    def submitted(self) -> int:
+        return int(self._submitted.total())
+
+    @property
+    def completed(self) -> int:
+        return int(self._finished.value(outcome="done"))
+
+    @property
+    def failed(self) -> int:
+        return int(self._finished.value(outcome="failed"))
+
+    @property
+    def cancelled(self) -> int:
+        return int(self._finished.value(outcome="cancelled"))
+
+    @property
+    def rejected(self) -> int:
+        return int(self._rejected.total())
+
+    @property
+    def result_cache_hits(self) -> int:
+        return int(self._cache_hits.total())
+
+    @property
+    def admission_rejections(self) -> dict[str, int]:
+        return {
+            dict(labels).get("code", "unknown"): int(value)
+            for labels, value in self._admission.collect()
+        }
 
     # -- hooks ----------------------------------------------------------
 
     def job_submitted(self) -> None:
-        with self._lock:
-            self.submitted += 1
+        self._submitted.inc()
 
     def job_rejected(self) -> None:
-        with self._lock:
-            self.rejected += 1
+        self._rejected.inc()
 
     def admission_rejected(self, codes) -> None:
         """Record one program rejected by static analysis.
@@ -112,12 +176,9 @@ class ServiceMetrics:
         that caused the rejection; each is counted so ``/v1/metrics``
         shows *why* programs bounce, not just how many.
         """
-        with self._lock:
-            self.rejected += 1
-            for code in codes or ("unknown",):
-                self.admission_rejections[code] = (
-                    self.admission_rejections.get(code, 0) + 1
-                )
+        self._rejected.inc()
+        for code in codes or ("unknown",):
+            self._admission.inc(code=code)
 
     def job_finished(
         self,
@@ -128,50 +189,47 @@ class ServiceMetrics:
         cache_hit: bool = False,
     ) -> None:
         """Record one finished job (``outcome``: done/failed/cancelled)."""
-        with self._lock:
-            if outcome == "done":
-                self.completed += 1
-            elif outcome == "failed":
-                self.failed += 1
-            else:
-                self.cancelled += 1
-            if cache_hit:
-                self.result_cache_hits += 1
+        if outcome not in ("done", "failed"):
+            outcome = "cancelled"
+        self._finished.inc(outcome=outcome)
+        if cache_hit:
+            self._cache_hits.inc()
         if queue_seconds is not None:
-            self._histogram(self._queue_wait, semantics).observe(queue_seconds)
+            self._queue_wait.observe(queue_seconds, semantics=semantics)
         if run_seconds is not None:
-            self._histogram(self._run, semantics).observe(run_seconds)
+            self._run.observe(run_seconds, semantics=semantics)
 
     # -- rendering ------------------------------------------------------
 
+    def _latency_table(self, histogram) -> dict:
+        return {
+            dict(key)["semantics"]: histogram.as_dict(**dict(key))
+            for key in histogram.label_keys()
+        }
+
     def snapshot(self, gauges: Mapping[str, object] | None = None) -> dict:
         """The full metrics document for ``GET /v1/metrics``."""
-        with self._lock:
-            payload: dict = {
-                "jobs": {
-                    "submitted": self.submitted,
-                    "completed": self.completed,
-                    "failed": self.failed,
-                    "cancelled": self.cancelled,
-                    "rejected": self.rejected,
-                    "result_cache_hits": self.result_cache_hits,
-                },
-                "admission_rejections": dict(
-                    sorted(self.admission_rejections.items())
-                ),
-            }
-            queue_wait = dict(self._queue_wait)
-            run = dict(self._run)
-        payload["latency"] = {
-            "queue_wait_seconds": {
-                semantics: histogram.as_dict()
-                for semantics, histogram in sorted(queue_wait.items())
+        payload: dict = {
+            "jobs": {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "cancelled": self.cancelled,
+                "rejected": self.rejected,
+                "result_cache_hits": self.result_cache_hits,
             },
-            "run_seconds": {
-                semantics: histogram.as_dict()
-                for semantics, histogram in sorted(run.items())
+            "admission_rejections": dict(
+                sorted(self.admission_rejections.items())
+            ),
+            "latency": {
+                "queue_wait_seconds": self._latency_table(self._queue_wait),
+                "run_seconds": self._latency_table(self._run),
             },
         }
         if gauges:
             payload.update(gauges)
         return payload
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of the backing registry."""
+        return self.registry.render_prometheus()

@@ -80,13 +80,20 @@ class ResultCache:
             self._entries.clear()
 
     def stats(self) -> dict:
-        """JSON-friendly counter snapshot for the metrics endpoint."""
-        total = self.hits + self.misses
+        """JSON-friendly counter snapshot for the metrics endpoint.
+
+        Read in one critical section so a concurrent eviction can't make
+        the snapshot pair a new size with stale counters.
+        """
+        with self._lock:
+            hits, misses, evictions = self.hits, self.misses, self.evictions
+            size = len(self._entries)
+        total = hits + misses
         return {
-            "size": len(self),
+            "size": size,
             "maxsize": self.maxsize,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": (self.hits / total) if total else None,
+            "hits": hits,
+            "misses": misses,
+            "evictions": evictions,
+            "hit_rate": (hits / total) if total else None,
         }

@@ -40,9 +40,13 @@ from repro.errors import (
     RunCancelledError,
     ServiceError,
 )
+from repro.obs.logs import get_logger, job_logger
+from repro.obs.trace import MemorySink, Tracer
 from repro.runtime import Budget, RunContext
 from repro.service.metrics import ServiceMetrics
 from repro.service.request import QueryRequest
+
+logger = get_logger("scheduler")
 
 # Job lifecycle states.
 QUEUED = "queued"
@@ -62,6 +66,13 @@ DEFAULT_WORKERS = 2
 #: Finished jobs retained for polling before pruning.
 DEFAULT_REGISTRY_LIMIT = 1024
 
+#: Default per-job trace event bound when job tracing is enabled.
+DEFAULT_TRACE_EVENTS = 2048
+
+
+def _round3(seconds: float | None) -> float | None:
+    return round(seconds, 3) if seconds is not None else None
+
 
 @dataclass
 class Job:
@@ -80,6 +91,7 @@ class Job:
     report: dict | None = None
     cache_hit: bool = False
     cancel_requested: bool = False
+    trace: list[dict] | None = None
 
     @property
     def finished(self) -> bool:
@@ -111,6 +123,7 @@ class Job:
             "result": self.result,
             "error": self.error,
             "report": self.report,
+            "trace_available": self.trace is not None,
         }
         if include_request:
             payload["request"] = self.request.as_dict()
@@ -137,7 +150,17 @@ class JobScheduler:
         request leaves open; the cap clamps every admitted job.
     metrics:
         A :class:`~repro.service.metrics.ServiceMetrics` to notify;
-        one is created when omitted.
+        one is created when omitted.  Its backing
+        :class:`~repro.obs.metrics.MetricsRegistry` is handed to every
+        job's :class:`~repro.runtime.RunContext`, so run-level counters
+        (downgrades, steps, states) land in the same registry the
+        ``/v1/metrics`` endpoints render.
+    trace_events:
+        When > 0, every job runs with an in-memory
+        :class:`~repro.obs.trace.Tracer` bounded to this many step
+        events; the finished trace is kept on ``job.trace`` and served
+        by ``GET /v1/jobs/<id>/trace``.  ``0`` disables job tracing
+        (the :data:`~repro.obs.trace.NULL_TRACER` fast path).
 
     Examples
     --------
@@ -161,6 +184,7 @@ class JobScheduler:
         max_budget: Budget | None = None,
         metrics: ServiceMetrics | None = None,
         registry_limit: int = DEFAULT_REGISTRY_LIMIT,
+        trace_events: int = 0,
     ):
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers!r}")
@@ -168,6 +192,8 @@ class JobScheduler:
             raise ServiceError(f"queue_size must be >= 1, got {queue_size!r}")
         if registry_limit < 1:
             raise ServiceError(f"registry_limit must be >= 1, got {registry_limit!r}")
+        if trace_events < 0:
+            raise ServiceError(f"trace_events must be >= 0, got {trace_events!r}")
         self._executor = executor
         self.workers = workers
         self.queue_size = queue_size
@@ -175,6 +201,15 @@ class JobScheduler:
         self.max_budget = max_budget
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.registry_limit = registry_limit
+        self.trace_events = trace_events
+        self._run_steps = self.metrics.registry.counter(
+            "repro_run_steps_total",
+            "Transition steps consumed by finished jobs",
+        )
+        self._run_states = self.metrics.registry.counter(
+            "repro_run_states_total",
+            "Chain states materialised by finished jobs",
+        )
         self._lanes = {"high": deque(), "normal": deque()}
         self._jobs: dict[str, Job] = {}
         self._order: deque[str] = deque()  # submission order, for pruning
@@ -240,6 +275,10 @@ class JobScheduler:
             depth = sum(len(lane) for lane in self._lanes.values())
             if depth >= self.queue_size:
                 self.metrics.job_rejected()
+                logger.warning(
+                    "queue full (%d/%d), rejecting %s submission",
+                    depth, self.queue_size, request.semantics,
+                )
                 raise QueueFullError(
                     f"queue is full ({depth}/{self.queue_size} jobs queued); "
                     "retry later or raise --queue-size",
@@ -251,6 +290,10 @@ class JobScheduler:
             self._prune_locked()
             self.metrics.job_submitted()
             self._work_available.notify()
+        job_logger(logger, job.id).info(
+            "queued semantics=%s priority=%s depth=%d",
+            request.semantics, request.priority, depth + 1,
+        )
         return job
 
     # -- registry -------------------------------------------------------
@@ -334,6 +377,7 @@ class JobScheduler:
         job.state = state
         job.error = error
         job.finished_at = time.time()
+        outcome = {DONE: "done", FAILED: "failed"}.get(state, "cancelled")
         if job.context is not None:
             if state == DONE:
                 # Raw executors (and cache hits) don't touch the context;
@@ -342,13 +386,33 @@ class JobScheduler:
             elif error is not None:
                 job.context.record_event(f"{error['type']}: {error['message']}")
             job.report = job.context.report().as_dict()
-        outcome = {DONE: "done", FAILED: "failed"}.get(state, "cancelled")
+            spent = job.report.get("spent", {})
+            self._run_steps.inc(int(spent.get("steps") or 0))
+            self._run_states.inc(int(spent.get("states") or 0))
+            tracer = job.context.tracer
+            if tracer.enabled:
+                tracer.run_record(
+                    job_id=job.id,
+                    outcome=outcome,
+                    semantics=job.request.semantics,
+                    report=job.report,
+                )
+                if isinstance(tracer.sink, MemorySink):
+                    job.trace = tracer.sink.records
         self.metrics.job_finished(
             job.request.semantics,
             outcome,
             job.queue_seconds(),
             job.run_seconds(),
             cache_hit=job.cache_hit,
+        )
+        job_logger(logger, job.id).info(
+            "finished state=%s queue_s=%s run_s=%s cache_hit=%s%s",
+            state,
+            _round3(job.queue_seconds()),
+            _round3(job.run_seconds()),
+            job.cache_hit,
+            f" error={error['type']}" if error else "",
         )
         self._job_finished.notify_all()
 
@@ -375,10 +439,22 @@ class JobScheduler:
                 # The budget clock starts when execution starts, not at
                 # submission: queue wait is the server's problem, the
                 # run budget is the job's.
-                job.context = RunContext(job.budget)
+                tracer = None
+                if self.trace_events:
+                    tracer = Tracer(MemorySink(), max_events=self.trace_events)
+                job.context = RunContext(
+                    job.budget,
+                    tracer=tracer,
+                    metrics=self.metrics.registry,
+                    run_id=job.id,
+                )
                 if job.cancel_requested:
                     job.context.cancel()
                 self._in_flight += 1
+            job_logger(logger, job.id).debug(
+                "started worker=%s traced=%s",
+                threading.current_thread().name, tracer is not None,
+            )
             try:
                 payload = self._executor(job)
             except RunCancelledError as cancelled:

@@ -26,7 +26,8 @@ import copy
 import time
 from dataclasses import dataclass, field
 
-from repro.errors import ProgramRejectedError
+from repro.errors import JobNotFoundError, ProgramRejectedError
+from repro.obs.metrics import MetricsRegistry
 from repro.runtime import Budget
 from repro.service.metrics import ServiceMetrics
 from repro.service.request import QueryRequest
@@ -34,6 +35,7 @@ from repro.service.result_cache import DEFAULT_RESULT_CACHE_SIZE, ResultCache
 from repro.service.scheduler import (
     DEFAULT_QUEUE_SIZE,
     DEFAULT_REGISTRY_LIMIT,
+    DEFAULT_TRACE_EVENTS,
     DEFAULT_WORKERS,
     Job,
     JobScheduler,
@@ -56,7 +58,9 @@ class ServiceConfig:
 
     ``default_budget`` fills budget axes a request leaves open;
     ``max_budget`` clamps every admitted job (see
-    :meth:`QueryRequest.make_budget`).
+    :meth:`QueryRequest.make_budget`).  ``trace_events`` bounds the
+    per-job in-memory trace served by ``GET /v1/jobs/<id>/trace``
+    (``0`` disables job tracing entirely).
     """
 
     workers: int = DEFAULT_WORKERS
@@ -67,6 +71,7 @@ class ServiceConfig:
     transition_cache_size: int = DEFAULT_TRANSITION_CACHE_SIZE
     result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE
     registry_limit: int = DEFAULT_REGISTRY_LIMIT
+    trace_events: int = DEFAULT_TRACE_EVENTS
 
 
 class QueryService:
@@ -94,7 +99,8 @@ class QueryService:
     def __init__(self, config: ServiceConfig | None = None):
         self.config = config if config is not None else ServiceConfig()
         self.started_at: float | None = None
-        self.metrics = ServiceMetrics()
+        self.registry = MetricsRegistry()
+        self.metrics = ServiceMetrics(self.registry)
         self.sessions = SessionPool(
             maxsize=self.config.session_pool_size,
             transition_cache_size=self.config.transition_cache_size,
@@ -108,6 +114,33 @@ class QueryService:
             max_budget=self.config.max_budget,
             metrics=self.metrics,
             registry_limit=self.config.registry_limit,
+            trace_events=self.config.trace_events,
+        )
+        self._register_gauges()
+
+    def _register_gauges(self) -> None:
+        """Callback gauges: each reads its owner's ``stats()`` — one
+        consistent critical section under the owner's lock — only at
+        scrape time, never caching a possibly-stale sample."""
+        self.registry.gauge(
+            "repro_scheduler_queue_depth", "Jobs waiting in the bounded queue",
+            fn=lambda: self.scheduler.stats()["queue_depth"],
+        )
+        self.registry.gauge(
+            "repro_scheduler_in_flight", "Jobs currently executing",
+            fn=lambda: self.scheduler.stats()["in_flight"],
+        )
+        self.registry.gauge(
+            "repro_result_cache_entries", "Results retained in the LRU cache",
+            fn=lambda: self.results.stats()["size"],
+        )
+        self.registry.gauge(
+            "repro_session_pool_sessions", "Prepared engine sessions resident",
+            fn=lambda: self.sessions.stats()["size"],
+        )
+        self.registry.gauge(
+            "repro_uptime_seconds", "Seconds since the service started",
+            fn=lambda: (time.time() - self.started_at) if self.started_at else 0.0,
         )
 
     # -- lifecycle ------------------------------------------------------
@@ -183,6 +216,28 @@ class QueryService:
                 time.time() - self.started_at if self.started_at else None
             ),
         })
+
+    def metrics_prometheus(self) -> str:
+        """Text exposition for ``GET /v1/metrics?format=prometheus``."""
+        return self.registry.render_prometheus()
+
+    def job_trace(self, job_id: str) -> list[dict]:
+        """The job's trace records for ``GET /v1/jobs/<id>/trace``.
+
+        Raises :class:`~repro.errors.JobNotFoundError` when the job
+        does not exist *or* has no trace (still running, or the service
+        runs with ``trace_events=0``) — the HTTP layer maps both to 404.
+        """
+        job = self.scheduler.get(job_id)
+        if job.trace is None:
+            raise JobNotFoundError(
+                f"no trace for job {job_id!r} "
+                f"(state: {job.state}; tracing "
+                f"{'enabled' if self.config.trace_events else 'disabled'})",
+                details={"state": job.state,
+                         "trace_events": self.config.trace_events},
+            )
+        return list(job.trace)
 
     # -- execution (called by scheduler workers) ------------------------
 

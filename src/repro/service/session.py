@@ -532,16 +532,23 @@ class SessionPool:
         return session
 
     def stats(self) -> dict:
-        """JSON-friendly pool snapshot for the metrics endpoint."""
+        """JSON-friendly pool snapshot for the metrics endpoint.
+
+        Counters and the session list are read in one critical section,
+        so a concurrent eviction can't pair a new size with stale
+        counters; per-session stats are rendered outside the lock (they
+        take the sessions' own locks).
+        """
         with self._lock:
             sessions = list(self._sessions.values())
-        total = self.hits + self.misses
+            hits, misses, evictions = self.hits, self.misses, self.evictions
+        total = hits + misses
         return {
             "size": len(sessions),
             "maxsize": self.maxsize,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": (self.hits / total) if total else None,
+            "hits": hits,
+            "misses": misses,
+            "evictions": evictions,
+            "hit_rate": (hits / total) if total else None,
             "sessions": [session.stats() for session in sessions],
         }

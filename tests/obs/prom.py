@@ -1,0 +1,116 @@
+"""A small strict Prometheus text-format (0.0.4) parser for the tests.
+
+Parses ``# HELP`` / ``# TYPE`` comments and sample lines, returning the
+samples grouped by metric name.  Validation is deliberately pedantic —
+the acceptance criterion is that ``/v1/metrics?format=prometheus``
+parses with a *real* text-format parser, so this one rejects anything
+the official scrapers would.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_SAMPLE_RE = re.compile(rf"^({_NAME})(\{{.*\}})? (\S+)$")
+_LABEL_RE = re.compile(rf'({_NAME})="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+def _unescape(text: str) -> str:
+    # Single pass — chained str.replace would corrupt mixed escapes
+    # like the literal backslash in 'bye\\now'.
+    return re.sub(
+        r"\\(.)",
+        lambda m: {"n": "\n", '"': '"', "\\": "\\"}.get(m.group(1), m.group(0)),
+        text,
+    )
+
+
+def _parse_labels(text: str | None) -> dict[str, str]:
+    if not text:
+        return {}
+    body = text[1:-1]
+    labels: dict[str, str] = {}
+    matched = 0
+    for match in _LABEL_RE.finditer(body):
+        labels[match.group(1)] = _unescape(match.group(2))
+        matched = match.end()
+    rest = body[matched:].strip(", ")
+    if rest:
+        raise ValueError(f"unparseable label text: {rest!r}")
+    return labels
+
+
+def parse_prometheus(text: str) -> dict[str, list[tuple[dict[str, str], float]]]:
+    """Parse exposition text into ``{name: [(labels, value), ...]}``.
+
+    Raises :class:`ValueError` on any malformed line, on samples that
+    precede their family's ``# TYPE``, and on non-monotone histogram
+    buckets — the failures a real scraper would reject.
+    """
+    samples: dict[str, list[tuple[dict[str, str], float]]] = {}
+    types: dict[str, str] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) < 3:
+                raise ValueError(f"line {number}: malformed comment: {line!r}")
+            if parts[1] == "TYPE":
+                if parts[3] not in ("counter", "gauge", "histogram", "summary",
+                                    "untyped"):
+                    raise ValueError(f"line {number}: unknown type {parts[3]!r}")
+                types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {number}: malformed sample: {line!r}")
+        name, labels_text, value_text = match.groups()
+        family = re.sub(r"_(bucket|sum|count)$", "", name)
+        if name not in types and family not in types:
+            raise ValueError(f"line {number}: sample {name!r} precedes # TYPE")
+        samples.setdefault(name, []).append(
+            (_parse_labels(labels_text), _parse_value(value_text))
+        )
+    _check_histograms(samples, types)
+    return samples
+
+
+def _check_histograms(samples, types) -> None:
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        buckets = samples.get(f"{family}_bucket", [])
+        series: dict[tuple, list[tuple[float, float]]] = {}
+        for labels, value in buckets:
+            le = labels["le"]
+            rest = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            series.setdefault(rest, []).append((_parse_value(le), value))
+        for rest, entries in series.items():
+            entries.sort()
+            counts = [count for _, count in entries]
+            if counts != sorted(counts):
+                raise ValueError(
+                    f"{family}{dict(rest)}: bucket counts not cumulative"
+                )
+            count_samples = dict(
+                (tuple(sorted(labels.items())), value)
+                for labels, value in samples.get(f"{family}_count", [])
+            )
+            total = count_samples.get(rest)
+            if total is not None and entries and entries[-1][1] != total:
+                raise ValueError(
+                    f"{family}{dict(rest)}: +Inf bucket != _count"
+                )

@@ -1,0 +1,68 @@
+"""Service logging: configuration, levels, and job-id correlation."""
+
+from __future__ import annotations
+
+import io
+import logging
+
+import pytest
+
+from repro.obs.logs import (
+    SERVICE_LOGGER,
+    configure_service_logging,
+    get_logger,
+    job_logger,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_service_logger():
+    yield
+    logger = logging.getLogger(SERVICE_LOGGER)
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    logger.setLevel(logging.NOTSET)
+    logger.propagate = True
+
+
+class TestConfigure:
+    def test_level_parsing(self):
+        logger = configure_service_logging("warning")
+        assert logger.level == logging.WARNING
+        assert configure_service_logging(logging.DEBUG).level == logging.DEBUG
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_service_logging("loud")
+
+    def test_reconfiguring_does_not_stack_handlers(self):
+        configure_service_logging("info")
+        logger = configure_service_logging("debug")
+        assert len(logger.handlers) == 1
+
+    def test_records_go_to_stream(self):
+        stream = io.StringIO()
+        configure_service_logging("info", stream=stream)
+        get_logger("scheduler").info("hello")
+        line = stream.getvalue()
+        assert "repro.service.scheduler" in line
+        assert "hello" in line
+
+
+class TestCorrelation:
+    def test_job_logger_injects_job_id(self):
+        stream = io.StringIO()
+        configure_service_logging("info", stream=stream)
+        job_logger(get_logger("scheduler"), "job-7-abc").info("queued")
+        assert "[job=job-7-abc]" in stream.getvalue()
+
+    def test_uncorrelated_records_default_to_dash(self):
+        stream = io.StringIO()
+        configure_service_logging("info", stream=stream)
+        get_logger("http").info("listening")
+        assert "[job=-]" in stream.getvalue()
+
+    def test_component_loggers_share_the_hierarchy(self):
+        assert get_logger().name == SERVICE_LOGGER
+        assert get_logger("session").name == f"{SERVICE_LOGGER}.session"
+        assert get_logger("session").parent.name == SERVICE_LOGGER

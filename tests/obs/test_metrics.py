@@ -1,0 +1,179 @@
+"""The unified metrics registry: counters, gauges, histograms, export."""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from tests.obs.prom import parse_prometheus
+
+
+class TestCounter:
+    def test_inc_and_total(self):
+        counter = MetricsRegistry().counter("c_total", "help")
+        counter.inc()
+        counter.inc(2.0, outcome="done")
+        assert counter.value() == 1.0
+        assert counter.value(outcome="done") == 2.0
+        assert counter.total() == 3.0
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("c_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g", "help")
+        gauge.set(5.0)
+        gauge.inc()
+        gauge.dec(2.0)
+        assert gauge.value() == 4.0
+
+    def test_callback_gauge_reads_at_scrape_time(self):
+        box = {"value": 1.0}
+        gauge = MetricsRegistry().gauge("g", fn=lambda: box["value"])
+        assert gauge.value() == 1.0
+        box["value"] = 7.0
+        assert gauge.value() == 7.0
+
+    def test_callback_gauge_rejects_set(self):
+        gauge = MetricsRegistry().gauge("g", fn=lambda: 0.0)
+        with pytest.raises(ValueError):
+            gauge.set(1.0)
+
+
+class TestHistogramEdgeCases:
+    def test_empty_quantiles_are_none(self):
+        histogram = MetricsRegistry().histogram("h_seconds", buckets=(0.1, 1.0))
+        assert histogram.quantile(0.5) is None
+        assert histogram.quantile(0.99) is None
+        assert histogram.count() == 0
+        assert histogram.as_dict()["mean"] is None
+
+    def test_quantile_domain_checked(self):
+        histogram = MetricsRegistry().histogram("h_seconds", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_single_observation_buckets(self):
+        histogram = MetricsRegistry().histogram("h_seconds", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        view = histogram.as_dict()
+        assert view["count"] == 1
+        assert view["sum"] == 0.05
+        # Cumulative: the one observation is in every bucket from 0.1 up.
+        assert view["buckets"] == {"0.1": 1, "1": 1, "+Inf": 1}
+        assert view["p50"] == 0.05
+        assert view["p99"] == 0.05
+
+    def test_overflow_observation_lands_in_inf_bucket(self):
+        histogram = MetricsRegistry().histogram("h_seconds", buckets=(0.1,))
+        histogram.observe(5.0)
+        view = histogram.as_dict()
+        assert view["buckets"] == {"0.1": 0, "+Inf": 1}
+
+    def test_concurrent_observe_under_threads(self):
+        histogram = MetricsRegistry().histogram(
+            "h_seconds", buckets=(0.25, 0.75), keep_observations=False
+        )
+        per_thread = 1000
+
+        def worker(offset: float) -> None:
+            for index in range(per_thread):
+                histogram.observe(offset + (index % 2) * 0.5)
+
+        threads = [
+            threading.Thread(target=worker, args=(offset,))
+            for offset in (0.1, 0.1, 0.2, 0.2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total = 4 * per_thread
+        assert histogram.count() == total
+        view = histogram.as_dict()
+        # Exactly half the observations were <= 0.25 (0.1 / 0.2), the
+        # rest (0.6 / 0.7) fell in the 0.75 bucket; none overflowed.
+        assert view["buckets"]["0.25"] == total // 2
+        assert view["buckets"]["0.75"] == total
+        assert view["buckets"]["+Inf"] == total
+
+    def test_bucket_quantile_when_observations_overflow(self):
+        histogram = MetricsRegistry().histogram("h_seconds", buckets=(1.0, 2.0))
+        histogram.max_observations = 0  # force the bucket-interpolation path
+        for _ in range(10):
+            histogram.observe(0.5)
+        assert histogram.quantile(0.5) == 1.0
+
+
+class TestRegistry:
+    def test_idempotent_registration(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", "help")
+        b = registry.counter("x_total", "other help ignored")
+        assert a is b
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total")
+
+    def test_as_dict_shapes(self):
+        registry = MetricsRegistry()
+        registry.counter("plain_total").inc(3)
+        registry.counter("labelled_total").inc(2, kind="a")
+        registry.gauge("g").set(1.5)
+        view = registry.as_dict()
+        assert view["plain_total"] == 3.0
+        assert view["labelled_total"] == {'{kind="a"}': 2.0}
+        assert view["g"] == 1.5
+
+
+class TestPrometheusRendering:
+    def test_render_parses_and_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total", "jobs").inc(4, outcome="done")
+        registry.counter("jobs_total").inc(1, outcome="failed")
+        registry.gauge("depth", "queue depth").set(2)
+        histogram = registry.histogram("latency_seconds", "latency",
+                                       buckets=(0.1, 1.0))
+        histogram.observe(0.05, semantics="forever")
+        histogram.observe(3.0, semantics="forever")
+        samples = parse_prometheus(registry.render_prometheus())
+        assert ({"outcome": "done"}, 4.0) in samples["jobs_total"]
+        assert samples["depth"] == [({}, 2.0)]
+        buckets = dict(
+            (labels["le"], value)
+            for labels, value in samples["latency_seconds_bucket"]
+        )
+        assert buckets == {"0.1": 1.0, "1": 1.0, "+Inf": 2.0}
+        assert samples["latency_seconds_count"] == [
+            ({"semantics": "forever"}, 2.0)
+        ]
+        assert samples["latency_seconds_sum"][0][1] == pytest.approx(3.05)
+
+    def test_empty_families_render_zero(self):
+        registry = MetricsRegistry()
+        registry.counter("nothing_total", "never incremented")
+        samples = parse_prometheus(registry.render_prometheus())
+        assert samples["nothing_total"] == [({}, 0.0)]
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("esc_total").inc(1, reason='say "hi"\nbye\\now')
+        samples = parse_prometheus(registry.render_prometheus())
+        assert samples["esc_total"][0][0]["reason"] == 'say "hi"\nbye\\now'
+
+    def test_inf_formatting(self):
+        assert math.isinf(float("inf"))  # sanity for the parser helper
+        registry = MetricsRegistry()
+        registry.histogram("h_seconds", buckets=(0.5,)).observe(9.0)
+        text = registry.render_prometheus()
+        assert 'h_seconds_bucket{le="+Inf"} 1' in text

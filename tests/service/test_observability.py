@@ -1,0 +1,109 @@
+"""Observability on the serving layer: job traces and Prometheus export."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import JobNotFoundError
+from repro.obs import validate_trace_records
+from repro.service import (
+    QueryRequest,
+    QueryService,
+    ServiceClient,
+    ServiceConfig,
+    make_server,
+)
+
+from tests.obs.prom import parse_prometheus
+from tests.service.conftest import walk_body
+
+
+@pytest.fixture
+def served():
+    """A started service on an ephemeral port, with its client."""
+    service = QueryService(ServiceConfig(workers=2, queue_size=8))
+    service.start()
+    server = make_server(service, "127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    client = ServiceClient(f"http://{host}:{port}", timeout=10.0)
+    try:
+        yield service, client
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.shutdown(wait=False, cancel_running=True)
+
+
+class TestJobTraces:
+    def test_finished_job_exposes_schema_valid_trace(self, served):
+        _, client = served
+        record = client.submit(walk_body())
+        done = client.wait(record["id"], timeout=30.0)
+        assert done["trace_available"] is True
+        trace = client.trace(record["id"])
+        records = validate_trace_records(trace)
+        names = {r["name"] for r in records if r["type"] == "span"}
+        assert "solve" in names
+        run = records[-1]
+        assert run["type"] == "run"
+        assert run["outcome"] == "done"
+        assert run["job_id"] == record["id"]
+        assert run["report"]["outcome"] == "ok"
+
+    def test_unknown_job_trace_is_404(self, served):
+        _, client = served
+        with pytest.raises(JobNotFoundError):
+            client.trace("job-0-nope")
+
+    def test_tracing_disabled_reports_no_trace(self):
+        service = QueryService(ServiceConfig(workers=1, trace_events=0))
+        service.start()
+        try:
+            job = service.submit(QueryRequest.from_json(walk_body()))
+            service.wait(job.id, timeout=30.0)
+            assert service.job(job.id).as_dict()["trace_available"] is False
+            with pytest.raises(JobNotFoundError, match="no trace"):
+                service.job_trace(job.id)
+        finally:
+            service.shutdown(wait=False, cancel_running=True)
+
+
+class TestPrometheusEndpoint:
+    def test_scrape_parses_and_counts_jobs(self, served):
+        _, client = served
+        record = client.submit(walk_body())
+        client.wait(record["id"], timeout=30.0)
+        text = client.metrics_prometheus()
+        samples = parse_prometheus(text)
+        submitted = samples["repro_jobs_submitted_total"]
+        assert submitted[0][1] >= 1.0
+        finished = dict(
+            (labels.get("outcome"), value)
+            for labels, value in samples["repro_jobs_finished_total"]
+        )
+        assert finished.get("done", 0.0) >= 1.0
+        # Histograms survive the strict parser's cumulative checks.
+        assert "repro_job_run_seconds_bucket" in samples
+        assert "repro_run_steps_total" in samples
+
+    def test_callback_gauges_present(self, served):
+        _, client = served
+        samples = parse_prometheus(client.metrics_prometheus())
+        for gauge in (
+            "repro_scheduler_queue_depth",
+            "repro_scheduler_in_flight",
+            "repro_result_cache_entries",
+            "repro_session_pool_sessions",
+            "repro_uptime_seconds",
+        ):
+            assert gauge in samples, gauge
+        assert samples["repro_uptime_seconds"][0][1] >= 0.0
+
+    def test_json_document_still_served(self, served):
+        _, client = served
+        metrics = client.metrics()
+        assert "jobs" in metrics and "scheduler" in metrics

@@ -1,0 +1,114 @@
+"""End-to-end tracing through the CLI: ``--trace`` and ``repro report``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import summarize, validate_trace_file
+
+from tests.test_cli import workspace  # noqa: F401  (fixture re-export)
+
+
+def _run_traced(workspace, tmp_path, capsys) -> tuple[list[dict], dict]:
+    """A seeded MCMC walk with --trace; returns (records, cli payload)."""
+    trace = tmp_path / "run.jsonl"
+    code = main(
+        [
+            "forever",
+            workspace["walk"],
+            "--db",
+            workspace["db"],
+            "--event",
+            "C(b)",
+            "--mcmc",
+            "--samples",
+            "300",
+            "--burn-in",
+            "50",
+            "--seed",
+            "7",
+            "--json",
+            "--trace",
+            str(trace),
+        ]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    return validate_trace_file(str(trace)), payload
+
+
+class TestTracedRun:
+    def test_trace_is_schema_valid_and_complete(self, workspace, tmp_path, capsys):
+        records, payload = _run_traced(workspace, tmp_path, capsys)
+        assert records[0]["type"] == "start"
+        run = records[-1]
+        assert run["type"] == "run"
+        assert run["outcome"] == "ok"
+        assert "mcmc" in run["mode"].lower()
+        # MCMC samples trajectories directly — no chain materialisation.
+        span_names = {r["name"] for r in records if r["type"] == "span"}
+        assert {"parse", "sample"} <= span_names
+
+    def test_phase_totals_reconcile_with_report(self, workspace, tmp_path, capsys):
+        records, payload = _run_traced(workspace, tmp_path, capsys)
+        run = records[-1]
+        wall_clock = run["report"]["spent"]["wall_clock"]
+        phase_total = sum(
+            r["wall_s"]
+            for r in records
+            if r["type"] == "span" and r.get("parent") is None
+        )
+        # Top-level phase spans partition the run; their total must agree
+        # with the budget-tracked wall clock to within 5% (plus a tiny
+        # absolute floor for sub-millisecond runs).
+        assert abs(phase_total - wall_clock) <= max(0.05 * wall_clock, 0.005)
+
+    def test_sample_events_feed_convergence_curve(self, workspace, tmp_path, capsys):
+        records, payload = _run_traced(workspace, tmp_path, capsys)
+        summary = summarize(records)
+        assert summary.events_by_name["sample"] > 0
+        assert summary.curve
+        final_index, final_value = summary.curve[-1]
+        assert final_index == summary.events_by_name["sample"]
+        assert 0.0 <= final_value <= 1.0
+        # The curve's tail is the MCMC running estimate itself.
+        assert final_value == pytest.approx(float(payload["estimate"]), abs=1e-9)
+
+
+class TestReportCommand:
+    def test_report_renders_trace(self, workspace, tmp_path, capsys):
+        _run_traced(workspace, tmp_path, capsys)
+        code = main(["report", str(tmp_path / "run.jsonl")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phase breakdown" in out
+        assert "sample" in out
+        assert "convergence" in out
+
+    def test_report_json_round_trips(self, workspace, tmp_path, capsys):
+        _run_traced(workspace, tmp_path, capsys)
+        code = main(["report", str(tmp_path / "run.jsonl"), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "sample" in payload["phases"]
+        assert payload["run"]["outcome"] == "ok"
+
+    def test_report_rejects_malformed_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "mystery", "v": 1}\n')
+        code = main(["report", str(bad)])
+        assert code != 0
+        assert "error:" in capsys.readouterr().err
+
+
+class TestNoTraceFlag:
+    def test_runs_without_trace_write_nothing(self, workspace, tmp_path, capsys):
+        code = main(
+            ["forever", workspace["walk"], "--db", workspace["db"],
+             "--event", "C(b)"]
+        )
+        assert code == 0
+        assert not list(tmp_path.glob("*.jsonl"))
