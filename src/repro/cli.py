@@ -501,6 +501,15 @@ def _command_serve(args: argparse.Namespace, context: RunContext) -> dict:
     from repro.obs.logs import configure_service_logging
 
     configure_service_logging(args.log_level)
+    if args.fault_plan:
+        # Chaos mode: install the plan here (and export it through the
+        # environment so supervised worker processes inherit it).
+        import os as _os
+
+        from repro import faults
+
+        _os.environ[faults.FAULT_PLAN_ENV] = args.fault_plan
+        faults.install_from_env()
     config = ServiceConfig(
         workers=args.workers,
         queue_size=args.queue_size,
@@ -508,18 +517,39 @@ def _command_serve(args: argparse.Namespace, context: RunContext) -> dict:
         session_pool_size=args.session_pool_size,
         result_cache_size=args.result_cache_size,
         trace_events=args.trace_events,
+        load_shedding=not args.no_load_shedding,
     )
     service = QueryService(config)
+    supervise_stats = None
+    if args.supervise:
+        from repro.perf.supervisor import prewarm
+
+        supervise_stats = prewarm(args.supervise)
     server = make_server(service, args.host, args.port)
     host, port = server.server_address[:2]
     url = f"http://{host}:{port}"
+    startup = {
+        "serving": url, "workers": args.workers, "queue_size": args.queue_size,
+    }
+    if supervise_stats is not None:
+        startup["supervised_workers"] = supervise_stats["alive"]
     # The startup line is printed (and flushed) before serving so a
     # parent process can parse the bound address, ephemeral port included.
-    _emit(
-        {"serving": url, "workers": args.workers, "queue_size": args.queue_size},
-        args.json,
-    )
+    _emit(startup, args.json)
     sys.stdout.flush()
+
+    # Non-interactive shells start background jobs with SIGINT ignored,
+    # in which case Python never installs its KeyboardInterrupt handler
+    # and `kill -INT` would be a silent no-op.  The documented contract
+    # (graceful shutdown, exit 130) must hold regardless of how the
+    # server was launched, and SIGTERM gets the same graceful path.
+    import signal
+
+    def _request_stop(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGINT, _request_stop)
+    signal.signal(signal.SIGTERM, _request_stop)
     service.start()
     try:
         server.serve_forever(poll_interval=0.2)
@@ -527,6 +557,159 @@ def _command_serve(args: argparse.Namespace, context: RunContext) -> dict:
         server.server_close()
         service.shutdown(wait=False, cancel_running=True)
     return {"stopped": url}
+
+
+def _command_chaos(args: argparse.Namespace, context: RunContext) -> dict:
+    """Run seeded fault-injection scenarios against the real samplers.
+
+    Each scenario runs the same seeded Theorem 5.6 evaluation as a clean
+    baseline, installs a deterministic :class:`~repro.faults.FaultPlan`,
+    and checks the run *recovers to the bit-identical estimate* — crashes
+    through supervisor restarts, hangs through heartbeat stall detection,
+    transient faults through chunk retries, and torn checkpoint writes
+    through the crash-safe rename protocol plus resume.  Exit code 1
+    when any scenario fails its check.
+    """
+    import os
+    import tempfile
+
+    from repro import faults
+    from repro.faults import (
+        SITE_CHECKPOINT_WRITE,
+        SITE_SAMPLER_SAMPLE,
+        SITE_SUPERVISOR_TASK,
+        FaultPlan,
+        FaultSpec,
+    )
+    from repro.perf import ParallelConfig
+    from repro.perf.supervisor import HEARTBEAT_TIMEOUT_ENV
+
+    kernel, db, event = _load_kernel_and_event(args, context)
+    query = ForeverQuery(kernel, event)
+    samples = args.samples
+    seed = args.seed
+    workers = max(2, args.workers)
+    parallel = ParallelConfig(workers=workers)
+
+    def run(parallel_config=None, checkpoint=None, resume=None):
+        ctx = RunContext(Budget(
+            wall_clock=getattr(args, "timeout", None),
+            max_steps=getattr(args, "max_steps", None),
+        ))
+        result = evaluate_forever_mcmc(
+            query,
+            db,
+            samples=samples,
+            burn_in=args.burn_in,
+            rng=seed,
+            context=ctx,
+            parallel=parallel_config,
+            checkpoint_path=checkpoint,
+            resume=resume,
+        )
+        return result, ctx
+
+    chosen = (
+        ("crash", "hang", "transient", "torn-checkpoint")
+        if args.scenario == "all" else (args.scenario,)
+    )
+    pool_scenarios = [name for name in chosen if name != "torn-checkpoint"]
+    baseline_pool = run(parallel)[0] if pool_scenarios else None
+    baseline_seq = run(None)[0] if "torn-checkpoint" in chosen else None
+
+    def recovery(name: str, plan: FaultPlan, heartbeat: float | None = None) -> dict:
+        if heartbeat is not None:
+            os.environ[HEARTBEAT_TIMEOUT_ENV] = str(heartbeat)
+        faults.install(plan)
+        try:
+            result, ctx = run(parallel)
+        finally:
+            faults.uninstall()
+            if heartbeat is not None:
+                os.environ.pop(HEARTBEAT_TIMEOUT_ENV, None)
+        events = ctx.report().events
+        return {
+            "scenario": name,
+            "ok": result.estimate == baseline_pool.estimate,
+            "estimate": result.estimate,
+            "expected": baseline_pool.estimate,
+            "recovery_events": [
+                line for line in events
+                if "restart" in line or "retry" in line or "stale" in line
+            ],
+        }
+
+    def torn_checkpoint() -> dict:
+        interrupt_at = max(2, samples // 2)
+        checkpoint = os.path.join(
+            tempfile.mkdtemp(prefix="repro-chaos-"), "run.ckpt"
+        )
+        interrupt = FaultSpec(
+            SITE_SAMPLER_SAMPLE, "raise", after=interrupt_at, transient=False
+        )
+        # First interruption: the snapshot write itself is torn mid-way.
+        # The rename protocol must leave no (partial) checkpoint behind.
+        faults.install(FaultPlan([
+            interrupt, FaultSpec(SITE_CHECKPOINT_WRITE, "torn-write"),
+        ], seed=seed))
+        died = False
+        try:
+            run(None, checkpoint=checkpoint)
+        except ReproError:
+            died = True
+        finally:
+            faults.uninstall()
+        torn_ok = died and not os.path.exists(checkpoint)
+        # Second interruption, healthy disk: the checkpoint must land.
+        faults.install(FaultPlan([interrupt], seed=seed))
+        try:
+            run(None, checkpoint=checkpoint)
+        except ReproError:
+            pass
+        finally:
+            faults.uninstall()
+        saved_ok = os.path.exists(checkpoint)
+        resumed = run(None, checkpoint=checkpoint, resume=checkpoint)[0]
+        return {
+            "scenario": "torn-checkpoint",
+            "ok": (
+                torn_ok and saved_ok
+                and resumed.estimate == baseline_seq.estimate
+            ),
+            "torn_write_left_no_checkpoint": torn_ok,
+            "checkpoint_saved_on_retry": saved_ok,
+            "estimate": resumed.estimate,
+            "expected": baseline_seq.estimate,
+        }
+
+    plans = {
+        "crash": (FaultPlan(
+            [FaultSpec(SITE_SUPERVISOR_TASK, "crash", generation=0)], seed=seed
+        ), None),
+        "hang": (FaultPlan(
+            [FaultSpec(SITE_SUPERVISOR_TASK, "hang", generation=0)], seed=seed
+        ), 2.0),
+        "transient": (FaultPlan(
+            [FaultSpec(SITE_SUPERVISOR_TASK, "raise", times=2)], seed=seed
+        ), None),
+    }
+    records = []
+    for name in chosen:
+        if name == "torn-checkpoint":
+            records.append(torn_checkpoint())
+        else:
+            plan, heartbeat = plans[name]
+            records.append(recovery(name, plan, heartbeat))
+    all_ok = all(record["ok"] for record in records)
+    if not all_ok:
+        args._exit_code = 1
+    return {
+        "ok": all_ok,
+        "workers": workers,
+        "samples": samples,
+        "seed": seed,
+        "scenarios": records,
+    }
 
 
 def _submit_body(args: argparse.Namespace) -> dict:
@@ -775,7 +958,54 @@ def build_arg_parser() -> argparse.ArgumentParser:
         default="info",
         help="repro.service logger verbosity (stderr, job-id correlated)",
     )
+    serve.add_argument(
+        "--supervise",
+        type=int,
+        default=0,
+        metavar="N",
+        help="pre-warm N supervised sampler worker processes at startup "
+        "so the first workers>1 job skips spawn latency (0 = lazy)",
+    )
+    serve.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="PLAN",
+        help="install a fault-injection plan (inline JSON or @path) for "
+        "chaos testing; exported to worker processes via "
+        "REPRO_FAULT_PLAN — see docs/robustness.md",
+    )
+    serve.add_argument(
+        "--no-load-shedding",
+        action="store_true",
+        help="disable the admission-time degradation ladder (overloaded "
+        "queues then reject with 429 only)",
+    )
     serve.set_defaults(handler=_command_serve)
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="seeded fault-injection scenarios against the real samplers "
+        "(crash, hang, transient, torn-checkpoint; see docs/robustness.md)",
+        parents=[common],
+    )
+    chaos.add_argument("kernel", help="interpretation file (Name := expression lines)")
+    chaos.add_argument("--db", required=True)
+    chaos.add_argument("--event", required=True)
+    chaos.add_argument(
+        "--scenario",
+        choices=("all", "crash", "hang", "transient", "torn-checkpoint"),
+        default="all",
+        help="which fault scenario to run (default: all of them)",
+    )
+    chaos.add_argument("--samples", type=int, default=24)
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument("--burn-in", type=int, default=None)
+    chaos.add_argument(
+        "--workers", type=int, default=2,
+        help="supervised sampler workers for the pool scenarios (min 2)",
+    )
+    _add_budget_arguments(chaos)
+    chaos.set_defaults(handler=_command_chaos)
 
     submit = subparsers.add_parser(
         "submit",

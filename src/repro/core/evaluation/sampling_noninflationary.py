@@ -34,6 +34,7 @@ from repro.core.chain_builder import build_state_chain
 from repro.core.evaluation.results import SamplingResult
 from repro.core.queries import ForeverQuery
 from repro.errors import CheckpointError, EvaluationError
+from repro.faults import SITE_SAMPLER_SAMPLE, maybe_fire
 from repro.markov.mixing import mixing_time
 from repro.obs.trace import phase_scope, tracer_of
 from repro.probability.chernoff import hoeffding_sample_count, paper_sample_count
@@ -380,6 +381,9 @@ def evaluate_forever_mcmc(
                 hit = query.event.holds(state)
                 positive += hit
                 sample_index += 1
+                # Chaos hook: lets the fault harness interrupt mid-run on
+                # an exact sample boundary (a global read when inactive).
+                maybe_fire(SITE_SAMPLER_SAMPLE, sample=sample_index)
                 if tracer.enabled:
                     tracer.event(
                         "sample", index=sample_index, hit=bool(hit),

@@ -41,23 +41,48 @@ class ReproError(Exception):
     diagnostics (empty by default) so callers — in particular the
     :mod:`repro.runtime` degradation policy — can react to *why* an
     operation failed without parsing the message text.
+
+    ``retryable`` marks transient failures (a crashed worker, an
+    injected fault, an overloaded server) that an idempotent caller may
+    safely retry; it is consulted by the supervisor's chunk dispatch,
+    the scheduler's re-admission path, and the HTTP client.
     """
 
-    def __init__(self, *args: object, details: Mapping[str, Any] | None = None):
+    #: Whether retrying the failed operation can succeed (class default;
+    #: instances may override via the ``retryable=`` keyword).
+    retryable: bool = False
+
+    def __init__(
+        self,
+        *args: object,
+        details: Mapping[str, Any] | None = None,
+        retryable: bool | None = None,
+    ):
         super().__init__(*args)
         self.details: dict[str, Any] = dict(details or {})
+        if retryable is not None:
+            self.retryable = retryable
 
     def __reduce__(self):
         # The default Exception reduction drops keyword-only state, so a
         # BudgetExceededError crossing a process-pool boundary (parallel
         # sampling) would lose its ``details``.  Rebuild through a helper
         # that restores them.
-        return (_rebuild_error, (type(self), self.args, self.details))
+        return (
+            _rebuild_error,
+            (type(self), self.args, self.details, self.retryable),
+        )
 
 
-def _rebuild_error(cls: type, args: tuple, details: Mapping[str, Any]) -> "ReproError":
+def _rebuild_error(
+    cls: type,
+    args: tuple,
+    details: Mapping[str, Any],
+    retryable: bool = False,
+) -> "ReproError":
     error = cls(*args)
     error.details = dict(details)
+    error.retryable = retryable
     return error
 
 
@@ -140,6 +165,39 @@ class CheckpointError(ReproError):
     or kind, or does not match the run being resumed."""
 
 
+class FaultInjectedError(ReproError):
+    """A :class:`~repro.faults.FaultPlan` fired a ``raise`` or
+    ``corrupt`` action at an instrumented site.  Transient by default
+    (``retryable=True``): the fault-injection harness exists to prove
+    the retry/restart paths recover, so injected failures look exactly
+    like the transient infrastructure failures they simulate."""
+
+    retryable = True
+
+
+class WorkerCrashError(EvaluationError):
+    """A supervised worker process died while a task chunk was in
+    flight.  Retryable: task chunks are pure functions of their seed,
+    so re-dispatching the chunk to a fresh worker reproduces the exact
+    tally the crashed worker would have returned."""
+
+    retryable = True
+
+
+class WorkerStalledError(EvaluationError):
+    """A supervised worker stopped heart-beating past the configured
+    timeout while a task chunk was in flight and was killed.  Retryable
+    for the same idempotency reason as :class:`WorkerCrashError`."""
+
+    retryable = True
+
+
+class WorkerPoolError(EvaluationError):
+    """The supervised worker pool is no longer usable: the restart
+    budget is exhausted or a task exceeded its retry allowance.  Not
+    retryable — the pool itself has given up."""
+
+
 class ServiceError(ReproError):
     """Base class of query-service failures (:mod:`repro.service`).
 
@@ -164,8 +222,19 @@ class ProgramRejectedError(InvalidRequestError):
 
 class QueueFullError(ServiceError):
     """The scheduler's bounded queue is at capacity and the job was
-    rejected at admission.  The HTTP front-end answers 429; clients
-    should back off and resubmit."""
+    rejected at admission — *after* load shedding already tried every
+    cheaper ladder rung.  The HTTP front-end answers 429 with a
+    ``Retry-After`` header; clients should back off and resubmit."""
+
+    retryable = True
+
+
+class ServiceUnavailableError(ServiceError):
+    """The service is shutting down (or has shut down) and cannot admit
+    new work.  The HTTP front-end answers 503 with ``Retry-After``;
+    clients talking to a replicated deployment should retry elsewhere."""
+
+    retryable = True
 
 
 class JobNotFoundError(ServiceError):

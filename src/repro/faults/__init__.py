@@ -1,0 +1,54 @@
+"""Deterministic fault injection for chaos-testing the runtime.
+
+See :mod:`repro.faults.plan` for the model.  The public surface:
+
+* :class:`FaultSpec` / :class:`FaultPlan` — seeded, replayable fault
+  scenarios targeting named sites in the production code paths.
+* :func:`install` / :func:`uninstall` / :func:`active` — process-wide
+  plan management (with ``REPRO_FAULT_PLAN`` propagation to workers).
+* :func:`maybe_fire` — the cheap hook the runtime calls at each site.
+"""
+
+from repro.faults.plan import (
+    DEFAULT_HANG_SECONDS,
+    FAULT_PLAN_ENV,
+    KNOWN_SITES,
+    SITE_CHECKPOINT_WRITE,
+    SITE_SAMPLER_SAMPLE,
+    SITE_SCHEDULER_EXECUTE,
+    SITE_SUPERVISOR_TASK,
+    SITE_WORKER_CACHE,
+    FaultPlan,
+    FaultSpec,
+    active,
+    generation,
+    install,
+    install_from_env,
+    load_from_env,
+    maybe_fire,
+    set_generation,
+    set_observer,
+    uninstall,
+)
+
+__all__ = [
+    "DEFAULT_HANG_SECONDS",
+    "FAULT_PLAN_ENV",
+    "KNOWN_SITES",
+    "SITE_CHECKPOINT_WRITE",
+    "SITE_SAMPLER_SAMPLE",
+    "SITE_SCHEDULER_EXECUTE",
+    "SITE_SUPERVISOR_TASK",
+    "SITE_WORKER_CACHE",
+    "FaultPlan",
+    "FaultSpec",
+    "active",
+    "generation",
+    "install",
+    "install_from_env",
+    "load_from_env",
+    "maybe_fire",
+    "set_generation",
+    "set_observer",
+    "uninstall",
+]

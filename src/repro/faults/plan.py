@@ -1,0 +1,403 @@
+"""Deterministic fault injection at named sites in the real code paths.
+
+Chaos testing is only trustworthy when the chaos drives the *production*
+code: a mocked worker that "crashes" exercises the mock, not the
+supervisor.  This module therefore instruments a handful of named sites
+inside the real runtime — the supervised worker's task loop, the
+sampler's per-sample boundary, the checkpoint writer, the scheduler's
+executor — with a single cheap hook, :func:`maybe_fire`.  With no plan
+installed the hook is one global load and a ``None`` comparison; with a
+plan installed it fires *deterministically*: specs trigger on exact hit
+counts (``after``/``times``) or on a seeded per-site Bernoulli draw, so
+a chaos scenario replays identically run after run.
+
+Plans cross process boundaries through the ``REPRO_FAULT_PLAN``
+environment variable (inline JSON, or ``@path`` to a JSON file), which
+:func:`install` exports and supervised worker processes re-read — so a
+plan installed in a test process reaches the forked/spawned workers it
+is meant to kill.
+
+Actions
+-------
+``crash``
+    ``os._exit(70)`` — an abrupt worker death (no cleanup, no excuse).
+    Only meaningful inside a worker *process*; never use it at an
+    in-thread site.
+``hang``
+    Sleep for ``seconds`` (default far past any heartbeat timeout)
+    without polling cancellation — a stuck worker.
+``sleep``
+    Sleep for ``seconds`` and continue — a slow response.
+``raise``
+    Raise :class:`~repro.errors.FaultInjectedError` (transient /
+    retryable by default; set ``transient: false`` for a permanent
+    failure).
+``corrupt`` / ``torn-write``
+    Returned to the instrumented call site, which implements the
+    site-specific damage (poisoning a worker cache, tearing a
+    checkpoint temp file mid-write).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.errors import FaultInjectedError, ReproError
+
+#: Environment variable carrying the active plan across processes.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: The named injection sites wired into the runtime.  A spec may name
+#: any site (tests register ad-hoc ones), but these are the ones the
+#: production code paths consult.
+SITE_SUPERVISOR_TASK = "supervisor.task"      # worker-side, per task chunk
+SITE_WORKER_CACHE = "worker.cache"            # worker-side, per cached chunk
+SITE_SAMPLER_SAMPLE = "sampler.sample"        # per completed MCMC sample
+SITE_CHECKPOINT_WRITE = "checkpoint.write"    # inside Checkpoint.save
+SITE_SCHEDULER_EXECUTE = "scheduler.execute"  # per job execution
+
+KNOWN_SITES = (
+    SITE_SUPERVISOR_TASK,
+    SITE_WORKER_CACHE,
+    SITE_SAMPLER_SAMPLE,
+    SITE_CHECKPOINT_WRITE,
+    SITE_SCHEDULER_EXECUTE,
+)
+
+_ACTIONS = ("crash", "hang", "sleep", "raise", "corrupt", "torn-write")
+
+#: Actions :func:`FaultPlan.fire` performs itself; the rest are returned
+#: to the call site.
+_SELF_EXECUTING = ("crash", "hang", "sleep", "raise")
+
+#: Hang duration when a spec does not set one — far past any heartbeat
+#: timeout, short enough that an orphaned process exits on its own.
+DEFAULT_HANG_SECONDS = 600.0
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injection rule: *where*, *what*, and *when*.
+
+    ``after``/``times`` select hits by count: the spec fires on hits
+    ``after .. after + times - 1`` (1-based, per process).  When
+    ``probability`` is set the count window is ignored and each hit
+    fires on a seeded Bernoulli draw instead — still deterministic for
+    a fixed plan seed, because every site draws from its own
+    seed-derived stream.
+
+    ``generation`` restricts the spec to processes of that *spawn
+    generation*: the parent process and a supervisor's original workers
+    are generation 0; each replacement worker is spawned with the
+    supervisor's cumulative restart count (see :func:`set_generation`).
+    Hit counters are per process, so a worker-crash spec without a
+    generation bound would also crash every replacement — the classic
+    crash loop.  ``generation=0`` is how a chaos scenario says "kill
+    the original workers once and let the restarts recover".
+    """
+
+    site: str
+    action: str
+    after: int = 1
+    times: int = 1
+    probability: float | None = None
+    seconds: float = 0.0
+    transient: bool = True
+    generation: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ReproError(
+                f"unknown fault action {self.action!r}; "
+                f"expected one of {_ACTIONS}"
+            )
+        if self.after < 1:
+            raise ReproError(f"fault 'after' must be >= 1, got {self.after!r}")
+        if self.times < 1:
+            raise ReproError(f"fault 'times' must be >= 1, got {self.times!r}")
+        if self.probability is not None and not 0.0 <= self.probability <= 1.0:
+            raise ReproError(
+                f"fault probability must be in [0, 1], got {self.probability!r}"
+            )
+        if self.seconds < 0:
+            raise ReproError(f"fault seconds must be >= 0, got {self.seconds!r}")
+        if self.generation is not None and self.generation < 0:
+            raise ReproError(
+                f"fault generation must be >= 0, got {self.generation!r}"
+            )
+
+    def as_dict(self) -> dict:
+        payload: dict = {"site": self.site, "action": self.action}
+        if self.after != 1:
+            payload["after"] = self.after
+        if self.times != 1:
+            payload["times"] = self.times
+        if self.probability is not None:
+            payload["probability"] = self.probability
+        if self.seconds:
+            payload["seconds"] = self.seconds
+        if not self.transient:
+            payload["transient"] = False
+        if self.generation is not None:
+            payload["generation"] = self.generation
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        if not isinstance(data, Mapping):
+            raise ReproError(f"fault spec must be an object, got {data!r}")
+        unknown = sorted(
+            set(data)
+            - {"site", "action", "after", "times", "probability", "seconds",
+               "transient", "generation"}
+        )
+        if unknown:
+            raise ReproError(f"unknown fault spec fields: {unknown}")
+        try:
+            return cls(
+                site=data["site"],
+                action=data["action"],
+                after=data.get("after", 1),
+                times=data.get("times", 1),
+                probability=data.get("probability"),
+                seconds=data.get("seconds", 0.0),
+                transient=data.get("transient", True),
+                generation=data.get("generation"),
+            )
+        except KeyError as error:
+            raise ReproError(
+                f"fault spec is missing field {error.args[0]!r}"
+            ) from None
+
+
+class FaultPlan:
+    """A seeded set of :class:`FaultSpec` rules plus per-site hit state.
+
+    Hit counters and Bernoulli streams are *per process*: a plan that a
+    supervisor's worker inherits through the environment starts its own
+    counters, so "crash on the first task" means the first task each
+    fresh worker process sees — exactly the semantics chaos scenarios
+    want (a restarted worker must get a clean slate or the restart
+    budget test would be vacuous).
+
+    Examples
+    --------
+    >>> plan = FaultPlan([FaultSpec("s", "raise", after=2)])
+    >>> plan.fire("s") is None   # first hit: no fault
+    True
+    >>> plan.fire("s")
+    Traceback (most recent call last):
+        ...
+    repro.errors.FaultInjectedError: injected fault at site 's' (hit 2)
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec] = (), seed: int = 0):
+        self.specs = tuple(specs)
+        self.seed = seed
+        self._lock = threading.Lock()
+        self._hits: dict[str, int] = {}
+        self._rngs: dict[str, random.Random] = {}
+        #: Every firing, in order: ``{"site", "action", "hit"}`` dicts.
+        self.fired: list[dict] = []
+
+    # -- (de)serialisation ----------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "seed": self.seed,
+            "specs": [spec.as_dict() for spec in self.specs],
+        }
+
+    @classmethod
+    def from_json(cls, data: Any) -> "FaultPlan":
+        if not isinstance(data, Mapping):
+            raise ReproError(f"fault plan must be a JSON object, got {data!r}")
+        specs_data = data.get("specs")
+        if not isinstance(specs_data, list):
+            raise ReproError("fault plan needs a 'specs' list")
+        return cls(
+            specs=[FaultSpec.from_dict(spec) for spec in specs_data],
+            seed=int(data.get("seed", 0)),
+        )
+
+    # -- firing ---------------------------------------------------------
+
+    def _site_rng(self, site: str) -> random.Random:
+        rng = self._rngs.get(site)
+        if rng is None:
+            # Stable per-site stream: hash the site name into the seed
+            # via a fixed digest-free mix (hash() is salted per process).
+            mix = sum(ord(ch) * (index + 1) for index, ch in enumerate(site))
+            rng = self._rngs[site] = random.Random(self.seed * 1_000_003 + mix)
+        return rng
+
+    def _match(self, site: str) -> tuple[FaultSpec | None, int]:
+        with self._lock:
+            hit = self._hits.get(site, 0) + 1
+            self._hits[site] = hit
+            for spec in self.specs:
+                if spec.site != site:
+                    continue
+                if spec.generation is not None and spec.generation != _GENERATION:
+                    continue
+                if spec.probability is not None:
+                    if self._site_rng(site).random() < spec.probability:
+                        return spec, hit
+                elif spec.after <= hit < spec.after + spec.times:
+                    return spec, hit
+            return None, hit
+
+    def fire(self, site: str, **context: Any) -> FaultSpec | None:
+        """One hit at ``site``: execute or return the matching fault.
+
+        Self-executing actions (``crash``/``hang``/``sleep``/``raise``)
+        happen here; ``corrupt`` and ``torn-write`` are returned for the
+        call site to implement.  Returns ``None`` when nothing fires.
+        """
+        spec, hit = self._match(site)
+        if spec is None:
+            return None
+        with self._lock:
+            self.fired.append(
+                {"site": site, "action": spec.action, "hit": hit, **context}
+            )
+        observer = _OBSERVER
+        if observer is not None:
+            try:
+                observer(site, spec)
+            except Exception:  # noqa: BLE001 - observers must not mask faults
+                pass
+        if spec.action == "crash":
+            os._exit(70)
+        if spec.action == "hang":
+            time.sleep(spec.seconds or DEFAULT_HANG_SECONDS)
+            return None
+        if spec.action == "sleep":
+            time.sleep(spec.seconds)
+            return None
+        if spec.action == "raise":
+            raise FaultInjectedError(
+                f"injected fault at site {site!r} (hit {hit})",
+                details={"site": site, "hit": hit, **context},
+                retryable=spec.transient,
+            )
+        return spec
+
+    def counts(self) -> dict[str, int]:
+        """Firings per ``site:action`` (for metrics/chaos reports)."""
+        with self._lock:
+            table: dict[str, int] = {}
+            for record in self.fired:
+                key = f"{record['site']}:{record['action']}"
+                table[key] = table.get(key, 0) + 1
+            return table
+
+
+# -- the process-wide active plan -------------------------------------------
+
+_ACTIVE: FaultPlan | None = None
+_ACTIVE_LOCK = threading.Lock()
+
+#: This process's spawn generation (see :class:`FaultSpec.generation`).
+_GENERATION = 0
+
+#: Optional ``(site, spec)`` callback invoked on every firing in this
+#: process — the bridge from the chaos harness into a metrics registry
+#: (the serving layer publishes ``repro_faults_injected_total`` with
+#: it).  Worker *processes* count their own firings; only parent-side
+#: sites reach the parent's registry.
+_OBSERVER: Callable[[str, "FaultSpec"], None] | None = None
+
+
+def set_observer(observer: Callable[[str, FaultSpec], None] | None) -> None:
+    """Install (or clear, with ``None``) the process-wide firing observer."""
+    global _OBSERVER
+    _OBSERVER = observer
+
+
+def set_generation(generation: int) -> None:
+    """Declare this process's spawn generation (worker startup)."""
+    global _GENERATION
+    _GENERATION = generation
+
+
+def generation() -> int:
+    return _GENERATION
+
+
+def active() -> FaultPlan | None:
+    """The installed plan, if any."""
+    return _ACTIVE
+
+
+def install(plan: FaultPlan, export_env: bool = True) -> FaultPlan:
+    """Make ``plan`` the process-wide active plan.
+
+    With ``export_env`` (the default) the plan is also written to
+    ``REPRO_FAULT_PLAN`` so worker processes spawned later inherit it.
+    """
+    global _ACTIVE
+    with _ACTIVE_LOCK:
+        _ACTIVE = plan
+        if export_env:
+            os.environ[FAULT_PLAN_ENV] = json.dumps(plan.to_json())
+    return plan
+
+
+def uninstall() -> None:
+    """Remove the active plan (and its environment export)."""
+    global _ACTIVE
+    with _ACTIVE_LOCK:
+        _ACTIVE = None
+        os.environ.pop(FAULT_PLAN_ENV, None)
+
+
+def load_from_env(environ: Mapping[str, str] | None = None) -> FaultPlan | None:
+    """Parse ``REPRO_FAULT_PLAN`` (inline JSON or ``@path``), if set."""
+    environ = environ if environ is not None else os.environ
+    raw = environ.get(FAULT_PLAN_ENV)
+    if not raw:
+        return None
+    if raw.startswith("@"):
+        try:
+            with open(raw[1:], encoding="utf-8") as handle:
+                raw = handle.read()
+        except OSError as error:
+            raise ReproError(
+                f"cannot read fault plan file {raw[1:]!r}: {error}"
+            ) from error
+    try:
+        data = json.loads(raw)
+    except json.JSONDecodeError as error:
+        raise ReproError(f"{FAULT_PLAN_ENV} is not valid JSON: {error}") from error
+    return FaultPlan.from_json(data)
+
+
+def install_from_env() -> FaultPlan | None:
+    """Install the environment's plan in this process (worker startup).
+
+    Idempotent and cheap when the variable is unset; the installed plan
+    gets fresh per-process hit counters (see :class:`FaultPlan`).
+    """
+    plan = load_from_env()
+    if plan is not None:
+        install(plan, export_env=False)
+    return plan
+
+
+def maybe_fire(site: str, **context: Any) -> FaultSpec | None:
+    """Fire ``site`` on the active plan, or do nothing.
+
+    This is the hook embedded in production code paths; with no plan
+    installed it costs one global read.
+    """
+    plan = _ACTIVE
+    if plan is None:
+        return None
+    return plan.fire(site, **context)

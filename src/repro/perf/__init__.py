@@ -30,16 +30,28 @@ from repro.perf.parallel import (
     split_trials,
     worker_seeds,
 )
+from repro.perf.supervisor import (
+    SupervisorConfig,
+    WorkerSupervisor,
+    prewarm,
+    supervised_run,
+    warm_pool_stats,
+)
 
 __all__ = [
     "CachedRow",
     "DEFAULT_CACHE_SIZE",
     "ParallelConfig",
+    "SupervisorConfig",
     "TransitionCache",
     "WorkerContext",
+    "WorkerSupervisor",
     "merge_tallies",
+    "prewarm",
     "prorated_budgets",
     "run_worker_pool",
     "split_trials",
+    "supervised_run",
+    "warm_pool_stats",
     "worker_seeds",
 ]

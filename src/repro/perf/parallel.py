@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import multiprocessing
 import random
+import time
 from concurrent.futures import FIRST_EXCEPTION, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
@@ -56,6 +57,16 @@ class ParallelConfig:
     start_method:
         ``multiprocessing`` start method; ``None`` picks ``"fork"``
         where available (Linux) and the platform default elsewhere.
+    persistent:
+        With the default ``True``, trials run on the supervised warm
+        worker pool (:mod:`repro.perf.supervisor`): processes persist
+        across runs, keep warm transition caches, heartbeat, and are
+        restarted on crash/hang with chunks re-dispatched
+        idempotently.  ``False`` keeps the legacy spawn-per-call
+        :class:`~concurrent.futures.ProcessPoolExecutor` (used by the
+        benchmark comparison and as an escape hatch).  Both paths use
+        identical seeds, chunking, and merge order, so results are
+        bit-identical between them for a fixed ``(seed, workers)``.
 
     Examples
     --------
@@ -65,6 +76,7 @@ class ParallelConfig:
 
     workers: int = 1
     start_method: str | None = None
+    persistent: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -138,13 +150,56 @@ def prorated_budgets(context: RunContext | None, workers: int) -> list[Budget]:
 
 # -- worker-side context ---------------------------------------------------
 
-#: Cross-process cancellation flag, installed by the pool initializer.
+#: Cross-process cancellation flag, installed by the pool initializer
+#: (legacy pool) or the supervisor's worker main loop.
 _CANCEL_EVENT: Any = None
+
+#: Shared heartbeat timestamp (``multiprocessing.Value("d")``) bumped
+#: from the sampling hot loop so the supervisor can tell a slow worker
+#: from a hung one.  ``None`` outside supervised workers.
+_HEARTBEAT: Any = None
+
+#: True inside a supervised persistent worker; enables the warm
+#: transition-cache registry below.
+_PERSISTENT = False
+
+#: Warm caches surviving across tasks in a persistent worker, keyed by
+#: ``(repr(kernel), maxsize)``.  Kernels arrive freshly unpickled with
+#: every task, so on reuse the cache is re-bound to the new — equal —
+#: kernel object (``repr`` is the kernels' identity: it renders the
+#: full algebra tree).
+_WARM_CACHES: dict[tuple[str, int], Any] = {}
 
 
 def _pool_initializer(cancel_event: Any) -> None:
     global _CANCEL_EVENT
     _CANCEL_EVENT = cancel_event
+
+
+def _warm_cache(kernel: Any, cache_size: int | None) -> Any:
+    """The persistent worker's warm cache for ``kernel``, or ``None``.
+
+    The ``worker.cache`` fault site models cache corruption: a fired
+    ``corrupt`` action discards the warm entries (the detected-and-
+    dropped response), which costs recomputation but cannot change any
+    estimate — the cached sampler draws exactly one uniform per step
+    whether it hits or misses, so the RNG stream is hit/miss-invariant.
+    """
+    if not _PERSISTENT or cache_size is None:
+        return None
+    from repro import faults
+    from repro.perf.cache import TransitionCache
+
+    key = (repr(kernel), cache_size)
+    cache = _WARM_CACHES.get(key)
+    if cache is None:
+        cache = _WARM_CACHES[key] = TransitionCache(kernel, maxsize=cache_size)
+    else:
+        cache.kernel = kernel
+    spec = faults.maybe_fire(faults.SITE_WORKER_CACHE)
+    if spec is not None and spec.action == "corrupt":
+        cache.clear()
+    return cache
 
 
 class WorkerContext(RunContext):
@@ -153,7 +208,9 @@ class WorkerContext(RunContext):
     The shared event is polled every :data:`POLL_EVERY` checks (an
     ``Event.is_set`` crosses a lock, so per-step polling would tax the
     hot loop); a set event behaves exactly like a local
-    :meth:`~RunContext.cancel` call.
+    :meth:`~RunContext.cancel` call.  Under the supervisor the same
+    polling cadence also bumps the worker's heartbeat, so "alive and
+    sampling" and "hung" are distinguishable from the parent.
     """
 
     POLL_EVERY = 64
@@ -168,6 +225,8 @@ class WorkerContext(RunContext):
             self._poll_countdown = self.POLL_EVERY
             if _CANCEL_EVENT is not None and _CANCEL_EVENT.is_set():
                 self.cancel()
+            if _HEARTBEAT is not None:
+                _HEARTBEAT.value = time.time()
         super().check()
 
 
@@ -181,6 +240,7 @@ def _run_mcmc_trials(task: dict) -> dict:
     from repro.core.evaluation.sampling_noninflationary import evaluate_forever_mcmc
 
     context = WorkerContext(task["budget"])
+    cache = _warm_cache(task["query"].kernel, task["cache_size"])
     result = evaluate_forever_mcmc(
         task["query"],
         task["initial"],
@@ -189,6 +249,7 @@ def _run_mcmc_trials(task: dict) -> dict:
         rng=task["seed"],
         cache_size=task["cache_size"],
         context=context,
+        cache=cache,
     )
     return {
         "positive": result.positive,
@@ -204,6 +265,7 @@ def _run_inflationary_trials(task: dict) -> dict:
     )
 
     context = WorkerContext(task["budget"])
+    cache = _warm_cache(task["query"].kernel, task["cache_size"])
     result = evaluate_inflationary_sampling(
         task["query"],
         task["initial"],
@@ -213,6 +275,7 @@ def _run_inflationary_trials(task: dict) -> dict:
         stall_threshold=task["stall_threshold"],
         cache_size=task["cache_size"],
         context=context,
+        cache=cache,
     )
     return {
         "positive": result.positive,
@@ -239,7 +302,26 @@ def run_worker_pool(
     propagates to the workers via the shared event.  The first worker
     exception (e.g. a pro-rated budget trip) is re-raised in the parent
     after the remaining workers have been told to stop.
+
+    With ``config.persistent`` (the default) the tasks run on the
+    supervised warm pool — same ordering, budget, and cancellation
+    semantics, plus crash/hang recovery; ``persistent=False`` keeps the
+    legacy spawn-per-call executor below.
     """
+    if config.persistent:
+        from repro.perf.supervisor import supervised_run
+
+        return supervised_run(worker, tasks, config, context)
+    return _run_executor_pool(worker, tasks, config, context)
+
+
+def _run_executor_pool(
+    worker: Callable[[dict], dict],
+    tasks: Sequence[dict],
+    config: ParallelConfig,
+    context: RunContext | None = None,
+) -> list[dict]:
+    """The legacy spawn-per-call pool (``persistent=False``)."""
     mp_context = config.mp_context()
     cancel_event = mp_context.Event()
     with ProcessPoolExecutor(

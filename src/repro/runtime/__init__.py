@@ -13,7 +13,10 @@ the substrate that makes running them safe in production:
   resume bit-identically;
 * :class:`DegradationPolicy` / :func:`evaluate_forever_resilient` —
   fall back exact → lumped → MCMC when the state budget trips, with
-  every downgrade recorded instead of raised.
+  every downgrade recorded instead of raised;
+* :class:`RetryPolicy` — deadline-aware full-jitter backoff shared by
+  the worker supervisor, the scheduler's re-admission path, and the
+  HTTP client.
 
 Every evaluator in :mod:`repro.core.evaluation` accepts an optional
 ``context``; the default (no context) keeps historical behaviour and
@@ -36,19 +39,33 @@ from repro.runtime.context import (
     ensure_context,
 )
 from repro.runtime.degradation import DegradationPolicy, evaluate_forever_resilient
+from repro.runtime.retry import (
+    CHUNK_RETRY,
+    HTTP_RETRY,
+    RetryPolicy,
+    idempotency_key,
+    is_retryable,
+    retry_after_hint,
+)
 
 __all__ = [
     "Budget",
     "CHECKPOINT_VERSION",
+    "CHUNK_RETRY",
     "Checkpoint",
     "DegradationPolicy",
     "Downgrade",
+    "HTTP_RETRY",
     "KIND_FOREVER_MCMC",
     "PhaseTiming",
+    "RetryPolicy",
     "RunContext",
     "RunReport",
     "ensure_context",
     "evaluate_forever_resilient",
+    "idempotency_key",
+    "is_retryable",
     "load_checkpoint",
+    "retry_after_hint",
     "run_fingerprint",
 ]

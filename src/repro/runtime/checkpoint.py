@@ -20,12 +20,14 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import random
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
 from repro.errors import CheckpointError
+from repro.faults import SITE_CHECKPOINT_WRITE, maybe_fire
 from repro.io import database_from_json, database_to_json
 from repro.relational.database import Database
 
@@ -206,13 +208,50 @@ class Checkpoint:
             ) from None
 
     def save(self, path: str | Path) -> None:
-        """Write the checkpoint atomically (write-then-rename)."""
+        """Write the checkpoint crash-safely.
+
+        The rename-into-place protocol: serialise to a temp file *in
+        the target's directory* (cross-filesystem renames are not
+        atomic), flush and ``fsync`` the data, atomically rename over
+        the target, then ``fsync`` the directory so the rename itself
+        survives a power cut.  A reader therefore sees either the old
+        complete checkpoint or the new complete checkpoint — never a
+        torn file — no matter where the writer dies.
+
+        The ``checkpoint.write`` fault site simulates exactly such a
+        death: a fired ``torn-write`` leaves a truncated temp file
+        behind and raises, *without* touching the target.
+        """
+        payload = json.dumps(self.to_json()) + "\n"
         target = Path(path)
         temp = target.with_name(target.name + ".tmp")
+        spec = maybe_fire(SITE_CHECKPOINT_WRITE, path=str(target))
+        torn = spec is not None and spec.action in ("torn-write", "corrupt")
         with open(temp, "w", encoding="utf-8") as handle:
-            json.dump(self.to_json(), handle)
-            handle.write("\n")
-        temp.replace(target)
+            if torn:
+                # Simulate the writer dying mid-write: half the bytes
+                # reach the disk, the rename never happens.
+                handle.write(payload[: max(1, len(payload) // 2)])
+                handle.flush()
+                raise CheckpointError(
+                    f"injected torn write at {temp}",
+                    details={"site": SITE_CHECKPOINT_WRITE, "path": str(temp)},
+                    retryable=True,
+                )
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, target)
+        try:
+            directory_fd = os.open(target.parent, os.O_RDONLY)
+        except OSError:
+            return  # platform cannot open directories; rename still atomic
+        try:
+            os.fsync(directory_fd)
+        except OSError:
+            pass
+        finally:
+            os.close(directory_fd)
 
 
 def load_checkpoint(path: str | Path) -> Checkpoint:

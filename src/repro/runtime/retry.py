@@ -1,0 +1,189 @@
+"""Deadline-aware retry with full-jitter exponential backoff.
+
+One policy object serves the three retry consumers in the stack — the
+worker supervisor re-dispatching crashed task chunks, the scheduler
+re-admitting retryable jobs, and the HTTP client resubmitting against
+429/503 — so backoff behaviour is consistent and testable in one place.
+
+Design points, each load-bearing:
+
+* **Full jitter** (`AWS architecture blog recipe`): each delay is drawn
+  uniformly from ``[0, min(max_delay, base * multiplier**attempt)]``.
+  Deterministic-looking capped exponential backoff synchronises failed
+  clients into retry convoys; full jitter de-correlates them while
+  keeping the same expected load.
+* **Deadline-aware**: a policy never sleeps past its caller's deadline.
+  If the next delay would cross it, :meth:`RetryPolicy.call` stops
+  retrying and re-raises — a job with a 2-second budget must not spend
+  5 seconds backing off.
+* **Retryability is the error's property, not the caller's guess**:
+  by default only exceptions with a true ``retryable`` attribute (see
+  :class:`~repro.errors.ReproError`) are retried.  Budget exhaustion
+  and cancellation are *never* retryable.
+* **Server hints win**: when the failed operation carries an explicit
+  ``retry_after`` (an HTTP 429/503 ``Retry-After`` header), that delay
+  replaces the computed backoff for the next attempt.
+
+Idempotency keys
+----------------
+Retrying is only safe when repeating the operation cannot double its
+effect.  :func:`idempotency_key` derives a stable key from arbitrary
+JSON-able payloads; the HTTP client stamps it on submits
+(``X-Request-Id``) so the server can deduplicate a retried submit that
+actually succeeded the first time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Any, Callable, TypeVar
+
+from repro.errors import ReproError
+
+T = TypeVar("T")
+
+
+def is_retryable(error: BaseException) -> bool:
+    """Whether ``error`` marks itself as safe to retry."""
+    return bool(getattr(error, "retryable", False))
+
+
+def retry_after_hint(error: BaseException) -> float | None:
+    """An explicit server-provided delay attached to ``error``, if any.
+
+    Looks for a ``retry_after`` attribute (set by the service client on
+    429/503 responses) or a ``"retry_after"`` entry in a
+    :class:`~repro.errors.ReproError`'s ``details``.
+    """
+    hint = getattr(error, "retry_after", None)
+    if hint is None and isinstance(error, ReproError):
+        hint = error.details.get("retry_after")
+    try:
+        value = float(hint)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return None
+    return value if value >= 0 else None
+
+
+def idempotency_key(payload: Any = None) -> str:
+    """A stable request id for safe retries.
+
+    With a payload, the key is a SHA-256 prefix of its canonical JSON —
+    the same logical operation always yields the same key, so a server
+    can collapse duplicates.  Without one, a random UUID is issued (the
+    caller must reuse the *same* key across its own retries).
+    """
+    if payload is None:
+        return uuid.uuid4().hex
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded full-jitter exponential backoff.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total tries including the first (``1`` disables retries).
+    base_delay:
+        Backoff scale in seconds; attempt ``n`` (0-based) draws from
+        ``[0, min(max_delay, base_delay * multiplier**n)]``.
+    multiplier, max_delay:
+        Exponential growth factor and per-attempt delay cap.
+
+    Examples
+    --------
+    >>> policy = RetryPolicy(max_attempts=3, base_delay=1.0)
+    >>> calls = []
+    >>> def flaky():
+    ...     calls.append(1)
+    ...     if len(calls) < 3:
+    ...         raise ReproError("transient", retryable=True)
+    ...     return "ok"
+    >>> policy.call(flaky, sleep=lambda _: None, rng=random.Random(7))
+    'ok'
+    >>> len(calls)
+    3
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ReproError(
+                f"max_attempts must be >= 1, got {self.max_attempts!r}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ReproError("retry delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ReproError(
+                f"retry multiplier must be >= 1, got {self.multiplier!r}"
+            )
+
+    # -- delay computation ----------------------------------------------
+
+    def backoff_ceiling(self, attempt: int) -> float:
+        """Upper bound of the jitter window for 0-based ``attempt``."""
+        return min(self.max_delay, self.base_delay * self.multiplier ** attempt)
+
+    def delay(self, attempt: int, rng: random.Random | None = None) -> float:
+        """Draw the full-jitter delay before retry number ``attempt``."""
+        ceiling = self.backoff_ceiling(attempt)
+        if ceiling <= 0:
+            return 0.0
+        return (rng or random).uniform(0.0, ceiling)
+
+    # -- driving a callable ---------------------------------------------
+
+    def call(
+        self,
+        fn: Callable[[], T],
+        *,
+        retryable: Callable[[BaseException], bool] = is_retryable,
+        rng: random.Random | None = None,
+        deadline: float | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+        on_retry: Callable[[int, BaseException, float], None] | None = None,
+    ) -> T:
+        """Run ``fn``, retrying transient failures within the deadline.
+
+        ``deadline`` is an absolute ``clock()`` value; retries that
+        would sleep past it are abandoned and the last error re-raised.
+        ``on_retry(attempt, error, delay)`` fires before each sleep —
+        the hook for metrics and run-report events.
+        """
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except Exception as error:  # noqa: BLE001 - filtered below
+                attempt += 1
+                if attempt >= self.max_attempts or not retryable(error):
+                    raise
+                pause = retry_after_hint(error)
+                if pause is None:
+                    pause = self.delay(attempt - 1, rng)
+                if deadline is not None and clock() + pause >= deadline:
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, error, pause)
+                if pause > 0:
+                    sleep(pause)
+
+
+#: Defaults used across the stack.  The supervisor retries chunk
+#: dispatch aggressively (cheap, idempotent); the client spaces HTTP
+#: retries out to respect a loaded server.
+CHUNK_RETRY = RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.25)
+HTTP_RETRY = RetryPolicy(max_attempts=4, base_delay=0.2, max_delay=5.0)

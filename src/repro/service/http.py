@@ -17,18 +17,27 @@ layer adds no dependencies.  Routes:
 
 Errors map to HTTP statuses via exception type: invalid request → 400,
 unknown job → 404, full queue → 429 (the back-pressure contract: a
-saturated server *rejects* rather than queueing without bound), any
-other :class:`~repro.errors.ReproError` → 400, everything else → 500.
-Every error body is ``{"error": {"type", "message", "details"}}``.
+saturated server *rejects* rather than queueing without bound), server
+shutting down → 503, any other :class:`~repro.errors.ReproError` →
+400, everything else → 500.  429 and 503 responses carry a
+``Retry-After`` header (from the error's ``retry_after`` detail) so
+well-behaved clients pace their retries to the server's hint.  Every
+error body is ``{"error": {"type", "message", "details"}}``.
 A program the static analyzer rejects at admission
 (:class:`~repro.errors.ProgramRejectedError`) answers 400 with the
 full diagnostic list under ``details.diagnostics`` and the rejecting
 codes under ``details.codes`` — see ``docs/analysis.md``.
+
+Submits are idempotent when the client sends an ``X-Request-Id``
+header: a retried ``POST /v1/jobs`` carrying the same id returns the
+already admitted job instead of scheduling the work twice (the retry
+contract of :mod:`repro.runtime.retry`).
 """
 
 from __future__ import annotations
 
 import json
+import math
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
@@ -37,15 +46,21 @@ from repro.errors import (
     JobNotFoundError,
     QueueFullError,
     ReproError,
+    ServiceUnavailableError,
 )
+from repro.runtime.retry import retry_after_hint
 from repro.service.request import QueryRequest
 from repro.service.service import QueryService
 
 #: Largest accepted request body (a database is inlined per request).
 MAX_BODY_BYTES = 16 * 1024 * 1024
 
+#: ``Retry-After`` seconds when the rejecting error offers no hint.
+DEFAULT_RETRY_AFTER = 1.0
+
 _STATUS_BY_ERROR = (
     (QueueFullError, 429),
+    (ServiceUnavailableError, 503),
     (JobNotFoundError, 404),
     (InvalidRequestError, 400),
     (ReproError, 400),
@@ -88,11 +103,15 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
     # -- plumbing -------------------------------------------------------
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self, status: int, payload: dict, headers: dict[str, str] | None = None
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -105,7 +124,14 @@ class ServiceHandler(BaseHTTPRequestHandler):
         self.wfile.write(encoded)
 
     def _send_error_json(self, error: BaseException) -> None:
-        self._send_json(status_for(error), error_payload(error))
+        status = status_for(error)
+        headers = None
+        if status in (429, 503):
+            hint = retry_after_hint(error)
+            if hint is None:
+                hint = DEFAULT_RETRY_AFTER
+            headers = {"Retry-After": str(max(1, math.ceil(hint)))}
+        self._send_json(status, error_payload(error), headers)
 
     def _read_body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
@@ -132,7 +158,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
             if self.path != "/v1/jobs":
                 raise JobNotFoundError(f"no such endpoint: POST {self.path}")
             request = QueryRequest.from_json(self._read_body())
-            job = self.service.submit(request)
+            request_id = self.headers.get("X-Request-Id") or None
+            job = self.service.submit(request, request_id=request_id)
             self._send_json(202, job.as_dict())
         except Exception as error:  # noqa: BLE001 - server must survive
             self._send_error_json(error)

@@ -6,31 +6,51 @@ The serving layer's concurrency heart.  A :class:`JobScheduler` owns
   FIFO within a lane — whose total capacity is ``queue_size``; a
   submission beyond it is rejected at admission with
   :class:`~repro.errors.QueueFullError` (the HTTP front-end maps this
-  to 429) instead of letting latency grow without bound;
+  to 429 with ``Retry-After``) instead of letting latency grow without
+  bound;
+* **load shedding before rejection**: as the queue fills past
+  watermarks, admitted jobs are degraded to cheaper ladder rungs —
+  first tighter budgets, then coarser sampling accuracy (larger ε/δ or
+  halved explicit sample counts, *reported honestly* on the result) —
+  so overload degrades answers gracefully instead of dropping them;
+  every shed decision is recorded on the job, on its
+  :class:`~repro.runtime.RunReport`, and in the metrics registry;
 * a pool of **worker threads** that execute jobs through the callable
   the owner injects (the :class:`~repro.service.service.QueryService`
   method that consults the result cache and the session pool);
+* **retry re-admission**: a job failing with a *retryable* error (a
+  crashed worker pool, an injected transient fault) is re-queued with
+  full-jitter backoff up to ``max_job_retries`` times instead of
+  failing outright — chunks and jobs are idempotent computations, so
+  the retried run reproduces the same answer;
 * **per-job budgets**: every admitted job gets a
   :class:`~repro.runtime.RunContext` with the request's budget,
   resolved against the server's default and clamped to its admission
   cap, so one pathological query exhausts its own budget (recorded in
   its :class:`~repro.runtime.RunReport`), never the server;
+* **idempotent submits**: a client-generated request id maps repeated
+  submissions (an HTTP retry after a lost response) onto the already
+  admitted job instead of double-scheduling the work;
 * a **registry** of job records — queued/running/done/failed/cancelled
   — polled by ``GET /v1/jobs/<id>`` and pruned of the oldest finished
   entries beyond ``registry_limit``;
 * **cancellation** at any point: a queued job is marked and skipped, a
   running one has its context's cooperative token cancelled and stops
-  within one transition step.
+  within one transition step.  Shutdown leaves no job behind in a
+  non-terminal state: queued jobs are cancelled at shutdown, and with
+  ``cancel_running=True`` any job whose worker fails to stop within
+  the join grace is force-finished as cancelled.
 """
 
 from __future__ import annotations
 
 import itertools
+import random
 import threading
 import time
 import uuid
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable
 
 from repro.errors import (
@@ -39,10 +59,13 @@ from repro.errors import (
     ReproError,
     RunCancelledError,
     ServiceError,
+    ServiceUnavailableError,
 )
+from repro.faults import SITE_SCHEDULER_EXECUTE, maybe_fire
 from repro.obs.logs import get_logger, job_logger
 from repro.obs.trace import MemorySink, Tracer
 from repro.runtime import Budget, RunContext
+from repro.runtime.retry import RetryPolicy, is_retryable
 from repro.service.metrics import ServiceMetrics
 from repro.service.request import QueryRequest
 
@@ -69,9 +92,81 @@ DEFAULT_REGISTRY_LIMIT = 1024
 #: Default per-job trace event bound when job tracing is enabled.
 DEFAULT_TRACE_EVENTS = 2048
 
+#: Default retry allowance for jobs failing with retryable errors.
+DEFAULT_JOB_RETRIES = 2
+
+#: Queue-depth fractions at which the shedding ladder engages.
+SHED_BUDGET_WATERMARK = 0.5    # tighten budgets
+SHED_ACCURACY_WATERMARK = 0.8  # also coarsen sampling accuracy
+
+#: Budget scale applied at the first shedding rung.
+SHED_BUDGET_SCALE = 0.5
+
+#: ε/δ inflation at the accuracy rung (capped), and the cap.
+SHED_ACCURACY_SCALE = 2.0
+SHED_ACCURACY_CAP = 0.5
+
+#: Default sampler accuracy assumed when a shed request names none.
+_DEFAULT_EPSILON = 0.1
+_DEFAULT_DELTA = 0.05
+
+#: ``Retry-After`` seconds suggested on 429 rejections.
+REJECT_RETRY_AFTER = 1.0
+
 
 def _round3(seconds: float | None) -> float | None:
     return round(seconds, 3) if seconds is not None else None
+
+
+def _scale_budget(budget: Budget, scale: float) -> Budget:
+    """A budget with every bounded axis scaled down (integers kept >= 1)."""
+    def axis(value: float | int | None, integral: bool) -> Any:
+        if value is None:
+            return None
+        return max(1, int(value * scale)) if integral else value * scale
+
+    return Budget(
+        wall_clock=axis(budget.wall_clock, integral=False),
+        max_steps=axis(budget.max_steps, integral=True),
+        max_states=axis(budget.max_states, integral=True),
+    )
+
+
+def _coarsen_accuracy(request: QueryRequest) -> tuple[QueryRequest, str] | None:
+    """One accuracy rung down, or ``None`` when nothing can be shed.
+
+    Explicit sample counts are halved (never below 1); otherwise the
+    (ε, δ) guarantee is inflated by :data:`SHED_ACCURACY_SCALE` and
+    capped at :data:`SHED_ACCURACY_CAP`.  The degraded parameters ride
+    on the request itself, so the result's reported guarantee — and its
+    cache key — are those of the computation actually run.
+    """
+    if not request._wants_sampling():
+        return None
+    params = dict(request.params)
+    samples = params.get("samples")
+    if samples is not None:
+        halved = max(1, int(samples) // 2)
+        if halved == samples:
+            return None
+        params["samples"] = halved
+        note = f"samples halved {samples} -> {halved}"
+    else:
+        epsilon = params.get("epsilon")
+        delta = params.get("delta")
+        eps_before = _DEFAULT_EPSILON if epsilon is None else float(epsilon)
+        dlt_before = _DEFAULT_DELTA if delta is None else float(delta)
+        eps_after = min(SHED_ACCURACY_CAP, eps_before * SHED_ACCURACY_SCALE)
+        dlt_after = min(SHED_ACCURACY_CAP, dlt_before * SHED_ACCURACY_SCALE)
+        if eps_after == eps_before and dlt_after == dlt_before:
+            return None
+        params["epsilon"] = eps_after
+        params["delta"] = dlt_after
+        note = (
+            f"accuracy coarsened epsilon {eps_before} -> {eps_after}, "
+            f"delta {dlt_before} -> {dlt_after}"
+        )
+    return replace(request, params=params), note
 
 
 @dataclass
@@ -92,6 +187,14 @@ class Job:
     cache_hit: bool = False
     cancel_requested: bool = False
     trace: list[dict] | None = None
+    #: Load-shedding actions applied at admission (empty = none).
+    shed: list[str] = field(default_factory=list)
+    #: Execution attempts so far (> 1 after a retry re-admission).
+    attempts: int = 0
+    #: Earliest wall-clock time the next attempt may start (backoff).
+    not_before: float = 0.0
+    #: Client-supplied idempotency key, if any.
+    request_id: str | None = None
 
     @property
     def finished(self) -> bool:
@@ -124,6 +227,8 @@ class Job:
             "error": self.error,
             "report": self.report,
             "trace_available": self.trace is not None,
+            "shed": list(self.shed),
+            "attempts": self.attempts,
         }
         if include_request:
             payload["request"] = self.request.as_dict()
@@ -185,6 +290,9 @@ class JobScheduler:
         metrics: ServiceMetrics | None = None,
         registry_limit: int = DEFAULT_REGISTRY_LIMIT,
         trace_events: int = 0,
+        max_job_retries: int = DEFAULT_JOB_RETRIES,
+        retry_policy: RetryPolicy | None = None,
+        load_shedding: bool = True,
     ):
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers!r}")
@@ -194,6 +302,10 @@ class JobScheduler:
             raise ServiceError(f"registry_limit must be >= 1, got {registry_limit!r}")
         if trace_events < 0:
             raise ServiceError(f"trace_events must be >= 0, got {trace_events!r}")
+        if max_job_retries < 0:
+            raise ServiceError(
+                f"max_job_retries must be >= 0, got {max_job_retries!r}"
+            )
         self._executor = executor
         self.workers = workers
         self.queue_size = queue_size
@@ -202,6 +314,14 @@ class JobScheduler:
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.registry_limit = registry_limit
         self.trace_events = trace_events
+        self.max_job_retries = max_job_retries
+        self.retry_policy = (
+            retry_policy if retry_policy is not None
+            else RetryPolicy(max_attempts=max_job_retries + 1,
+                             base_delay=0.05, max_delay=1.0)
+        )
+        self.load_shedding = load_shedding
+        self._retry_rng = random.Random(0x5EDA)
         self._run_steps = self.metrics.registry.counter(
             "repro_run_steps_total",
             "Transition steps consumed by finished jobs",
@@ -210,14 +330,24 @@ class JobScheduler:
             "repro_run_states_total",
             "Chain states materialised by finished jobs",
         )
+        self._shed_total = self.metrics.registry.counter(
+            "repro_load_shed_total",
+            "Admission-time load-shedding actions, by rung",
+        )
+        self._job_retries = self.metrics.registry.counter(
+            "repro_job_retries_total",
+            "Retryable job failures re-admitted with backoff",
+        )
         self._lanes = {"high": deque(), "normal": deque()}
         self._jobs: dict[str, Job] = {}
         self._order: deque[str] = deque()  # submission order, for pruning
+        self._request_ids: dict[str, str] = {}  # idempotency key -> job id
         self._lock = threading.Lock()
         self._work_available = threading.Condition(self._lock)
         self._job_finished = threading.Condition(self._lock)
         self._threads: list[threading.Thread] = []
         self._running = False
+        self._shutdown = False
         self._in_flight = 0
         self._counter = itertools.count(1)
 
@@ -239,9 +369,17 @@ class JobScheduler:
             self._threads.append(thread)
 
     def shutdown(self, wait: bool = True, cancel_running: bool = False) -> None:
-        """Stop the pool; queued jobs are cancelled, not silently lost."""
+        """Stop the pool; queued jobs are cancelled, not silently lost.
+
+        After the join grace, with ``cancel_running=True``, any job a
+        wedged worker left in ``running`` is force-finished as
+        ``cancelled`` — shutdown never strands a job in a non-terminal
+        state.  :meth:`_finish_locked` is idempotent, so a worker thread
+        completing late cannot double-finish the record.
+        """
         with self._lock:
             self._running = False
+            self._shutdown = True
             for lane in self._lanes.values():
                 for job in lane:
                     if job.state == QUEUED:
@@ -259,19 +397,42 @@ class JobScheduler:
         if wait:
             for thread in self._threads:
                 thread.join(timeout=30.0)
+            if cancel_running:
+                with self._lock:
+                    for job in self._jobs.values():
+                        if job.state == RUNNING:
+                            self._finish_locked(job, CANCELLED, error={
+                                "type": "RunCancelledError",
+                                "message": "server shut down while job was running",
+                                "details": {},
+                            })
         self._threads.clear()
 
     # -- admission ------------------------------------------------------
 
-    def submit(self, request: QueryRequest) -> Job:
-        """Admit one request; raises :class:`QueueFullError` at capacity."""
-        budget = request.make_budget(self.default_budget, self.max_budget)
-        job = Job(
-            id=f"job-{next(self._counter)}-{uuid.uuid4().hex[:6]}",
-            request=request,
-            budget=budget,
-        )
+    def submit(self, request: QueryRequest, request_id: str | None = None) -> Job:
+        """Admit one request; raises :class:`QueueFullError` at capacity.
+
+        ``request_id`` is a client-generated idempotency key: a repeat
+        submission carrying a key already mapped to a registered job
+        returns that job instead of scheduling the work twice.  As the
+        queue fills past the shedding watermarks, the admitted job is
+        degraded to a cheaper rung (see the module docstring) before the
+        hard capacity rejection kicks in.
+        """
         with self._lock:
+            if self._shutdown:
+                raise ServiceUnavailableError(
+                    "server is shutting down; not accepting new jobs",
+                    details={"retry_after": REJECT_RETRY_AFTER},
+                )
+            if request_id is not None:
+                known = self._request_ids.get(request_id)
+                if known is not None and known in self._jobs:
+                    job_logger(logger, known).info(
+                        "duplicate submit collapsed (request_id=%s)", request_id,
+                    )
+                    return self._jobs[known]
             depth = sum(len(lane) for lane in self._lanes.values())
             if depth >= self.queue_size:
                 self.metrics.job_rejected()
@@ -282,17 +443,51 @@ class JobScheduler:
                 raise QueueFullError(
                     f"queue is full ({depth}/{self.queue_size} jobs queued); "
                     "retry later or raise --queue-size",
-                    details={"depth": depth, "queue_size": self.queue_size},
+                    details={
+                        "depth": depth,
+                        "queue_size": self.queue_size,
+                        "retry_after": REJECT_RETRY_AFTER,
+                    },
                 )
+            shed: list[str] = []
+            admitted = request
+            fill = depth / self.queue_size
+            if self.load_shedding and fill >= SHED_ACCURACY_WATERMARK:
+                coarser = _coarsen_accuracy(admitted)
+                if coarser is not None:
+                    admitted, note = coarser
+                    shed.append(f"{note} at queue depth {depth}/{self.queue_size}")
+                    self._shed_total.inc(rung="accuracy")
+            budget = admitted.make_budget(self.default_budget, self.max_budget)
+            if (
+                self.load_shedding
+                and fill >= SHED_BUDGET_WATERMARK
+                and not budget.is_unlimited
+            ):
+                budget = _scale_budget(budget, SHED_BUDGET_SCALE)
+                shed.append(
+                    f"budget scaled x{SHED_BUDGET_SCALE} "
+                    f"at queue depth {depth}/{self.queue_size}"
+                )
+                self._shed_total.inc(rung="budget")
+            job = Job(
+                id=f"job-{next(self._counter)}-{uuid.uuid4().hex[:6]}",
+                request=admitted,
+                budget=budget,
+                shed=shed,
+                request_id=request_id,
+            )
             self._jobs[job.id] = job
             self._order.append(job.id)
-            self._lanes[request.priority].append(job)
+            self._lanes[admitted.priority].append(job)
+            if request_id is not None:
+                self._request_ids[request_id] = job.id
             self._prune_locked()
             self.metrics.job_submitted()
             self._work_available.notify()
         job_logger(logger, job.id).info(
-            "queued semantics=%s priority=%s depth=%d",
-            request.semantics, request.priority, depth + 1,
+            "queued semantics=%s priority=%s depth=%d shed=%d",
+            request.semantics, request.priority, depth + 1, len(job.shed),
         )
         return job
 
@@ -369,11 +564,18 @@ class JobScheduler:
                 if job.finished:
                     self._order.remove(job_id)
                     del self._jobs[job_id]
+                    if job.request_id is not None:
+                        self._request_ids.pop(job.request_id, None)
                     break
             else:
                 return  # nothing finished to prune; registry all live
 
     def _finish_locked(self, job: Job, state: str, error: dict | None = None) -> None:
+        if job.finished:
+            # Idempotence guard: shutdown's force-finish and a worker
+            # thread completing late may race to finish the same job;
+            # whoever gets here first wins, the second call is a no-op.
+            return
         job.state = state
         job.error = error
         job.finished_at = time.time()
@@ -417,13 +619,40 @@ class JobScheduler:
         self._job_finished.notify_all()
 
     def _next_job_locked(self) -> Job | None:
+        now = time.time()
         for lane_name in ("high", "normal"):
             lane = self._lanes[lane_name]
+            deferred: list[Job] = []
+            picked: Job | None = None
             while lane:
                 job = lane.popleft()
-                if job.state == QUEUED:
-                    return job
+                if job.state != QUEUED:
+                    continue
+                if job.not_before > now:
+                    # Still backing off after a retryable failure; leave
+                    # it in the lane without losing its FIFO position.
+                    deferred.append(job)
+                    continue
+                picked = job
+                break
+            for job in reversed(deferred):
+                lane.appendleft(job)
+            if picked is not None:
+                return picked
         return None
+
+    def _wake_timeout_locked(self) -> float | None:
+        """Seconds until the earliest backing-off job becomes runnable."""
+        now = time.time()
+        pending = [
+            job.not_before - now
+            for lane in self._lanes.values()
+            for job in lane
+            if job.state == QUEUED and job.not_before > now
+        ]
+        if not pending:
+            return None
+        return max(0.01, min(pending))
 
     def _worker_loop(self) -> None:
         while True:
@@ -432,10 +661,11 @@ class JobScheduler:
                 while job is None:
                     if not self._running:
                         return
-                    self._work_available.wait()
+                    self._work_available.wait(timeout=self._wake_timeout_locked())
                     job = self._next_job_locked()
                 job.state = RUNNING
                 job.started_at = time.time()
+                job.attempts += 1
                 # The budget clock starts when execution starts, not at
                 # submission: queue wait is the server's problem, the
                 # run budget is the job's.
@@ -448,28 +678,72 @@ class JobScheduler:
                     metrics=self.metrics.registry,
                     run_id=job.id,
                 )
+                for note in job.shed:
+                    job.context.record_event(f"load shed at admission: {note}")
+                if job.attempts > 1:
+                    job.context.record_event(
+                        f"retry attempt {job.attempts}/{self.max_job_retries + 1}"
+                    )
                 if job.cancel_requested:
                     job.context.cancel()
                 self._in_flight += 1
             job_logger(logger, job.id).debug(
-                "started worker=%s traced=%s",
-                threading.current_thread().name, tracer is not None,
+                "started worker=%s attempt=%d traced=%s",
+                threading.current_thread().name, job.attempts, tracer is not None,
             )
             try:
+                maybe_fire(SITE_SCHEDULER_EXECUTE, job=job.id, attempt=job.attempts)
                 payload = self._executor(job)
             except RunCancelledError as cancelled:
                 self._record_failure(job, CANCELLED, cancelled)
             except ReproError as error:
-                self._record_failure(job, FAILED, error)
+                if not self._maybe_requeue(job, error):
+                    self._record_failure(job, FAILED, error)
             except Exception as unexpected:  # noqa: BLE001 - server must survive
                 self._record_failure(job, FAILED, unexpected)
             else:
                 with self._lock:
-                    job.result = payload
-                    self._finish_locked(job, DONE)
+                    if not job.finished:
+                        job.result = payload
+                        self._finish_locked(job, DONE)
             finally:
                 with self._lock:
                     self._in_flight -= 1
+
+    def _maybe_requeue(self, job: Job, error: ReproError) -> bool:
+        """Re-admit a retryably-failed job with backoff; ``False`` = give up.
+
+        The executed computation is idempotent (seeded sampling, exact
+        evaluation), so a retried job reproduces the same answer; only
+        transient infrastructure failures (a crashed worker pool, an
+        injected fault) are marked retryable in the first place.
+        """
+        if not is_retryable(error):
+            return False
+        with self._lock:
+            if (
+                not self._running
+                or job.cancel_requested
+                or job.finished
+                or job.attempts > self.max_job_retries
+            ):
+                return False
+            pause = self.retry_policy.delay(job.attempts - 1, rng=self._retry_rng)
+            job.state = QUEUED
+            job.started_at = None
+            job.context = None
+            job.result = None
+            job.not_before = time.time() + pause
+            self._lanes[job.request.priority].append(job)
+            self._job_retries.inc(error=type(error).__name__)
+            self._work_available.notify()
+        job_logger(logger, job.id).warning(
+            "retryable failure (%s: %s); re-admitted for attempt %d/%d "
+            "after %.3fs backoff",
+            type(error).__name__, error,
+            job.attempts + 1, self.max_job_retries + 1, pause,
+        )
+        return True
 
     def _record_failure(self, job: Job, state: str, error: BaseException) -> None:
         details = dict(getattr(error, "details", {}) or {})

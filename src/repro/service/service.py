@@ -26,6 +26,7 @@ import copy
 import time
 from dataclasses import dataclass, field
 
+from repro import faults
 from repro.errors import JobNotFoundError, ProgramRejectedError
 from repro.obs.metrics import MetricsRegistry
 from repro.runtime import Budget
@@ -33,6 +34,7 @@ from repro.service.metrics import ServiceMetrics
 from repro.service.request import QueryRequest
 from repro.service.result_cache import DEFAULT_RESULT_CACHE_SIZE, ResultCache
 from repro.service.scheduler import (
+    DEFAULT_JOB_RETRIES,
     DEFAULT_QUEUE_SIZE,
     DEFAULT_REGISTRY_LIMIT,
     DEFAULT_TRACE_EVENTS,
@@ -72,6 +74,8 @@ class ServiceConfig:
     result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE
     registry_limit: int = DEFAULT_REGISTRY_LIMIT
     trace_events: int = DEFAULT_TRACE_EVENTS
+    max_job_retries: int = DEFAULT_JOB_RETRIES
+    load_shedding: bool = True
 
 
 class QueryService:
@@ -115,8 +119,22 @@ class QueryService:
             metrics=self.metrics,
             registry_limit=self.config.registry_limit,
             trace_events=self.config.trace_events,
+            max_job_retries=self.config.max_job_retries,
+            load_shedding=self.config.load_shedding,
         )
         self._register_gauges()
+        # Chaos visibility: every fault-plan firing in *this* process
+        # lands in the scraped registry (worker processes count their
+        # own firings; the supervisor's restart/retry counters cover
+        # them).  Process-global, last service wins — fine for the one
+        # service a serving process runs.
+        faults_injected = self.registry.counter(
+            "repro_faults_injected_total",
+            "Fault-plan firings observed in the serving process",
+        )
+        faults.set_observer(
+            lambda site, spec: faults_injected.inc(site=site, action=spec.action)
+        )
 
     def _register_gauges(self) -> None:
         """Callback gauges: each reads its owner's ``stats()`` — one
@@ -157,7 +175,7 @@ class QueryService:
 
     # -- the serving API ------------------------------------------------
 
-    def submit(self, request: QueryRequest) -> Job:
+    def submit(self, request: QueryRequest, request_id: str | None = None) -> Job:
         """Admit one request (raises :class:`QueueFullError` at capacity).
 
         Admission runs the static analyzer first (via the session pool,
@@ -166,6 +184,10 @@ class QueryService:
         — or an event that is provably constant-false against it — is
         rejected here with :class:`~repro.errors.ProgramRejectedError`
         (HTTP 400, diagnostics in the body) and never enters the queue.
+
+        ``request_id`` is the client's idempotency key (``X-Request-Id``
+        over HTTP): a retried submit carrying the same key returns the
+        already admitted job instead of scheduling it twice.
         """
         try:
             session = self.sessions.get_or_create(request)
@@ -173,7 +195,7 @@ class QueryService:
         except ProgramRejectedError as error:
             self.metrics.admission_rejected(error.details.get("codes", ()))
             raise
-        return self.scheduler.submit(request)
+        return self.scheduler.submit(request, request_id=request_id)
 
     def job(self, job_id: str) -> Job:
         """The job record (raises :class:`JobNotFoundError`)."""

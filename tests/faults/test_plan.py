@@ -1,0 +1,155 @@
+"""FaultPlan mechanics: spec validation, matching, env propagation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.errors import FaultInjectedError, ReproError
+from repro.faults import FAULT_PLAN_ENV, FaultPlan, FaultSpec
+
+
+@pytest.fixture(autouse=True)
+def clean_plan():
+    """Every test starts and ends with no plan, generation 0."""
+    faults.uninstall()
+    faults.set_generation(0)
+    faults.set_observer(None)
+    yield
+    faults.uninstall()
+    faults.set_generation(0)
+    faults.set_observer(None)
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_action(self):
+        with pytest.raises(ReproError, match="unknown fault action"):
+            FaultSpec("s", "explode")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"after": 0},
+            {"times": 0},
+            {"probability": 1.5},
+            {"seconds": -1.0},
+            {"generation": -1},
+        ],
+    )
+    def test_rejects_bad_fields(self, kwargs):
+        with pytest.raises(ReproError):
+            FaultSpec("s", "raise", **kwargs)
+
+    def test_dict_round_trip(self):
+        spec = FaultSpec(
+            "s", "hang", after=3, times=2, seconds=1.5,
+            transient=False, generation=1,
+        )
+        assert FaultSpec.from_dict(spec.as_dict()) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ReproError, match="unknown fault spec fields"):
+            FaultSpec.from_dict({"site": "s", "action": "raise", "bogus": 1})
+
+
+class TestFiring:
+    def test_count_window(self):
+        plan = FaultPlan([FaultSpec("s", "corrupt", after=2, times=2)])
+        hits = [plan.fire("s") is not None for _ in range(5)]
+        assert hits == [False, True, True, False, False]
+
+    def test_raise_action_is_retryable_by_default(self):
+        plan = FaultPlan([FaultSpec("s", "raise")])
+        with pytest.raises(FaultInjectedError) as excinfo:
+            plan.fire("s", extra="context")
+        assert excinfo.value.retryable
+        assert excinfo.value.details["site"] == "s"
+        assert excinfo.value.details["extra"] == "context"
+
+    def test_raise_action_permanent_when_not_transient(self):
+        plan = FaultPlan([FaultSpec("s", "raise", transient=False)])
+        with pytest.raises(FaultInjectedError) as excinfo:
+            plan.fire("s")
+        assert not excinfo.value.retryable
+
+    def test_sites_count_independently(self):
+        plan = FaultPlan([FaultSpec("a", "corrupt", after=2)])
+        assert plan.fire("b") is None  # does not advance site "a"
+        assert plan.fire("a") is None
+        assert plan.fire("a") is not None
+
+    def test_probability_stream_is_deterministic(self):
+        def pattern(seed: int) -> list[bool]:
+            plan = FaultPlan(
+                [FaultSpec("s", "corrupt", probability=0.5)], seed=seed
+            )
+            return [plan.fire("s") is not None for _ in range(32)]
+
+        assert pattern(7) == pattern(7)
+        assert pattern(7) != pattern(8)
+        assert any(pattern(7)) and not all(pattern(7))
+
+    def test_generation_gates_specs(self):
+        # Hit counters advance even when the generation filter skips the
+        # spec, so the window must cover the post-switch hit.
+        plan = FaultPlan([FaultSpec("s", "corrupt", times=5, generation=1)])
+        assert plan.fire("s") is None  # this process is generation 0
+        faults.set_generation(1)
+        assert plan.fire("s") is not None
+
+    def test_counts_and_fired_log(self):
+        plan = FaultPlan([FaultSpec("s", "corrupt", times=2)])
+        plan.fire("s")
+        plan.fire("s")
+        plan.fire("s")
+        assert plan.counts() == {"s:corrupt": 2}
+        assert [record["hit"] for record in plan.fired] == [1, 2]
+
+    def test_observer_sees_every_firing(self):
+        seen = []
+        faults.set_observer(lambda site, spec: seen.append((site, spec.action)))
+        plan = FaultPlan([FaultSpec("s", "corrupt")])
+        plan.fire("s")
+        plan.fire("s")  # outside the window: no firing, no observation
+        assert seen == [("s", "corrupt")]
+
+
+class TestInstallation:
+    def test_maybe_fire_without_plan_is_noop(self):
+        assert faults.maybe_fire("anything") is None
+
+    def test_install_exports_env_and_uninstall_clears(self, monkeypatch):
+        import os
+
+        plan = FaultPlan([FaultSpec("s", "raise")], seed=3)
+        faults.install(plan)
+        assert faults.active() is plan
+        exported = json.loads(os.environ[FAULT_PLAN_ENV])
+        assert exported == plan.to_json()
+        faults.uninstall()
+        assert faults.active() is None
+        assert FAULT_PLAN_ENV not in os.environ
+
+    def test_load_from_env_inline_and_file(self, tmp_path):
+        plan = FaultPlan([FaultSpec("s", "sleep", seconds=0.5)], seed=9)
+        inline = faults.load_from_env({FAULT_PLAN_ENV: json.dumps(plan.to_json())})
+        assert inline.to_json() == plan.to_json()
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan.to_json()))
+        from_file = faults.load_from_env({FAULT_PLAN_ENV: f"@{path}"})
+        assert from_file.to_json() == plan.to_json()
+        assert faults.load_from_env({}) is None
+
+    def test_load_from_env_rejects_garbage(self):
+        with pytest.raises(ReproError, match="not valid JSON"):
+            faults.load_from_env({FAULT_PLAN_ENV: "not json"})
+
+    def test_install_from_env_gets_fresh_counters(self, monkeypatch):
+        plan = FaultPlan([FaultSpec("s", "corrupt")])
+        plan.fire("s")  # consume the firing locally
+        monkeypatch.setenv(FAULT_PLAN_ENV, json.dumps(plan.to_json()))
+        installed = faults.install_from_env()
+        assert installed is not plan
+        assert installed.fire("s") is not None  # fresh per-process counter

@@ -1,0 +1,135 @@
+"""Supervised warm pool: determinism, crash/hang/transient recovery.
+
+These tests drive the *production* sampler path
+(:func:`evaluate_forever_mcmc` with ``ParallelConfig``) under installed
+fault plans — the supervisor, heartbeats, restarts, and chunk retries
+are all the real code, not mocks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.core import evaluate_forever_mcmc
+from repro.errors import WorkerPoolError
+from repro.faults import SITE_SUPERVISOR_TASK, FaultPlan, FaultSpec
+from repro.perf import ParallelConfig, prewarm, warm_pool_stats
+from repro.perf.supervisor import HEARTBEAT_TIMEOUT_ENV
+from repro.runtime import RunContext
+from repro.workloads import cycle_graph, random_walk_query
+
+WORKERS = 2
+SAMPLES = 24
+BURN_IN = 5
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def walk():
+    return random_walk_query(cycle_graph(6), "n0", "n3")
+
+
+@pytest.fixture(autouse=True)
+def chaos_hygiene(monkeypatch):
+    """No plan, default heartbeat, before and after every test.
+
+    Uninstalling changes ``REPRO_FAULT_PLAN``, which makes the warm
+    pool recycle its workers at generation 0 on the next lease — so a
+    test's plan can never leak into its neighbours' worker processes.
+    """
+    faults.uninstall()
+    monkeypatch.delenv(HEARTBEAT_TIMEOUT_ENV, raising=False)
+    yield
+    faults.uninstall()
+
+
+def run_walk(walk, *, persistent=True, context=None):
+    query, db = walk
+    return evaluate_forever_mcmc(
+        query,
+        db,
+        samples=SAMPLES,
+        burn_in=BURN_IN,
+        rng=SEED,
+        parallel=ParallelConfig(workers=WORKERS, persistent=persistent),
+        context=context,
+    )
+
+
+class TestDeterminism:
+    def test_warm_pool_bit_identical_to_spawn_per_call(self, walk):
+        warm = run_walk(walk, persistent=True)
+        cold = run_walk(walk, persistent=False)
+        assert warm.positive == cold.positive
+        assert warm.estimate == cold.estimate
+        assert warm.samples == cold.samples == SAMPLES
+
+    def test_warm_pool_stable_across_reuse(self, walk):
+        first = run_walk(walk)
+        stats = warm_pool_stats()
+        assert stats["alive"] == WORKERS
+        second = run_walk(walk)
+        assert second.positive == first.positive
+        assert second.estimate == first.estimate
+
+    def test_prewarm_reports_hot_workers(self, walk):
+        stats = prewarm(WORKERS)
+        assert stats["workers"] == WORKERS
+        assert stats["alive"] == WORKERS
+        # The prewarmed pool serves the next run unchanged.
+        result = run_walk(walk)
+        assert result.samples == SAMPLES
+
+
+class TestFaultRecovery:
+    def test_crash_recovery_is_bit_identical(self, walk):
+        baseline = run_walk(walk)
+        # generation=0: kill each *original* worker on its first chunk;
+        # replacement workers (generation >= 1) run clean.
+        faults.install(FaultPlan(
+            [FaultSpec(SITE_SUPERVISOR_TASK, "crash", generation=0)]
+        ))
+        context = RunContext()
+        survived = run_walk(walk, context=context)
+        assert survived.positive == baseline.positive
+        assert survived.estimate == baseline.estimate
+        events = context.report().events
+        assert any("restarted" in event for event in events)
+        assert any("WorkerCrashError" in event for event in events)
+
+    def test_hang_recovery_via_heartbeat(self, walk, monkeypatch):
+        monkeypatch.setenv(HEARTBEAT_TIMEOUT_ENV, "1.0")
+        baseline = run_walk(walk)
+        faults.install(FaultPlan(
+            [FaultSpec(SITE_SUPERVISOR_TASK, "hang", generation=0)]
+        ))
+        context = RunContext()
+        survived = run_walk(walk, context=context)
+        assert survived.estimate == baseline.estimate
+        events = context.report().events
+        assert any("WorkerStalledError" in event for event in events)
+
+    def test_transient_fault_retries_chunk(self, walk):
+        baseline = run_walk(walk)
+        # Each worker process raises a retryable fault on its first
+        # chunk; the chunk is idempotently re-dispatched.
+        faults.install(FaultPlan(
+            [FaultSpec(SITE_SUPERVISOR_TASK, "raise")]
+        ))
+        context = RunContext()
+        survived = run_walk(walk, context=context)
+        assert survived.positive == baseline.positive
+        assert survived.estimate == baseline.estimate
+        events = context.report().events
+        assert any("chunk retry" in event for event in events)
+
+    def test_restart_budget_exhaustion_fails_the_run(self, walk):
+        # No generation bound: every replacement worker also crashes on
+        # its first chunk — the classic crash loop the restart budget
+        # exists to stop.
+        faults.install(FaultPlan(
+            [FaultSpec(SITE_SUPERVISOR_TASK, "crash")]
+        ))
+        with pytest.raises(WorkerPoolError, match="restart budget"):
+            run_walk(walk)

@@ -1,0 +1,121 @@
+"""Crash-safe checkpoint writes under injected torn-write faults.
+
+The rename-into-place protocol promises a reader sees either the old
+complete checkpoint or the new complete checkpoint, never a torn file.
+These tests fire the ``checkpoint.write`` fault site to simulate the
+writer dying mid-write and check the promise holds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.core.evaluation import evaluate_forever_mcmc
+from repro.errors import CheckpointError
+from repro.faults import (
+    SITE_CHECKPOINT_WRITE,
+    SITE_SAMPLER_SAMPLE,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.runtime import load_checkpoint
+from repro.workloads import cycle_graph, random_walk_query
+
+BURN_IN = 13
+SAMPLES = 40
+SEED = 11
+
+
+@pytest.fixture
+def walk():
+    return random_walk_query(cycle_graph(4), "n0", "n2")
+
+
+@pytest.fixture(autouse=True)
+def clean_plan():
+    faults.uninstall()
+    yield
+    faults.uninstall()
+
+
+class TestTornWrite:
+    def make_checkpoint(self, walk, tmp_path, name="seed.ckpt"):
+        """Interrupt a real run to obtain a genuine checkpoint object."""
+        query, db = walk
+        path = tmp_path / name
+        faults.install(FaultPlan(
+            [FaultSpec(SITE_SAMPLER_SAMPLE, "raise", after=5, transient=False)]
+        ))
+        with pytest.raises(Exception):
+            evaluate_forever_mcmc(
+                query, db, burn_in=BURN_IN, samples=SAMPLES, rng=SEED,
+                checkpoint_path=path,
+            )
+        faults.uninstall()
+        assert path.exists()
+        return load_checkpoint(path)
+
+    def test_torn_write_raises_retryable_and_leaves_no_target(
+        self, walk, tmp_path
+    ):
+        checkpoint = self.make_checkpoint(walk, tmp_path)
+        target = tmp_path / "fresh.ckpt"
+        faults.install(FaultPlan(
+            [FaultSpec(SITE_CHECKPOINT_WRITE, "torn-write")]
+        ))
+        with pytest.raises(CheckpointError) as excinfo:
+            checkpoint.save(target)
+        assert excinfo.value.retryable
+        assert not target.exists()  # the rename never happened
+        # The truncated temp file is the only debris.
+        temp = target.with_name(target.name + ".tmp")
+        assert temp.exists()
+        assert len(temp.read_text()) < len(
+            (tmp_path / "seed.ckpt").read_text()
+        )
+
+    def test_torn_overwrite_preserves_the_old_checkpoint(
+        self, walk, tmp_path
+    ):
+        checkpoint = self.make_checkpoint(walk, tmp_path)
+        target = tmp_path / "stable.ckpt"
+        checkpoint.save(target)
+        before = target.read_text()
+
+        faults.install(FaultPlan(
+            [FaultSpec(SITE_CHECKPOINT_WRITE, "torn-write")]
+        ))
+        with pytest.raises(CheckpointError):
+            checkpoint.save(target)
+        # Old complete checkpoint intact and still loadable.
+        assert target.read_text() == before
+        assert load_checkpoint(target).samples_done == checkpoint.samples_done
+
+    def test_save_succeeds_once_the_fault_window_closes(self, walk, tmp_path):
+        checkpoint = self.make_checkpoint(walk, tmp_path)
+        target = tmp_path / "retry.ckpt"
+        faults.install(FaultPlan(
+            [FaultSpec(SITE_CHECKPOINT_WRITE, "torn-write", times=1)]
+        ))
+        with pytest.raises(CheckpointError):
+            checkpoint.save(target)
+        checkpoint.save(target)  # the retry: fault window exhausted
+        restored = load_checkpoint(target)
+        assert restored.samples_done == checkpoint.samples_done
+        assert restored.rng_state == checkpoint.rng_state
+
+    def test_resume_after_torn_write_is_bit_identical(self, walk, tmp_path):
+        """End-to-end: die mid-run with a torn final write, retry the
+        write, resume — the estimate matches the uninterrupted run."""
+        query, db = walk
+        full = evaluate_forever_mcmc(
+            query, db, burn_in=BURN_IN, samples=SAMPLES, rng=SEED
+        )
+        checkpoint = self.make_checkpoint(walk, tmp_path)
+        target = tmp_path / "resume.ckpt"
+        checkpoint.save(target)
+        resumed = evaluate_forever_mcmc(query, db, rng=999, resume=target)
+        assert resumed.estimate == full.estimate
+        assert resumed.positive == full.positive
+        assert resumed.samples == full.samples

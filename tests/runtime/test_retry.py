@@ -1,0 +1,234 @@
+"""RetryPolicy: jittered backoff, deadlines, hints, idempotency keys."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import BudgetExceededError, ReproError, RunCancelledError
+from repro.runtime.retry import (
+    CHUNK_RETRY,
+    HTTP_RETRY,
+    RetryPolicy,
+    idempotency_key,
+    is_retryable,
+    retry_after_hint,
+)
+
+
+def transient(message: str = "transient") -> ReproError:
+    return ReproError(message, retryable=True)
+
+
+class TestErrorIntrospection:
+    def test_is_retryable_reads_the_error_attribute(self):
+        assert is_retryable(transient())
+        assert not is_retryable(ReproError("permanent"))
+        assert not is_retryable(ValueError("no attribute at all"))
+
+    def test_terminal_errors_are_never_retryable(self):
+        assert not is_retryable(BudgetExceededError("out of budget"))
+        assert not is_retryable(RunCancelledError("cancelled"))
+
+    def test_retry_after_hint_from_attribute(self):
+        error = ReproError("slow down")
+        error.retry_after = 2.5
+        assert retry_after_hint(error) == 2.5
+
+    def test_retry_after_hint_from_details(self):
+        error = ReproError("busy", details={"retry_after": 1.0}, retryable=True)
+        assert retry_after_hint(error) == 1.0
+
+    def test_retry_after_hint_invalid_values(self):
+        assert retry_after_hint(ReproError("no hint")) is None
+        error = ReproError("bad", details={"retry_after": "soonish"})
+        assert retry_after_hint(error) is None
+        negative = ReproError("bad", details={"retry_after": -3})
+        assert retry_after_hint(negative) is None
+
+
+class TestIdempotencyKey:
+    def test_stable_for_equal_payloads(self):
+        a = idempotency_key({"program": "C := E", "seed": 7})
+        b = idempotency_key({"seed": 7, "program": "C := E"})
+        assert a == b
+        assert len(a) == 32
+
+    def test_distinct_for_distinct_payloads(self):
+        assert idempotency_key({"seed": 7}) != idempotency_key({"seed": 8})
+
+    def test_random_without_payload(self):
+        assert idempotency_key() != idempotency_key()
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -0.1},
+            {"max_delay": -1.0},
+            {"multiplier": 0.5},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ReproError):
+            RetryPolicy(**kwargs)
+
+    def test_stack_defaults_are_sane(self):
+        assert CHUNK_RETRY.max_attempts == 3
+        assert HTTP_RETRY.max_attempts == 4
+        assert CHUNK_RETRY.max_delay <= HTTP_RETRY.max_delay
+
+
+class TestDelays:
+    def test_ceiling_grows_exponentially_then_caps(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.5)
+        assert policy.backoff_ceiling(0) == pytest.approx(0.1)
+        assert policy.backoff_ceiling(1) == pytest.approx(0.2)
+        assert policy.backoff_ceiling(2) == pytest.approx(0.4)
+        assert policy.backoff_ceiling(3) == 0.5
+        assert policy.backoff_ceiling(10) == 0.5
+
+    def test_delay_is_full_jitter_within_ceiling(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.5)
+        rng = random.Random(11)
+        draws = [policy.delay(3, rng=rng) for _ in range(200)]
+        assert all(0.0 <= d <= 0.5 for d in draws)
+        assert min(draws) < 0.1 and max(draws) > 0.4  # actually jittered
+
+    def test_delay_is_deterministic_under_a_seeded_rng(self):
+        policy = RetryPolicy(base_delay=0.1)
+        assert (
+            policy.delay(2, rng=random.Random(3))
+            == policy.delay(2, rng=random.Random(3))
+        )
+
+    def test_zero_base_delay_means_zero_delay(self):
+        assert RetryPolicy(base_delay=0.0).delay(5) == 0.0
+
+
+class TestCall:
+    def make(self, **kwargs) -> RetryPolicy:
+        kwargs.setdefault("max_attempts", 4)
+        kwargs.setdefault("base_delay", 0.01)
+        return RetryPolicy(**kwargs)
+
+    def test_retries_until_success(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise transient()
+            return "ok"
+
+        sleeps: list[float] = []
+        result = self.make().call(
+            flaky, sleep=sleeps.append, rng=random.Random(5)
+        )
+        assert result == "ok"
+        assert len(calls) == 3
+        assert len(sleeps) <= 2  # zero-length jitter draws skip the sleep
+
+    def test_gives_up_after_max_attempts(self):
+        calls = []
+
+        def always_failing():
+            calls.append(1)
+            raise transient()
+
+        with pytest.raises(ReproError):
+            self.make(max_attempts=3).call(
+                always_failing, sleep=lambda _: None, rng=random.Random(5)
+            )
+        assert len(calls) == 3
+
+    def test_non_retryable_error_raises_immediately(self):
+        calls = []
+
+        def permanent():
+            calls.append(1)
+            raise ReproError("permanent")
+
+        with pytest.raises(ReproError):
+            self.make().call(permanent, sleep=lambda _: None)
+        assert len(calls) == 1
+
+    def test_deadline_abandons_retries(self):
+        now = [0.0]
+
+        def failing():
+            raise transient()
+
+        with pytest.raises(ReproError):
+            self.make(base_delay=1.0, multiplier=1.0, max_delay=1.0).call(
+                failing,
+                deadline=0.5,
+                clock=lambda: now[0],
+                sleep=lambda _: None,
+                # rng irrelevant: any draw crossing the deadline aborts;
+                # force a full-length pause via retry_after below instead.
+                rng=random.Random(1),
+            )
+
+    def test_retry_after_hint_overrides_computed_backoff(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) == 1:
+                error = transient("throttled")
+                error.retry_after = 0.75
+                raise error
+            return "ok"
+
+        sleeps: list[float] = []
+        self.make(base_delay=0.0).call(flaky, sleep=sleeps.append)
+        assert sleeps == [0.75]
+
+    def test_retry_after_hint_respects_the_deadline(self):
+        def throttled():
+            error = transient("throttled")
+            error.retry_after = 10.0
+            raise error
+
+        with pytest.raises(ReproError):
+            self.make().call(
+                throttled, deadline=1.0, clock=lambda: 0.0,
+                sleep=lambda _: pytest.fail("must not sleep past deadline"),
+            )
+
+    def test_on_retry_hook_sees_attempt_error_and_pause(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 2:
+                raise transient()
+            return "ok"
+
+        self.make(base_delay=0.0).call(
+            flaky,
+            sleep=lambda _: None,
+            on_retry=lambda attempt, error, pause: seen.append(
+                (attempt, type(error).__name__, pause)
+            ),
+        )
+        assert seen == [(1, "ReproError", 0.0), (2, "ReproError", 0.0)]
+
+    def test_custom_retryable_predicate(self):
+        calls = []
+
+        def failing():
+            calls.append(1)
+            raise ValueError("not a ReproError")
+
+        with pytest.raises(ValueError):
+            self.make(max_attempts=3).call(
+                failing,
+                retryable=lambda error: isinstance(error, ValueError),
+                sleep=lambda _: None,
+                rng=random.Random(2),
+            )
+        assert len(calls) == 3

@@ -1,0 +1,157 @@
+"""HTTP hardening: Retry-After, 503 on shutdown, idempotent submits,
+and client-side retry behaviour — over a real socket."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.errors import (
+    QueueFullError,
+    ServiceError,
+    ServiceUnavailableError,
+)
+from repro.runtime.retry import RetryPolicy
+from repro.service import (
+    QueryService,
+    ServiceClient,
+    ServiceConfig,
+    make_server,
+)
+
+from tests.service.conftest import walk_body
+
+
+def serve(config: ServiceConfig):
+    service = QueryService(config)
+    service.start()
+    server = make_server(service, "127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    return service, server, f"http://{host}:{port}"
+
+
+@pytest.fixture
+def tiny_queue():
+    """A service whose queue fills after two jobs, plus a retry-free
+    client (the tests inspect single raw responses)."""
+    service, server, url = serve(
+        ServiceConfig(workers=1, queue_size=2, load_shedding=False)
+    )
+    client = ServiceClient(url, timeout=10.0, retry=None)
+    try:
+        yield service, server, client
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.shutdown(wait=False, cancel_running=True)
+
+
+def slow_body(seed: int) -> dict:
+    return walk_body(
+        params={"mcmc": True, "samples": 100_000, "seed": seed, "burn_in": 4}
+    )
+
+
+def fill_queue(client) -> list[dict]:
+    """One job occupying the single worker + two filling the queue."""
+    return [client.submit(slow_body(seed)) for seed in (1, 2, 3)]
+
+
+class TestRetryAfter:
+    def test_429_carries_retry_after_and_typed_error(self, tiny_queue):
+        _, _, client = tiny_queue
+        blockers = fill_queue(client)
+        with pytest.raises(QueueFullError) as excinfo:
+            client.submit(slow_body(99))
+        assert excinfo.value.status == 429
+        assert excinfo.value.retry_after >= 1
+        assert excinfo.value.details["queue_size"] == 2
+        for record in blockers:
+            client.cancel(record["id"])
+
+    def test_client_retries_429_until_capacity_frees(self, tiny_queue):
+        service, _, plain = tiny_queue
+        blockers = fill_queue(plain)
+
+        # A retrying client with a patient policy: cancel the blockers
+        # from a timer so a retry attempt eventually finds room.
+        retrying = ServiceClient(
+            plain.base_url, timeout=10.0,
+            retry=RetryPolicy(max_attempts=8, base_delay=0.2, max_delay=0.5),
+        )
+
+        def free_capacity():
+            for record in blockers:
+                try:
+                    plain.cancel(record["id"])
+                except ServiceError:
+                    pass
+
+        timer = threading.Timer(0.5, free_capacity)
+        timer.start()
+        try:
+            record = retrying.submit(slow_body(99))
+            assert record["id"]
+            plain.cancel(record["id"])
+        finally:
+            timer.cancel()
+
+
+class TestShutdown503:
+    def test_submit_after_shutdown_is_503_with_retry_after(self, tiny_queue):
+        service, _, client = tiny_queue
+        service.shutdown(wait=True, cancel_running=True)
+        with pytest.raises(ServiceUnavailableError) as excinfo:
+            client.submit(walk_body())
+        assert excinfo.value.status == 503
+        assert excinfo.value.retry_after >= 1
+
+
+class TestIdempotentSubmits:
+    def test_duplicate_request_id_collapses_over_http(self, tiny_queue):
+        _, _, client = tiny_queue
+        first = client.submit(walk_body(), request_id="same-key")
+        second = client.submit(walk_body(), request_id="same-key")
+        assert second["id"] == first["id"]
+        third = client.submit(walk_body(), request_id="other-key")
+        assert third["id"] != first["id"]
+
+    def test_raw_post_without_request_id_always_schedules(self, tiny_queue):
+        _, _, client = tiny_queue
+        ids = set()
+        for _ in range(2):
+            data = json.dumps(walk_body()).encode()
+            request = urllib.request.Request(
+                f"{client.base_url}/v1/jobs", data=data, method="POST",
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=10.0) as response:
+                ids.add(json.loads(response.read())["id"])
+        assert len(ids) == 2
+
+
+class TestTypedErrorRoundTrip:
+    def test_server_details_survive_the_wire(self, tiny_queue):
+        _, _, client = tiny_queue
+        blockers = fill_queue(client)
+        try:
+            client.submit(slow_body(99))
+            pytest.fail("expected QueueFullError")
+        except QueueFullError as error:
+            # type, message, details, status, retry_after all round-trip
+            assert "queue is full" in str(error)
+            assert error.details["depth"] == 2
+            assert error.details["retry_after"] == 1.0
+        for record in blockers:
+            client.cancel(record["id"])
+
+    def test_connection_refused_is_retryable_service_error(self):
+        client = ServiceClient("http://127.0.0.1:9", timeout=0.5, retry=None)
+        with pytest.raises(ServiceError) as excinfo:
+            client.healthz()
+        assert excinfo.value.retryable  # GETs are idempotent

@@ -1,0 +1,362 @@
+"""Scheduler robustness: load shedding, retry re-admission, idempotent
+submits, and shutdown races."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    QueueFullError,
+    ReproError,
+    RunCancelledError,
+    ServiceUnavailableError,
+)
+from repro.runtime import Budget
+from repro.runtime.retry import RetryPolicy
+from repro.service import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    JobScheduler,
+    QueryRequest,
+)
+from repro.service.scheduler import FINISHED_STATES
+
+from tests.service.conftest import walk_body
+
+
+def make_request(**overrides) -> QueryRequest:
+    return QueryRequest.from_json(walk_body(**overrides))
+
+
+def make_scheduler(executor, **kwargs) -> JobScheduler:
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("queue_size", 8)
+    return JobScheduler(executor, **kwargs)
+
+
+#: An instant retry policy so re-admission tests don't sleep.
+INSTANT_RETRY = RetryPolicy(max_attempts=3, base_delay=0.0, max_delay=0.0)
+
+
+class TestLoadShedding:
+    def test_budget_rung_halves_bounded_budgets(self):
+        scheduler = make_scheduler(
+            lambda job: None, queue_size=4,
+            default_budget=Budget(max_steps=1000),
+        )
+        try:
+            first = scheduler.submit(make_request())   # fill 0/4
+            second = scheduler.submit(make_request())  # fill 1/4
+            third = scheduler.submit(make_request())   # fill 2/4 = 0.5
+            assert first.shed == [] and second.shed == []
+            assert first.budget.max_steps == 1000
+            assert any("budget scaled" in note for note in third.shed)
+            assert third.budget.max_steps == 500
+            counter = scheduler.metrics.registry.counter("repro_load_shed_total")
+            assert counter.value(rung="budget") == 1
+        finally:
+            scheduler.shutdown()
+
+    def test_unlimited_budgets_are_never_shed(self):
+        # Halving "unlimited" would be a silent no-op reported as a shed
+        # — the ladder skips the rung instead.
+        scheduler = make_scheduler(lambda job: None, queue_size=4)
+        try:
+            for _ in range(3):
+                job = scheduler.submit(make_request())
+            assert job.shed == []
+            assert job.budget.is_unlimited
+        finally:
+            scheduler.shutdown()
+
+    def test_accuracy_rung_halves_explicit_samples(self):
+        scheduler = make_scheduler(lambda job: None, queue_size=5)
+        try:
+            for _ in range(4):
+                scheduler.submit(make_request())
+            job = scheduler.submit(make_request(  # fill 4/5 = 0.8
+                params={"mcmc": True, "samples": 40, "seed": 7}
+            ))
+            assert job.request.params["samples"] == 20
+            assert any("samples halved 40 -> 20" in note for note in job.shed)
+            counter = scheduler.metrics.registry.counter("repro_load_shed_total")
+            assert counter.value(rung="accuracy") == 1
+        finally:
+            scheduler.shutdown()
+
+    def test_accuracy_rung_inflates_epsilon_delta_capped(self):
+        scheduler = make_scheduler(lambda job: None, queue_size=5)
+        try:
+            for _ in range(4):
+                scheduler.submit(make_request())
+            job = scheduler.submit(make_request(
+                params={"epsilon": 0.3, "delta": 0.05, "seed": 7}
+            ))
+            # ε doubled but capped at 0.5; δ doubled freely.
+            assert job.request.params["epsilon"] == 0.5
+            assert job.request.params["delta"] == 0.1
+        finally:
+            scheduler.shutdown()
+
+    def test_shed_changes_the_cache_key(self):
+        """A degraded job must not be served from (or poison) the cache
+        entry of the full-accuracy computation."""
+        scheduler = make_scheduler(lambda job: None, queue_size=5)
+        try:
+            original = make_request(
+                params={"mcmc": True, "samples": 40, "seed": 7}
+            )
+            for _ in range(4):
+                scheduler.submit(make_request())
+            job = scheduler.submit(original)
+            assert job.request.cache_key() != original.cache_key()
+        finally:
+            scheduler.shutdown()
+
+    def test_exact_queries_have_no_accuracy_rung(self):
+        scheduler = make_scheduler(lambda job: None, queue_size=5)
+        try:
+            for _ in range(4):
+                scheduler.submit(make_request())
+            job = scheduler.submit(make_request())  # exact: no sampling params
+            assert job.shed == []  # budget unlimited, accuracy n/a
+        finally:
+            scheduler.shutdown()
+
+    def test_shed_decisions_land_on_the_run_report(self):
+        scheduler = make_scheduler(
+            lambda job: {"ok": True}, workers=1, queue_size=4,
+            default_budget=Budget(max_steps=1000),
+        )
+        try:
+            scheduler.submit(make_request())
+            scheduler.submit(make_request())
+            shed_job = scheduler.submit(make_request())
+            assert shed_job.shed
+            scheduler.start()
+            finished = scheduler.wait(shed_job.id, timeout=10.0)
+            assert finished.state == DONE
+            assert any(
+                "load shed at admission" in event
+                for event in finished.report["events"]
+            )
+        finally:
+            scheduler.shutdown()
+
+    def test_load_shedding_can_be_disabled(self):
+        scheduler = make_scheduler(
+            lambda job: None, queue_size=4,
+            default_budget=Budget(max_steps=1000),
+            load_shedding=False,
+        )
+        try:
+            for _ in range(4):
+                job = scheduler.submit(make_request())
+            assert job.shed == []
+            assert job.budget.max_steps == 1000
+        finally:
+            scheduler.shutdown()
+
+
+class TestRetryReadmission:
+    def flaky(self, failures: int, error_factory=None):
+        """An executor failing ``failures`` times, then succeeding."""
+        state = {"calls": 0}
+
+        def executor(job):
+            state["calls"] += 1
+            if state["calls"] <= failures:
+                if error_factory is not None:
+                    raise error_factory()
+                raise ReproError("transient wobble", retryable=True)
+            return {"calls": state["calls"]}
+
+        return executor, state
+
+    def test_retryable_failure_is_requeued_until_success(self):
+        executor, state = self.flaky(failures=2)
+        scheduler = make_scheduler(
+            executor, workers=1, retry_policy=INSTANT_RETRY
+        )
+        scheduler.start()
+        try:
+            job = scheduler.wait(scheduler.submit(make_request()).id, timeout=10.0)
+            assert job.state == DONE
+            assert job.attempts == 3
+            assert state["calls"] == 3
+            assert any(
+                "retry attempt" in event for event in job.report["events"]
+            )
+            counter = scheduler.metrics.registry.counter("repro_job_retries_total")
+            assert counter.total() == 2
+        finally:
+            scheduler.shutdown()
+
+    def test_retries_exhausted_fails_the_job(self):
+        executor, state = self.flaky(failures=10)
+        scheduler = make_scheduler(
+            executor, workers=1, max_job_retries=2, retry_policy=INSTANT_RETRY
+        )
+        scheduler.start()
+        try:
+            job = scheduler.wait(scheduler.submit(make_request()).id, timeout=10.0)
+            assert job.state == FAILED
+            assert job.attempts == 3  # initial + 2 retries
+            assert state["calls"] == 3
+            assert job.error["type"] == "ReproError"
+        finally:
+            scheduler.shutdown()
+
+    def test_non_retryable_failure_is_terminal_immediately(self):
+        executor, state = self.flaky(
+            failures=10, error_factory=lambda: ReproError("permanent")
+        )
+        scheduler = make_scheduler(
+            executor, workers=1, retry_policy=INSTANT_RETRY
+        )
+        scheduler.start()
+        try:
+            job = scheduler.wait(scheduler.submit(make_request()).id, timeout=10.0)
+            assert job.state == FAILED
+            assert job.attempts == 1
+            assert state["calls"] == 1
+        finally:
+            scheduler.shutdown()
+
+    def test_cancelled_job_is_not_retried(self):
+        started = threading.Event()
+
+        def executor(job):
+            started.set()
+            while True:
+                job.context.check()  # raises once cancelled
+                time.sleep(0.005)
+
+        scheduler = make_scheduler(
+            executor, workers=1, retry_policy=INSTANT_RETRY
+        )
+        scheduler.start()
+        try:
+            job = scheduler.submit(make_request())
+            assert started.wait(timeout=5.0)
+            scheduler.cancel(job.id)
+            job = scheduler.wait(job.id, timeout=10.0)
+            assert job.state == CANCELLED
+            assert job.attempts == 1
+        finally:
+            scheduler.shutdown()
+
+
+class TestIdempotentSubmits:
+    def test_duplicate_request_id_returns_the_same_job(self):
+        scheduler = make_scheduler(lambda job: {"ok": True})
+        try:
+            first = scheduler.submit(make_request(), request_id="key-1")
+            dup = scheduler.submit(make_request(), request_id="key-1")
+            other = scheduler.submit(make_request(), request_id="key-2")
+            assert dup is first
+            assert other.id != first.id
+            # Only the two distinct jobs occupy queue capacity.
+            assert scheduler.stats()["queue_depth"] == 2
+        finally:
+            scheduler.shutdown()
+
+    def test_pruned_jobs_release_their_request_id(self):
+        scheduler = make_scheduler(
+            lambda job: {"ok": True}, workers=1, registry_limit=1
+        )
+        scheduler.start()
+        try:
+            first = scheduler.submit(make_request(), request_id="key-1")
+            assert scheduler.wait(first.id, timeout=10.0).state == DONE
+            filler = scheduler.submit(make_request())  # prunes `first`
+            scheduler.wait(filler.id, timeout=10.0)
+            fresh = scheduler.submit(make_request(), request_id="key-1")
+            assert fresh.id != first.id  # the stale mapping is gone
+        finally:
+            scheduler.shutdown()
+
+
+class TestShutdown:
+    def test_submit_after_shutdown_is_unavailable(self):
+        scheduler = make_scheduler(lambda job: None)
+        scheduler.shutdown()
+        with pytest.raises(ServiceUnavailableError) as excinfo:
+            scheduler.submit(make_request())
+        assert excinfo.value.details["retry_after"] > 0
+
+    def test_shutdown_cancels_running_jobs(self):
+        started = threading.Event()
+
+        def executor(job):
+            started.set()
+            while True:
+                job.context.check()
+                time.sleep(0.005)
+
+        scheduler = make_scheduler(executor, workers=1)
+        scheduler.start()
+        job = scheduler.submit(make_request())
+        assert started.wait(timeout=5.0)
+        scheduler.shutdown(cancel_running=True)
+        assert scheduler.get(job.id).state == CANCELLED
+
+    def test_shutdown_hammer_leaves_every_job_terminal(self):
+        """Submit/cancel/shutdown from racing threads: whatever
+        interleaving happens, no job may end non-terminal."""
+
+        def executor(job):
+            for _ in range(10):
+                job.context.check()
+                time.sleep(0.002)
+            return {"ok": True}
+
+        scheduler = make_scheduler(executor, workers=2, queue_size=16)
+        scheduler.start()
+        submitted: list[str] = []
+        submitted_lock = threading.Lock()
+        stop = threading.Event()
+
+        def submitter():
+            while not stop.is_set():
+                try:
+                    job = scheduler.submit(make_request())
+                except (QueueFullError, ServiceUnavailableError):
+                    time.sleep(0.002)
+                    continue
+                with submitted_lock:
+                    submitted.append(job.id)
+
+        def canceller():
+            while not stop.is_set():
+                with submitted_lock:
+                    target = submitted[-1] if submitted else None
+                if target is not None:
+                    try:
+                        scheduler.cancel(target)
+                    except Exception:
+                        pass
+                time.sleep(0.003)
+
+        threads = [threading.Thread(target=submitter) for _ in range(3)]
+        threads.append(threading.Thread(target=canceller))
+        for thread in threads:
+            thread.start()
+        time.sleep(0.3)
+        scheduler.shutdown(cancel_running=True)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+
+        jobs = scheduler.jobs()
+        assert jobs, "hammer submitted nothing"
+        non_terminal = [
+            (job.id, job.state)
+            for job in jobs
+            if job.state not in FINISHED_STATES
+        ]
+        assert non_terminal == []
