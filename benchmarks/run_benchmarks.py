@@ -3,11 +3,15 @@
 
 Runs a small, stable subset of the repository's workloads — chain
 build, the Theorem 4.3 inflationary sampler, the Theorem 5.6 MCMC
-sampler (sequential / ``workers=4`` / transition-cached), the supervised
-warm worker pool vs the legacy spawn-per-call executor, and the exact
-linear solver (Bareiss vs the Gauss–Jordan reference) — and writes
-``BENCH_<date>.json`` with the median wall-clock of each plus SHA-256
-checksums of every result that must not drift.
+sampler (sequential / ``workers=4`` / transition-cached), the columnar
+kernel vs the frozenset interpreter over the Thm 5.6 family (with
+per-operator timings), cross-process sampler determinism under varying
+``PYTHONHASHSEED``, a closed-loop service loadgen (p50/p99 latency +
+QPS per backend), the supervised warm worker pool vs the legacy
+spawn-per-call executor, and the exact linear solver (Bareiss vs the
+Gauss–Jordan reference) — and writes ``BENCH_<date>.json`` with the
+median wall-clock of each plus SHA-256 checksums of every result that
+must not drift.
 
 Correctness gates (always enforced; any failure exits nonzero):
 
@@ -16,6 +20,11 @@ Correctness gates (always enforced; any failure exits nonzero):
 * the supervised warm pool reproduces spawn-per-call tallies
   bit-for-bit and finishes the run with all workers alive, zero
   restarts;
+* the columnar backend's sampler tallies are checksum-equal to the
+  frozenset interpreter on every Thm 5.6 family member, its transition
+  distribution is Fraction-exact, and seeded tallies are identical
+  across interpreter processes with different ``PYTHONHASHSEED``;
+* every loadgen request completes (no failures, both backends);
 * the Bareiss solver agrees entry-for-entry with ``solve_exact_gauss``;
 * sampler estimates sit within the Chernoff tolerance of the exact
   evaluator's answer;
@@ -25,7 +34,8 @@ Correctness gates (always enforced; any failure exits nonzero):
   entries also record per-phase wall/CPU timings from a traced run).
 
 Speedup targets (``workers=4`` ≥ 2x on the Thm 5.6 bench, cache alone
-≥ 1.3x at ``workers=1``) are measured and recorded in the JSON under
+≥ 1.3x at ``workers=1``, columnar ≥ 3x median over the Thm 5.6
+family) are measured and recorded in the JSON under
 ``"targets"``; each is *enforced* only where the machine can express it
 (the multi-core target needs ≥ 2 usable cores, and timing-based targets
 are advisory under ``--quick``, whose rounds are too short to be
@@ -234,6 +244,134 @@ def bench_thm56(h: Harness, cores: int) -> None:
              note="TransitionCache(256) at workers=1 vs uncached sequential")
 
 
+def bench_kernel(h: Harness) -> None:
+    print("columnar kernel vs frozenset interpreter — Thm 5.6 family")
+    from repro.kernel import compile_query, extern_database
+    from repro.workloads import complete_graph, grid_graph
+
+    family = [
+        ("cycle8", random_walk_query(cycle_graph(8), "n0", "n4")),
+        ("complete16", random_walk_query(complete_graph(16), "n0", "n4")),
+        ("complete20", random_walk_query(complete_graph(20), "n0", "n4")),
+        ("grid10x10", random_walk_query(grid_graph(10, 10), "g0_0", "g5_5")),
+    ]
+    samples = 60 if h.quick else 200
+    burn_in = 5 if h.quick else 15
+    speedups = []
+    for name, (query, db) in family:
+        froz_s, froz = timed(lambda: evaluate_forever_mcmc(
+            query, db, samples=samples, burn_in=burn_in, rng=SEED), h.rounds)
+        col_s, col = timed(lambda: evaluate_forever_mcmc(
+            query, db, samples=samples, burn_in=burn_in, rng=SEED,
+            backend="columnar"), h.rounds)
+        froz_sum = checksum({"positive": froz.positive, "samples": froz.samples})
+        col_sum = checksum({"positive": col.positive, "samples": col.samples})
+        h.record(f"kernel_frozenset_{name}", froz_s, froz_sum,
+                 samples=samples, burn_in=burn_in)
+        h.record(f"kernel_columnar_{name}", col_s, col_sum,
+                 samples=samples, burn_in=burn_in,
+                 speedup=round(froz_s / col_s, 2) if col_s else None)
+        h.check(f"kernel_checksum_equal_{name}", froz_sum == col_sum,
+                f"columnar={col_sum} frozenset={froz_sum}")
+        speedups.append(froz_s / col_s if col_s else float("inf"))
+
+    # Exact transition-distribution parity (Fraction-for-Fraction) on the
+    # smallest family member: the strongest per-step equivalence gate.
+    query, db = family[0][1]
+    compiled = compile_query(query, db)
+    exact_f = dict(query.kernel.transition(db).items())
+    exact_c = {extern_database(state): weight
+               for state, weight in
+               compiled.kernel.transition(compiled.initial).items()}
+    h.check("kernel_transition_distribution_exact", exact_c == exact_f,
+            f"{len(exact_f)} outcomes, exact Fraction weights")
+
+    # Per-operator wall-clock accounting from a compiled run.
+    query, db = family[1][1]
+    compiled = compile_query(query, db)
+    compiled.kernel.timings.reset()
+    evaluate_forever_mcmc(compiled.query, compiled.initial,
+                          samples=samples, burn_in=burn_in, rng=SEED,
+                          backend="columnar")
+    per_op = {
+        op: {"calls": entry["calls"], "seconds": round(entry["seconds"], 6)}
+        for op, entry in compiled.kernel.op_timings().items()
+    }
+    h.benchmarks["kernel_columnar_complete16"]["op_timings"] = per_op
+    print(f"  op timings (complete16): "
+          + ", ".join(f"{op}={entry['calls']}" for op, entry in per_op.items()))
+
+    median_speedup = statistics.median(speedups)
+    h.target("kernel_columnar_family_median", median_speedup, 3.0,
+             enforced=not h.quick,
+             note="median columnar speedup over the Thm 5.6 family; "
+                  "checksums forced equal above")
+
+
+_DETERMINISM_SCRIPT = r"""
+import json, random
+from repro.core import evaluate_forever_mcmc
+from repro.workloads import cycle_graph, random_walk_query
+query, db = random_walk_query(cycle_graph(6), "n0", "n3")
+out = {}
+for backend in (None, "columnar"):
+    result = evaluate_forever_mcmc(
+        query, db, samples=80, burn_in=4, rng=7, backend=backend)
+    out[str(backend)] = [str(result.estimate), result.positive]
+rng = random.Random(13)
+state = db
+out["trace"] = [query.event.holds(
+    state := query.kernel.sample_transition(state, rng)) for _ in range(20)]
+print(json.dumps(out, sort_keys=True))
+"""
+
+
+def bench_determinism(h: Harness) -> None:
+    print("cross-process determinism — seeded tallies vs PYTHONHASHSEED")
+    import subprocess
+
+    src = str(Path(__file__).resolve().parent.parent / "src")
+
+    def run(hash_seed: str) -> str:
+        env = {**os.environ, "PYTHONHASHSEED": hash_seed, "PYTHONPATH": src}
+        proc = subprocess.run(
+            [sys.executable, "-c", _DETERMINISM_SCRIPT],
+            capture_output=True, text=True, env=env, timeout=300,
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(proc.stderr)
+        return proc.stdout
+
+    out_a = run("1")
+    out_b = run("31337")
+    h.check("sampler_cross_process_deterministic", out_a == out_b,
+            "seeded tallies identical across interpreter invocations "
+            "with different PYTHONHASHSEED")
+    h.benchmarks["sampler_determinism"] = {
+        "checksum": checksum(out_a),
+        "hash_seeds": ["1", "31337"],
+    }
+
+
+def bench_loadgen(h: Harness) -> None:
+    print("service loadgen — closed-loop submits, p50/p99 latency + QPS")
+    from repro.service.loadgen import default_corpus, run_loadgen
+
+    total = 24 if h.quick else 60
+    concurrency = 4
+    for backend in ("frozenset", "columnar"):
+        corpus = default_corpus(total, samples=30, burn_in=5, backend=backend)
+        report = run_loadgen(corpus, concurrency=concurrency)
+        payload = report.as_dict()
+        h.benchmarks[f"loadgen_{backend}"] = payload
+        h.check(f"loadgen_{backend}_all_completed",
+                report.completed == total and report.failed == 0,
+                f"{report.completed}/{total} completed, {report.failed} failed")
+        print(f"  loadgen[{backend}]: qps={payload['qps']} "
+              f"p50={payload['latency_ms']['p50']}ms "
+              f"p99={payload['latency_ms']['p99']}ms")
+
+
 def bench_supervisor(h: Harness) -> None:
     print("worker supervisor — warm pool vs spawn-per-call dispatch")
     from repro.perf import prewarm, warm_pool_stats
@@ -386,6 +524,9 @@ def main(argv: list[str] | None = None) -> int:
     bench_chain_build(h)
     bench_thm43(h)
     bench_thm56(h, cores)
+    bench_kernel(h)
+    bench_determinism(h)
+    bench_loadgen(h)
     bench_supervisor(h)
     bench_solver(h)
     bench_tracing(h)

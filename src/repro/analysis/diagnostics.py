@@ -64,6 +64,7 @@ CODES: dict[str, tuple[str, str]] = {
     "PH001": (HINT, "deterministic program"),
     "PH002": (HINT, "pc-free kernel"),
     "PH004": (HINT, "linear datalog program"),
+    "PH005": (HINT, "kernel not eligible for the columnar backend"),
 }
 
 

@@ -38,6 +38,7 @@ class PlanHints:
     pc_free: bool = True
     linear: bool | None = None
     possibly_non_absorbing: bool = False
+    columnar_eligible: bool | None = None
 
     def as_dict(self) -> dict[str, object]:
         payload: dict[str, object] = {
@@ -47,6 +48,8 @@ class PlanHints:
         }
         if self.linear is not None:
             payload["linear"] = self.linear
+        if self.columnar_eligible is not None:
+            payload["columnar_eligible"] = self.columnar_eligible
         return payload
 
     @classmethod
@@ -57,6 +60,8 @@ class PlanHints:
         semantics: str = "forever",
     ) -> "PlanHints":
         """Hints for a relational transition kernel."""
+        from repro.kernel import kernel_ineligibility
+
         pc_free = kernel.pc_tables is None or not kernel.pc_tables.variables
         non_absorbing = False
         if event is not None and semantics == "forever":
@@ -71,6 +76,7 @@ class PlanHints:
             pc_free=pc_free,
             linear=None,
             possibly_non_absorbing=non_absorbing,
+            columnar_eligible=not kernel_ineligibility(kernel),
         )
 
     @classmethod

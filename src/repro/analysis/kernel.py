@@ -421,6 +421,18 @@ def _emit_plan_hints(
             "pc-free inflationary kernel: transition results can be memoized "
             "across runs (the TransitionCache fixpoint path applies)",
         )
+    from repro.kernel import kernel_ineligibility
+
+    reasons = kernel_ineligibility(kernel)
+    if reasons:
+        report.add(
+            "PH005",
+            "the columnar backend cannot compile this kernel; "
+            "backend='columnar' requests fall back to the frozenset "
+            "interpreter (" + "; ".join(reasons) + ")",
+            suggestion="restrict selections to column/value (in)equality "
+            "predicates and keep pc-tables out of fixpoint kernels",
+        )
 
 
 # -- helpers ------------------------------------------------------------------

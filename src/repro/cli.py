@@ -145,6 +145,18 @@ def _add_perf_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=("frozenset", "columnar"),
+        default=None,
+        help="execution backend: 'columnar' compiles the program to the "
+        "vectorized integer-ID array kernel (results are bit-identical; "
+        "kernel-ineligible programs fall back to 'frozenset' with a "
+        "recorded reason — see 'repro lint' hint PH005)",
+    )
+
+
 def _parallel_config(args: argparse.Namespace):
     """A ParallelConfig from --workers (None when sequential)."""
     workers = getattr(args, "workers", 1)
@@ -279,6 +291,8 @@ def _mcmc_payload(result) -> dict:
 def _add_perf_details(payload: dict, result) -> None:
     if result.details.get("workers"):
         payload["workers"] = result.details["workers"]
+    if result.details.get("backend"):
+        payload["backend"] = result.details["backend"]
     cache = result.details.get("cache")
     if cache:
         payload["cache_hits"] = cache["hits"]
@@ -287,12 +301,15 @@ def _add_perf_details(payload: dict, result) -> None:
 
 
 def _exact_payload(result) -> dict:
-    return {
+    payload = {
         "mode": f"exact ({result.method})",
         "probability": str(result.probability),
         "probability_float": float(result.probability),
         "chain_states": result.states_explored,
     }
+    if result.details.get("backend"):
+        payload["backend"] = result.details["backend"]
+    return payload
 
 
 def _command_forever(args: argparse.Namespace, context: RunContext) -> dict:
@@ -321,6 +338,7 @@ def _command_forever(args: argparse.Namespace, context: RunContext) -> dict:
             checkpoint_path=args.checkpoint,
             resume=args.resume,
             hints=hints,
+            backend=args.backend,
         )
         if hasattr(result, "estimate"):
             payload = _mcmc_payload(result)
@@ -344,21 +362,27 @@ def _command_forever(args: argparse.Namespace, context: RunContext) -> dict:
             resume=args.resume,
             cache_size=args.cache_size,
             parallel=_parallel_config(args),
+            backend=args.backend,
         )
         return _mcmc_payload(result)
     if args.lumped:
         result = evaluate_forever_lumped(
-            query, db, max_states=args.max_states, context=context
+            query, db, max_states=args.max_states, context=context,
+            backend=args.backend,
         )
-        return {
+        payload = {
             "mode": "exact (lumped quotient)",
             "probability": str(result.probability),
             "probability_float": float(result.probability),
             "full_chain_states": result.details["full_states"],
             "quotient_states": result.details["quotient_states"],
         }
+        if result.details.get("backend"):
+            payload["backend"] = result.details["backend"]
+        return payload
     result = evaluate_forever_exact(
-        query, db, max_states=args.max_states, context=context
+        query, db, max_states=args.max_states, context=context,
+        backend=args.backend,
     )
     payload = _exact_payload(result)
     payload["irreducible"] = result.details["irreducible"]
@@ -379,6 +403,7 @@ def _command_inflationary(args: argparse.Namespace, context: RunContext) -> dict
             context=context,
             cache_size=args.cache_size,
             parallel=_parallel_config(args),
+            backend=args.backend,
         )
         payload = {
             "mode": "sampling (Theorem 4.3)",
@@ -387,15 +412,25 @@ def _command_inflationary(args: argparse.Namespace, context: RunContext) -> dict
         }
         _add_perf_details(payload, result)
         return payload
+    effective_backend = "frozenset"
+    if args.backend == "columnar":
+        from repro.core.evaluation.backend import resolve_backend
+
+        query, db, effective_backend = resolve_backend(
+            query, db, args.backend, context=context
+        )
     result = evaluate_inflationary_exact(
         query, db, max_states=args.max_states, context=context
     )
-    return {
+    payload = {
         "mode": "exact (Proposition 4.4)",
         "probability": str(result.probability),
         "probability_float": float(result.probability),
         "states_explored": result.states_explored,
     }
+    if effective_backend != "frozenset":
+        payload["backend"] = effective_backend
+    return payload
 
 
 def _command_chain(args: argparse.Namespace, context: RunContext) -> dict:
@@ -403,6 +438,16 @@ def _command_chain(args: argparse.Namespace, context: RunContext) -> dict:
         with open(args.kernel, encoding="utf-8") as handle:
             kernel = parse_interpretation(handle.read())
         db = load_database(args.db)
+    effective_backend = "frozenset"
+    if getattr(args, "backend", None) == "columnar":
+        from repro.core.evaluation.backend import record_fallback
+        from repro.kernel import KernelCompileError, compile_kernel
+
+        try:
+            kernel, db = compile_kernel(kernel, db)
+            effective_backend = "columnar"
+        except KernelCompileError as error:
+            record_fallback(str(error), context)
     with context.phase("chain-build") as scope:
         chain = build_state_chain(
             kernel, db, max_states=args.max_states, context=context
@@ -417,6 +462,8 @@ def _command_chain(args: argparse.Namespace, context: RunContext) -> dict:
             summary["mixing_time_0.05"] = mixing_time(
                 chain, epsilon=0.05, context=context
             )
+    if effective_backend != "frozenset":
+        summary["backend"] = effective_backend
     return summary
 
 
@@ -731,7 +778,7 @@ def _submit_body(args: argparse.Namespace) -> dict:
         key: getattr(args, key)
         for key in (
             "samples", "epsilon", "delta", "seed", "max_states",
-            "burn_in", "workers", "cache_size",
+            "burn_in", "workers", "cache_size", "backend",
         )
         if getattr(args, key) is not None
     }
@@ -762,6 +809,25 @@ def _command_submit(args: argparse.Namespace, context: RunContext) -> dict:
     if args.no_wait:
         return record
     return client.wait(record["id"], timeout=args.wait_timeout)
+
+
+def _command_loadgen(args: argparse.Namespace, context: RunContext) -> dict:
+    """Hammer an in-process service and report latency/QPS."""
+    from repro.service.loadgen import default_corpus, run_loadgen
+
+    corpus = default_corpus(
+        args.requests,
+        samples=args.samples,
+        burn_in=args.burn_in,
+        backend=args.backend,
+    )
+    report = run_loadgen(
+        corpus, concurrency=args.concurrency, timeout=args.wait_timeout
+    )
+    payload = report.as_dict()
+    if args.backend:
+        payload["backend"] = args.backend
+    return payload
 
 
 def _command_jobs(args: argparse.Namespace, context: RunContext) -> dict:
@@ -848,6 +914,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     _add_sampling_arguments(forever)
     _add_budget_arguments(forever)
     _add_perf_arguments(forever)
+    _add_backend_argument(forever)
     _add_trace_argument(forever)
     forever.set_defaults(handler=_command_forever)
 
@@ -861,6 +928,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     _add_sampling_arguments(inflationary)
     _add_budget_arguments(inflationary)
     _add_perf_arguments(inflationary)
+    _add_backend_argument(inflationary)
     _add_trace_argument(inflationary)
     inflationary.set_defaults(handler=_command_inflationary)
 
@@ -871,6 +939,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     chain.add_argument("--db", required=True)
     chain.add_argument("--max-states", type=int, default=20_000)
     _add_budget_arguments(chain)
+    _add_backend_argument(chain)
     _add_trace_argument(chain)
     chain.set_defaults(handler=_command_chain)
 
@@ -1034,6 +1103,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
     submit.add_argument("--burn-in", type=int, default=None)
     submit.add_argument("--workers", type=int, default=None)
     submit.add_argument("--cache-size", type=int, default=None)
+    submit.add_argument(
+        "--backend", choices=("frozenset", "columnar"), default=None,
+        help="execution backend (forever/inflationary)",
+    )
     submit.add_argument("--timeout", type=float, default=None, help="per-job wall-clock budget")
     submit.add_argument("--max-steps", type=int, default=None, help="per-job step budget")
     submit.add_argument(
@@ -1071,6 +1144,38 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="fetch the given job's trace records",
     )
     jobs.set_defaults(handler=_command_jobs)
+
+    loadgen = subparsers.add_parser(
+        "loadgen",
+        help="drive N concurrent submits through an in-process service "
+        "and report p50/p99 latency and QPS",
+        parents=[common],
+    )
+    loadgen.add_argument(
+        "--requests", type=int, default=48, help="total requests (default 48)"
+    )
+    loadgen.add_argument(
+        "--concurrency",
+        type=int,
+        default=4,
+        help="closed-loop client threads = service workers (default 4)",
+    )
+    loadgen.add_argument(
+        "--samples", type=int, default=40, help="MCMC samples per request"
+    )
+    loadgen.add_argument(
+        "--burn-in", type=int, default=5, help="MCMC burn-in per request"
+    )
+    loadgen.add_argument(
+        "--wait-timeout", type=float, default=120.0, help="per-job wait timeout"
+    )
+    loadgen.add_argument(
+        "--backend",
+        choices=("frozenset", "columnar"),
+        default=None,
+        help="evaluation backend for every generated request",
+    )
+    loadgen.set_defaults(handler=_command_loadgen)
 
     report = subparsers.add_parser(
         "report",

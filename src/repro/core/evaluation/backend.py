@@ -1,0 +1,118 @@
+"""Execution-backend selection for the evaluators.
+
+Every evaluator entry point takes a ``backend`` argument:
+
+* ``"frozenset"`` (default) — the original interpreter over
+  :class:`~repro.relational.database.Database` states;
+* ``"columnar"`` — compile the program with :mod:`repro.kernel` and run
+  on interned integer-ID arrays.  Results (including sampled
+  trajectories under a fixed seed) are bit-identical to the frozenset
+  backend; only the speed differs.
+
+:func:`resolve_backend` performs the swap at the evaluator entry.  It
+*falls back* to the frozenset path — recording why on the run context
+and in the global :func:`fallback_total` counter (exported by the
+service metrics endpoint as ``repro_kernel_fallback_total``) — when
+
+* the program is kernel-ineligible (pc-tables, opaque
+  :class:`~repro.relational.predicates.RowPredicate` selections,
+  foreign event types) — the static analyzer flags these as ``PH005``;
+* checkpointing is configured (walker snapshots serialise frozenset
+  states);
+* a pre-built :class:`~repro.perf.cache.TransitionCache` bound to the
+  frozenset kernel was supplied (a cache serves exactly one kernel
+  object).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import EvaluationError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.runtime.context import RunContext
+
+#: Recognised execution backends.
+BACKENDS = ("frozenset", "columnar")
+
+_fallback_lock = threading.Lock()
+_fallback_total = 0
+_fallback_reasons: dict[str, int] = {}
+
+
+def record_fallback(reason: str, context: "RunContext | None" = None) -> None:
+    """Count one columnar → frozenset fallback (and note it on the run)."""
+    global _fallback_total
+    with _fallback_lock:
+        _fallback_total += 1
+        _fallback_reasons[reason] = _fallback_reasons.get(reason, 0) + 1
+    if context is not None:
+        context.record_event(f"columnar backend fallback: {reason}")
+
+
+def fallback_total() -> int:
+    """Process-wide count of columnar → frozenset fallbacks."""
+    return _fallback_total
+
+
+def fallback_reasons() -> dict[str, int]:
+    """Fallback counts grouped by reason."""
+    with _fallback_lock:
+        return dict(_fallback_reasons)
+
+
+def check_backend(backend: str | None) -> str:
+    """Validate and normalise a backend name."""
+    if backend is None:
+        return "frozenset"
+    if backend not in BACKENDS:
+        raise EvaluationError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return backend
+
+
+def resolve_backend(
+    query,
+    initial,
+    backend: str | None,
+    context: "RunContext | None" = None,
+    checkpointing: bool = False,
+    cache: Any = None,
+):
+    """Swap a query/initial pair onto the requested backend.
+
+    Returns ``(query, initial, effective_backend)``.  With
+    ``backend="columnar"`` the returned query is the compiled
+    counterpart (same class, kernel and event replaced) and ``initial``
+    the interned :class:`~repro.kernel.ColumnarDatabase`; on any
+    fallback condition the originals come back with
+    ``effective_backend == "frozenset"`` and the reason recorded.
+    """
+    backend = check_backend(backend)
+    if backend == "frozenset":
+        return query, initial, "frozenset"
+    from repro.kernel import CompiledKernel, KernelCompileError, compile_query
+
+    if isinstance(query.kernel, CompiledKernel):
+        # Already compiled upstream (e.g. by an EngineSession).
+        return query, initial, "columnar"
+    if checkpointing:
+        record_fallback(
+            "checkpoint/resume serialises frozenset walker states", context
+        )
+        return query, initial, "frozenset"
+    if cache is not None:
+        record_fallback(
+            "a pre-built transition cache is bound to the frozenset kernel",
+            context,
+        )
+        return query, initial, "frozenset"
+    try:
+        compiled = compile_query(query, initial)
+    except KernelCompileError as error:
+        record_fallback(str(error), context)
+        return query, initial, "frozenset"
+    return compiled.query, compiled.initial, "columnar"

@@ -40,8 +40,14 @@ def evaluate_forever_exact(
     max_states: int = DEFAULT_MAX_STATES,
     context: "RunContext | None" = None,
     cache: "TransitionCache | None" = None,
+    backend: str | None = None,
 ) -> ExactResult:
     """Exact result of a forever-query.
+
+    ``backend="columnar"`` builds the chain over interned columnar
+    states (see :mod:`repro.core.evaluation.backend`); the probability
+    is an exact :class:`~fractions.Fraction` either way and identical
+    between backends.
 
     Raises :class:`~repro.errors.StateSpaceLimitExceeded` when the
     reachable chain outgrows ``max_states`` (it can be exponential in
@@ -69,6 +75,11 @@ def evaluate_forever_exact(
     >>> evaluate_forever_exact(q, db).probability
     Fraction(1, 2)
     """
+    from repro.core.evaluation.backend import resolve_backend
+
+    query, initial, effective_backend = resolve_backend(
+        query, initial, backend, context=context, cache=cache
+    )
     with phase_scope(context, "chain-build") as scope:
         chain = build_state_chain(
             query.kernel, initial, max_states=max_states, context=context,
@@ -83,6 +94,8 @@ def evaluate_forever_exact(
         )
         structure = classify(chain)
     method = "prop-5.4" if structure["irreducible"] else "thm-5.5"
+    if effective_backend != "frozenset":
+        structure = {**structure, "backend": effective_backend}
     return ExactResult(
         probability=probability,
         states_explored=chain.size,

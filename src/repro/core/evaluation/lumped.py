@@ -35,6 +35,7 @@ def evaluate_forever_lumped(
     max_states: int = DEFAULT_MAX_STATES,
     context: "RunContext | None" = None,
     cache: "TransitionCache | None" = None,
+    backend: str | None = None,
 ) -> ExactResult:
     """Exact forever-query result via the event-respecting quotient.
 
@@ -52,6 +53,11 @@ def evaluate_forever_lumped(
     >>> evaluate_forever_lumped(query, db).probability
     Fraction(1, 4)
     """
+    from repro.core.evaluation.backend import resolve_backend
+
+    query, initial, effective_backend = resolve_backend(
+        query, initial, backend, context=context, cache=cache
+    )
     with phase_scope(context, "chain-build") as scope:
         chain = build_state_chain(
             query.kernel, initial, max_states=max_states, context=context,
@@ -65,9 +71,12 @@ def evaluate_forever_lumped(
             chain, initial, query.event.holds
         )
         scope.annotate(quotient_states=quotient_size)
+    details = {"full_states": chain.size, "quotient_states": quotient_size}
+    if effective_backend != "frozenset":
+        details["backend"] = effective_backend
     return ExactResult(
         probability=probability,
         states_explored=quotient_size,
         method="lumped",
-        details={"full_states": chain.size, "quotient_states": quotient_size},
+        details=details,
     )

@@ -96,6 +96,7 @@ def evaluate_inflationary_sampling(
     cache_size: int | None = None,
     parallel: "ParallelConfig | None" = None,
     cache: "TransitionCache | None" = None,
+    backend: str | None = None,
 ) -> SamplingResult:
     """The Theorem 4.3 sampler: a randomized absolute (ε, δ)-approximation
     running in time polynomial in the database size.
@@ -135,11 +136,24 @@ def evaluate_inflationary_sampling(
         ``sample_transition``).  Ignored with ``parallel`` workers
         (caches cannot cross process boundaries; workers get private
         caches of the same capacity).
+    backend:
+        ``"frozenset"`` (default) or ``"columnar"`` — see
+        :mod:`repro.core.evaluation.backend`.  Estimates are
+        bit-identical for a fixed seed; pc-table programs fall back to
+        the frozenset path with a recorded reason (valuations are
+        instantiated per sample on frozenset relations).
     """
-    kernel = query.kernel
-    kernel.check_schema(initial)
-    fixed_kernel = kernel.without_pc_tables()
+    from repro.core.evaluation.backend import resolve_backend
+
+    query.kernel.check_schema(initial)
     generator = make_rng(rng)
+    effective_backend = "frozenset"
+    if parallel is None or not parallel.enabled:
+        query, initial, effective_backend = resolve_backend(
+            query, initial, backend, context=context, cache=cache
+        )
+    kernel = query.kernel
+    fixed_kernel = kernel.without_pc_tables()
 
     if samples is None:
         planner = paper_sample_count if use_paper_bound else hoeffding_sample_count
@@ -170,6 +184,7 @@ def evaluate_inflationary_sampling(
             cache_size=cache_size,
             parallel=parallel,
             context=context,
+            backend=backend,
         )
 
     row_cache = cache
@@ -234,6 +249,8 @@ def evaluate_inflationary_sampling(
         "mean_steps_per_sample": total_steps / planned,
         "fixpoint_cache_size": len(fixpoint_cache),
     }
+    if effective_backend != "frozenset":
+        details["backend"] = effective_backend
     if row_cache is not None:
         details["cache"] = row_cache.stats()
     return SamplingResult(
@@ -259,6 +276,7 @@ def _inflationary_sampling_parallel(
     cache_size: int | None,
     parallel: "ParallelConfig",
     context: "RunContext | None",
+    backend: str | None = None,
 ) -> SamplingResult:
     """Theorem 4.3 trials over a worker pool (seed-stable, budgeted)."""
     from repro.perf.parallel import (
@@ -284,6 +302,7 @@ def _inflationary_sampling_parallel(
             "stall_threshold": stall_threshold,
             "cache_size": cache_size,
             "budget": budget,
+            "backend": backend,
         }
         for count, seed, budget in zip(counts, seeds, budgets)
         if count > 0

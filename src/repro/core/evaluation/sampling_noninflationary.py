@@ -113,6 +113,7 @@ def adaptive_burn_in(
     context: "RunContext | None" = None,
     cache_size: int | None = None,
     cache: "TransitionCache | None" = None,
+    backend: str | None = None,
 ) -> int:
     """Convergence-detection heuristic for implicit (too large) chains.
 
@@ -129,7 +130,12 @@ def adaptive_burn_in(
     frequency ``history`` and the walker count in its ``details`` so
     callers (notably the degradation policy) can diagnose slow modes.
     """
+    from repro.core.evaluation.backend import resolve_backend
+
     generator = make_rng(rng)
+    query, initial, _ = resolve_backend(
+        query, initial, backend, context=context, cache=cache
+    )
     query.kernel.check_schema(initial)
     cache = _make_cache(query.kernel, cache_size, context, cache)
     draw = query.kernel.sample_transition if cache is None else cache.sample
@@ -195,6 +201,7 @@ def evaluate_forever_mcmc(
     cache_size: int | None = None,
     parallel: "ParallelConfig | None" = None,
     cache: "TransitionCache | None" = None,
+    backend: str | None = None,
 ) -> SamplingResult:
     """The Theorem 5.6 sampler.
 
@@ -254,6 +261,14 @@ def evaluate_forever_mcmc(
         ``parallel`` workers, each worker falls back to a private cache
         of the same capacity.  Do not combine with ``resume`` unless
         the interrupted run was itself cached.
+    backend:
+        ``"frozenset"`` (default) or ``"columnar"`` — see
+        :mod:`repro.core.evaluation.backend`.  The columnar backend
+        compiles the program to the vectorized integer-ID kernel;
+        estimates are bit-identical for a fixed seed.  Parallel workers
+        compile in-process (compiled plans do not cross process
+        boundaries); ineligible programs, checkpointing, and pre-built
+        frozenset caches fall back with a recorded reason.
     """
     from repro.runtime.checkpoint import (
         KIND_FOREVER_MCMC,
@@ -263,7 +278,18 @@ def evaluate_forever_mcmc(
 
     generator = make_rng(rng)
     query.kernel.check_schema(initial)
-    fingerprint = run_fingerprint(repr(query.kernel), initial, repr(query.event))
+    if isinstance(initial, Database):
+        fingerprint_db = initial
+    else:
+        # A pre-compiled columnar pair (EngineSession): fingerprint the
+        # externed database — checkpoints always serialise frozenset
+        # states, and this path never takes them.
+        from repro.kernel import extern_database
+
+        fingerprint_db = extern_database(initial)
+    fingerprint = run_fingerprint(
+        repr(query.kernel), fingerprint_db, repr(query.event)
+    )
 
     checkpoint = _load_resume(resume)
     if checkpoint is not None:
@@ -334,8 +360,19 @@ def evaluate_forever_mcmc(
                 cache_size=cache_size,
                 parallel=parallel,
                 context=context,
+                backend=backend,
             )
 
+    from repro.core.evaluation.backend import resolve_backend
+
+    query, initial, effective_backend = resolve_backend(
+        query,
+        initial,
+        backend,
+        context=context,
+        checkpointing=checkpoint_path is not None or resume is not None,
+        cache=cache,
+    )
     cache = _make_cache(query.kernel, cache_size, context, cache)
     draw = query.kernel.sample_transition if cache is None else cache.sample
     if cache is not None:
@@ -407,6 +444,8 @@ def evaluate_forever_mcmc(
         Path(checkpoint_path).unlink(missing_ok=True)
 
     details: dict = {"burn_in": burn_in, "resumed_at": start_sample or None}
+    if effective_backend != "frozenset":
+        details["backend"] = effective_backend
     if cache is not None:
         details["cache"] = cache.stats()
     return SamplingResult(
@@ -431,6 +470,7 @@ def _forever_mcmc_parallel(
     cache_size: int | None,
     parallel: "ParallelConfig",
     context: "RunContext | None",
+    backend: str | None = None,
 ) -> SamplingResult:
     """Fan the planned trials out over a worker pool and merge tallies.
 
@@ -461,6 +501,9 @@ def _forever_mcmc_parallel(
             "seed": seed,
             "cache_size": cache_size,
             "budget": budget,
+            # Compiled plans hold closures and arrays that do not
+            # pickle; workers compile in-process from the original.
+            "backend": backend,
         }
         for count, seed, budget in zip(counts, seeds, budgets)
         if count > 0

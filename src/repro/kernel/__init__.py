@@ -1,0 +1,51 @@
+"""Vectorized columnar relational kernel.
+
+Compiles prepared programs to integer-ID array execution: values are
+interned into a per-session :class:`SymbolTable`, relations become
+sorted ``int64`` arrays, and the relational operators plus repair-key
+run as numpy kernels.  Results — including sampled trajectories under a
+fixed seed — are bit-identical to the frozenset interpreter's.
+"""
+
+from repro.kernel.columnar import (
+    ColumnarDatabase,
+    ColumnarRelation,
+    extern_database,
+    extern_relation,
+    intern_database,
+    intern_relation,
+)
+from repro.kernel.compile import (
+    CompiledEvent,
+    CompiledKernel,
+    CompiledQuery,
+    KernelCompileError,
+    OpTimings,
+    compile_event,
+    compile_kernel,
+    compile_query,
+    kernel_ineligibility,
+)
+from repro.kernel.repair import repair_distribution_columnar, sample_repair_columnar
+from repro.kernel.symbols import SymbolTable
+
+__all__ = [
+    "SymbolTable",
+    "ColumnarRelation",
+    "ColumnarDatabase",
+    "intern_relation",
+    "intern_database",
+    "extern_relation",
+    "extern_database",
+    "CompiledKernel",
+    "CompiledEvent",
+    "CompiledQuery",
+    "KernelCompileError",
+    "OpTimings",
+    "compile_kernel",
+    "compile_event",
+    "compile_query",
+    "kernel_ineligibility",
+    "sample_repair_columnar",
+    "repair_distribution_columnar",
+]

@@ -40,6 +40,7 @@ from repro.core.interpretation import Interpretation
 from repro.errors import ProbabilityError
 from repro.probability.distribution import Distribution
 from repro.relational.database import Database
+from repro.relational.ordering import database_sort_key
 
 #: Default number of distinct states kept by a cache.
 DEFAULT_CACHE_SIZE = 4096
@@ -49,16 +50,19 @@ class CachedRow:
     """One memoized transition row: the exact distribution plus a
     cumulative-weight index for O(log k) successor draws.
 
-    The cumulative weights accumulate the same float conversions in the
-    same order as :meth:`Distribution.sample`, so a draw from the cached
-    row returns the identical outcome for the identical ``rng`` state.
+    Outcome states are ordered canonically (see
+    :func:`~repro.relational.ordering.database_sort_key`), never by
+    distribution insertion order: the cumulative-weight index — and with
+    it every cached draw — is then identical across interpreter
+    invocations and across the frozenset/columnar backends, whose states
+    sort order-isomorphically.
     """
 
     __slots__ = ("distribution", "_outcomes", "_cumulative")
 
     def __init__(self, distribution: Distribution[Database]):
         self.distribution = distribution
-        self._outcomes = list(distribution)
+        self._outcomes = sorted(distribution, key=database_sort_key)
         self._cumulative = list(
             accumulate(float(distribution.probability(o)) for o in self._outcomes)
         )

@@ -240,7 +240,15 @@ def _run_mcmc_trials(task: dict) -> dict:
     from repro.core.evaluation.sampling_noninflationary import evaluate_forever_mcmc
 
     context = WorkerContext(task["budget"])
-    cache = _warm_cache(task["query"].kernel, task["cache_size"])
+    backend = task.get("backend")
+    # A warm cache is keyed on the frozenset kernel; with the columnar
+    # backend the evaluator compiles in-process and builds its own
+    # cache from cache_size (a cache serves exactly one kernel object).
+    cache = (
+        None
+        if backend == "columnar"
+        else _warm_cache(task["query"].kernel, task["cache_size"])
+    )
     result = evaluate_forever_mcmc(
         task["query"],
         task["initial"],
@@ -250,6 +258,7 @@ def _run_mcmc_trials(task: dict) -> dict:
         cache_size=task["cache_size"],
         context=context,
         cache=cache,
+        backend=backend,
     )
     return {
         "positive": result.positive,
@@ -265,7 +274,12 @@ def _run_inflationary_trials(task: dict) -> dict:
     )
 
     context = WorkerContext(task["budget"])
-    cache = _warm_cache(task["query"].kernel, task["cache_size"])
+    backend = task.get("backend")
+    cache = (
+        None
+        if backend == "columnar"
+        else _warm_cache(task["query"].kernel, task["cache_size"])
+    )
     result = evaluate_inflationary_sampling(
         task["query"],
         task["initial"],
@@ -276,6 +290,7 @@ def _run_inflationary_trials(task: dict) -> dict:
         cache_size=task["cache_size"],
         context=context,
         cache=cache,
+        backend=backend,
     )
     return {
         "positive": result.positive,

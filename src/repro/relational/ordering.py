@@ -1,0 +1,77 @@
+"""A canonical total order on the scalar values stored in relations.
+
+Rows are tuples of mixed scalar values — strings, ints, ``Fraction``,
+floats, bools — and several hot paths need to iterate a *set* of rows in
+a reproducible order: the repair-key sampler consumes RNG draws
+group-by-group, the exact enumerator inserts worlds into distributions,
+and the memoized transition rows keep a cumulative-weight index.  Python
+cannot compare ``3`` with ``"a"`` directly, and sorting by ``repr`` puts
+``10`` before ``2``; worse, iterating a ``frozenset`` directly is
+hash-seed dependent, which made sampler tallies vary *across interpreter
+invocations* unless ``PYTHONHASHSEED`` was pinned.
+
+:func:`canonical_key` fixes one total preorder on scalar values that
+
+* is independent of the hash seed and of insertion order;
+* collapses numerically equal values (``3 == Fraction(3) == 3.0`` are
+  one set element, so they must sort identically);
+* agrees with the dense-ID order of the columnar kernel's
+  :class:`~repro.kernel.symbols.SymbolTable`, so array-lexicographic
+  iteration over interned rows visits them in exactly this order.
+
+Values sort by type rank first — numbers, then strings, then tuples,
+then everything else by ``repr`` — and within a rank by natural order.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any
+
+__all__ = ["canonical_key", "row_key", "sort_rows", "database_sort_key"]
+
+
+def canonical_key(value: Any) -> tuple:
+    """A sort key realising the canonical order; see the module docstring."""
+    if isinstance(value, bool) or isinstance(value, (int, float, Fraction)):
+        # One rank for all numerics: values that compare equal (and thus
+        # collapse in a set) must map to the same key.  Fraction() is an
+        # exact, total embedding of bool/int/float (floats are binary
+        # rationals; inf/nan never occur as relation values in practice
+        # and fall through to the repr rank below if they do).
+        try:
+            return (0, Fraction(value))
+        except (ValueError, OverflowError):
+            return (3, repr(value))
+    if isinstance(value, str):
+        return (1, value)
+    if isinstance(value, tuple):
+        return (2, tuple(canonical_key(item) for item in value))
+    return (3, repr(value))
+
+
+def row_key(row: tuple) -> tuple:
+    """Canonical sort key of a whole row (element-wise)."""
+    return tuple(canonical_key(value) for value in row)
+
+
+def sort_rows(rows) -> list:
+    """The rows of a set/iterable in canonical order."""
+    return sorted(rows, key=row_key)
+
+
+def database_sort_key(db) -> tuple:
+    """Canonical sort key of a whole database snapshot.
+
+    Used to order the outcome states of a memoized transition row so
+    cumulative-weight indexes are identical across processes and across
+    backends (the columnar kernel's states implement an order-isomorphic
+    ``canonical_sort_key`` of their own).
+    """
+    key = getattr(db, "canonical_sort_key", None)
+    if key is not None:
+        return key()
+    return tuple(
+        (name, db[name].columns, tuple(sorted(row_key(row) for row in db[name].rows)))
+        for name in db.names()
+    )

@@ -29,6 +29,7 @@ from typing import Sequence
 
 from repro.errors import ProbabilityError
 from repro.probability.distribution import Distribution, as_fraction, product_distribution
+from repro.relational.ordering import row_key, sort_rows
 from repro.relational.relation import Relation, Row
 
 
@@ -51,7 +52,7 @@ def _merge_duplicate_weight_rows(relation: Relation, weight: str | None) -> Rela
         return relation
     widx = relation.column_index(weight)
     merged: dict[tuple, Fraction] = {}
-    for row in relation:
+    for row in sort_rows(relation):
         key = row[:widx] + row[widx + 1 :]
         merged[key] = merged.get(key, Fraction(0)) + _weight_of(row, widx)
     rows = [key[:widx] + (value,) + key[widx:] for key, value in merged.items()]
@@ -59,10 +60,17 @@ def _merge_duplicate_weight_rows(relation: Relation, weight: str | None) -> Rela
 
 
 def _groups(relation: Relation, key: Sequence[str]) -> dict[tuple, list[Row]]:
-    """Group rows by their key-column values (one group when key is empty)."""
+    """Group rows by their key-column values (one group when key is empty).
+
+    Rows are visited in canonical order (never raw frozenset order, which
+    is hash-seed dependent), so each group's row list — and therefore the
+    RNG stream of :func:`sample_repair` and the insertion order of
+    :func:`repair_distribution` — is identical across interpreter
+    invocations.
+    """
     indices = [relation.column_index(c) for c in key]
     grouped: dict[tuple, list[Row]] = {}
-    for row in relation:
+    for row in sort_rows(relation):
         grouped.setdefault(tuple(row[i] for i in indices), []).append(row)
     return grouped
 
@@ -91,7 +99,7 @@ def repair_distribution(
         return Distribution.point(Relation.empty(relation.columns))
     widx = relation.column_index(weight) if weight is not None else None
     per_group: list[Distribution[Row]] = []
-    for key_value in sorted(grouped, key=repr):
+    for key_value in sorted(grouped, key=row_key):
         rows = grouped[key_value]
         per_group.append(Distribution({row: _weight_of(row, widx) for row in rows}))
     joint = product_distribution(per_group)
@@ -109,12 +117,19 @@ def sample_repair(
 
     Runs in time linear in the relation size; this is the sampling
     primitive behind the Theorem 4.3 and Theorem 5.6 evaluators.
+
+    RNG-stream contract: groups are visited in canonical key order and
+    rows within a group in canonical row order; a uniform group consumes
+    one ``randrange``, a weighted group one ``random()`` compared
+    against a sequential float accumulation.  The columnar kernel's
+    vectorized repair step replicates this stream bit-for-bit, which is
+    what makes the two backends checksum-equal under a fixed seed.
     """
     relation = _merge_duplicate_weight_rows(relation, weight)
     grouped = _groups(relation, key)
     widx = relation.column_index(weight) if weight is not None else None
     chosen: list[Row] = []
-    for key_value in sorted(grouped, key=repr):
+    for key_value in sorted(grouped, key=row_key):
         rows = grouped[key_value]
         if widx is None:
             chosen.append(rows[rng.randrange(len(rows))])

@@ -155,6 +155,7 @@ def evaluate_forever_resilient(
     resume: "Checkpoint | str | Path | None" = None,
     cache: "TransitionCache | None" = None,
     hints: "PlanHints | None" = None,
+    backend: str | None = None,
 ) -> Union[ExactResult, SamplingResult]:
     """Evaluate a forever-query, degrading instead of aborting.
 
@@ -223,7 +224,8 @@ def evaluate_forever_resilient(
         try:
             if rung == "exact":
                 result: Union[ExactResult, SamplingResult] = evaluate_forever_exact(
-                    query, initial, max_states=max_states, context=context, cache=cache
+                    query, initial, max_states=max_states, context=context,
+                    cache=cache, backend=backend,
                 )
             elif rung == "lumped":
                 result = evaluate_forever_lumped(
@@ -232,6 +234,7 @@ def evaluate_forever_resilient(
                     max_states=max_states * policy.lumped_state_factor,
                     context=context,
                     cache=cache,
+                    backend=backend,
                 )
             else:
                 burn_in = policy.mcmc_burn_in
@@ -247,6 +250,7 @@ def evaluate_forever_resilient(
                         context=context,
                         cache_size=policy.mcmc_cache_size,
                         cache=cache,
+                        backend=backend,
                     )
                     context.record_event(f"adaptive burn-in estimated: {burn_in}")
                 result = evaluate_forever_mcmc(
@@ -263,6 +267,7 @@ def evaluate_forever_resilient(
                     cache_size=policy.mcmc_cache_size,
                     parallel=policy.parallel_config(),
                     cache=cache if checkpoint_path is None and resume is None else None,
+                    backend=backend,
                 )
         except StateSpaceLimitExceeded as error:
             if on_last_rung:

@@ -1,0 +1,197 @@
+"""Closed-loop load generator for a :class:`QueryService`.
+
+The seed of the ROADMAP scale-out item: hammer one in-process service
+with ``concurrency`` client threads, each submitting requests
+synchronously (submit → wait → record), and report latency percentiles
+and sustained throughput.  Closed-loop clients never outrun the
+service, so the numbers measure service capacity, not queue growth.
+
+The default workload is a mix of Thm 5.6 forever-query MCMC requests
+over the walk workloads at several sizes — each with a distinct seed so
+the result cache cannot collapse the run into one evaluation — but any
+list of prepared :class:`QueryRequest` objects can be driven.
+"""
+
+from __future__ import annotations
+
+import statistics
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.io import database_to_json
+from repro.service.request import QueryRequest
+from repro.service.service import QueryService, ServiceConfig
+from repro.workloads import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    random_walk_query,
+)
+
+__all__ = ["LoadgenReport", "default_corpus", "run_loadgen"]
+
+#: The Thm 5.6 request mix: (name, graph, start, target).
+_WORKLOADS = (
+    ("cycle8", lambda: cycle_graph(8), "n0", "n4"),
+    ("complete12", lambda: complete_graph(12), "n0", "n4"),
+    ("grid6x6", lambda: grid_graph(6, 6), "g0_0", "g3_3"),
+)
+
+_WALK_PROGRAM = "C := rename[J->I](project[J](repair-key[I@P](C join E)))"
+
+
+@dataclass
+class LoadgenReport:
+    """Latency/throughput summary of one closed-loop run."""
+
+    requests: int
+    concurrency: int
+    duration_s: float
+    completed: int
+    failed: int
+    latencies_s: list[float] = field(repr=False, default_factory=list)
+
+    @property
+    def qps(self) -> float:
+        return self.completed / self.duration_s if self.duration_s > 0 else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank latency percentile in seconds (q in [0, 100])."""
+        if not self.latencies_s:
+            return 0.0
+        ordered = sorted(self.latencies_s)
+        rank = max(0, min(len(ordered) - 1, round(q / 100 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "concurrency": self.concurrency,
+            "completed": self.completed,
+            "failed": self.failed,
+            "duration_s": round(self.duration_s, 4),
+            "qps": round(self.qps, 2),
+            "latency_ms": {
+                "p50": round(self.percentile(50) * 1e3, 2),
+                "p90": round(self.percentile(90) * 1e3, 2),
+                "p99": round(self.percentile(99) * 1e3, 2),
+                "mean": round(
+                    statistics.mean(self.latencies_s) * 1e3
+                    if self.latencies_s
+                    else 0.0,
+                    2,
+                ),
+                "max": round(
+                    max(self.latencies_s) * 1e3 if self.latencies_s else 0.0, 2
+                ),
+            },
+        }
+
+
+def default_corpus(
+    total: int,
+    samples: int = 40,
+    burn_in: int = 5,
+    backend: str | None = None,
+) -> list[QueryRequest]:
+    """``total`` distinct forever-MCMC requests cycling the workload mix.
+
+    Seeds differ per request, so every request is real work (distinct
+    cache key) rather than a result-cache hit.
+    """
+    databases = {}
+    for name, build, start, target in _WORKLOADS:
+        _, db = random_walk_query(build(), start, target)
+        databases[name] = (database_to_json(db), target)
+    requests = []
+    for i in range(total):
+        name, _, _, target = _WORKLOADS[i % len(_WORKLOADS)]
+        db_json, target = databases[name]
+        params = {"mcmc": True, "samples": samples, "burn_in": burn_in, "seed": i}
+        if backend is not None:
+            params["backend"] = backend
+        requests.append(
+            QueryRequest(
+                semantics="forever",
+                program=_WALK_PROGRAM,
+                database=db_json,
+                event=f"C({target})",
+                params=params,
+            )
+        )
+    return requests
+
+
+def run_loadgen(
+    requests: list[QueryRequest],
+    concurrency: int = 4,
+    service: QueryService | None = None,
+    timeout: float = 120.0,
+) -> LoadgenReport:
+    """Drive ``requests`` through a service with closed-loop clients.
+
+    Owns (starts and shuts down) the service unless one is passed in.
+    Request latency is wall-clock from submit to job completion; a job
+    that errors or times out counts as failed and contributes no
+    latency sample.
+    """
+    own_service = service is None
+    if own_service:
+        service = QueryService(ServiceConfig(workers=concurrency))
+        service.start()
+    assert service is not None
+    lock = threading.Lock()
+    latencies: list[float] = []
+    failures = [0]
+    cursor = [0]
+
+    def next_request() -> QueryRequest | None:
+        with lock:
+            if cursor[0] >= len(requests):
+                return None
+            request = requests[cursor[0]]
+            cursor[0] += 1
+            return request
+
+    def client() -> None:
+        while True:
+            request = next_request()
+            if request is None:
+                return
+            start = time.perf_counter()
+            try:
+                job = service.submit(request)
+                job = service.wait(job.id, timeout=timeout)
+                ok = job.state == "done"
+            except Exception:
+                ok = False
+            elapsed = time.perf_counter() - start
+            with lock:
+                if ok:
+                    latencies.append(elapsed)
+                else:
+                    failures[0] += 1
+
+    threads = [
+        threading.Thread(target=client, name=f"loadgen-{i}", daemon=True)
+        for i in range(concurrency)
+    ]
+    begin = time.perf_counter()
+    try:
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    finally:
+        duration = time.perf_counter() - begin
+        if own_service:
+            service.shutdown()
+    return LoadgenReport(
+        requests=len(requests),
+        concurrency=concurrency,
+        duration_s=duration,
+        completed=len(latencies),
+        failed=failures[0],
+        latencies_s=latencies,
+    )

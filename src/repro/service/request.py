@@ -41,10 +41,13 @@ PRIORITIES = ("high", "normal")
 _COMMON_PARAMS = frozenset({"epsilon", "delta", "samples", "seed", "max_states"})
 _PARAMS = {
     "forever": _COMMON_PARAMS
-    | {"mcmc", "lumped", "fallback", "burn_in", "workers", "cache_size"},
-    "inflationary": _COMMON_PARAMS | {"workers", "cache_size"},
+    | {"mcmc", "lumped", "fallback", "burn_in", "workers", "cache_size", "backend"},
+    "inflationary": _COMMON_PARAMS | {"workers", "cache_size", "backend"},
     "datalog": _COMMON_PARAMS,
 }
+
+#: Recognised execution backends (mirrors repro.core.evaluation.backend).
+_BACKENDS = (None, "frozenset", "columnar")
 
 _BUDGET_KEYS = frozenset({"timeout", "max_steps"})
 
@@ -140,6 +143,11 @@ class QueryRequest:
             not unknown,
             f"unknown params for {self.semantics!r}: {unknown}; "
             f"expected a subset of {sorted(allowed)}",
+        )
+        _require(
+            self.params.get("backend") in _BACKENDS,
+            f"unknown backend {self.params.get('backend')!r}; "
+            f"expected one of {[b for b in _BACKENDS if b]}",
         )
         _require(isinstance(self.budget, Mapping), "budget must be a JSON object")
         bad_budget = sorted(set(self.budget) - _BUDGET_KEYS)

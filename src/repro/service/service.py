@@ -27,6 +27,8 @@ import time
 from dataclasses import dataclass, field
 
 from repro import faults
+from repro.core.evaluation.backend import fallback_reasons as kernel_fallback_reasons
+from repro.core.evaluation.backend import fallback_total as kernel_fallback_total
 from repro.errors import JobNotFoundError, ProgramRejectedError
 from repro.obs.metrics import MetricsRegistry
 from repro.runtime import Budget
@@ -160,6 +162,11 @@ class QueryService:
             "repro_uptime_seconds", "Seconds since the service started",
             fn=lambda: (time.time() - self.started_at) if self.started_at else 0.0,
         )
+        self.registry.gauge(
+            "repro_kernel_fallback_total",
+            "Columnar-backend requests served on the frozenset path",
+            fn=kernel_fallback_total,
+        )
 
     # -- lifecycle ------------------------------------------------------
 
@@ -234,6 +241,10 @@ class QueryService:
             "scheduler": self.scheduler.stats(),
             "result_cache": self.results.stats(),
             "session_pool": self.sessions.stats(),
+            "kernel_fallbacks": {
+                "total": kernel_fallback_total(),
+                "reasons": kernel_fallback_reasons(),
+            },
             "uptime_seconds": (
                 time.time() - self.started_at if self.started_at else None
             ),

@@ -48,6 +48,8 @@ def _exact_payload(result) -> dict:
         "probability_float": float(result.probability),
         "states_explored": result.states_explored,
     }
+    if result.details.get("backend"):
+        payload["backend"] = result.details["backend"]
     return payload
 
 
@@ -61,7 +63,7 @@ def _sampling_payload(result) -> dict:
         "epsilon": result.epsilon,
         "delta": result.delta,
     }
-    for key in ("burn_in", "workers"):
+    for key in ("burn_in", "workers", "backend"):
         if result.details.get(key) is not None:
             payload[key] = result.details[key]
     if result.details.get("cache"):
@@ -139,6 +141,13 @@ class EngineSession:
         self.created_at = time.time()
         self.requests_served = 0
         self._served_lock = threading.Lock()
+        self._cache_size = cache_size
+        # Columnar bundle: None = not yet requested; a str = compile
+        # failed with that reason; a tuple = (CompiledKernel,
+        # ColumnarDatabase, columnar TransitionCache), built once and
+        # shared by every columnar request on this session.
+        self._columnar: "tuple | str | None" = None
+        self._columnar_lock = threading.Lock()
         self._cache: TransitionCache | None = None
         if kernel is not None:
             memo_kernel = kernel
@@ -236,9 +245,62 @@ class EngineSession:
             raise _rejection(report)
         return report
 
+    def _columnar_artifacts(self, context: RunContext | None):
+        """The session's compiled columnar bundle, built on first use.
+
+        Returns ``(CompiledKernel, ColumnarDatabase, TransitionCache)``
+        or ``None`` when the program is kernel-ineligible — the reason
+        is remembered, and every affected request counts one fallback
+        (``repro_kernel_fallback_total``).
+        """
+        with self._columnar_lock:
+            state = self._columnar
+            if state is None:
+                from repro.kernel import KernelCompileError, compile_kernel
+
+                try:
+                    compiled, initial = compile_kernel(self.kernel, self.database)
+                except KernelCompileError as error:
+                    state = str(error)
+                else:
+                    state = (
+                        compiled,
+                        initial,
+                        TransitionCache(compiled, maxsize=self._cache_size),
+                    )
+                self._columnar = state
+        if isinstance(state, str):
+            from repro.core.evaluation.backend import record_fallback
+
+            record_fallback(state, context)
+            return None
+        return state
+
+    def _compiled_query(self, query_cls, event, context: RunContext | None):
+        """``query_cls`` over the compiled kernel, or ``None`` → frozenset.
+
+        Returns ``(query, columnar_initial, columnar_cache)``.  The
+        kernel compiles once per session; the event compiles per
+        request (sessions are shared across events).
+        """
+        artifacts = self._columnar_artifacts(context)
+        if artifacts is None:
+            return None
+        compiled, initial, cache = artifacts
+        from repro.core.evaluation.backend import record_fallback
+        from repro.kernel import KernelCompileError, compile_event
+
+        try:
+            compiled_event = compile_event(event, compiled)
+        except KernelCompileError as error:
+            record_fallback(str(error), context)
+            return None
+        return query_cls(compiled, compiled_event), initial, cache
+
     def stats(self) -> dict:
         """JSON-friendly session snapshot for the metrics endpoint."""
         hints = self.hints
+        columnar = self._columnar
         return {
             "key": self.key,
             "semantics": self.semantics,
@@ -246,6 +308,13 @@ class EngineSession:
             "requests_served": self.requests_served,
             "transition_cache": self._cache.stats() if self._cache else None,
             "plan_hints": hints.as_dict() if hints is not None else None,
+            "columnar": (
+                {"compiled": True, "transition_cache": columnar[2].stats()}
+                if isinstance(columnar, tuple)
+                else {"compiled": False, "reason": columnar}
+                if columnar is not None
+                else None
+            ),
         }
 
     # -- evaluation -----------------------------------------------------
@@ -313,9 +382,27 @@ class EngineSession:
 
         params = request.params
         query = ForeverQuery(self.kernel, parse_event(request.event))
+        initial = self.database
         max_states = params.get("max_states") or 20_000
         fallback = params.get("fallback") or "none"
         cache = self._walk_cache(params)
+        backend_param: str | None = None
+        if params.get("backend") == "columnar":
+            if (params.get("workers") or 1) > 1:
+                # Compiled plans hold closures and arrays that do not
+                # pickle; the parallel dispatch ships the original query
+                # and each worker compiles in-process.
+                backend_param = "columnar"
+            else:
+                compiled = self._compiled_query(
+                    ForeverQuery, query.event, context
+                )
+                if compiled is not None:
+                    query, initial, columnar_cache = compiled
+                    cache = (
+                        None if params.get("cache_size") == 0 else columnar_cache
+                    )
+                    backend_param = "columnar"
         if fallback != "none":
             policy = DegradationPolicy(
                 mode=fallback,
@@ -328,13 +415,14 @@ class EngineSession:
             )
             result = evaluate_forever_resilient(
                 query,
-                self.database,
+                initial,
                 max_states=max_states,
                 policy=policy,
                 context=context,
                 rng=params.get("seed"),
                 cache=cache,
                 hints=self.hints,
+                backend=backend_param,
             )
             payload = result_payload(result)
             if context is not None:
@@ -352,8 +440,8 @@ class EngineSession:
             # requested estimate would converge on a number a single
             # exact run computes outright.
             result = evaluate_forever_exact(
-                query, self.database, max_states=max_states,
-                context=context, cache=cache,
+                query, initial, max_states=max_states,
+                context=context, cache=cache, backend=backend_param,
             )
             payload = result_payload(result)
             payload["hint_applied"] = "PH001"
@@ -361,7 +449,7 @@ class EngineSession:
         if wants_sampling:
             result = evaluate_forever_mcmc(
                 query,
-                self.database,
+                initial,
                 epsilon=params.get("epsilon") or 0.1,
                 delta=params.get("delta") or 0.05,
                 samples=params.get("samples"),
@@ -370,17 +458,18 @@ class EngineSession:
                 context=context,
                 cache=cache,
                 parallel=self._parallel_config(params),
+                backend=backend_param,
             )
             return result_payload(result)
         if params.get("lumped"):
             result = evaluate_forever_lumped(
-                query, self.database, max_states=max_states,
-                context=context, cache=cache,
+                query, initial, max_states=max_states,
+                context=context, cache=cache, backend=backend_param,
             )
             return result_payload(result)
         result = evaluate_forever_exact(
-            query, self.database, max_states=max_states,
-            context=context, cache=cache,
+            query, initial, max_states=max_states,
+            context=context, cache=cache, backend=backend_param,
         )
         return result_payload(result)
 
@@ -394,39 +483,64 @@ class EngineSession:
 
         params = request.params
         query = InflationaryQuery(self.kernel, parse_event(request.event))
+        initial = self.database
+        cache = self._walk_cache(params)
+        backend_param: str | None = None
+        used_columnar = False
+        if params.get("backend") == "columnar":
+            if (params.get("workers") or 1) > 1:
+                # See _evaluate_forever: compiled plans do not pickle.
+                backend_param = "columnar"
+            else:
+                compiled = self._compiled_query(
+                    InflationaryQuery, query.event, context
+                )
+                if compiled is not None:
+                    query, initial, columnar_cache = compiled
+                    cache = (
+                        None if params.get("cache_size") == 0 else columnar_cache
+                    )
+                    backend_param = "columnar"
+                    used_columnar = True
         wants_sampling = (
             params.get("samples") is not None or params.get("epsilon") is not None
         )
         if wants_sampling and self._deterministic:
             result = evaluate_inflationary_exact(
                 query,
-                self.database,
+                initial,
                 max_states=params.get("max_states") or 100_000,
                 context=context,
             )
             payload = result_payload(result)
+            if used_columnar:
+                payload["backend"] = "columnar"
             payload["hint_applied"] = "PH001"
             return payload
         if wants_sampling:
             result = evaluate_inflationary_sampling(
                 query,
-                self.database,
+                initial,
                 epsilon=params.get("epsilon") or 0.05,
                 delta=params.get("delta") or 0.05,
                 samples=params.get("samples"),
                 rng=params.get("seed"),
                 context=context,
-                cache=self._walk_cache(params),
+                cache=cache,
                 parallel=self._parallel_config(params),
+                backend=backend_param,
             )
             return result_payload(result)
         result = evaluate_inflationary_exact(
             query,
-            self.database,
+            initial,
             max_states=params.get("max_states") or 100_000,
             context=context,
         )
-        return result_payload(result)
+        payload = result_payload(result)
+        if used_columnar:
+            payload["backend"] = "columnar"
+        return payload
 
     def _evaluate_datalog(
         self, request: QueryRequest, context: RunContext | None

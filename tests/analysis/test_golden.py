@@ -33,7 +33,9 @@ PROGRAMS = sorted(GOLDEN.glob("*.ra")) + sorted(GOLDEN.glob("*.dl"))
 
 #: Codes whose triggering shape the parsers reject, so no golden file
 #: can express them; they are covered programmatically below.
-PARSE_BLOCKED = {"SF003", "SF004"}
+#: (PH005 fires on opaque RowPredicate selections, an API-only escape
+#: hatch — every predicate the grammar can produce is vectorizable.)
+PARSE_BLOCKED = {"SF003", "SF004", "PH005"}
 
 
 def load_case(path: Path) -> dict:
@@ -115,6 +117,29 @@ def test_sf003_key_variable_not_in_head():
     )
     report = check_rules([rule])
     assert "SF003" in report.codes()
+
+
+def test_ph005_row_predicate_kernel():
+    from repro.analysis.kernel import check_kernel
+    from repro.core.interpretation import Interpretation
+    from repro.relational import rel
+    from repro.relational.algebra import Select
+    from repro.relational.predicates import RowPredicate
+
+    kernel = Interpretation(
+        {"C": Select(rel("C"), RowPredicate(lambda row: True, ("I",)))}
+    )
+    report = check_kernel(kernel, semantics="forever")
+    assert "PH005" in report.codes()
+
+
+def test_ph005_absent_on_vectorizable_kernel():
+    from repro.analysis.kernel import check_kernel
+    from repro.core.interpretation import Interpretation
+    from repro.relational import rel
+
+    report = check_kernel(Interpretation({"C": rel("C")}), semantics="forever")
+    assert "PH005" not in report.codes()
 
 
 def test_sf004_anonymous_variable_in_head():

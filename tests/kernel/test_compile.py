@@ -1,0 +1,144 @@
+"""Unit tests for the columnar compiler: eligibility, fallback, events."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core import ForeverQuery
+from repro.core.events import TupleIn
+from repro.core.evaluation.backend import (
+    check_backend,
+    fallback_total,
+    resolve_backend,
+)
+from repro.core.interpretation import Interpretation
+from repro.errors import EvaluationError
+from repro.kernel import (
+    CompiledKernel,
+    KernelCompileError,
+    compile_event,
+    compile_kernel,
+    compile_query,
+    extern_database,
+    kernel_ineligibility,
+)
+from repro.relational import Database, Relation, rel
+from repro.relational.algebra import Select
+from repro.relational.predicates import RowPredicate
+from repro.workloads import cycle_graph, random_walk_query
+
+
+def opaque_kernel():
+    return Interpretation(
+        {"C": Select(rel("C"), RowPredicate(lambda row: True, ("I",)))}
+    )
+
+
+def test_ineligibility_reports_row_predicates():
+    reasons = kernel_ineligibility(opaque_kernel())
+    assert reasons and "RowPredicate" in reasons[0]
+
+
+def test_eligibility_of_workload_kernels():
+    query, _ = random_walk_query(cycle_graph(4), "n0", "n2")
+    assert kernel_ineligibility(query.kernel) == []
+
+
+def test_compile_query_raises_on_ineligible_kernel():
+    db = Database({"C": Relation(("I",), [("a",)])})
+    query = ForeverQuery(opaque_kernel(), TupleIn("C", ("a",)))
+    with pytest.raises(KernelCompileError):
+        compile_query(query, db)
+
+
+def test_resolve_backend_falls_back_with_counter():
+    db = Database({"C": Relation(("I",), [("a",)])})
+    query = ForeverQuery(opaque_kernel(), TupleIn("C", ("a",)))
+    before = fallback_total()
+    out_query, out_db, effective = resolve_backend(query, db, "columnar")
+    assert effective == "frozenset"
+    assert out_query is query and out_db is db
+    assert fallback_total() == before + 1
+
+
+def test_resolve_backend_falls_back_on_checkpointing_and_cache():
+    query, db = random_walk_query(cycle_graph(4), "n0", "n2")
+    _, _, effective = resolve_backend(query, db, "columnar", checkpointing=True)
+    assert effective == "frozenset"
+    _, _, effective = resolve_backend(query, db, "columnar", cache=object())
+    assert effective == "frozenset"
+
+
+def test_resolve_backend_passes_compiled_through():
+    query, db = random_walk_query(cycle_graph(4), "n0", "n2")
+    compiled = compile_query(query, db)
+    out_query, out_db, effective = resolve_backend(
+        compiled.query, compiled.initial, "columnar", cache=object()
+    )
+    assert effective == "columnar"
+    assert isinstance(out_query.kernel, CompiledKernel)
+
+
+def test_check_backend_rejects_unknown():
+    assert check_backend(None) == "frozenset"
+    assert check_backend("columnar") == "columnar"
+    with pytest.raises(EvaluationError):
+        check_backend("sparse")
+
+
+def test_compile_event_shared_kernel_across_events():
+    query, db = random_walk_query(cycle_graph(4), "n0", "n2")
+    kernel, initial = compile_kernel(query.kernel, db)
+    event_hit = compile_event(TupleIn("C", ("n2",)), kernel)
+    event_miss = compile_event(TupleIn("C", ("n3",)), kernel)
+    rng = random.Random(3)
+    state = initial
+    seen_hit = seen_miss = False
+    for _ in range(30):
+        state = kernel.sample_transition(state, rng)
+        plain = extern_database(state)
+        assert event_hit.holds(state) == (("n2",) in plain["C"].rows)
+        assert event_miss.holds(state) == (("n3",) in plain["C"].rows)
+        seen_hit |= event_hit.holds(state)
+        seen_miss |= event_miss.holds(state)
+    assert seen_hit and seen_miss
+
+
+def test_event_constant_outside_universe_is_false():
+    # A value never interned can never appear in any state; the event
+    # must be constant-false, matching the frozenset semantics.
+    query, db = random_walk_query(cycle_graph(4), "n0", "n2")
+    kernel, initial = compile_kernel(query.kernel, db)
+    stranger = compile_event(TupleIn("C", ("not-a-node",)), kernel)
+    assert stranger.holds(initial) is False
+
+
+def test_compiled_kernel_duck_type_surface():
+    query, db = random_walk_query(cycle_graph(4), "n0", "n2")
+    kernel, initial = compile_kernel(query.kernel, db)
+    assert kernel.pc_tables is None
+    assert kernel.without_pc_tables() is kernel
+    assert kernel.pc_relation_names() == []
+    assert kernel.is_deterministic() == query.kernel.is_deterministic()
+    assert sorted(kernel.updated_relations()) == sorted(
+        query.kernel.updated_relations()
+    )
+    kernel.check_schema(initial)
+    cache = kernel.cached(maxsize=16)
+    row = cache.transition(initial)
+    assert sum(weight for _, weight in row.items()) == Fraction(1)
+
+
+def test_op_timings_accumulate():
+    query, db = random_walk_query(cycle_graph(4), "n0", "n2")
+    compiled = compile_query(query, db)
+    rng = random.Random(1)
+    state = compiled.initial
+    for _ in range(5):
+        state = compiled.kernel.sample_transition(state, rng)
+    timings = compiled.kernel.op_timings()
+    assert "repair-key" in timings and timings["repair-key"]["calls"] >= 5
+    assert all(entry["seconds"] >= 0.0 for entry in timings.values())

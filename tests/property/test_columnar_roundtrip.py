@@ -1,0 +1,99 @@
+"""Round-trip properties: Database ↔ columnar interned representation.
+
+For arbitrary databases over the canonical-orderable value types,
+``extern_database(intern_database(db)) == db`` exactly, interning is
+injective on hashes (equal databases intern to equal-hashing columnar
+databases, unequal ones to unequal), and the canonical sort key is
+order-isomorphic between the two representations.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel import (
+    SymbolTable,
+    extern_database,
+    intern_database,
+    intern_relation,
+)
+from repro.relational import Database, Relation
+from repro.relational.ordering import database_sort_key
+
+values = st.one_of(
+    st.integers(-5, 5),
+    st.text(alphabet="abcxyz", min_size=0, max_size=3),
+    st.fractions(min_value=0, max_value=3, max_denominator=8),
+    st.booleans(),
+)
+
+
+def relation_of(columns: tuple[str, ...]):
+    arity = len(columns)
+    return st.lists(
+        st.tuples(*([values] * arity)), min_size=0, max_size=6
+    ).map(lambda rows: Relation(columns, rows))
+
+
+databases = st.fixed_dictionaries(
+    {"R": relation_of(("A", "B")), "S": relation_of(("A",))}
+).map(Database)
+
+
+def shared_table(dbs) -> SymbolTable:
+    return SymbolTable(value for db in dbs for value in db.active_domain())
+
+
+@given(databases)
+@settings(max_examples=80)
+def test_intern_extern_roundtrip(db):
+    assert extern_database(intern_database(db, shared_table([db]))) == db
+
+
+@given(databases, databases)
+@settings(max_examples=80)
+def test_equality_and_hash_preserved(left, right):
+    table = shared_table([left, right])
+    left_c = intern_database(left, table)
+    right_c = intern_database(right, table)
+    assert (left_c == right_c) == (left == right)
+    if left == right:
+        assert hash(left_c) == hash(right_c)
+
+
+@given(st.lists(databases, min_size=2, max_size=5))
+@settings(max_examples=40)
+def test_canonical_sort_key_order_isomorphic(dbs):
+    table = shared_table(dbs)
+    interned = [intern_database(db, table) for db in dbs]
+    by_frozenset = sorted(range(len(dbs)), key=lambda i: database_sort_key(dbs[i]))
+    by_columnar = sorted(
+        range(len(dbs)), key=lambda i: interned[i].canonical_sort_key()
+    )
+    # Ties (equal databases) may order arbitrarily between equals, so
+    # compare the sorted *databases*, not the index permutations.
+    assert [dbs[i] for i in by_frozenset] == [dbs[i] for i in by_columnar]
+
+
+@given(relation_of(("A", "B", "C")))
+@settings(max_examples=80)
+def test_relation_roundtrip_preserves_rows(relation):
+    table = SymbolTable(value for row in relation.rows for value in row)
+    columnar = intern_relation(relation, table)
+    assert len(columnar) == len(relation.rows)
+
+
+@given(st.lists(st.tuples(values), min_size=0, max_size=6))
+@settings(max_examples=80)
+def test_arity_one_roundtrip(rows):
+    db = Database({"R": Relation(("I",), rows)})
+    assert extern_database(intern_database(db, shared_table([db]))) == db
+
+
+def test_weight_fractions_roundtrip_exactly():
+    rows = [("a", "b", Fraction(1, 3)), ("a", "c", Fraction(2, 3))]
+    db = Database({"E": Relation(("I", "J", "P"), rows)})
+    assert extern_database(intern_database(db, shared_table([db]))) == db
