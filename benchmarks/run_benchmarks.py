@@ -7,11 +7,13 @@ sampler (sequential / ``workers=4`` / transition-cached), the columnar
 kernel vs the frozenset interpreter over the Thm 5.6 family (with
 per-operator timings), cross-process sampler determinism under varying
 ``PYTHONHASHSEED``, a closed-loop service loadgen (p50/p99 latency +
-QPS per backend), the supervised warm worker pool vs the legacy
-spawn-per-call executor, and the exact linear solver (Bareiss vs the
-Gauss–Jordan reference) — and writes ``BENCH_<date>.json`` with the
-median wall-clock of each plus SHA-256 checksums of every result that
-must not drift.
+QPS per backend, gated against the latest committed baseline), the
+supervised warm worker pool vs the legacy spawn-per-call executor, the
+exact linear solver (Bareiss vs the Gauss–Jordan reference), and the
+sparse certified solver (kernel-streamed CSR assembly + a 10^4-state
+birth-death chain solved to a residual-certified 1e-9) — and writes
+``BENCH_<date>.json`` with the median wall-clock of each plus SHA-256
+checksums of every result that must not drift.
 
 Correctness gates (always enforced; any failure exits nonzero):
 
@@ -28,6 +30,14 @@ Correctness gates (always enforced; any failure exits nonzero):
 * the Bareiss solver agrees entry-for-entry with ``solve_exact_gauss``;
 * sampler estimates sit within the Chernoff tolerance of the exact
   evaluator's answer;
+* every sparse certified answer satisfies its own ``SolveCertificate``
+  *and* sits within that bound of the exact Fraction reference
+  (the closed-form gambler's-ruin value on the large chain, itself
+  validated against the dense solver at a dense-feasible size), and an
+  unreachable tolerance is *refused*, not silently mis-answered;
+* loadgen QPS stays within 20% of the latest committed ``BENCH_*.json``
+  baseline per backend (enforced only on a host with the same usable
+  core count, and never under ``--quick``);
 * the cache-warmed chain rebuild produces the same chain;
 * tracing never perturbs sampler results, and the disabled (no-op)
   tracer costs < 2% versus the bare evaluator (the ``tracing_*``
@@ -353,10 +363,27 @@ def bench_determinism(h: Harness) -> None:
     }
 
 
-def bench_loadgen(h: Harness) -> None:
+def latest_baseline(before: str) -> tuple[str, dict] | None:
+    """The newest committed ``BENCH_<date>.json`` strictly older than
+    ``before`` (so a rerun never gates against its own output)."""
+    root = Path(__file__).resolve().parent.parent
+    for path in sorted(root.glob("BENCH_*.json"), reverse=True):
+        if path.stem.removeprefix("BENCH_") >= before:
+            continue
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not payload.get("quick"):
+            return path.name, payload
+    return None
+
+
+def bench_loadgen(h: Harness, cores: int) -> None:
     print("service loadgen — closed-loop submits, p50/p99 latency + QPS")
     from repro.service.loadgen import default_corpus, run_loadgen
 
+    baseline = latest_baseline(datetime.date.today().isoformat())
     total = 24 if h.quick else 60
     concurrency = 4
     for backend in ("frozenset", "columnar"):
@@ -371,8 +398,35 @@ def bench_loadgen(h: Harness) -> None:
               f"p50={payload['latency_ms']['p50']}ms "
               f"p99={payload['latency_ms']['p99']}ms")
 
+        # Regression gate: QPS must stay within 20% of the latest
+        # committed baseline.  Only comparable when the host exposes the
+        # same number of usable cores, and --quick rounds are too short
+        # to gate on.
+        base_entry = baseline[1]["benchmarks"].get(
+            f"loadgen_{backend}") if baseline else None
+        base_qps = base_entry.get("qps") if base_entry else None
+        if not base_qps:
+            payload["baseline"] = {"available": False}
+            continue
+        base_cores = baseline[1].get("host", {}).get("usable_cores")
+        ratio = payload["qps"] / base_qps
+        comparable = base_cores == cores and not h.quick
+        payload["baseline"] = {
+            "file": baseline[0], "qps": base_qps,
+            "usable_cores": base_cores, "ratio": round(ratio, 3),
+            "enforced": comparable,
+        }
+        if comparable:
+            h.check(f"loadgen_{backend}_qps_regression", ratio >= 0.8,
+                    f"qps={payload['qps']} vs baseline {base_qps} "
+                    f"({baseline[0]}): {ratio:.2f}x, floor 0.80x")
+        else:
+            print(f"  loadgen[{backend}]: baseline {baseline[0]} "
+                  f"({base_qps} qps) advisory — "
+                  f"cores {base_cores} vs {cores}, quick={h.quick}")
 
-def bench_supervisor(h: Harness) -> None:
+
+def bench_supervisor(h: Harness, cores: int) -> None:
     print("worker supervisor — warm pool vs spawn-per-call dispatch")
     from repro.perf import prewarm, warm_pool_stats
 
@@ -409,11 +463,16 @@ def bench_supervisor(h: Harness) -> None:
     h.check("supervisor_pool_healthy",
             stats["alive"] == WORKERS and stats["restarts"] == 0,
             f"alive={stats['alive']}/{WORKERS} restarts={stats['restarts']}")
+    # On a multi-core runner the warm pool also overlaps worker start-up,
+    # so the acceptance floor rises from 1.2x to 1.5x when >= 2 cores
+    # are usable; a single-core host can only express dispatch overhead.
+    floor = 1.5 if cores >= 2 else 1.2
     h.target("supervisor_warm_vs_spawn",
              spawn_s / warm_s if warm_s else float("inf"),
-             1.2, enforced=not h.quick,
-             note="same chunks and seeds; warm dispatch skips per-call "
-                  "process spawn + import, so this holds even on one core")
+             floor, enforced=not h.quick,
+             note=f"same chunks and seeds on {cores} usable core(s); warm "
+                  "dispatch skips per-call process spawn + import "
+                  "(floor 1.2x on one core, 1.5x on multi-core runners)")
 
 
 def bench_solver(h: Harness) -> None:
@@ -438,6 +497,113 @@ def bench_solver(h: Harness) -> None:
             "I . x = b returns b")
     h.target("bareiss_vs_gauss", gauss_s / bareiss_s if bareiss_s else float("inf"),
              1.0, enforced=False, note="advisory: exactness is the contract")
+
+
+def _birth_death(n: int, down: Fraction):
+    """Drifted gambler's ruin: absorbing walls at 0 and n."""
+    from repro.markov.chain import chain_from_edges
+
+    edges = []
+    for i in range(1, n):
+        edges.append((i, i - 1, down))
+        edges.append((i, i + 1, 1 - down))
+    edges.append((0, 0, Fraction(1)))
+    edges.append((n, n, Fraction(1)))
+    return chain_from_edges(edges)
+
+
+def _ruin_probability(n: int, k: int, down: Fraction) -> Fraction:
+    """Closed-form P[hit 0 before n | start k]: (r^k - r^n) / (1 - r^n)
+    with r = down/up — the exact Fraction reference at sizes where the
+    dense solver is infeasible."""
+    r = down / (1 - down)
+    return (r ** k - r ** n) / (1 - r ** n)
+
+
+def bench_sparse(h: Harness) -> None:
+    print("sparse certified solver — CSR assembly + (eps, delta) certificates")
+    from repro.errors import SolveRefusedError
+    from repro.markov.absorption import long_run_event_probability
+    from repro.sparse import (
+        evaluate_forever_sparse,
+        solve_long_run,
+        sparse_chain_from_markov,
+    )
+
+    epsilon = 1e-9
+
+    # (1) Kernel-streamed assembly + solve vs the exact evaluator.
+    query, db = random_walk_query(cycle_graph(8), "n0", "n4")
+    kernel_s, certified = timed(
+        lambda: evaluate_forever_sparse(query, db, epsilon=epsilon), h.rounds)
+    exact = float(evaluate_forever_exact(query, db).probability)
+    cert = certified.certificate
+    err = abs(certified.probability - exact)
+    h.record("sparse_kernel_cycle8", kernel_s,
+             checksum({"interval": [repr(x) for x in certified.interval]}),
+             states=certified.states_explored,
+             certificate=cert.as_dict())
+    h.check("sparse_kernel_within_certificate",
+            cert.satisfies() and err <= cert.bound <= epsilon,
+            f"|answer - exact| = {err:.3e} <= bound = {cert.bound:.3e} "
+            f"<= eps = {epsilon:.0e}")
+
+    # (2) An unreachable tolerance must be *refused*, never mis-answered.
+    try:
+        evaluate_forever_sparse(query, db, epsilon=1e-300)
+        refused, detail = False, "no refusal raised"
+    except SolveRefusedError as exc:
+        refused = exc.details["certified_bound"] > 1e-300
+        detail = (f"refused: certified bound "
+                  f"{exc.details['certified_bound']:.3e} > eps=1e-300")
+    h.check("sparse_unreachable_tolerance_refused", refused, detail)
+
+    # (3) Closed-form reference validated against the dense Fraction
+    # solver at a dense-feasible size; the dense wall-clock also anchors
+    # the cubic extrapolation below.
+    down = Fraction(55, 100)
+    n_dense = 100 if h.quick else 200
+    dense_chain = _birth_death(n_dense, down)
+    dense_s, dense_exact = timed(lambda: long_run_event_probability(
+        dense_chain, n_dense // 2, lambda s: s == 0), 1)
+    h.record("sparse_dense_reference", dense_s,
+             checksum({"probability": dense_exact}), n=n_dense, rounds=1)
+    h.check("sparse_closed_form_matches_dense",
+            _ruin_probability(n_dense, n_dense // 2, down) == dense_exact,
+            f"gambler's-ruin closed form == dense Fraction solve at "
+            f"n={n_dense}")
+
+    # (4) The large chain: certified solve at 10^4 states (2·10^3 under
+    # --quick), gated against the closed form.
+    n_large = 2_000 if h.quick else 10_000
+    chain = _birth_death(n_large, down)
+    sparse = sparse_chain_from_markov(
+        chain, n_large // 2, event=lambda s: s == 0)
+    solve_rounds = max(1, h.rounds - 2)
+    large_s, (value, large_cert, structure) = timed(
+        lambda: solve_long_run(sparse, epsilon=epsilon), solve_rounds)
+    exact_large = float(_ruin_probability(n_large, n_large // 2, down))
+    err_large = abs(value - exact_large)
+    h.record("sparse_certified_large", large_s,
+             checksum({"interval": [repr(value - large_cert.bound),
+                                    repr(value + large_cert.bound)]}),
+             n=n_large, rounds=solve_rounds, structure=structure,
+             certificate=large_cert.as_dict())
+    h.check("sparse_large_within_certificate",
+            large_cert.satisfies() and err_large <= large_cert.bound <= epsilon,
+            f"n={n_large}: |answer - exact| = {err_large:.3e} <= bound = "
+            f"{large_cert.bound:.3e} <= eps = {epsilon:.0e}")
+
+    # The dense Fraction solver is O(n^3) with bignum growth on top;
+    # extrapolating its n_dense wall-clock cubically (an undercount) to
+    # n_large shows why the sparse rung exists at all.
+    dense_projected = dense_s * (n_large / n_dense) ** 3
+    h.target("sparse_vs_dense_projected",
+             dense_projected / large_s if large_s else float("inf"),
+             50.0, enforced=not h.quick,
+             note=f"dense O(n^3) extrapolated {n_dense}->{n_large} "
+                  f"({dense_projected:.0f}s projected) vs certified sparse "
+                  f"solve ({large_s:.2f}s median)")
 
 
 def bench_tracing(h: Harness) -> None:
@@ -526,9 +692,10 @@ def main(argv: list[str] | None = None) -> int:
     bench_thm56(h, cores)
     bench_kernel(h)
     bench_determinism(h)
-    bench_loadgen(h)
-    bench_supervisor(h)
+    bench_loadgen(h, cores)
+    bench_supervisor(h, cores)
     bench_solver(h)
+    bench_sparse(h)
     bench_tracing(h)
 
     report = {

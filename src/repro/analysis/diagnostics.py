@@ -65,6 +65,7 @@ CODES: dict[str, tuple[str, str]] = {
     "PH002": (HINT, "pc-free kernel"),
     "PH004": (HINT, "linear datalog program"),
     "PH005": (HINT, "kernel not eligible for the columnar backend"),
+    "PH006": (HINT, "program not eligible for the sparse certified rung"),
 }
 
 

@@ -13,7 +13,10 @@ degradation ladder consult them before choosing an evaluation strategy:
   relational kernels, where the notion does not apply;
 * ``possibly_non_absorbing`` — the forever-query event relation is
   rewritten probabilistically without accumulating, so event states are
-  typically transient and MCMC needs adequate burn-in.
+  typically transient and MCMC needs adequate burn-in;
+* ``sparse_eligible`` — the query can take the sparse certified rung
+  (forever semantics, genuinely probabilistic kernel); ``False`` lets
+  the degradation ladder drop that rung up front (``PH006``).
 """
 
 from __future__ import annotations
@@ -39,6 +42,7 @@ class PlanHints:
     linear: bool | None = None
     possibly_non_absorbing: bool = False
     columnar_eligible: bool | None = None
+    sparse_eligible: bool | None = None
 
     def as_dict(self) -> dict[str, object]:
         payload: dict[str, object] = {
@@ -50,6 +54,8 @@ class PlanHints:
             payload["linear"] = self.linear
         if self.columnar_eligible is not None:
             payload["columnar_eligible"] = self.columnar_eligible
+        if self.sparse_eligible is not None:
+            payload["sparse_eligible"] = self.sparse_eligible
         return payload
 
     @classmethod
@@ -71,12 +77,17 @@ class PlanHints:
                 and not query.is_deterministic()
                 and not accumulates(query, event.relation)
             )
+        deterministic = kernel.is_deterministic()
         return cls(
-            deterministic=kernel.is_deterministic(),
+            deterministic=deterministic,
             pc_free=pc_free,
             linear=None,
             possibly_non_absorbing=non_absorbing,
             columnar_eligible=not kernel_ineligibility(kernel),
+            # The sparse rung answers Definition 3.2 long-run questions;
+            # a deterministic kernel's chain is a trajectory the exact
+            # rung finishes outright, so the numeric detour buys nothing.
+            sparse_eligible=semantics == "forever" and not deterministic,
         )
 
     @classmethod

@@ -433,6 +433,14 @@ def _emit_plan_hints(
             suggestion="restrict selections to column/value (in)equality "
             "predicates and keep pc-tables out of fixpoint kernels",
         )
+    if semantics == "forever" and kernel.is_deterministic():
+        report.add(
+            "PH006",
+            "deterministic kernels induce a one-trajectory chain the exact "
+            "rung finishes outright; the sparse certified rung is skipped "
+            "on degradation ladders (no iterative solve can beat the "
+            "closed-form answer)",
+        )
 
 
 # -- helpers ------------------------------------------------------------------

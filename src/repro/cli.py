@@ -145,15 +145,27 @@ def _add_perf_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+def _add_backend_argument(
+    parser: argparse.ArgumentParser, sparse: bool = False
+) -> None:
+    choices = ("frozenset", "columnar", "sparse") if sparse else (
+        "frozenset", "columnar"
+    )
+    extra = (
+        "; 'sparse' (forever only) answers through the certified CSR "
+        "solver first, falling back down the ladder when the answer "
+        "cannot be certified"
+        if sparse
+        else ""
+    )
     parser.add_argument(
         "--backend",
-        choices=("frozenset", "columnar"),
+        choices=choices,
         default=None,
         help="execution backend: 'columnar' compiles the program to the "
         "vectorized integer-ID array kernel (results are bit-identical; "
         "kernel-ineligible programs fall back to 'frozenset' with a "
-        "recorded reason — see 'repro lint' hint PH005)",
+        "recorded reason — see 'repro lint' hint PH005)" + extra,
     )
 
 
@@ -312,15 +324,32 @@ def _exact_payload(result) -> dict:
     return payload
 
 
+def _sparse_payload(result) -> dict:
+    lo, hi = result.interval
+    payload = {
+        "mode": f"sparse certified ({result.method})",
+        "probability_float": result.probability,
+        "interval": [lo, hi],
+        "certificate": result.certificate.as_dict(),
+        "chain_states": result.states_explored,
+    }
+    for key in ("backend", "sccs", "leaf_sccs", "irreducible"):
+        if result.details.get(key) is not None:
+            payload[key] = result.details[key]
+    return payload
+
+
 def _command_forever(args: argparse.Namespace, context: RunContext) -> dict:
     kernel, db, event = _load_kernel_and_event(args, context)
     query = ForeverQuery(kernel, event)
-    if args.fallback != "none":
+    prefer_sparse = args.backend == "sparse"
+    if args.fallback != "none" or prefer_sparse:
         from repro.analysis import PlanHints
 
         hints = PlanHints.for_kernel(kernel, event=event, semantics="forever")
         policy = DegradationPolicy(
             mode=args.fallback,
+            sparse_epsilon=args.epsilon if args.epsilon is not None else 1e-6,
             mcmc_epsilon=args.epsilon or 0.1,
             mcmc_delta=args.delta,
             mcmc_samples=args.samples,
@@ -338,9 +367,12 @@ def _command_forever(args: argparse.Namespace, context: RunContext) -> dict:
             checkpoint_path=args.checkpoint,
             resume=args.resume,
             hints=hints,
-            backend=args.backend,
+            backend=None if prefer_sparse else args.backend,
+            prefer_sparse=prefer_sparse,
         )
-        if hasattr(result, "estimate"):
+        if hasattr(result, "certificate"):
+            payload = _sparse_payload(result)
+        elif hasattr(result, "estimate"):
             payload = _mcmc_payload(result)
         else:
             payload = _exact_payload(result)
@@ -894,10 +926,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
     forever.add_argument("--max-states", type=int, default=20_000)
     forever.add_argument(
         "--fallback",
-        choices=("none", "lumped", "mcmc", "auto"),
+        choices=("none", "sparse", "lumped", "mcmc", "auto"),
         default="none",
-        help="degrade exact -> lumped -> MCMC when the chain outgrows "
-        "--max-states instead of failing (downgrades are reported)",
+        help="degrade exact -> sparse -> lumped -> MCMC when the chain "
+        "outgrows --max-states or a certified solve refuses, instead of "
+        "failing (downgrades are reported)",
     )
     forever.add_argument(
         "--checkpoint",
@@ -914,7 +947,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     _add_sampling_arguments(forever)
     _add_budget_arguments(forever)
     _add_perf_arguments(forever)
-    _add_backend_argument(forever)
+    _add_backend_argument(forever, sparse=True)
     _add_trace_argument(forever)
     forever.set_defaults(handler=_command_forever)
 
@@ -1098,14 +1131,15 @@ def build_arg_parser() -> argparse.ArgumentParser:
     submit.add_argument("--mcmc", action="store_true")
     submit.add_argument("--lumped", action="store_true")
     submit.add_argument(
-        "--fallback", choices=("lumped", "mcmc", "auto"), default=None
+        "--fallback", choices=("sparse", "lumped", "mcmc", "auto"), default=None
     )
     submit.add_argument("--burn-in", type=int, default=None)
     submit.add_argument("--workers", type=int, default=None)
     submit.add_argument("--cache-size", type=int, default=None)
     submit.add_argument(
-        "--backend", choices=("frozenset", "columnar"), default=None,
-        help="execution backend (forever/inflationary)",
+        "--backend", choices=("frozenset", "columnar", "sparse"), default=None,
+        help="execution backend (forever/inflationary; 'sparse' is "
+        "forever-only)",
     )
     submit.add_argument("--timeout", type=float, default=None, help="per-job wall-clock budget")
     submit.add_argument("--max-steps", type=int, default=None, help="per-job step budget")

@@ -140,6 +140,19 @@ class StateSpaceLimitExceeded(EvaluationError):
     the caller-supplied ``max_states`` safety limit."""
 
 
+class SolveRefusedError(EvaluationError):
+    """A certified numeric solver could not prove its answer accurate
+    enough and refused to return it.
+
+    Raised by the sparse rung (:mod:`repro.sparse`) when the a
+    posteriori residual certificate exceeds the requested ``epsilon``.
+    ``details`` records the requested tolerance (``"epsilon"``), the
+    bound actually certified (``"certified_bound"``), and the solver
+    iterations spent, so the degradation ladder can fall through to an
+    exact or sampling rung with an auditable reason instead of ever
+    surfacing an uncertified float."""
+
+
 class NotInflationaryError(EvaluationError):
     """A transition kernel produced a possible world that does not
     contain its input state, violating Definition 3.4."""

@@ -25,12 +25,20 @@ from typing import Any, Hashable, TypeVar
 import numpy as np
 
 from repro.errors import MarkovChainError
-from repro.markov.analysis import is_irreducible
+from repro.markov.analysis import is_irreducible, period
 from repro.markov.chain import MarkovChain
 from repro.markov.linalg import solve_exact_vector
 from repro.probability.distribution import Distribution
 
 S = TypeVar("S", bound=Hashable)
+
+
+def _chain_period(chain: MarkovChain[S], state: S) -> int | None:
+    """The period of ``state``'s SCC, or ``None`` when undefined."""
+    try:
+        return period(chain, state)
+    except MarkovChainError:  # transient singleton: no return path
+        return None
 
 
 def stationary_distribution(
@@ -68,7 +76,17 @@ def stationary_distribution(
 
 
 def stationary_distribution_float(chain: MarkovChain[S]) -> dict[S, float]:
-    """Float64 stationary distribution of an irreducible chain (numpy)."""
+    """Float64 stationary distribution of an irreducible chain (numpy).
+
+    The direct balance-equation solve is exact for any irreducible
+    chain, periodic or not — but a badly conditioned (or numerically
+    singular) system can hand back garbage without LAPACK complaining.
+    The result is therefore verified against the balance equations
+    before it is returned; a residual above ``1e-8`` raises a
+    :class:`~repro.errors.MarkovChainError` whose ``details`` carry the
+    residual and the chain's period rather than returning silently
+    wrong floats.
+    """
     if not is_irreducible(chain):
         raise MarkovChainError(
             "stationary distribution requested for a reducible chain"
@@ -79,7 +97,24 @@ def stationary_distribution_float(chain: MarkovChain[S]) -> dict[S, float]:
     system[-1, :] = 1.0
     rhs = np.zeros(n)
     rhs[-1] = 1.0
-    solution = np.linalg.solve(system, rhs)
+    try:
+        solution = np.linalg.solve(system, rhs)
+    except np.linalg.LinAlgError as error:
+        raise MarkovChainError(
+            f"float64 stationary solve failed: {error}",
+            details={"period": _chain_period(chain, chain.states[0])},
+        ) from error
+    residual = float(np.abs(solution @ matrix - solution).sum())
+    if not np.isfinite(residual) or residual > 1e-8:
+        raise MarkovChainError(
+            "float64 stationary solve is numerically unreliable "
+            f"(balance residual {residual:.3e}); use the exact solver "
+            "or the certified sparse rung",
+            details={
+                "residual": residual,
+                "period": _chain_period(chain, chain.states[0]),
+            },
+        )
     # Clip tiny negative round-off and renormalise.
     solution = np.clip(solution, 0.0, None)
     solution /= solution.sum()
@@ -106,9 +141,21 @@ def power_iteration(
             break
         mu = nxt
     else:
+        chain_period = _chain_period(chain, start)
+        hint = (
+            f"the chain has period {chain_period}, so the iterates "
+            "oscillate instead of converging; use cesaro_average or "
+            "stationary_distribution_float"
+            if chain_period is not None and chain_period > 1
+            else "the chain may be periodic or slowly mixing"
+        )
         raise MarkovChainError(
-            f"power iteration did not converge in {max_steps} steps "
-            "(is the chain periodic?)"
+            f"power iteration did not converge in {max_steps} steps: {hint}",
+            details={
+                "max_steps": max_steps,
+                "tolerance": tolerance,
+                "period": chain_period,
+            },
         )
     return {state: float(p) for state, p in zip(chain.states, mu)}
 

@@ -1,4 +1,4 @@
-"""Graceful exact → lumped → MCMC degradation for forever-queries.
+"""Graceful exact → sparse → lumped → MCMC degradation for forever-queries.
 
 Proposition 5.4's chain over database instances can be exponential in
 the database size, so exact evaluation over an explicit chain is a bet,
@@ -8,21 +8,30 @@ not a guarantee.  Instead of aborting when the bet is lost
 
 1. **exact** (:func:`~repro.core.evaluation.evaluate_forever_exact`) —
    the Prop 5.4 / Thm 5.5 answer on the explicit chain;
-2. **lumped** (:func:`~repro.core.evaluation.evaluate_forever_lumped`)
+2. **sparse** (:func:`~repro.sparse.evaluate_forever_sparse`) — the
+   chain streamed into CSR form and solved iteratively; every answer
+   carries a residual-derived :class:`~repro.sparse.SolveCertificate`
+   proving ``|answer - exact| <= sparse_epsilon``, and a solve that
+   cannot be certified *refuses*
+   (:class:`~repro.errors.SolveRefusedError`) and falls through like a
+   state-space overflow.  Granted ``sparse_state_factor`` times the
+   exact rung's state allowance;
+3. **lumped** (:func:`~repro.core.evaluation.evaluate_forever_lumped`)
    — still exact, but granted a larger state allowance because its
    expensive linear-algebra phase runs on the quotient chain
    (``lumped_state_factor``);
-3. **MCMC** (:func:`~repro.core.evaluation.evaluate_forever_mcmc` with
+4. **MCMC** (:func:`~repro.core.evaluation.evaluate_forever_mcmc` with
    :func:`~repro.core.evaluation.adaptive_burn_in`) — never
    materialises the chain at all; an (ε, δ) estimate is returned where
    an error used to be raised.
 
 Every downgrade is recorded in the run's
 :class:`~repro.runtime.context.RunReport` with the triggering reason,
-so the answer's provenance (exact or estimated, and why) is always
-auditable.  Wall-clock/step budget exhaustion and cancellation are
-*not* degraded — a run out of time is out of time for the fallback
-too — only state-space overflow is.
+so the answer's provenance (exact, certified-numeric, or estimated,
+and why) is always auditable.  Wall-clock/step budget exhaustion and
+cancellation are *not* degraded — a run out of time is out of time for
+the fallback too — only state-space overflow and certified-solve
+refusal are.
 """
 
 from __future__ import annotations
@@ -41,7 +50,11 @@ from repro.core.evaluation.sampling_noninflationary import (
     evaluate_forever_mcmc,
 )
 from repro.core.queries import ForeverQuery
-from repro.errors import EvaluationError, StateSpaceLimitExceeded
+from repro.errors import (
+    EvaluationError,
+    SolveRefusedError,
+    StateSpaceLimitExceeded,
+)
 from repro.probability.rng import RngLike, make_rng
 from repro.relational.database import Database
 from repro.runtime.context import RunContext, ensure_context
@@ -51,13 +64,15 @@ if TYPE_CHECKING:  # pragma: no cover - type-only import
     from repro.perf.cache import TransitionCache
     from repro.perf.parallel import ParallelConfig
     from repro.runtime.checkpoint import Checkpoint
+    from repro.sparse import CertifiedResult
 
 #: The degradation ladder per mode.
 _LADDERS = {
     "none": ("exact",),
+    "sparse": ("exact", "sparse"),
     "lumped": ("exact", "lumped"),
     "mcmc": ("exact", "mcmc"),
-    "auto": ("exact", "lumped", "mcmc"),
+    "auto": ("exact", "sparse", "lumped", "mcmc"),
 }
 
 
@@ -68,8 +83,19 @@ class DegradationPolicy:
     Attributes
     ----------
     mode:
-        ``"none"`` (raise, the legacy behaviour), ``"lumped"``,
-        ``"mcmc"``, or ``"auto"`` (lumped first, then MCMC).
+        ``"none"`` (raise, the legacy behaviour), ``"sparse"``,
+        ``"lumped"``, ``"mcmc"``, or ``"auto"`` (sparse, then lumped,
+        then MCMC).
+    sparse_epsilon:
+        Certified accuracy contract for the sparse rung.  An answer
+        the solver cannot *prove* is within ``sparse_epsilon`` of the
+        exact rational is refused and the ladder continues.
+    sparse_state_factor:
+        Multiplier on ``max_states`` granted to the sparse retry; CSR
+        rows cost O(out-degree) floats instead of a dict of Fractions,
+        so a much larger exploration is affordable.
+    sparse_max_iterations:
+        Iteration budget per component solve on the sparse rung.
     lumped_state_factor:
         Multiplier on ``max_states`` granted to the lumped retry; the
         full chain is still built there, but its linear algebra runs on
@@ -102,6 +128,9 @@ class DegradationPolicy:
     """
 
     mode: str = "auto"
+    sparse_epsilon: float = 1e-6
+    sparse_state_factor: int = 25
+    sparse_max_iterations: int = 50_000
     lumped_state_factor: int = 4
     mcmc_epsilon: float = 0.1
     mcmc_delta: float = 0.05
@@ -120,6 +149,12 @@ class DegradationPolicy:
                 f"unknown degradation mode {self.mode!r}; "
                 f"expected one of {sorted(_LADDERS)}"
             )
+        if self.sparse_epsilon <= 0:
+            raise EvaluationError("sparse_epsilon must be > 0")
+        if self.sparse_state_factor < 1:
+            raise EvaluationError("sparse_state_factor must be >= 1")
+        if self.sparse_max_iterations < 1:
+            raise EvaluationError("sparse_max_iterations must be >= 1")
         if self.lumped_state_factor < 1:
             raise EvaluationError("lumped_state_factor must be >= 1")
         if self.adaptive_walkers < 1:
@@ -156,16 +191,24 @@ def evaluate_forever_resilient(
     cache: "TransitionCache | None" = None,
     hints: "PlanHints | None" = None,
     backend: str | None = None,
-) -> Union[ExactResult, SamplingResult]:
+    prefer_sparse: bool = False,
+) -> Union[ExactResult, "CertifiedResult", SamplingResult]:
     """Evaluate a forever-query, degrading instead of aborting.
 
     Runs the policy's ladder top-down; a
-    :class:`~repro.errors.StateSpaceLimitExceeded` from one rung moves
-    to the next and is recorded via
+    :class:`~repro.errors.StateSpaceLimitExceeded` or
+    :class:`~repro.errors.SolveRefusedError` from one rung moves to
+    the next and is recorded via
     :meth:`RunContext.record_downgrade`.  Budget exhaustion and
     cancellation propagate unchanged from any rung.  Returns whichever
     result type the successful rung produces (:class:`ExactResult` for
-    exact/lumped, :class:`SamplingResult` for MCMC).
+    exact/lumped, :class:`~repro.sparse.CertifiedResult` for sparse,
+    :class:`SamplingResult` for MCMC).
+
+    ``prefer_sparse`` moves the sparse certified rung to the front of
+    the ladder (inserting it if the mode's ladder lacks it) — the
+    ``backend="sparse"`` request surface: answer numerically with a
+    certificate first, keep the remaining rungs as fallbacks.
 
     ``checkpoint_path`` / ``resume`` apply to the MCMC rung (the only
     long-running sampler on the ladder).  Resuming from a checkpoint
@@ -205,6 +248,8 @@ def evaluate_forever_resilient(
     generator = make_rng(rng)
 
     ladder = list(policy.ladder)
+    if prefer_sparse:
+        ladder = ["sparse"] + [rung for rung in ladder if rung != "sparse"]
     if hints is not None and hints.deterministic and len(ladder) > 1:
         # PH001: no repair-key choice anywhere in the kernel — the chain
         # is a deterministic trajectory; sampling rungs cannot help.
@@ -212,20 +257,46 @@ def evaluate_forever_resilient(
             "plan hint PH001 (deterministic kernel): using the exact rung only"
         )
         ladder = ["exact"]
+    if (
+        "sparse" in ladder
+        and len(ladder) > 1
+        and hints is not None
+        and getattr(hints, "sparse_eligible", None) is False
+    ):
+        # PH006: the analyzer ruled the program out for the certified
+        # numeric rung; skip it instead of failing into it at runtime.
+        context.record_event(
+            "plan hint PH006 (not sparse-eligible): dropping the sparse rung"
+        )
+        ladder = [rung for rung in ladder if rung != "sparse"]
     if resume is not None and "mcmc" in ladder:
         # The checkpoint proves the exact rungs already overflowed (or
         # the caller decided for MCMC); do not rebuild the chain.
         context.record_event("resuming from checkpoint: skipping to MCMC rung")
         ladder = ["mcmc"]
 
-    last_error: StateSpaceLimitExceeded | None = None
+    last_error: Union[StateSpaceLimitExceeded, SolveRefusedError, None] = None
     for position, rung in enumerate(ladder):
         on_last_rung = position == len(ladder) - 1
         try:
             if rung == "exact":
-                result: Union[ExactResult, SamplingResult] = evaluate_forever_exact(
+                result: Union[
+                    ExactResult, "CertifiedResult", SamplingResult
+                ] = evaluate_forever_exact(
                     query, initial, max_states=max_states, context=context,
                     cache=cache, backend=backend,
+                )
+            elif rung == "sparse":
+                from repro.sparse import evaluate_forever_sparse
+
+                result = evaluate_forever_sparse(
+                    query,
+                    initial,
+                    epsilon=policy.sparse_epsilon,
+                    max_states=max_states * policy.sparse_state_factor,
+                    max_iterations=policy.sparse_max_iterations,
+                    context=context,
+                    backend=backend,
                 )
             elif rung == "lumped":
                 result = evaluate_forever_lumped(
@@ -269,7 +340,7 @@ def evaluate_forever_resilient(
                     cache=cache if checkpoint_path is None and resume is None else None,
                     backend=backend,
                 )
-        except StateSpaceLimitExceeded as error:
+        except (StateSpaceLimitExceeded, SolveRefusedError) as error:
             if on_last_rung:
                 raise
             last_error = error

@@ -46,8 +46,11 @@ _PARAMS = {
     "datalog": _COMMON_PARAMS,
 }
 
-#: Recognised execution backends (mirrors repro.core.evaluation.backend).
-_BACKENDS = (None, "frozenset", "columnar")
+#: Recognised execution backends.  ``frozenset``/``columnar`` mirror
+#: repro.core.evaluation.backend; ``sparse`` (forever-queries only)
+#: answers through the certified CSR rung first, keeping the fallback
+#: ladder behind it.
+_BACKENDS = (None, "frozenset", "columnar", "sparse")
 
 _BUDGET_KEYS = frozenset({"timeout", "max_steps"})
 
@@ -149,6 +152,10 @@ class QueryRequest:
             f"unknown backend {self.params.get('backend')!r}; "
             f"expected one of {[b for b in _BACKENDS if b]}",
         )
+        _require(
+            self.params.get("backend") != "sparse" or self.semantics == "forever",
+            "backend 'sparse' applies to forever-queries only",
+        )
         _require(isinstance(self.budget, Mapping), "budget must be a JSON object")
         bad_budget = sorted(set(self.budget) - _BUDGET_KEYS)
         _require(
@@ -239,11 +246,13 @@ class QueryRequest:
         return True
 
     def _wants_sampling(self) -> bool:
+        # fallback="sparse" keeps the run deterministic: its ladder is
+        # exact -> certified iterative solve, with no sampling rung.
         return (
             self.params.get("samples") is not None
             or self.params.get("epsilon") is not None
             or bool(self.params.get("mcmc"))
-            or (self.params.get("fallback") or "none") != "none"
+            or (self.params.get("fallback") or "none") not in ("none", "sparse")
         )
 
     def make_budget(self, default: Budget | None = None, cap: Budget | None = None) -> Budget:

@@ -71,8 +71,28 @@ def _sampling_payload(result) -> dict:
     return payload
 
 
+def _sparse_payload(result) -> dict:
+    lo, hi = result.interval
+    payload = {
+        "kind": "sparse",
+        "method": result.method,
+        "probability_float": result.probability,
+        "interval": [lo, hi],
+        "certificate": result.certificate.as_dict(),
+        "states_explored": result.states_explored,
+    }
+    for key in ("backend", "sccs", "leaf_sccs", "irreducible"):
+        if result.details.get(key) is not None:
+            payload[key] = result.details[key]
+    return payload
+
+
 def result_payload(result) -> dict:
     """JSON-friendly rendering of an evaluator result."""
+    # Certified results also expose .probability (a float), so the
+    # certificate check must come first.
+    if hasattr(result, "certificate"):
+        return _sparse_payload(result)
     if hasattr(result, "probability"):
         return _exact_payload(result)
     return _sampling_payload(result)
@@ -387,6 +407,7 @@ class EngineSession:
         fallback = params.get("fallback") or "none"
         cache = self._walk_cache(params)
         backend_param: str | None = None
+        prefer_sparse = params.get("backend") == "sparse"
         if params.get("backend") == "columnar":
             if (params.get("workers") or 1) > 1:
                 # Compiled plans hold closures and arrays that do not
@@ -403,9 +424,10 @@ class EngineSession:
                         None if params.get("cache_size") == 0 else columnar_cache
                     )
                     backend_param = "columnar"
-        if fallback != "none":
+        if fallback != "none" or prefer_sparse:
             policy = DegradationPolicy(
                 mode=fallback,
+                sparse_epsilon=params.get("epsilon") or 1e-6,
                 mcmc_epsilon=params.get("epsilon") or 0.1,
                 mcmc_delta=params.get("delta") or 0.05,
                 mcmc_samples=params.get("samples"),
@@ -423,6 +445,7 @@ class EngineSession:
                 cache=cache,
                 hints=self.hints,
                 backend=backend_param,
+                prefer_sparse=prefer_sparse,
             )
             payload = result_payload(result)
             if context is not None:

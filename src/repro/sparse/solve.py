@@ -1,0 +1,364 @@
+"""Certified iterative solves on CSR chains (Prop 5.4 / Thm 5.5 shape).
+
+Two solver families, each emitting the residuals its certificate is
+built from:
+
+* **Stationary mass** of an irreducible block — power iteration on the
+  lazified matrix ``(P + I) / 2`` (same stationary distribution,
+  provably aperiodic, so periodic blocks converge too).  The iterate is
+  certified through the *regeneration system*: anchoring a reference
+  state ``s``, the expected-visits vector ``w`` (visits to each other
+  state between returns to ``s``) solves the nonsingular M-matrix
+  system ``(I - Q̃)ᵀ wᵀ = pᵀ`` and the stationary distribution is
+  ``π = (1, w) / (1 + Σw)`` up to relabelling.  The power iterate
+  supplies ``ŵ``; its true residual in that system plus one
+  amplification solve (``(I - Q̃)ᵀ c = 1``) give the elementwise
+  enclosure ``|w - ŵ| <= ||r||_inf · ĉ / (1 - ||s_c||_inf)``.
+* **Absorption probabilities** into the leaf SCCs — per-block Krylov
+  solves (GMRES, or CG when the system is symmetric) of
+  ``(I - Q) a = b`` over the transient states, with a direct sparse-LU
+  fallback for tiny blocks and for Krylov non-convergence.  The
+  expected-exit-time solve ``(I - Q) t = 1`` certifies the answer:
+  ``|a - â|(start) <= ||r||_inf · t̂(start) / (1 - ||s||_inf)``.
+
+Both bounds rest on the inverse-positivity of M-matrices
+(``(I - Q)^{-1} >= 0`` for substochastic ``Q`` with spectral radius
+below one); see ``docs/sparse.md`` for the derivation and the float64
+rounding allowance added on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+from scipy import sparse as _sparse
+from scipy.sparse import csgraph as _csgraph
+from scipy.sparse import linalg as _spla
+
+from repro.errors import MarkovChainError
+from repro.sparse.assemble import SparseChain
+from repro.sparse.certificate import SolveCertificate
+
+__all__ = ["solve_long_run", "TINY_DIRECT_SIZE"]
+
+#: Blocks at or below this many states skip Krylov and solve directly.
+TINY_DIRECT_SIZE = 64
+
+#: Amplification solves only need a loose residual; past this the
+#: enclosure ``c <= ĉ / (1 - ||s||_inf)`` stops being usable.
+_MAX_AMPLIFIER_RESIDUAL = 0.5
+
+#: Inner-iteration cap per Krylov solve.  Systems Krylov cannot crack
+#: in this many steps (ill-conditioned drift chains, long tridiagonal
+#: bands) go to sparse LU instead of grinding: the chains this
+#: subsystem sees have a handful of nonzeros per row, so a direct
+#: factorisation is near-linear and the a posteriori residual — not
+#: the solver's convergence flag — carries the certificate either way.
+_KRYLOV_BUDGET = 512
+
+_EPS = float(np.finfo(np.float64).eps)
+
+
+def _rounding_margin(size: int) -> float:
+    """Allowance for float64 summation/rounding across one component.
+
+    Numpy reduces with pairwise summation, so accumulated rounding
+    grows with ``log2`` of the term count; the factor 64 is a generous
+    envelope over the handful of dependent operations per entry.
+    """
+    return 64.0 * _EPS * (1.0 + float(np.log2(size + 2)))
+
+
+@dataclass
+class _Tally:
+    """Running totals across the component solves of one answer."""
+
+    iterations: int = 0
+    residual_norm: float = 0.0
+    solvers: tuple[str, ...] = ()
+
+    def absorb(self, iterations: int, residual: float, solver: str) -> None:
+        self.iterations += int(iterations)
+        self.residual_norm = max(self.residual_norm, float(residual))
+        if solver and solver not in self.solvers:
+            self.solvers = self.solvers + (solver,)
+
+
+def _solve_system(
+    matrix: Any,
+    rhs: np.ndarray,
+    rtol: float,
+    maxiter: int,
+    tally: _Tally,
+) -> np.ndarray:
+    """Solve ``matrix @ x = rhs``: Krylov first, direct LU as fallback.
+
+    Tiny systems go straight to sparse LU — Krylov setup costs more
+    than elimination there.  Krylov iterations are counted into the
+    tally; the *certificate* never trusts the solver's claimed
+    convergence, only the residual computed afterwards by the caller.
+    """
+    n = matrix.shape[0]
+    if n == 0:
+        return np.zeros(0)
+    if n <= TINY_DIRECT_SIZE:
+        x = _spla.spsolve(matrix.tocsc(), rhs)
+        tally.absorb(0, 0.0, "direct")
+        return np.atleast_1d(x)
+    steps = [0]
+
+    def count(_arg: object) -> None:
+        steps[0] += 1
+
+    budget = min(maxiter, _KRYLOV_BUDGET)
+    symmetric = (matrix != matrix.T).nnz == 0
+    if symmetric:
+        x, info = _spla.cg(matrix, rhs, rtol=rtol, atol=0.0,
+                           maxiter=budget, callback=count)
+        solver = "cg"
+    else:
+        # gmres counts *outer* restart cycles in maxiter; convert the
+        # inner-iteration budget so both solvers spend comparable work.
+        x, info = _spla.gmres(matrix, rhs, rtol=rtol, atol=0.0,
+                              maxiter=max(1, budget // 64), restart=64,
+                              callback=count, callback_type="pr_norm")
+        solver = "gmres"
+    if info != 0:
+        # Krylov stalled or hit its budget: fall back to sparse LU and
+        # let the a posteriori residual tell the truth about accuracy.
+        x = np.atleast_1d(_spla.spsolve(matrix.tocsc(), rhs))
+        solver += "+direct"
+    tally.absorb(steps[0], 0.0, solver)
+    return x
+
+
+def _identity_minus(q: Any) -> Any:
+    return (_sparse.identity(q.shape[0], format="csr") - q).tocsr()
+
+
+def _amplifier(system: Any, rtol: float, maxiter: int,
+               tally: _Tally) -> np.ndarray | None:
+    """Certified elementwise upper bound on ``system^{-1} @ 1``.
+
+    ``system`` must be a nonsingular M-matrix (``I - Q`` shape), whose
+    inverse is elementwise non-negative.  Returns ``None`` when even
+    the loose residual needed for the enclosure cannot be reached —
+    the caller then has no finite certificate and must refuse.
+    """
+    ones = np.ones(system.shape[0])
+    c_hat = _solve_system(system, ones, rtol, maxiter, tally)
+    residual = float(np.max(np.abs(ones - system @ c_hat)))
+    if residual >= _MAX_AMPLIFIER_RESIDUAL:
+        return None
+    return np.maximum(c_hat, 0.0) / (1.0 - residual)
+
+
+def _power_iterate(matrix: Any, tolerance: float, maxiter: int,
+                   tally: _Tally) -> np.ndarray:
+    """Power iteration for the stationary vector of an irreducible block.
+
+    Iterates ``μ ← μ (P + I) / 2`` from uniform; lazification keeps
+    the spectrum in the right half plane, so periodic blocks converge
+    to the same ``π`` instead of oscillating.  Stops on the L1 step
+    change; the caller certifies the result independently, so an
+    early exit here can only inflate the certified bound, never break
+    its rigour.
+    """
+    n = matrix.shape[0]
+    transposed = matrix.T.tocsr()
+    mu = np.full(n, 1.0 / n)
+    steps = 0
+    for steps in range(1, maxiter + 1):
+        nxt = 0.5 * (mu + transposed @ mu)
+        total = nxt.sum()
+        if total > 0.0:
+            nxt /= total
+        change = float(np.abs(nxt - mu).sum())
+        mu = nxt
+        if change < tolerance:
+            break
+    tally.absorb(steps, 0.0, "power")
+    return mu
+
+
+def _stationary_event_interval(
+    block: Any,
+    mask: np.ndarray,
+    rtol: float,
+    maxiter: int,
+    tally: _Tally,
+) -> tuple[float, float]:
+    """Certified enclosure of the event mass under the block's π."""
+    m = block.shape[0]
+    if m == 1:
+        value = 1.0 if mask[0] else 0.0
+        return value, value
+    if not mask.any():
+        return 0.0, 0.0
+    if mask.all():
+        return 1.0, 1.0
+    power_tol = max(m * _EPS, min(1e-12, rtol))
+    mu = _power_iterate(block, power_tol, maxiter, tally)
+    anchor = int(np.argmax(mu))
+    keep = np.array([i for i in range(m) if i != anchor], dtype=np.int64)
+    q_tilde = block[keep][:, keep]
+    p_row = np.asarray(block[anchor].todense()).ravel()[keep]
+    system = _identity_minus(q_tilde).T.tocsr()
+    w_hat = mu[keep] / mu[anchor] if mu[anchor] > 0.0 else mu[keep]
+    residual = float(np.max(np.abs(p_row - system @ w_hat)))
+    amplifier = _amplifier(system, max(rtol, 1e-10), maxiter, tally)
+    if amplifier is None:
+        tally.absorb(0, residual, "power")
+        return 0.0, 1.0
+    tally.absorb(0, residual, "power")
+    delta = residual * amplifier
+    w_lo = np.maximum(w_hat - delta, 0.0)
+    w_hi = w_hat + delta
+    in_event = mask[keep]
+    anchor_mass = 1.0 if mask[anchor] else 0.0
+    numerator_lo = float(w_lo[in_event].sum()) + anchor_mass
+    numerator_hi = float(w_hi[in_event].sum()) + anchor_mass
+    denominator_lo = 1.0 + float(w_lo.sum())
+    denominator_hi = 1.0 + float(w_hi.sum())
+    margin = _rounding_margin(m)
+    low = max(0.0, numerator_lo / denominator_hi - margin)
+    high = min(1.0, numerator_hi / denominator_lo + margin)
+    return low, high
+
+
+def _absorption_intervals(
+    matrix: Any,
+    labels: np.ndarray,
+    leaf_labels: list[int],
+    start: int,
+    rtol: float,
+    maxiter: int,
+    tally: _Tally,
+) -> dict[int, tuple[float, float]]:
+    """Certified absorption-probability enclosures from ``start``.
+
+    Returns ``{leaf_label: (low, high)}``.  ``start`` must be
+    transient.  The enclosure degrades to ``(0, 1)`` per leaf when the
+    exit-time amplifier cannot be certified.
+    """
+    leaf_set = set(leaf_labels)
+    transient = np.array(
+        [i for i in range(matrix.shape[0]) if int(labels[i]) not in leaf_set],
+        dtype=np.int64,
+    )
+    local = {int(i): k for k, i in enumerate(transient)}
+    start_local = local[start]
+    q = matrix[transient][:, transient]
+    system = _identity_minus(q)
+    amplifier = _amplifier(system, max(rtol, 1e-10), maxiter, tally)
+    margin = _rounding_margin(len(transient))
+    intervals: dict[int, tuple[float, float]] = {}
+    for label in leaf_labels:
+        leaf_cols = np.where(labels == label)[0]
+        rhs = np.asarray(matrix[transient][:, leaf_cols].sum(axis=1)).ravel()
+        a_hat = _solve_system(system, rhs, rtol, maxiter, tally)
+        residual = float(np.max(np.abs(rhs - system @ a_hat)))
+        if amplifier is None:
+            tally.absorb(0, residual, "")
+            intervals[label] = (0.0, 1.0)
+            continue
+        error = residual * float(amplifier[start_local]) + margin
+        tally.absorb(0, residual, "")
+        value = float(a_hat[start_local])
+        intervals[label] = (max(0.0, value - error), min(1.0, value + error))
+    return intervals
+
+
+def solve_long_run(
+    chain: SparseChain,
+    epsilon: float,
+    delta: float = 0.0,
+    max_iterations: int = 50_000,
+) -> tuple[float, SolveCertificate, dict[str, Any]]:
+    """Certified Definition 3.2 long-run event probability of a chain.
+
+    Returns ``(value, certificate, structure)`` where ``structure``
+    mirrors :func:`repro.markov.analysis.classify` in integer-id
+    space.  Never raises on accuracy grounds — callers compare
+    ``certificate.satisfies()`` and decide whether to refuse (the
+    sparse evaluator turns dissatisfaction into
+    :class:`~repro.errors.SolveRefusedError`).
+
+    Raises :class:`~repro.errors.MarkovChainError` for structurally
+    broken inputs (non-stochastic rows).
+    """
+    if epsilon <= 0.0:
+        raise MarkovChainError(f"epsilon must be positive, got {epsilon}")
+    matrix = chain.matrix
+    n = matrix.shape[0]
+    row_sums = np.asarray(matrix.sum(axis=1)).ravel()
+    if n and float(np.max(np.abs(row_sums - 1.0))) > 1e-9:
+        worst = int(np.argmax(np.abs(row_sums - 1.0)))
+        raise MarkovChainError(
+            f"row {worst} sums to {row_sums[worst]!r}; the chain is not "
+            "closed (every state needs a full outgoing distribution)",
+            details={"row": worst, "row_sum": float(row_sums[worst])},
+        )
+    rtol = max(1e-14, min(1e-10, epsilon * 1e-3))
+    tally = _Tally()
+    n_components, labels = _csgraph.connected_components(
+        matrix, directed=True, connection="strong"
+    )
+    coo = matrix.tocoo()
+    open_labels = set(
+        int(labels[i])
+        for i, j in zip(coo.row, coo.col)
+        if labels[i] != labels[j]
+    )
+    leaf_labels = sorted(set(range(n_components)) - open_labels)
+    start_label = int(labels[chain.initial_index])
+    structure: dict[str, Any] = {
+        "states": n,
+        "nnz": chain.nnz,
+        "sccs": int(n_components),
+        "leaf_sccs": len(leaf_labels),
+        "irreducible": n_components == 1,
+        "transient_states": int(np.sum(~np.isin(labels, leaf_labels))),
+    }
+
+    def leaf_interval(label: int) -> tuple[float, float]:
+        members = np.where(labels == label)[0]
+        block = matrix[members][:, members]
+        return _stationary_event_interval(
+            block, chain.event_mask[members], rtol, max_iterations, tally
+        )
+
+    if start_label in leaf_labels:
+        # Already inside a closed component (covers the irreducible
+        # case): the answer is that component's stationary event mass.
+        low, high = leaf_interval(start_label)
+    else:
+        absorption = _absorption_intervals(
+            matrix, labels, leaf_labels, chain.initial_index,
+            rtol, max_iterations, tally,
+        )
+        low = high = 0.0
+        for label in leaf_labels:
+            a_lo, a_hi = absorption[label]
+            if a_hi <= 0.0:
+                continue
+            e_lo, e_hi = leaf_interval(label)
+            low += a_lo * e_lo
+            high += a_hi * e_hi
+    margin = _rounding_margin(n)
+    low = max(0.0, low - margin)
+    high = min(1.0, high + margin)
+    value = min(1.0, max(0.0, 0.5 * (low + high)))
+    bound = max(0.0, 0.5 * (high - low)) + margin
+    certificate = SolveCertificate(
+        bound=bound,
+        residual_norm=tally.residual_norm,
+        epsilon=epsilon,
+        delta=delta,
+        iterations=tally.iterations,
+        solver="+".join(tally.solvers) if tally.solvers else "exact",
+        components=max(1, len(leaf_labels)),
+    )
+    return value, certificate, structure

@@ -1,4 +1,4 @@
-"""Graceful exact → lumped → MCMC degradation."""
+"""Graceful exact → sparse → lumped → MCMC degradation."""
 
 import pytest
 
@@ -30,9 +30,12 @@ def larger_walk():
 class TestPolicy:
     def test_ladders(self):
         assert DegradationPolicy(mode="none").ladder == ("exact",)
+        assert DegradationPolicy(mode="sparse").ladder == ("exact", "sparse")
         assert DegradationPolicy(mode="lumped").ladder == ("exact", "lumped")
         assert DegradationPolicy(mode="mcmc").ladder == ("exact", "mcmc")
-        assert DegradationPolicy(mode="auto").ladder == ("exact", "lumped", "mcmc")
+        assert DegradationPolicy(mode="auto").ladder == (
+            "exact", "sparse", "lumped", "mcmc"
+        )
 
     def test_rejects_unknown_mode(self):
         with pytest.raises(EvaluationError):
@@ -41,6 +44,14 @@ class TestPolicy:
     def test_rejects_bad_factor(self):
         with pytest.raises(EvaluationError):
             DegradationPolicy(lumped_state_factor=0)
+
+    def test_rejects_bad_sparse_knobs(self):
+        with pytest.raises(EvaluationError):
+            DegradationPolicy(sparse_epsilon=0.0)
+        with pytest.raises(EvaluationError):
+            DegradationPolicy(sparse_state_factor=0)
+        with pytest.raises(EvaluationError):
+            DegradationPolicy(sparse_max_iterations=0)
 
 
 class TestDegradationLadder:
@@ -68,7 +79,7 @@ class TestDegradationLadder:
             query,
             db,
             max_states=3,
-            policy=DegradationPolicy(mode="auto"),
+            policy=DegradationPolicy(mode="lumped"),
             context=context,
         )
         assert isinstance(result, ExactResult)
@@ -81,7 +92,32 @@ class TestDegradationLadder:
         ]
         assert "max_states=3" in report.downgrades[0].reason
 
+    def test_auto_falls_back_to_certified_sparse(self, small_walk):
+        """The auto ladder's first fallback is now the certified solver."""
+        from repro.sparse import CertifiedResult
+
+        query, db = small_walk
+        context = RunContext()
+        result = evaluate_forever_resilient(
+            query,
+            db,
+            max_states=3,
+            policy=DegradationPolicy(mode="auto"),
+            context=context,
+        )
+        assert isinstance(result, CertifiedResult)
+        exact = evaluate_forever_exact(query, db)
+        assert abs(result.probability - float(exact.probability)) <= (
+            result.certificate.bound
+        )
+        report = context.report()
+        assert [(d.from_method, d.to_method) for d in report.downgrades] == [
+            ("exact", "sparse")
+        ]
+
     def test_full_ladder_reaches_mcmc(self, larger_walk):
+        """sparse_state_factor=1 makes the sparse rung overflow too, so
+        the run walks every rung of the auto ladder."""
         query, db = larger_walk
         context = RunContext()
         result = evaluate_forever_resilient(
@@ -89,7 +125,8 @@ class TestDegradationLadder:
             db,
             max_states=1,
             policy=DegradationPolicy(
-                mode="auto", mcmc_samples=100, mcmc_burn_in=30
+                mode="auto", sparse_state_factor=1,
+                mcmc_samples=100, mcmc_burn_in=30,
             ),
             context=context,
             rng=7,
@@ -99,7 +136,8 @@ class TestDegradationLadder:
         assert 0.0 <= result.estimate <= 1.0
         report = context.report()
         assert [(d.from_method, d.to_method) for d in report.downgrades] == [
-            ("exact", "lumped"),
+            ("exact", "sparse"),
+            ("sparse", "lumped"),
             ("lumped", "mcmc"),
         ]
         assert report.outcome == "ok"
@@ -150,7 +188,10 @@ class TestDegradationLadder:
         """The acceptance-criterion path: auto fallback to MCMC with a
         mid-run kill, resumed to the same final estimate."""
         query, db = larger_walk
-        policy = DegradationPolicy(mode="auto", mcmc_samples=40, mcmc_burn_in=11)
+        policy = DegradationPolicy(
+            mode="auto", sparse_state_factor=1,
+            mcmc_samples=40, mcmc_burn_in=11,
+        )
 
         full = evaluate_forever_resilient(
             query, db, max_states=1, policy=policy, rng=5

@@ -1,0 +1,95 @@
+"""Streaming CSR assembly off the transition kernel."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.errors import MarkovChainError, StateSpaceLimitExceeded
+from repro.markov.chain import chain_from_edges
+from repro.obs import MemorySink, Tracer
+from repro.runtime import RunContext
+from repro.sparse import assemble_sparse_chain, sparse_chain_from_markov
+from repro.workloads import cycle_graph, random_walk_query
+
+
+@pytest.fixture
+def walk():
+    return random_walk_query(cycle_graph(5), "n0", "n2")
+
+
+class TestAssemble:
+    def test_rows_are_stochastic_and_start_is_id_zero(self, walk):
+        query, db = walk
+        chain = assemble_sparse_chain(
+            query.kernel, db, event=query.event.holds
+        )
+        assert chain.size == 5
+        assert chain.initial_index == 0
+        assert chain.states[0] == db
+        sums = np.asarray(chain.matrix.sum(axis=1)).ravel()
+        assert np.allclose(sums, 1.0, atol=1e-12)
+
+    def test_event_mask_evaluated_during_sweep(self, walk):
+        query, db = walk
+        chain = assemble_sparse_chain(
+            query.kernel, db, event=query.event.holds
+        )
+        assert chain.event_mask.dtype == bool
+        assert chain.event_mask.sum() == 1
+        # mask agrees with a direct re-evaluation on the state table
+        for state, flag in zip(chain.states, chain.event_mask):
+            assert bool(query.event.holds(state)) == bool(flag)
+
+    def test_no_event_means_all_false(self, walk):
+        query, db = walk
+        chain = assemble_sparse_chain(query.kernel, db)
+        assert not chain.event_mask.any()
+
+    def test_state_limit_raises_with_details(self, walk):
+        query, db = walk
+        with pytest.raises(StateSpaceLimitExceeded) as excinfo:
+            assemble_sparse_chain(
+                query.kernel, db, event=query.event.holds, max_states=2
+            )
+        details = excinfo.value.details
+        assert details["max_states"] == 2
+        assert details["states_discovered"] == 2
+
+    def test_trace_events_emitted(self, walk):
+        query, db = walk
+        sink = MemorySink()
+        context = RunContext(tracer=Tracer(sink))
+        assemble_sparse_chain(
+            query.kernel, db, event=query.event.holds, context=context
+        )
+        names = [r.get("name") for r in sink.records]
+        assert "sparse-state" in names
+
+
+class TestFromMarkov:
+    def test_start_relabelled_to_zero(self):
+        chain = chain_from_edges(
+            [("a", "b", Fraction(1)), ("b", "a", Fraction(1))]
+        )
+        sparse = sparse_chain_from_markov(chain, "b", event=lambda s: s == "a")
+        assert sparse.states[0] == "b"
+        assert sparse.initial_index == 0
+        assert sparse.event_mask.tolist() == [False, True]
+        assert sparse.matrix[0, 1] == 1.0
+
+    def test_unknown_start_raises(self):
+        chain = chain_from_edges([("a", "a", Fraction(1))])
+        with pytest.raises(MarkovChainError):
+            sparse_chain_from_markov(chain, "zzz")
+
+    def test_max_out_degree(self):
+        chain = chain_from_edges(
+            [(0, 1, Fraction(1, 2)), (0, 2, Fraction(1, 2)),
+             (1, 1, Fraction(1)), (2, 2, Fraction(1))]
+        )
+        sparse = sparse_chain_from_markov(chain, 0)
+        assert sparse.max_out_degree == 2
+        assert sparse.nnz == 4

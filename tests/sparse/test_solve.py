@@ -1,0 +1,123 @@
+"""Certified solves: values match the exact solvers within the bound."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import MarkovChainError
+from repro.markov.absorption import long_run_event_probability
+from repro.markov.chain import chain_from_edges
+from repro.sparse import solve_long_run, sparse_chain_from_markov
+
+import numpy as np
+from scipy import sparse as sp
+
+from repro.sparse.assemble import SparseChain
+
+
+def _gamblers_ruin(n: int, p_down: Fraction):
+    edges = []
+    for i in range(1, n):
+        edges.append((i, i - 1, p_down))
+        edges.append((i, i + 1, 1 - p_down))
+    edges.append((0, 0, Fraction(1)))
+    edges.append((n, n, Fraction(1)))
+    return chain_from_edges(edges)
+
+
+class TestIrreducible:
+    def test_cycle_stationary_event_mass(self):
+        chain = chain_from_edges(
+            [(i, (i + 1) % 4, Fraction(1, 2)) for i in range(4)]
+            + [(i, (i + 3) % 4, Fraction(1, 2)) for i in range(4)]
+        )
+        sparse = sparse_chain_from_markov(chain, 0, event=lambda s: s == 2)
+        value, certificate, structure = solve_long_run(sparse, epsilon=1e-9)
+        assert structure["irreducible"]
+        assert certificate.satisfies()
+        assert abs(value - 0.25) <= certificate.bound <= 1e-9
+
+    def test_periodic_block_converges_via_lazification(self):
+        chain = chain_from_edges([(0, 1, Fraction(1)), (1, 0, Fraction(1))])
+        sparse = sparse_chain_from_markov(chain, 0, event=lambda s: s == 1)
+        value, certificate, _ = solve_long_run(sparse, epsilon=1e-9)
+        assert abs(value - 0.5) <= certificate.bound <= 1e-9
+
+
+class TestAbsorbing:
+    def test_gamblers_ruin_matches_exact(self):
+        chain = _gamblers_ruin(10, Fraction(45, 100))
+        exact = long_run_event_probability(chain, 5, lambda s: s == 10)
+        sparse = sparse_chain_from_markov(chain, 5, event=lambda s: s == 10)
+        value, certificate, structure = solve_long_run(sparse, epsilon=1e-9)
+        assert structure["leaf_sccs"] == 2
+        assert certificate.satisfies()
+        assert abs(value - float(exact)) <= certificate.bound
+
+    def test_large_chain_exercises_krylov(self):
+        """Above TINY_DIRECT_SIZE the transient block goes to Krylov."""
+        chain = _gamblers_ruin(300, Fraction(55, 100))
+        exact = long_run_event_probability(chain, 150, lambda s: s == 0)
+        sparse = sparse_chain_from_markov(chain, 150, event=lambda s: s == 0)
+        value, certificate, _ = solve_long_run(sparse, epsilon=1e-9)
+        assert certificate.satisfies()
+        assert abs(value - float(exact)) <= certificate.bound
+        assert certificate.iterations > 0
+
+    def test_start_interval_composes_absorption_and_stationary(self):
+        # two leaf cycles with different event mass, reached 50/50
+        edges = [
+            ("t", "a0", Fraction(1, 2)), ("t", "b0", Fraction(1, 2)),
+            ("a0", "a1", Fraction(1)), ("a1", "a0", Fraction(1)),
+            ("b0", "b0", Fraction(1)),
+        ]
+        chain = chain_from_edges(edges)
+        event = lambda s: s in ("a0", "b0")  # noqa: E731
+        exact = long_run_event_probability(chain, "t", event)
+        sparse = sparse_chain_from_markov(chain, "t", event=event)
+        value, certificate, structure = solve_long_run(sparse, epsilon=1e-9)
+        assert structure["leaf_sccs"] == 2
+        assert structure["transient_states"] == 1
+        assert abs(value - float(exact)) <= certificate.bound
+
+
+class TestContract:
+    def test_refusal_is_reported_not_raised(self):
+        chain = _gamblers_ruin(10, Fraction(1, 2))
+        sparse = sparse_chain_from_markov(chain, 5, event=lambda s: s == 10)
+        value, certificate, _ = solve_long_run(sparse, epsilon=1e-300)
+        assert not certificate.satisfies()
+        exact = long_run_event_probability(chain, 5, lambda s: s == 10)
+        # the answer is still within the (dissatisfied) bound
+        assert abs(value - float(exact)) <= certificate.bound
+
+    def test_nonstochastic_rows_raise_typed_error(self):
+        matrix = sp.csr_matrix(
+            np.array([[0.5, 0.2], [0.0, 1.0]])
+        )
+        broken = SparseChain(
+            matrix=matrix,
+            states=[0, 1],
+            event_mask=np.array([False, True]),
+        )
+        with pytest.raises(MarkovChainError) as excinfo:
+            solve_long_run(broken, epsilon=1e-6)
+        assert excinfo.value.details["row"] == 0
+
+    def test_bad_epsilon_raises(self):
+        chain = chain_from_edges([(0, 0, Fraction(1))])
+        sparse = sparse_chain_from_markov(chain, 0)
+        with pytest.raises(MarkovChainError):
+            solve_long_run(sparse, epsilon=0.0)
+
+    def test_certificate_payload_round_trips(self):
+        chain = _gamblers_ruin(6, Fraction(1, 3))
+        sparse = sparse_chain_from_markov(chain, 3, event=lambda s: s == 6)
+        _, certificate, _ = solve_long_run(sparse, epsilon=1e-9)
+        payload = certificate.as_dict()
+        assert payload["satisfied"] is True
+        assert payload["epsilon"] == 1e-9
+        assert payload["bound"] >= 0.0
+        assert payload["solver"]

@@ -256,9 +256,13 @@ class TestResourceLimits:
         )
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["probability"] == "1/3"
+        # the auto ladder's first fallback is the certified sparse rung
+        assert abs(payload["probability_float"] - 1 / 3) <= (
+            payload["certificate"]["bound"]
+        )
+        assert payload["certificate"]["satisfied"] is True
         assert payload["downgrades"][0]["from"] == "exact"
-        assert payload["downgrades"][0]["to"] == "lumped"
+        assert payload["downgrades"][0]["to"] == "sparse"
 
     def test_checkpoint_resume_matches_uninterrupted(
         self, workspace, capsys, tmp_path
