@@ -606,6 +606,103 @@ def bench_sparse(h: Harness) -> None:
                   f"solve ({large_s:.2f}s median)")
 
 
+def _walker_family(quick: bool):
+    """Independent lazy walkers, one relation per walker: the static
+    planner splits them, monolithic evaluation pays the product chain."""
+    return ((2, 4), (3, 3), (2, 6)) if quick else ((2, 6), (3, 4), (2, 10))
+
+
+def _walker_problem(walkers: int, size: int):
+    from repro.core import ForeverQuery, Interpretation, TupleIn
+    from repro.core.events import AndEvent
+    from repro.relational import (
+        Database, Relation, join, project, rel, rename, repair_key,
+    )
+
+    edges = cycle_graph(size).edge_relation()
+    relations = {}
+    queries = {}
+    factors = []
+    for i in range(walkers):
+        walker, graph = f"W{i}", f"E{i}"
+        relations[walker] = Relation(("I",), [("n0",)])
+        relations[graph] = edges
+        queries[walker] = rename(
+            project(
+                repair_key(join(rel(walker), rel(graph)), ("I",), "P"), "J"
+            ),
+            J="I",
+        )
+        factors.append(TupleIn(walker, (f"n{size // 2}",)))
+    event = factors[0]
+    for factor in factors[1:]:
+        event = AndEvent(event, factor)
+    return ForeverQuery(Interpretation(queries), event), Database(relations)
+
+
+def bench_partition(h: Harness) -> None:
+    print("partition planner — static decomposition vs monolithic exact")
+    from repro.analysis.partition import compute_partition_plan
+    from repro.runtime import evaluate_partitioned
+
+    speedups = []
+    plan_s = part_s = 0.0
+    for walkers, size in _walker_family(h.quick):
+        label = f"{walkers}x{size}"
+        query, db = _walker_problem(walkers, size)
+
+        plan_s, plan = timed(
+            lambda: compute_partition_plan(
+                query.kernel, database=db, semantics="forever"
+            ),
+            h.rounds,
+        )
+        h.check(f"partition_plan_splits_{label}",
+                plan.splittable and len(plan.components) == walkers,
+                f"{len(plan.components)} components for {walkers} walkers "
+                f"(planned in {plan_s * 1e3:.1f} ms)")
+
+        whole_s, whole = timed(
+            lambda: evaluate_forever_exact(query, db, max_states=200_000),
+            h.rounds,
+        )
+        part_s, part = timed(
+            lambda: evaluate_partitioned(
+                query, db, plan, max_states=200_000
+            ),
+            h.rounds,
+        )
+        h.check(f"partition_bit_identical_{label}",
+                part.probability == whole.probability
+                and part.method == "partition-exact",
+                f"partitioned == monolithic == {whole.probability} "
+                f"({part.states_explored} vs {whole.states_explored} states)")
+        speedup = whole_s / part_s if part_s else float("inf")
+        speedups.append(speedup)
+        h.record(f"partition_{label}", part_s,
+                 checksum({"probability": part.probability}),
+                 monolithic_s=round(whole_s, 6),
+                 states=part.states_explored,
+                 monolithic_states=whole.states_explored,
+                 speedup=round(speedup, 3))
+
+    # Pruning: an event touching one walker must skip the others.
+    query, db = _walker_problem(3, 4)
+    from repro.core import ForeverQuery, TupleIn
+    pruned_query = ForeverQuery(query.kernel, TupleIn("W0", ("n2",)))
+    result = evaluate_partitioned(pruned_query, db, max_states=200_000)
+    h.check("partition_prunes_untouched_components",
+            len(result.details["pruned"]) == 2,
+            f"event on W0 pruned {result.details['pruned']}")
+
+    h.record("partition_plan_3x4", plan_s,
+             checksum({"components": 3}), note="planner wall-clock only")
+    median_speedup = statistics.median(speedups)
+    h.target("partition_family_median", median_speedup, 2.0,
+             enforced=not h.quick,
+             note="partitioned exact vs monolithic exact, family median")
+
+
 def bench_tracing(h: Harness) -> None:
     print("observability — disabled-tracer overhead + per-phase timings")
     from repro.obs import MemorySink, Tracer
@@ -696,6 +793,7 @@ def main(argv: list[str] | None = None) -> int:
     bench_supervisor(h, cores)
     bench_solver(h)
     bench_sparse(h)
+    bench_partition(h)
     bench_tracing(h)
 
     report = {

@@ -35,20 +35,41 @@ from repro.analysis.diagnostics import (
     SourceSpan,
     severity_of,
 )
-from repro.analysis.graph import DepEdge, DependencyGraph, accumulates
+from repro.analysis.graph import (
+    DepEdge,
+    DependencyGraph,
+    accumulates,
+    coupling_edges,
+    expression_references,
+)
 from repro.analysis.hints import PlanHints
 from repro.analysis.kernel import check_kernel
+from repro.analysis.partition import (
+    DEFAULT_EXACT_BUDGET,
+    ComponentFacts,
+    PartitionPlan,
+    PartitionSummary,
+    compute_partition_plan,
+    partition_diagnostics,
+)
+from repro.analysis.sarif import SARIF_SCHEMA_URI, SARIF_VERSION, sarif_report
 
 __all__ = [
     "AnalysisResult",
     "CODES",
+    "ComponentFacts",
+    "DEFAULT_EXACT_BUDGET",
     "DepEdge",
     "DependencyGraph",
     "Diagnostic",
     "DiagnosticReport",
     "ERROR",
     "HINT",
+    "PartitionPlan",
+    "PartitionSummary",
     "PlanHints",
+    "SARIF_SCHEMA_URI",
+    "SARIF_VERSION",
     "SEMANTICS",
     "SEVERITIES",
     "SourceSpan",
@@ -59,5 +80,10 @@ __all__ = [
     "analyze_source",
     "check_kernel",
     "check_rules",
+    "compute_partition_plan",
+    "coupling_edges",
+    "expression_references",
+    "partition_diagnostics",
+    "sarif_report",
     "severity_of",
 ]

@@ -24,6 +24,11 @@ from repro.analysis.datalog import check_rules
 from repro.analysis.diagnostics import DiagnosticReport, SourceSpan
 from repro.analysis.hints import PlanHints
 from repro.analysis.kernel import check_kernel
+from repro.analysis.partition import (
+    PartitionPlan,
+    compute_partition_plan,
+    partition_diagnostics,
+)
 from repro.errors import ReproError
 
 if TYPE_CHECKING:
@@ -48,6 +53,7 @@ class AnalysisResult:
     database: "Database | None" = None
     pc_tables: "PCDatabase | None" = None
     event: "TupleIn | None" = None
+    partition: PartitionPlan | None = None
     diagnostics_extra: dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -60,6 +66,8 @@ class AnalysisResult:
         payload["semantics"] = self.semantics
         if self.hints is not None:
             payload["plan_hints"] = self.hints.as_dict()
+        if self.partition is not None:
+            payload["partition"] = self.partition.as_dict()
         return payload
 
 
@@ -150,6 +158,26 @@ def _analyze_kernel(source: str, result: AnalysisResult) -> None:
         result.hints = PlanHints.for_kernel(
             kernel, event=result.event, semantics=result.semantics
         )
+        _attach_partition(result)
+
+
+def _attach_partition(result: AnalysisResult) -> None:
+    """Run the partition planner on an error-free kernel analysis and
+    fold its findings into the report and the plan hints."""
+    from dataclasses import replace
+
+    if result.kernel is None or result.semantics not in ("forever", "inflationary"):
+        return
+    plan = compute_partition_plan(
+        result.kernel,
+        database=result.database,
+        event=result.event,
+        semantics=result.semantics,
+    )
+    result.partition = plan
+    partition_diagnostics(plan, result.report)
+    if result.hints is not None:
+        result.hints = replace(result.hints, partition=plan.summary())
 
 
 def analyze_program(
@@ -203,6 +231,7 @@ def analyze_kernel(
     )
     if not report.has_errors:
         result.hints = PlanHints.for_kernel(kernel, event=event, semantics=semantics)
+        _attach_partition(result)
     return result
 
 

@@ -22,6 +22,9 @@ Code families:
     Dead code relative to the query event.
 ``PH``
     Plan hints and plan-level warnings the engine can exploit.
+``PP``
+    Partition-planner findings: static program decomposition into
+    provenance-independent components (Section 5.1 as a planner).
 """
 
 from __future__ import annotations
@@ -66,6 +69,11 @@ CODES: dict[str, tuple[str, str]] = {
     "PH004": (HINT, "linear datalog program"),
     "PH005": (HINT, "kernel not eligible for the columnar backend"),
     "PH006": (HINT, "program not eligible for the sparse certified rung"),
+    "PP001": (HINT, "program splits into independent components"),
+    "PP002": (WARNING, "component state bound exceeds the exact budget"),
+    "PP003": (WARNING, "cross-component negation prevents a finer split"),
+    "PP004": (WARNING, "shared pc-table variables couple components"),
+    "PP005": (HINT, "event confined to one component"),
 }
 
 
@@ -144,7 +152,7 @@ class Diagnostic:
 class DiagnosticReport:
     """An ordered collection of diagnostics with severity roll-ups."""
 
-    def __init__(self, diagnostics: Iterable[Diagnostic] = ()):
+    def __init__(self, diagnostics: Iterable[Diagnostic] = ()) -> None:
         self._diagnostics: list[Diagnostic] = list(diagnostics)
 
     def add(

@@ -18,7 +18,7 @@ negation treatment in Alviano et al.'s generative-datalog follow-up).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import AbstractSet, Iterable, Mapping, Sequence
 
 from repro.datalog.ast import Rule
 from repro.relational.algebra import (
@@ -43,7 +43,7 @@ class DepEdge:
 class DependencyGraph:
     """Directed multigraph over predicate/relation names."""
 
-    def __init__(self, nodes: Iterable[str], edges: Iterable[DepEdge]):
+    def __init__(self, nodes: Iterable[str], edges: Iterable[DepEdge]) -> None:
         self.nodes: frozenset[str] = frozenset(nodes)
         self.edges: tuple[DepEdge, ...] = tuple(edges)
         self._successors: dict[str, set[str]] = {node: set() for node in self.nodes}
@@ -196,6 +196,45 @@ def _children(expression: Expression) -> list[Expression]:
         if isinstance(value, Expression):
             children.append(value)
     return children
+
+
+def expression_references(
+    expression: Expression,
+) -> list[tuple[str, bool, bool]]:
+    """``(relation, polarity, under-repair-key)`` triples for every
+    relation reference inside ``expression`` — the public face of the
+    edge walk :meth:`DependencyGraph.from_queries` performs, used by the
+    partition planner to classify couplings without building a graph."""
+    return _references(expression)
+
+
+def coupling_edges(
+    queries: Mapping[str, Expression], dynamic: AbstractSet[str]
+) -> list[DepEdge]:
+    """Dependency edges between *dynamic* relations.
+
+    The partition planner treats these as undirected couplings: when the
+    query for one rewritten relation reads another rewritten relation
+    (any polarity, through any operator), the two must be evaluated in
+    the same component — their per-step values are not independent.
+    References to relations outside ``dynamic`` (static relations the
+    kernel never rewrites) are dropped: a shared read-only relation
+    never correlates two components."""
+    edges: list[DepEdge] = []
+    for name in sorted(queries):
+        if name not in dynamic:
+            continue
+        for dst, positive, probabilistic in _references(queries[name]):
+            if dst in dynamic and dst != name:
+                edges.append(
+                    DepEdge(
+                        src=name,
+                        dst=dst,
+                        positive=positive,
+                        probabilistic=probabilistic,
+                    )
+                )
+    return edges
 
 
 def accumulates(expression: Expression, name: str) -> bool:

@@ -16,7 +16,11 @@ degradation ladder consult them before choosing an evaluation strategy:
   typically transient and MCMC needs adequate burn-in;
 * ``sparse_eligible`` — the query can take the sparse certified rung
   (forever semantics, genuinely probabilistic kernel); ``False`` lets
-  the degradation ladder drop that rung up front (``PH006``).
+  the degradation ladder drop that rung up front (``PH006``);
+* ``partition`` — the partition planner's event-independent
+  :class:`~repro.analysis.partition.PartitionSummary` (``None`` when the
+  planner did not run, e.g. datalog semantics); ``repro lint --json``
+  and service admission stats report the identical payload.
 """
 
 from __future__ import annotations
@@ -25,6 +29,9 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.analysis.graph import accumulates
+
+if TYPE_CHECKING:
+    from repro.analysis.partition import PartitionSummary
 
 if TYPE_CHECKING:
     from repro.core.events import TupleIn
@@ -43,6 +50,7 @@ class PlanHints:
     possibly_non_absorbing: bool = False
     columnar_eligible: bool | None = None
     sparse_eligible: bool | None = None
+    partition: "PartitionSummary | None" = None
 
     def as_dict(self) -> dict[str, object]:
         payload: dict[str, object] = {
@@ -56,6 +64,8 @@ class PlanHints:
             payload["columnar_eligible"] = self.columnar_eligible
         if self.sparse_eligible is not None:
             payload["sparse_eligible"] = self.sparse_eligible
+        if self.partition is not None:
+            payload["partition"] = self.partition.as_dict()
         return payload
 
     @classmethod

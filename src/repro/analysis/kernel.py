@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from fractions import Fraction
 from numbers import Rational
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, Iterator, Mapping
 
 from repro.analysis.diagnostics import DiagnosticReport, SourceSpan
 from repro.analysis.graph import DependencyGraph, accumulates
@@ -253,7 +253,7 @@ def _check_weight_values(
                 return
 
 
-def _walk_nodes(expression: Expression):
+def _walk_nodes(expression: Expression) -> Iterator[Expression]:
     yield expression
     for child in expression.children():
         yield from _walk_nodes(child)

@@ -1,0 +1,680 @@
+"""Partition planner: static program decomposition (Section 5.1).
+
+The paper's provenance-based partitioning observes that a forever-query
+over independent sub-programs factorizes: the induced Markov chain is a
+*product* chain, so the event probability can be computed per component
+and recombined by independence instead of exploring the product state
+space.  The dynamic form of that optimisation lives in
+:mod:`repro.core.evaluation.partitioning` (tuple-level provenance
+classes discovered at run time).  This module is its *static*
+counterpart: a pure analysis over the kernel's dependency structure
+that decides, **before evaluation starts**, how a program splits and
+what each part will cost.
+
+Terminology
+-----------
+
+dynamic relation
+    A relation the kernel actually rewrites: a non-identity query
+    (``R := R`` lines are documentation, not work) or an attached
+    pc-table relation (re-instantiated every step).
+
+component
+    A connected component of the undirected coupling graph over dynamic
+    relations.  Two dynamic relations couple when one's query references
+    the other (any polarity — a negative reference correlates values
+    just as a positive one does) or when their pc-tables share random
+    variables.  *Static* relations never couple components: a shared
+    read-only input is the same constant in every world.
+
+Every claim the planner makes is checkable statically:
+
+* components share no repair-key provenance by construction (a
+  repair-key choice made inside one component's queries is invisible to
+  the other components' queries);
+* the per-component state bound is a sound over-approximation of the
+  reachable sub-chain (see ``_relation_bound``), provided no query
+  references a dynamic relation negatively — difference is antitone in
+  its right operand, so the support fixpoint would not over-approximate;
+  bounds are disabled (``None``) in that case;
+* recombination by independence is exact for the product chain whenever
+  each component's own Cesàro limit exists (always for aperiodic
+  components, e.g. lazy kernels); the parity gates in
+  ``tests/runtime/test_partition_exec.py`` and ``bench_partition``
+  enforce bit-identity against whole-program evaluation.
+
+Findings are published as ``PP0xx`` diagnostics (catalogue in
+``docs/analysis.md``); the machine-facing summary rides on
+:class:`~repro.analysis.hints.PlanHints` into ``repro lint --json`` and
+the service admission stats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping
+
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.analysis.graph import coupling_edges, expression_references
+from repro.relational.algebra import (
+    Difference,
+    Expression,
+    ExtendedProject,
+    Literal,
+    NaturalJoin,
+    Product,
+    Project,
+    RelationRef,
+    Rename,
+    RepairKey,
+    Select,
+    Union,
+    evaluate,
+)
+
+if TYPE_CHECKING:
+    from repro.core.events import TupleIn
+    from repro.core.interpretation import Interpretation
+    from repro.relational.database import Database
+    from repro.relational.relation import Relation
+
+#: Default exact-rung state budget the planner judges bounds against —
+#: the CLI's ``forever --max-states`` default (``DEFAULT_MAX_STATES``).
+DEFAULT_EXACT_BUDGET = 20_000
+
+#: State bounds larger than this are reported as ``None`` (effectively
+#: unbounded: no exact budget in this codebase comes anywhere near it).
+_BOUND_CAP = 10**15
+
+#: A relation whose support exceeds this many rows gets no subset bound
+#: (``2**n`` would blow past :data:`_BOUND_CAP` anyway).
+_SUBSET_BOUND_MAX_ROWS = 50
+
+_SUPPORT_MAX_ITERATIONS = 512
+_SUPPORT_MAX_ROWS = 100_000
+
+
+@dataclass(frozen=True)
+class ComponentFacts:
+    """Abstract facts about one independent component of a program.
+
+    All facts are derived statically; ``state_bound`` additionally needs
+    the initial database (``None`` means the planner could not bound the
+    component — never that the component is small).
+    """
+
+    index: int
+    name: str
+    members: tuple[str, ...]
+    footprint: tuple[str, ...]
+    repair_keys: int
+    deterministic: bool
+    pc_free: bool
+    sparse_eligible: bool
+    columnar_eligible: bool
+    state_bound: int | None
+    contains_event: bool | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "name": self.name,
+            "members": list(self.members),
+            "footprint": list(self.footprint),
+            "repair_keys": self.repair_keys,
+            "deterministic": self.deterministic,
+            "pc_free": self.pc_free,
+            "sparse_eligible": self.sparse_eligible,
+            "columnar_eligible": self.columnar_eligible,
+            "state_bound": self.state_bound,
+        }
+        if self.contains_event is not None:
+            payload["contains_event"] = self.contains_event
+        return payload
+
+
+@dataclass(frozen=True)
+class PartitionSummary:
+    """The event-independent distillation of a plan for ``PlanHints``.
+
+    Deliberately excludes everything the query event contributes, so the
+    summary a ``repro lint --json`` run reports matches the one service
+    admission (which sees no event) attaches to its stats bit-for-bit.
+    """
+
+    components: int
+    splittable: bool
+    bounded: bool
+    exact_components: int
+    oversized_components: int
+    max_state_bound: int | None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "components": self.components,
+            "splittable": self.splittable,
+            "bounded": self.bounded,
+            "exact_components": self.exact_components,
+            "oversized_components": self.oversized_components,
+            "max_state_bound": self.max_state_bound,
+        }
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """The planner's full output for one program."""
+
+    semantics: str
+    components: tuple[ComponentFacts, ...]
+    exact_budget: int
+    bounded: bool
+    negation_bridges: tuple[tuple[str, str], ...] = ()
+    pc_couplings: tuple[tuple[str, str], ...] = ()
+    event_relation: str | None = None
+    event_component: str | None = None
+
+    @property
+    def splittable(self) -> bool:
+        return len(self.components) >= 2
+
+    def component_of(self, relation: str) -> ComponentFacts | None:
+        """The component whose *members* include ``relation``."""
+        for component in self.components:
+            if relation in component.members:
+                return component
+        return None
+
+    def summary(self) -> PartitionSummary:
+        bounds = [c.state_bound for c in self.components]
+        known = [b for b in bounds if b is not None]
+        return PartitionSummary(
+            components=len(self.components),
+            splittable=self.splittable,
+            bounded=self.bounded,
+            exact_components=sum(
+                1 for b in bounds if b is not None and b <= self.exact_budget
+            ),
+            oversized_components=sum(
+                1 for b in bounds if b is not None and b > self.exact_budget
+            ),
+            max_state_bound=max(known) if known and len(known) == len(bounds) else None,
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "semantics": self.semantics,
+            "splittable": self.splittable,
+            "exact_budget": self.exact_budget,
+            "bounded": self.bounded,
+            "components": [c.as_dict() for c in self.components],
+        }
+        if self.negation_bridges:
+            payload["negation_bridges"] = [list(pair) for pair in self.negation_bridges]
+        if self.pc_couplings:
+            payload["pc_couplings"] = [list(pair) for pair in self.pc_couplings]
+        if self.event_relation is not None:
+            payload["event_relation"] = self.event_relation
+            payload["event_component"] = self.event_component
+        return payload
+
+    def render_lines(self) -> list[str]:
+        """Human-readable plan, one line per component, for lint output."""
+        lines = [
+            f"partition: {len(self.components)} component(s), "
+            f"splittable={str(self.splittable).lower()}, "
+            f"exact budget {self.exact_budget}"
+        ]
+        for component in self.components:
+            bound = (
+                str(component.state_bound)
+                if component.state_bound is not None
+                else "unknown"
+            )
+            flags = []
+            if component.deterministic:
+                flags.append("deterministic")
+            if component.sparse_eligible:
+                flags.append("sparse")
+            if component.columnar_eligible:
+                flags.append("columnar")
+            if component.contains_event:
+                flags.append("event")
+            lines.append(
+                f"  {component.name}: members={','.join(component.members)} "
+                f"bound={bound} repair_keys={component.repair_keys}"
+                + (f" [{','.join(flags)}]" if flags else "")
+            )
+        return lines
+
+
+def compute_partition_plan(
+    kernel: "Interpretation",
+    *,
+    database: "Database | None" = None,
+    event: "TupleIn | None" = None,
+    semantics: str = "forever",
+    exact_budget: int = DEFAULT_EXACT_BUDGET,
+) -> PartitionPlan:
+    """Statically decompose ``kernel`` into independent components.
+
+    ``database`` enables the conservative per-component state bound (the
+    support fixpoint needs the initial instance); ``event`` marks the
+    component that contains the event relation.  Neither changes the
+    partition itself.
+    """
+    queries = kernel.queries
+    pc_names = set(kernel.pc_relation_names())
+    dynamic = {
+        name
+        for name, expression in queries.items()
+        if not _is_identity(name, expression)
+    } | pc_names
+
+    uf = _UnionFind(dynamic)
+    for edge in coupling_edges(queries, dynamic):
+        uf.union(edge.src, edge.dst)
+
+    # pc-tables sharing random variables are correlated even without any
+    # query-level dependency; record the pairs that merge otherwise
+    # separate groups (PP004) before folding them into the partition.
+    pc_couplings: list[tuple[str, str]] = []
+    if kernel.pc_tables is not None:
+        variables_of = {
+            name: table.variables() for name, table in kernel.pc_tables.tables.items()
+        }
+        for left, right in combinations(sorted(variables_of), 2):
+            if variables_of[left] & variables_of[right]:
+                if uf.find(left) != uf.find(right):
+                    pc_couplings.append((left, right))
+                uf.union(left, right)
+
+    groups = uf.groups()
+
+    # PP003: would ignoring negative couplings split the program finer?
+    uf_positive = _UnionFind(dynamic)
+    for edge in coupling_edges(queries, dynamic):
+        if edge.positive:
+            uf_positive.union(edge.src, edge.dst)
+    for left, right in pc_couplings:
+        uf_positive.union(left, right)
+    negation_bridges: list[tuple[str, str]] = []
+    if len(uf_positive.groups()) > len(groups):
+        seen: set[tuple[str, str]] = set()
+        for edge in coupling_edges(queries, dynamic):
+            if edge.positive:
+                continue
+            if uf_positive.find(edge.src) != uf_positive.find(edge.dst):
+                pair = (edge.src, edge.dst)
+                if pair not in seen:
+                    seen.add(pair)
+                    negation_bridges.append(pair)
+
+    bounds, bounded = _state_bounds(kernel, dynamic, pc_names, database)
+
+    components: list[ComponentFacts] = []
+    event_component: str | None = None
+    for index, members in enumerate(groups):
+        name = f"c{index}"
+        facts = _component_facts(
+            index,
+            name,
+            members,
+            kernel,
+            pc_names,
+            bounds,
+            event=event,
+            semantics=semantics,
+        )
+        if facts.contains_event:
+            event_component = name
+        components.append(facts)
+
+    return PartitionPlan(
+        semantics=semantics,
+        components=tuple(components),
+        exact_budget=exact_budget,
+        bounded=bounded,
+        negation_bridges=tuple(negation_bridges),
+        pc_couplings=tuple(pc_couplings),
+        event_relation=event.relation if event is not None else None,
+        event_component=event_component,
+    )
+
+
+def partition_diagnostics(plan: PartitionPlan, report: DiagnosticReport) -> None:
+    """Append the plan's ``PP0xx`` findings to ``report``."""
+    if plan.splittable:
+        preview = "; ".join(
+            f"{c.name}={{{','.join(c.members)}}}" for c in plan.components
+        )
+        report.add(
+            "PP001",
+            f"the program splits into {len(plan.components)} independent "
+            f"components that share no repair-key provenance ({preview}); "
+            "each can be evaluated on its own cheapest rung and the event "
+            "probability recombined by independence",
+            suggestion="evaluate with --partition auto to run components "
+            "independently",
+        )
+    for component in plan.components:
+        if component.state_bound is not None and component.state_bound > plan.exact_budget:
+            report.add(
+                "PP002",
+                f"component {component.name} "
+                f"({','.join(component.members)}) has a conservative state "
+                f"bound of {component.state_bound}, above the exact budget "
+                f"of {plan.exact_budget}; its exact rung will overflow",
+                subject=component.name,
+                suggestion="raise --max-states or let the degradation "
+                "ladder pick the sparse/lumped/mcmc rung for this component",
+            )
+    if plan.negation_bridges:
+        bridges = ", ".join(f"{src} -> {dst}" for src, dst in plan.negation_bridges)
+        report.add(
+            "PP003",
+            "cross-component negation prevents a finer split: the only "
+            f"couplings between otherwise independent groups are negative "
+            f"references ({bridges}), and difference correlates values "
+            "just as a join does",
+            suggestion="stratify: compute the subtracted relation in a "
+            "separate phase so the components decouple",
+        )
+    if plan.pc_couplings:
+        pairs = ", ".join(f"{a}~{b}" for a, b in plan.pc_couplings)
+        report.add(
+            "PP004",
+            "pc-tables sharing random variables couple otherwise "
+            f"independent components ({pairs}): their instantiations are "
+            "correlated, so the groups cannot be evaluated separately",
+            suggestion="give the pc-tables disjoint variable sets if "
+            "independence is intended",
+        )
+    if plan.splittable and plan.event_component is not None:
+        others = len(plan.components) - 1
+        report.add(
+            "PP005",
+            f"the event relation {plan.event_relation!r} is confined to "
+            f"component {plan.event_component}; the other {others} "
+            "component(s) cannot influence the answer and are pruned by "
+            "partitioned evaluation",
+            subject=plan.event_relation,
+            suggestion="run with --partition auto to skip the pruned "
+            "components entirely",
+        )
+
+
+# -- component facts ----------------------------------------------------------
+
+
+def _component_facts(
+    index: int,
+    name: str,
+    members: tuple[str, ...],
+    kernel: "Interpretation",
+    pc_names: set[str],
+    bounds: Mapping[str, int | None],
+    *,
+    event: "TupleIn | None",
+    semantics: str,
+) -> ComponentFacts:
+    queries = kernel.queries
+    footprint = set(members)
+    repair_keys = 0
+    deterministic = True
+    for member in members:
+        if member in pc_names:
+            table = kernel.pc_tables.tables[member] if kernel.pc_tables else None
+            if table is not None and table.variables():
+                deterministic = False
+            continue
+        expression = queries[member]
+        footprint.update(ref for ref, _pos, _prob in expression_references(expression))
+        repair_keys += sum(
+            1 for node in _walk_expression(expression) if isinstance(node, RepairKey)
+        )
+        if not expression.is_deterministic():
+            deterministic = False
+
+    pc_members = [m for m in members if m in pc_names]
+    pc_free = not any(
+        kernel.pc_tables is not None
+        and kernel.pc_tables.tables[m].variables()
+        for m in pc_members
+    )
+
+    if pc_members:
+        columnar_eligible = False
+    else:
+        from repro.core.interpretation import Interpretation
+        from repro.kernel import kernel_ineligibility
+
+        sub_kernel = Interpretation({m: queries[m] for m in members})
+        columnar_eligible = not kernel_ineligibility(sub_kernel)
+
+    state_bound: int | None = None
+    if not pc_members:
+        state_bound = _product([bounds.get(m) for m in members])
+
+    return ComponentFacts(
+        index=index,
+        name=name,
+        members=members,
+        footprint=tuple(sorted(footprint)),
+        repair_keys=repair_keys,
+        deterministic=deterministic,
+        pc_free=pc_free,
+        sparse_eligible=semantics == "forever" and not deterministic,
+        columnar_eligible=columnar_eligible,
+        state_bound=state_bound,
+        contains_event=(event.relation in members) if event is not None else None,
+    )
+
+
+# -- conservative state bounds ------------------------------------------------
+
+
+def _state_bounds(
+    kernel: "Interpretation",
+    dynamic: set[str],
+    pc_names: set[str],
+    database: "Database | None",
+) -> tuple[dict[str, int | None], bool]:
+    """Per-relation bounds on the number of values each dynamic relation
+    can take along any run, from the support fixpoint.
+
+    Soundness: strip every ``repair-key`` (its output rows are a subset
+    of its input rows, and the operator is schema-preserving), then the
+    kernel is deterministic and — absent negative references to dynamic
+    relations — *monotone*, so iterating it inflationarily from the
+    initial database reaches a fixpoint ``support`` with the invariant
+    that every reachable runtime value of relation ``R`` is a subset of
+    ``support[R]``.  That gives the generic subset bound ``2**|support|``;
+    a repair-key node sharpens it to the product over its static key
+    groups of ``candidates + 1`` (each group contributes one chosen row
+    or nothing).  Returns ``({}, False)`` when no bound can be computed.
+    """
+    if database is None:
+        return {}, False
+    targets = {name for name in dynamic if name not in pc_names}
+    if not targets:
+        return {}, False
+    for name in targets:
+        for ref, positive, _prob in expression_references(kernel.queries[name]):
+            if not positive and ref in dynamic:
+                # Difference is antitone in its right operand: the
+                # support fixpoint would not over-approximate.
+                return {}, False
+    support = _support_fixpoint(kernel, targets, database)
+    if support is None:
+        return {}, False
+    bounds: dict[str, int | None] = {}
+    for name in targets:
+        bounds[name] = _relation_bound(name, kernel.queries[name], support, dynamic)
+    return bounds, True
+
+
+def _support_fixpoint(
+    kernel: "Interpretation",
+    targets: set[str],
+    database: "Database",
+) -> "Database | None":
+    stripped = {
+        name: _strip_repair_keys(kernel.queries[name]) for name in sorted(targets)
+    }
+    state = database
+    try:
+        for _ in range(_SUPPORT_MAX_ITERATIONS):
+            updates: dict[str, "Relation"] = {}
+            for name, expression in stripped.items():
+                updates[name] = evaluate(expression, state).union(state[name])
+            next_state = state.with_relations(updates)
+            if next_state == state:
+                return state
+            if next_state.total_rows() > _SUPPORT_MAX_ROWS:
+                return None
+            state = next_state
+    except Exception:
+        # A malformed query (caught separately by the schema checks)
+        # simply yields no bound; the planner never raises.
+        return None
+    return None
+
+
+def _relation_bound(
+    name: str,
+    expression: Expression,
+    support: "Database",
+    dynamic: set[str],
+) -> int | None:
+    structural = _value_bound(expression, support, dynamic)
+    subset = _subset_bound(support, name)
+    candidates = [b for b in (structural, subset) if b is not None]
+    return min(candidates) if candidates else None
+
+
+def _value_bound(
+    expression: Expression,
+    support: "Database",
+    dynamic: set[str],
+) -> int | None:
+    """Bound on the number of distinct values ``expression`` can produce
+    across all reachable runtime states (``None`` = no bound found)."""
+    if isinstance(expression, RelationRef):
+        if expression.name in dynamic:
+            return _subset_bound(support, expression.name)
+        return 1
+    if isinstance(expression, Literal):
+        return 1
+    if isinstance(expression, RepairKey):
+        try:
+            rows = evaluate(_strip_repair_keys(expression.child), support)
+        except Exception:
+            return None
+        indices = [rows.column_index(column) for column in expression.key]
+        groups: dict[tuple[Any, ...], int] = {}
+        for row in rows:
+            key = tuple(row[i] for i in indices)
+            groups[key] = groups.get(key, 0) + 1
+        bound = 1
+        for count in groups.values():
+            bound *= count + 1
+            if bound > _BOUND_CAP:
+                return None
+        return bound
+    if isinstance(expression, (Select, Project, Rename, ExtendedProject)):
+        return _value_bound(expression.child, support, dynamic)
+    if isinstance(expression, (Union, Difference, Product, NaturalJoin)):
+        left = _value_bound(expression.left, support, dynamic)
+        right = _value_bound(expression.right, support, dynamic)
+        return _product([left, right])
+    return None
+
+
+def _subset_bound(support: "Database", name: str) -> int | None:
+    if name not in support.names():
+        return None
+    size = len(support[name])
+    if size > _SUBSET_BOUND_MAX_ROWS:
+        return None
+    return 2**size
+
+
+def _strip_repair_keys(expression: Expression) -> Expression:
+    """The same expression with every ``repair-key`` replaced by its
+    child — sound for support computation because the operator is
+    schema-preserving and its output rows are a subset of its input."""
+    if isinstance(expression, RepairKey):
+        return _strip_repair_keys(expression.child)
+    if isinstance(expression, (RelationRef, Literal)):
+        return expression
+    if isinstance(expression, Select):
+        return Select(_strip_repair_keys(expression.child), expression.predicate)
+    if isinstance(expression, Project):
+        return Project(_strip_repair_keys(expression.child), expression.columns)
+    if isinstance(expression, Rename):
+        return Rename(_strip_repair_keys(expression.child), expression.mapping)
+    if isinstance(expression, ExtendedProject):
+        return ExtendedProject(_strip_repair_keys(expression.child), expression.outputs)
+    if isinstance(expression, (Union, Difference, Product, NaturalJoin)):
+        return type(expression)(
+            _strip_repair_keys(expression.left),
+            _strip_repair_keys(expression.right),
+        )
+    return expression
+
+
+def _product(factors: Iterable[int | None]) -> int | None:
+    result = 1
+    for factor in factors:
+        if factor is None:
+            return None
+        result *= factor
+        if result > _BOUND_CAP:
+            return None
+    return result
+
+
+# -- helpers ------------------------------------------------------------------
+
+
+def _is_identity(name: str, expression: Expression) -> bool:
+    return isinstance(expression, RelationRef) and expression.name == name
+
+
+def _walk_expression(expression: Expression) -> Iterator[Expression]:
+    yield expression
+    for child in expression.children():
+        yield from _walk_expression(child)
+
+
+class _UnionFind:
+    """Plain union-find over relation names, deterministic grouping."""
+
+    def __init__(self, items: Iterable[str]) -> None:
+        self._parent: dict[str, str] = {item: item for item in items}
+
+    def find(self, item: str) -> str:
+        parent = self._parent
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        while parent[item] != root:
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, left: str, right: str) -> None:
+        root_left, root_right = self.find(left), self.find(right)
+        if root_left != root_right:
+            # Deterministic representative: the lexicographically smaller
+            # root wins, so grouping never depends on insertion order.
+            if root_right < root_left:
+                root_left, root_right = root_right, root_left
+            self._parent[root_right] = root_left
+
+    def groups(self) -> list[tuple[str, ...]]:
+        """Members per component, each sorted, components sorted by
+        their first member."""
+        by_root: dict[str, list[str]] = {}
+        for item in self._parent:
+            by_root.setdefault(self.find(item), []).append(item)
+        return sorted(tuple(sorted(members)) for members in by_root.values())

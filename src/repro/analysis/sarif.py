@@ -1,0 +1,106 @@
+"""SARIF 2.1.0 rendering of analyzer reports.
+
+`SARIF <https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>`_
+is the interchange format code-scanning UIs (GitHub code scanning, VS
+Code SARIF viewer, ...) ingest.  One analyzer run maps onto it directly:
+
+* every registry code becomes a ``reportingDescriptor`` (rule) with a
+  stable ``id`` — the registry guarantees codes never change meaning;
+* every :class:`~repro.analysis.diagnostics.Diagnostic` becomes a
+  ``result`` with ``ruleId``, a SARIF level (``error`` / ``warning`` /
+  ``note`` for hints), the message, and — when the finding carries a
+  source span — a physical location with a 1-based region.
+
+``repro lint --sarif`` emits this document; CI runs it over
+``examples/programs/`` and uploads the artifact.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.analysis.diagnostics import CODES, ERROR, WARNING, Diagnostic
+
+if TYPE_CHECKING:
+    from repro.analysis.analyze import AnalysisResult
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_TOOL_NAME = "repro-lint"
+_INFO_URI = "https://github.com/paper-repro/repro"
+
+#: Registry severity -> SARIF ``level``.
+_LEVELS = {ERROR: "error", WARNING: "warning"}
+
+
+def _rule_descriptor(code: str) -> dict[str, Any]:
+    severity, title = CODES[code]
+    return {
+        "id": code,
+        "name": code,
+        "shortDescription": {"text": title},
+        "defaultConfiguration": {"level": _LEVELS.get(severity, "note")},
+        "helpUri": f"{_INFO_URI}/blob/main/docs/analysis.md#{code.lower()}",
+    }
+
+
+def _result(diagnostic: Diagnostic, artifact_uri: str) -> dict[str, Any]:
+    message = diagnostic.message
+    if diagnostic.suggestion:
+        message += f" (fix: {diagnostic.suggestion})"
+    payload: dict[str, Any] = {
+        "ruleId": diagnostic.code,
+        "level": _LEVELS.get(diagnostic.severity, "note"),
+        "message": {"text": message},
+    }
+    location: dict[str, Any] = {
+        "physicalLocation": {"artifactLocation": {"uri": artifact_uri}}
+    }
+    if diagnostic.span is not None:
+        location["physicalLocation"]["region"] = {
+            "startLine": diagnostic.span.line,
+            "startColumn": diagnostic.span.column,
+        }
+    payload["locations"] = [location]
+    if diagnostic.subject is not None:
+        payload["properties"] = {"subject": diagnostic.subject}
+    return payload
+
+
+def sarif_report(
+    result: "AnalysisResult",
+    *,
+    artifact_uri: str = "<program>",
+    tool_version: str | None = None,
+) -> dict[str, Any]:
+    """One SARIF 2.1.0 log document for one analysis run.
+
+    The rule table always lists the *entire* registry (sorted by code),
+    not just the codes that fired — stable ids are the contract scanning
+    UIs key their state on.
+    """
+    driver: dict[str, Any] = {
+        "name": _TOOL_NAME,
+        "informationUri": _INFO_URI,
+        "rules": [_rule_descriptor(code) for code in sorted(CODES)],
+    }
+    if tool_version is not None:
+        driver["version"] = tool_version
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {"driver": driver},
+                "artifacts": [{"location": {"uri": artifact_uri}}],
+                "results": [
+                    _result(diagnostic, artifact_uri)
+                    for diagnostic in result.report
+                ],
+            }
+        ],
+    }

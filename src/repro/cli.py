@@ -179,6 +179,19 @@ def _parallel_config(args: argparse.Namespace):
     return ParallelConfig(workers=workers)
 
 
+def _add_partition_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--partition",
+        choices=("auto", "off"),
+        default="off",
+        help="statically decompose the program into provenance-independent "
+        "components ('repro lint' finding PP001), evaluate each on its own "
+        "cheapest rung, and recombine the event probability by independence; "
+        "falls back to whole-program evaluation when the planner finds a "
+        "single component or the event does not decompose",
+    )
+
+
 def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace",
@@ -339,9 +352,84 @@ def _sparse_payload(result) -> dict:
     return payload
 
 
+def _try_partition(args: argparse.Namespace, context: RunContext, query, db):
+    """The ``--partition auto`` path: plan statically, execute per
+    component, recombine by independence.
+
+    Returns the payload, or ``None`` when partitioning was not requested
+    or does not apply (single component, undecomposable event) — the
+    caller then runs the whole-program evaluator as usual.
+    """
+    if getattr(args, "partition", "off") != "auto":
+        return None
+    from repro.analysis import analyze_kernel
+    from repro.core.events import TupleIn
+    from repro.runtime import can_partition, evaluate_partitioned
+
+    semantics = "inflationary" if isinstance(query, InflationaryQuery) else "forever"
+    analysis = analyze_kernel(
+        query.kernel,
+        database=db,
+        event=query.event if isinstance(query.event, TupleIn) else None,
+        semantics=semantics,
+    )
+    plan = analysis.partition
+    if plan is None or not can_partition(plan, query.event):
+        context.record_event(
+            "partition requested but the program does not split; "
+            "using whole-program evaluation"
+        )
+        return None
+    policy = None
+    if semantics == "forever":
+        policy = DegradationPolicy(
+            mode=args.fallback,
+            sparse_epsilon=args.epsilon if args.epsilon is not None else 1e-6,
+            mcmc_epsilon=args.epsilon or 0.1,
+            mcmc_delta=args.delta,
+            mcmc_samples=args.samples,
+            mcmc_burn_in=args.burn_in,
+            mcmc_cache_size=args.cache_size,
+        )
+    prefer_sparse = getattr(args, "backend", None) == "sparse"
+    result = evaluate_partitioned(
+        query,
+        db,
+        plan,
+        max_states=args.max_states,
+        policy=policy,
+        context=context,
+        seed=args.seed,
+        backend=None if prefer_sparse else getattr(args, "backend", None),
+        prefer_sparse=prefer_sparse,
+        workers=getattr(args, "workers", 1),
+    )
+    if hasattr(result, "estimate"):
+        payload = {
+            "mode": f"partitioned ({result.method})",
+            "estimate": result.estimate,
+            "samples": result.samples,
+            "epsilon": result.epsilon,
+            "delta": result.delta,
+        }
+    else:
+        payload = _exact_payload(result)
+    payload["partition_components"] = len(plan.components)
+    payload["partition_evaluated"] = len(result.details["components"])
+    if result.details["pruned"]:
+        payload["partition_pruned"] = ",".join(result.details["pruned"])
+    report = context.report()
+    if report.downgrades:
+        payload["downgrades"] = [d.as_dict() for d in report.downgrades]
+    return payload
+
+
 def _command_forever(args: argparse.Namespace, context: RunContext) -> dict:
     kernel, db, event = _load_kernel_and_event(args, context)
     query = ForeverQuery(kernel, event)
+    partitioned = _try_partition(args, context, query, db)
+    if partitioned is not None:
+        return partitioned
     prefer_sparse = args.backend == "sparse"
     if args.fallback != "none" or prefer_sparse:
         from repro.analysis import PlanHints
@@ -424,6 +512,9 @@ def _command_forever(args: argparse.Namespace, context: RunContext) -> dict:
 def _command_inflationary(args: argparse.Namespace, context: RunContext) -> dict:
     kernel, db, event = _load_kernel_and_event(args, context)
     query = InflationaryQuery(kernel, event)
+    partitioned = _try_partition(args, context, query, db)
+    if partitioned is not None:
+        return partitioned
     if _wants_sampling(args):
         result = evaluate_inflationary_sampling(
             query,
@@ -548,12 +639,28 @@ def _command_lint(args: argparse.Namespace, context: RunContext) -> dict:
     )
     if result.report.has_errors:
         args._exit_code = 1
+    if args.sarif:
+        from repro.analysis import sarif_report
+
+        print(
+            json.dumps(
+                sarif_report(
+                    result, artifact_uri=args.program, tool_version=__version__
+                ),
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return {}
     if args.json:
         payload = result.as_dict()
         payload["program"] = args.program
         return payload
     for line in result.report.render_lines(args.program):
         print(line)
+    if result.partition is not None:
+        for line in result.partition.render_lines():
+            print(line)
     report = result.report
     summary: dict = {
         "semantics": semantics,
@@ -810,7 +917,7 @@ def _submit_body(args: argparse.Namespace) -> dict:
         key: getattr(args, key)
         for key in (
             "samples", "epsilon", "delta", "seed", "max_states",
-            "burn_in", "workers", "cache_size", "backend",
+            "burn_in", "workers", "cache_size", "backend", "partition",
         )
         if getattr(args, key) is not None
     }
@@ -932,6 +1039,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "outgrows --max-states or a certified solve refuses, instead of "
         "failing (downgrades are reported)",
     )
+    _add_partition_argument(forever)
     forever.add_argument(
         "--checkpoint",
         metavar="PATH",
@@ -958,6 +1066,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     inflationary.add_argument("--db", required=True)
     inflationary.add_argument("--event", required=True)
     inflationary.add_argument("--max-states", type=int, default=100_000)
+    _add_partition_argument(inflationary)
     _add_sampling_arguments(inflationary)
     _add_budget_arguments(inflationary)
     _add_perf_arguments(inflationary)
@@ -999,6 +1108,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--event",
         default=None,
         help="query event; enables dead-rule/reachability checks",
+    )
+    lint.add_argument(
+        "--sarif",
+        action="store_true",
+        help="emit the report as a SARIF 2.1.0 document (for code-scanning "
+        "UIs; takes precedence over --json)",
     )
     lint.set_defaults(handler=_command_lint)
 
@@ -1140,6 +1255,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--backend", choices=("frozenset", "columnar", "sparse"), default=None,
         help="execution backend (forever/inflationary; 'sparse' is "
         "forever-only)",
+    )
+    submit.add_argument(
+        "--partition", choices=("auto", "off"), default=None,
+        help="ask the service to evaluate provenance-independent components "
+        "separately and recombine by independence (forever/inflationary)",
     )
     submit.add_argument("--timeout", type=float, default=None, help="per-job wall-clock budget")
     submit.add_argument("--max-steps", type=int, default=None, help="per-job step budget")

@@ -39,6 +39,11 @@ from repro.runtime.context import (
     ensure_context,
 )
 from repro.runtime.degradation import DegradationPolicy, evaluate_forever_resilient
+from repro.runtime.partition_exec import (
+    ComponentOutcome,
+    can_partition,
+    evaluate_partitioned,
+)
 from repro.runtime.retry import (
     CHUNK_RETRY,
     HTTP_RETRY,
@@ -53,6 +58,7 @@ __all__ = [
     "CHECKPOINT_VERSION",
     "CHUNK_RETRY",
     "Checkpoint",
+    "ComponentOutcome",
     "DegradationPolicy",
     "Downgrade",
     "HTTP_RETRY",
@@ -61,8 +67,10 @@ __all__ = [
     "RetryPolicy",
     "RunContext",
     "RunReport",
+    "can_partition",
     "ensure_context",
     "evaluate_forever_resilient",
+    "evaluate_partitioned",
     "idempotency_key",
     "is_retryable",
     "load_checkpoint",

@@ -58,7 +58,7 @@ class _PhaseScope:
 
     __slots__ = ("_context", "_name", "_span")
 
-    def __init__(self, context: "RunContext", name: str, attrs: dict):
+    def __init__(self, context: "RunContext", name: str, attrs: dict) -> None:
         self._context = context
         self._name = name
         self._span = context.tracer.span(name, **attrs)
@@ -192,7 +192,7 @@ class RunContext:
         tracer: Tracer | NullTracer | None = None,
         metrics: Any = None,
         run_id: str | None = None,
-    ):
+    ) -> None:
         self.budget = budget if budget is not None else Budget.unlimited()
         self._clock = clock
         self._started = clock()

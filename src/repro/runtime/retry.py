@@ -64,7 +64,7 @@ def retry_after_hint(error: BaseException) -> float | None:
     if hint is None and isinstance(error, ReproError):
         hint = error.details.get("retry_after")
     try:
-        value = float(hint)  # type: ignore[arg-type]
+        value = float(hint)
     except (TypeError, ValueError):
         return None
     return value if value >= 0 else None

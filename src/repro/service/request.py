@@ -41,8 +41,11 @@ PRIORITIES = ("high", "normal")
 _COMMON_PARAMS = frozenset({"epsilon", "delta", "samples", "seed", "max_states"})
 _PARAMS = {
     "forever": _COMMON_PARAMS
-    | {"mcmc", "lumped", "fallback", "burn_in", "workers", "cache_size", "backend"},
-    "inflationary": _COMMON_PARAMS | {"workers", "cache_size", "backend"},
+    | {
+        "mcmc", "lumped", "fallback", "burn_in", "workers", "cache_size",
+        "backend", "partition",
+    },
+    "inflationary": _COMMON_PARAMS | {"workers", "cache_size", "backend", "partition"},
     "datalog": _COMMON_PARAMS,
 }
 
@@ -155,6 +158,11 @@ class QueryRequest:
         _require(
             self.params.get("backend") != "sparse" or self.semantics == "forever",
             "backend 'sparse' applies to forever-queries only",
+        )
+        _require(
+            self.params.get("partition") in (None, "auto", "off"),
+            f"unknown partition mode {self.params.get('partition')!r}; "
+            "expected 'auto' or 'off'",
         )
         _require(isinstance(self.budget, Mapping), "budget must be a JSON object")
         bad_budget = sorted(set(self.budget) - _BUDGET_KEYS)

@@ -391,6 +391,61 @@ class EngineSession:
             return None
         return self._cache
 
+    def _evaluate_partitioned(
+        self,
+        query,
+        params: Mapping[str, Any],
+        max_states: int,
+        context: RunContext | None,
+    ) -> dict | None:
+        """The ``partition: "auto"`` path (``PP001``).
+
+        Executes the admission-time partition plan: each independent
+        component on its own rung, recombined by independence.  Returns
+        ``None`` when the plan does not apply (single component, event
+        does not decompose) — the caller evaluates whole-program.
+        """
+        from repro.runtime.partition_exec import can_partition, evaluate_partitioned
+
+        plan = self.analysis.partition if self.analysis is not None else None
+        if plan is None or not can_partition(plan, query.event):
+            return None
+        policy = None
+        if not isinstance(query, InflationaryQuery):
+            policy = DegradationPolicy(
+                mode=params.get("fallback") or "none",
+                sparse_epsilon=params.get("epsilon") or 1e-6,
+                mcmc_epsilon=params.get("epsilon") or 0.1,
+                mcmc_delta=params.get("delta") or 0.05,
+                mcmc_samples=params.get("samples"),
+                mcmc_burn_in=params.get("burn_in"),
+                mcmc_cache_size=params.get("cache_size"),
+            )
+        prefer_sparse = params.get("backend") == "sparse"
+        result = evaluate_partitioned(
+            query,
+            self.database,
+            plan,
+            max_states=max_states,
+            policy=policy,
+            context=context,
+            seed=params.get("seed"),
+            backend="columnar" if params.get("backend") == "columnar" else None,
+            prefer_sparse=prefer_sparse,
+            workers=params.get("workers") or 1,
+        )
+        payload = result_payload(result)
+        payload["partition"] = {
+            "components": len(plan.components),
+            "evaluated": len(result.details["components"]),
+            "pruned": list(result.details["pruned"]),
+        }
+        if context is not None:
+            downgrades = context.report().downgrades
+            if downgrades:
+                payload["downgrades"] = [d.as_dict() for d in downgrades]
+        return payload
+
     def _evaluate_forever(
         self, request: QueryRequest, context: RunContext | None
     ) -> dict:
@@ -404,6 +459,12 @@ class EngineSession:
         query = ForeverQuery(self.kernel, parse_event(request.event))
         initial = self.database
         max_states = params.get("max_states") or 20_000
+        if params.get("partition") == "auto":
+            partitioned = self._evaluate_partitioned(
+                query, params, max_states, context
+            )
+            if partitioned is not None:
+                return partitioned
         fallback = params.get("fallback") or "none"
         cache = self._walk_cache(params)
         backend_param: str | None = None
@@ -507,6 +568,12 @@ class EngineSession:
         params = request.params
         query = InflationaryQuery(self.kernel, parse_event(request.event))
         initial = self.database
+        if params.get("partition") == "auto":
+            partitioned = self._evaluate_partitioned(
+                query, params, params.get("max_states") or 100_000, context
+            )
+            if partitioned is not None:
+                return partitioned
         cache = self._walk_cache(params)
         backend_param: str | None = None
         used_columnar = False

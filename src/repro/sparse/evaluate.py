@@ -31,7 +31,7 @@ from repro.errors import SolveRefusedError
 from repro.obs.trace import phase_scope
 from repro.relational.database import Database
 from repro.sparse.assemble import assemble_sparse_chain
-from repro.sparse.certificate import CertifiedResult
+from repro.sparse.certificate import CertifiedResult, SolveCertificate
 from repro.sparse.solve import solve_long_run
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
@@ -46,7 +46,11 @@ __all__ = ["evaluate_forever_sparse", "DEFAULT_SPARSE_EPSILON"]
 DEFAULT_SPARSE_EPSILON = 1e-6
 
 
-def _observe(context: "RunContext | None", certificate, outcome: str) -> None:
+def _observe(
+    context: "RunContext | None",
+    certificate: SolveCertificate,
+    outcome: str,
+) -> None:
     metrics = getattr(context, "metrics", None) if context is not None else None
     if metrics is None:
         return

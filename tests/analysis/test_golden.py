@@ -6,9 +6,17 @@ grammars) declaring what the analyzer must say about it::
 
     %! semantics: inflationary      -- optional; default from extension
     %! db: walk.db.json             -- optional database, relative path
+    %! pc: pc_shared.json           -- optional pc-tables, relative path
+    %! api: row-predicate C I       -- optional API-only construct wrap
     %! event: C(b)                  -- optional query event
     %! expect: RK001                -- this code must be reported
     %! absent: SF001                -- this code must NOT be reported
+
+A ``pc:`` or ``api:`` directive marks a shape the textual grammars
+cannot express (pc-tables attached to a kernel; an opaque
+:class:`RowPredicate`): the harness parses the kernel, rebuilds the
+:class:`Interpretation` accordingly, and analyzes via
+:func:`analyze_kernel` instead of :func:`analyze_source`.
 
 A file with no error-level ``expect`` directive must analyze without
 error-level diagnostics, so every ``clean_*`` / ``ph*`` file doubles as
@@ -32,10 +40,10 @@ GOLDEN = Path(__file__).parent / "golden"
 PROGRAMS = sorted(GOLDEN.glob("*.ra")) + sorted(GOLDEN.glob("*.dl"))
 
 #: Codes whose triggering shape the parsers reject, so no golden file
-#: can express them; they are covered programmatically below.
-#: (PH005 fires on opaque RowPredicate selections, an API-only escape
-#: hatch — every predicate the grammar can produce is vectorizable.)
-PARSE_BLOCKED = {"SF003", "SF004", "PH005"}
+#: can express them; they are covered programmatically below.  (PH005
+#: fires on opaque RowPredicate selections, an API-only escape hatch —
+#: golden files reach it through the ``api:`` directive.)
+PARSE_BLOCKED = {"SF003", "SF004"}
 
 
 def load_case(path: Path) -> dict:
@@ -44,6 +52,8 @@ def load_case(path: Path) -> dict:
         "source": source,
         "semantics": "forever" if path.suffix == ".ra" else "datalog",
         "db": None,
+        "pc": None,
+        "api": None,
         "event": None,
         "expect": [],
         "absent": [],
@@ -55,24 +65,56 @@ def load_case(path: Path) -> dict:
         key, value = key.strip(), value.strip()
         if key in ("expect", "absent"):
             case[key].append(value)
-        elif key in ("semantics", "event"):
+        elif key in ("semantics", "event", "api"):
             case[key] = value
-        elif key == "db":
-            case["db"] = json.loads((GOLDEN / value).read_text(encoding="utf-8"))
+        elif key in ("db", "pc"):
+            case[key] = json.loads((GOLDEN / value).read_text(encoding="utf-8"))
         else:  # pragma: no cover - defensive
             raise ValueError(f"{path.name}: unknown directive {key!r}")
     return case
 
 
+def _analyze_case(case: dict):
+    """Analyze a golden case, routing through the kernel API when the
+    case uses a shape the textual grammar cannot express."""
+    if case["pc"] is None and case["api"] is None:
+        return analyze_source(
+            case["semantics"],
+            case["source"],
+            database=case["db"],
+            event=case["event"],
+        )
+
+    from repro.analysis import analyze_kernel
+    from repro.core.events import parse_event
+    from repro.core.interpretation import Interpretation
+    from repro.io import database_from_json, pc_database_from_json
+    from repro.relational.algebra import Select
+    from repro.relational.parser import parse_interpretation
+    from repro.relational.predicates import RowPredicate
+
+    kernel = parse_interpretation(case["source"])
+    queries = dict(kernel.queries)
+    if case["api"] is not None:
+        action, relation, *columns = case["api"].split()
+        assert action == "row-predicate", case["api"]
+        queries[relation] = Select(
+            queries[relation], RowPredicate(lambda row: True, tuple(columns))
+        )
+    pc_tables = pc_database_from_json(case["pc"]) if case["pc"] is not None else None
+    kernel = Interpretation(queries, pc_tables=pc_tables)
+    return analyze_kernel(
+        kernel,
+        database=database_from_json(case["db"]) if case["db"] is not None else None,
+        event=parse_event(case["event"]) if case["event"] is not None else None,
+        semantics=case["semantics"],
+    )
+
+
 @pytest.mark.parametrize("path", PROGRAMS, ids=lambda p: p.name)
 def test_golden_program(path: Path):
     case = load_case(path)
-    result = analyze_source(
-        case["semantics"],
-        case["source"],
-        database=case["db"],
-        event=case["event"],
-    )
+    result = _analyze_case(case)
     reported = set(result.report.codes())
     for code in case["expect"]:
         assert code in reported, (
@@ -94,6 +136,18 @@ def test_every_code_has_a_triggering_case():
     for path in PROGRAMS:
         covered.update(load_case(path)["expect"])
     assert covered == set(CODES)
+
+
+def test_every_pp_ph_code_has_a_golden_file():
+    """Partition (PP) and plan-hint (PH) codes must each be pinned by a
+    golden file — not merely a programmatic test — so the human-readable
+    corpus documents every planner diagnostic."""
+    golden_expects = set()
+    for path in PROGRAMS:
+        golden_expects.update(load_case(path)["expect"])
+    planner_codes = {c for c in CODES if c.startswith(("PP", "PH"))}
+    missing = sorted(planner_codes - golden_expects)
+    assert not missing, f"planner codes without a golden file: {missing}"
 
 
 def test_error_spans_point_into_the_source():

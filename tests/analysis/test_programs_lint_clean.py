@@ -31,6 +31,7 @@ EXAMPLE_CASES = [
     ("random_walk.ra", "forever", "random_walk.db.json", "C(b)"),
     ("reachability.dl", "datalog", "reachability.db.json", "c(c)"),
     ("deterministic_reach.ra", "inflationary", "deterministic_reach.db.json", "C(c)"),
+    ("two_walkers.ra", "forever", "two_walkers.db.json", "C(b)"),
 ]
 
 

@@ -1,0 +1,160 @@
+"""SARIF 2.1.0 output: structural validity, stable ids, CLI wiring.
+
+The full OASIS schema is not vendored (no network in CI), so validation
+here is two-layered: a hand-written subset schema capturing the
+properties scanning UIs actually key on (checked with ``jsonschema``),
+plus direct assertions for the contracts the subset schema cannot
+express (rule-table completeness, id stability).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import CODES, analyze_source, sarif_report
+from repro.cli import main
+
+jsonschema = pytest.importorskip("jsonschema")
+
+#: Subset of the SARIF 2.1.0 schema: the required skeleton plus the
+#: fields GitHub code scanning requires of every result.
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"const": "2.1.0"},
+        "$schema": {"type": "string"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name", "rules"],
+                                "properties": {
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": [
+                                                "id", "shortDescription",
+                                                "defaultConfiguration",
+                                            ],
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["ruleId", "level", "message"],
+                            "properties": {
+                                "level": {
+                                    "enum": ["error", "warning", "note"]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+WALK = "C := rename[J->I](project[J](repair-key[I@P](C join E)))\n"
+BAD = "C := rename[J->I](project[J](repair-key[K@P](C join E)))\n"
+DB = {
+    "relations": {
+        "C": {"columns": ["I"], "rows": [["a"]]},
+        "E": {
+            "columns": ["I", "J", "P"],
+            "rows": [["a", "b", 1], ["b", "a", 1], ["a", "a", 1]],
+        },
+    }
+}
+
+
+def report_for(source: str) -> dict:
+    result = analyze_source("forever", source, database=DB, event="C(b)")
+    return sarif_report(result, artifact_uri="walk.ra", tool_version="0.0-test")
+
+
+class TestDocumentShape:
+    def test_validates_against_subset_schema(self):
+        jsonschema.validate(report_for(WALK), SARIF_SUBSET_SCHEMA)
+        jsonschema.validate(report_for(BAD), SARIF_SUBSET_SCHEMA)
+
+    def test_rule_table_is_the_whole_registry_sorted(self):
+        rules = report_for(WALK)["runs"][0]["tool"]["driver"]["rules"]
+        ids = [rule["id"] for rule in rules]
+        assert ids == sorted(CODES)
+        assert len(ids) == len(set(ids))
+
+    def test_every_result_references_a_listed_rule(self):
+        doc = report_for(BAD)
+        run = doc["runs"][0]
+        listed = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert run["results"], "the RK001 program must produce results"
+        for result in run["results"]:
+            assert result["ruleId"] in listed
+
+    def test_error_result_carries_level_and_region(self):
+        run = report_for(BAD)["runs"][0]
+        rk = [r for r in run["results"] if r["ruleId"] == "RK001"]
+        assert rk and rk[0]["level"] == "error"
+        region = rk[0]["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1
+        assert region["startColumn"] >= 1
+
+    def test_partition_hints_surface_as_notes(self):
+        two = WALK + "D := rename[J->I](project[J](repair-key[I@P](D join E)))\n"
+        db = {"relations": dict(DB["relations"],
+                                D={"columns": ["I"], "rows": [["b"]]})}
+        result = analyze_source("forever", two, database=db, event="C(b)")
+        doc = sarif_report(result)
+        fired = {r["ruleId"] for r in doc["runs"][0]["results"]}
+        assert "PP001" in fired
+        pp001 = next(
+            r for r in doc["runs"][0]["results"] if r["ruleId"] == "PP001"
+        )
+        assert pp001["level"] == "note"
+
+
+class TestCli:
+    def test_lint_sarif_emits_valid_json(self, tmp_path, capsys):
+        program = tmp_path / "walk.ra"
+        program.write_text(WALK, encoding="utf-8")
+        db = tmp_path / "db.json"
+        db.write_text(json.dumps(DB), encoding="utf-8")
+        assert main([
+            "lint", str(program), "--db", str(db), "--event", "C(b)", "--sarif",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        jsonschema.validate(doc, SARIF_SUBSET_SCHEMA)
+        assert doc["runs"][0]["artifacts"][0]["location"]["uri"] == str(program)
+
+    def test_lint_sarif_keeps_the_error_exit_code(self, tmp_path, capsys):
+        program = tmp_path / "bad.ra"
+        program.write_text(BAD, encoding="utf-8")
+        db = tmp_path / "db.json"
+        db.write_text(json.dumps(DB), encoding="utf-8")
+        assert main(["lint", str(program), "--db", str(db), "--sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        levels = {r["level"] for r in doc["runs"][0]["results"]}
+        assert "error" in levels

@@ -1,0 +1,244 @@
+"""Parity suite for partitioned evaluation (static-plan executor).
+
+The load-bearing property: for every event shape the splitter accepts,
+``evaluate_partitioned`` is **bit-identical** to whole-program exact
+evaluation.  The recombination is only sound when the components are
+independent — which the plan certifies — so any drift here means either
+the planner or the recombination algebra is wrong.
+
+The walkers are *lazy* (self-loops on every node), keeping each
+component's chain aperiodic so its Cesàro limit exists — the standing
+assumption of both this and the dynamic Section 5.1 partitioner.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import analyze_kernel
+from repro.analysis.partition import compute_partition_plan
+from repro.core import ForeverQuery, Interpretation
+from repro.core.evaluation import evaluate_forever_exact
+from repro.core.evaluation.exact_inflationary import evaluate_inflationary_exact
+from repro.core.evaluation.results import ExactResult, SamplingResult
+from repro.core.events import (
+    AndEvent,
+    ExpressionEvent,
+    NotEvent,
+    OrEvent,
+    RelationNonEmpty,
+    TupleIn,
+)
+from repro.core.queries import InflationaryQuery
+from repro.errors import EvaluationError
+from repro.relational import (
+    Database,
+    Relation,
+    join,
+    project,
+    rel,
+    rename,
+    repair_key,
+    union,
+)
+from repro.runtime import (
+    DegradationPolicy,
+    RunContext,
+    can_partition,
+    evaluate_partitioned,
+)
+
+
+def walk_step(name: str):
+    return rename(
+        project(repair_key(join(rel(name), rel("E")), ("I",), "P"), "J"), J="I"
+    )
+
+
+@pytest.fixture
+def two_walkers():
+    """Two independent lazy walkers C and D on a shared static graph E."""
+    kernel = Interpretation({"C": walk_step("C"), "D": walk_step("D")})
+    db = Database(
+        {
+            "C": Relation(("I",), [("a",)]),
+            "D": Relation(("I",), [("b",)]),
+            "E": Relation(
+                ("I", "J", "P"),
+                [
+                    ("a", "a", 1), ("a", "b", 1),
+                    ("b", "b", 1), ("b", "a", 1),
+                ],
+            ),
+        }
+    )
+    return kernel, db
+
+
+def plan_for(kernel, db, event=None, semantics="forever"):
+    plan = compute_partition_plan(
+        kernel, database=db, event=event, semantics=semantics
+    )
+    assert plan.splittable
+    return plan
+
+
+EVENTS = {
+    "single": TupleIn("C", ("b",)),
+    "and": AndEvent(TupleIn("C", ("b",)), TupleIn("D", ("a",))),
+    "or": OrEvent(TupleIn("C", ("b",)), TupleIn("D", ("a",))),
+    "negated": AndEvent(TupleIn("C", ("b",)), NotEvent(TupleIn("D", ("a",)))),
+    "static-and": AndEvent(TupleIn("C", ("b",)), RelationNonEmpty("E")),
+    "static-or": OrEvent(TupleIn("C", ("b",)), NotEvent(RelationNonEmpty("E"))),
+}
+
+
+class TestForeverParity:
+    @pytest.mark.parametrize("name", sorted(EVENTS), ids=sorted(EVENTS))
+    def test_bit_identical_to_monolithic(self, two_walkers, name):
+        kernel, db = two_walkers
+        event = EVENTS[name]
+        query = ForeverQuery(kernel, event)
+        whole = evaluate_forever_exact(query, db)
+        part = evaluate_partitioned(query, db, plan_for(kernel, db))
+        assert isinstance(part, ExactResult)
+        assert part.probability == whole.probability  # exact Fractions
+        assert part.method == "partition-exact"
+
+    def test_pruning_shrinks_the_state_space(self, two_walkers):
+        kernel, db = two_walkers
+        query = ForeverQuery(kernel, TupleIn("C", ("b",)))
+        whole = evaluate_forever_exact(query, db)
+        part = evaluate_partitioned(query, db, plan_for(kernel, db))
+        assert part.details["pruned"]  # D's component never ran
+        assert part.states_explored < whole.states_explored
+
+    def test_known_value(self, two_walkers):
+        kernel, db = two_walkers
+        result = evaluate_partitioned(
+            ForeverQuery(
+                kernel, AndEvent(TupleIn("C", ("b",)), TupleIn("D", ("a",)))
+            ),
+            db,
+            plan_for(kernel, db),
+        )
+        # Symmetric lazy walkers: each is at either node with Cesàro
+        # probability 1/2; independence gives 1/4.
+        assert result.probability == Fraction(1, 4)
+
+    def test_context_reports_partition_method(self, two_walkers):
+        kernel, db = two_walkers
+        context = RunContext()
+        evaluate_partitioned(
+            ForeverQuery(kernel, TupleIn("C", ("b",))),
+            db,
+            plan_for(kernel, db),
+            context=context,
+        )
+        report = context.report()
+        assert report.outcome == "ok"
+        assert report.method == "partition-exact"
+
+
+class TestInflationaryParity:
+    def test_bit_identical_to_monolithic(self, two_walkers):
+        _, db = two_walkers
+        # Accumulating walkers (Definition 3.4 requires a growing world).
+        kernel = Interpretation(
+            {
+                "C": union(rel("C"), walk_step("C")),
+                "D": union(rel("D"), walk_step("D")),
+            }
+        )
+        event = AndEvent(TupleIn("C", ("b",)), TupleIn("D", ("a",)))
+        query = InflationaryQuery(kernel, event)
+        whole = evaluate_inflationary_exact(query, db)
+        part = evaluate_partitioned(
+            query, db, plan_for(kernel, db, semantics="inflationary")
+        )
+        assert isinstance(part, ExactResult)
+        assert part.probability == whole.probability
+
+
+class TestParallelParity:
+    def test_pool_path_bit_identical_to_serial(self, two_walkers):
+        kernel, db = two_walkers
+        query = ForeverQuery(
+            kernel, OrEvent(TupleIn("C", ("b",)), TupleIn("D", ("a",)))
+        )
+        plan = plan_for(kernel, db)
+        serial = evaluate_partitioned(query, db, plan, workers=1)
+        pooled = evaluate_partitioned(query, db, plan, workers=2)
+        assert pooled.probability == serial.probability
+        assert pooled.details["components"] == serial.details["components"]
+
+
+class TestRefusals:
+    def test_cross_component_factor_is_refused(self, two_walkers):
+        kernel, db = two_walkers
+        joint = ExpressionEvent(join(rel("C"), rel("D")))
+        plan = plan_for(kernel, db)
+        assert not can_partition(plan, joint)
+        with pytest.raises(EvaluationError, match="spans components"):
+            evaluate_partitioned(ForeverQuery(kernel, joint), db, plan)
+
+    def test_unsplittable_program_is_refused(self, two_walkers):
+        _, db = two_walkers
+        coupled = Interpretation(
+            {"C": walk_step("C"), "D": join(rel("D"), project(rel("C"), "I"))}
+        )
+        plan = compute_partition_plan(coupled, database=db, semantics="forever")
+        assert not plan.splittable
+        event = TupleIn("C", ("b",))
+        assert not can_partition(plan, event)
+        with pytest.raises(EvaluationError, match="splittable"):
+            evaluate_partitioned(ForeverQuery(coupled, event), db, plan)
+
+
+class TestMixedRungs:
+    def test_degraded_components_sum_error_bounds(self, two_walkers):
+        kernel, db = two_walkers
+        event = AndEvent(TupleIn("C", ("b",)), TupleIn("D", ("a",)))
+        query = ForeverQuery(kernel, event)
+        policy = DegradationPolicy(mode="mcmc", mcmc_epsilon=0.2, mcmc_delta=0.1)
+        result = evaluate_partitioned(
+            ForeverQuery(kernel, event),
+            db,
+            plan_for(kernel, db),
+            max_states=1,  # exact rung cannot fit either component
+            policy=policy,
+            seed=7,
+        )
+        assert isinstance(result, SamplingResult)
+        assert result.method == "partition-mixed"
+        assert abs(result.estimate - 0.25) < 0.2
+        # union bound over two degraded components
+        assert result.epsilon == pytest.approx(0.4)
+        assert result.delta == pytest.approx(0.2)
+
+    def test_seeded_runs_are_reproducible(self, two_walkers):
+        kernel, db = two_walkers
+        event = TupleIn("C", ("b",))
+        policy = DegradationPolicy(mode="mcmc", mcmc_samples=200)
+        kwargs = dict(max_states=1, policy=policy, seed=11)
+        plan = plan_for(kernel, db)
+        first = evaluate_partitioned(ForeverQuery(kernel, event), db, plan, **kwargs)
+        second = evaluate_partitioned(ForeverQuery(kernel, event), db, plan, **kwargs)
+        assert first.estimate == second.estimate
+
+
+class TestPlanIntegration:
+    def test_analysis_plan_feeds_the_executor(self, two_walkers):
+        """The plan lint/admission computes is the plan the executor runs."""
+        kernel, db = two_walkers
+        analysis = analyze_kernel(kernel, database=db, semantics="forever")
+        assert analysis.partition is not None
+        event = TupleIn("C", ("b",))
+        assert can_partition(analysis.partition, event)
+        result = evaluate_partitioned(
+            ForeverQuery(kernel, event), db, analysis.partition
+        )
+        whole = evaluate_forever_exact(ForeverQuery(kernel, event), db)
+        assert result.probability == whole.probability

@@ -1,0 +1,83 @@
+"""Contract: ``repro lint --json`` and service admission expose the SAME
+plan hints.
+
+Operators read plan hints in two places — linting a program before
+deployment, and the session stats of a serving engine.  Divergence
+between the two (e.g. one computing the partition summary and the other
+not) would make pre-deployment linting useless, so the payloads are
+pinned structurally equal here.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.service import QueryRequest
+from repro.service.session import EngineSession
+
+#: Two independent walkers on one shared graph: exercises the partition
+#: summary inside the plan hints, not just the scalar fields.
+PROGRAM = (
+    "C := rename[J->I](project[J](repair-key[I@P](C join E)))\n"
+    "D := rename[J->I](project[J](repair-key[I@P](D join E)))\n"
+)
+
+DATABASE = {
+    "relations": {
+        "C": {"columns": ["I"], "rows": [["a"]]},
+        "D": {"columns": ["I"], "rows": [["b"]]},
+        "E": {
+            "columns": ["I", "J", "P"],
+            "rows": [
+                ["a", "a", 1], ["a", "b", 1],
+                ["b", "b", 1], ["b", "a", 1],
+            ],
+        },
+    }
+}
+
+
+@pytest.fixture
+def paths(tmp_path):
+    program = tmp_path / "walkers.ra"
+    program.write_text(PROGRAM, encoding="utf-8")
+    db = tmp_path / "db.json"
+    db.write_text(json.dumps(DATABASE), encoding="utf-8")
+    return str(program), str(db)
+
+
+def lint_json(capsys, program: str, db: str) -> dict:
+    assert main(["lint", program, "--db", db, "--json"]) == 0
+    return json.loads(capsys.readouterr().out)
+
+
+def test_lint_json_plan_hints_match_session_stats(paths, capsys):
+    program, db = paths
+    lint_payload = lint_json(capsys, program, db)
+
+    request = QueryRequest.from_json({
+        "semantics": "forever",
+        "program": PROGRAM,
+        "database": DATABASE,
+        "event": "C(b)",
+    })
+    session = EngineSession.prepare(request)
+    stats_hints = session.stats()["plan_hints"]
+
+    assert lint_payload["plan_hints"] == stats_hints
+
+
+def test_plan_hints_carry_the_partition_summary(paths, capsys):
+    program, db = paths
+    hints = lint_json(capsys, program, db)["plan_hints"]
+    partition = hints["partition"]
+    assert partition["splittable"] is True
+    assert partition["components"] == 2
+    # the summary must be decision-complete for admission: every field
+    # the planner computes about exactness and sizing is present
+    for key in ("bounded", "exact_components", "oversized_components",
+                "max_state_bound"):
+        assert key in partition

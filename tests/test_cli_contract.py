@@ -173,3 +173,30 @@ class TestExitOneThirty:
         err = capsys.readouterr().err
         assert "interrupted" in err
         assert str(checkpoint) in err
+
+
+class TestSubmitBody:
+    """``repro submit`` forwards optional params only when given."""
+
+    def _args(self, workspace, *extra):
+        import argparse
+
+        from repro.cli import build_arg_parser
+
+        parser: argparse.ArgumentParser = build_arg_parser()
+        return parser.parse_args([
+            "submit", "forever", workspace["walk"],
+            "--db", workspace["db"], "--event", "C(b)", *extra,
+        ])
+
+    def test_partition_auto_lands_in_params(self, workspace):
+        from repro.cli import _submit_body
+
+        body = _submit_body(self._args(workspace, "--partition", "auto"))
+        assert body["params"]["partition"] == "auto"
+
+    def test_partition_omitted_by_default(self, workspace):
+        from repro.cli import _submit_body
+
+        body = _submit_body(self._args(workspace))
+        assert "partition" not in body.get("params", {})
