@@ -718,11 +718,11 @@ def bench_tracing(h: Harness) -> None:
             query, db, samples=samples, burn_in=burn_in, rng=SEED,
             context=context)
 
-    # Interleave the two variants round-by-round and take the per-variant
-    # minimum: frequency scaling then biases both the same way instead of
+    # Interleave the variants round-by-round and take the per-variant
+    # minimum: frequency scaling then biases all the same way instead of
     # whichever variant happened to run first.
-    base_best = disabled_best = float("inf")
-    base = disabled = None
+    base_best = disabled_best = profiled_best = float("inf")
+    base = disabled = profiled = None
     for _ in range(rounds):
         start = time.perf_counter()
         base = run()
@@ -731,6 +731,12 @@ def bench_tracing(h: Harness) -> None:
         start = time.perf_counter()
         disabled = run(context)
         disabled_best = min(disabled_best, time.perf_counter() - start)
+        # Profiling on: a live in-memory tracer (what `--trace` and the
+        # service's per-job tracing use), ledger included.
+        profiled_context = RunContext(tracer=Tracer(MemorySink()))
+        start = time.perf_counter()
+        profiled = run(profiled_context)
+        profiled_best = min(profiled_best, time.perf_counter() - start)
 
     def traced():
         context = RunContext(tracer=Tracer(MemorySink()))
@@ -756,11 +762,17 @@ def bench_tracing(h: Harness) -> None:
                        "samples": traced_result.samples}),
              samples=samples, burn_in=burn_in, phases=phases)
 
+    h.record("tracing_profiled", profiled_best,
+             checksum({"positive": profiled.positive,
+                       "samples": profiled.samples}),
+             samples=samples, burn_in=burn_in)
+
     h.check("tracing_does_not_perturb_results",
-            (base.positive, disabled.positive, traced_result.positive)
-            == (base.positive,) * 3,
+            (base.positive, disabled.positive, profiled.positive,
+             traced_result.positive)
+            == (base.positive,) * 4,
             f"positives: baseline={base.positive} disabled={disabled.positive} "
-            f"traced={traced_result.positive}")
+            f"profiled={profiled.positive} traced={traced_result.positive}")
     h.check("traced_run_records_phases", "sample" in phases,
             f"phases recorded: {sorted(phases)}")
     # < 2% disabled-tracer overhead <=> speed ratio stays above 0.98.
@@ -769,6 +781,12 @@ def bench_tracing(h: Harness) -> None:
              0.98, enforced=not h.quick,
              note="no-op tracer + RunContext vs bare evaluator; "
                   "target 0.98x = < 2% overhead")
+    # < 3% profiling-on overhead <=> speed ratio stays above 0.97.
+    h.target("tracing_profiled_overhead",
+             base_best / profiled_best if profiled_best else float("inf"),
+             0.97, enforced=not h.quick,
+             note="live tracer + ledger (profiling on) vs bare evaluator; "
+                  "target 0.97x = < 3% overhead")
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -32,7 +32,7 @@ from repro.analysis.partition import (
 from repro.errors import ReproError
 
 if TYPE_CHECKING:
-    from repro.core.events import TupleIn
+    from repro.core.events import QueryEvent
     from repro.core.interpretation import Interpretation
     from repro.ctables.pctable import PCDatabase
     from repro.datalog.ast import Program
@@ -52,7 +52,7 @@ class AnalysisResult:
     kernel: "Interpretation | None" = None
     database: "Database | None" = None
     pc_tables: "PCDatabase | None" = None
-    event: "TupleIn | None" = None
+    event: "QueryEvent | None" = None
     partition: PartitionPlan | None = None
     diagnostics_extra: dict[str, Any] = field(default_factory=dict)
 
@@ -77,7 +77,7 @@ def analyze_source(
     *,
     database: "Database | Mapping[str, Any] | None" = None,
     pc_tables: "PCDatabase | Mapping[str, Any] | None" = None,
-    event: "TupleIn | str | None" = None,
+    event: "QueryEvent | str | None" = None,
 ) -> AnalysisResult:
     """Parse and statically analyze one program.
 
@@ -185,7 +185,7 @@ def analyze_program(
     *,
     database: "Database | None" = None,
     pc_tables: "PCDatabase | None" = None,
-    event: "TupleIn | None" = None,
+    event: "QueryEvent | None" = None,
 ) -> AnalysisResult:
     """Analyze an already-parsed datalog program."""
     report = check_rules(
@@ -211,7 +211,7 @@ def analyze_kernel(
     kernel: "Interpretation",
     *,
     database: "Database | None" = None,
-    event: "TupleIn | None" = None,
+    event: "QueryEvent | None" = None,
     semantics: str = "forever",
 ) -> AnalysisResult:
     """Analyze an already-parsed transition kernel."""
@@ -273,9 +273,9 @@ def _decode_pc_tables(
 
 
 def _parse_event(
-    event: "TupleIn | str | None",
+    event: "QueryEvent | str | None",
     report: DiagnosticReport,
-) -> "TupleIn | None":
+) -> "QueryEvent | None":
     if event is None or not isinstance(event, str):
         return event
     from repro.core.events import parse_event

@@ -19,7 +19,7 @@ from repro.analysis.graph import DependencyGraph
 from repro.datalog.ast import _ANON_PREFIX, Rule, Var
 
 if TYPE_CHECKING:
-    from repro.core.events import TupleIn
+    from repro.core.events import QueryEvent
     from repro.ctables.pctable import PCDatabase
     from repro.relational.database import Database
     from repro.relational.relation import Relation
@@ -34,7 +34,7 @@ def check_rules(
     spans: Sequence[Span] | None = None,
     database: "Database | None" = None,
     pc_tables: "PCDatabase | None" = None,
-    event: "TupleIn | None" = None,
+    event: "QueryEvent | None" = None,
 ) -> DiagnosticReport:
     """Analyze a datalog rule list and return every finding.
 
@@ -245,40 +245,52 @@ def _check_event(
     arities: dict[str, int],
     base_relations: dict[str, int],
     database: "Database | None",
-    event: "TupleIn",
+    event: "QueryEvent",
     report: DiagnosticReport,
 ) -> None:
-    relation = event.relation
-    known_arity: int | None = arities.get(relation)
-    if known_arity is None and relation in base_relations:
-        known_arity = base_relations[relation]
+    from repro.core.events import event_atoms, event_relations
 
-    if relation not in arities and (database is not None and relation not in base_relations):
-        report.add(
-            "DD002",
-            f"event relation {relation!r} is neither defined by the program "
-            "nor present in the database; the event is constantly false",
-            subject=relation,
-            suggestion="query a predicate the program defines",
-        )
-    elif known_arity is not None and len(event.row) != known_arity:
-        report.add(
-            "DD003",
-            f"event {event!r} has arity {len(event.row)} but relation "
-            f"{relation!r} has arity {known_arity}; the event is "
-            "constantly false",
-            subject=relation,
-        )
+    for atom in event_atoms(event):
+        relation = atom.relation
+        known_arity: int | None = arities.get(relation)
+        if known_arity is None and relation in base_relations:
+            known_arity = base_relations[relation]
 
-    # Dead rules: a rule is useful when the event's predicate (directly
+        if relation not in arities and (
+            database is not None and relation not in base_relations
+        ):
+            report.add(
+                "DD002",
+                f"event relation {relation!r} is neither defined by the "
+                "program nor present in the database; the event is "
+                "constantly false",
+                subject=relation,
+                suggestion="query a predicate the program defines",
+            )
+        elif known_arity is not None and len(atom.row) != known_arity:
+            report.add(
+                "DD003",
+                f"event {atom!r} has arity {len(atom.row)} but relation "
+                f"{relation!r} has arity {known_arity}; the event is "
+                "constantly false",
+                subject=relation,
+            )
+
+    # Dead rules: a rule is useful when some event relation (directly
     # or transitively) depends on its head.
+    relations = sorted(event_relations(event))
+    described = (
+        repr(relations[0])
+        if len(relations) == 1
+        else "{" + ", ".join(repr(name) for name in relations) + "}"
+    )
     graph = DependencyGraph.from_rules(rules)
-    useful = graph.reachable_from([relation])
+    useful = graph.reachable_from(relations)
     for rule, span in zip(rules, spans):
         if rule.head.predicate in idb and rule.head.predicate not in useful:
             report.add(
                 "DD001",
-                f"rule {rule!r} is dead: the event relation {relation!r} "
+                f"rule {rule!r} is dead: the event relation {described} "
                 f"does not depend on {rule.head.predicate!r}",
                 span=span,
                 subject=rule.head.predicate,

@@ -34,7 +34,7 @@ if TYPE_CHECKING:
     from repro.analysis.partition import PartitionSummary
 
 if TYPE_CHECKING:
-    from repro.core.events import TupleIn
+    from repro.core.events import QueryEvent
     from repro.core.interpretation import Interpretation
     from repro.ctables.pctable import PCDatabase
     from repro.datalog.ast import Program
@@ -72,7 +72,7 @@ class PlanHints:
     def for_kernel(
         cls,
         kernel: "Interpretation",
-        event: "TupleIn | None" = None,
+        event: "QueryEvent | None" = None,
         semantics: str = "forever",
     ) -> "PlanHints":
         """Hints for a relational transition kernel."""
@@ -81,12 +81,17 @@ class PlanHints:
         pc_free = kernel.pc_tables is None or not kernel.pc_tables.variables
         non_absorbing = False
         if event is not None and semantics == "forever":
-            query = kernel.queries.get(event.relation)
-            non_absorbing = (
-                query is not None
-                and not query.is_deterministic()
-                and not accumulates(query, event.relation)
-            )
+            from repro.core.events import event_relations
+
+            for relation in sorted(event_relations(event)):
+                query = kernel.queries.get(relation)
+                if (
+                    query is not None
+                    and not query.is_deterministic()
+                    and not accumulates(query, relation)
+                ):
+                    non_absorbing = True
+                    break
         deterministic = kernel.is_deterministic()
         return cls(
             deterministic=deterministic,

@@ -33,7 +33,7 @@ from repro.relational.algebra import (
 )
 
 if TYPE_CHECKING:
-    from repro.core.events import TupleIn
+    from repro.core.events import QueryEvent
     from repro.core.interpretation import Interpretation
     from repro.relational.database import Database
     from repro.relational.relation import Relation
@@ -47,7 +47,7 @@ def check_kernel(
     source: str | None = None,
     spans: Mapping[str, Span] | None = None,
     database: "Database | None" = None,
-    event: "TupleIn | None" = None,
+    event: "QueryEvent | None" = None,
     semantics: str = "forever",
 ) -> DiagnosticReport:
     """Analyze a transition kernel and return every finding.
@@ -345,33 +345,44 @@ def _check_dependency_shape(
 def _check_event(
     kernel: "Interpretation",
     database: "Database | None",
-    event: "TupleIn",
+    event: "QueryEvent",
     semantics: str,
     report: DiagnosticReport,
 ) -> None:
-    relation = event.relation
-    updated = set(kernel.updated_relations())
-    in_database = database is not None and relation in database.names()
-    if relation not in updated and database is not None and not in_database:
-        report.add(
-            "DD002",
-            f"event relation {relation!r} is neither rewritten by the kernel "
-            "nor present in the database; the event is constantly false",
-            subject=relation,
-            suggestion="query a relation of the kernel's schema",
-        )
-    elif in_database:
-        arity = len(database[relation].columns)
-        if len(event.row) != arity:
-            report.add(
-                "DD003",
-                f"event {event!r} has arity {len(event.row)} but relation "
-                f"{relation!r} has arity {arity}; the event is constantly false",
-                subject=relation,
-            )
+    from repro.core.events import event_atoms, event_relations
 
+    updated = set(kernel.updated_relations())
+    for atom in event_atoms(event):
+        relation = atom.relation
+        in_database = database is not None and relation in database.names()
+        if relation not in updated and database is not None and not in_database:
+            report.add(
+                "DD002",
+                f"event relation {relation!r} is neither rewritten by the "
+                "kernel nor present in the database; the event is "
+                "constantly false",
+                subject=relation,
+                suggestion="query a relation of the kernel's schema",
+            )
+        elif in_database:
+            assert database is not None
+            arity = len(database[relation].columns)
+            if len(atom.row) != arity:
+                report.add(
+                    "DD003",
+                    f"event {atom!r} has arity {len(atom.row)} but relation "
+                    f"{relation!r} has arity {arity}; the event is "
+                    "constantly false",
+                    subject=relation,
+                )
+
+    relations = sorted(event_relations(event))
     graph = DependencyGraph.from_queries(kernel.queries)
-    useful = graph.reachable_from([relation])
+    useful = graph.reachable_from(relations)
+    described = (
+        repr(relations[0]) if len(relations) == 1
+        else "{" + ", ".join(repr(r) for r in relations) + "}"
+    )
     for name in sorted(kernel.queries):
         expression = kernel.queries[name]
         if isinstance(expression, RelationRef) and expression.name == name:
@@ -380,28 +391,30 @@ def _check_event(
             report.add(
                 "DD004",
                 f"relation {name!r} is rewritten by the kernel but the event "
-                f"relation {relation!r} never depends on it; it cannot "
+                f"relation {described} never depends on it; it cannot "
                 "influence the answer yet inflates the explicit chain",
                 subject=name,
                 suggestion="drop the query or make it an identity line",
             )
 
     if semantics == "forever":
-        query = kernel.queries.get(relation)
-        if (
-            query is not None
-            and not query.is_deterministic()
-            and not accumulates(query, relation)
-        ):
-            report.add(
-                "PH003",
-                f"the event relation {relation!r} is rewritten probabilistically "
-                "without accumulating its old value, so event states are "
-                "typically transient (non-absorbing chain): the forever-query "
-                "answer is the event's long-run frequency, and MCMC estimates "
-                "need adequate burn-in",
-                subject=relation,
-            )
+        for relation in relations:
+            query = kernel.queries.get(relation)
+            if (
+                query is not None
+                and not query.is_deterministic()
+                and not accumulates(query, relation)
+            ):
+                report.add(
+                    "PH003",
+                    f"the event relation {relation!r} is rewritten "
+                    "probabilistically without accumulating its old value, "
+                    "so event states are typically transient (non-absorbing "
+                    "chain): the forever-query answer is the event's "
+                    "long-run frequency, and MCMC estimates need adequate "
+                    "burn-in",
+                    subject=relation,
+                )
 
 
 def _emit_plan_hints(

@@ -74,7 +74,7 @@ from repro.relational.algebra import (
 )
 
 if TYPE_CHECKING:
-    from repro.core.events import TupleIn
+    from repro.core.events import QueryEvent, TupleIn
     from repro.core.interpretation import Interpretation
     from repro.relational.database import Database
     from repro.relational.relation import Relation
@@ -251,7 +251,7 @@ def compute_partition_plan(
     kernel: "Interpretation",
     *,
     database: "Database | None" = None,
-    event: "TupleIn | None" = None,
+    event: "QueryEvent | None" = None,
     semantics: str = "forever",
     exact_budget: int = DEFAULT_EXACT_BUDGET,
 ) -> PartitionPlan:
@@ -261,7 +261,15 @@ def compute_partition_plan(
     support fixpoint needs the initial instance); ``event`` marks the
     component that contains the event relation.  Neither changes the
     partition itself.
+
+    Only a single-atom event names *the* event component; a compound
+    event may span several components (the executor splits it per
+    component at run time), so it contributes no component marking.
     """
+    from repro.core.events import TupleIn
+
+    if not isinstance(event, TupleIn):
+        event = None
     queries = kernel.queries
     pc_names = set(kernel.pc_relation_names())
     dynamic = {

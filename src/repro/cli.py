@@ -594,10 +594,48 @@ def _command_report(args: argparse.Namespace, context: RunContext) -> dict:
     """Pretty-print a JSONL trace: phases, convergence curve, events."""
     from repro.obs import load_summary, render_summary
 
+    if getattr(args, "flame", False):
+        from repro.obs import render_flame
+        from repro.obs.schema import validate_trace_file
+
+        print(render_flame(validate_trace_file(args.trace_file)), end="")
+        return {}
     summary = load_summary(args.trace_file)
     if args.json:
         return summary.as_dict()
     print(render_summary(summary), end="")
+    return {}
+
+
+def _command_profile(args: argparse.Namespace, context: RunContext) -> dict:
+    """EXPLAIN-ANALYZE for one run: span tree, reconciliation, ledger.
+
+    The target is either a local JSONL trace file (written by
+    ``--trace``) or a job id on a running service (``--url``).
+    """
+    import os
+
+    from repro.obs import profile_from_trace, render_flame, render_profile
+
+    if os.path.exists(args.target):
+        from repro.obs.schema import validate_trace_file
+
+        records = validate_trace_file(args.target)
+        if args.flame:
+            print(render_flame(records), end="")
+            return {}
+        payload = profile_from_trace(records)
+    else:
+        from repro.service import ServiceClient
+
+        payload = ServiceClient(args.url).profile(args.target)
+        if args.flame:
+            for line in payload.get("folded") or []:
+                print(line)
+            return {}
+    if args.json:
+        return payload
+    print(render_profile(payload), end="")
     return {}
 
 
@@ -1339,7 +1377,32 @@ def build_arg_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "trace_file", metavar="trace", help="trace file written by --trace"
     )
+    report.add_argument(
+        "--flame",
+        action="store_true",
+        help="emit folded-stack lines (flamegraph.pl / speedscope input) "
+        "instead of the summary",
+    )
     report.set_defaults(handler=_command_report)
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="EXPLAIN-ANALYZE one run: span tree with exclusive timings, "
+        "phase reconciliation, and the resource ledger",
+        parents=[common],
+    )
+    profile.add_argument(
+        "target",
+        help="a local trace file written by --trace, or a job id on a "
+        "running service",
+    )
+    profile.add_argument("--url", default="http://127.0.0.1:8352")
+    profile.add_argument(
+        "--flame",
+        action="store_true",
+        help="emit folded-stack lines instead of the tree",
+    )
+    profile.set_defaults(handler=_command_profile)
 
     return parser
 

@@ -292,6 +292,7 @@ def _inflationary_sampling_parallel(
     seeds = worker_seeds(generator, workers)
     counts = split_trials(planned, workers)
     budgets = prorated_budgets(context, workers)
+    profiled = bool(tracer_of(context).enabled)
     tasks = [
         {
             "query": query,
@@ -303,6 +304,7 @@ def _inflationary_sampling_parallel(
             "cache_size": cache_size,
             "budget": budget,
             "backend": backend,
+            "profile": profiled,
         }
         for count, seed, budget in zip(counts, seeds, budgets)
         if count > 0

@@ -492,6 +492,7 @@ def _forever_mcmc_parallel(
     seeds = worker_seeds(generator, workers)
     counts = split_trials(planned, workers)
     budgets = prorated_budgets(context, workers)
+    profiled = bool(tracer_of(context).enabled)
     tasks = [
         {
             "query": query,
@@ -504,6 +505,9 @@ def _forever_mcmc_parallel(
             # Compiled plans hold closures and arrays that do not
             # pickle; workers compile in-process from the original.
             "backend": backend,
+            # Traced parents ask workers to record spans into a
+            # picklable buffer, shipped back and stitched in-trace.
+            "profile": profiled,
         }
         for count, seed, budget in zip(counts, seeds, budgets)
         if count > 0

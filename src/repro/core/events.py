@@ -151,16 +151,24 @@ class NotEvent(QueryEvent):
 
 
 # ---------------------------------------------------------------------------
-# Text form: "relation(value, ...)" — shared by the CLI and the service
+# Text form: "relation(value, ...)" plus and/or/not — shared by the
+# CLI and the service
 # ---------------------------------------------------------------------------
 
 _EVENT_RE = re.compile(r"^\s*([A-Za-z_][A-Za-z0-9_]*)\s*\((.*)\)\s*$")
 _RATIONAL_RE = re.compile(r"^[+-]?\d+/\d+$")
 _NUMBER_RE = re.compile(r"^[+-]?\d+(\.\d+)?$")
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
 
 
-def parse_event(text: str) -> TupleIn:
-    """Parse a ground event atom like ``c(w, 3, '1/2 beer')``.
+def parse_event(text: str) -> QueryEvent:
+    """Parse an event expression over ground atoms.
+
+    An atom is ``relation(value, ...)``; atoms combine with ``and``,
+    ``or``, ``not`` and parentheses (``not`` binds tightest, then
+    ``and``, then ``or`` — the usual precedence), so compound events
+    like ``C(b) and D(a)`` travel through the CLI and the service wire
+    format, not just the Python API.
 
     Values parse like datalog constants: integers stay exact ints,
     decimals and ``p/q`` strings become :class:`fractions.Fraction`,
@@ -168,11 +176,25 @@ def parse_event(text: str) -> TupleIn:
 
     Examples
     --------
-    >>> parse_event("c(w)").relation, parse_event("c(w)").row
+    >>> event = parse_event("c(w)")
+    >>> event.relation, event.row
     ('c', ('w',))
+    >>> parse_event("C(b) and not D(a)")
+    (('b',) ∈ C ∧ ¬('a',) ∈ D)
     """
+    tokens = _tokenize_event(text)
+    event, position = _parse_or(tokens, 0, text)
+    if position != len(tokens):
+        raise ReproError(
+            f"cannot parse event {text!r}: unexpected "
+            f"{tokens[position][1]!r} after a complete event"
+        )
+    return event
+
+
+def _parse_atom(text: str) -> TupleIn:
     match = _EVENT_RE.match(text)
-    if match is None:
+    if match is None:  # pragma: no cover - the tokenizer pre-shapes atoms
         raise ReproError(
             f"cannot parse event {text!r}; expected relation(value, ...)"
         )
@@ -182,6 +204,139 @@ def parse_event(text: str) -> TupleIn:
         for raw in _split_event_arguments(inner):
             values.append(_parse_event_value(raw.strip()))
     return TupleIn(relation, tuple(values))
+
+
+_Token = tuple[str, str]  # (kind, text); kinds: atom, and, or, not, (, )
+
+
+def _tokenize_event(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char in "()":
+            tokens.append((char, char))
+            index += 1
+            continue
+        match = _IDENT_RE.match(text, index)
+        if match is None:
+            raise ReproError(
+                f"cannot parse event {text!r}; expected "
+                "relation(value, ...), optionally combined with "
+                "'and', 'or', 'not'"
+            )
+        word = match.group()
+        if word in ("and", "or", "not"):
+            # Reserved combinators, even directly before '('.
+            tokens.append((word, word))
+            index = match.end()
+            continue
+        rest = match.end()
+        while rest < length and text[rest].isspace():
+            rest += 1
+        if rest < length and text[rest] == "(":
+            # An atom: consume the balanced argument list (quotes may
+            # hold parentheses).
+            depth = 0
+            in_quote = False
+            end = rest
+            while end < length:
+                inner_char = text[end]
+                if inner_char == "'":
+                    in_quote = not in_quote
+                elif not in_quote and inner_char == "(":
+                    depth += 1
+                elif not in_quote and inner_char == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                end += 1
+            if depth != 0:
+                raise ReproError(
+                    f"cannot parse event {text!r}: unbalanced "
+                    f"parentheses in atom starting at {word!r}"
+                )
+            tokens.append(("atom", text[index : end + 1]))
+            index = end + 1
+        else:
+            raise ReproError(
+                f"cannot parse event {text!r}: bare word {word!r}; "
+                "expected relation(value, ...)"
+            )
+    if not tokens:
+        raise ReproError("cannot parse an empty event")
+    return tokens
+
+
+def _parse_or(tokens: list[_Token], position: int, text: str
+              ) -> tuple[QueryEvent, int]:
+    event, position = _parse_and(tokens, position, text)
+    while position < len(tokens) and tokens[position][0] == "or":
+        right, position = _parse_and(tokens, position + 1, text)
+        event = OrEvent(event, right)
+    return event, position
+
+
+def _parse_and(tokens: list[_Token], position: int, text: str
+               ) -> tuple[QueryEvent, int]:
+    event, position = _parse_factor(tokens, position, text)
+    while position < len(tokens) and tokens[position][0] == "and":
+        right, position = _parse_factor(tokens, position + 1, text)
+        event = AndEvent(event, right)
+    return event, position
+
+
+def _parse_factor(tokens: list[_Token], position: int, text: str
+                  ) -> tuple[QueryEvent, int]:
+    if position >= len(tokens):
+        raise ReproError(f"cannot parse event {text!r}: unexpected end")
+    kind, token_text = tokens[position]
+    if kind == "not":
+        inner, position = _parse_factor(tokens, position + 1, text)
+        return NotEvent(inner), position
+    if kind == "(":
+        event, position = _parse_or(tokens, position + 1, text)
+        if position >= len(tokens) or tokens[position][0] != ")":
+            raise ReproError(
+                f"cannot parse event {text!r}: missing closing parenthesis"
+            )
+        return event, position + 1
+    if kind == "atom":
+        return _parse_atom(token_text), position + 1
+    raise ReproError(
+        f"cannot parse event {text!r}: unexpected {token_text!r}"
+    )
+
+
+def event_atoms(event: QueryEvent) -> list[TupleIn]:
+    """The ``t ∈ R`` leaves of an event expression, left to right."""
+    if isinstance(event, TupleIn):
+        return [event]
+    if isinstance(event, NotEvent):
+        return event_atoms(event.inner)
+    if isinstance(event, (AndEvent, OrEvent)):
+        return event_atoms(event.left) + event_atoms(event.right)
+    return []
+
+
+def event_relations(event: QueryEvent) -> set[str]:
+    """Every relation name an event expression reads."""
+    if isinstance(event, (TupleIn, RelationNonEmpty)):
+        return {event.relation}
+    if isinstance(event, ExpressionEvent):
+        from repro.analysis.graph import expression_references
+
+        return {ref for ref, _pos, _prob in
+                expression_references(event.expression)}
+    if isinstance(event, NotEvent):
+        return event_relations(event.inner)
+    if isinstance(event, (AndEvent, OrEvent)):
+        return event_relations(event.left) | event_relations(event.right)
+    return set()
 
 
 def _split_event_arguments(inner: str) -> list[str]:

@@ -21,6 +21,7 @@ from repro.faults.plan import (
     FaultPlan,
     FaultSpec,
     active,
+    bind_trace_tracer,
     generation,
     install,
     install_from_env,
@@ -43,6 +44,7 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "active",
+    "bind_trace_tracer",
     "generation",
     "install",
     "install_from_env",

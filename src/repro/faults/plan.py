@@ -273,6 +273,22 @@ class FaultPlan:
                 observer(site, spec)
             except Exception:  # noqa: BLE001 - observers must not mask faults
                 pass
+        tracer = getattr(_TRACE_TRACERS, "tracer", None)
+        if tracer is not None and getattr(tracer, "enabled", False):
+            # Written before the action executes, so even a crash/raise
+            # leaves its mark in the trace (memory sinks inside a worker
+            # ship back through the profiling span buffer).
+            try:
+                tracer.event(
+                    "fault-injected",
+                    site=site,
+                    action=spec.action,
+                    hit=hit,
+                    transient=spec.transient,
+                    generation=_GENERATION,
+                )
+            except Exception:  # noqa: BLE001 - tracing must not mask faults
+                pass
         if spec.action == "crash":
             os._exit(70)
         if spec.action == "hang":
@@ -319,6 +335,24 @@ def set_observer(observer: Callable[[str, FaultSpec], None] | None) -> None:
     """Install (or clear, with ``None``) the process-wide firing observer."""
     global _OBSERVER
     _OBSERVER = observer
+
+
+#: Per-thread tracer receiving ``fault-injected`` events.  Thread-local
+#: because runs are thread-affine (the scheduler executes each job on
+#: one worker thread; a supervised worker process runs tasks on its main
+#: thread), so concurrent jobs never cross-pollinate each other's traces.
+_TRACE_TRACERS = threading.local()
+
+
+def bind_trace_tracer(tracer: Any) -> None:
+    """Route this thread's injection hits into ``tracer`` as events.
+
+    Called by :class:`~repro.runtime.context.RunContext` whenever a run
+    starts with tracing enabled; pass ``None`` to unbind.  Disabled or
+    stale tracers are ignored at fire time, so leaving a binding behind
+    after a run ends is harmless.
+    """
+    _TRACE_TRACERS.tracer = tracer
 
 
 def set_generation(generation: int) -> None:

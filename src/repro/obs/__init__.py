@@ -13,6 +13,21 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.profile import (
+    PROFILE_VERSION,
+    ResourceLedger,
+    SpanBuffer,
+    drain_worker_spans,
+    folded_stacks,
+    phase_totals,
+    profile_from_trace,
+    profile_payload,
+    render_flame,
+    render_profile,
+    span_tree,
+    stitch_spans,
+    worker_tracer,
+)
 from repro.obs.report import (
     TraceSummary,
     load_summary,
@@ -53,19 +68,32 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "PROFILE_VERSION",
+    "ResourceLedger",
     "Sink",
+    "SpanBuffer",
     "TRACE_SCHEMA_VERSION",
     "TraceSchemaError",
     "TraceSpan",
     "TraceSummary",
     "Tracer",
+    "drain_worker_spans",
+    "folded_stacks",
     "load_summary",
     "phase_scope",
+    "phase_totals",
+    "profile_from_trace",
+    "profile_payload",
+    "render_flame",
+    "render_profile",
     "render_summary",
     "render_trace_file",
+    "span_tree",
+    "stitch_spans",
     "summarize",
     "summarize_lines",
     "tracer_of",
+    "worker_tracer",
     "validate_record",
     "validate_trace_file",
     "validate_trace_lines",

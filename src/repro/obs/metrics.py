@@ -101,15 +101,22 @@ class Gauge:
     registers ``lambda: self._sample_under_lock()`` and the registry
     calls it only at scrape time, so sizes and hit counts are read in
     one consistent critical section rather than sampled field-by-field.
+
+    A callback may return a plain number (one unlabelled series) or a
+    ``Mapping`` of label value → number, rendered as one series per key
+    under the ``fn_label`` label name — how per-worker gauges track a
+    worker set that changes as the supervisor restarts processes.
     """
 
     kind = "gauge"
 
     def __init__(self, name: str, help: str,
-                 fn: Callable[[], float] | None = None):
+                 fn: Callable[[], float | Mapping[str, float]] | None = None,
+                 fn_label: str = "key"):
         self.name = name
         self.help = help
         self._fn = fn
+        self._fn_label = fn_label
         self._lock = threading.Lock()
         self._values: dict[_LabelKey, float] = {}
 
@@ -131,13 +138,26 @@ class Gauge:
 
     def value(self, **labels: Any) -> float:
         if self._fn is not None:
-            return float(self._fn())
+            result = self._fn()
+            if isinstance(result, Mapping):
+                if labels:
+                    return float(
+                        result.get(str(labels.get(self._fn_label)), 0.0)
+                    )
+                return float(sum(result.values()))
+            return float(result)
         with self._lock:
             return self._values.get(_label_key(labels), 0.0)
 
     def collect(self) -> list[tuple[_LabelKey, float]]:
         if self._fn is not None:
-            return [((), float(self._fn()))]
+            result = self._fn()
+            if isinstance(result, Mapping):
+                return sorted(
+                    (((self._fn_label, str(key)),), float(value))
+                    for key, value in result.items()
+                )
+            return [((), float(result))]
         with self._lock:
             return sorted(self._values.items())
 
@@ -318,10 +338,12 @@ class MetricsRegistry:
         return self._register(Counter(name, help))
 
     def gauge(self, name: str, help: str = "",
-              fn: Callable[[], float] | None = None) -> Gauge:
-        gauge = self._register(Gauge(name, help, fn=fn))
+              fn: Callable[[], float | Mapping[str, float]] | None = None,
+              fn_label: str = "key") -> Gauge:
+        gauge = self._register(Gauge(name, help, fn=fn, fn_label=fn_label))
         if fn is not None and gauge._fn is None:
             gauge._fn = fn
+            gauge._fn_label = fn_label
         return gauge
 
     def histogram(self, name: str, help: str = "",

@@ -1,0 +1,546 @@
+"""End-to-end query profiling: worker span buffers, resource ledgers,
+and EXPLAIN-ANALYZE-style rendering.
+
+PR 5's tracer stops at process boundaries: spans recorded inside the
+supervisor's warm workers (trial chunks, pooled partition components)
+never reach the parent's sink, so a slow partitioned query cannot be
+attributed to a component, rung, or operator.  This module closes the
+gap in three pieces:
+
+* :class:`SpanBuffer` — a :class:`~repro.obs.trace.Tracer` writing to a
+  bounded in-memory sink whose records are plain picklable dicts.
+  Workers attach one to their :class:`~repro.perf.parallel.WorkerContext`
+  and ship ``drain()`` back on the results queue inside the ordinary
+  task payload.
+* :func:`stitch_spans` — the parent-side merge: worker-local span ids
+  are remapped through the parent tracer's id counter, roots are
+  re-parented under the dispatching span, and every stitched span is
+  labelled with ``worker_id`` / ``spawn_generation`` so the trace shows
+  *which* worker (and which restart generation) did the work.
+* :class:`ResourceLedger` — a per-run structured ledger on
+  :class:`~repro.runtime.context.RunReport` aggregating what was
+  previously scattered across result details: states explored,
+  transition-cache hits/misses/evictions, kernel ``OpTimings`` per
+  operator, sparse-solver iterations and certificate bounds, retries,
+  shed decisions, and per-component (ε, δ) — keyed by
+  phase/component/rung.
+
+Rendering lives here too: :func:`profile_payload` builds the JSON shape
+served at ``GET /v1/jobs/<id>/profile``; :func:`render_profile` prints
+the plan → component → rung → phase → kernel-op cost tree with
+exclusive wall/CPU, and :func:`folded_stacks` emits folded-stack lines
+(``frame;frame;frame <microseconds>``) consumable by standard
+flamegraph tooling.
+
+Exclusive-time convention: a span's exclusive wall is its inclusive
+wall minus the inclusive wall of its *local* children.  Spans stitched
+from worker processes ran concurrently with their parent, so they are
+excluded from the subtraction — that is what lets the tree's per-phase
+totals reconcile with the (exclusive) ``RunReport.phases`` accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.obs.trace import MemorySink, NullTracer, Tracer
+
+#: Version of the profile payload shape served over HTTP.
+PROFILE_VERSION = 1
+
+#: Default cap on step events recorded inside one worker task.
+WORKER_MAX_EVENTS = 512
+
+#: Cap on span records shipped back from one worker task; past it the
+#: tail is dropped (observability is best-effort, results are not).
+WORKER_MAX_SPANS = 512
+
+#: Span attributes surfaced in tree labels, in render order.
+_LABEL_ATTRS = (
+    "component", "rung", "method", "mode", "worker_id", "spawn_generation",
+    "states", "iterations", "workers",
+)
+
+
+class SpanBuffer(Tracer):
+    """A tracer recording into a bounded, picklable in-memory buffer.
+
+    Created inside worker processes (one per task chunk); the parent
+    never sees the buffer object itself — only the plain record dicts
+    returned by :meth:`drain`, shipped back on the results queue.
+    """
+
+    def __init__(self, max_events: int = WORKER_MAX_EVENTS):
+        super().__init__(MemorySink(), max_events=max_events)
+
+    def drain(self, max_spans: int = WORKER_MAX_SPANS) -> list[dict]:
+        """Detach and return recorded span/event records (bounded)."""
+        sink = self.sink
+        assert isinstance(sink, MemorySink)
+        records = [r for r in sink.records if r.get("type") in ("span", "event")]
+        sink.records = []
+        if len(records) > max_spans:
+            records = records[:max_spans]
+        return records
+
+
+def worker_tracer(task: Mapping[str, Any]) -> SpanBuffer | NullTracer:
+    """The tracer a worker entry point should evaluate under.
+
+    Tasks carry ``profile: True`` when the dispatching context is
+    traced; anything else gets the free null tracer.
+    """
+    from repro.obs.trace import NULL_TRACER
+
+    if task.get("profile"):
+        return SpanBuffer()
+    return NULL_TRACER
+
+
+def drain_worker_spans(tracer: Any) -> list[dict] | None:
+    """``tracer.drain()`` if it is a :class:`SpanBuffer`, else ``None``."""
+    if isinstance(tracer, SpanBuffer):
+        records = tracer.drain()
+        return records or None
+    return None
+
+
+def stitch_spans(
+    tracer: Any,
+    records: Iterable[Mapping[str, Any]] | None,
+    *,
+    worker_id: int | None = None,
+    spawn_generation: int | None = None,
+    parent_id: int | None = None,
+) -> int:
+    """Merge worker-recorded spans into the parent tracer.
+
+    Worker-local span ids are remapped through the parent's id counter
+    (ids must be unique per trace), roots are re-parented under
+    ``parent_id`` (default: the span currently open on the parent — the
+    dispatching span), and ``worker_id`` / ``spawn_generation`` labels
+    are stamped onto every stitched span's ``attrs``.  Returns the
+    number of records stitched; a disabled tracer stitches nothing.
+    """
+    if records is None or not getattr(tracer, "enabled", False):
+        return 0
+    records = list(records)
+    if not records:
+        return 0
+    if parent_id is None:
+        parent_id = tracer.current_span_id
+    id_map: dict[int, int] = {}
+    for record in records:
+        if record.get("type") == "span":
+            id_map[record["span"]] = next(tracer._ids)
+    stitched = 0
+    for record in records:
+        kind = record.get("type")
+        old_parent = record.get("parent")
+        if old_parent is not None and old_parent in id_map:
+            new_parent: int | None = id_map[old_parent]
+        else:
+            new_parent = parent_id
+        if kind == "span":
+            attrs = dict(record.get("attrs") or {})
+            if worker_id is not None:
+                attrs["worker_id"] = worker_id
+            if spawn_generation is not None:
+                attrs["spawn_generation"] = spawn_generation
+            tracer._emit({
+                "type": "span",
+                "name": record["name"],
+                "span": id_map[record["span"]],
+                "parent": new_parent,
+                "wall_s": record["wall_s"],
+                "cpu_s": record["cpu_s"],
+                "attrs": attrs,
+            })
+            stitched += 1
+        elif kind == "event":
+            if tracer.events_emitted >= tracer.max_events:
+                tracer.events_dropped += 1
+                continue
+            tracer.events_emitted += 1
+            fields = {
+                key: value for key, value in record.items()
+                if key not in ("type", "parent", "v")
+            }
+            fields["parent"] = new_parent
+            if worker_id is not None:
+                fields.setdefault("worker_id", worker_id)
+            tracer._emit({"type": "event", **fields})
+            stitched += 1
+    return stitched
+
+
+# ---------------------------------------------------------------------------
+# Resource ledger
+# ---------------------------------------------------------------------------
+
+
+class ResourceLedger:
+    """Structured per-run resource accounting, keyed by phase/component/rung.
+
+    Rows are created/merged by :meth:`add`; repeated adds under the same
+    key sum their counters (so per-chunk retries accumulate).  Kernel
+    operator timings are a separate table keyed by operator name.  The
+    whole ledger serialises deterministically (sorted keys) via
+    :meth:`as_dict`, which is what rides on ``RunReport.ledger`` and the
+    job payload.
+    """
+
+    __slots__ = ("_rows", "_kernel_ops")
+
+    def __init__(self) -> None:
+        self._rows: dict[tuple[str, str, str], dict[str, float]] = {}
+        self._kernel_ops: dict[str, dict[str, float]] = {}
+
+    @property
+    def empty(self) -> bool:
+        return not self._rows and not self._kernel_ops
+
+    def add(
+        self,
+        phase: str,
+        *,
+        component: str = "",
+        rung: str = "",
+        **counters: float,
+    ) -> None:
+        """Accumulate numeric counters under (phase, component, rung)."""
+        key = (phase, component, rung)
+        row = self._rows.get(key)
+        if row is None:
+            row = self._rows[key] = {}
+        for name, value in counters.items():
+            if value is None:
+                continue
+            row[name] = row.get(name, 0.0) + float(value)
+
+    def record_kernel_ops(
+        self, snapshot: Mapping[str, Mapping[str, float]]
+    ) -> None:
+        """Accumulate a kernel ``OpTimings.snapshot()`` delta."""
+        for op, timing in snapshot.items():
+            entry = self._kernel_ops.get(op)
+            if entry is None:
+                entry = self._kernel_ops[op] = {"calls": 0.0, "seconds": 0.0}
+            entry["calls"] += float(timing.get("calls", 0))
+            entry["seconds"] += float(timing.get("seconds", 0.0))
+
+    def merge_dict(self, payload: Mapping[str, Any] | None) -> None:
+        """Absorb a serialised ledger (e.g. shipped back from a worker)."""
+        if not payload:
+            return
+        for row in payload.get("rows", ()):
+            self.add(
+                row.get("phase", ""),
+                component=row.get("component") or "",
+                rung=row.get("rung") or "",
+                **row.get("counters", {}),
+            )
+        self.record_kernel_ops(payload.get("kernel_ops", {}))
+
+    def as_dict(
+        self, *, cache: Mapping[str, Any] | None = None
+    ) -> dict[str, Any]:
+        """Deterministic JSON shape; optionally folds cache stats in
+        as a ``transition-cache`` row (computed fresh, not stored, so
+        calling twice cannot double-count)."""
+        rows = dict(self._rows)
+        if cache:
+            stats = {
+                name: float(value)
+                for name, value in cache.items()
+                if isinstance(value, (int, float)) and not isinstance(value, bool)
+            }
+            if stats:
+                key = ("transition-cache", "", "")
+                merged = dict(rows.get(key, {}))
+                for name, value in stats.items():
+                    merged[name] = merged.get(name, 0.0) + value
+                rows[key] = merged
+        return {
+            "rows": [
+                {
+                    "phase": phase,
+                    "component": component or None,
+                    "rung": rung or None,
+                    "counters": {
+                        name: row[name] for name in sorted(row)
+                    },
+                }
+                for (phase, component, rung), row in sorted(rows.items())
+            ],
+            "kernel_ops": {
+                op: {
+                    "calls": self._kernel_ops[op]["calls"],
+                    "seconds": self._kernel_ops[op]["seconds"],
+                }
+                for op in sorted(self._kernel_ops)
+            },
+        }
+
+
+# ---------------------------------------------------------------------------
+# Span tree + renderers
+# ---------------------------------------------------------------------------
+
+
+def _is_worker_span(node: Mapping[str, Any]) -> bool:
+    return "worker_id" in (node.get("attrs") or {})
+
+
+def _worker_of(node: Mapping[str, Any]) -> Any:
+    return (node.get("attrs") or {}).get("worker_id")
+
+
+def span_tree(records: Iterable[Mapping[str, Any]]) -> list[dict]:
+    """Build the span forest (roots in open order) from trace records.
+
+    Each node carries inclusive ``wall_s``/``cpu_s`` plus exclusive
+    ``excl_wall_s``/``excl_cpu_s`` — inclusive minus *local* children
+    (worker-stitched children ran concurrently in another process and
+    are not subtracted).
+    """
+    nodes: dict[int, dict] = {}
+    order: list[int] = []
+    for record in records:
+        if record.get("type") != "span":
+            continue
+        nodes[record["span"]] = {
+            "name": record["name"],
+            "span": record["span"],
+            "parent": record.get("parent"),
+            "wall_s": record["wall_s"],
+            "cpu_s": record["cpu_s"],
+            "attrs": dict(record.get("attrs") or {}),
+            "children": [],
+        }
+        order.append(record["span"])
+    roots: list[dict] = []
+    # Spans open in id order (ids are allocated at open time), so
+    # sorting by id restores chronological structure regardless of the
+    # child-closes-first emission order.
+    for span_id in sorted(order):
+        node = nodes[span_id]
+        parent = node["parent"]
+        if parent is not None and parent in nodes:
+            nodes[parent]["children"].append(node)
+        else:
+            roots.append(node)
+    for node in nodes.values():
+        # A child is "local" when it ran in the same process as its
+        # parent — the process boundary is where the worker id changes
+        # (a stitched subtree's *internal* spans share their parent's
+        # worker id and are subtracted normally).
+        local = [
+            child for child in node["children"]
+            if _worker_of(child) == _worker_of(node)
+        ]
+        local_wall = sum(child["wall_s"] for child in local)
+        local_cpu = sum(child["cpu_s"] for child in local)
+        node["excl_wall_s"] = max(0.0, node["wall_s"] - local_wall)
+        node["excl_cpu_s"] = max(0.0, node["cpu_s"] - local_cpu)
+    for node in nodes.values():
+        node.pop("parent", None)
+    return roots
+
+
+def phase_totals(tree: Iterable[Mapping[str, Any]]) -> dict[str, float]:
+    """Exclusive wall seconds per span name, over local spans only.
+
+    Comparable (within timer noise) to the exclusive accounting in
+    ``RunReport.phases`` — the reconciliation the acceptance gate
+    checks.  Worker-stitched spans are reported under their own names
+    but measured in another process, so they are skipped here.
+    """
+    totals: dict[str, float] = {}
+
+    def visit(node: Mapping[str, Any]) -> None:
+        if not _is_worker_span(node):
+            name = node["name"]
+            totals[name] = totals.get(name, 0.0) + node["excl_wall_s"]
+        for child in node["children"]:
+            visit(child)
+
+    for root in tree:
+        visit(root)
+    return totals
+
+
+def _frame_label(node: Mapping[str, Any]) -> str:
+    """A folded-stack frame name: span name + discriminating attrs.
+
+    Folded format reserves ``;`` (stack separator) and space (count
+    separator), so both are scrubbed.
+    """
+    attrs = node.get("attrs") or {}
+    parts = [
+        f"{key}={attrs[key]}" for key in ("component", "rung", "worker_id")
+        if key in attrs
+    ]
+    label = node["name"] + (f"[{','.join(parts)}]" if parts else "")
+    return label.replace(";", ":").replace(" ", "_")
+
+
+def folded_stacks(records: Iterable[Mapping[str, Any]]) -> list[str]:
+    """Folded-stack lines (``a;b;c <microseconds>``) from trace records.
+
+    One line per span, weighted by *exclusive* wall in integer
+    microseconds — the format ``flamegraph.pl`` / speedscope consume.
+    """
+    lines: list[str] = []
+
+    def visit(node: Mapping[str, Any], stack: list[str]) -> None:
+        stack = stack + [_frame_label(node)]
+        micros = int(round(node["excl_wall_s"] * 1e6))
+        lines.append(";".join(stack) + f" {micros}")
+        for child in node["children"]:
+            visit(child, stack)
+
+    for root in span_tree(records):
+        visit(root, [])
+    return lines
+
+
+def profile_payload(
+    records: list[dict] | None,
+    report: Mapping[str, Any] | None,
+    *,
+    job_id: str | None = None,
+) -> dict[str, Any]:
+    """The JSON profile served at ``GET /v1/jobs/<id>/profile`` and
+    rendered by ``repro profile``."""
+    tree = span_tree(records or [])
+    return {
+        "profile_version": PROFILE_VERSION,
+        "job_id": job_id,
+        "phases": dict((report or {}).get("phases") or {}),
+        "ledger": (report or {}).get("ledger"),
+        "spans": tree,
+        "span_phase_totals": {
+            name: round(value, 9)
+            for name, value in sorted(phase_totals(tree).items())
+        },
+        "folded": folded_stacks(records or []),
+    }
+
+
+def profile_from_trace(records: list[dict]) -> dict[str, Any]:
+    """Profile payload for a local trace file: the ``RunReport`` rides
+    on the closing ``run`` record."""
+    report: Mapping[str, Any] | None = None
+    job_id = None
+    for record in records:
+        if record.get("type") == "run":
+            report = record.get("report") or None
+            job_id = record.get("job_id")
+    return profile_payload(records, report, job_id=job_id)
+
+
+def _format_node(node: Mapping[str, Any]) -> str:
+    attrs = node.get("attrs") or {}
+    extras = " ".join(
+        f"{key}={attrs[key]}" for key in _LABEL_ATTRS if key in attrs
+    )
+    timing = (
+        f"wall {node['wall_s'] * 1000:9.3f} ms  "
+        f"excl {node['excl_wall_s'] * 1000:9.3f} ms  "
+        f"cpu {node['excl_cpu_s'] * 1000:9.3f} ms"
+    )
+    return f"{node['name']}  {timing}" + (f"  [{extras}]" if extras else "")
+
+
+def render_profile(payload: Mapping[str, Any]) -> str:
+    """The human-facing ``repro profile`` text: span tree, per-phase
+    reconciliation against the report, and the resource ledger."""
+    lines: list[str] = []
+    title = "query profile"
+    if payload.get("job_id"):
+        title += f" — job {payload['job_id']}"
+    lines.append(title)
+    lines.append("=" * len(title))
+    lines.append("")
+
+    lines.append("span tree (inclusive wall / exclusive wall / exclusive cpu)")
+    lines.append("-----------------------------------------------------------")
+    spans = payload.get("spans") or []
+    if spans:
+        def visit(node: Mapping[str, Any], prefix: str, is_last: bool,
+                  is_root: bool) -> None:
+            if is_root:
+                lines.append(_format_node(node))
+                child_prefix = ""
+            else:
+                branch = "└─ " if is_last else "├─ "
+                lines.append(prefix + branch + _format_node(node))
+                child_prefix = prefix + ("   " if is_last else "│  ")
+            children = node.get("children") or []
+            for index, child in enumerate(children):
+                visit(child, child_prefix, index == len(children) - 1, False)
+
+        for root in spans:
+            visit(root, "", True, True)
+    else:
+        lines.append("(no spans recorded)")
+    lines.append("")
+
+    phases = payload.get("phases") or {}
+    span_totals = payload.get("span_phase_totals") or {}
+    if phases:
+        lines.append("phase reconciliation (report exclusive vs trace exclusive)")
+        lines.append("----------------------------------------------------------")
+        width = max(len(name) for name in phases)
+        for name in sorted(phases):
+            timing = phases[name] or {}
+            report_ms = float(timing.get("wall_seconds", 0.0)) * 1000
+            trace_ms = float(span_totals.get(name, 0.0)) * 1000
+            count = timing.get("count", 0)
+            lines.append(
+                f"{name:<{width}}  report {report_ms:9.3f} ms  "
+                f"trace {trace_ms:9.3f} ms  x{count}"
+            )
+        lines.append("")
+
+    ledger = payload.get("ledger") or {}
+    rows = ledger.get("rows") or []
+    kernel_ops = ledger.get("kernel_ops") or {}
+    if rows or kernel_ops:
+        lines.append("resource ledger")
+        lines.append("---------------")
+        for row in rows:
+            key = row.get("phase", "?")
+            if row.get("component"):
+                key += f" component={row['component']}"
+            if row.get("rung"):
+                key += f" rung={row['rung']}"
+            counters = row.get("counters") or {}
+            rendered = ", ".join(
+                f"{name}={_render_number(counters[name])}"
+                for name in sorted(counters)
+            )
+            lines.append(f"{key}: {rendered}")
+        if kernel_ops:
+            lines.append("kernel ops:")
+            for op in sorted(kernel_ops):
+                timing = kernel_ops[op]
+                lines.append(
+                    f"  {op:<12} calls {int(timing.get('calls', 0)):>8d}  "
+                    f"wall {float(timing.get('seconds', 0.0)) * 1000:9.3f} ms"
+                )
+        lines.append("")
+
+    return "\n".join(lines).rstrip("\n") + "\n"
+
+
+def _render_number(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def render_flame(records: list[dict]) -> str:
+    """Folded-stack text (one frame-stack + weight per line)."""
+    return "\n".join(folded_stacks(records)) + "\n"

@@ -15,16 +15,22 @@ from __future__ import annotations
 import json
 from typing import Any, Iterable
 
+from repro.errors import ReproError
 from repro.obs.trace import TRACE_SCHEMA_VERSION
 
 
-class TraceSchemaError(ValueError):
-    """A trace record or file violates the schema."""
+class TraceSchemaError(ReproError, ValueError):
+    """A trace record or file violates the schema.
+
+    Both a :class:`~repro.errors.ReproError` (so the CLI maps it to a
+    clean exit-2 diagnostic, never a traceback) and a ``ValueError``
+    (the historical base, kept for callers that catch it)."""
 
     def __init__(self, message: str, line: int | None = None):
-        self.line = line
         prefix = f"line {line}: " if line is not None else ""
-        super().__init__(prefix + message)
+        details = {"line": line} if line is not None else {}
+        super().__init__(prefix + message, details=details)
+        self.line = line
 
 
 _NUMBER = (int, float)
@@ -115,6 +121,11 @@ def validate_records(records: Iterable[tuple[int, Any]]) -> list[dict]:
                 raise TraceSchemaError("multiple 'run' records", line)
             run_seen = True
         validated.append(record)
+    if not validated:
+        raise TraceSchemaError(
+            "trace is empty: no records found (was the run interrupted "
+            "before the tracer wrote anything?)"
+        )
     for line, parent in pending_parents:
         if parent not in span_ids:
             raise TraceSchemaError(

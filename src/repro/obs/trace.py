@@ -39,7 +39,11 @@ from typing import Any, Callable, IO, Mapping
 #: Version of the emitted trace schema.  Policy (see DESIGN.md): bump on
 #: any backwards-incompatible change to record fields; readers accept
 #: records with ``v`` <= their own version and must ignore unknown keys.
-TRACE_SCHEMA_VERSION = 1
+#: v2: spans stitched from worker processes (see
+#: :mod:`repro.obs.profile`) carry ``worker_id`` / ``spawn_generation``
+#: in ``attrs``, and the closing ``run`` record's report may embed a
+#: resource ledger; v1 traces remain valid v2 traces.
+TRACE_SCHEMA_VERSION = 2
 
 #: Default cap on emitted (not merely counted) step events per tracer.
 DEFAULT_MAX_EVENTS = 10_000

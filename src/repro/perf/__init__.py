@@ -24,6 +24,7 @@ from repro.perf.cache import DEFAULT_CACHE_SIZE, CachedRow, TransitionCache
 from repro.perf.parallel import (
     ParallelConfig,
     WorkerContext,
+    absorb_worker_payload,
     merge_tallies,
     prorated_budgets,
     run_worker_pool,
@@ -35,6 +36,7 @@ from repro.perf.supervisor import (
     WorkerSupervisor,
     prewarm,
     supervised_run,
+    warm_pool_heartbeat_ages,
     warm_pool_stats,
 )
 
@@ -46,12 +48,14 @@ __all__ = [
     "TransitionCache",
     "WorkerContext",
     "WorkerSupervisor",
+    "absorb_worker_payload",
     "merge_tallies",
     "prewarm",
     "prorated_budgets",
     "run_worker_pool",
     "split_trials",
     "supervised_run",
+    "warm_pool_heartbeat_ages",
     "warm_pool_stats",
     "worker_seeds",
 ]

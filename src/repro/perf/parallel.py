@@ -37,6 +37,8 @@ from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from repro.errors import EvaluationError
+from repro.obs.profile import drain_worker_spans, stitch_spans, worker_tracer
+from repro.obs.trace import NullTracer, Tracer
 from repro.runtime.budget import Budget
 from repro.runtime.context import RunContext
 
@@ -215,8 +217,12 @@ class WorkerContext(RunContext):
 
     POLL_EVERY = 64
 
-    def __init__(self, budget: Budget | None = None):
-        super().__init__(budget)
+    def __init__(
+        self,
+        budget: Budget | None = None,
+        tracer: Tracer | NullTracer | None = None,
+    ):
+        super().__init__(budget, tracer=tracer)
         self._poll_countdown = self.POLL_EVERY
 
     def check(self) -> None:
@@ -239,7 +245,7 @@ class WorkerContext(RunContext):
 def _run_mcmc_trials(task: dict) -> dict:
     from repro.core.evaluation.sampling_noninflationary import evaluate_forever_mcmc
 
-    context = WorkerContext(task["budget"])
+    context = WorkerContext(task["budget"], tracer=worker_tracer(task))
     backend = task.get("backend")
     # A warm cache is keyed on the frozenset kernel; with the columnar
     # backend the evaluator compiles in-process and builds its own
@@ -260,12 +266,13 @@ def _run_mcmc_trials(task: dict) -> dict:
         cache=cache,
         backend=backend,
     )
-    return {
+    payload = {
         "positive": result.positive,
         "samples": result.samples,
         "steps": context.steps_used,
         "cache": result.details.get("cache"),
     }
+    return _attach_worker_observability(payload, context)
 
 
 def _run_inflationary_trials(task: dict) -> dict:
@@ -273,7 +280,7 @@ def _run_inflationary_trials(task: dict) -> dict:
         evaluate_inflationary_sampling,
     )
 
-    context = WorkerContext(task["budget"])
+    context = WorkerContext(task["budget"], tracer=worker_tracer(task))
     backend = task.get("backend")
     cache = (
         None
@@ -292,13 +299,58 @@ def _run_inflationary_trials(task: dict) -> dict:
         cache=cache,
         backend=backend,
     )
-    return {
+    payload = {
         "positive": result.positive,
         "samples": result.samples,
         "steps": context.steps_used,
         "total_steps": result.details["mean_steps_per_sample"] * result.samples,
         "cache": result.details.get("cache"),
     }
+    return _attach_worker_observability(payload, context)
+
+
+def _attach_worker_observability(payload: dict, context: RunContext) -> dict:
+    """Ship the worker's recorded spans/ledger back inside its payload.
+
+    Both keys are plain picklable data; the parent pops them back out
+    via :func:`absorb_worker_payload` before tallies merge, so result
+    aggregation never sees them.
+    """
+    spans = drain_worker_spans(context.tracer)
+    if spans:
+        payload["spans"] = spans
+    if not context.ledger.empty:
+        payload["ledger"] = context.ledger.as_dict()
+    return payload
+
+
+def absorb_worker_payload(
+    context: RunContext | None,
+    payload: Any,
+    *,
+    worker_id: int | None = None,
+    spawn_generation: int | None = None,
+) -> None:
+    """Stitch a returned task payload's spans/ledger into the parent.
+
+    Called at result-receipt time (the supervisor's results loop, or
+    the legacy executor's gather), when the dispatching span is still
+    open on the parent tracer — that is what parents stitched roots
+    under.  Mutates ``payload`` by popping the observability keys.
+    """
+    if context is None or not isinstance(payload, dict):
+        return
+    spans = payload.pop("spans", None)
+    if spans:
+        stitch_spans(
+            context.tracer,
+            spans,
+            worker_id=worker_id,
+            spawn_generation=spawn_generation,
+        )
+    ledger = payload.pop("ledger", None)
+    if ledger:
+        context.ledger.merge_dict(ledger)
 
 
 # -- parent-side pool driver ----------------------------------------------
@@ -361,7 +413,14 @@ def _run_executor_pool(
             for future in futures:
                 future.cancel()
             raise
-    return [future.result() for future in futures]
+    results = [future.result() for future in futures]
+    for index, payload in enumerate(results):
+        # Legacy pool: one fresh process per task, so the task index
+        # stands in for a worker id and the generation is always 0.
+        absorb_worker_payload(
+            context, payload, worker_id=index, spawn_generation=0
+        )
+    return results
 
 
 def merge_tallies(tallies: Sequence[dict]) -> dict:

@@ -56,6 +56,7 @@ from repro.errors import (
     WorkerPoolError,
     WorkerStalledError,
 )
+from repro.perf.parallel import absorb_worker_payload
 from repro.runtime.retry import CHUNK_RETRY, RetryPolicy, is_retryable
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
@@ -184,11 +185,14 @@ def _worker_main(
 class _WorkerHandle:
     """Parent-side state of one supervised worker process."""
 
-    __slots__ = ("worker_id", "process", "inbox", "heartbeat", "busy_task")
+    __slots__ = (
+        "worker_id", "generation", "process", "inbox", "heartbeat", "busy_task",
+    )
 
     def __init__(self, worker_id: int, generation: int, mp_context: Any,
                  results: Any, cancel_event: Any):
         self.worker_id = worker_id
+        self.generation = generation
         self.inbox = mp_context.Queue()
         self.heartbeat = mp_context.Value("d", time.time())
         self.busy_task: int | None = None
@@ -367,6 +371,8 @@ class WorkerSupervisor:
             pending.append(task_id)
             self.retries_total += 1
             bump("repro_task_retries_total", error=type(error).__name__)
+            if context is not None:
+                context.ledger.add("supervisor", retries=1)
             record(
                 f"worker chunk retry #{attempts[task_id]}: "
                 f"{type(error).__name__}: {error}"
@@ -376,7 +382,17 @@ class WorkerSupervisor:
             nonlocal run_restarts
             run_restarts += 1
             self.restarts_total += 1
-            bump("repro_worker_restarts_total", reason=type(error).__name__)
+            # Stable low-cardinality reasons: dashboards alert on
+            # crash-vs-stall, not on a python exception class name.
+            if isinstance(error, WorkerCrashError):
+                reason = "crash"
+            elif isinstance(error, WorkerStalledError):
+                reason = "stall"
+            else:
+                reason = type(error).__name__
+            bump("repro_worker_restarts_total", reason=reason)
+            if context is not None:
+                context.ledger.add("supervisor", restarts=1)
             record(
                 f"worker {handle.worker_id} restarted "
                 f"({type(error).__name__}: {error})"
@@ -408,6 +424,19 @@ class WorkerSupervisor:
                         handle.busy_task = None
                     if task_id in index_of and task_id not in results:
                         if kind == "ok":
+                            # Stitch worker-recorded spans while the
+                            # dispatching span is still open; a late
+                            # duplicate (handle is None) lost its
+                            # generation, attribute by worker id only.
+                            absorb_worker_payload(
+                                context,
+                                payload,
+                                worker_id=worker_id,
+                                spawn_generation=(
+                                    handle.generation
+                                    if handle is not None else None
+                                ),
+                            )
                             results[task_id] = payload
                         elif is_retryable(payload):
                             requeue(task_id, payload)
@@ -582,10 +611,23 @@ def warm_pool_stats() -> dict:
     with _GLOBAL_LOCK:
         supervisor = _GLOBAL
         if supervisor is None or supervisor.closed:
-            return {"alive": 0, "workers": 0, "restarts": 0, "retries": 0}
+            return {
+                "alive": 0, "workers": 0, "restarts": 0, "retries": 0,
+                "heartbeat_ages": {},
+            }
         return {
             "alive": supervisor.alive_workers(),
             "workers": supervisor.config.workers,
             "restarts": supervisor.restarts_total,
             "retries": supervisor.retries_total,
+            "heartbeat_ages": {
+                str(handle.worker_id): round(handle.heartbeat_age(), 3)
+                for handle in supervisor._workers
+                if handle.process.is_alive()
+            },
         }
+
+
+def warm_pool_heartbeat_ages() -> dict[str, float]:
+    """Per-worker heartbeat age in seconds (the ``/v1/metrics`` gauge)."""
+    return dict(warm_pool_stats()["heartbeat_ages"])

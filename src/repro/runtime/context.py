@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
 from repro.errors import BudgetExceededError, RunCancelledError
+from repro.obs.profile import ResourceLedger
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.runtime.budget import Budget
 
@@ -127,6 +128,10 @@ class RunReport:
     phases:
         Exclusive per-phase wall/CPU timings (``parse``, ``chain-build``,
         ``solve``, ``sample``, …) recorded via :meth:`RunContext.phase`.
+    ledger:
+        Serialised :class:`~repro.obs.profile.ResourceLedger` — per
+        phase/component/rung resource counters plus kernel operator
+        timings (``None`` when nothing was recorded).
     """
 
     outcome: str = "running"
@@ -137,6 +142,7 @@ class RunReport:
     spent: Mapping[str, Any] = field(default_factory=dict)
     cache: Mapping[str, Any] | None = None
     phases: Mapping[str, PhaseTiming] = field(default_factory=dict)
+    ledger: Mapping[str, Any] | None = None
 
     def as_dict(self) -> dict:
         return {
@@ -150,6 +156,7 @@ class RunReport:
             "phases": {
                 name: timing.as_dict() for name, timing in self.phases.items()
             },
+            "ledger": dict(self.ledger) if self.ledger is not None else None,
         }
 
 
@@ -201,6 +208,13 @@ class RunContext:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
         self.run_id = run_id
+        self.ledger = ResourceLedger()
+        if self.tracer.enabled:
+            # Route fault-injection hits on this thread into the trace
+            # (satellite of the profiler: chaos runs must be visible).
+            from repro.faults.plan import bind_trace_tracer
+
+            bind_trace_tracer(self.tracer)
         self._cancel_event = threading.Event()
         # Hot-loop fast path: tick_* charge millions of steps per run, so
         # an unlimited budget skips the deadline/limit checks entirely.
@@ -394,6 +408,11 @@ class RunContext:
         cache_stats = self._cache_stats
         if cache_stats is None and self._cache is not None:
             cache_stats = self._cache.stats()
+        ledger: dict[str, Any] | None = None
+        if not self.ledger.empty or cache_stats:
+            # Cache counters fold in at snapshot time (never stored), so
+            # repeated report() calls cannot double-count them.
+            ledger = self.ledger.as_dict(cache=cache_stats)
         return RunReport(
             outcome=self._outcome,
             method=self._method,
@@ -406,6 +425,7 @@ class RunContext:
                 "states": self.states_used,
             },
             cache=cache_stats,
+            ledger=ledger,
             phases={
                 name: PhaseTiming(
                     timing.wall_seconds, timing.cpu_seconds, timing.count

@@ -417,13 +417,39 @@ def _pool_worker(task: dict) -> dict:
     """Module-level (picklable) pool entry: solve, serialise the outcome.
 
     Exact probabilities travel as ``"p/q"`` strings so the parallel path
-    round-trips bit-identically to the sequential one.
+    round-trips bit-identically to the sequential one.  Under profiling
+    the component is solved inside a worker-local span buffer whose
+    records ship back with the payload, so the parent trace shows
+    component → rung work attributed to the worker that ran it.
     """
-    outcome = _solve_one(task)
+    context = None
+    if task.get("profile"):
+        from repro.obs.profile import worker_tracer
+        from repro.perf.parallel import WorkerContext
+
+        context = WorkerContext(tracer=worker_tracer(task))
+        task = dict(task)
+        task["context"] = context
+    if context is not None:
+        with context.phase(
+            "component-solve", component=task["name"],
+            semantics=task["semantics"],
+        ):
+            outcome = _solve_one(task)
+    else:
+        outcome = _solve_one(task)
     payload = outcome.as_dict()
     payload["members"] = list(outcome.members)
     if not outcome.exact:
         payload["probability_float"] = float(outcome.probability)
+    if context is not None:
+        from repro.obs.profile import drain_worker_spans
+
+        spans = drain_worker_spans(context.tracer)
+        if spans:
+            payload["spans"] = spans
+        if not context.ledger.empty:
+            payload["ledger"] = context.ledger.as_dict()
     return payload
 
 
@@ -490,6 +516,9 @@ def _solve_components(
         from repro.perf.parallel import ParallelConfig
         from repro.perf.supervisor import supervised_run
 
+        if context.tracer.enabled:
+            for task in tasks:
+                task["profile"] = True
         with phase_scope(context, "partition-solve", workers=workers):
             payloads = supervised_run(
                 _pool_worker,
@@ -534,6 +563,19 @@ def _combine(
 ) -> ExactResult | SamplingResult:
     all_exact = all(outcome.exact for outcome in outcomes)
     constant = _static_constant(split, initial)
+
+    for outcome in outcomes:
+        # One ledger row per component, keyed by the rung that answered
+        # it — the per-component (ε, δ) the profiler surfaces.
+        context.ledger.add(
+            "partition-solve",
+            component=outcome.name,
+            rung=outcome.method,
+            states=outcome.states,
+            samples=outcome.samples,
+            epsilon=outcome.epsilon,
+            delta=outcome.delta,
+        )
 
     if split.mode == "and":
         combined: Fraction | float = constant

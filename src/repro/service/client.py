@@ -191,6 +191,10 @@ class ServiceClient:
         """``GET /v1/jobs/<id>/trace`` — the job's trace records."""
         return self._call("GET", f"/v1/jobs/{job_id}/trace")["trace"]
 
+    def profile(self, job_id: str) -> dict:
+        """``GET /v1/jobs/<id>/profile`` — span tree + resource ledger."""
+        return self._call("GET", f"/v1/jobs/{job_id}/profile")
+
     def metrics(self) -> dict:
         """``GET /v1/metrics``."""
         return self._call("GET", "/v1/metrics")

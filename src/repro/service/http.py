@@ -9,6 +9,7 @@ layer adds no dependencies.  Routes:
 ``GET    /v1/jobs``              list registered jobs
 ``GET    /v1/jobs/<id>``         poll one job
 ``GET    /v1/jobs/<id>/trace``   the job's trace records (404 until done)
+``GET    /v1/jobs/<id>/profile`` span tree + resource ledger (404 until done)
 ``DELETE /v1/jobs/<id>``         cancel a queued/running job
 ``GET    /v1/metrics``           counters, gauges, latency histograms
 ``GET    /v1/metrics?format=prometheus``  text exposition format 0.0.4
@@ -190,6 +191,9 @@ class ServiceHandler(BaseHTTPRequestHandler):
                     "job_id": job_id,
                     "trace": self.service.job_trace(job_id),
                 })
+            elif path.startswith("/v1/jobs/") and path.endswith("/profile"):
+                job_id = self._job_id(path)[: -len("/profile")]
+                self._send_json(200, self.service.job_profile(job_id))
             elif path.startswith("/v1/jobs/"):
                 job = self.service.job(self._job_id(path))
                 self._send_json(200, job.as_dict())

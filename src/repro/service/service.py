@@ -167,6 +167,14 @@ class QueryService:
             "Columnar-backend requests served on the frozenset path",
             fn=kernel_fallback_total,
         )
+        from repro.perf.supervisor import warm_pool_heartbeat_ages
+
+        self.registry.gauge(
+            "repro_worker_heartbeat_age_seconds",
+            "Seconds since each warm-pool worker's last heartbeat",
+            fn=warm_pool_heartbeat_ages,
+            fn_label="worker",
+        )
 
     # -- lifecycle ------------------------------------------------------
 
@@ -271,6 +279,29 @@ class QueryService:
                          "trace_events": self.config.trace_events},
             )
         return list(job.trace)
+
+    def job_profile(self, job_id: str) -> dict:
+        """The job's profile document for ``GET /v1/jobs/<id>/profile``.
+
+        Built on demand from the finished job's trace and run report:
+        the span tree with exclusive timings, per-phase totals, the
+        resource ledger, and folded stacks for flamegraph tooling.
+        Raises :class:`~repro.errors.JobNotFoundError` when the job does
+        not exist or has no trace yet (same contract as
+        :meth:`job_trace` — the HTTP layer maps both to 404).
+        """
+        from repro.obs.profile import profile_payload
+
+        job = self.scheduler.get(job_id)
+        if job.trace is None:
+            raise JobNotFoundError(
+                f"no profile for job {job_id!r} "
+                f"(state: {job.state}; tracing "
+                f"{'enabled' if self.config.trace_events else 'disabled'})",
+                details={"state": job.state,
+                         "trace_events": self.config.trace_events},
+            )
+        return profile_payload(list(job.trace), job.report, job_id=job.id)
 
     # -- execution (called by scheduler workers) ------------------------
 

@@ -361,10 +361,48 @@ class EngineSession:
             "inflationary": self._evaluate_inflationary,
             "datalog": self._evaluate_datalog,
         }
+        kernel_ops_before = self._op_timings_snapshot()
         payload = dispatch[self.semantics](request, context)
+        self._record_kernel_ops(context, kernel_ops_before)
         with self._served_lock:
             self.requests_served += 1
         return payload
+
+    def _op_timings_snapshot(self) -> "dict[str, dict[str, float]] | None":
+        columnar = self._columnar
+        if isinstance(columnar, tuple):
+            return columnar[0].op_timings()
+        return None
+
+    def _record_kernel_ops(
+        self,
+        context: RunContext | None,
+        before: "dict[str, dict[str, float]] | None",
+    ) -> None:
+        """Attribute this request's share of the compiled kernel's
+        cumulative per-operator timings to the run's resource ledger.
+
+        The session's compiled kernel is shared, so the counters only
+        ever grow; the request's share is the delta across ``evaluate``.
+        A request that triggered the compile has no *before* snapshot —
+        the whole total is its share.
+        """
+        if context is None:
+            return
+        columnar = self._columnar
+        if not isinstance(columnar, tuple):
+            return
+        after = columnar[0].op_timings()
+        prior = before or {}
+        delta: dict[str, dict[str, float]] = {}
+        for op, stats in after.items():
+            base = prior.get(op, {"calls": 0, "seconds": 0.0})
+            calls = stats["calls"] - base["calls"]
+            seconds = stats["seconds"] - base["seconds"]
+            if calls > 0 or seconds > 0:
+                delta[op] = {"calls": calls, "seconds": seconds}
+        if delta:
+            context.ledger.record_kernel_ops(delta)
 
     @property
     def _deterministic(self) -> bool:

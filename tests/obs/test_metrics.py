@@ -11,6 +11,10 @@ from repro.obs import MetricsRegistry
 from tests.obs.prom import parse_prometheus
 
 
+def _parse_le(text: str) -> float:
+    return math.inf if text == "+Inf" else float(text)
+
+
 class TestCounter:
     def test_inc_and_total(self):
         counter = MetricsRegistry().counter("c_total", "help")
@@ -45,6 +49,32 @@ class TestGauge:
         gauge = MetricsRegistry().gauge("g", fn=lambda: 0.0)
         with pytest.raises(ValueError):
             gauge.set(1.0)
+
+    def test_mapping_callback_renders_one_series_per_key(self):
+        ages = {"0": 0.5, "1": 1.5}
+        registry = MetricsRegistry()
+        registry.gauge(
+            "heartbeat_age_seconds", "per-worker heartbeat age",
+            fn=lambda: ages, fn_label="worker",
+        )
+        samples = parse_prometheus(registry.render_prometheus())
+        assert samples["heartbeat_age_seconds"] == [
+            ({"worker": "0"}, 0.5),
+            ({"worker": "1"}, 1.5),
+        ]
+        # The worker set changes between scrapes (supervisor restarts).
+        ages.pop("1")
+        ages["2"] = 0.25
+        samples = parse_prometheus(registry.render_prometheus())
+        assert {tuple(k.items())[0][1] for k, _ in
+                samples["heartbeat_age_seconds"]} == {"0", "2"}
+
+    def test_mapping_callback_value_lookup_and_sum(self):
+        gauge = MetricsRegistry().gauge(
+            "g", fn=lambda: {"a": 1.0, "b": 2.0}, fn_label="worker"
+        )
+        assert gauge.value(worker="b") == 2.0
+        assert gauge.value() == 3.0
 
 
 class TestHistogramEdgeCases:
@@ -170,6 +200,61 @@ class TestPrometheusRendering:
         registry.counter("esc_total").inc(1, reason='say "hi"\nbye\\now')
         samples = parse_prometheus(registry.render_prometheus())
         assert samples["esc_total"][0][0]["reason"] == 'say "hi"\nbye\\now'
+
+    @pytest.mark.parametrize(
+        "value",
+        ["back\\slash", "new\nline", 'quo"te', '\\"\n', "\\n", ""],
+        ids=["backslash", "newline", "quote", "mixed", "literal-backslash-n",
+             "empty"],
+    )
+    def test_label_escaping_per_character(self, value):
+        registry = MetricsRegistry()
+        registry.counter("esc_total").inc(1, site=value)
+        text = registry.render_prometheus()
+        # Raw control characters never leak into the exposition.
+        for line in text.splitlines():
+            assert "\n" not in line  # splitlines guarantees it; belt+braces
+        samples = parse_prometheus(text)
+        assert samples["esc_total"] == [({"site": value}, 1.0)]
+
+    def test_histogram_exposition_has_no_exemplars_and_is_stable(self):
+        """0.0.4 text format under concurrent observes: every scrape is a
+        parseable, exemplar-free, monotone-cumulative snapshot."""
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "h_seconds", buckets=(0.5, 1.0), keep_observations=False
+        )
+        stop = threading.Event()
+
+        def observer() -> None:
+            while not stop.is_set():
+                histogram.observe(0.3)
+                histogram.observe(1.7)
+
+        threads = [threading.Thread(target=observer) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(20):
+                text = registry.render_prometheus()
+                for line in text.splitlines():
+                    if line.startswith("#"):
+                        continue
+                    # Exemplars (OpenMetrics '... # {trace_id=...}')
+                    # never appear in the 0.0.4 exposition.
+                    assert "#" not in line
+                samples = parse_prometheus(text)
+                by_le = {
+                    _parse_le(labels["le"]): value
+                    for labels, value in samples["h_seconds_bucket"]
+                }
+                cumulative = [by_le[0.5], by_le[1.0], by_le[math.inf]]
+                assert cumulative == sorted(cumulative)
+                assert samples["h_seconds_count"][0][1] == by_le[math.inf]
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
 
     def test_inf_formatting(self):
         assert math.isinf(float("inf"))  # sanity for the parser helper

@@ -81,6 +81,42 @@ class TestDeterminism:
         result = run_walk(walk)
         assert result.samples == SAMPLES
 
+    def test_heartbeat_ages_exposed_per_worker(self, walk):
+        from repro.perf.supervisor import warm_pool_heartbeat_ages
+
+        prewarm(WORKERS)
+        stats = warm_pool_stats()
+        ages = stats["heartbeat_ages"]
+        assert set(ages) == {str(i) for i in range(WORKERS)}
+        assert all(age >= 0.0 for age in ages.values())
+        assert warm_pool_heartbeat_ages() == ages
+
+    def test_worker_spans_stitched_with_worker_ids(self, walk):
+        from repro.obs import MemorySink, Tracer
+
+        context = RunContext(tracer=Tracer(MemorySink()))
+        result = run_walk(walk, context=context)
+        baseline = run_walk(walk)
+        assert result.positive == baseline.positive  # profiling is inert
+        records = context.tracer.sink.records
+        worker_spans = [
+            r for r in records
+            if r.get("type") == "span"
+            and "worker_id" in (r.get("attrs") or {})
+        ]
+        assert worker_spans, "no spans recorded inside worker processes"
+        ids = {r["attrs"]["worker_id"] for r in worker_spans}
+        assert ids <= set(range(WORKERS))
+        assert all(
+            r["attrs"].get("spawn_generation") is not None
+            for r in worker_spans
+        )
+        # Stitched under the dispatching 'sample' span, not floating.
+        spans = {r["span"]: r for r in records if r.get("type") == "span"}
+        for record in worker_spans:
+            parent = record.get("parent")
+            assert parent in spans
+
 
 class TestFaultRecovery:
     def test_crash_recovery_is_bit_identical(self, walk):
@@ -123,6 +159,38 @@ class TestFaultRecovery:
         assert survived.estimate == baseline.estimate
         events = context.report().events
         assert any("chunk retry" in event for event in events)
+
+    def test_crash_restart_counted_with_reason_label(self, walk):
+        from repro.obs import MetricsRegistry
+
+        faults.install(FaultPlan(
+            [FaultSpec(SITE_SUPERVISOR_TASK, "crash", generation=0)]
+        ))
+        registry = MetricsRegistry()
+        context = RunContext(metrics=registry)
+        run_walk(walk, context=context)
+        restarts = registry.counter("repro_worker_restarts_total")
+        assert restarts.value(reason="crash") >= 1
+        assert restarts.value(reason="stall") == 0
+        # The run's ledger records the restarts too.
+        rows = {
+            (row["phase"], row["component"], row["rung"]): row["counters"]
+            for row in context.ledger.as_dict()["rows"]
+        }
+        assert rows[("supervisor", None, None)]["restarts"] >= 1
+
+    def test_stall_restart_counted_with_reason_label(self, walk, monkeypatch):
+        from repro.obs import MetricsRegistry
+
+        monkeypatch.setenv(HEARTBEAT_TIMEOUT_ENV, "1.0")
+        faults.install(FaultPlan(
+            [FaultSpec(SITE_SUPERVISOR_TASK, "hang", generation=0)]
+        ))
+        registry = MetricsRegistry()
+        context = RunContext(metrics=registry)
+        run_walk(walk, context=context)
+        restarts = registry.counter("repro_worker_restarts_total")
+        assert restarts.value(reason="stall") >= 1
 
     def test_restart_budget_exhaustion_fails_the_run(self, walk):
         # No generation bound: every replacement worker also crashes on

@@ -174,6 +174,80 @@ class TestParallelParity:
         assert pooled.probability == serial.probability
         assert pooled.details["components"] == serial.details["components"]
 
+    def test_profiled_pool_run_stitches_component_spans(self, two_walkers):
+        from repro.obs import MemorySink, Tracer
+
+        kernel, db = two_walkers
+        query = ForeverQuery(
+            kernel, AndEvent(TupleIn("C", ("b",)), TupleIn("D", ("a",)))
+        )
+        plan = plan_for(kernel, db)
+        serial = evaluate_partitioned(query, db, plan, workers=1)
+        context = RunContext(tracer=Tracer(MemorySink()))
+        pooled = evaluate_partitioned(
+            query, db, plan, workers=2, context=context
+        )
+        # Profiling never perturbs the answer — still bit-identical.
+        assert pooled.probability == serial.probability
+        records = context.tracer.sink.records
+        spans = {r["span"]: r for r in records if r.get("type") == "span"}
+        component_spans = [
+            r for r in spans.values() if r["name"] == "component-solve"
+        ]
+        # One worker-attributed subtree per component, stitched under
+        # the dispatching partition-solve span.
+        assert {r["attrs"]["component"] for r in component_spans} == {
+            "c0", "c1",
+        }
+        dispatch = next(
+            r for r in spans.values() if r["name"] == "partition-solve"
+        )
+        for record in component_spans:
+            assert record["parent"] == dispatch["span"]
+            assert "worker_id" in record["attrs"]
+            assert record["attrs"]["spawn_generation"] is not None
+        # The worker's inner rung phases arrive too, as children.
+        inner = {
+            r["name"] for r in spans.values()
+            if r.get("parent") in {c["span"] for c in component_spans}
+        }
+        assert "chain-build" in inner
+
+    def test_profiled_pool_run_fills_the_ledger(self, two_walkers):
+        from repro.obs import MemorySink, Tracer
+
+        kernel, db = two_walkers
+        query = ForeverQuery(kernel, TupleIn("C", ("b",)))
+        plan = plan_for(kernel, db)
+        context = RunContext(tracer=Tracer(MemorySink()))
+        evaluate_partitioned(query, db, plan, workers=2, context=context)
+        ledger = context.report().as_dict()["ledger"]
+        rows = {
+            (row["phase"], row["component"]): row["counters"]
+            for row in ledger["rows"]
+        }
+        solve_rows = [
+            key for key in rows if key[0] == "partition-solve"
+        ]
+        assert solve_rows  # one per evaluated component
+        for key in solve_rows:
+            assert rows[key]["states"] >= 1
+
+    def test_serial_run_fills_the_ledger_identically(self, two_walkers):
+        kernel, db = two_walkers
+        query = ForeverQuery(
+            kernel, AndEvent(TupleIn("C", ("b",)), TupleIn("D", ("a",)))
+        )
+        plan = plan_for(kernel, db)
+        serial_ctx = RunContext()
+        evaluate_partitioned(query, db, plan, workers=1, context=serial_ctx)
+        pooled_ctx = RunContext()
+        evaluate_partitioned(query, db, plan, workers=2, context=pooled_ctx)
+        assert (
+            serial_ctx.ledger.as_dict()["rows"]
+            == pooled_ctx.ledger.as_dict()["rows"]
+        )
+
 
 class TestRefusals:
     def test_cross_component_factor_is_refused(self, two_walkers):

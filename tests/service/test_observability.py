@@ -72,6 +72,110 @@ class TestJobTraces:
             service.shutdown(wait=False, cancel_running=True)
 
 
+def _flatten(spans):
+    for span in spans:
+        yield span
+        yield from _flatten(span["children"])
+
+
+class TestJobProfile:
+    def test_finished_job_serves_a_profile_document(self, served):
+        _, client = served
+        record = client.submit(walk_body())
+        client.wait(record["id"], timeout=30.0)
+        profile = client.profile(record["id"])
+        assert profile["profile_version"] == 1
+        assert profile["job_id"] == record["id"]
+        names = {span["name"] for span in _flatten(profile["spans"])}
+        assert "solve" in names
+        # Every span carries both inclusive and exclusive timings.
+        for span in _flatten(profile["spans"]):
+            assert span["excl_wall_s"] <= span["wall_s"] + 1e-9
+        assert profile["phases"]
+        assert profile["folded"]
+        stack, _, weight = profile["folded"][0].rpartition(" ")
+        assert stack and int(weight) >= 0
+
+    def test_span_phase_totals_reconcile_with_the_report(self, served):
+        _, client = served
+        record = client.submit(walk_body())
+        client.wait(record["id"], timeout=30.0)
+        profile = client.profile(record["id"])
+        totals = profile["span_phase_totals"]
+        for name, timing in profile["phases"].items():
+            reported = timing["wall_seconds"]
+            traced = totals.get(name, 0.0)
+            # Two clocks bracket the same region: 5% relative, with an
+            # absolute floor for microsecond-scale phases where timer
+            # granularity dominates.
+            assert abs(traced - reported) <= max(0.05 * reported, 2e-3), name
+
+    def test_partitioned_job_profile_carries_worker_spans(self, served):
+        """Spans recorded inside pool workers are stitched under the
+        dispatching span with worker attribution (trace schema v2)."""
+        service, client = served
+        program = (
+            "C := rename[J->I](project[J](repair-key[I@P](C join E)))\n"
+            "D := rename[J->I](project[J](repair-key[I@P](D join E)))\n"
+        )
+        database = {
+            "relations": {
+                "C": {"columns": ["I"], "rows": [["a"]]},
+                "D": {"columns": ["I"], "rows": [["b"]]},
+                "E": {
+                    "columns": ["I", "J", "P"],
+                    "rows": [
+                        ["a", "a", 1],
+                        ["a", "b", 1],
+                        ["b", "b", 1],
+                        ["b", "a", 1],
+                    ],
+                },
+            }
+        }
+        record = client.submit(
+            {
+                "semantics": "forever",
+                "program": program,
+                "database": database,
+                "event": "C(b) and D(a)",
+                "params": {"partition": "auto", "workers": 2},
+            }
+        )
+        done = client.wait(record["id"], timeout=60.0)
+        assert done["state"] == "done"
+        profile = client.profile(record["id"])
+        worker_spans = [
+            span
+            for span in _flatten(profile["spans"])
+            if "worker_id" in span["attrs"]
+        ]
+        assert worker_spans, "expected spans recorded inside pool workers"
+        assert {span["name"] for span in worker_spans} >= {"component-solve"}
+        for span in worker_spans:
+            assert span["attrs"]["spawn_generation"] >= 0
+        assert len({span["attrs"]["worker_id"] for span in worker_spans}) >= 1
+        rows = (profile["ledger"] or {}).get("rows", [])
+        components = {row["component"] for row in rows}
+        assert {"c0", "c1"} <= components
+
+    def test_unknown_job_profile_is_404(self, served):
+        _, client = served
+        with pytest.raises(JobNotFoundError):
+            client.profile("job-0-nope")
+
+    def test_tracing_disabled_reports_no_profile(self):
+        service = QueryService(ServiceConfig(workers=1, trace_events=0))
+        service.start()
+        try:
+            job = service.submit(QueryRequest.from_json(walk_body()))
+            service.wait(job.id, timeout=30.0)
+            with pytest.raises(JobNotFoundError, match="no profile"):
+                service.job_profile(job.id)
+        finally:
+            service.shutdown(wait=False, cancel_running=True)
+
+
 class TestPrometheusEndpoint:
     def test_scrape_parses_and_counts_jobs(self, served):
         _, client = served
@@ -102,6 +206,17 @@ class TestPrometheusEndpoint:
         ):
             assert gauge in samples, gauge
         assert samples["repro_uptime_seconds"][0][1] >= 0.0
+
+    def test_heartbeat_gauge_exposes_one_series_per_worker(self, served):
+        from repro.perf import prewarm
+
+        _, client = served
+        prewarm(2)
+        samples = parse_prometheus(client.metrics_prometheus())
+        series = samples["repro_worker_heartbeat_age_seconds"]
+        workers = {labels["worker"] for labels, _ in series}
+        assert workers >= {"0", "1"}
+        assert all(value >= 0.0 for _, value in series)
 
     def test_json_document_still_served(self, served):
         _, client = served

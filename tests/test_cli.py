@@ -61,6 +61,31 @@ class TestParseEvent:
         with pytest.raises(ReproError):
             parse_event("not an event")
 
+    def test_compound_events(self):
+        from repro.core.events import AndEvent, NotEvent, OrEvent
+
+        both = parse_event("C(b) and D(a)")
+        assert isinstance(both, AndEvent)
+        assert both.left.relation == "C" and both.right.relation == "D"
+        either = parse_event("C(b) or not D(a)")
+        assert isinstance(either, OrEvent)
+        assert isinstance(either.right, NotEvent)
+        # 'and' binds tighter than 'or'; parentheses override.
+        assert isinstance(parse_event("C(b) and D(a) or E(c)"), OrEvent)
+        assert isinstance(parse_event("C(b) and (D(a) or E(c))"), AndEvent)
+        # 'not' directly before '(' is still the combinator.
+        negated = parse_event("not (C(b) and D(a))")
+        assert isinstance(negated, NotEvent)
+        assert isinstance(negated.inner, AndEvent)
+
+    def test_compound_event_rejects_dangling_operator(self):
+        with pytest.raises(ReproError):
+            parse_event("C(b) and")
+        with pytest.raises(ReproError):
+            parse_event("C(b) D(a)")
+        with pytest.raises(ReproError):
+            parse_event("(C(b)")
+
 
 class TestDatalogCommand:
     def test_exact(self, workspace, capsys):

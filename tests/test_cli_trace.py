@@ -104,6 +104,69 @@ class TestReportCommand:
         assert "error:" in capsys.readouterr().err
 
 
+class TestProfileCommand:
+    def test_profile_renders_span_tree(self, workspace, tmp_path, capsys):
+        _run_traced(workspace, tmp_path, capsys)
+        code = main(["profile", str(tmp_path / "run.jsonl")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "span tree" in out
+        assert "phase reconciliation" in out
+        assert "sample" in out
+
+    def test_profile_json_payload(self, workspace, tmp_path, capsys):
+        _run_traced(workspace, tmp_path, capsys)
+        code = main(["profile", str(tmp_path / "run.jsonl"), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["profile_version"] == 1
+        assert payload["spans"]
+        assert "sample" in payload["span_phase_totals"]
+
+    def test_profile_flame_matches_report_flame(self, workspace, tmp_path, capsys):
+        _run_traced(workspace, tmp_path, capsys)
+        trace = str(tmp_path / "run.jsonl")
+        assert main(["profile", trace, "--flame"]) == 0
+        from_profile = capsys.readouterr().out
+        assert main(["report", trace, "--flame"]) == 0
+        from_report = capsys.readouterr().out
+        assert from_profile == from_report
+        lines = from_report.splitlines()
+        assert lines
+        for line in lines:
+            stack, _, weight = line.rpartition(" ")
+            assert stack and int(weight) >= 0
+            for frame in stack.split(";"):
+                assert frame and " " not in frame
+
+
+class TestTraceFailureModes:
+    """Empty and torn trace files fail cleanly: exit 2, one line on
+    stderr, no traceback."""
+
+    def _assert_clean_failure(self, capsys, argv) -> None:
+        code = main(argv)
+        assert code == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+
+    @pytest.mark.parametrize("command", ["report", "profile"])
+    def test_empty_trace_file(self, tmp_path, capsys, command):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        self._assert_clean_failure(capsys, [command, str(empty)])
+
+    @pytest.mark.parametrize("command", ["report", "profile"])
+    def test_torn_last_line(self, workspace, tmp_path, capsys, command):
+        _run_traced(workspace, tmp_path, capsys)
+        trace = tmp_path / "run.jsonl"
+        text = trace.read_text()
+        trace.write_text(text[: len(text) - len(text.splitlines()[-1]) // 2])
+        self._assert_clean_failure(capsys, [command, str(trace)])
+
+
 class TestNoTraceFlag:
     def test_runs_without_trace_write_nothing(self, workspace, tmp_path, capsys):
         code = main(
